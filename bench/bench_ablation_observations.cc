@@ -1,0 +1,68 @@
+// Ablation A2 (DESIGN.md): contribution of each FairBCEM search-pruning
+// rule (paper Observations 2, 4, 5 and the candidate alpha-filter) to
+// the search size and runtime, on Youtube at default parameters.
+
+#include <iostream>
+
+#include "bench_util/datasets.h"
+#include "bench_util/table.h"
+#include "common/timer.h"
+#include "core/pipeline.h"
+
+namespace {
+
+void Run(const fairbc::NamedGraph& data, const std::string& label,
+         const fairbc::FairBcemSearchOptions& search,
+         fairbc::TextTable& table) {
+  fairbc::EnumOptions options;
+  options.time_budget_seconds = 10.0;
+  fairbc::CountSink sink;
+  fairbc::Timer timer;
+  fairbc::EnumStats stats = fairbc::EnumerateSSFBCWithSearchOptions(
+      data.graph, data.spec.ss_defaults, options, search, sink.AsSink());
+  table.AddRow({label, fairbc::TextTable::Num(stats.search_nodes),
+                fairbc::TextTable::Seconds(timer.ElapsedSeconds(),
+                                           stats.budget_exhausted),
+                fairbc::TextTable::Num(sink.count())});
+}
+
+}  // namespace
+
+int main() {
+  fairbc::NamedGraph data = fairbc::LoadDataset("youtube");
+  std::cout << "Dataset: " << data.graph.DebugString() << "\n";
+  fairbc::PrintBanner(std::cout,
+                      "Ablation: FairBCEM search-pruning rules (youtube)");
+  fairbc::TextTable table({"configuration", "search nodes", "time (s)",
+                           "#SSFBC"});
+
+  fairbc::FairBcemSearchOptions all;
+  Run(data, "all rules on (FairBCEM)", all, table);
+
+  fairbc::FairBcemSearchOptions s = all;
+  s.prune_small_l = false;
+  Run(data, "- Obs.5 |L|>=alpha kill", s, table);
+
+  s = all;
+  s.prune_excluded_full = false;
+  Run(data, "- Obs.2 excluded-full kill", s, table);
+
+  s = all;
+  s.prune_class_counts = false;
+  Run(data, "- Obs.5 class-count kill", s, table);
+
+  s = all;
+  s.absorb_full_candidates = false;
+  Run(data, "- Obs.4 absorb shortcut", s, table);
+
+  s = all;
+  s.filter_candidates_alpha = false;
+  Run(data, "- candidate alpha-filter", s, table);
+
+  Run(data, "all rules off (NSF)", fairbc::NaiveSearchOptions(), table);
+  table.Print(std::cout);
+  std::cout << "\nShape check: result counts identical in every row (the\n"
+               "rules are lossless); search nodes and time grow as rules\n"
+               "are removed, exploding for the NSF configuration.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation A1 (DESIGN.md): effect of the graph-reduction level on the
+// end-to-end enumeration time — no pruning vs FCore vs CFCore — inside
+// FairBCEM and FairBCEM++ on IMDB. Quantifies §III-B's claim that
+// colorful pruning pays for itself.
+
+#include <iostream>
+
+#include "bench_util/datasets.h"
+#include "bench_util/sweep.h"
+#include "bench_util/table.h"
+
+namespace {
+
+void Run(const fairbc::NamedGraph& data, const fairbc::Algorithm& algo,
+         fairbc::TextTable& table) {
+  for (auto level : {fairbc::PruningLevel::kNone, fairbc::PruningLevel::kCore,
+                     fairbc::PruningLevel::kColorful}) {
+    fairbc::EnumOptions options;
+    options.pruning = level;
+    options.time_budget_seconds = fairbc::BenchTimeBudget();
+    auto r = RunCounting(algo, data.graph, data.spec.ss_defaults, options);
+    const char* name = level == fairbc::PruningLevel::kNone     ? "none"
+                       : level == fairbc::PruningLevel::kCore   ? "FCore"
+                                                                : "CFCore";
+    table.AddRow({algo.name, name,
+                  fairbc::TextTable::Seconds(r.stats.prune_seconds),
+                  fairbc::TextTable::Seconds(r.stats.enum_seconds),
+                  fairbc::TextTable::Seconds(r.seconds, r.timed_out),
+                  fairbc::TextTable::Num(r.stats.remaining_upper +
+                                         r.stats.remaining_lower),
+                  fairbc::TextTable::Num(r.count)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  fairbc::NamedGraph data = fairbc::LoadDataset("imdb");
+  std::cout << "Dataset: " << data.graph.DebugString() << "\n";
+  fairbc::PrintBanner(std::cout, "Ablation: graph-reduction level (imdb)");
+  fairbc::TextTable table({"algorithm", "pruning", "prune (s)", "enum (s)",
+                           "total (s)", "remaining nodes", "#SSFBC"});
+  Run(data, fairbc::AlgoFairBCEM(), table);
+  Run(data, fairbc::AlgoFairBCEMpp(), table);
+  table.Print(std::cout);
+  std::cout << "\nShape check: identical result counts across levels\n"
+               "(pruning is lossless); CFCore leaves the fewest nodes and\n"
+               "minimizes total time for the branch-and-bound engine.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Fig. 8: memory overhead of the enumeration algorithms on
+// all datasets. As in the paper, the reported figure excludes the input
+// graph itself: it is the algorithm-owned auxiliary structures, which
+// are dominated by the CFCore/BCFCore data (2-hop graph and color
+// multiplicity matrices) shared by the plain and ++ variants.
+//
+// Paper shape: FairBCEM and FairBCEM++ use almost the same memory
+// (likewise the bi-side pair), usually above the graph size.
+
+#include <iostream>
+
+#include "bench_util/datasets.h"
+#include "bench_util/sweep.h"
+#include "bench_util/table.h"
+#include "common/memory.h"
+
+namespace {
+
+std::string RunMem(const fairbc::Algorithm& algo,
+                   const fairbc::NamedGraph& data,
+                   const fairbc::FairBicliqueParams& params) {
+  fairbc::EnumOptions options;
+  options.time_budget_seconds = fairbc::BenchTimeBudget();
+  fairbc::CountSink sink;
+  fairbc::EnumStats stats =
+      algo.run(data.graph, params, options, sink.AsSink());
+  return fairbc::HumanBytes(stats.peak_struct_bytes);
+}
+
+}  // namespace
+
+int main() {
+  auto datasets = fairbc::LoadStandardDatasets();
+  fairbc::PrintBanner(std::cout, "Fig. 8: memory overhead (excl. input graph)");
+  std::vector<std::string> header{"Dataset", "graph size", "FairBCEM",
+                                  "FairBCEM++", "BFairBCEM", "BFairBCEM++"};
+  fairbc::TextTable table(header);
+  for (const auto& d : datasets) {
+    table.AddRow({d.spec.name, fairbc::HumanBytes(d.graph.MemoryBytes()),
+                  RunMem(fairbc::AlgoFairBCEM(), d, d.spec.ss_defaults),
+                  RunMem(fairbc::AlgoFairBCEMpp(), d, d.spec.ss_defaults),
+                  RunMem(fairbc::AlgoBFairBCEM(), d, d.spec.bs_defaults),
+                  RunMem(fairbc::AlgoBFairBCEMpp(), d, d.spec.bs_defaults)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nProcess peak RSS: " << fairbc::HumanBytes(fairbc::PeakRssBytes())
+            << "\nShape check (paper Fig. 8): the plain and ++ variants use\n"
+               "nearly identical memory (CFCore structures dominate).\n";
+  return 0;
+}

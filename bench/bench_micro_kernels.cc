@@ -1,0 +1,130 @@
+// Google-benchmark microbenchmarks for the library's kernels: core
+// peeling, 2-hop construction, coloring, combination counting, and the
+// enumeration engines on a fixed mid-size affiliation graph.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cfcore.h"
+#include "core/coloring.h"
+#include "core/fcore.h"
+#include "core/pipeline.h"
+#include "core/two_hop_graph.h"
+#include "fairness/fair_vector.h"
+#include "graph/generators.h"
+
+namespace {
+
+const fairbc::BipartiteGraph& TestGraph() {
+  static const fairbc::BipartiteGraph* g = [] {
+    fairbc::AffiliationConfig config;
+    config.num_upper = 2000;
+    config.num_lower = 1000;
+    config.num_communities = 60;
+    config.seed = 99;
+    return new fairbc::BipartiteGraph(fairbc::MakeAffiliation(config));
+  }();
+  return *g;
+}
+
+void BM_FCore(benchmark::State& state) {
+  const auto& g = TestGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fairbc::FCore(g, 3, 2));
+  }
+}
+BENCHMARK(BM_FCore);
+
+void BM_BFCore(benchmark::State& state) {
+  const auto& g = TestGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fairbc::BFCore(g, 2, 2));
+  }
+}
+BENCHMARK(BM_BFCore);
+
+void BM_CFCore(benchmark::State& state) {
+  const auto& g = TestGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fairbc::CFCore(g, 3, 2));
+  }
+}
+BENCHMARK(BM_CFCore);
+
+void BM_TwoHopConstruction(benchmark::State& state) {
+  const auto& g = TestGraph();
+  fairbc::SideMasks masks = fairbc::FCore(g, 3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fairbc::Construct2HopGraph(g, fairbc::Side::kLower, 3, masks));
+  }
+}
+BENCHMARK(BM_TwoHopConstruction);
+
+void BM_GreedyColoring(benchmark::State& state) {
+  const auto& g = TestGraph();
+  fairbc::SideMasks masks = fairbc::FCore(g, 3, 2);
+  fairbc::UnipartiteGraph h =
+      fairbc::Construct2HopGraph(g, fairbc::Side::kLower, 3, masks);
+  std::vector<char> alive(h.NumVertices(), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fairbc::GreedyColor(h, alive));
+  }
+}
+BENCHMARK(BM_GreedyColoring);
+
+void BM_MaximalFairVectors(benchmark::State& state) {
+  fairbc::SizeVector counts{static_cast<std::uint32_t>(state.range(0)),
+                            static_cast<std::uint32_t>(state.range(0) / 2)};
+  fairbc::FairnessSpec spec{2, 2, 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fairbc::MaximalFairVectors(counts, spec));
+  }
+}
+BENCHMARK(BM_MaximalFairVectors)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_CountMaximalFairSubsets(benchmark::State& state) {
+  fairbc::SizeVector counts{static_cast<std::uint32_t>(state.range(0)),
+                            static_cast<std::uint32_t>(state.range(0)) / 2};
+  fairbc::FairnessSpec spec{2, 2, 0.4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fairbc::CountMaximalFairSubsets(counts, spec));
+  }
+}
+BENCHMARK(BM_CountMaximalFairSubsets)->Arg(16)->Arg(256);
+
+void BM_EnumerateSSFBCPlusPlus(benchmark::State& state) {
+  const auto& g = TestGraph();
+  fairbc::FairBicliqueParams params{3, 2, 2, 0.0};
+  for (auto _ : state) {
+    fairbc::CountSink sink;
+    fairbc::EnumerateSSFBCPlusPlus(g, params, {}, sink.AsSink());
+    benchmark::DoNotOptimize(sink.count());
+  }
+}
+BENCHMARK(BM_EnumerateSSFBCPlusPlus);
+
+void BM_EnumerateSSFBC(benchmark::State& state) {
+  const auto& g = TestGraph();
+  fairbc::FairBicliqueParams params{3, 2, 2, 0.0};
+  for (auto _ : state) {
+    fairbc::CountSink sink;
+    fairbc::EnumerateSSFBC(g, params, {}, sink.AsSink());
+    benchmark::DoNotOptimize(sink.count());
+  }
+}
+BENCHMARK(BM_EnumerateSSFBC);
+
+void BM_EnumerateBSFBCPlusPlus(benchmark::State& state) {
+  const auto& g = TestGraph();
+  fairbc::FairBicliqueParams params{2, 2, 2, 0.0};
+  for (auto _ : state) {
+    fairbc::CountSink sink;
+    fairbc::EnumerateBSFBCPlusPlus(g, params, {}, sink.AsSink());
+    benchmark::DoNotOptimize(sink.count());
+  }
+}
+BENCHMARK(BM_EnumerateBSFBCPlusPlus);
+
+}  // namespace
+
+BENCHMARK_MAIN();

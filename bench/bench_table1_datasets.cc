@@ -1,0 +1,33 @@
+// Reproduces Table I: dataset statistics and default parameters.
+//
+// Paper shape: five bipartite graphs of increasing size, density in the
+// 1e-6 .. 1e-4 range, delta* = 2, theta* = 0.4. Our graphs are synthetic
+// laptop-scale stand-ins (DESIGN.md §4) with the same relative ordering.
+
+#include <iostream>
+
+#include "bench_util/datasets.h"
+#include "bench_util/table.h"
+
+int main() {
+  using fairbc::TextTable;
+  fairbc::PrintBanner(std::cout, "Table I: datasets and parameters");
+  TextTable table({"Dataset", "|U|", "|V|", "|E|", "Density", "a*_s", "b*_s",
+                   "a*_b", "b*_b", "d*", "th*"});
+  for (const auto& d : fairbc::LoadStandardDatasets()) {
+    char density[32];
+    std::snprintf(density, sizeof(density), "%.2e", d.graph.Density());
+    table.AddRow({d.spec.name, TextTable::Num(d.graph.NumUpper()),
+                  TextTable::Num(d.graph.NumLower()),
+                  TextTable::Num(d.graph.NumEdges()), density,
+                  TextTable::Num(d.spec.ss_defaults.alpha),
+                  TextTable::Num(d.spec.ss_defaults.beta),
+                  TextTable::Num(d.spec.bs_defaults.alpha),
+                  TextTable::Num(d.spec.bs_defaults.beta),
+                  TextTable::Num(d.spec.ss_defaults.delta), "0.4"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check (paper Table I): sizes increase from youtube\n"
+               "to dblp and density decreases; delta*=2, theta*=0.4.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// DBLP case study (paper §V-C, Fig. 9): find fair research teams in a
+// synthetic author-publication network shaped like the paper's DBDA /
+// DBDS subgraphs.
+//
+// Upper side: papers, attribute = venue area (DB=0, AI=1).
+// Lower side: scholars, attribute = seniority (senior=0, junior=1).
+//
+// A single-side fair biclique is a set of papers all co-authored by a
+// scholar group with a balanced senior/junior mix; a bi-side fair
+// biclique additionally balances DB and AI papers — the paper's
+// "team of experts with a similar number of junior and senior experts
+// across research areas".
+
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "graph/generators.h"
+
+int main() {
+  // Synthetic DBDA stand-in: collaboration communities (research groups)
+  // with overlapping membership (DESIGN.md §4 substitution).
+  fairbc::AffiliationConfig config;
+  config.num_upper = 4000;   // papers
+  config.num_lower = 2500;   // scholars
+  config.num_communities = 260;
+  config.community_upper_min = 3;
+  config.community_upper_max = 9;    // papers per group
+  config.community_lower_min = 3;
+  config.community_lower_max = 8;    // scholars per group
+  config.noise_fraction = 0.15;
+  config.num_upper_attrs = 2;  // DB / AI
+  config.num_lower_attrs = 2;  // senior / junior
+  config.seed = 1234;
+  fairbc::BipartiteGraph dblp = fairbc::MakeAffiliation(config);
+  std::cout << "Synthetic DBDA collaboration network: " << dblp.DebugString()
+            << "\n\n";
+
+  // Fig. 9(a): single-side fair teams, alpha=3, beta=3, delta=2.
+  fairbc::FairBicliqueParams ss;
+  ss.alpha = 3;
+  ss.beta = 3;
+  ss.delta = 2;
+  fairbc::CollectSink teams;
+  fairbc::EnumStats stats =
+      fairbc::EnumerateSSFBCPlusPlus(dblp, ss, {}, teams.AsSink());
+  std::cout << "SSFBC teams (alpha=3, beta=3, delta=2): " << stats.num_results
+            << " found in " << stats.enum_seconds + stats.prune_seconds
+            << " s\n";
+  std::size_t shown = 0;
+  for (const fairbc::Biclique& team : teams.results()) {
+    if (shown++ == 3) break;
+    int senior = 0, junior = 0;
+    for (auto s : team.lower) {
+      (dblp.Attr(fairbc::Side::kLower, s) == 0 ? senior : junior)++;
+    }
+    std::cout << "  team: " << team.upper.size() << " joint papers, "
+              << senior << " senior + " << junior << " junior scholars\n";
+  }
+
+  // Fig. 9(b): bi-side fair teams, alpha=1, beta=2, delta=2 — the mix is
+  // enforced on the paper side too.
+  fairbc::FairBicliqueParams bs;
+  bs.alpha = 1;
+  bs.beta = 2;
+  bs.delta = 2;
+  fairbc::CollectSink biteams;
+  fairbc::EnumStats bstats =
+      fairbc::EnumerateBSFBCPlusPlus(dblp, bs, {}, biteams.AsSink());
+  std::cout << "\nBSFBC teams (alpha=1, beta=2, delta=2): "
+            << bstats.num_results << " found in "
+            << bstats.enum_seconds + bstats.prune_seconds << " s\n";
+  shown = 0;
+  for (const fairbc::Biclique& team : biteams.results()) {
+    if (shown++ == 3) break;
+    int db = 0, ai = 0, senior = 0, junior = 0;
+    for (auto p : team.upper) {
+      (dblp.Attr(fairbc::Side::kUpper, p) == 0 ? db : ai)++;
+    }
+    for (auto s : team.lower) {
+      (dblp.Attr(fairbc::Side::kLower, s) == 0 ? senior : junior)++;
+    }
+    std::cout << "  team: " << db << " DB + " << ai << " AI papers, "
+              << senior << " senior + " << junior << " junior scholars\n";
+  }
+  std::cout << "\nEvery reported team is a maximal biclique whose member mix"
+               "\nsatisfies the fairness constraints — the paper's fair"
+               "\nresearch communities.\n";
+  return 0;
+}

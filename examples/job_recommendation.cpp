@@ -1,0 +1,71 @@
+// Jobs case study (paper §V-C, Fig. 10(a)-(b)): plain collaborative
+// filtering exhibits popularity bias — less popular jobs are pushed to
+// some users even with equal qualifications. Mining single-side fair
+// bicliques on the top-k recommendation graph (jobs as the fair side)
+// yields recommendation groups that mix popular and less popular jobs.
+//
+// Data: synthetic user-job interactions with planted exposure bias
+// (DESIGN.md §4 substitution for the Kaggle dataset).
+
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "recsys/cf.h"
+#include "recsys/recommend_graph.h"
+
+int main() {
+  fairbc::BiasedInteractionsConfig config;
+  config.num_users = 400;          // applicants
+  config.num_items = 300;          // jobs; attr 0 = popular, 1 = less popular
+  config.num_clusters = 5;         // job markets
+  config.interactions_per_user = 8;
+  config.popularity_boost = 0.7;   // exposure bias strength
+  config.num_user_attrs = 2;       // 0 = national, 1 = foreigner
+  config.seed = 2024;
+  fairbc::BipartiteGraph interactions =
+      fairbc::MakeBiasedInteractions(config);
+  std::cout << "Job application history: " << interactions.DebugString()
+            << "\n";
+
+  // Step 1: plain CF top-5 lists (the paper's Fig. 10(a) setting).
+  fairbc::ItemBasedCF cf(interactions);
+  fairbc::BipartiteGraph top5 =
+      fairbc::BuildRecommendationGraph(interactions, cf, 5);
+  std::cout << "CF top-5 recommendation graph: popular-job share = "
+            << fairbc::PopularShare(top5)
+            << " (biased toward already-popular jobs)\n";
+
+  // Step 2: widen to top-10 and mine fair bicliques with jobs as the
+  // fair side (paper: alpha=2, beta=2, delta=1).
+  fairbc::BipartiteGraph top10 =
+      fairbc::BuildRecommendationGraph(interactions, cf, 10);
+  fairbc::FairBicliqueParams params;
+  params.alpha = 2;
+  params.beta = 2;
+  params.delta = 1;
+  fairbc::CollectSink sink;
+  fairbc::EnumStats stats =
+      fairbc::EnumerateSSFBCPlusPlus(top10, params, {}, sink.AsSink());
+  std::cout << "\nSSFBC on the top-10 graph (alpha=2, beta=2, delta=1): "
+            << stats.num_results << " fair recommendation groups\n";
+
+  // Step 3: show that fair groups balance job popularity per user group.
+  std::size_t shown = 0;
+  for (const fairbc::Biclique& b : sink.results()) {
+    if (shown++ == 4) break;
+    int popular = 0, unpopular = 0;
+    for (auto job : b.lower) {
+      (top10.Attr(fairbc::Side::kLower, job) == 0 ? popular : unpopular)++;
+    }
+    std::cout << "  group: " << b.upper.size() << " users share " << popular
+              << " popular + " << unpopular << " less-popular jobs\n";
+  }
+  if (sink.results().empty()) {
+    std::cout << "  (no fair group at these parameters — relax alpha/beta)\n";
+  } else {
+    std::cout << "\nEvery group recommends both popular and less popular\n"
+                 "jobs to every user in it, eliminating the exposure bias\n"
+                 "seen in the plain CF lists.\n";
+  }
+  return 0;
+}

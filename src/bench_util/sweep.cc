@@ -1,0 +1,38 @@
+#include "bench_util/sweep.h"
+
+#include <cstdlib>
+
+#include "common/timer.h"
+
+namespace fairbc {
+
+Algorithm AlgoNSF() { return {"NSF", EnumerateSSFBCNaive}; }
+Algorithm AlgoFairBCEM() { return {"FairBCEM", EnumerateSSFBC}; }
+Algorithm AlgoFairBCEMpp() { return {"FairBCEM++", EnumerateSSFBCPlusPlus}; }
+Algorithm AlgoBNSF() { return {"BNSF", EnumerateBSFBCNaive}; }
+Algorithm AlgoBFairBCEM() { return {"BFairBCEM", EnumerateBSFBC}; }
+Algorithm AlgoBFairBCEMpp() { return {"BFairBCEM++", EnumerateBSFBCPlusPlus}; }
+
+TimedRun RunCounting(const Algorithm& algo, const BipartiteGraph& g,
+                     const FairBicliqueParams& params,
+                     const EnumOptions& options) {
+  TimedRun out;
+  CountSink sink;
+  Timer timer;
+  out.stats = algo.run(g, params, options, sink.AsSink());
+  out.seconds = timer.ElapsedSeconds();
+  out.count = sink.count();
+  out.timed_out = out.stats.budget_exhausted;
+  return out;
+}
+
+double BenchTimeBudget() {
+  const char* env = std::getenv("FAIRBC_TIME_BUDGET");
+  if (env != nullptr) {
+    double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 8.0;
+}
+
+}  // namespace fairbc

@@ -1,0 +1,46 @@
+#ifndef FAIRBC_BENCH_UTIL_SWEEP_H_
+#define FAIRBC_BENCH_UTIL_SWEEP_H_
+
+#include <functional>
+#include <string>
+
+#include "core/enumerate.h"
+#include "core/pipeline.h"
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Named algorithm wrapper used by the experiment benches.
+struct Algorithm {
+  std::string name;
+  std::function<EnumStats(const BipartiteGraph&, const FairBicliqueParams&,
+                          const EnumOptions&, const BicliqueSink&)>
+      run;
+};
+
+Algorithm AlgoNSF();
+Algorithm AlgoFairBCEM();
+Algorithm AlgoFairBCEMpp();
+Algorithm AlgoBNSF();
+Algorithm AlgoBFairBCEM();
+Algorithm AlgoBFairBCEMpp();
+
+/// Runs `algo` in counting mode and returns (stats, seconds). `seconds`
+/// is prune + enumeration wall clock, the paper's reported runtime.
+struct TimedRun {
+  EnumStats stats;
+  double seconds = 0.0;
+  std::uint64_t count = 0;
+  bool timed_out = false;  ///< paper's "INF".
+};
+TimedRun RunCounting(const Algorithm& algo, const BipartiteGraph& g,
+                     const FairBicliqueParams& params,
+                     const EnumOptions& options);
+
+/// Default per-run budget for benches (seconds); FAIRBC_TIME_BUDGET
+/// overrides. Stands in for the paper's 24h timeout.
+double BenchTimeBudget();
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_BENCH_UTIL_SWEEP_H_

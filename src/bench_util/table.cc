@@ -1,0 +1,70 @@
+#include "bench_util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/status.h"
+
+namespace fairbc {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TextTable& TextTable::AddRow(std::vector<std::string> cells) {
+  FAIRBC_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TextTable::Num(std::uint64_t v) { return std::to_string(v); }
+
+std::string TextTable::Seconds(double s, bool inf) {
+  if (inf) return "INF";
+  char buf[32];
+  if (s < 0.001) {
+    std::snprintf(buf, sizeof(buf), "%.2e", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", s);
+  }
+  return buf;
+}
+
+std::string TextTable::Double(double v, int precision) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << " |\n";
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|" : "-|");
+    for (std::size_t i = 0; i < width[c] + 2; ++i) os << '-';
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void PrintBanner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace fairbc

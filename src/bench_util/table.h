@@ -1,0 +1,36 @@
+#ifndef FAIRBC_BENCH_UTIL_TABLE_H_
+#define FAIRBC_BENCH_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fairbc {
+
+/// Minimal fixed-width table printer for the experiment benches; renders
+/// the paper-shaped rows to stdout in aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  TextTable& AddRow(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string Num(std::uint64_t v);
+  static std::string Seconds(double s, bool inf = false);
+  static std::string Double(double v, int precision = 3);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== Fig. 2 (a): ... ==").
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_BENCH_UTIL_TABLE_H_

@@ -1,0 +1,83 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace fairbc {
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("bare '--' is not a valid flag");
+    }
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      std::string name = body.substr(0, eq);
+      if (name.empty()) {
+        return Status::InvalidArgument("flag with empty name: " + arg);
+      }
+      values_[name] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+  return Status::OK();
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+std::int64_t FlagParser::GetInt(const std::string& name,
+                                std::int64_t default_value) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') return default_value;
+  return v;
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double default_value) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') return default_value;
+  return v;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> FlagParser::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, value] : values_) {
+    if (queried_.count(name) == 0) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace fairbc

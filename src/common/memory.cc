@@ -1,0 +1,54 @@
+#include "common/memory.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace fairbc {
+
+namespace {
+
+std::uint64_t ReadStatusFieldKb(const char* field) {
+  std::ifstream in("/proc/self/status");
+  if (!in.is_open()) return 0;
+  std::string line;
+  const std::size_t field_len = std::strlen(field);
+  while (std::getline(in, line)) {
+    if (line.compare(0, field_len, field) == 0) {
+      std::istringstream iss(line.substr(field_len));
+      std::uint64_t kb = 0;
+      iss >> kb;
+      return kb;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint64_t PeakRssBytes() {
+  // VmHWM is missing on some restricted kernels; fall back to the current
+  // RSS so callers always get a usable lower bound of the peak.
+  std::uint64_t hwm = ReadStatusFieldKb("VmHWM:");
+  if (hwm == 0) hwm = ReadStatusFieldKb("VmRSS:");
+  return hwm * 1024;
+}
+
+std::uint64_t CurrentRssBytes() { return ReadStatusFieldKb("VmRSS:") * 1024; }
+
+std::string HumanBytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", value, units[unit]);
+  return buf;
+}
+
+}  // namespace fairbc

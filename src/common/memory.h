@@ -1,0 +1,42 @@
+#ifndef FAIRBC_COMMON_MEMORY_H_
+#define FAIRBC_COMMON_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fairbc {
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status). Returns 0 when unavailable.
+std::uint64_t PeakRssBytes();
+
+/// Current resident set size in bytes (VmRSS). Returns 0 when unavailable.
+std::uint64_t CurrentRssBytes();
+
+/// Manual accounting of algorithm-owned data structures, used by the
+/// Fig. 8 memory-overhead experiment which reports algorithm memory
+/// *excluding* the input graph, exactly as the paper does.
+class MemoryMeter {
+ public:
+  void Add(std::size_t bytes) {
+    bytes_ += bytes;
+    if (bytes_ > peak_) peak_ = bytes_;
+  }
+  void Sub(std::size_t bytes) { bytes_ = bytes > bytes_ ? 0 : bytes_ - bytes; }
+
+  std::size_t current_bytes() const { return bytes_; }
+  std::size_t peak_bytes() const { return peak_; }
+  void Reset() { bytes_ = peak_ = 0; }
+
+ private:
+  std::size_t bytes_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// Pretty-prints a byte count ("12.4 MB").
+std::string HumanBytes(std::uint64_t bytes);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_COMMON_MEMORY_H_

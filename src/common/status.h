@@ -1,0 +1,119 @@
+#ifndef FAIRBC_COMMON_STATUS_H_
+#define FAIRBC_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+
+namespace fairbc {
+
+/// Error category for expected failures (IO, malformed input, bad
+/// arguments). Programming errors use FAIRBC_CHECK instead.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kCorruptInput = 3,
+  kOutOfRange = 4,
+  kInternal = 5,
+};
+
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight status object used across the public API instead of
+/// exceptions (see DESIGN.md conventions). Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status CorruptInput(std::string msg) {
+    return Status(StatusCode::kCorruptInput, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" form.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Minimal expected-value wrapper: either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return value_;
+  }
+  T& value() & {
+    CheckOk();
+    return value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(value_);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::cerr << "Result accessed with error: " << status_.ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  T value_{};
+  Status status_;
+};
+
+/// Fatal invariant check; prints and aborts. Used for programming errors
+/// only, never for data-dependent failures.
+#define FAIRBC_CHECK(cond)                                                    \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::cerr << "FAIRBC_CHECK failed at " << __FILE__ << ":" << __LINE__   \
+                << ": " #cond << std::endl;                                   \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define FAIRBC_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::fairbc::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_COMMON_STATUS_H_

@@ -1,0 +1,46 @@
+#ifndef FAIRBC_COMMON_TIMER_H_
+#define FAIRBC_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace fairbc {
+
+/// Monotonic wall-clock stopwatch used by the experiment harness.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Soft deadline used to emulate the paper's 24h "INF" timeout at laptop
+/// scale. A zero budget means "no limit".
+class Deadline {
+ public:
+  explicit Deadline(double budget_seconds) : budget_seconds_(budget_seconds) {}
+
+  bool Expired() const {
+    return budget_seconds_ > 0 && timer_.ElapsedSeconds() >= budget_seconds_;
+  }
+
+  double budget_seconds() const { return budget_seconds_; }
+
+ private:
+  double budget_seconds_;
+  Timer timer_;
+};
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_COMMON_TIMER_H_

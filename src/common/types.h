@@ -1,0 +1,39 @@
+#ifndef FAIRBC_COMMON_TYPES_H_
+#define FAIRBC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace fairbc {
+
+/// Vertex identifier within one side of a bipartite graph. Ids are dense
+/// and zero-based; the upper and lower sides have independent id spaces.
+using VertexId = std::uint32_t;
+
+/// Index into edge arrays (CSR offsets). 64-bit so graphs with more than
+/// 4B edges are representable even though the reproduction runs far below.
+using EdgeIndex = std::uint64_t;
+
+/// Attribute value identifier; attribute domains are dense `[0, n)`.
+using AttrId = std::uint16_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Which side of the bipartite graph a vertex set refers to.
+enum class Side : std::uint8_t {
+  kUpper = 0,  ///< `U(G)` in the paper.
+  kLower = 1,  ///< `V(G)` in the paper (the default fair side).
+};
+
+/// Returns the opposite side.
+inline constexpr Side Opposite(Side s) {
+  return s == Side::kUpper ? Side::kLower : Side::kUpper;
+}
+
+inline constexpr const char* ToString(Side s) {
+  return s == Side::kUpper ? "upper" : "lower";
+}
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_COMMON_TYPES_H_

@@ -1,0 +1,89 @@
+#include "core/bfair_bcem.h"
+
+#include <algorithm>
+
+#include "core/fair_bcem_pp.h"
+#include "core/intersect.h"
+#include "fairness/combination.h"
+#include "fairness/fair_set.h"
+
+namespace fairbc {
+
+namespace {
+
+// Common neighborhood (on the lower side) of an upper vertex set.
+std::vector<VertexId> CommonLowerNeighborhood(const BipartiteGraph& g,
+                                              std::span<const VertexId> upper) {
+  FAIRBC_CHECK(!upper.empty());
+  auto first = g.Neighbors(Side::kUpper, upper[0]);
+  std::vector<VertexId> common(first.begin(), first.end());
+  for (std::size_t i = 1; i < upper.size() && !common.empty(); ++i) {
+    common = Intersect(common, g.Neighbors(Side::kUpper, upper[i]));
+  }
+  return common;
+}
+
+}  // namespace
+
+EnumStats BFairBcemRun(const BipartiteGraph& g,
+                       const FairBicliqueParams& params,
+                       const EnumOptions& options, SsEngine engine,
+                       const BicliqueSink& sink) {
+  EnumStats stats;
+  if (g.NumUpper() == 0 || g.NumLower() == 0) return stats;
+  const FairnessSpec upper_spec = params.UpperSpec();
+  const FairnessSpec lower_spec = params.LowerSpec();
+
+  // Every bi-side fair biclique has at least num_upper_attrs * alpha upper
+  // vertices, so the inner single-side search can use the tighter bound.
+  const std::uint32_t min_upper = std::max<std::uint32_t>(
+      1u, params.alpha * g.NumAttrs(Side::kUpper));
+
+  bool aborted = false;
+  std::uint64_t emitted = 0;
+
+  // Paper Alg. 9 body, run per single-side fair biclique (L', R').
+  BicliqueSink ss_sink = [&](const Biclique& ss) {
+    SizeVector r_sizes = AttrSizes(g, Side::kLower, ss.lower);
+    EnumerateMaximalFairSubsets(
+        g, Side::kUpper, ss.upper, upper_spec,
+        [&](std::span<const VertexId> l_sub) {
+          if (l_sub.empty()) return true;  // bicliques need nonempty sides.
+          std::vector<VertexId> hood = CommonLowerNeighborhood(g, l_sub);
+          // R' ⊆ N∩(l') always holds (l' ⊆ N∩(R')); (l', R') is a bi-side
+          // fair biclique iff R' cannot be fairly extended inside N∩(l').
+          if (IsMaximalFairVector(r_sizes,
+                                  AttrSizes(g, Side::kLower, hood),
+                                  lower_spec)) {
+            Biclique b;
+            b.upper.assign(l_sub.begin(), l_sub.end());
+            b.lower = ss.lower;
+            ++emitted;
+            if (!sink(b)) {
+              aborted = true;
+              return false;
+            }
+          }
+          return true;
+        });
+    return !aborted;
+  };
+
+  switch (engine) {
+    case SsEngine::kFairBcem:
+      stats = FairBcemRun(g, params, min_upper, options,
+                          FairBcemSearchOptions{}, ss_sink);
+      break;
+    case SsEngine::kFairBcemPlusPlus:
+      stats = FairBcemPpRun(g, params, min_upper, options, ss_sink);
+      break;
+    case SsEngine::kNaive:
+      stats = FairBcemRun(g, params, min_upper, options, NaiveSearchOptions(),
+                          ss_sink);
+      break;
+  }
+  stats.num_results = emitted;
+  return stats;
+}
+
+}  // namespace fairbc

@@ -1,0 +1,221 @@
+#include "core/bruteforce.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+#include "common/status.h"
+#include "fairness/fair_vector.h"
+
+namespace fairbc {
+
+namespace {
+
+using Mask = std::uint32_t;
+
+constexpr VertexId kMaxSide = 24;
+
+// Adjacency bitmaps: for each lower v, the mask of adjacent uppers; and
+// vice versa.
+struct BitGraph {
+  std::vector<Mask> lower_to_upper;
+  std::vector<Mask> upper_to_lower;
+  std::vector<AttrId> upper_attr;
+  std::vector<AttrId> lower_attr;
+  AttrId num_upper_attrs;
+  AttrId num_lower_attrs;
+};
+
+BitGraph ToBits(const BipartiteGraph& g) {
+  FAIRBC_CHECK(g.NumUpper() <= kMaxSide && g.NumLower() <= kMaxSide);
+  BitGraph b;
+  b.lower_to_upper.assign(g.NumLower(), 0);
+  b.upper_to_lower.assign(g.NumUpper(), 0);
+  b.num_upper_attrs = g.NumAttrs(Side::kUpper);
+  b.num_lower_attrs = g.NumAttrs(Side::kLower);
+  b.upper_attr.resize(g.NumUpper());
+  b.lower_attr.resize(g.NumLower());
+  for (VertexId u = 0; u < g.NumUpper(); ++u) {
+    b.upper_attr[u] = g.Attr(Side::kUpper, u);
+    for (VertexId v : g.Neighbors(Side::kUpper, u)) {
+      b.upper_to_lower[u] |= Mask{1} << v;
+      b.lower_to_upper[v] |= Mask{1} << u;
+    }
+  }
+  for (VertexId v = 0; v < g.NumLower(); ++v) {
+    b.lower_attr[v] = g.Attr(Side::kLower, v);
+  }
+  return b;
+}
+
+SizeVector MaskSizes(Mask m, const std::vector<AttrId>& attrs,
+                     AttrId num_attrs) {
+  SizeVector sizes(num_attrs, 0);
+  while (m != 0) {
+    int v = std::countr_zero(m);
+    m &= m - 1;
+    ++sizes[attrs[v]];
+  }
+  return sizes;
+}
+
+std::vector<VertexId> MaskToVector(Mask m) {
+  std::vector<VertexId> out;
+  while (m != 0) {
+    out.push_back(static_cast<VertexId>(std::countr_zero(m)));
+    m &= m - 1;
+  }
+  return out;
+}
+
+// Common upper neighborhood of the lower set `y`.
+Mask CommonUpper(const BitGraph& b, Mask y, Mask all_upper) {
+  Mask common = all_upper;
+  Mask rest = y;
+  while (rest != 0) {
+    int v = std::countr_zero(rest);
+    rest &= rest - 1;
+    common &= b.lower_to_upper[v];
+  }
+  return common;
+}
+
+Mask CommonLower(const BitGraph& b, Mask x, Mask all_lower) {
+  Mask common = all_lower;
+  Mask rest = x;
+  while (rest != 0) {
+    int u = std::countr_zero(rest);
+    rest &= rest - 1;
+    common &= b.upper_to_lower[u];
+  }
+  return common;
+}
+
+struct MaskPair {
+  Mask upper;
+  Mask lower;
+  bool operator==(const MaskPair&) const = default;
+};
+
+// Keeps only pairs not strictly contained in another pair.
+std::vector<MaskPair> FilterMaximal(std::vector<MaskPair> candidates) {
+  std::vector<MaskPair> maximal;
+  for (const auto& a : candidates) {
+    bool contained = false;
+    for (const auto& b : candidates) {
+      if (a == b) continue;
+      if ((a.upper & b.upper) == a.upper && (a.lower & b.lower) == a.lower) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) maximal.push_back(a);
+  }
+  return maximal;
+}
+
+std::vector<Biclique> ToBicliques(const std::vector<MaskPair>& pairs) {
+  std::vector<Biclique> out;
+  out.reserve(pairs.size());
+  for (const auto& p : pairs) {
+    Biclique b;
+    b.upper = MaskToVector(p.upper);
+    b.lower = MaskToVector(p.lower);
+    out.push_back(std::move(b));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<Biclique> BruteForceMaximalBicliques(
+    const BipartiteGraph& g, std::uint32_t min_upper,
+    std::uint32_t min_lower_total, std::uint32_t min_lower_per_attr) {
+  BitGraph b = ToBits(g);
+  const Mask all_upper = g.NumUpper() >= 32
+                             ? ~Mask{0}
+                             : (Mask{1} << g.NumUpper()) - 1;
+  std::vector<MaskPair> maximal;
+  for (Mask y = 1; y < (Mask{1} << g.NumLower()); ++y) {
+    Mask x = CommonUpper(b, y, all_upper);
+    if (x == 0) continue;
+    // Maximal iff y is exactly the common lower neighborhood of x.
+    Mask closure = CommonLower(b, x, (Mask{1} << g.NumLower()) - 1);
+    if (closure != y) continue;
+    maximal.push_back({x, y});
+  }
+  // Apply size filters.
+  std::vector<MaskPair> filtered;
+  for (const auto& p : maximal) {
+    if (std::popcount(p.upper) < static_cast<int>(std::max(min_upper, 1u))) {
+      continue;
+    }
+    if (std::popcount(p.lower) <
+        static_cast<int>(std::max(min_lower_total, 1u))) {
+      continue;
+    }
+    if (min_lower_per_attr > 0) {
+      SizeVector sizes = MaskSizes(p.lower, b.lower_attr, b.num_lower_attrs);
+      bool ok = true;
+      for (auto s : sizes) {
+        if (s < min_lower_per_attr) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+    }
+    filtered.push_back(p);
+  }
+  return ToBicliques(filtered);
+}
+
+std::vector<Biclique> BruteForceSSFBC(const BipartiteGraph& g,
+                                      const FairBicliqueParams& params) {
+  BitGraph b = ToBits(g);
+  const FairnessSpec spec{params.beta, params.delta, params.theta};
+  const Mask all_upper = (Mask{1} << g.NumUpper()) - 1;
+  // Candidates: (N∩(Y), Y) for every fair nonempty Y with |N∩(Y)| >= alpha.
+  // Any satisfying biclique (X, Y) has X ⊆ N∩(Y), so it is contained in
+  // its candidate; maximality therefore only needs the candidate set.
+  std::vector<MaskPair> candidates;
+  for (Mask y = 1; y < (Mask{1} << g.NumLower()); ++y) {
+    SizeVector sizes = MaskSizes(y, b.lower_attr, b.num_lower_attrs);
+    if (!IsFeasibleVector(sizes, spec)) continue;
+    Mask x = CommonUpper(b, y, all_upper);
+    if (x == 0) continue;
+    if (std::popcount(x) < static_cast<int>(params.alpha)) continue;
+    candidates.push_back({x, y});
+  }
+  return ToBicliques(FilterMaximal(std::move(candidates)));
+}
+
+std::vector<Biclique> BruteForceBSFBC(const BipartiteGraph& g,
+                                      const FairBicliqueParams& params) {
+  BitGraph b = ToBits(g);
+  const FairnessSpec lower_spec{params.beta, params.delta, params.theta};
+  const FairnessSpec upper_spec{params.alpha, params.delta, params.theta};
+  const Mask all_upper = (Mask{1} << g.NumUpper()) - 1;
+  std::vector<MaskPair> candidates;
+  for (Mask y = 1; y < (Mask{1} << g.NumLower()); ++y) {
+    SizeVector lower_sizes = MaskSizes(y, b.lower_attr, b.num_lower_attrs);
+    if (!IsFeasibleVector(lower_sizes, lower_spec)) continue;
+    Mask hood = CommonUpper(b, y, all_upper);
+    if (hood == 0) continue;
+    // Every nonempty fair X ⊆ hood yields a satisfying biclique (X, Y).
+    for (Mask x = hood;; x = (x - 1) & hood) {
+      if (x != 0) {
+        SizeVector upper_sizes = MaskSizes(x, b.upper_attr, b.num_upper_attrs);
+        if (IsFeasibleVector(upper_sizes, upper_spec)) {
+          candidates.push_back({x, y});
+        }
+      }
+      if (x == 0) break;
+    }
+  }
+  return ToBicliques(FilterMaximal(std::move(candidates)));
+}
+
+}  // namespace fairbc

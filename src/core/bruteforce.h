@@ -1,0 +1,36 @@
+#ifndef FAIRBC_CORE_BRUTEFORCE_H_
+#define FAIRBC_CORE_BRUTEFORCE_H_
+
+#include <vector>
+
+#include "core/enumerate.h"
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Exhaustive reference enumerators for tiny graphs (both sides <= 24
+/// vertices), used as test oracles. They enumerate candidates by subset
+/// bitmasks and apply Definitions 2-6 literally (pairwise containment
+/// maximality), sharing nothing with the production engines beyond the
+/// fairness feasibility predicate. Results are sorted canonically.
+
+/// All maximal bicliques (Def. 2, both sides nonempty) with
+/// |upper| >= min_upper, |lower| >= min_lower_total and every lower class
+/// >= min_lower_per_attr.
+std::vector<Biclique> BruteForceMaximalBicliques(
+    const BipartiteGraph& g, std::uint32_t min_upper,
+    std::uint32_t min_lower_total, std::uint32_t min_lower_per_attr);
+
+/// All single-side fair bicliques (Def. 3); with params.theta > 0 all
+/// proportion single-side fair bicliques (Def. 5).
+std::vector<Biclique> BruteForceSSFBC(const BipartiteGraph& g,
+                                      const FairBicliqueParams& params);
+
+/// All bi-side fair bicliques (Def. 4); with params.theta > 0 all
+/// proportion bi-side fair bicliques (Def. 6).
+std::vector<Biclique> BruteForceBSFBC(const BipartiteGraph& g,
+                                      const FairBicliqueParams& params);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_CORE_BRUTEFORCE_H_

@@ -1,0 +1,43 @@
+#ifndef FAIRBC_CORE_CFCORE_H_
+#define FAIRBC_CORE_CFCORE_H_
+
+#include <cstdint>
+
+#include "core/coloring.h"
+#include "core/two_hop_graph.h"
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Result of a graph-reduction run (CFCore / BCFCore).
+struct PruneResult {
+  SideMasks masks;
+  /// Peak bytes of pruning-owned structures (2-hop graph + color
+  /// multiplicity matrices); reported by the Fig. 8 memory experiment.
+  std::size_t peak_struct_bytes = 0;
+};
+
+/// Peels `h` (restricted to `alive`) down to its ego colorful k-core
+/// (Def. 10): every surviving vertex keeps ego colorful degree >= k for
+/// every attribute class. Updates `alive` in place. `meter_bytes`, if
+/// non-null, accumulates the peak size of the color multiplicity matrices.
+void EgoColorfulCorePeel(const UnipartiteGraph& h, const Coloring& coloring,
+                         std::uint32_t k, std::vector<char>& alive,
+                         std::size_t* meter_bytes);
+
+/// Colorful fair α-β core pruning (paper Alg. 2, CFCore): FCore, then the
+/// 2-hop graph on the fair (lower) side, degree pruning, greedy coloring,
+/// ego colorful β-core, and a final FCore pass. Lossless for SSFBC
+/// enumeration (Lemma 2).
+PruneResult CFCore(const BipartiteGraph& g, std::uint32_t alpha,
+                   std::uint32_t beta);
+
+/// Bi-side variant (paper §IV-A, BCFCore): BFCore, then colorful pruning
+/// on *both* sides using BiConstruct2HopGraph, and a final BFCore pass.
+/// Lossless for BSFBC enumeration.
+PruneResult BCFCore(const BipartiteGraph& g, std::uint32_t alpha,
+                    std::uint32_t beta);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_CORE_CFCORE_H_

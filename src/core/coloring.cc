@@ -1,0 +1,52 @@
+#include "core/coloring.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace fairbc {
+
+Coloring GreedyColor(const UnipartiteGraph& h, const std::vector<char>& alive) {
+  const VertexId n = h.NumVertices();
+  FAIRBC_CHECK(alive.size() == n);
+  Coloring result;
+  result.color.assign(n, 0);
+
+  std::vector<VertexId> order;
+  order.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (alive[v]) order.push_back(v);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return h.Degree(a) > h.Degree(b);
+  });
+
+  std::vector<char> used;  // scratch: color -> used by a neighbor?
+  std::vector<char> assigned(n, 0);
+  for (VertexId v : order) {
+    used.assign(result.num_colors + 1, 0);
+    for (VertexId w : h.adj[v]) {
+      if (alive[w] && assigned[w]) used[result.color[w]] = 1;
+    }
+    std::uint32_t c = 0;
+    while (c < used.size() && used[c]) ++c;
+    result.color[v] = c;
+    assigned[v] = 1;
+    if (c + 1 > result.num_colors) result.num_colors = c + 1;
+  }
+  return result;
+}
+
+bool IsProperColoring(const UnipartiteGraph& h, const std::vector<char>& alive,
+                      const Coloring& coloring) {
+  for (VertexId v = 0; v < h.NumVertices(); ++v) {
+    if (!alive[v]) continue;
+    for (VertexId w : h.adj[v]) {
+      if (alive[w] && coloring.color[v] == coloring.color[w]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fairbc

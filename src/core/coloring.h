@@ -1,0 +1,29 @@
+#ifndef FAIRBC_CORE_COLORING_H_
+#define FAIRBC_CORE_COLORING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/two_hop_graph.h"
+
+namespace fairbc {
+
+/// Color assignment produced by greedy coloring; colors are dense from 0.
+struct Coloring {
+  std::vector<std::uint32_t> color;
+  std::uint32_t num_colors = 0;
+};
+
+/// Degree-ordered greedy coloring (paper §III-B / [35]): vertices are
+/// processed by non-increasing degree, each taking the smallest color
+/// absent from its neighborhood. Guaranteed proper; at most max_degree+1
+/// colors. Vertices with `alive[v] == 0` are skipped (color 0, unused).
+Coloring GreedyColor(const UnipartiteGraph& h, const std::vector<char>& alive);
+
+/// True iff no edge of `h` connects two equal colors (test helper).
+bool IsProperColoring(const UnipartiteGraph& h, const std::vector<char>& alive,
+                      const Coloring& coloring);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_CORE_COLORING_H_

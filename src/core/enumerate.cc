@@ -1,0 +1,31 @@
+#include "core/enumerate.h"
+
+#include <sstream>
+
+namespace fairbc {
+
+std::string Biclique::DebugString() const {
+  std::ostringstream os;
+  os << "U{";
+  for (std::size_t i = 0; i < upper.size(); ++i) {
+    os << (i > 0 ? "," : "") << upper[i];
+  }
+  os << "} V{";
+  for (std::size_t i = 0; i < lower.size(); ++i) {
+    os << (i > 0 ? "," : "") << lower[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string EnumStats::DebugString() const {
+  std::ostringstream os;
+  os << "results=" << num_results << " nodes=" << search_nodes
+     << " mbc=" << maximal_bicliques_visited << " prune_s=" << prune_seconds
+     << " enum_s=" << enum_seconds << " remaining=(" << remaining_upper << ","
+     << remaining_lower << ")"
+     << (budget_exhausted ? " BUDGET_EXHAUSTED" : "");
+  return os.str();
+}
+
+}  // namespace fairbc

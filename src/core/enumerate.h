@@ -1,0 +1,117 @@
+#ifndef FAIRBC_CORE_ENUMERATE_H_
+#define FAIRBC_CORE_ENUMERATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "fairness/fair_vector.h"
+
+namespace fairbc {
+
+/// Parameters of the four fair-biclique models (Defs. 3–6).
+struct FairBicliqueParams {
+  std::uint32_t alpha = 1;  ///< upper-side size (SSFBC) / per-class (BSFBC).
+  std::uint32_t beta = 1;   ///< lower-side per-class minimum.
+  std::uint32_t delta = 0;  ///< max class-size difference on a fair side.
+  double theta = 0.0;       ///< proportional threshold; 0 disables (Defs. 3/4).
+
+  /// Fairness constraints on the lower (default fair) side.
+  FairnessSpec LowerSpec() const { return FairnessSpec{beta, delta, theta}; }
+  /// Fairness constraints on the upper side (bi-side models).
+  FairnessSpec UpperSpec() const { return FairnessSpec{alpha, delta, theta}; }
+};
+
+/// One enumerated biclique; both sides sorted ascending, ids refer to the
+/// graph the enumeration entry point was given (pruning remaps back).
+struct Biclique {
+  std::vector<VertexId> upper;
+  std::vector<VertexId> lower;
+
+  bool operator==(const Biclique& other) const = default;
+  bool operator<(const Biclique& other) const {
+    if (upper != other.upper) return upper < other.upper;
+    return lower < other.lower;
+  }
+  std::string DebugString() const;
+};
+
+/// Receives results; return false to abort the enumeration.
+using BicliqueSink = std::function<bool(const Biclique&)>;
+
+/// Candidate processing order in the branch-and-bound search (Table II).
+enum class VertexOrdering {
+  kId,          ///< IDOrd: ascending vertex id.
+  kDegreeDesc,  ///< DegOrd: non-increasing degree (paper default).
+};
+
+/// Graph-reduction preprocessing level (Figs. 3–4; ablation A1).
+enum class PruningLevel {
+  kNone,      ///< no reduction (only used by ablations/tests).
+  kCore,      ///< FCore (single-side) / BFCore (bi-side).
+  kColorful,  ///< CFCore / BCFCore (paper default).
+};
+
+struct EnumOptions {
+  VertexOrdering ordering = VertexOrdering::kDegreeDesc;
+  PruningLevel pruning = PruningLevel::kColorful;
+  /// Maximum number of search-tree nodes (0 = unlimited); emulates the
+  /// paper's 24h timeout for the naive baselines.
+  std::uint64_t node_budget = 0;
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double time_budget_seconds = 0.0;
+};
+
+/// Counters reported by every enumeration entry point.
+struct EnumStats {
+  std::uint64_t num_results = 0;
+  std::uint64_t search_nodes = 0;
+  std::uint64_t maximal_bicliques_visited = 0;  ///< ++ engines only.
+  double prune_seconds = 0.0;
+  double enum_seconds = 0.0;
+  bool budget_exhausted = false;
+  /// Vertices surviving the graph reduction.
+  VertexId remaining_upper = 0;
+  VertexId remaining_lower = 0;
+  /// Peak bytes of algorithm-owned auxiliary structures (Fig. 8).
+  std::size_t peak_struct_bytes = 0;
+
+  std::string DebugString() const;
+};
+
+/// Convenience sink collecting every result.
+class CollectSink {
+ public:
+  BicliqueSink AsSink() {
+    return [this](const Biclique& b) {
+      results_.push_back(b);
+      return true;
+    };
+  }
+  const std::vector<Biclique>& results() const { return results_; }
+  std::vector<Biclique>& mutable_results() { return results_; }
+
+ private:
+  std::vector<Biclique> results_;
+};
+
+/// Convenience sink that only counts.
+class CountSink {
+ public:
+  BicliqueSink AsSink() {
+    return [this](const Biclique&) {
+      ++count_;
+      return true;
+    };
+  }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_CORE_ENUMERATE_H_

@@ -1,0 +1,210 @@
+#include "core/fair_bcem.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/intersect.h"
+#include "core/ordering.h"
+#include "fairness/fair_vector.h"
+
+namespace fairbc {
+
+namespace {
+
+class FairBcemEngine {
+ public:
+  FairBcemEngine(const BipartiteGraph& g, const FairBicliqueParams& params,
+                 std::uint32_t min_upper, const EnumOptions& options,
+                 const FairBcemSearchOptions& search, const BicliqueSink& sink)
+      : g_(g),
+        spec_(params.LowerSpec()),
+        min_upper_(std::max(min_upper, 1u)),
+        options_(options),
+        search_(search),
+        sink_(sink),
+        deadline_(options.time_budget_seconds),
+        num_attrs_(g.NumAttrs(Side::kLower)) {}
+
+  EnumStats Run() {
+    std::vector<VertexId> upper_all(g_.NumUpper());
+    for (VertexId u = 0; u < g_.NumUpper(); ++u) upper_all[u] = u;
+    std::vector<VertexId> candidates =
+        MakeOrder(g_, Side::kLower, options_.ordering);
+    Recurse(std::move(upper_all), {}, std::move(candidates), {});
+    return stats_;
+  }
+
+ private:
+  bool OverBudget() {
+    if (aborted_) return true;
+    if ((options_.node_budget > 0 &&
+         stats_.search_nodes >= options_.node_budget) ||
+        deadline_.Expired()) {
+      stats_.budget_exhausted = true;
+      return true;
+    }
+    return false;
+  }
+
+  std::uint32_t CandidateThreshold() const {
+    return search_.filter_candidates_alpha ? min_upper_ : 1u;
+  }
+
+  SizeVector SizesOf(const std::vector<VertexId>& vs) const {
+    SizeVector sizes(num_attrs_, 0);
+    for (VertexId v : vs) ++sizes[g_.Attr(Side::kLower, v)];
+    return sizes;
+  }
+
+  // Emits (upper, lower) if the maximality check against `ground_sizes`
+  // passes. `lower_sizes` must be the class sizes of `lower`.
+  void MaybeEmit(const std::vector<VertexId>& upper,
+                 const std::vector<VertexId>& lower,
+                 const SizeVector& lower_sizes, const SizeVector& ground_sizes) {
+    if (upper.size() < min_upper_) return;
+    if (!IsFeasibleVector(lower_sizes, spec_)) return;
+    if (!IsMaximalFairVector(lower_sizes, ground_sizes, spec_)) return;
+    Biclique b;
+    b.upper = upper;
+    b.lower = lower;
+    std::sort(b.lower.begin(), b.lower.end());
+    ++stats_.num_results;
+    if (!sink_(b)) aborted_ = true;
+  }
+
+  void Recurse(std::vector<VertexId> big_l, std::vector<VertexId> r,
+               std::vector<VertexId> p, std::vector<VertexId> q) {
+    const SizeVector r_sizes_base = SizesOf(r);
+    while (!p.empty()) {
+      if (OverBudget()) return;
+      ++stats_.search_nodes;
+      const VertexId x = p.front();
+
+      std::vector<VertexId> new_l = Intersect(big_l, g_.Neighbors(Side::kLower, x));
+      std::vector<VertexId> new_r = r;
+      new_r.push_back(x);
+
+      bool viable = !new_l.empty();
+      if (search_.prune_small_l && new_l.size() < min_upper_) viable = false;
+
+      std::vector<VertexId> new_q;
+      std::vector<VertexId> q_full;
+      if (viable) {
+        const std::uint32_t keep_at = CandidateThreshold();
+        for (VertexId v : q) {
+          std::uint32_t c = IntersectSize(g_.Neighbors(Side::kLower, v), new_l);
+          if (c == new_l.size()) q_full.push_back(v);
+          if (c >= keep_at) new_q.push_back(v);
+        }
+        if (search_.prune_excluded_full && !q_full.empty()) {
+          // Observation 2: one fully-connected excluded vertex per class
+          // means no descendant can be maximal.
+          SizeVector cover(num_attrs_, 0);
+          for (VertexId v : q_full) ++cover[g_.Attr(Side::kLower, v)];
+          bool all_covered = true;
+          for (auto c : cover) {
+            if (c == 0) {
+              all_covered = false;
+              break;
+            }
+          }
+          if (all_covered) viable = false;
+        }
+      }
+
+      if (viable) {
+        const std::uint32_t keep_at = CandidateThreshold();
+        std::vector<VertexId> new_p;
+        std::vector<VertexId> p_full;
+        for (std::size_t i = 1; i < p.size(); ++i) {
+          const VertexId v = p[i];
+          std::uint32_t c = IntersectSize(g_.Neighbors(Side::kLower, v), new_l);
+          if (c == new_l.size()) p_full.push_back(v);
+          if (c >= keep_at) new_p.push_back(v);
+        }
+
+        SizeVector new_r_sizes = r_sizes_base;
+        ++new_r_sizes[g_.Attr(Side::kLower, x)];
+        SizeVector ground_sizes = new_r_sizes;
+        for (VertexId v : p_full) ++ground_sizes[g_.Attr(Side::kLower, v)];
+        for (VertexId v : q_full) ++ground_sizes[g_.Attr(Side::kLower, v)];
+
+        bool shortcut = false;
+        // p_full ⊆ new_p requires |new_l| >= keep_at; only then does the
+        // size equality mean "every remaining candidate is fully
+        // connected".
+        if (search_.absorb_full_candidates && new_l.size() >= keep_at &&
+            new_p.size() == p_full.size()) {
+          // Observation 4: every remaining candidate is fully connected.
+          SizeVector all_sizes = new_r_sizes;
+          for (VertexId v : p_full) ++all_sizes[g_.Attr(Side::kLower, v)];
+          if (IsFeasibleVector(all_sizes, spec_)) {
+            std::vector<VertexId> all_r = new_r;
+            all_r.insert(all_r.end(), p_full.begin(), p_full.end());
+            MaybeEmit(new_l, all_r, all_sizes, ground_sizes);
+            shortcut = true;
+          }
+        }
+
+        if (!shortcut) {
+          MaybeEmit(new_l, new_r, new_r_sizes, ground_sizes);
+          if (aborted_) return;
+          if (!new_p.empty()) {
+            bool reachable = true;
+            if (search_.prune_class_counts) {
+              // Observation 5 (second half): every class must be able to
+              // reach beta from R' plus the candidate pool.
+              SizeVector pool = new_r_sizes;
+              for (VertexId v : new_p) ++pool[g_.Attr(Side::kLower, v)];
+              for (auto c : pool) {
+                if (c < spec_.min_per_class) {
+                  reachable = false;
+                  break;
+                }
+              }
+            }
+            if (reachable) {
+              Recurse(new_l, new_r, std::move(new_p), std::move(new_q));
+              if (aborted_ || OverBudget()) return;
+            }
+          }
+        }
+        if (aborted_) return;
+      }
+
+      // Move x from P to Q.
+      q.push_back(x);
+      p.erase(p.begin());
+    }
+  }
+
+  const BipartiteGraph& g_;
+  const FairnessSpec spec_;
+  const std::uint32_t min_upper_;
+  const EnumOptions& options_;
+  const FairBcemSearchOptions& search_;
+  const BicliqueSink& sink_;
+  Deadline deadline_;
+  const AttrId num_attrs_;
+  EnumStats stats_;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+EnumStats FairBcemRun(const BipartiteGraph& g, const FairBicliqueParams& params,
+                      std::uint32_t min_upper, const EnumOptions& options,
+                      const FairBcemSearchOptions& search,
+                      const BicliqueSink& sink) {
+  if (g.NumUpper() == 0 || g.NumLower() == 0) {
+    return {};
+  }
+  FairBcemEngine engine(g, params, min_upper, options, search, sink);
+  EnumStats stats = engine.Run();
+  stats.remaining_upper = g.NumUpper();
+  stats.remaining_lower = g.NumLower();
+  return stats;
+}
+
+}  // namespace fairbc

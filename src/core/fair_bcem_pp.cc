@@ -1,0 +1,101 @@
+#include "core/fair_bcem_pp.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "core/intersect.h"
+#include "core/mbea.h"
+#include "fairness/combination.h"
+#include "fairness/fair_set.h"
+
+namespace fairbc {
+
+namespace {
+
+// Common neighborhood (on the upper side) of a lower vertex set; stops
+// early once the size reaches `floor_size` because the result is known to
+// contain a set of that size.
+std::vector<VertexId> CommonUpperNeighborhood(const BipartiteGraph& g,
+                                              std::span<const VertexId> lower) {
+  FAIRBC_CHECK(!lower.empty());
+  auto first = g.Neighbors(Side::kLower, lower[0]);
+  std::vector<VertexId> common(first.begin(), first.end());
+  for (std::size_t i = 1; i < lower.size() && !common.empty(); ++i) {
+    common = Intersect(common, g.Neighbors(Side::kLower, lower[i]));
+  }
+  return common;
+}
+
+}  // namespace
+
+EnumStats FairBcemPpRun(const BipartiteGraph& g,
+                        const FairBicliqueParams& params,
+                        std::uint32_t min_upper, const EnumOptions& options,
+                        const BicliqueSink& sink) {
+  EnumStats stats;
+  if (g.NumUpper() == 0 || g.NumLower() == 0) return stats;
+  const FairnessSpec spec = params.LowerSpec();
+  const AttrId num_attrs = g.NumAttrs(Side::kLower);
+
+  MbeaConfig config;
+  config.min_upper = std::max(min_upper, 1u);
+  config.min_lower_per_attr = params.beta;
+  config.min_lower_total =
+      std::max<std::uint32_t>(1u, params.beta * num_attrs);
+  config.ordering = options.ordering;
+  config.node_budget = options.node_budget;
+  config.time_budget_seconds = options.time_budget_seconds;
+
+  Deadline deadline(options.time_budget_seconds);
+  bool aborted = false;
+
+  auto emit = [&](const std::vector<VertexId>& upper,
+                  std::vector<VertexId> lower) {
+    Biclique b;
+    b.upper = upper;
+    b.lower = std::move(lower);
+    ++stats.num_results;
+    if (!sink(b)) aborted = true;
+    return !aborted;
+  };
+
+  MaximalBicliqueSink mb_sink = [&](const std::vector<VertexId>& upper,
+                                    const std::vector<VertexId>& lower) {
+    ++stats.maximal_bicliques_visited;
+    SizeVector sizes = AttrSizes(g, Side::kLower, lower);
+    if (IsFeasibleVector(sizes, spec)) {
+      // A fair closure is its own unique maximal fair subset and its
+      // common neighborhood is exactly `upper` (closure property), so
+      // (upper, lower) is a single-side fair biclique directly.
+      return emit(upper, lower);
+    }
+    // Paper Alg. 6 lines 25-28: enumerate the maximal fair subsets of R
+    // and keep those whose common neighborhood is exactly L.
+    EnumerateMaximalFairSubsets(
+        g, Side::kLower, lower, spec, [&](std::span<const VertexId> subset) {
+          if (deadline.Expired()) {
+            stats.budget_exhausted = true;
+            return false;
+          }
+          if (subset.empty()) return true;
+          std::vector<VertexId> common = CommonUpperNeighborhood(g, subset);
+          if (common.size() == upper.size()) {
+            // N∩(subset) ⊇ upper always; equal size means equality, so
+            // `upper` really is the full common neighborhood.
+            return emit(common, std::vector<VertexId>(subset.begin(),
+                                                      subset.end()));
+          }
+          return true;
+        });
+    return !aborted && !stats.budget_exhausted;
+  };
+
+  MbeaStats mb_stats = EnumerateMaximalBicliques(g, config, mb_sink);
+  stats.search_nodes = mb_stats.search_nodes;
+  stats.budget_exhausted = stats.budget_exhausted || mb_stats.budget_exhausted;
+  stats.remaining_upper = g.NumUpper();
+  stats.remaining_lower = g.NumLower();
+  return stats;
+}
+
+}  // namespace fairbc

@@ -1,0 +1,189 @@
+#include "core/fcore.h"
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "fairness/fair_vector.h"
+
+namespace fairbc {
+
+namespace {
+
+// Shared peeling engine operating on the alive subgraph in `masks`. The
+// upper side always uses lower-attribute degrees with threshold beta; the
+// lower side uses plain degree (FCore) or upper-attribute degrees
+// (BFCore) with threshold alpha.
+void PeelCore(const BipartiteGraph& g, std::uint32_t alpha, std::uint32_t beta,
+              bool bi_side, SideMasks& masks) {
+  const VertexId nu = g.NumUpper();
+  const VertexId nv = g.NumLower();
+  const AttrId av = g.NumAttrs(Side::kLower);
+  const AttrId au = g.NumAttrs(Side::kUpper);
+  FAIRBC_CHECK(masks.upper_alive.size() == nu);
+  FAIRBC_CHECK(masks.lower_alive.size() == nv);
+
+  // Attribute degrees, flattened [vertex * num_attrs + attr].
+  std::vector<std::uint32_t> up_attr_deg(static_cast<std::size_t>(nu) * av, 0);
+  std::vector<std::uint32_t> lo_attr_deg;
+  std::vector<std::uint32_t> lo_deg(nv, 0);
+  if (bi_side) lo_attr_deg.assign(static_cast<std::size_t>(nv) * au, 0);
+
+  for (VertexId u = 0; u < nu; ++u) {
+    if (!masks.upper_alive[u]) continue;
+    for (VertexId v : g.Neighbors(Side::kUpper, u)) {
+      if (!masks.lower_alive[v]) continue;
+      ++up_attr_deg[static_cast<std::size_t>(u) * av + g.Attr(Side::kLower, v)];
+      ++lo_deg[v];
+      if (bi_side) {
+        ++lo_attr_deg[static_cast<std::size_t>(v) * au +
+                      g.Attr(Side::kUpper, u)];
+      }
+    }
+  }
+
+  auto upper_violates = [&](VertexId u) {
+    for (AttrId a = 0; a < av; ++a) {
+      if (up_attr_deg[static_cast<std::size_t>(u) * av + a] < beta) return true;
+    }
+    return false;
+  };
+  auto lower_violates = [&](VertexId v) {
+    if (!bi_side) return lo_deg[v] < alpha;
+    for (AttrId a = 0; a < au; ++a) {
+      if (lo_attr_deg[static_cast<std::size_t>(v) * au + a] < alpha) return true;
+    }
+    return false;
+  };
+
+  std::deque<std::pair<Side, VertexId>> queue;
+  for (VertexId u = 0; u < nu; ++u) {
+    if (masks.upper_alive[u] && upper_violates(u)) {
+      masks.upper_alive[u] = 0;
+      queue.emplace_back(Side::kUpper, u);
+    }
+  }
+  for (VertexId v = 0; v < nv; ++v) {
+    if (masks.lower_alive[v] && lower_violates(v)) {
+      masks.lower_alive[v] = 0;
+      queue.emplace_back(Side::kLower, v);
+    }
+  }
+
+  while (!queue.empty()) {
+    auto [side, x] = queue.front();
+    queue.pop_front();
+    if (side == Side::kUpper) {
+      const AttrId xa = g.Attr(Side::kUpper, x);
+      for (VertexId v : g.Neighbors(Side::kUpper, x)) {
+        if (!masks.lower_alive[v]) continue;
+        --lo_deg[v];
+        if (bi_side) --lo_attr_deg[static_cast<std::size_t>(v) * au + xa];
+        if (lower_violates(v)) {
+          masks.lower_alive[v] = 0;
+          queue.emplace_back(Side::kLower, v);
+        }
+      }
+    } else {
+      const AttrId xa = g.Attr(Side::kLower, x);
+      for (VertexId u : g.Neighbors(Side::kLower, x)) {
+        if (!masks.upper_alive[u]) continue;
+        --up_attr_deg[static_cast<std::size_t>(u) * av + xa];
+        if (upper_violates(u)) {
+          masks.upper_alive[u] = 0;
+          queue.emplace_back(Side::kUpper, u);
+        }
+      }
+    }
+  }
+}
+
+SideMasks AllAlive(const BipartiteGraph& g) {
+  SideMasks masks;
+  masks.upper_alive.assign(g.NumUpper(), 1);
+  masks.lower_alive.assign(g.NumLower(), 1);
+  return masks;
+}
+
+}  // namespace
+
+SideMasks FCore(const BipartiteGraph& g, std::uint32_t alpha,
+                std::uint32_t beta) {
+  SideMasks masks = AllAlive(g);
+  PeelCore(g, alpha, beta, /*bi_side=*/false, masks);
+  return masks;
+}
+
+SideMasks BFCore(const BipartiteGraph& g, std::uint32_t alpha,
+                 std::uint32_t beta) {
+  SideMasks masks = AllAlive(g);
+  PeelCore(g, alpha, beta, /*bi_side=*/true, masks);
+  return masks;
+}
+
+void FCoreInPlace(const BipartiteGraph& g, std::uint32_t alpha,
+                  std::uint32_t beta, SideMasks& masks) {
+  PeelCore(g, alpha, beta, /*bi_side=*/false, masks);
+}
+
+void BFCoreInPlace(const BipartiteGraph& g, std::uint32_t alpha,
+                   std::uint32_t beta, SideMasks& masks) {
+  PeelCore(g, alpha, beta, /*bi_side=*/true, masks);
+}
+
+SideMasks FCoreNaive(const BipartiteGraph& g, std::uint32_t alpha,
+                     std::uint32_t beta, bool bi_side) {
+  SideMasks masks;
+  masks.upper_alive.assign(g.NumUpper(), 1);
+  masks.lower_alive.assign(g.NumLower(), 1);
+  const AttrId av = g.NumAttrs(Side::kLower);
+  const AttrId au = g.NumAttrs(Side::kUpper);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId u = 0; u < g.NumUpper(); ++u) {
+      if (!masks.upper_alive[u]) continue;
+      SizeVector deg(av, 0);
+      for (VertexId v : g.Neighbors(Side::kUpper, u)) {
+        if (masks.lower_alive[v]) ++deg[g.Attr(Side::kLower, v)];
+      }
+      for (AttrId a = 0; a < av; ++a) {
+        if (deg[a] < beta) {
+          masks.upper_alive[u] = 0;
+          changed = true;
+          break;
+        }
+      }
+    }
+    for (VertexId v = 0; v < g.NumLower(); ++v) {
+      if (!masks.lower_alive[v]) continue;
+      if (!bi_side) {
+        std::uint32_t d = 0;
+        for (VertexId u : g.Neighbors(Side::kLower, v)) {
+          if (masks.upper_alive[u]) ++d;
+        }
+        if (d < alpha) {
+          masks.lower_alive[v] = 0;
+          changed = true;
+        }
+      } else {
+        SizeVector deg(au, 0);
+        for (VertexId u : g.Neighbors(Side::kLower, v)) {
+          if (masks.upper_alive[u]) ++deg[g.Attr(Side::kUpper, u)];
+        }
+        for (AttrId a = 0; a < au; ++a) {
+          if (deg[a] < alpha) {
+            masks.lower_alive[v] = 0;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return masks;
+}
+
+}  // namespace fairbc

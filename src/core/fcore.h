@@ -1,0 +1,42 @@
+#ifndef FAIRBC_CORE_FCORE_H_
+#define FAIRBC_CORE_FCORE_H_
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Fair α-β core pruning (paper Alg. 1, FCore).
+///
+/// Computes the unique maximal subgraph in which every surviving upper
+/// vertex has attribute degree >= beta for *every* lower attribute class
+/// and every surviving lower vertex has degree >= alpha. By Lemma 1 every
+/// single-side fair biclique lives inside it. Linear-time peeling
+/// (Batagelj–Zaversnik style). Returns alive masks over `g`.
+SideMasks FCore(const BipartiteGraph& g, std::uint32_t alpha,
+                std::uint32_t beta);
+
+/// Bi-fair α-β core pruning (paper Def. 13, BFCore): like FCore but the
+/// lower side also uses attribute degrees — every surviving lower vertex
+/// needs attribute degree >= alpha for every *upper* attribute class
+/// (Lemma 3: every bi-side fair biclique lives inside it).
+SideMasks BFCore(const BipartiteGraph& g, std::uint32_t alpha,
+                 std::uint32_t beta);
+
+/// In-place variants restricted to the already-alive vertices in `masks`
+/// (used by CFCore/BCFCore which interleave core pruning with colorful
+/// pruning, paper Alg. 2 lines 1 and 27).
+void FCoreInPlace(const BipartiteGraph& g, std::uint32_t alpha,
+                  std::uint32_t beta, SideMasks& masks);
+void BFCoreInPlace(const BipartiteGraph& g, std::uint32_t alpha,
+                   std::uint32_t beta, SideMasks& masks);
+
+/// Reference implementation used by tests: repeatedly delete violating
+/// vertices until fixpoint, quadratic but obviously correct.
+SideMasks FCoreNaive(const BipartiteGraph& g, std::uint32_t alpha,
+                     std::uint32_t beta, bool bi_side);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_CORE_FCORE_H_

@@ -1,0 +1,51 @@
+#ifndef FAIRBC_CORE_INTERSECT_H_
+#define FAIRBC_CORE_INTERSECT_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fairbc {
+
+/// Size of the intersection of two ascending-sorted id sequences.
+inline std::uint32_t IntersectSize(std::span<const VertexId> a,
+                                   std::span<const VertexId> b) {
+  std::uint32_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+/// Intersection of two ascending-sorted id sequences (sorted output).
+inline std::vector<VertexId> Intersect(std::span<const VertexId> a,
+                                       std::span<const VertexId> b) {
+  std::vector<VertexId> out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_CORE_INTERSECT_H_

@@ -1,0 +1,81 @@
+#include "core/max_search.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "core/pipeline.h"
+
+namespace fairbc {
+
+std::uint64_t ObjectiveValue(const Biclique& b, BicliqueObjective objective) {
+  auto u = static_cast<std::uint64_t>(b.upper.size());
+  auto v = static_cast<std::uint64_t>(b.lower.size());
+  return objective == BicliqueObjective::kEdges ? u * v : u + v;
+}
+
+namespace {
+
+// Keeps the k best bicliques seen so far; deterministic tie-break by the
+// canonical order so results are stable across orderings/pruning levels.
+class TopKKeeper {
+ public:
+  TopKKeeper(std::uint32_t k, BicliqueObjective objective)
+      : k_(std::max(k, 1u)), objective_(objective) {}
+
+  void Offer(const Biclique& b) {
+    entries_.emplace_back(ObjectiveValue(b, objective_), b);
+    std::sort(entries_.begin(), entries_.end(), Better);
+    if (entries_.size() > k_) entries_.resize(k_);
+  }
+
+  std::vector<Biclique> Take() {
+    std::vector<Biclique> out;
+    out.reserve(entries_.size());
+    for (auto& [value, b] : entries_) out.push_back(std::move(b));
+    return out;
+  }
+
+ private:
+  static bool Better(const std::pair<std::uint64_t, Biclique>& a,
+                     const std::pair<std::uint64_t, Biclique>& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  }
+
+  std::uint32_t k_;
+  BicliqueObjective objective_;
+  std::vector<std::pair<std::uint64_t, Biclique>> entries_;
+};
+
+template <typename EnumerateFn>
+MaxSearchResult RunTopK(EnumerateFn&& enumerate, const BipartiteGraph& g,
+                        const FairBicliqueParams& params,
+                        const EnumOptions& options, std::uint32_t k,
+                        BicliqueObjective objective) {
+  TopKKeeper keeper(k, objective);
+  MaxSearchResult result;
+  result.stats = enumerate(g, params, options, [&](const Biclique& b) {
+    keeper.Offer(b);
+    return true;
+  });
+  result.best = keeper.Take();
+  return result;
+}
+
+}  // namespace
+
+MaxSearchResult TopKSSFBC(const BipartiteGraph& g,
+                          const FairBicliqueParams& params,
+                          const EnumOptions& options, std::uint32_t k,
+                          BicliqueObjective objective) {
+  return RunTopK(EnumerateSSFBCPlusPlus, g, params, options, k, objective);
+}
+
+MaxSearchResult TopKBSFBC(const BipartiteGraph& g,
+                          const FairBicliqueParams& params,
+                          const EnumOptions& options, std::uint32_t k,
+                          BicliqueObjective objective) {
+  return RunTopK(EnumerateBSFBCPlusPlus, g, params, options, k, objective);
+}
+
+}  // namespace fairbc

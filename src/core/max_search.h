@@ -1,0 +1,46 @@
+#ifndef FAIRBC_CORE_MAX_SEARCH_H_
+#define FAIRBC_CORE_MAX_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/enumerate.h"
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Objective for maximum / top-k fair biclique search. The paper's
+/// related work studies maximum (balanced) biclique search; this module
+/// is the natural fairness-aware analogue, answering "what is the
+/// largest fair community?" instead of enumerating all of them.
+enum class BicliqueObjective {
+  kEdges,     ///< maximize |L| * |R| (edge count of the biclique).
+  kVertices,  ///< maximize |L| + |R|.
+};
+
+std::uint64_t ObjectiveValue(const Biclique& b, BicliqueObjective objective);
+
+struct MaxSearchResult {
+  /// Best bicliques found, best first; empty when none exists. Ties are
+  /// broken deterministically by the canonical biclique order.
+  std::vector<Biclique> best;
+  EnumStats stats;
+};
+
+/// Exact top-k single-side fair biclique search (k >= 1): runs the
+/// FairBCEM++ pipeline and keeps the k best results under `objective`.
+/// With params.theta > 0 it searches proportional fair bicliques.
+MaxSearchResult TopKSSFBC(const BipartiteGraph& g,
+                          const FairBicliqueParams& params,
+                          const EnumOptions& options, std::uint32_t k,
+                          BicliqueObjective objective);
+
+/// Exact top-k bi-side fair biclique search.
+MaxSearchResult TopKBSFBC(const BipartiteGraph& g,
+                          const FairBicliqueParams& params,
+                          const EnumOptions& options, std::uint32_t k,
+                          BicliqueObjective objective);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_CORE_MAX_SEARCH_H_

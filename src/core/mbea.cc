@@ -1,0 +1,174 @@
+#include "core/mbea.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/intersect.h"
+#include "core/ordering.h"
+
+namespace fairbc {
+
+namespace {
+
+class MbeaEngine {
+ public:
+  MbeaEngine(const BipartiteGraph& g, const MbeaConfig& config,
+             const MaximalBicliqueSink& sink)
+      : g_(g),
+        config_(config),
+        sink_(sink),
+        deadline_(config.time_budget_seconds),
+        num_lower_attrs_(g.NumAttrs(Side::kLower)) {}
+
+  MbeaStats Run() {
+    std::vector<VertexId> upper_all(g_.NumUpper());
+    for (VertexId u = 0; u < g_.NumUpper(); ++u) upper_all[u] = u;
+    std::vector<VertexId> candidates =
+        MakeOrder(g_, Side::kLower, config_.ordering);
+    Recurse(std::move(upper_all), {}, std::move(candidates), {});
+    return stats_;
+  }
+
+ private:
+  std::uint32_t MinUpper() const { return std::max(config_.min_upper, 1u); }
+
+  bool OverBudget() {
+    if (aborted_) return true;
+    if ((config_.node_budget > 0 &&
+         stats_.search_nodes >= config_.node_budget) ||
+        deadline_.Expired()) {
+      stats_.budget_exhausted = true;
+      return true;
+    }
+    return false;
+  }
+
+  // Per-class sizes of a sorted lower vertex set.
+  SizeVector LowerSizes(const std::vector<VertexId>& vs) const {
+    SizeVector sizes(num_lower_attrs_, 0);
+    for (VertexId v : vs) ++sizes[g_.Attr(Side::kLower, v)];
+    return sizes;
+  }
+
+  // L sorted; R sorted; P in candidate order; Q arbitrary order.
+  void Recurse(std::vector<VertexId> big_l, std::vector<VertexId> r,
+               std::vector<VertexId> p, std::vector<VertexId> q) {
+    while (!p.empty()) {
+      if (OverBudget()) return;
+      ++stats_.search_nodes;
+      const VertexId x = p.front();
+
+      std::vector<VertexId> new_l = Intersect(big_l, g_.Neighbors(Side::kLower, x));
+      bool viable = new_l.size() >= MinUpper();
+
+      std::vector<VertexId> new_q;
+      if (viable) {
+        for (VertexId v : q) {
+          std::uint32_t c = IntersectSize(g_.Neighbors(Side::kLower, v), new_l);
+          if (c == new_l.size()) {
+            // An excluded vertex is fully connected: this L (and every L
+            // of the subtree) was already enumerated in v's branch.
+            viable = false;
+            break;
+          }
+          if (c >= MinUpper()) new_q.push_back(v);
+        }
+      }
+
+      std::vector<VertexId> exhausted;  // the paper's C set, minus x.
+      if (viable) {
+        std::vector<VertexId> new_r = r;
+        new_r.push_back(x);
+        std::vector<VertexId> new_p;
+        for (std::size_t i = 1; i < p.size(); ++i) {
+          const VertexId v = p[i];
+          auto nbrs = g_.Neighbors(Side::kLower, v);
+          std::uint32_t c = IntersectSize(nbrs, new_l);
+          if (c == new_l.size()) {
+            new_r.push_back(v);  // absorb: fully connected to new_l.
+            if (IntersectSize(nbrs, big_l) == c) exhausted.push_back(v);
+          } else if (c >= MinUpper()) {
+            new_p.push_back(v);
+          }
+        }
+        std::sort(new_r.begin(), new_r.end());
+
+        // Emit (new_l, new_r) if it passes the size filters.
+        if (new_r.size() >= config_.min_lower_total) {
+          bool classes_ok = true;
+          if (config_.min_lower_per_attr > 0) {
+            for (auto s : LowerSizes(new_r)) {
+              if (s < config_.min_lower_per_attr) {
+                classes_ok = false;
+                break;
+              }
+            }
+          }
+          if (classes_ok) {
+            ++stats_.emitted;
+            if (!sink_(new_l, new_r)) {
+              aborted_ = true;
+              return;
+            }
+          }
+        }
+
+        // Recurse if the candidate pool can still reach the thresholds.
+        if (!new_p.empty() &&
+            new_r.size() + new_p.size() >= config_.min_lower_total) {
+          bool reachable = true;
+          if (config_.min_lower_per_attr > 0) {
+            SizeVector sizes = LowerSizes(new_r);
+            for (VertexId v : new_p) ++sizes[g_.Attr(Side::kLower, v)];
+            for (auto s : sizes) {
+              if (s < config_.min_lower_per_attr) {
+                reachable = false;
+                break;
+              }
+            }
+          }
+          if (reachable) {
+            Recurse(new_l, std::move(new_r), std::move(new_p),
+                    std::move(new_q));
+            if (aborted_ || OverBudget()) return;
+          }
+        }
+      }
+
+      // Move x (and absorbed vertices with no neighbors outside new_l)
+      // from P to Q.
+      q.push_back(x);
+      for (VertexId v : exhausted) q.push_back(v);
+      std::vector<VertexId> rest;
+      rest.reserve(p.size() - 1);
+      for (std::size_t i = 1; i < p.size(); ++i) {
+        if (std::find(exhausted.begin(), exhausted.end(), p[i]) ==
+            exhausted.end()) {
+          rest.push_back(p[i]);
+        }
+      }
+      p = std::move(rest);
+    }
+  }
+
+  const BipartiteGraph& g_;
+  const MbeaConfig& config_;
+  const MaximalBicliqueSink& sink_;
+  Deadline deadline_;
+  const AttrId num_lower_attrs_;
+  MbeaStats stats_;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+MbeaStats EnumerateMaximalBicliques(const BipartiteGraph& g,
+                                    const MbeaConfig& config,
+                                    const MaximalBicliqueSink& sink) {
+  if (g.NumUpper() == 0 || g.NumLower() == 0) return {};
+  MbeaEngine engine(g, config, sink);
+  return engine.Run();
+}
+
+}  // namespace fairbc

@@ -1,0 +1,20 @@
+#include "core/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fairbc {
+
+std::vector<VertexId> MakeOrder(const BipartiteGraph& g, Side side,
+                                VertexOrdering ordering) {
+  std::vector<VertexId> order(g.NumVertices(side));
+  std::iota(order.begin(), order.end(), 0);
+  if (ordering == VertexOrdering::kDegreeDesc) {
+    std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+      return g.Degree(side, a) > g.Degree(side, b);
+    });
+  }
+  return order;
+}
+
+}  // namespace fairbc

@@ -1,0 +1,19 @@
+#ifndef FAIRBC_CORE_ORDERING_H_
+#define FAIRBC_CORE_ORDERING_H_
+
+#include <vector>
+
+#include "core/enumerate.h"
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Candidate processing order for the branch-and-bound search (§V-A,
+/// Table II): `kId` returns ascending ids, `kDegreeDesc` non-increasing
+/// degree with id tie-break.
+std::vector<VertexId> MakeOrder(const BipartiteGraph& g, Side side,
+                                VertexOrdering ordering);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_CORE_ORDERING_H_

@@ -1,0 +1,199 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/timer.h"
+#include "core/bfair_bcem.h"
+#include "core/cfcore.h"
+#include "core/fair_bcem.h"
+#include "core/fair_bcem_pp.h"
+#include "core/fcore.h"
+#include "core/mbea.h"
+
+namespace fairbc {
+
+namespace {
+
+PruneResult RunPruning(const BipartiteGraph& g, const FairBicliqueParams& p,
+                       PruningLevel level, bool bi_side) {
+  PruneResult result;
+  switch (level) {
+    case PruningLevel::kNone:
+      result.masks.upper_alive.assign(g.NumUpper(), 1);
+      result.masks.lower_alive.assign(g.NumLower(), 1);
+      break;
+    case PruningLevel::kCore:
+      result.masks = bi_side ? BFCore(g, p.alpha, p.beta)
+                             : FCore(g, p.alpha, p.beta);
+      break;
+    case PruningLevel::kColorful:
+      result = bi_side ? BCFCore(g, p.alpha, p.beta)
+                       : CFCore(g, p.alpha, p.beta);
+      break;
+  }
+  return result;
+}
+
+// Remaps a compact-graph biclique back to parent ids. Id maps are
+// monotone (compaction preserves order), so sortedness is preserved.
+BicliqueSink RemapSink(const IdMaps& maps, const BicliqueSink& sink) {
+  return [&maps, &sink](const Biclique& b) {
+    Biclique mapped;
+    mapped.upper.reserve(b.upper.size());
+    mapped.lower.reserve(b.lower.size());
+    for (VertexId u : b.upper) mapped.upper.push_back(maps.upper_to_parent[u]);
+    for (VertexId v : b.lower) mapped.lower.push_back(maps.lower_to_parent[v]);
+    return sink(mapped);
+  };
+}
+
+template <typename EngineFn>
+EnumStats RunPipeline(const BipartiteGraph& g, const FairBicliqueParams& params,
+                      const EnumOptions& options, bool bi_side,
+                      const BicliqueSink& sink, EngineFn&& engine) {
+  Timer prune_timer;
+  PruneResult pruned = RunPruning(g, params, options.pruning, bi_side);
+  IdMaps maps;
+  BipartiteGraph sub = InducedSubgraph(g, pruned.masks, &maps);
+  const double prune_seconds = prune_timer.ElapsedSeconds();
+
+  Timer enum_timer;
+  BicliqueSink remapped = RemapSink(maps, sink);
+  EnumStats stats = engine(sub, remapped);
+  stats.enum_seconds = enum_timer.ElapsedSeconds();
+  stats.prune_seconds = prune_seconds;
+  stats.remaining_upper = static_cast<VertexId>(maps.upper_to_parent.size());
+  stats.remaining_lower = static_cast<VertexId>(maps.lower_to_parent.size());
+  stats.peak_struct_bytes += pruned.peak_struct_bytes;
+  return stats;
+}
+
+}  // namespace
+
+EnumStats EnumerateSSFBC(const BipartiteGraph& g,
+                         const FairBicliqueParams& params,
+                         const EnumOptions& options, const BicliqueSink& sink) {
+  return RunPipeline(g, params, options, /*bi_side=*/false, sink,
+                     [&](const BipartiteGraph& sub, const BicliqueSink& s) {
+                       return FairBcemRun(sub, params, params.alpha, options,
+                                          FairBcemSearchOptions{}, s);
+                     });
+}
+
+EnumStats EnumerateSSFBCPlusPlus(const BipartiteGraph& g,
+                                 const FairBicliqueParams& params,
+                                 const EnumOptions& options,
+                                 const BicliqueSink& sink) {
+  return RunPipeline(g, params, options, /*bi_side=*/false, sink,
+                     [&](const BipartiteGraph& sub, const BicliqueSink& s) {
+                       return FairBcemPpRun(sub, params, params.alpha, options,
+                                            s);
+                     });
+}
+
+EnumStats EnumerateSSFBCNaive(const BipartiteGraph& g,
+                              const FairBicliqueParams& params,
+                              const EnumOptions& options,
+                              const BicliqueSink& sink) {
+  return RunPipeline(g, params, options, /*bi_side=*/false, sink,
+                     [&](const BipartiteGraph& sub, const BicliqueSink& s) {
+                       return FairBcemRun(sub, params, params.alpha, options,
+                                          NaiveSearchOptions(), s);
+                     });
+}
+
+EnumStats EnumerateSSFBCWithSearchOptions(const BipartiteGraph& g,
+                                          const FairBicliqueParams& params,
+                                          const EnumOptions& options,
+                                          const FairBcemSearchOptions& search,
+                                          const BicliqueSink& sink) {
+  return RunPipeline(g, params, options, /*bi_side=*/false, sink,
+                     [&](const BipartiteGraph& sub, const BicliqueSink& s) {
+                       return FairBcemRun(sub, params, params.alpha, options,
+                                          search, s);
+                     });
+}
+
+EnumStats EnumerateBSFBC(const BipartiteGraph& g,
+                         const FairBicliqueParams& params,
+                         const EnumOptions& options, const BicliqueSink& sink) {
+  return RunPipeline(g, params, options, /*bi_side=*/true, sink,
+                     [&](const BipartiteGraph& sub, const BicliqueSink& s) {
+                       return BFairBcemRun(sub, params, options,
+                                           SsEngine::kFairBcem, s);
+                     });
+}
+
+EnumStats EnumerateBSFBCPlusPlus(const BipartiteGraph& g,
+                                 const FairBicliqueParams& params,
+                                 const EnumOptions& options,
+                                 const BicliqueSink& sink) {
+  return RunPipeline(g, params, options, /*bi_side=*/true, sink,
+                     [&](const BipartiteGraph& sub, const BicliqueSink& s) {
+                       return BFairBcemRun(sub, params, options,
+                                           SsEngine::kFairBcemPlusPlus, s);
+                     });
+}
+
+EnumStats EnumerateBSFBCNaive(const BipartiteGraph& g,
+                              const FairBicliqueParams& params,
+                              const EnumOptions& options,
+                              const BicliqueSink& sink) {
+  return RunPipeline(g, params, options, /*bi_side=*/true, sink,
+                     [&](const BipartiteGraph& sub, const BicliqueSink& s) {
+                       return BFairBcemRun(sub, params, options,
+                                           SsEngine::kNaive, s);
+                     });
+}
+
+EnumStats EnumerateMaximalBicliquesPruned(const BipartiteGraph& g,
+                                          std::uint32_t min_upper,
+                                          std::uint32_t min_lower_total,
+                                          const EnumOptions& options,
+                                          const BicliqueSink& sink) {
+  // Maximal bicliques with |L| >= alpha and |R| >= total have every lower
+  // vertex with degree >= alpha, and (weaker than FCore's per-class bound)
+  // upper vertices with degree >= total; we reduce with the plain
+  // (alpha, total)-core, i.e. FCore with a single attribute class.
+  Timer prune_timer;
+  SideMasks masks;
+  masks.upper_alive.assign(g.NumUpper(), 1);
+  masks.lower_alive.assign(g.NumLower(), 1);
+  const double prune_seconds = prune_timer.ElapsedSeconds();
+
+  IdMaps maps;
+  BipartiteGraph sub = InducedSubgraph(g, masks, &maps);
+  BicliqueSink remapped = RemapSink(maps, sink);
+
+  MbeaConfig config;
+  config.min_upper = min_upper;
+  config.min_lower_total = min_lower_total;
+  config.min_lower_per_attr = 0;
+  config.ordering = options.ordering;
+  config.node_budget = options.node_budget;
+  config.time_budget_seconds = options.time_budget_seconds;
+
+  Timer enum_timer;
+  EnumStats stats;
+  MbeaStats mb = EnumerateMaximalBicliques(
+      sub, config,
+      [&](const std::vector<VertexId>& upper,
+          const std::vector<VertexId>& lower) {
+        Biclique b;
+        b.upper = upper;
+        b.lower = lower;
+        ++stats.num_results;
+        return remapped(b);
+      });
+  stats.search_nodes = mb.search_nodes;
+  stats.maximal_bicliques_visited = mb.emitted;
+  stats.budget_exhausted = mb.budget_exhausted;
+  stats.prune_seconds = prune_seconds;
+  stats.enum_seconds = enum_timer.ElapsedSeconds();
+  stats.remaining_upper = g.NumUpper();
+  stats.remaining_lower = g.NumLower();
+  return stats;
+}
+
+}  // namespace fairbc

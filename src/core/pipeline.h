@@ -1,0 +1,77 @@
+#ifndef FAIRBC_CORE_PIPELINE_H_
+#define FAIRBC_CORE_PIPELINE_H_
+
+#include "core/enumerate.h"
+#include "core/fair_bcem.h"
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Public enumeration entry points. Each runs the configured graph
+/// reduction (CFCore / BCFCore by default, see EnumOptions::pruning),
+/// compacts the survivors, runs the engine, and reports results in the
+/// *input* graph's vertex ids. Statistics cover both phases.
+///
+/// Quickstart:
+///
+///   fairbc::FairBicliqueParams params{.alpha = 2, .beta = 2, .delta = 1};
+///   fairbc::CollectSink sink;
+///   fairbc::EnumerateSSFBCPlusPlus(graph, params, {}, sink.AsSink());
+///   for (const auto& b : sink.results()) { ... }
+
+/// FairBCEM (paper Alg. 5): branch-and-bound single-side fair biclique
+/// enumeration. With params.theta > 0 it enumerates PSSFBCs.
+EnumStats EnumerateSSFBC(const BipartiteGraph& g,
+                         const FairBicliqueParams& params,
+                         const EnumOptions& options, const BicliqueSink& sink);
+
+/// FairBCEM++ (paper Alg. 6): maximal bicliques + combinatorial
+/// enumeration. With params.theta > 0 this is FairBCEMPro++.
+EnumStats EnumerateSSFBCPlusPlus(const BipartiteGraph& g,
+                                 const FairBicliqueParams& params,
+                                 const EnumOptions& options,
+                                 const BicliqueSink& sink);
+
+/// NSF baseline (§V-A): graph reduction kept, search pruning dropped.
+EnumStats EnumerateSSFBCNaive(const BipartiteGraph& g,
+                              const FairBicliqueParams& params,
+                              const EnumOptions& options,
+                              const BicliqueSink& sink);
+
+/// BFairBCEM (paper Alg. 9). With params.theta > 0: proportion model.
+EnumStats EnumerateBSFBC(const BipartiteGraph& g,
+                         const FairBicliqueParams& params,
+                         const EnumOptions& options, const BicliqueSink& sink);
+
+/// BFairBCEM++ (paper §IV-C). With params.theta > 0 this is
+/// BFairBCEMPro++.
+EnumStats EnumerateBSFBCPlusPlus(const BipartiteGraph& g,
+                                 const FairBicliqueParams& params,
+                                 const EnumOptions& options,
+                                 const BicliqueSink& sink);
+
+/// BNSF baseline (§V-A).
+EnumStats EnumerateBSFBCNaive(const BipartiteGraph& g,
+                              const FairBicliqueParams& params,
+                              const EnumOptions& options,
+                              const BicliqueSink& sink);
+
+/// Maximal biclique enumeration with the same pruning/compaction pipeline
+/// (FCore reduction), used by the Fig. 6 count comparisons: emits maximal
+/// bicliques with |L| >= min_upper and |R| >= min_lower_total.
+EnumStats EnumerateMaximalBicliquesPruned(const BipartiteGraph& g,
+                                          std::uint32_t min_upper,
+                                          std::uint32_t min_lower_total,
+                                          const EnumOptions& options,
+                                          const BicliqueSink& sink);
+
+/// Ablation hook: FairBCEM with explicit search-pruning switches.
+EnumStats EnumerateSSFBCWithSearchOptions(const BipartiteGraph& g,
+                                          const FairBicliqueParams& params,
+                                          const EnumOptions& options,
+                                          const FairBcemSearchOptions& search,
+                                          const BicliqueSink& sink);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_CORE_PIPELINE_H_

@@ -1,0 +1,42 @@
+#ifndef FAIRBC_CORE_TWO_HOP_GRAPH_H_
+#define FAIRBC_CORE_TWO_HOP_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Attributed unipartite graph over the fair-side vertices of a bipartite
+/// graph (the `H(V, E, A)` of paper Algs. 3 and 8). Vertex ids are those
+/// of the originating side; dead vertices simply have empty adjacency.
+struct UnipartiteGraph {
+  std::vector<std::vector<VertexId>> adj;  ///< sorted neighbor lists.
+  std::vector<AttrId> attrs;
+  AttrId num_attrs = 1;
+
+  VertexId NumVertices() const { return static_cast<VertexId>(adj.size()); }
+  VertexId Degree(VertexId v) const {
+    return static_cast<VertexId>(adj[v].size());
+  }
+  std::size_t NumEdges() const;
+  std::size_t MemoryBytes() const;
+};
+
+/// Paper Alg. 3 (Construct2HopGraph): connects two alive vertices of
+/// `fair_side` iff they share at least `alpha` alive common neighbors.
+/// Runs in O(sum of squared degrees) like the paper's counter sweep.
+UnipartiteGraph Construct2HopGraph(const BipartiteGraph& g, Side fair_side,
+                                   std::uint32_t alpha, const SideMasks& masks);
+
+/// Paper Alg. 8 (BiConstruct2HopGraph): connects two alive vertices iff
+/// they share at least `alpha` alive common neighbors *of every opposite-
+/// side attribute class* (the bi-side condition of Def. 4(1)).
+UnipartiteGraph BiConstruct2HopGraph(const BipartiteGraph& g, Side fair_side,
+                                     std::uint32_t alpha,
+                                     const SideMasks& masks);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_CORE_TWO_HOP_GRAPH_H_

@@ -1,0 +1,136 @@
+#include "core/verify.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "fairness/fair_set.h"
+
+namespace fairbc {
+
+namespace {
+
+// All vertices of `side` adjacent to every vertex in `other_set` (which
+// lives on the opposite side). Quadratic but independent of the
+// engines' merge-based intersections — this module is a checker.
+std::vector<VertexId> AdjacentToAll(const BipartiteGraph& g, Side side,
+                                    const std::vector<VertexId>& other_set) {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < g.NumVertices(side); ++v) {
+    bool all = true;
+    for (VertexId w : other_set) {
+      bool edge = side == Side::kLower ? g.HasEdge(w, v) : g.HasEdge(v, w);
+      if (!edge) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.push_back(v);
+  }
+  return out;
+}
+
+Status CheckBasicStructure(const BipartiteGraph& g, const Biclique& b) {
+  if (b.upper.empty() || b.lower.empty()) {
+    return Status::InvalidArgument("biclique has an empty side");
+  }
+  for (VertexId u : b.upper) {
+    if (u >= g.NumUpper()) {
+      return Status::InvalidArgument("upper vertex id out of range");
+    }
+  }
+  for (VertexId v : b.lower) {
+    if (v >= g.NumLower()) {
+      return Status::InvalidArgument("lower vertex id out of range");
+    }
+  }
+  std::set<VertexId> us(b.upper.begin(), b.upper.end());
+  std::set<VertexId> vs(b.lower.begin(), b.lower.end());
+  if (us.size() != b.upper.size() || vs.size() != b.lower.size()) {
+    return Status::InvalidArgument("duplicate vertex inside a side");
+  }
+  for (VertexId u : b.upper) {
+    for (VertexId v : b.lower) {
+      if (!g.HasEdge(u, v)) {
+        return Status::InvalidArgument(
+            "missing edge (" + std::to_string(u) + "," + std::to_string(v) +
+            "): not a biclique");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status VerifyFairBiclique(const BipartiteGraph& g, const Biclique& b,
+                          const FairBicliqueParams& params, FairModel model) {
+  FAIRBC_RETURN_IF_ERROR(CheckBasicStructure(g, b));
+  const FairnessSpec lower_spec = params.LowerSpec();
+  if (!IsFairSet(g, Side::kLower, b.lower, lower_spec)) {
+    return Status::InvalidArgument("lower side is not a fair set");
+  }
+
+  if (model == FairModel::kSsfbc) {
+    if (b.upper.size() < params.alpha) {
+      return Status::InvalidArgument("|upper| < alpha");
+    }
+    // An SSFBC's upper side must be the full common neighborhood of its
+    // lower side (otherwise (N∩(Y), Y) is a satisfying strict superset).
+    std::vector<VertexId> hood = AdjacentToAll(g, Side::kUpper, b.lower);
+    if (hood.size() != b.upper.size()) {
+      return Status::InvalidArgument(
+          "upper side is not the full common neighborhood of the lower side");
+    }
+    // Maximality: no fair superset of Y inside the vertices adjacent to
+    // all of X.
+    std::vector<VertexId> ground = AdjacentToAll(g, Side::kLower, b.upper);
+    if (!IsMaximalFairSubset(g, Side::kLower, b.lower, ground, lower_spec)) {
+      return Status::InvalidArgument(
+          "lower side is fairly extendable: not maximal");
+    }
+    return Status::OK();
+  }
+
+  // Bi-side model.
+  const FairnessSpec upper_spec = params.UpperSpec();
+  if (!IsFairSet(g, Side::kUpper, b.upper, upper_spec)) {
+    return Status::InvalidArgument("upper side is not a fair set");
+  }
+  std::vector<VertexId> upper_ground = AdjacentToAll(g, Side::kUpper, b.lower);
+  if (!IsMaximalFairSubset(g, Side::kUpper, b.upper, upper_ground,
+                           upper_spec)) {
+    return Status::InvalidArgument(
+        "upper side is fairly extendable: not maximal");
+  }
+  std::vector<VertexId> lower_ground = AdjacentToAll(g, Side::kLower, b.upper);
+  if (!IsMaximalFairSubset(g, Side::kLower, b.lower, lower_ground,
+                           lower_spec)) {
+    return Status::InvalidArgument(
+        "lower side is fairly extendable: not maximal");
+  }
+  return Status::OK();
+}
+
+Status VerifyResultSet(const BipartiteGraph& g,
+                       const std::vector<Biclique>& results,
+                       const FairBicliqueParams& params, FairModel model) {
+  std::set<Biclique> seen;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    Biclique canonical = results[i];
+    std::sort(canonical.upper.begin(), canonical.upper.end());
+    std::sort(canonical.lower.begin(), canonical.lower.end());
+    if (!seen.insert(canonical).second) {
+      return Status::InvalidArgument("duplicate result at index " +
+                                     std::to_string(i));
+    }
+    Status st = VerifyFairBiclique(g, results[i], params, model);
+    if (!st.ok()) {
+      return Status::InvalidArgument("result " + std::to_string(i) + ": " +
+                                     st.message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fairbc

@@ -1,0 +1,35 @@
+#ifndef FAIRBC_CORE_VERIFY_H_
+#define FAIRBC_CORE_VERIFY_H_
+
+#include "common/status.h"
+#include "core/enumerate.h"
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Which fairness model a result set claims to satisfy.
+enum class FairModel {
+  kSsfbc,  ///< single-side fair biclique (Def. 3 / Def. 5 with theta).
+  kBsfbc,  ///< bi-side fair biclique (Def. 4 / Def. 6 with theta).
+};
+
+/// Checks that `b` is a valid result for `model` under `params` on `g`:
+/// a biclique with nonempty sides, the required fairness on the fair
+/// side(s), the size threshold(s), and *maximality* (no satisfying
+/// strict superset exists). Returns OK or an InvalidArgument status
+/// describing the first violated condition. Independent of the
+/// enumeration engines; encodes Definitions 3-6 directly via the
+/// common-neighborhood and maximal-fair-subset characterizations.
+Status VerifyFairBiclique(const BipartiteGraph& g, const Biclique& b,
+                          const FairBicliqueParams& params, FairModel model);
+
+/// Verifies a whole result set and additionally checks it is duplicate
+/// free. Returns OK or the first failure (with its index in the
+/// message).
+Status VerifyResultSet(const BipartiteGraph& g,
+                       const std::vector<Biclique>& results,
+                       const FairBicliqueParams& params, FairModel model);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_CORE_VERIFY_H_

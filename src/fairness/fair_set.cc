@@ -1,0 +1,26 @@
+#include "fairness/fair_set.h"
+
+namespace fairbc {
+
+SizeVector AttrSizes(const BipartiteGraph& g, Side side,
+                     std::span<const VertexId> vertices) {
+  SizeVector sizes(g.NumAttrs(side), 0);
+  for (VertexId v : vertices) ++sizes[g.Attr(side, v)];
+  return sizes;
+}
+
+bool IsFairSet(const BipartiteGraph& g, Side side,
+               std::span<const VertexId> vertices, const FairnessSpec& spec) {
+  return IsFeasibleVector(AttrSizes(g, side, vertices), spec);
+}
+
+bool IsMaximalFairSubset(const BipartiteGraph& g, Side side,
+                         std::span<const VertexId> subset,
+                         std::span<const VertexId> ground,
+                         const FairnessSpec& spec) {
+  SizeVector sub_sizes = AttrSizes(g, side, subset);
+  SizeVector ground_sizes = AttrSizes(g, side, ground);
+  return IsMaximalFairVector(sub_sizes, ground_sizes, spec);
+}
+
+}  // namespace fairbc

@@ -1,0 +1,33 @@
+#ifndef FAIRBC_FAIRNESS_FAIR_SET_H_
+#define FAIRBC_FAIRNESS_FAIR_SET_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "fairness/fair_vector.h"
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Class-size vector of a vertex set on one side of `g`.
+SizeVector AttrSizes(const BipartiteGraph& g, Side side,
+                     std::span<const VertexId> vertices);
+
+/// True iff `vertices` is a fair set (Def. 11) under `spec` (with the
+/// optional Def. 5 ratio constraint).
+bool IsFairSet(const BipartiteGraph& g, Side side,
+               std::span<const VertexId> vertices, const FairnessSpec& spec);
+
+/// Paper Alg. 4 (MFSCheck), generalized: is `subset` a maximal fair subset
+/// of `ground` (Def. 12)? Both are vertex sets on `side`; `subset` need
+/// not be materialized as indices into `ground`. Implemented via the
+/// size-vector characterization (DESIGN.md §1 fact 2).
+bool IsMaximalFairSubset(const BipartiteGraph& g, Side side,
+                         std::span<const VertexId> subset,
+                         std::span<const VertexId> ground,
+                         const FairnessSpec& spec);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_FAIRNESS_FAIR_SET_H_

@@ -1,0 +1,208 @@
+#include "fairness/fair_vector.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "common/status.h"
+
+namespace fairbc {
+
+namespace {
+
+constexpr double kRatioEps = 1e-9;
+
+// Ratio constraint t_i >= theta * sum(t) evaluated with a small epsilon so
+// values like theta = 0.4 on integer sums behave exactly.
+bool RatioOk(const SizeVector& t, double theta) {
+  if (theta <= 0.0) return true;
+  std::uint64_t sum = 0;
+  for (auto x : t) sum += x;
+  if (sum == 0) return true;  // Vacuous on the empty set.
+  for (auto x : t) {
+    if (static_cast<double>(x) + kRatioEps < theta * static_cast<double>(sum)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Largest integer value allowed per class when the minimum class size is
+// `m`: floor(m * (1 - theta) / theta), i.e. the `msize*(1-theta)/theta`
+// cap of the paper's CombinationPro. Only meaningful for two classes.
+std::uint64_t ProportionalCapTwoClasses(std::uint64_t m, double theta) {
+  if (theta <= 0.0) return std::numeric_limits<std::uint64_t>::max();
+  double cap = static_cast<double>(m) * (1.0 - theta) / theta;
+  if (cap >= 1e18) return std::numeric_limits<std::uint64_t>::max();
+  return static_cast<std::uint64_t>(cap + kRatioEps);
+}
+
+}  // namespace
+
+bool IsFeasibleVector(const SizeVector& sizes, const FairnessSpec& spec) {
+  if (sizes.empty()) return true;
+  std::uint32_t lo = sizes[0], hi = sizes[0];
+  for (auto s : sizes) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  if (lo < spec.min_per_class) return false;
+  if (hi - lo > spec.delta) return false;
+  return RatioOk(sizes, spec.theta);
+}
+
+bool StrictlyDominated(const SizeVector& a, const SizeVector& b) {
+  FAIRBC_CHECK(a.size() == b.size());
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) differs = true;
+  }
+  return differs;
+}
+
+namespace {
+
+// Closed form for theta == 0 (any class count) and for <= 2 classes with
+// theta: the unique maximal vector t*_i = min(c_i, m + delta [, ratio
+// cap]). See DESIGN.md §1 fact 2 for the domination proof.
+std::vector<SizeVector> ClosedFormMaximal(const SizeVector& counts,
+                                          const FairnessSpec& spec) {
+  std::uint32_t m = *std::min_element(counts.begin(), counts.end());
+  std::uint64_t ratio_cap = spec.proportional() && counts.size() >= 2
+                                ? ProportionalCapTwoClasses(m, spec.theta)
+                                : std::numeric_limits<std::uint64_t>::max();
+  SizeVector t(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    std::uint64_t cap =
+        std::min<std::uint64_t>(counts[i],
+                                static_cast<std::uint64_t>(m) + spec.delta);
+    cap = std::min(cap, ratio_cap);
+    t[i] = static_cast<std::uint32_t>(cap);
+  }
+  if (!IsFeasibleVector(t, spec)) return {};
+  return {t};
+}
+
+// General exact search for >= 3 classes with a proportional constraint:
+// for every candidate minimum mm, enumerate locally-maximal compositions,
+// then drop dominated vectors. Exotic path; the paper's experiments use
+// two classes per side.
+std::vector<SizeVector> GeneralMaximal(const SizeVector& counts,
+                                       const FairnessSpec& spec) {
+  const std::size_t n = counts.size();
+  std::uint32_t m = *std::min_element(counts.begin(), counts.end());
+  std::vector<SizeVector> candidates;
+
+  for (std::uint32_t mm = m;; --mm) {
+    if (mm < spec.min_per_class) break;
+    SizeVector caps(n);
+    std::uint64_t total_cap = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      caps[i] = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          counts[i], static_cast<std::uint64_t>(mm) + spec.delta));
+      total_cap += caps[i];
+    }
+    // Max total size S with mm >= theta * S.
+    auto budget = static_cast<std::uint64_t>(
+        static_cast<double>(mm) / spec.theta + kRatioEps);
+    if (static_cast<std::uint64_t>(n) * mm > budget) {
+      if (mm == 0) break;
+      continue;
+    }
+    std::uint64_t target = std::min(total_cap, budget);
+
+    // Enumerate compositions T with sum == target, mm <= T_i <= caps_i and
+    // min(T) == mm.
+    SizeVector t(n, 0);
+    auto dfs = [&](auto&& self, std::size_t idx, std::uint64_t remaining,
+                   bool has_min) -> void {
+      if (idx == n) {
+        if (remaining == 0 && has_min && IsFeasibleVector(t, spec)) {
+          candidates.push_back(t);
+        }
+        return;
+      }
+      std::uint64_t lo = mm, hi = caps[idx];
+      for (std::uint64_t x = lo; x <= hi && x <= remaining; ++x) {
+        t[idx] = static_cast<std::uint32_t>(x);
+        self(self, idx + 1, remaining - x, has_min || x == mm);
+      }
+      t[idx] = 0;
+    };
+    dfs(dfs, 0, target, false);
+    if (mm == 0) break;
+  }
+
+  // Keep only non-dominated, deduplicated vectors.
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::vector<SizeVector> maximal;
+  for (const auto& a : candidates) {
+    bool dominated = false;
+    for (const auto& b : candidates) {
+      if (StrictlyDominated(a, b)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) maximal.push_back(a);
+  }
+  return maximal;
+}
+
+}  // namespace
+
+std::vector<SizeVector> MaximalFairVectors(const SizeVector& counts,
+                                           const FairnessSpec& spec) {
+  if (counts.empty()) return {SizeVector{}};
+  for (auto c : counts) {
+    if (c < spec.min_per_class) return {};
+  }
+  if (!spec.proportional() || counts.size() <= 2) {
+    return ClosedFormMaximal(counts, spec);
+  }
+  return GeneralMaximal(counts, spec);
+}
+
+bool IsMaximalFairVector(const SizeVector& sizes, const SizeVector& counts,
+                         const FairnessSpec& spec) {
+  if (!IsFeasibleVector(sizes, spec)) return false;
+  for (const auto& t : MaximalFairVectors(counts, spec)) {
+    if (t == sizes) return true;
+  }
+  return false;
+}
+
+std::uint64_t BinomialSaturated(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  unsigned __int128 result = 1;
+  constexpr unsigned __int128 kMax = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    result = result * (n - k + i);
+    result /= i;
+    if (result > kMax) return std::numeric_limits<std::uint64_t>::max();
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+std::uint64_t CountMaximalFairSubsets(const SizeVector& counts,
+                                      const FairnessSpec& spec) {
+  std::uint64_t total = 0;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& t : MaximalFairVectors(counts, spec)) {
+    unsigned __int128 prod = 1;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      prod *= BinomialSaturated(counts[i], t[i]);
+      if (prod > kMax) return kMax;
+    }
+    auto p = static_cast<std::uint64_t>(prod);
+    if (total > kMax - p) return kMax;
+    total += p;
+  }
+  return total;
+}
+
+}  // namespace fairbc

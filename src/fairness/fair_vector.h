@@ -1,0 +1,68 @@
+#ifndef FAIRBC_FAIRNESS_FAIR_VECTOR_H_
+#define FAIRBC_FAIRNESS_FAIR_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fairbc {
+
+/// Per-attribute-class size vector (index = AttrId, value = class size).
+using SizeVector = std::vector<std::uint32_t>;
+
+/// Fairness constraints on one side. `theta <= 0` disables the
+/// proportional constraint (plain SSFBC/BSFBC models); `theta > 0` adds
+/// the Def. 5/6 ratio constraint `t_i / sum(t) >= theta`.
+struct FairnessSpec {
+  std::uint32_t min_per_class = 1;  ///< `alpha` or `beta` in the paper.
+  std::uint32_t delta = 0;          ///< max pairwise class-size difference.
+  double theta = 0.0;               ///< proportional threshold, 0 = off.
+
+  bool proportional() const { return theta > 0.0; }
+};
+
+/// True iff `sizes` satisfies Def. 11 (and the ratio constraint when
+/// `spec.proportional()`): every class >= min_per_class, pairwise
+/// difference <= delta, and (optionally) each class fraction >= theta.
+/// An all-zero vector with min_per_class == 0 is feasible by convention
+/// (the empty set), except that the proportional constraint is vacuous on
+/// an empty set.
+bool IsFeasibleVector(const SizeVector& sizes, const FairnessSpec& spec);
+
+/// True iff `a` is pointwise <= `b` and differs somewhere.
+bool StrictlyDominated(const SizeVector& a, const SizeVector& b);
+
+/// All maximal feasible size vectors within per-class capacities `counts`:
+/// feasible vectors t (t_i <= counts_i) such that no other feasible vector
+/// within the capacities strictly dominates them.
+///
+/// For the plain model this is always a single vector
+///   t*_i = min(counts_i, min_j counts_j + delta)
+/// (paper Alg. 7's `csize`); with the proportional constraint and two
+/// classes it is the single vector additionally capped by
+/// floor(m (1-theta)/theta). For >2 classes with theta the maximum may be
+/// non-unique, which this general search handles exactly. Returns an empty
+/// list when no feasible vector exists (e.g. some counts_i < min_per_class).
+std::vector<SizeVector> MaximalFairVectors(const SizeVector& counts,
+                                           const FairnessSpec& spec);
+
+/// Convenience: true iff `sizes` is one of MaximalFairVectors(counts).
+/// This is the size-vector form of the paper's MFSCheck (Alg. 4): a subset
+/// is a maximal fair subset of its ground set iff its class sizes match a
+/// maximal feasible vector (see DESIGN.md §1 fact 2).
+bool IsMaximalFairVector(const SizeVector& sizes, const SizeVector& counts,
+                         const FairnessSpec& spec);
+
+/// Number of subsets realizing the maximal vectors:
+/// sum over maximal t of prod_i C(counts_i, t_i). Saturates at
+/// UINT64_MAX on overflow.
+std::uint64_t CountMaximalFairSubsets(const SizeVector& counts,
+                                      const FairnessSpec& spec);
+
+/// Binomial coefficient with saturation at UINT64_MAX.
+std::uint64_t BinomialSaturated(std::uint64_t n, std::uint64_t k);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_FAIRNESS_FAIR_VECTOR_H_

@@ -1,0 +1,76 @@
+#include "graph/attr_assign.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/builder.h"
+
+namespace fairbc {
+
+BipartiteGraph ReassignAttrs(const BipartiteGraph& g, Side side,
+                             AttrAssignment strategy, AttrId num_attrs,
+                             std::uint64_t seed) {
+  FAIRBC_CHECK(num_attrs >= 1);
+  const VertexId n = g.NumVertices(side);
+  std::vector<AttrId> attrs(n, 0);
+  switch (strategy) {
+    case AttrAssignment::kUniformRandom: {
+      Rng rng(seed);
+      for (VertexId v = 0; v < n; ++v) {
+        attrs[v] = static_cast<AttrId>(rng.NextUInt64(num_attrs));
+      }
+      break;
+    }
+    case AttrAssignment::kByDegree: {
+      std::vector<VertexId> order(n);
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+        return g.Degree(side, a) > g.Degree(side, b);
+      });
+      // Equal-frequency buckets: the top slice becomes class 0
+      // ("popular"), the next class 1, ...
+      for (VertexId rank = 0; rank < n; ++rank) {
+        attrs[order[rank]] = static_cast<AttrId>(
+            std::min<std::uint64_t>(num_attrs - 1,
+                                    static_cast<std::uint64_t>(rank) *
+                                        num_attrs / std::max<VertexId>(n, 1)));
+      }
+      break;
+    }
+    case AttrAssignment::kRoundRobin: {
+      for (VertexId v = 0; v < n; ++v) {
+        attrs[v] = static_cast<AttrId>(v % num_attrs);
+      }
+      break;
+    }
+  }
+
+  BipartiteGraphBuilder builder(g.NumUpper(), g.NumLower());
+  builder.SetNumAttrs(Side::kUpper, side == Side::kUpper
+                                        ? num_attrs
+                                        : g.NumAttrs(Side::kUpper));
+  builder.SetNumAttrs(Side::kLower, side == Side::kLower
+                                        ? num_attrs
+                                        : g.NumAttrs(Side::kLower));
+  std::vector<AttrId> up(g.NumUpper()), lo(g.NumLower());
+  for (VertexId u = 0; u < g.NumUpper(); ++u) up[u] = g.Attr(Side::kUpper, u);
+  for (VertexId v = 0; v < g.NumLower(); ++v) lo[v] = g.Attr(Side::kLower, v);
+  if (side == Side::kUpper) {
+    up = attrs;
+  } else {
+    lo = attrs;
+  }
+  builder.SetAttrs(Side::kUpper, std::move(up));
+  builder.SetAttrs(Side::kLower, std::move(lo));
+  for (VertexId u = 0; u < g.NumUpper(); ++u) {
+    for (VertexId v : g.Neighbors(Side::kUpper, u)) builder.AddEdge(u, v);
+  }
+  auto result = builder.Build();
+  FAIRBC_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace fairbc

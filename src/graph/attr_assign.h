@@ -1,0 +1,31 @@
+#ifndef FAIRBC_GRAPH_ATTR_ASSIGN_H_
+#define FAIRBC_GRAPH_ATTR_ASSIGN_H_
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Attribute re-assignment strategies used when preparing experiment
+/// graphs (the paper assigns random attributes to the non-attributed
+/// KONECT inputs; the case studies derive attributes from metadata like
+/// popularity, which degree-based assignment emulates).
+enum class AttrAssignment {
+  kUniformRandom,  ///< each vertex uniform over [0, num_attrs).
+  kByDegree,       ///< equal-frequency degree buckets: class 0 = highest-
+                   ///< degree slice (the "popular" class), etc.
+  kRoundRobin,     ///< vertex id modulo num_attrs (deterministic,
+                   ///< balanced; useful in tests).
+};
+
+/// Returns a copy of `g` whose `side` attributes are re-assigned with
+/// `strategy` over a domain of `num_attrs` classes. `seed` is used only
+/// by kUniformRandom.
+BipartiteGraph ReassignAttrs(const BipartiteGraph& g, Side side,
+                             AttrAssignment strategy, AttrId num_attrs,
+                             std::uint64_t seed);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_GRAPH_ATTR_ASSIGN_H_

@@ -1,0 +1,73 @@
+#include "graph/biclique_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace fairbc {
+
+Status WriteBicliques(const std::vector<Biclique>& bicliques,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  for (const Biclique& b : bicliques) {
+    out << "U";
+    for (VertexId u : b.upper) out << ' ' << u;
+    out << " ; V";
+    for (VertexId v : b.lower) out << ' ' << v;
+    out << "\n";
+  }
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Biclique>> ReadBicliques(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::vector<Biclique> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream iss(line);
+    std::string tag;
+    if (!(iss >> tag) || tag != "U") {
+      return Status::CorruptInput("expected 'U' at " + path + ":" +
+                                  std::to_string(line_no));
+    }
+    Biclique b;
+    std::string token;
+    bool in_lower = false;
+    bool saw_v = false;
+    while (iss >> token) {
+      if (token == ";") {
+        if (!(iss >> token) || token != "V") {
+          return Status::CorruptInput("expected 'V' after ';' at " + path +
+                                      ":" + std::to_string(line_no));
+        }
+        in_lower = true;
+        saw_v = true;
+        continue;
+      }
+      char* end = nullptr;
+      long long id = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() || *end != '\0' || id < 0) {
+        return Status::CorruptInput("bad vertex id '" + token + "' at " +
+                                    path + ":" + std::to_string(line_no));
+      }
+      (in_lower ? b.lower : b.upper).push_back(static_cast<VertexId>(id));
+    }
+    if (!saw_v) {
+      return Status::CorruptInput("missing '; V' separator at " + path + ":" +
+                                  std::to_string(line_no));
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace fairbc

@@ -1,0 +1,24 @@
+#ifndef FAIRBC_GRAPH_BICLIQUE_IO_H_
+#define FAIRBC_GRAPH_BICLIQUE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/enumerate.h"
+
+namespace fairbc {
+
+/// Text format for enumeration results, one biclique per line:
+///   U <ids...> ; V <ids...>
+/// Round-trips exactly; the CLI uses it to persist result sets for
+/// downstream inspection and diffing.
+
+Status WriteBicliques(const std::vector<Biclique>& bicliques,
+                      const std::string& path);
+
+Result<std::vector<Biclique>> ReadBicliques(const std::string& path);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_GRAPH_BICLIQUE_IO_H_

@@ -1,0 +1,198 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fairbc {
+
+BipartiteGraph::BipartiteGraph(std::vector<EdgeIndex> upper_offsets,
+                               std::vector<VertexId> upper_neighbors,
+                               std::vector<EdgeIndex> lower_offsets,
+                               std::vector<VertexId> lower_neighbors,
+                               std::vector<AttrId> upper_attrs,
+                               std::vector<AttrId> lower_attrs,
+                               AttrId num_upper_attrs, AttrId num_lower_attrs)
+    : num_upper_(static_cast<VertexId>(upper_offsets.size() - 1)),
+      num_lower_(static_cast<VertexId>(lower_offsets.size() - 1)),
+      num_edges_(upper_neighbors.size()),
+      num_upper_attrs_(num_upper_attrs),
+      num_lower_attrs_(num_lower_attrs),
+      upper_offsets_(std::move(upper_offsets)),
+      upper_neighbors_(std::move(upper_neighbors)),
+      lower_offsets_(std::move(lower_offsets)),
+      lower_neighbors_(std::move(lower_neighbors)),
+      upper_attrs_(std::move(upper_attrs)),
+      lower_attrs_(std::move(lower_attrs)) {
+  FAIRBC_CHECK(upper_attrs_.size() == num_upper_);
+  FAIRBC_CHECK(lower_attrs_.size() == num_lower_);
+  FAIRBC_CHECK(lower_neighbors_.size() == num_edges_);
+}
+
+bool BipartiteGraph::HasEdge(VertexId u, VertexId v) const {
+  auto nbrs = Neighbors(Side::kUpper, u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<VertexId> BipartiteGraph::AttrCounts(Side side) const {
+  std::vector<VertexId> counts(NumAttrs(side), 0);
+  const auto& attrs = side == Side::kUpper ? upper_attrs_ : lower_attrs_;
+  for (AttrId a : attrs) ++counts[a];
+  return counts;
+}
+
+double BipartiteGraph::Density() const {
+  if (num_upper_ == 0 || num_lower_ == 0) return 0.0;
+  return static_cast<double>(num_edges_) /
+         (static_cast<double>(num_upper_) * static_cast<double>(num_lower_));
+}
+
+std::size_t BipartiteGraph::MemoryBytes() const {
+  return upper_offsets_.size() * sizeof(EdgeIndex) +
+         lower_offsets_.size() * sizeof(EdgeIndex) +
+         upper_neighbors_.size() * sizeof(VertexId) +
+         lower_neighbors_.size() * sizeof(VertexId) +
+         upper_attrs_.size() * sizeof(AttrId) +
+         lower_attrs_.size() * sizeof(AttrId);
+}
+
+Status BipartiteGraph::Validate() const {
+  auto check_side = [&](Side side, VertexId n, VertexId other_n,
+                        const std::vector<EdgeIndex>& off,
+                        const std::vector<VertexId>& nbr) -> Status {
+    if (off.size() != static_cast<std::size_t>(n) + 1) {
+      return Status::CorruptInput("offset array size mismatch");
+    }
+    if (off.front() != 0 || off.back() != nbr.size()) {
+      return Status::CorruptInput("offset endpoints mismatch");
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (off[v] > off[v + 1]) {
+        return Status::CorruptInput("offsets not monotone");
+      }
+      for (EdgeIndex i = off[v]; i + 1 < off[v + 1]; ++i) {
+        if (nbr[i] >= nbr[i + 1]) {
+          return Status::CorruptInput("neighbors not sorted/deduped on " +
+                                      std::string(ToString(side)));
+        }
+      }
+      for (EdgeIndex i = off[v]; i < off[v + 1]; ++i) {
+        if (nbr[i] >= other_n) {
+          return Status::CorruptInput("neighbor id out of range");
+        }
+      }
+    }
+    return Status::OK();
+  };
+  FAIRBC_RETURN_IF_ERROR(check_side(Side::kUpper, num_upper_, num_lower_,
+                                    upper_offsets_, upper_neighbors_));
+  FAIRBC_RETURN_IF_ERROR(check_side(Side::kLower, num_lower_, num_upper_,
+                                    lower_offsets_, lower_neighbors_));
+  if (upper_neighbors_.size() != lower_neighbors_.size()) {
+    return Status::CorruptInput("CSR directions disagree on edge count");
+  }
+  // Cross-check both directions describe the same edge set.
+  for (VertexId u = 0; u < num_upper_; ++u) {
+    for (VertexId v : Neighbors(Side::kUpper, u)) {
+      auto back = Neighbors(Side::kLower, v);
+      if (!std::binary_search(back.begin(), back.end(), u)) {
+        return Status::CorruptInput("edge present only in one direction");
+      }
+    }
+  }
+  for (VertexId u = 0; u < num_upper_; ++u) {
+    if (upper_attrs_[u] >= num_upper_attrs_) {
+      return Status::CorruptInput("upper attribute out of domain");
+    }
+  }
+  for (VertexId v = 0; v < num_lower_; ++v) {
+    if (lower_attrs_[v] >= num_lower_attrs_) {
+      return Status::CorruptInput("lower attribute out of domain");
+    }
+  }
+  return Status::OK();
+}
+
+std::string BipartiteGraph::DebugString() const {
+  std::ostringstream os;
+  os << "BipartiteGraph(|U|=" << num_upper_ << ", |V|=" << num_lower_
+     << ", |E|=" << num_edges_ << ", A_U=" << num_upper_attrs_
+     << ", A_V=" << num_lower_attrs_ << ", density=" << Density() << ")";
+  return os.str();
+}
+
+VertexId SideMasks::CountAlive(Side side) const {
+  const auto& m = side == Side::kUpper ? upper_alive : lower_alive;
+  VertexId n = 0;
+  for (char c : m) n += (c != 0);
+  return n;
+}
+
+BipartiteGraph InducedSubgraph(const BipartiteGraph& g, const SideMasks& masks,
+                               IdMaps* id_maps) {
+  FAIRBC_CHECK(masks.upper_alive.size() == g.NumUpper());
+  FAIRBC_CHECK(masks.lower_alive.size() == g.NumLower());
+  std::vector<VertexId> upper_new(g.NumUpper(), kInvalidVertex);
+  std::vector<VertexId> lower_new(g.NumLower(), kInvalidVertex);
+  IdMaps maps;
+  for (VertexId u = 0; u < g.NumUpper(); ++u) {
+    if (masks.upper_alive[u]) {
+      upper_new[u] = static_cast<VertexId>(maps.upper_to_parent.size());
+      maps.upper_to_parent.push_back(u);
+    }
+  }
+  for (VertexId v = 0; v < g.NumLower(); ++v) {
+    if (masks.lower_alive[v]) {
+      lower_new[v] = static_cast<VertexId>(maps.lower_to_parent.size());
+      maps.lower_to_parent.push_back(v);
+    }
+  }
+
+  auto build_dir = [&](Side side, const std::vector<VertexId>& to_parent,
+                       const std::vector<VertexId>& other_new,
+                       const std::vector<char>& other_alive,
+                       std::vector<EdgeIndex>& offsets,
+                       std::vector<VertexId>& neighbors) {
+    offsets.assign(to_parent.size() + 1, 0);
+    for (std::size_t i = 0; i < to_parent.size(); ++i) {
+      for (VertexId w : g.Neighbors(side, to_parent[i])) {
+        if (other_alive[w]) ++offsets[i + 1];
+      }
+    }
+    for (std::size_t i = 0; i < to_parent.size(); ++i) {
+      offsets[i + 1] += offsets[i];
+    }
+    neighbors.resize(offsets.back());
+    for (std::size_t i = 0; i < to_parent.size(); ++i) {
+      EdgeIndex pos = offsets[i];
+      for (VertexId w : g.Neighbors(side, to_parent[i])) {
+        if (other_alive[w]) neighbors[pos++] = other_new[w];
+      }
+      // Parent lists are sorted and compaction is order-preserving, so the
+      // result stays sorted.
+    }
+  };
+
+  std::vector<EdgeIndex> up_off, lo_off;
+  std::vector<VertexId> up_nbr, lo_nbr;
+  build_dir(Side::kUpper, maps.upper_to_parent, lower_new, masks.lower_alive,
+            up_off, up_nbr);
+  build_dir(Side::kLower, maps.lower_to_parent, upper_new, masks.upper_alive,
+            lo_off, lo_nbr);
+
+  std::vector<AttrId> up_attrs(maps.upper_to_parent.size());
+  std::vector<AttrId> lo_attrs(maps.lower_to_parent.size());
+  for (std::size_t i = 0; i < maps.upper_to_parent.size(); ++i) {
+    up_attrs[i] = g.Attr(Side::kUpper, maps.upper_to_parent[i]);
+  }
+  for (std::size_t i = 0; i < maps.lower_to_parent.size(); ++i) {
+    lo_attrs[i] = g.Attr(Side::kLower, maps.lower_to_parent[i]);
+  }
+
+  if (id_maps != nullptr) *id_maps = std::move(maps);
+  return BipartiteGraph(std::move(up_off), std::move(up_nbr), std::move(lo_off),
+                        std::move(lo_nbr), std::move(up_attrs),
+                        std::move(lo_attrs), g.NumAttrs(Side::kUpper),
+                        g.NumAttrs(Side::kLower));
+}
+
+}  // namespace fairbc

@@ -1,0 +1,121 @@
+#ifndef FAIRBC_GRAPH_BIPARTITE_GRAPH_H_
+#define FAIRBC_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace fairbc {
+
+/// Immutable attributed bipartite graph `G(U, V, E, A)` stored as CSR in
+/// both directions. Vertex ids are dense per side; neighbor lists are
+/// sorted ascending and deduplicated. Every vertex carries one attribute
+/// value out of a dense per-side domain (`A(U)`, `A(V)` in the paper).
+///
+/// Construction goes through BipartiteGraphBuilder (builder.h) or the
+/// generators; the invariants above are established there and relied on
+/// everywhere else (binary search adjacency tests, sorted merges).
+class BipartiteGraph {
+ public:
+  BipartiteGraph() = default;
+
+  /// Assembles a graph from pre-validated CSR pieces. Prefer the builder.
+  BipartiteGraph(std::vector<EdgeIndex> upper_offsets,
+                 std::vector<VertexId> upper_neighbors,
+                 std::vector<EdgeIndex> lower_offsets,
+                 std::vector<VertexId> lower_neighbors,
+                 std::vector<AttrId> upper_attrs,
+                 std::vector<AttrId> lower_attrs, AttrId num_upper_attrs,
+                 AttrId num_lower_attrs);
+
+  VertexId NumVertices(Side side) const {
+    return side == Side::kUpper ? num_upper_ : num_lower_;
+  }
+  VertexId NumUpper() const { return num_upper_; }
+  VertexId NumLower() const { return num_lower_; }
+  EdgeIndex NumEdges() const { return num_edges_; }
+
+  /// Number of attribute values in the side's domain (`A_n^U` / `A_n^V`).
+  AttrId NumAttrs(Side side) const {
+    return side == Side::kUpper ? num_upper_attrs_ : num_lower_attrs_;
+  }
+
+  /// Attribute value of vertex `v` on `side` (`v.val` in the paper).
+  AttrId Attr(Side side, VertexId v) const {
+    return side == Side::kUpper ? upper_attrs_[v] : lower_attrs_[v];
+  }
+
+  /// Sorted neighbors of `v` (which lives on `side`; neighbors are on the
+  /// opposite side).
+  std::span<const VertexId> Neighbors(Side side, VertexId v) const {
+    const auto& off = side == Side::kUpper ? upper_offsets_ : lower_offsets_;
+    const auto& nbr = side == Side::kUpper ? upper_neighbors_ : lower_neighbors_;
+    return {nbr.data() + off[v], nbr.data() + off[v + 1]};
+  }
+
+  /// Degree of `v` on `side`.
+  VertexId Degree(Side side, VertexId v) const {
+    const auto& off = side == Side::kUpper ? upper_offsets_ : lower_offsets_;
+    return static_cast<VertexId>(off[v + 1] - off[v]);
+  }
+
+  /// Binary-search adjacency test: is `u` (upper) adjacent to `v` (lower)?
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Per-attribute class sizes of one side of the whole graph.
+  std::vector<VertexId> AttrCounts(Side side) const;
+
+  /// Edge density |E| / (|U| * |V|); 0 for degenerate sides.
+  double Density() const;
+
+  /// Estimated heap footprint of the CSR arrays in bytes.
+  std::size_t MemoryBytes() const;
+
+  /// Checks structural invariants (offsets monotone, neighbor ids in
+  /// range, sorted/deduped lists, both CSR directions consistent,
+  /// attribute values within domain). Used by tests and after IO.
+  Status Validate() const;
+
+  /// One-line human-readable summary.
+  std::string DebugString() const;
+
+ private:
+  VertexId num_upper_ = 0;
+  VertexId num_lower_ = 0;
+  EdgeIndex num_edges_ = 0;
+  AttrId num_upper_attrs_ = 1;
+  AttrId num_lower_attrs_ = 1;
+  std::vector<EdgeIndex> upper_offsets_{0};
+  std::vector<VertexId> upper_neighbors_;
+  std::vector<EdgeIndex> lower_offsets_{0};
+  std::vector<VertexId> lower_neighbors_;
+  std::vector<AttrId> upper_attrs_;
+  std::vector<AttrId> lower_attrs_;
+};
+
+/// Masks identifying a vertex subset on each side; used by pruning.
+struct SideMasks {
+  std::vector<char> upper_alive;
+  std::vector<char> lower_alive;
+
+  VertexId CountAlive(Side side) const;
+};
+
+/// Mapping from a compacted subgraph's ids back to the parent graph's ids.
+struct IdMaps {
+  std::vector<VertexId> upper_to_parent;
+  std::vector<VertexId> lower_to_parent;
+};
+
+/// Builds the vertex-induced subgraph on the alive vertices, compacting
+/// ids. `id_maps` receives new-id -> parent-id tables.
+BipartiteGraph InducedSubgraph(const BipartiteGraph& g, const SideMasks& masks,
+                               IdMaps* id_maps);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_GRAPH_BIPARTITE_GRAPH_H_

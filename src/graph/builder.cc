@@ -1,0 +1,114 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+namespace fairbc {
+
+void BipartiteGraphBuilder::AddEdge(VertexId u, VertexId v) {
+  edges_.emplace_back(u, v);
+  if (u + 1 > num_upper_) num_upper_ = u + 1;
+  if (v + 1 > num_lower_) num_lower_ = v + 1;
+}
+
+void BipartiteGraphBuilder::SetAttr(Side side, VertexId v, AttrId a) {
+  auto& updates =
+      side == Side::kUpper ? upper_attr_updates_ : lower_attr_updates_;
+  updates.emplace_back(v, a);
+  VertexId& n = side == Side::kUpper ? num_upper_ : num_lower_;
+  if (v + 1 > n) n = v + 1;
+}
+
+void BipartiteGraphBuilder::SetAttrs(Side side, std::vector<AttrId> attrs) {
+  if (side == Side::kUpper) {
+    upper_attrs_full_ = std::move(attrs);
+    has_upper_full_ = true;
+    if (upper_attrs_full_.size() > num_upper_) {
+      num_upper_ = static_cast<VertexId>(upper_attrs_full_.size());
+    }
+  } else {
+    lower_attrs_full_ = std::move(attrs);
+    has_lower_full_ = true;
+    if (lower_attrs_full_.size() > num_lower_) {
+      num_lower_ = static_cast<VertexId>(lower_attrs_full_.size());
+    }
+  }
+}
+
+void BipartiteGraphBuilder::SetNumAttrs(Side side, AttrId n) {
+  FAIRBC_CHECK(n >= 1);
+  (side == Side::kUpper ? num_upper_attrs_ : num_lower_attrs_) = n;
+}
+
+void BipartiteGraphBuilder::AssignRandomAttrs(Side side, AttrId n, Rng& rng) {
+  SetNumAttrs(side, n);
+  VertexId count = side == Side::kUpper ? num_upper_ : num_lower_;
+  std::vector<AttrId> attrs(count);
+  for (VertexId v = 0; v < count; ++v) {
+    attrs[v] = static_cast<AttrId>(rng.NextUInt64(n));
+  }
+  SetAttrs(side, std::move(attrs));
+}
+
+Result<BipartiteGraph> BipartiteGraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  // Resolve attributes.
+  auto resolve = [&](Side side, VertexId n, AttrId domain, bool has_full,
+                     std::vector<AttrId>& full,
+                     const std::vector<std::pair<VertexId, AttrId>>& updates)
+      -> Status {
+    if (has_full) {
+      if (full.size() != n) {
+        return Status::InvalidArgument(
+            "attribute vector size does not match vertex count on " +
+            std::string(ToString(side)));
+      }
+    } else {
+      full.assign(n, 0);
+    }
+    for (auto [v, a] : updates) full[v] = a;
+    for (AttrId a : full) {
+      if (a >= domain) {
+        return Status::InvalidArgument(
+            "attribute value out of declared domain on " +
+            std::string(ToString(side)));
+      }
+    }
+    return Status::OK();
+  };
+  Status st = resolve(Side::kUpper, num_upper_, num_upper_attrs_,
+                      has_upper_full_, upper_attrs_full_, upper_attr_updates_);
+  if (!st.ok()) return st;
+  st = resolve(Side::kLower, num_lower_, num_lower_attrs_, has_lower_full_,
+               lower_attrs_full_, lower_attr_updates_);
+  if (!st.ok()) return st;
+
+  // Upper CSR: edges_ is already sorted by (u, v).
+  std::vector<EdgeIndex> up_off(num_upper_ + 1, 0);
+  std::vector<VertexId> up_nbr(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    ++up_off[edges_[i].first + 1];
+    up_nbr[i] = edges_[i].second;
+  }
+  for (VertexId u = 0; u < num_upper_; ++u) up_off[u + 1] += up_off[u];
+
+  // Lower CSR via counting sort on v; within each v the u values arrive in
+  // ascending order because edges_ is sorted by (u, v).
+  std::vector<EdgeIndex> lo_off(num_lower_ + 1, 0);
+  for (const auto& [u, v] : edges_) ++lo_off[v + 1];
+  for (VertexId v = 0; v < num_lower_; ++v) lo_off[v + 1] += lo_off[v];
+  std::vector<VertexId> lo_nbr(edges_.size());
+  {
+    std::vector<EdgeIndex> cursor(lo_off.begin(), lo_off.end() - 1);
+    for (const auto& [u, v] : edges_) lo_nbr[cursor[v]++] = u;
+  }
+
+  BipartiteGraph g(std::move(up_off), std::move(up_nbr), std::move(lo_off),
+                   std::move(lo_nbr), std::move(upper_attrs_full_),
+                   std::move(lower_attrs_full_), num_upper_attrs_,
+                   num_lower_attrs_);
+  return g;
+}
+
+}  // namespace fairbc

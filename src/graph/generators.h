@@ -1,0 +1,69 @@
+#ifndef FAIRBC_GRAPH_GENERATORS_H_
+#define FAIRBC_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Synthetic bipartite graph generators. These are the reproduction's
+/// stand-in for the paper's five KONECT datasets (offline environment, see
+/// DESIGN.md §4). All take explicit seeds and are fully deterministic.
+
+/// Uniformly random bipartite graph with ~`num_edges` distinct edges and
+/// uniformly random attributes from [0, num_attrs) on both sides.
+BipartiteGraph MakeUniformRandom(VertexId num_upper, VertexId num_lower,
+                                 EdgeIndex num_edges, AttrId num_attrs,
+                                 std::uint64_t seed);
+
+/// Chung–Lu style bipartite graph with power-law expected degrees
+/// (exponent `gamma` on both sides), matching the heavy-tailed degree
+/// shape of real affiliation networks.
+BipartiteGraph MakePowerLaw(VertexId num_upper, VertexId num_lower,
+                            EdgeIndex num_edges, double gamma, AttrId num_attrs,
+                            std::uint64_t seed);
+
+/// Parameters for the planted-affiliation generator.
+struct AffiliationConfig {
+  VertexId num_upper = 1000;
+  VertexId num_lower = 1000;
+  /// Number of planted communities (each a complete biclique block).
+  std::uint32_t num_communities = 60;
+  /// Community side sizes are uniform in [min,max]; overlapping vertices
+  /// create intersecting bicliques, the structure maximal-biclique
+  /// algorithms are sensitive to.
+  VertexId community_upper_min = 4;
+  VertexId community_upper_max = 16;
+  VertexId community_lower_min = 4;
+  VertexId community_lower_max = 16;
+  /// Probability of keeping each community edge (1.0 = exact bicliques).
+  double edge_keep_prob = 1.0;
+  /// Extra noise edges as a fraction of community edges.
+  double noise_fraction = 0.3;
+  /// Probability that a noise endpoint attaches to a community member
+  /// instead of a uniform vertex. Preferential attachment creates
+  /// vertices that survive degree-based pruning (FCore) but fail the
+  /// 2-hop clique test (CFCore), like the semi-popular vertices of real
+  /// affiliation networks.
+  double noise_attach_community = 0.6;
+  AttrId num_upper_attrs = 2;
+  AttrId num_lower_attrs = 2;
+  std::uint64_t seed = 42;
+};
+
+/// Planted-affiliation graph: overlapping community bicliques plus noise.
+/// This is the workload generator used for the paper-shaped experiments;
+/// affiliation networks (IMDB, Youtube) are exactly this structure.
+BipartiteGraph MakeAffiliation(const AffiliationConfig& config);
+
+/// Keeps each edge independently with probability `fraction` (used by the
+/// Fig. 7 scalability experiment: 20%–100% edge samples). Vertex counts
+/// and attributes are preserved.
+BipartiteGraph SampleEdges(const BipartiteGraph& g, double fraction,
+                           std::uint64_t seed);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_GRAPH_GENERATORS_H_

@@ -1,0 +1,47 @@
+#ifndef FAIRBC_GRAPH_STATS_H_
+#define FAIRBC_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Summary statistics of one side of a bipartite graph.
+struct DegreeStats {
+  VertexId min_degree = 0;
+  VertexId max_degree = 0;
+  double mean_degree = 0.0;
+  /// Number of isolated (degree-0) vertices.
+  VertexId isolated = 0;
+};
+
+DegreeStats ComputeDegreeStats(const BipartiteGraph& g, Side side);
+
+/// Degree histogram: index = degree, value = vertex count. Truncated at
+/// `max_degree` (larger degrees accumulate in the last bucket).
+std::vector<VertexId> DegreeHistogram(const BipartiteGraph& g, Side side,
+                                      VertexId max_degree);
+
+/// Number of butterflies — (2,2)-bicliques — in `g`. Butterflies are the
+/// smallest non-trivial bicliques and the standard cohesion measure for
+/// bipartite graphs (paper §VI related work, Wang et al. BFC-VP). This
+/// implementation uses the wedge-counting sweep from the side with the
+/// smaller sum of squared degrees, O(min side sum d^2).
+std::uint64_t CountButterflies(const BipartiteGraph& g);
+
+/// Naive reference for tests: iterates all vertex pairs, O(n^2 d).
+std::uint64_t CountButterfliesNaive(const BipartiteGraph& g);
+
+/// Attribute balance of one side: fraction of vertices in the largest
+/// class (0.5 = perfectly balanced two classes, 1.0 = single class).
+double AttrImbalance(const BipartiteGraph& g, Side side);
+
+/// Multi-line human-readable report used by the CLI's `stats` command.
+std::string StatsReport(const BipartiteGraph& g);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_GRAPH_STATS_H_

@@ -1,0 +1,50 @@
+#ifndef FAIRBC_RECSYS_CF_H_
+#define FAIRBC_RECSYS_CF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Item-based collaborative filtering over an interaction bipartite graph
+/// (users on the upper side, items on the lower side). This is the "CF
+/// algorithm" of the paper's Jobs/Movies case studies (§V-C): cosine
+/// similarity between item interaction vectors, user score = sum of
+/// similarities to the user's items, top-k lists per user.
+class ItemBasedCF {
+ public:
+  /// Precomputes item-item cosine similarities from `interactions`
+  /// (user-item edges). Intended for case-study scale (thousands of
+  /// items).
+  explicit ItemBasedCF(const BipartiteGraph& interactions);
+
+  /// Cosine similarity between two items in [0, 1].
+  double Similarity(VertexId item_a, VertexId item_b) const;
+
+  /// Scores every item for `user` (items the user already interacted
+  /// with score 0) and returns the top-k item ids, best first.
+  std::vector<VertexId> TopK(VertexId user, std::uint32_t k) const;
+
+  VertexId num_items() const { return num_items_; }
+
+ private:
+  const BipartiteGraph& graph_;
+  VertexId num_items_ = 0;
+  /// Dense upper-triangular similarity matrix, row-major packed.
+  std::vector<float> sim_;
+
+  std::size_t PackedIndex(VertexId a, VertexId b) const;
+};
+
+/// Builds the recommendation bipartite graph the case studies mine: an
+/// edge (user, item) for every item in the user's CF top-k list. Item
+/// attributes are copied from `interactions`; user attributes too.
+BipartiteGraph BuildRecommendationGraph(const BipartiteGraph& interactions,
+                                        const ItemBasedCF& cf,
+                                        std::uint32_t top_k);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_RECSYS_CF_H_

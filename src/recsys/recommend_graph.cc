@@ -1,0 +1,88 @@
+#include "recsys/recommend_graph.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/builder.h"
+
+namespace fairbc {
+
+BipartiteGraph MakeBiasedInteractions(const BiasedInteractionsConfig& config) {
+  FAIRBC_CHECK(config.num_users > 0 && config.num_items > 0);
+  FAIRBC_CHECK(config.num_clusters > 0);
+  Rng rng(config.seed);
+
+  const auto num_popular = static_cast<VertexId>(
+      static_cast<double>(config.num_items) * config.popular_fraction);
+
+  // Assign items to clusters round-robin so every cluster holds both
+  // popular (id < num_popular) and unpopular items.
+  std::vector<std::vector<VertexId>> cluster_items(config.num_clusters);
+  std::vector<std::vector<VertexId>> cluster_popular(config.num_clusters);
+  std::vector<std::vector<VertexId>> cluster_unpopular(config.num_clusters);
+  for (VertexId item = 0; item < config.num_items; ++item) {
+    std::uint32_t c = item % config.num_clusters;
+    cluster_items[c].push_back(item);
+    if (item < num_popular) {
+      cluster_popular[c].push_back(item);
+    } else {
+      cluster_unpopular[c].push_back(item);
+    }
+  }
+
+  BipartiteGraphBuilder builder(config.num_users, config.num_items);
+  builder.SetNumAttrs(Side::kUpper, config.num_user_attrs);
+  builder.SetNumAttrs(Side::kLower, 2);
+
+  std::vector<AttrId> item_attrs(config.num_items);
+  for (VertexId item = 0; item < config.num_items; ++item) {
+    item_attrs[item] = item < num_popular ? 0 : 1;
+  }
+  builder.SetAttrs(Side::kLower, std::move(item_attrs));
+
+  std::vector<AttrId> user_attrs(config.num_users);
+  for (VertexId user = 0; user < config.num_users; ++user) {
+    user_attrs[user] =
+        static_cast<AttrId>(rng.NextUInt64(config.num_user_attrs));
+  }
+  builder.SetAttrs(Side::kUpper, std::move(user_attrs));
+
+  for (VertexId user = 0; user < config.num_users; ++user) {
+    const auto cluster =
+        static_cast<std::uint32_t>(rng.NextUInt64(config.num_clusters));
+    const auto& popular = cluster_popular[cluster];
+    const auto& unpopular = cluster_unpopular[cluster];
+    const auto& any = cluster_items[cluster];
+    for (std::uint32_t i = 0; i < config.interactions_per_user; ++i) {
+      // Popularity bias: redirect the draw toward popular taste-matching
+      // items with probability popularity_boost.
+      const std::vector<VertexId>* pool = &any;
+      if (!popular.empty() && rng.NextBool(config.popularity_boost)) {
+        pool = &popular;
+      } else if (!unpopular.empty() && rng.NextBool(0.5)) {
+        pool = &unpopular;
+      }
+      if (pool->empty()) pool = &any;
+      VertexId item = (*pool)[rng.NextUInt64(pool->size())];
+      builder.AddEdge(user, item);
+    }
+  }
+  auto result = builder.Build();
+  FAIRBC_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+double PopularShare(const BipartiteGraph& recommendation_graph) {
+  std::uint64_t popular = 0, total = 0;
+  for (VertexId u = 0; u < recommendation_graph.NumUpper(); ++u) {
+    for (VertexId v : recommendation_graph.Neighbors(Side::kUpper, u)) {
+      ++total;
+      if (recommendation_graph.Attr(Side::kLower, v) == 0) ++popular;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(popular) /
+                                static_cast<double>(total);
+}
+
+}  // namespace fairbc

@@ -1,0 +1,42 @@
+#ifndef FAIRBC_RECSYS_RECOMMEND_GRAPH_H_
+#define FAIRBC_RECSYS_RECOMMEND_GRAPH_H_
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Synthetic interaction datasets with planted popularity bias for the
+/// Jobs and Movies case studies (§V-C). Two item groups exist (attribute
+/// 0 = popular/old, 1 = unpopular/new); user tastes are drawn from latent
+/// interest clusters, but interaction probability is additionally skewed
+/// toward popular items by `popularity_boost`, reproducing the exposure
+/// bias that makes plain CF recommend only popular items.
+struct BiasedInteractionsConfig {
+  VertexId num_users = 300;
+  VertexId num_items = 120;
+  std::uint32_t num_clusters = 6;
+  /// Interactions drawn per user.
+  std::uint32_t interactions_per_user = 12;
+  /// Probability that a drawn interaction is redirected to a popular item
+  /// regardless of taste.
+  double popularity_boost = 0.6;
+  /// Fraction of items that are "popular" (attribute 0).
+  double popular_fraction = 0.5;
+  /// Number of user attribute classes (e.g. national/foreigner).
+  AttrId num_user_attrs = 2;
+  std::uint64_t seed = 7;
+};
+
+/// Generates the biased user-item interaction bipartite graph.
+BipartiteGraph MakeBiasedInteractions(const BiasedInteractionsConfig& config);
+
+/// Bias diagnostic: fraction of recommended edges pointing to items of
+/// attribute class 0 (popular). ~1.0 means the recommender only surfaces
+/// popular items.
+double PopularShare(const BipartiteGraph& recommendation_graph);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_RECSYS_RECOMMEND_GRAPH_H_

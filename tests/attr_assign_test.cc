@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "graph/attr_assign.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace fairbc {
+namespace {
+
+using ::fairbc::testing::MakeGraph;
+
+TEST(ReassignAttrs, RoundRobinBalanced) {
+  BipartiteGraph g = MakeUniformRandom(10, 9, 30, 1, 3);
+  BipartiteGraph h =
+      ReassignAttrs(g, Side::kLower, AttrAssignment::kRoundRobin, 3, 0);
+  EXPECT_EQ(h.NumAttrs(Side::kLower), 3u);
+  auto counts = h.AttrCounts(Side::kLower);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[2], 3u);
+  // Structure untouched.
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+  // Other side untouched.
+  EXPECT_EQ(h.NumAttrs(Side::kUpper), g.NumAttrs(Side::kUpper));
+}
+
+TEST(ReassignAttrs, ByDegreePutsHubsInClassZero) {
+  // v0 has degree 3, v1 degree 2, v2 degree 1, v3 degree 0.
+  BipartiteGraph g = MakeGraph(3, 4,
+                               {{0, 0}, {1, 0}, {2, 0}, {0, 1}, {1, 1}, {0, 2}},
+                               {0, 0, 0}, {0, 0, 0, 0});
+  BipartiteGraph h =
+      ReassignAttrs(g, Side::kLower, AttrAssignment::kByDegree, 2, 0);
+  EXPECT_EQ(h.Attr(Side::kLower, 0), 0u);  // top degree -> "popular".
+  EXPECT_EQ(h.Attr(Side::kLower, 1), 0u);
+  EXPECT_EQ(h.Attr(Side::kLower, 2), 1u);
+  EXPECT_EQ(h.Attr(Side::kLower, 3), 1u);
+}
+
+TEST(ReassignAttrs, UniformRandomDeterministicPerSeed) {
+  BipartiteGraph g = MakeUniformRandom(30, 30, 100, 1, 5);
+  BipartiteGraph a =
+      ReassignAttrs(g, Side::kUpper, AttrAssignment::kUniformRandom, 2, 11);
+  BipartiteGraph b =
+      ReassignAttrs(g, Side::kUpper, AttrAssignment::kUniformRandom, 2, 11);
+  BipartiteGraph c =
+      ReassignAttrs(g, Side::kUpper, AttrAssignment::kUniformRandom, 2, 12);
+  bool all_equal = true;
+  bool differs_from_c = false;
+  for (VertexId u = 0; u < g.NumUpper(); ++u) {
+    all_equal &= a.Attr(Side::kUpper, u) == b.Attr(Side::kUpper, u);
+    differs_from_c |= a.Attr(Side::kUpper, u) != c.Attr(Side::kUpper, u);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(ReassignAttrs, PreservesAdjacency) {
+  BipartiteGraph g = MakeUniformRandom(20, 20, 80, 2, 8);
+  BipartiteGraph h =
+      ReassignAttrs(g, Side::kLower, AttrAssignment::kByDegree, 2, 0);
+  for (VertexId u = 0; u < g.NumUpper(); ++u) {
+    auto a = g.Neighbors(Side::kUpper, u);
+    auto b = h.Neighbors(Side::kUpper, u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  EXPECT_TRUE(h.Validate().ok());
+}
+
+}  // namespace
+}  // namespace fairbc

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "bench_util/datasets.h"
+#include "bench_util/sweep.h"
+#include "bench_util/table.h"
+
+namespace fairbc {
+namespace {
+
+TEST(Datasets, FiveStandardSpecs) {
+  auto specs = StandardDatasets(1.0);
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "youtube");
+  EXPECT_EQ(specs[4].name, "dblp");
+  // Relative scale ordering mirrors Table I: dblp largest.
+  EXPECT_GT(specs[4].config.num_lower, specs[0].config.num_lower);
+}
+
+TEST(Datasets, ScaleShrinksGraphs) {
+  auto big = StandardDatasets(1.0);
+  auto small = StandardDatasets(0.1);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    EXPECT_LE(small[i].config.num_upper, big[i].config.num_upper);
+    EXPECT_LE(small[i].config.num_communities, big[i].config.num_communities);
+  }
+}
+
+TEST(Datasets, LoadDatasetByNameIsDeterministic) {
+  setenv("FAIRBC_SCALE", "0.05", 1);
+  NamedGraph a = LoadDataset("youtube");
+  NamedGraph b = LoadDataset("YOUTUBE");
+  unsetenv("FAIRBC_SCALE");
+  EXPECT_EQ(a.graph.NumEdges(), b.graph.NumEdges());
+  EXPECT_EQ(a.spec.name, "youtube");
+  EXPECT_TRUE(a.graph.Validate().ok());
+}
+
+TEST(Datasets, EnvScaleParsing) {
+  setenv("FAIRBC_SCALE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(EnvScale(), 0.25);
+  setenv("FAIRBC_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(EnvScale(), 1.0);
+  unsetenv("FAIRBC_SCALE");
+  EXPECT_DOUBLE_EQ(EnvScale(), 1.0);
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable table({"alg", "time"});
+  table.AddRow({"FairBCEM", "1.0"});
+  table.AddRow({"FairBCEM++", "0.01"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("FairBCEM++"), std::string::npos);
+  EXPECT_NE(out.find("| alg"), std::string::npos);
+  // Header, separator, two data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(TextTable::Num(42), "42");
+  EXPECT_EQ(TextTable::Seconds(1.5), "1.500");
+  EXPECT_EQ(TextTable::Seconds(0.5, /*inf=*/true), "INF");
+  EXPECT_EQ(TextTable::Double(3.14159, 2), "3.14");
+}
+
+TEST(Sweep, RunCountingProducesConsistentCounts) {
+  setenv("FAIRBC_SCALE", "0.05", 1);
+  NamedGraph data = LoadDataset("youtube");
+  unsetenv("FAIRBC_SCALE");
+  EnumOptions options;
+  options.time_budget_seconds = 10.0;
+  TimedRun fast = RunCounting(AlgoFairBCEMpp(), data.graph,
+                              data.spec.ss_defaults, options);
+  TimedRun slow = RunCounting(AlgoFairBCEM(), data.graph,
+                              data.spec.ss_defaults, options);
+  EXPECT_FALSE(fast.timed_out);
+  EXPECT_FALSE(slow.timed_out);
+  EXPECT_EQ(fast.count, slow.count);
+  EXPECT_GE(fast.seconds, 0.0);
+}
+
+TEST(Sweep, AlgorithmNames) {
+  EXPECT_EQ(AlgoNSF().name, "NSF");
+  EXPECT_EQ(AlgoFairBCEM().name, "FairBCEM");
+  EXPECT_EQ(AlgoFairBCEMpp().name, "FairBCEM++");
+  EXPECT_EQ(AlgoBNSF().name, "BNSF");
+  EXPECT_EQ(AlgoBFairBCEM().name, "BFairBCEM");
+  EXPECT_EQ(AlgoBFairBCEMpp().name, "BFairBCEM++");
+}
+
+TEST(Sweep, TimeBudgetEnv) {
+  setenv("FAIRBC_TIME_BUDGET", "5.5", 1);
+  EXPECT_DOUBLE_EQ(BenchTimeBudget(), 5.5);
+  unsetenv("FAIRBC_TIME_BUDGET");
+  EXPECT_DOUBLE_EQ(BenchTimeBudget(), 8.0);
+}
+
+}  // namespace
+}  // namespace fairbc

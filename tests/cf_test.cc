@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "recsys/cf.h"
+#include "recsys/recommend_graph.h"
+#include "test_util.h"
+
+namespace fairbc {
+namespace {
+
+using ::fairbc::testing::MakeGraph;
+
+TEST(ItemBasedCF, CosineSimilarityExact) {
+  // item0: users {0,1}; item1: users {0,1}; item2: user {2}.
+  BipartiteGraph g = MakeGraph(3, 3,
+                               {{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 2}},
+                               {0, 0, 0}, {0, 0, 1});
+  ItemBasedCF cf(g);
+  EXPECT_DOUBLE_EQ(cf.Similarity(0, 1), 1.0);  // identical user sets.
+  EXPECT_DOUBLE_EQ(cf.Similarity(0, 2), 0.0);  // disjoint user sets.
+  EXPECT_DOUBLE_EQ(cf.Similarity(1, 0), cf.Similarity(0, 1));  // symmetric.
+  EXPECT_DOUBLE_EQ(cf.Similarity(2, 2), 1.0);  // self.
+}
+
+TEST(ItemBasedCF, PartialOverlap) {
+  // item0: {0,1}; item1: {1,2}: cosine = 1 / sqrt(2*2) = 0.5.
+  BipartiteGraph g = MakeGraph(3, 2, {{0, 0}, {1, 0}, {1, 1}, {2, 1}},
+                               {0, 0, 0}, {0, 1});
+  ItemBasedCF cf(g);
+  EXPECT_NEAR(cf.Similarity(0, 1), 0.5, 1e-12);
+}
+
+TEST(ItemBasedCF, TopKExcludesOwnedAndRanks) {
+  // user0 owns item0. item1 is similar to item0; item2 unrelated.
+  BipartiteGraph g = MakeGraph(
+      3, 3, {{0, 0}, {1, 0}, {1, 1}, {2, 2}}, {0, 0, 0}, {0, 0, 1});
+  ItemBasedCF cf(g);
+  auto top = cf.TopK(0, 2);
+  ASSERT_EQ(top.size(), 1u);  // only item1 has positive evidence.
+  EXPECT_EQ(top[0], 1u);
+}
+
+TEST(ItemBasedCF, TopKEmptyForColdUser) {
+  BipartiteGraph g = MakeGraph(2, 2, {{0, 0}, {0, 1}}, {0, 0}, {0, 1});
+  ItemBasedCF cf(g);
+  EXPECT_TRUE(cf.TopK(1, 3).empty());  // user1 has no interactions.
+}
+
+TEST(RecommendationGraph, EdgesAreTopK) {
+  BiasedInteractionsConfig config;
+  config.num_users = 40;
+  config.num_items = 20;
+  config.interactions_per_user = 6;
+  config.seed = 3;
+  BipartiteGraph interactions = MakeBiasedInteractions(config);
+  ItemBasedCF cf(interactions);
+  BipartiteGraph rec = BuildRecommendationGraph(interactions, cf, 5);
+  EXPECT_EQ(rec.NumUpper(), interactions.NumUpper());
+  EXPECT_EQ(rec.NumLower(), interactions.NumLower());
+  for (VertexId u = 0; u < rec.NumUpper(); ++u) {
+    EXPECT_LE(rec.Degree(Side::kUpper, u), 5u);
+  }
+  // Attributes preserved.
+  for (VertexId v = 0; v < rec.NumLower(); ++v) {
+    EXPECT_EQ(rec.Attr(Side::kLower, v), interactions.Attr(Side::kLower, v));
+  }
+}
+
+TEST(BiasedInteractions, PopularityBiasShowsUpInCF) {
+  // The planted exposure bias must push the plain CF top-k toward
+  // popular items well beyond their 50% share (the case studies'
+  // premise).
+  // The item pool must dwarf per-user interactions, otherwise users
+  // already own the popular items and TopK (which excludes owned items)
+  // cannot surface them.
+  BiasedInteractionsConfig config;
+  config.num_users = 200;
+  config.num_items = 240;
+  config.num_clusters = 4;
+  config.interactions_per_user = 8;
+  config.popularity_boost = 0.7;
+  config.seed = 9;
+  BipartiteGraph interactions = MakeBiasedInteractions(config);
+  ItemBasedCF cf(interactions);
+  BipartiteGraph rec = BuildRecommendationGraph(interactions, cf, 5);
+  EXPECT_GT(PopularShare(rec), 0.6);
+}
+
+TEST(BiasedInteractions, Deterministic) {
+  BiasedInteractionsConfig config;
+  config.seed = 12;
+  BipartiteGraph a = MakeBiasedInteractions(config);
+  BipartiteGraph b = MakeBiasedInteractions(config);
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+}
+
+TEST(PopularShare, EmptyGraphIsZero) {
+  BipartiteGraph g = MakeGraph(1, 1, {}, {0}, {0});
+  EXPECT_EQ(PopularShare(g), 0.0);
+}
+
+}  // namespace
+}  // namespace fairbc

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/bruteforce.h"
+#include "core/cfcore.h"
+#include "core/fcore.h"
+#include "test_util.h"
+
+namespace fairbc {
+namespace {
+
+using ::fairbc::testing::RandomSmallGraph;
+
+TEST(EgoColorfulCorePeel, KeepsBalancedClique) {
+  // A 4-clique with 2 vertices per class: all colors distinct, every
+  // vertex has ego colorful degree 2 per class -> survives k=2.
+  UnipartiteGraph h;
+  h.adj = {{1, 2, 3}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2}};
+  h.attrs = {0, 0, 1, 1};
+  h.num_attrs = 2;
+  std::vector<char> alive(4, 1);
+  Coloring c = GreedyColor(h, alive);
+  EgoColorfulCorePeel(h, c, 2, alive, nullptr);
+  EXPECT_EQ(std::count(alive.begin(), alive.end(), 1), 4);
+}
+
+TEST(EgoColorfulCorePeel, RemovesClassStarved) {
+  // Star around 0; vertex 0 has class-1 neighbors but leaves have only
+  // class-0 contacts (plus themselves).
+  UnipartiteGraph h;
+  h.adj = {{1, 2, 3}, {0}, {0}, {0}};
+  h.attrs = {0, 1, 1, 1};
+  h.num_attrs = 2;
+  std::vector<char> alive(4, 1);
+  Coloring c = GreedyColor(h, alive);
+  EgoColorfulCorePeel(h, c, 2, alive, nullptr);
+  // Every vertex lacks 2 distinct colors in some class -> all peeled.
+  EXPECT_EQ(std::count(alive.begin(), alive.end(), 1), 0);
+}
+
+TEST(EgoColorfulCorePeel, MetersBytes) {
+  UnipartiteGraph h;
+  h.adj = {{1}, {0}};
+  h.attrs = {0, 1};
+  h.num_attrs = 2;
+  std::vector<char> alive(2, 1);
+  Coloring c = GreedyColor(h, alive);
+  std::size_t bytes = 0;
+  EgoColorfulCorePeel(h, c, 1, alive, &bytes);
+  EXPECT_GT(bytes, 0u);
+}
+
+TEST(CFCore, PrunesAtLeastAsMuchAsFCore) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    BipartiteGraph g = RandomSmallGraph(seed, 12, 0.4);
+    for (std::uint32_t alpha : {1u, 2u}) {
+      for (std::uint32_t beta : {1u, 2u}) {
+        SideMasks f = FCore(g, alpha, beta);
+        PruneResult c = CFCore(g, alpha, beta);
+        for (VertexId u = 0; u < g.NumUpper(); ++u) {
+          EXPECT_LE(c.masks.upper_alive[u], f.upper_alive[u]) << "seed=" << seed;
+        }
+        for (VertexId v = 0; v < g.NumLower(); ++v) {
+          EXPECT_LE(c.masks.lower_alive[v], f.lower_alive[v]) << "seed=" << seed;
+        }
+      }
+    }
+  }
+}
+
+// Lossless-ness (Lemmas 1 and 2): every vertex of every SSFBC survives
+// CFCore; every vertex of every BSFBC survives BCFCore.
+TEST(CFCore, LosslessForSSFBC) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    BipartiteGraph g = RandomSmallGraph(seed, 8, 0.5);
+    for (std::uint32_t alpha : {1u, 2u}) {
+      for (std::uint32_t beta : {1u, 2u}) {
+        FairBicliqueParams params{alpha, beta, 1, 0.0};
+        PruneResult pr = CFCore(g, alpha, beta);
+        for (const Biclique& b : BruteForceSSFBC(g, params)) {
+          for (VertexId u : b.upper) {
+            EXPECT_TRUE(pr.masks.upper_alive[u])
+                << "seed=" << seed << " a=" << alpha << " b=" << beta << " "
+                << b.DebugString();
+          }
+          for (VertexId v : b.lower) {
+            EXPECT_TRUE(pr.masks.lower_alive[v])
+                << "seed=" << seed << " a=" << alpha << " b=" << beta << " "
+                << b.DebugString();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BCFCore, LosslessForBSFBC) {
+  for (std::uint64_t seed = 50; seed < 90; ++seed) {
+    BipartiteGraph g = RandomSmallGraph(seed, 7, 0.55);
+    for (std::uint32_t alpha : {1u, 2u}) {
+      for (std::uint32_t beta : {1u, 2u}) {
+        FairBicliqueParams params{alpha, beta, 1, 0.0};
+        PruneResult pr = BCFCore(g, alpha, beta);
+        for (const Biclique& b : BruteForceBSFBC(g, params)) {
+          for (VertexId u : b.upper) {
+            EXPECT_TRUE(pr.masks.upper_alive[u])
+                << "seed=" << seed << " a=" << alpha << " b=" << beta << " "
+                << b.DebugString();
+          }
+          for (VertexId v : b.lower) {
+            EXPECT_TRUE(pr.masks.lower_alive[v])
+                << "seed=" << seed << " a=" << alpha << " b=" << beta << " "
+                << b.DebugString();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BCFCore, PrunesAtLeastAsMuchAsBFCore) {
+  for (std::uint64_t seed = 300; seed < 315; ++seed) {
+    BipartiteGraph g = RandomSmallGraph(seed, 12, 0.4);
+    SideMasks f = BFCore(g, 2, 2);
+    PruneResult c = BCFCore(g, 2, 2);
+    for (VertexId u = 0; u < g.NumUpper(); ++u) {
+      EXPECT_LE(c.masks.upper_alive[u], f.upper_alive[u]);
+    }
+    for (VertexId v = 0; v < g.NumLower(); ++v) {
+      EXPECT_LE(c.masks.lower_alive[v], f.lower_alive[v]);
+    }
+  }
+}
+
+TEST(CFCore, EmptyGraph) {
+  BipartiteGraph g;
+  PruneResult pr = CFCore(g, 2, 2);
+  EXPECT_TRUE(pr.masks.upper_alive.empty());
+}
+
+}  // namespace
+}  // namespace fairbc

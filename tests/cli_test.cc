@@ -1,0 +1,124 @@
+// End-to-end tests of the fairbc_cli binary (gen -> stats -> enum ->
+// verify round trip through real process invocations). The binary path
+// is injected by CMake as FAIRBC_CLI_PATH.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace fairbc {
+namespace {
+
+#ifndef FAIRBC_CLI_PATH
+#define FAIRBC_CLI_PATH "fairbc_cli"
+#endif
+
+struct CommandResult {
+  int exit_code;
+  std::string output;
+};
+
+CommandResult RunCli(const std::string& args) {
+  std::string out_path = ::testing::TempDir() + "/fairbc_cli_out.txt";
+  std::string cmd =
+      std::string(FAIRBC_CLI_PATH) + " " + args + " > " + out_path + " 2>&1";
+  int rc = std::system(cmd.c_str());
+  std::ifstream in(out_path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return {WEXITSTATUS(rc), ss.str()};
+}
+
+std::string GraphPath() {
+  return ::testing::TempDir() + "/fairbc_cli_graph.fbg";
+}
+
+TEST(CliEndToEnd, GenStatsEnumVerifyRoundTrip) {
+  std::string graph = GraphPath();
+  std::string results = ::testing::TempDir() + "/fairbc_cli_results.txt";
+
+  CommandResult gen = RunCli("gen --out=" + graph +
+                          " --kind=affiliation --nu=300 --nv=300"
+                          " --communities=15 --seed=5");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  EXPECT_NE(gen.output.find("wrote BipartiteGraph"), std::string::npos);
+
+  CommandResult stats = RunCli("stats --graph=" + graph);
+  ASSERT_EQ(stats.exit_code, 0) << stats.output;
+  EXPECT_NE(stats.output.find("butterflies"), std::string::npos);
+
+  CommandResult enumerate =
+      RunCli("enum --graph=" + graph +
+          " --model=ssfbc --alpha=2 --beta=2 --delta=1 --out=" + results);
+  ASSERT_EQ(enumerate.exit_code, 0) << enumerate.output;
+  EXPECT_NE(enumerate.output.find("wrote"), std::string::npos);
+
+  CommandResult verify = RunCli("verify --graph=" + graph +
+                             " --results=" + results +
+                             " --model=ssfbc --alpha=2 --beta=2 --delta=1");
+  ASSERT_EQ(verify.exit_code, 0) << verify.output;
+  EXPECT_NE(verify.output.find("OK:"), std::string::npos);
+}
+
+TEST(CliEndToEnd, VerifyRejectsWrongParameters) {
+  std::string graph = GraphPath();
+  std::string results = ::testing::TempDir() + "/fairbc_cli_results2.txt";
+  ASSERT_EQ(RunCli("gen --out=" + graph +
+                " --kind=affiliation --nu=300 --nv=300 --communities=15"
+                " --seed=5")
+                .exit_code,
+            0);
+  ASSERT_EQ(RunCli("enum --graph=" + graph +
+                " --model=ssfbc --alpha=2 --beta=2 --delta=1 --out=" + results)
+                .exit_code,
+            0);
+  // Re-verifying under beta=3 must fail: the stored results were maximal
+  // for beta=2.
+  CommandResult verify = RunCli("verify --graph=" + graph +
+                             " --results=" + results +
+                             " --model=ssfbc --alpha=2 --beta=3 --delta=1");
+  EXPECT_NE(verify.exit_code, 0);
+}
+
+TEST(CliEndToEnd, CountOnlyMode) {
+  std::string graph = GraphPath();
+  ASSERT_EQ(RunCli("gen --out=" + graph +
+                " --kind=affiliation --nu=300 --nv=300 --communities=15"
+                " --seed=5")
+                .exit_code,
+            0);
+  CommandResult count = RunCli("enum --graph=" + graph +
+                            " --model=bsfbc --alpha=1 --beta=1 --delta=1"
+                            " --count-only");
+  ASSERT_EQ(count.exit_code, 0) << count.output;
+  EXPECT_NE(count.output.find("count:"), std::string::npos);
+}
+
+TEST(CliEndToEnd, UnknownCommandFails) {
+  CommandResult r = RunCli("frobnicate");
+  EXPECT_NE(r.exit_code, 0);
+}
+
+TEST(CliEndToEnd, MissingGraphFlagFails) {
+  CommandResult r = RunCli("stats");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--graph is required"), std::string::npos);
+}
+
+TEST(CliEndToEnd, UnknownFlagWarns) {
+  std::string graph = GraphPath();
+  ASSERT_EQ(RunCli("gen --out=" + graph + " --kind=uniform --nu=20 --nv=20"
+                " --edges=50")
+                .exit_code,
+            0);
+  CommandResult r = RunCli("stats --graph=" + graph + " --bogus-flag=1");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("unknown flag --bogus-flag"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairbc

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/coloring.h"
+#include "core/two_hop_graph.h"
+#include "test_util.h"
+
+namespace fairbc {
+namespace {
+
+using ::fairbc::testing::RandomSmallGraph;
+
+UnipartiteGraph MakeUnipartite(VertexId n,
+                               const std::vector<std::pair<VertexId, VertexId>>&
+                                   edges,
+                               std::vector<AttrId> attrs, AttrId num_attrs = 2) {
+  UnipartiteGraph h;
+  h.adj.assign(n, {});
+  h.attrs = std::move(attrs);
+  h.num_attrs = num_attrs;
+  for (auto [a, b] : edges) {
+    h.adj[a].push_back(b);
+    h.adj[b].push_back(a);
+  }
+  for (auto& nbrs : h.adj) std::sort(nbrs.begin(), nbrs.end());
+  return h;
+}
+
+TEST(GreedyColor, ProperOnTriangle) {
+  UnipartiteGraph h = MakeUnipartite(3, {{0, 1}, {1, 2}, {0, 2}}, {0, 0, 1});
+  std::vector<char> alive(3, 1);
+  Coloring c = GreedyColor(h, alive);
+  EXPECT_EQ(c.num_colors, 3u);
+  EXPECT_TRUE(IsProperColoring(h, alive, c));
+}
+
+TEST(GreedyColor, PathUsesTwoColors) {
+  UnipartiteGraph h = MakeUnipartite(4, {{0, 1}, {1, 2}, {2, 3}}, {0, 0, 1, 1});
+  std::vector<char> alive(4, 1);
+  Coloring c = GreedyColor(h, alive);
+  EXPECT_EQ(c.num_colors, 2u);
+  EXPECT_TRUE(IsProperColoring(h, alive, c));
+}
+
+TEST(GreedyColor, SkipsDeadVertices) {
+  UnipartiteGraph h = MakeUnipartite(3, {{0, 1}, {1, 2}, {0, 2}}, {0, 0, 1});
+  std::vector<char> alive{1, 0, 1};
+  Coloring c = GreedyColor(h, alive);
+  EXPECT_TRUE(IsProperColoring(h, alive, c));
+  // Triangle minus one vertex is an edge -> 2 colors suffice.
+  EXPECT_LE(c.num_colors, 2u);
+}
+
+TEST(GreedyColor, ProperOnRandomTwoHopGraphs) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    BipartiteGraph g = RandomSmallGraph(seed, 14, 0.4);
+    SideMasks masks;
+    masks.upper_alive.assign(g.NumUpper(), 1);
+    masks.lower_alive.assign(g.NumLower(), 1);
+    UnipartiteGraph h = Construct2HopGraph(g, Side::kLower, 1, masks);
+    std::vector<char> alive(h.NumVertices(), 1);
+    Coloring c = GreedyColor(h, alive);
+    EXPECT_TRUE(IsProperColoring(h, alive, c)) << "seed=" << seed;
+    // Greedy bound: at most max degree + 1 colors.
+    VertexId max_deg = 0;
+    for (VertexId v = 0; v < h.NumVertices(); ++v) {
+      max_deg = std::max(max_deg, h.Degree(v));
+    }
+    EXPECT_LE(c.num_colors, max_deg + 1) << "seed=" << seed;
+  }
+}
+
+TEST(GreedyColor, EmptyGraph) {
+  UnipartiteGraph h;
+  Coloring c = GreedyColor(h, {});
+  EXPECT_EQ(c.num_colors, 0u);
+}
+
+TEST(GreedyColor, IsolatedVerticesShareColorZero) {
+  UnipartiteGraph h = MakeUnipartite(3, {}, {0, 1, 0});
+  std::vector<char> alive(3, 1);
+  Coloring c = GreedyColor(h, alive);
+  EXPECT_EQ(c.num_colors, 1u);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(c.color[v], 0u);
+}
+
+}  // namespace
+}  // namespace fairbc

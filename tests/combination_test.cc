@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fairness/combination.h"
+#include "fairness/fair_set.h"
+#include "test_util.h"
+
+namespace fairbc {
+namespace {
+
+using ::fairbc::testing::MakeGraph;
+
+BipartiteGraph AttrOnlyGraph(const std::vector<AttrId>& lower_attrs,
+                             AttrId num_attrs = 2) {
+  // Graph whose lower side carries the attributes; edges irrelevant here.
+  std::vector<AttrId> upper{0};
+  return MakeGraph(1, static_cast<VertexId>(lower_attrs.size()), {{0, 0}},
+                   upper, lower_attrs, 2, num_attrs);
+}
+
+TEST(AttrSizes, CountsPerClass) {
+  BipartiteGraph g = AttrOnlyGraph({0, 1, 0, 1, 1});
+  std::vector<VertexId> all{0, 1, 2, 3, 4};
+  SizeVector sizes = AttrSizes(g, Side::kLower, all);
+  EXPECT_EQ(sizes, (SizeVector{2, 3}));
+}
+
+TEST(IsFairSet, RespectsSpec) {
+  BipartiteGraph g = AttrOnlyGraph({0, 1, 0, 1, 1});
+  FairnessSpec spec{2, 1, 0.0};
+  std::vector<VertexId> all{0, 1, 2, 3, 4};   // (2,3)
+  std::vector<VertexId> some{0, 1, 3, 4};     // (1,3)
+  EXPECT_TRUE(IsFairSet(g, Side::kLower, all, spec));
+  EXPECT_FALSE(IsFairSet(g, Side::kLower, some, spec));
+}
+
+TEST(IsMaximalFairSubset, SizeVectorCharacterization) {
+  BipartiteGraph g = AttrOnlyGraph({0, 0, 0, 1, 1});
+  FairnessSpec spec{1, 1, 0.0};
+  std::vector<VertexId> ground{0, 1, 2, 3, 4};  // counts (3,2) -> t*=(3,2)
+  std::vector<VertexId> full{0, 1, 2, 3, 4};
+  std::vector<VertexId> partial{0, 1, 3, 4};  // (2,2)
+  EXPECT_TRUE(IsMaximalFairSubset(g, Side::kLower, full, ground, spec));
+  EXPECT_FALSE(IsMaximalFairSubset(g, Side::kLower, partial, ground, spec));
+}
+
+TEST(EnumerateMaximalFairSubsets, CountsMatchBinomials) {
+  // counts (3,2), k=1, delta=0 -> t* = (2,2) -> C(3,2)*C(2,2) = 3 subsets.
+  BipartiteGraph g = AttrOnlyGraph({0, 0, 0, 1, 1});
+  FairnessSpec spec{1, 0, 0.0};
+  std::vector<VertexId> ground{0, 1, 2, 3, 4};
+  std::set<std::vector<VertexId>> seen;
+  std::uint64_t n = EnumerateMaximalFairSubsets(
+      g, Side::kLower, ground, spec, [&](std::span<const VertexId> s) {
+        seen.insert(std::vector<VertexId>(s.begin(), s.end()));
+        return true;
+      });
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(CountMaximalFairSubsetsOf(g, Side::kLower, ground, spec), 3u);
+  // Every emitted subset contains both lower-class vertices 3,4 and two
+  // of {0,1,2}.
+  for (const auto& s : seen) {
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_TRUE(std::find(s.begin(), s.end(), 3u) != s.end());
+    EXPECT_TRUE(std::find(s.begin(), s.end(), 4u) != s.end());
+  }
+}
+
+TEST(EnumerateMaximalFairSubsets, EmptyWhenInfeasible) {
+  BipartiteGraph g = AttrOnlyGraph({0, 0, 0});  // class 1 empty
+  FairnessSpec spec{1, 0, 0.0};
+  std::vector<VertexId> ground{0, 1, 2};
+  std::uint64_t n = EnumerateMaximalFairSubsets(
+      g, Side::kLower, ground, spec,
+      [](std::span<const VertexId>) { return true; });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(EnumerateMaximalFairSubsets, SinkCanAbort) {
+  // counts (3,2), delta 0 -> t* = (2,2) -> 3 subsets; abort after two.
+  BipartiteGraph g = AttrOnlyGraph({0, 0, 0, 1, 1});
+  FairnessSpec spec{1, 0, 0.0};
+  std::vector<VertexId> ground{0, 1, 2, 3, 4};
+  std::uint64_t calls = 0;
+  EnumerateMaximalFairSubsets(g, Side::kLower, ground, spec,
+                              [&](std::span<const VertexId>) {
+                                ++calls;
+                                return calls < 2;
+                              });
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(EnumerateMaximalFairSubsets, ProportionalMatchesSpec) {
+  // counts (6,2), k=1, delta=4, theta=0.4: ratio cap floor(2*1.5)=3,
+  // t* = (3, 2) -> C(6,3)*C(2,2) = 20 subsets, each of size 5 with
+  // class shares (0.6, 0.4).
+  BipartiteGraph g = AttrOnlyGraph({0, 0, 0, 0, 0, 0, 1, 1});
+  FairnessSpec spec{1, 4, 0.4};
+  std::vector<VertexId> ground{0, 1, 2, 3, 4, 5, 6, 7};
+  std::uint64_t n = EnumerateMaximalFairSubsets(
+      g, Side::kLower, ground, spec, [&](std::span<const VertexId> s) {
+        EXPECT_EQ(s.size(), 5u);
+        return true;
+      });
+  EXPECT_EQ(n, 20u);
+}
+
+TEST(EnumerateMaximalFairSubsets, SubsetOfGroundOnly) {
+  BipartiteGraph g = AttrOnlyGraph({0, 1, 0, 1, 0, 1});
+  FairnessSpec spec{1, 0, 0.0};
+  std::vector<VertexId> ground{2, 3, 4, 5};  // exclude 0,1
+  EnumerateMaximalFairSubsets(g, Side::kLower, ground, spec,
+                              [&](std::span<const VertexId> s) {
+                                for (VertexId v : s) EXPECT_GE(v, 2u);
+                                return true;
+                              });
+}
+
+}  // namespace
+}  // namespace fairbc

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/memory.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace fairbc {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad alpha");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.ToString(), "INVALID_ARGUMENT: bad alpha");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kCorruptInput, StatusCode::kOutOfRange,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUInt64(1000), b.NextUInt64(1000));
+  }
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    auto x = rng.NextUInt64(7);
+    EXPECT_LT(x, 7u);
+    auto y = rng.NextInt(-3, 3);
+    EXPECT_GE(y, -3);
+    EXPECT_LE(y, 3);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(9);
+  auto picked = rng.SampleWithoutReplacement(50, 20);
+  std::set<std::uint32_t> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (auto v : picked) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleFullRange) {
+  Rng rng(10);
+  auto picked = rng.SampleWithoutReplacement(8, 8);
+  std::set<std::uint32_t> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(Timer, MeasuresNonNegative) {
+  Timer t;
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), 0.0);
+}
+
+TEST(Deadline, ZeroBudgetNeverExpires) {
+  Deadline d(0.0);
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(Deadline, TinyBudgetExpires) {
+  Deadline d(1e-9);
+  // Burn a little time.
+  double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  (void)x;
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(Memory, RssReadable) {
+  // /proc is available on the target platform.
+  EXPECT_GT(CurrentRssBytes(), 0u);
+  EXPECT_GE(PeakRssBytes(), CurrentRssBytes() / 2);
+}
+
+TEST(Memory, MeterTracksPeak) {
+  MemoryMeter meter;
+  meter.Add(100);
+  meter.Add(200);
+  meter.Sub(150);
+  meter.Add(50);
+  EXPECT_EQ(meter.peak_bytes(), 300u);
+  EXPECT_EQ(meter.current_bytes(), 200u);
+}
+
+TEST(Memory, HumanBytesFormats) {
+  EXPECT_EQ(HumanBytes(512), "512.0 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+}  // namespace
+}  // namespace fairbc

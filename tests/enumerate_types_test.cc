@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "core/enumerate.h"
+
+namespace fairbc {
+namespace {
+
+TEST(Biclique, OrderingAndEquality) {
+  Biclique a{{1, 2}, {3}};
+  Biclique b{{1, 2}, {4}};
+  Biclique c{{1, 3}, {0}};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Biclique, DebugStringFormat) {
+  Biclique b{{1, 2}, {7}};
+  EXPECT_EQ(b.DebugString(), "U{1,2} V{7}");
+  Biclique empty;
+  EXPECT_EQ(empty.DebugString(), "U{} V{}");
+}
+
+TEST(FairBicliqueParams, SpecsCarryTheRightFields) {
+  FairBicliqueParams p{3, 5, 2, 0.4};
+  FairnessSpec lower = p.LowerSpec();
+  EXPECT_EQ(lower.min_per_class, 5u);
+  EXPECT_EQ(lower.delta, 2u);
+  EXPECT_DOUBLE_EQ(lower.theta, 0.4);
+  EXPECT_TRUE(lower.proportional());
+  FairnessSpec upper = p.UpperSpec();
+  EXPECT_EQ(upper.min_per_class, 3u);
+  FairnessSpec plain{1, 0, 0.0};
+  EXPECT_FALSE(plain.proportional());
+}
+
+TEST(Sinks, CollectAndCount) {
+  CollectSink collect;
+  CountSink count;
+  Biclique b{{0}, {1}};
+  auto cs = collect.AsSink();
+  auto ns = count.AsSink();
+  EXPECT_TRUE(cs(b));
+  EXPECT_TRUE(cs(b));
+  EXPECT_TRUE(ns(b));
+  EXPECT_EQ(collect.results().size(), 2u);
+  EXPECT_EQ(count.count(), 1u);
+}
+
+TEST(EnumStats, DebugStringMentionsBudget) {
+  EnumStats stats;
+  stats.num_results = 5;
+  stats.budget_exhausted = true;
+  std::string s = stats.DebugString();
+  EXPECT_NE(s.find("results=5"), std::string::npos);
+  EXPECT_NE(s.find("BUDGET_EXHAUSTED"), std::string::npos);
+  stats.budget_exhausted = false;
+  EXPECT_EQ(stats.DebugString().find("BUDGET_EXHAUSTED"), std::string::npos);
+}
+
+TEST(SideHelpers, OppositeAndToString) {
+  EXPECT_EQ(Opposite(Side::kUpper), Side::kLower);
+  EXPECT_EQ(Opposite(Side::kLower), Side::kUpper);
+  EXPECT_STREQ(ToString(Side::kUpper), "upper");
+  EXPECT_STREQ(ToString(Side::kLower), "lower");
+}
+
+}  // namespace
+}  // namespace fairbc

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fairness/fair_vector.h"
+
+namespace fairbc {
+namespace {
+
+// Brute-force enumeration of all feasible vectors within caps, for
+// cross-checking MaximalFairVectors.
+std::vector<SizeVector> AllFeasible(const SizeVector& counts,
+                                    const FairnessSpec& spec) {
+  std::vector<SizeVector> out;
+  SizeVector t(counts.size(), 0);
+  auto dfs = [&](auto&& self, std::size_t i) -> void {
+    if (i == counts.size()) {
+      if (IsFeasibleVector(t, spec)) out.push_back(t);
+      return;
+    }
+    for (std::uint32_t x = 0; x <= counts[i]; ++x) {
+      t[i] = x;
+      self(self, i + 1);
+    }
+    t[i] = 0;
+  };
+  dfs(dfs, 0);
+  return out;
+}
+
+std::vector<SizeVector> BruteMaximal(const SizeVector& counts,
+                                     const FairnessSpec& spec) {
+  auto feasible = AllFeasible(counts, spec);
+  std::vector<SizeVector> maximal;
+  for (const auto& a : feasible) {
+    bool zero = true;
+    for (auto x : a) zero &= (x == 0);
+    if (zero && spec.min_per_class == 0) {
+      // The empty set: maximal only when nothing else is feasible.
+    }
+    bool dominated = false;
+    for (const auto& b : feasible) {
+      if (StrictlyDominated(a, b)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) maximal.push_back(a);
+  }
+  std::sort(maximal.begin(), maximal.end());
+  return maximal;
+}
+
+TEST(IsFeasibleVector, BasicCases) {
+  FairnessSpec spec{2, 1, 0.0};
+  EXPECT_TRUE(IsFeasibleVector({2, 3}, spec));
+  EXPECT_TRUE(IsFeasibleVector({3, 3}, spec));
+  EXPECT_FALSE(IsFeasibleVector({1, 3}, spec));   // below k
+  EXPECT_FALSE(IsFeasibleVector({2, 4}, spec));   // delta exceeded
+  EXPECT_TRUE(IsFeasibleVector({}, spec));        // empty domain
+}
+
+TEST(IsFeasibleVector, ProportionalConstraint) {
+  FairnessSpec spec{1, 5, 0.4};
+  EXPECT_TRUE(IsFeasibleVector({2, 3}, spec));   // 2/5 = 0.4 exactly
+  EXPECT_FALSE(IsFeasibleVector({1, 3}, spec));  // 1/4 < 0.4
+  EXPECT_TRUE(IsFeasibleVector({4, 4}, spec));
+}
+
+TEST(IsFeasibleVector, ZeroVectorFeasibleOnlyWhenKZero) {
+  EXPECT_TRUE(IsFeasibleVector({0, 0}, FairnessSpec{0, 0, 0.0}));
+  EXPECT_FALSE(IsFeasibleVector({0, 0}, FairnessSpec{1, 0, 0.0}));
+}
+
+TEST(StrictlyDominated, Basics) {
+  EXPECT_TRUE(StrictlyDominated({1, 2}, {1, 3}));
+  EXPECT_FALSE(StrictlyDominated({1, 3}, {1, 2}));
+  EXPECT_FALSE(StrictlyDominated({1, 2}, {1, 2}));
+  EXPECT_FALSE(StrictlyDominated({2, 1}, {1, 3}));
+}
+
+TEST(MaximalFairVectors, ClosedFormPlainModel) {
+  // counts (5,3), delta 1 -> unique maximal (4,3).
+  auto result = MaximalFairVectors({5, 3}, FairnessSpec{2, 1, 0.0});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], (SizeVector{4, 3}));
+}
+
+TEST(MaximalFairVectors, InfeasibleWhenClassTooSmall) {
+  EXPECT_TRUE(MaximalFairVectors({5, 1}, FairnessSpec{2, 1, 0.0}).empty());
+}
+
+TEST(MaximalFairVectors, DeltaZeroBalanced) {
+  auto result = MaximalFairVectors({7, 4}, FairnessSpec{1, 0, 0.0});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], (SizeVector{4, 4}));
+}
+
+TEST(MaximalFairVectors, ProportionalCapApplies) {
+  // counts (10, 3), delta 5, theta 0.4: cap = floor(3*0.6/0.4) = 4.
+  auto result = MaximalFairVectors({10, 3}, FairnessSpec{1, 5, 0.4});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], (SizeVector{4, 3}));
+}
+
+TEST(MaximalFairVectors, SingleClass) {
+  auto result = MaximalFairVectors({6}, FairnessSpec{2, 0, 0.0});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], (SizeVector{6}));
+}
+
+// Exhaustive cross-check against brute force over a grid of counts and
+// specs, for 2 and 3 classes including proportional constraints.
+TEST(MaximalFairVectors, MatchesBruteForceTwoClasses) {
+  for (std::uint32_t c0 = 0; c0 <= 5; ++c0) {
+    for (std::uint32_t c1 = 0; c1 <= 5; ++c1) {
+      for (std::uint32_t k : {0u, 1u, 2u}) {
+        for (std::uint32_t delta : {0u, 1u, 3u}) {
+          for (double theta : {0.0, 0.3, 0.5}) {
+            FairnessSpec spec{k, delta, theta};
+            SizeVector counts{c0, c1};
+            auto got = MaximalFairVectors(counts, spec);
+            std::sort(got.begin(), got.end());
+            auto want = BruteMaximal(counts, spec);
+            EXPECT_EQ(got, want)
+                << "counts=(" << c0 << "," << c1 << ") k=" << k
+                << " delta=" << delta << " theta=" << theta;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MaximalFairVectors, MatchesBruteForceThreeClasses) {
+  for (std::uint32_t c0 = 0; c0 <= 4; ++c0) {
+    for (std::uint32_t c1 = 0; c1 <= 4; ++c1) {
+      for (std::uint32_t c2 = 0; c2 <= 4; ++c2) {
+        for (std::uint32_t k : {0u, 1u}) {
+          for (std::uint32_t delta : {0u, 2u}) {
+            for (double theta : {0.0, 0.25}) {
+              FairnessSpec spec{k, delta, theta};
+              SizeVector counts{c0, c1, c2};
+              auto got = MaximalFairVectors(counts, spec);
+              std::sort(got.begin(), got.end());
+              auto want = BruteMaximal(counts, spec);
+              EXPECT_EQ(got, want)
+                  << "counts=(" << c0 << "," << c1 << "," << c2 << ") k=" << k
+                  << " delta=" << delta << " theta=" << theta;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(IsMaximalFairVector, AgreesWithEnumeration) {
+  SizeVector counts{5, 3};
+  FairnessSpec spec{2, 1, 0.0};
+  EXPECT_TRUE(IsMaximalFairVector({4, 3}, counts, spec));
+  EXPECT_FALSE(IsMaximalFairVector({3, 3}, counts, spec));
+  EXPECT_FALSE(IsMaximalFairVector({4, 2}, counts, spec));
+  EXPECT_FALSE(IsMaximalFairVector({5, 3}, counts, spec));  // infeasible
+}
+
+TEST(BinomialSaturated, SmallValues) {
+  EXPECT_EQ(BinomialSaturated(5, 2), 10u);
+  EXPECT_EQ(BinomialSaturated(5, 0), 1u);
+  EXPECT_EQ(BinomialSaturated(5, 5), 1u);
+  EXPECT_EQ(BinomialSaturated(5, 6), 0u);
+  EXPECT_EQ(BinomialSaturated(60, 30), 118264581564861424u);
+}
+
+TEST(BinomialSaturated, SaturatesOnOverflow) {
+  EXPECT_EQ(BinomialSaturated(1000, 500),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(CountMaximalFairSubsets, ProductOfBinomials) {
+  // counts (5,3), t*=(4,3): C(5,4)*C(3,3) = 5.
+  EXPECT_EQ(CountMaximalFairSubsets({5, 3}, FairnessSpec{2, 1, 0.0}), 5u);
+  // Infeasible -> 0.
+  EXPECT_EQ(CountMaximalFairSubsets({5, 1}, FairnessSpec{2, 1, 0.0}), 0u);
+  // counts (4,4), delta 0 -> t*=(4,4) -> 1 subset.
+  EXPECT_EQ(CountMaximalFairSubsets({4, 4}, FairnessSpec{1, 0, 0.0}), 1u);
+}
+
+}  // namespace
+}  // namespace fairbc

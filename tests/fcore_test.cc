@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/fcore.h"
+#include "test_util.h"
+
+namespace fairbc {
+namespace {
+
+using ::fairbc::testing::MakeGraph;
+using ::fairbc::testing::RandomSmallGraph;
+
+TEST(FCore, RemovesLowAttrDegreeUppers) {
+  // u0 sees two class-0 and two class-1 lowers; u1 sees only class 0.
+  BipartiteGraph g = MakeGraph(
+      2, 4, {{0, 0}, {0, 1}, {0, 2}, {0, 3}, {1, 0}, {1, 1}},
+      {0, 0}, {0, 0, 1, 1});
+  SideMasks masks = FCore(g, /*alpha=*/1, /*beta=*/1);
+  EXPECT_TRUE(masks.upper_alive[0]);
+  EXPECT_FALSE(masks.upper_alive[1]);  // no class-1 neighbor.
+}
+
+TEST(FCore, RemovesLowDegreeLowersAndCascades) {
+  // Chain: removing the weak lower vertex kills the upper that depended
+  // on it for class balance.
+  BipartiteGraph g = MakeGraph(
+      3, 4,
+      {{0, 0}, {0, 1}, {0, 2}, {0, 3}, {1, 0}, {1, 1}, {1, 2}, {1, 3},
+       {2, 3}},
+      {0, 0, 0}, {0, 1, 0, 1});
+  // alpha=3: v3 has degree 3 (kept), v0..v2 degree 2 (removed) -> uppers
+  // lose all class-0 neighbors -> everything dies.
+  SideMasks masks = FCore(g, /*alpha=*/3, /*beta=*/1);
+  EXPECT_EQ(masks.CountAlive(Side::kUpper), 0u);
+  EXPECT_EQ(masks.CountAlive(Side::kLower), 0u);
+}
+
+TEST(FCore, KeepsSatisfiedCore) {
+  // Complete 3x4 biclique with balanced lower attributes survives.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId v = 0; v < 4; ++v) edges.emplace_back(u, v);
+  }
+  BipartiteGraph g = MakeGraph(3, 4, edges, {0, 1, 0}, {0, 1, 0, 1});
+  SideMasks masks = FCore(g, /*alpha=*/3, /*beta=*/2);
+  EXPECT_EQ(masks.CountAlive(Side::kUpper), 3u);
+  EXPECT_EQ(masks.CountAlive(Side::kLower), 4u);
+}
+
+TEST(FCore, AlphaBetaZeroKeepsEverything) {
+  BipartiteGraph g = RandomSmallGraph(3, 8, 0.3);
+  SideMasks masks = FCore(g, 0, 0);
+  EXPECT_EQ(masks.CountAlive(Side::kUpper), g.NumUpper());
+  EXPECT_EQ(masks.CountAlive(Side::kLower), g.NumLower());
+}
+
+TEST(FCore, MatchesNaiveFixpointOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    BipartiteGraph g = RandomSmallGraph(seed, 12, 0.35);
+    for (std::uint32_t alpha : {1u, 2u, 3u}) {
+      for (std::uint32_t beta : {1u, 2u}) {
+        SideMasks fast = FCore(g, alpha, beta);
+        SideMasks slow = FCoreNaive(g, alpha, beta, /*bi_side=*/false);
+        EXPECT_EQ(fast.upper_alive, slow.upper_alive)
+            << "seed=" << seed << " a=" << alpha << " b=" << beta;
+        EXPECT_EQ(fast.lower_alive, slow.lower_alive)
+            << "seed=" << seed << " a=" << alpha << " b=" << beta;
+      }
+    }
+  }
+}
+
+TEST(BFCore, MatchesNaiveFixpointOnRandomGraphs) {
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    BipartiteGraph g = RandomSmallGraph(seed, 12, 0.35);
+    for (std::uint32_t alpha : {1u, 2u}) {
+      for (std::uint32_t beta : {1u, 2u}) {
+        SideMasks fast = BFCore(g, alpha, beta);
+        SideMasks slow = FCoreNaive(g, alpha, beta, /*bi_side=*/true);
+        EXPECT_EQ(fast.upper_alive, slow.upper_alive)
+            << "seed=" << seed << " a=" << alpha << " b=" << beta;
+        EXPECT_EQ(fast.lower_alive, slow.lower_alive)
+            << "seed=" << seed << " a=" << alpha << " b=" << beta;
+      }
+    }
+  }
+}
+
+TEST(BFCore, PrunesAtLeastAsMuchAsFCore) {
+  // BFCore's lower-side condition (per-class degree >= alpha) is stronger
+  // than FCore's (total degree >= alpha).
+  for (std::uint64_t seed = 200; seed < 215; ++seed) {
+    BipartiteGraph g = RandomSmallGraph(seed, 12, 0.4);
+    SideMasks f = FCore(g, 2, 2);
+    SideMasks b = BFCore(g, 2, 2);
+    for (VertexId u = 0; u < g.NumUpper(); ++u) {
+      EXPECT_LE(b.upper_alive[u], f.upper_alive[u]);
+    }
+    for (VertexId v = 0; v < g.NumLower(); ++v) {
+      EXPECT_LE(b.lower_alive[v], f.lower_alive[v]);
+    }
+  }
+}
+
+TEST(FCoreInPlace, RespectsInitialMask) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId v = 0; v < 4; ++v) edges.emplace_back(u, v);
+  }
+  BipartiteGraph g = MakeGraph(3, 4, edges, {0, 1, 0}, {0, 1, 0, 1});
+  SideMasks masks;
+  masks.upper_alive = {1, 1, 1};
+  masks.lower_alive = {1, 1, 0, 1};  // v2 (class 0) pre-removed.
+  FCoreInPlace(g, /*alpha=*/3, /*beta=*/2, masks);
+  // With v2 gone, class 0 has only v0: beta=2 unreachable -> all removed.
+  EXPECT_EQ(masks.CountAlive(Side::kUpper), 0u);
+  EXPECT_FALSE(masks.lower_alive[2]);
+}
+
+TEST(FCore, EmptyGraph) {
+  BipartiteGraph g;
+  SideMasks masks = FCore(g, 1, 1);
+  EXPECT_TRUE(masks.upper_alive.empty());
+  EXPECT_TRUE(masks.lower_alive.empty());
+}
+
+}  // namespace
+}  // namespace fairbc

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace fairbc {
+namespace {
+
+TEST(UniformRandom, SizesAndValidity) {
+  BipartiteGraph g = MakeUniformRandom(100, 80, 400, 2, 1);
+  EXPECT_EQ(g.NumUpper(), 100u);
+  EXPECT_EQ(g.NumLower(), 80u);
+  EXPECT_GT(g.NumEdges(), 300u);
+  EXPECT_LE(g.NumEdges(), 100u * 80u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(UniformRandom, Deterministic) {
+  BipartiteGraph a = MakeUniformRandom(50, 50, 200, 2, 7);
+  BipartiteGraph b = MakeUniformRandom(50, 50, 200, 2, 7);
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  for (VertexId u = 0; u < a.NumUpper(); ++u) {
+    auto na = a.Neighbors(Side::kUpper, u);
+    auto nb = b.Neighbors(Side::kUpper, u);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(UniformRandom, AttributesWithinDomain) {
+  BipartiteGraph g = MakeUniformRandom(60, 60, 150, 3, 2);
+  EXPECT_EQ(g.NumAttrs(Side::kUpper), 3u);
+  auto counts = g.AttrCounts(Side::kUpper);
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  EXPECT_EQ(total, 60u);
+  // With 60 draws over 3 classes, each class should be hit.
+  for (auto c : counts) EXPECT_GT(c, 0u);
+}
+
+TEST(UniformRandom, CapsAtCompleteGraph) {
+  BipartiteGraph g = MakeUniformRandom(5, 5, 1000, 2, 3);
+  EXPECT_LE(g.NumEdges(), 25u);
+}
+
+TEST(PowerLaw, HeavyTailedDegrees) {
+  BipartiteGraph g = MakePowerLaw(2000, 2000, 10000, 2.2, 2, 11);
+  EXPECT_TRUE(g.Validate().ok());
+  VertexId max_deg = 0;
+  std::uint64_t degree_sum = 0;
+  for (VertexId u = 0; u < g.NumUpper(); ++u) {
+    max_deg = std::max(max_deg, g.Degree(Side::kUpper, u));
+    degree_sum += g.Degree(Side::kUpper, u);
+  }
+  double mean = static_cast<double>(degree_sum) / g.NumUpper();
+  // Heavy tail: the hub degree dwarfs the mean.
+  EXPECT_GT(max_deg, 10 * mean);
+}
+
+TEST(Affiliation, PlantsBicliqueStructure) {
+  AffiliationConfig config;
+  config.num_upper = 200;
+  config.num_lower = 200;
+  config.num_communities = 12;
+  config.noise_fraction = 0.1;
+  config.seed = 5;
+  BipartiteGraph g = MakeAffiliation(config);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_GT(g.NumEdges(), 100u);
+}
+
+TEST(Affiliation, Deterministic) {
+  AffiliationConfig config;
+  config.seed = 77;
+  BipartiteGraph a = MakeAffiliation(config);
+  BipartiteGraph b = MakeAffiliation(config);
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+}
+
+TEST(SampleEdges, FractionZeroAndOne) {
+  BipartiteGraph g = MakeUniformRandom(40, 40, 200, 2, 13);
+  BipartiteGraph none = SampleEdges(g, 0.0, 1);
+  BipartiteGraph all = SampleEdges(g, 1.0, 1);
+  EXPECT_EQ(none.NumEdges(), 0u);
+  EXPECT_EQ(all.NumEdges(), g.NumEdges());
+  // Vertex counts and attributes preserved.
+  EXPECT_EQ(none.NumUpper(), g.NumUpper());
+  EXPECT_EQ(all.NumLower(), g.NumLower());
+  for (VertexId v = 0; v < g.NumLower(); ++v) {
+    EXPECT_EQ(all.Attr(Side::kLower, v), g.Attr(Side::kLower, v));
+  }
+}
+
+TEST(SampleEdges, FractionRoughlyRespected) {
+  BipartiteGraph g = MakeUniformRandom(100, 100, 2000, 2, 17);
+  BipartiteGraph half = SampleEdges(g, 0.5, 3);
+  double ratio =
+      static_cast<double>(half.NumEdges()) / static_cast<double>(g.NumEdges());
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 0.6);
+}
+
+}  // namespace
+}  // namespace fairbc

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "graph/bipartite_graph.h"
+#include "graph/builder.h"
+#include "test_util.h"
+
+namespace fairbc {
+namespace {
+
+using ::fairbc::testing::MakeGraph;
+
+TEST(Builder, BuildsAndDedupes) {
+  BipartiteGraphBuilder builder(3, 4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);  // duplicate
+  builder.AddEdge(2, 3);
+  builder.AddEdge(1, 0);
+  auto result = builder.Build();
+  ASSERT_TRUE(result.ok());
+  const BipartiteGraph& g = result.value();
+  EXPECT_EQ(g.NumUpper(), 3u);
+  EXPECT_EQ(g.NumLower(), 4u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(Builder, GrowsFromEdges) {
+  BipartiteGraphBuilder builder;
+  builder.AddEdge(5, 7);
+  auto result = builder.Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumUpper(), 6u);
+  EXPECT_EQ(result.value().NumLower(), 8u);
+}
+
+TEST(Builder, RejectsAttrOutOfDomain) {
+  BipartiteGraphBuilder builder(2, 2);
+  builder.AddEdge(0, 0);
+  builder.SetNumAttrs(Side::kLower, 2);
+  builder.SetAttr(Side::kLower, 1, 5);  // domain is {0,1}
+  auto result = builder.Build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Builder, RejectsWrongAttrVectorSize) {
+  BipartiteGraphBuilder builder(3, 2);
+  builder.AddEdge(0, 0);
+  builder.SetAttrs(Side::kLower, {0});  // 1 != 2... grows num_lower? no: 1 < 2
+  auto result = builder.Build();
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Graph, NeighborsSortedBothDirections) {
+  BipartiteGraph g = MakeGraph(3, 3,
+                               {{0, 2}, {0, 0}, {1, 1}, {2, 0}, {2, 2}, {0, 1}},
+                               {0, 1, 0}, {1, 0, 1});
+  for (VertexId u = 0; u < g.NumUpper(); ++u) {
+    auto nbrs = g.Neighbors(Side::kUpper, u);
+    for (std::size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_LT(nbrs[i - 1], nbrs[i]);
+    }
+  }
+  for (VertexId v = 0; v < g.NumLower(); ++v) {
+    auto nbrs = g.Neighbors(Side::kLower, v);
+    for (std::size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_LT(nbrs[i - 1], nbrs[i]);
+    }
+  }
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(Graph, DegreesAndAttrCounts) {
+  BipartiteGraph g = MakeGraph(2, 3, {{0, 0}, {0, 1}, {0, 2}, {1, 2}},
+                               {0, 1}, {0, 0, 1});
+  EXPECT_EQ(g.Degree(Side::kUpper, 0), 3u);
+  EXPECT_EQ(g.Degree(Side::kUpper, 1), 1u);
+  EXPECT_EQ(g.Degree(Side::kLower, 2), 2u);
+  auto lower_counts = g.AttrCounts(Side::kLower);
+  ASSERT_EQ(lower_counts.size(), 2u);
+  EXPECT_EQ(lower_counts[0], 2u);
+  EXPECT_EQ(lower_counts[1], 1u);
+  EXPECT_DOUBLE_EQ(g.Density(), 4.0 / 6.0);
+  EXPECT_GT(g.MemoryBytes(), 0u);
+  EXPECT_NE(g.DebugString().find("|E|=4"), std::string::npos);
+}
+
+TEST(Graph, EmptyGraphIsValid) {
+  BipartiteGraphBuilder builder(0, 0);
+  auto result = builder.Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().Validate().ok());
+  EXPECT_EQ(result.value().Density(), 0.0);
+}
+
+TEST(InducedSubgraph, CompactsAndRemaps) {
+  BipartiteGraph g = MakeGraph(3, 4,
+                               {{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 2}, {2, 3}},
+                               {0, 1, 0}, {0, 1, 0, 1});
+  SideMasks masks;
+  masks.upper_alive = {1, 0, 1};
+  masks.lower_alive = {0, 1, 1, 1};
+  IdMaps maps;
+  BipartiteGraph sub = InducedSubgraph(g, masks, &maps);
+  EXPECT_EQ(sub.NumUpper(), 2u);
+  EXPECT_EQ(sub.NumLower(), 3u);
+  EXPECT_TRUE(sub.Validate().ok());
+  // u0 keeps only edge to v1 (alive); v0 dropped.
+  ASSERT_EQ(maps.upper_to_parent.size(), 2u);
+  EXPECT_EQ(maps.upper_to_parent[0], 0u);
+  EXPECT_EQ(maps.upper_to_parent[1], 2u);
+  EXPECT_EQ(maps.lower_to_parent[0], 1u);
+  // Edge (0,1) in parent becomes (0,0) in sub.
+  EXPECT_TRUE(sub.HasEdge(0, 0));
+  // Attributes carried over.
+  EXPECT_EQ(sub.Attr(Side::kUpper, 1), g.Attr(Side::kUpper, 2));
+  EXPECT_EQ(sub.Attr(Side::kLower, 0), g.Attr(Side::kLower, 1));
+}
+
+TEST(InducedSubgraph, AllAliveIsIdentity) {
+  BipartiteGraph g = MakeGraph(2, 2, {{0, 0}, {1, 1}, {0, 1}}, {0, 1}, {1, 0});
+  SideMasks masks;
+  masks.upper_alive = {1, 1};
+  masks.lower_alive = {1, 1};
+  IdMaps maps;
+  BipartiteGraph sub = InducedSubgraph(g, masks, &maps);
+  EXPECT_EQ(sub.NumEdges(), g.NumEdges());
+  EXPECT_TRUE(sub.HasEdge(0, 0));
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_TRUE(sub.HasEdge(1, 1));
+}
+
+TEST(SideMasks, CountAlive) {
+  SideMasks masks;
+  masks.upper_alive = {1, 0, 1, 1};
+  masks.lower_alive = {0, 0};
+  EXPECT_EQ(masks.CountAlive(Side::kUpper), 3u);
+  EXPECT_EQ(masks.CountAlive(Side::kLower), 0u);
+}
+
+}  // namespace
+}  // namespace fairbc

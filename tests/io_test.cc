@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace fairbc {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/fairbc_io_" + name;
+  }
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(IoTest, EdgeListRoundTrip) {
+  std::string path = TempPath("edges.txt");
+  WriteFile(path,
+            "% comment line\n"
+            "0 0\n"
+            "0 1\n"
+            "\n"
+            "2 1\n");
+  auto result = ReadEdgeList(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const BipartiteGraph& g = result.value();
+  EXPECT_EQ(g.NumUpper(), 3u);
+  EXPECT_EQ(g.NumLower(), 2u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_TRUE(g.HasEdge(2, 1));
+}
+
+TEST_F(IoTest, EdgeListMissingFile) {
+  auto result = ReadEdgeList(TempPath("does_not_exist"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, EdgeListMalformed) {
+  std::string path = TempPath("bad_edges.txt");
+  WriteFile(path, "0 zero\n");
+  auto result = ReadEdgeList(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruptInput);
+}
+
+TEST_F(IoTest, EdgeListNegativeIds) {
+  std::string path = TempPath("neg_edges.txt");
+  WriteFile(path, "-1 2\n");
+  auto result = ReadEdgeList(path);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(IoTest, AttributedRoundTrip) {
+  BipartiteGraph g = MakeUniformRandom(20, 15, 60, 2, /*seed=*/3);
+  std::string path = TempPath("attr.fbg");
+  ASSERT_TRUE(WriteAttributedGraph(g, path).ok());
+  auto result = ReadAttributedGraph(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const BipartiteGraph& h = result.value();
+  EXPECT_EQ(h.NumUpper(), g.NumUpper());
+  EXPECT_EQ(h.NumLower(), g.NumLower());
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+  for (VertexId u = 0; u < g.NumUpper(); ++u) {
+    EXPECT_EQ(h.Attr(Side::kUpper, u), g.Attr(Side::kUpper, u));
+    auto a = g.Neighbors(Side::kUpper, u);
+    auto b = h.Neighbors(Side::kUpper, u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  for (VertexId v = 0; v < g.NumLower(); ++v) {
+    EXPECT_EQ(h.Attr(Side::kLower, v), g.Attr(Side::kLower, v));
+  }
+}
+
+TEST_F(IoTest, AttributedMissingHeader) {
+  std::string path = TempPath("no_header.fbg");
+  WriteFile(path, "E 0 0\n");
+  auto result = ReadAttributedGraph(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruptInput);
+}
+
+TEST_F(IoTest, AttributedBadVersion) {
+  std::string path = TempPath("bad_version.fbg");
+  WriteFile(path, "%fairbc 9 2 2 2 2\nE 0 0\n");
+  auto result = ReadAttributedGraph(path);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(IoTest, AttributedEdgeOutOfRange) {
+  std::string path = TempPath("oob.fbg");
+  WriteFile(path, "%fairbc 1 2 2 2 2\nE 0 5\n");
+  auto result = ReadAttributedGraph(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruptInput);
+}
+
+TEST_F(IoTest, AttributedAttrOutOfDomain) {
+  std::string path = TempPath("bad_attr.fbg");
+  WriteFile(path, "%fairbc 1 2 2 2 2\nV 0 3\nE 0 0\n");
+  auto result = ReadAttributedGraph(path);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(IoTest, AttributedUnknownTag) {
+  std::string path = TempPath("bad_tag.fbg");
+  WriteFile(path, "%fairbc 1 2 2 2 2\nX 0 0\n");
+  auto result = ReadAttributedGraph(path);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace fairbc

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "core/bruteforce.h"
+#include "core/max_search.h"
+#include "test_util.h"
+
+namespace fairbc {
+namespace {
+
+using ::fairbc::testing::RandomSmallGraph;
+
+TEST(ObjectiveValue, BothObjectives) {
+  Biclique b{{1, 2, 3}, {4, 5}};
+  EXPECT_EQ(ObjectiveValue(b, BicliqueObjective::kEdges), 6u);
+  EXPECT_EQ(ObjectiveValue(b, BicliqueObjective::kVertices), 5u);
+}
+
+TEST(TopKSSFBC, MatchesBruteForceMaximum) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    BipartiteGraph g = RandomSmallGraph(seed, 8, 0.5);
+    FairBicliqueParams params{1, 1, 1, 0.0};
+    for (auto objective :
+         {BicliqueObjective::kEdges, BicliqueObjective::kVertices}) {
+      MaxSearchResult result = TopKSSFBC(g, params, {}, 1, objective);
+      auto oracle = BruteForceSSFBC(g, params);
+      if (oracle.empty()) {
+        EXPECT_TRUE(result.best.empty()) << "seed=" << seed;
+        continue;
+      }
+      std::uint64_t best = 0;
+      for (const auto& b : oracle) {
+        best = std::max(best, ObjectiveValue(b, objective));
+      }
+      ASSERT_EQ(result.best.size(), 1u) << "seed=" << seed;
+      EXPECT_EQ(ObjectiveValue(result.best[0], objective), best)
+          << "seed=" << seed;
+    }
+  }
+}
+
+TEST(TopKSSFBC, ReturnsSortedTopK) {
+  BipartiteGraph g = RandomSmallGraph(33, 10, 0.5);
+  FairBicliqueParams params{1, 1, 2, 0.0};
+  MaxSearchResult result =
+      TopKSSFBC(g, params, {}, 5, BicliqueObjective::kEdges);
+  ASSERT_LE(result.best.size(), 5u);
+  for (std::size_t i = 1; i < result.best.size(); ++i) {
+    EXPECT_GE(ObjectiveValue(result.best[i - 1], BicliqueObjective::kEdges),
+              ObjectiveValue(result.best[i], BicliqueObjective::kEdges));
+  }
+}
+
+TEST(TopKSSFBC, KLargerThanResultSet) {
+  BipartiteGraph g = RandomSmallGraph(7, 6, 0.5);
+  FairBicliqueParams params{1, 1, 1, 0.0};
+  MaxSearchResult all = TopKSSFBC(g, params, {}, 1000,
+                                  BicliqueObjective::kVertices);
+  EXPECT_EQ(all.best.size(), all.stats.num_results);
+}
+
+TEST(TopKSSFBC, DeterministicAcrossOrderings) {
+  BipartiteGraph g = RandomSmallGraph(44, 10, 0.45);
+  FairBicliqueParams params{1, 1, 1, 0.0};
+  EnumOptions id_ord, deg_ord;
+  id_ord.ordering = VertexOrdering::kId;
+  deg_ord.ordering = VertexOrdering::kDegreeDesc;
+  auto a = TopKSSFBC(g, params, id_ord, 3, BicliqueObjective::kEdges);
+  auto b = TopKSSFBC(g, params, deg_ord, 3, BicliqueObjective::kEdges);
+  EXPECT_EQ(a.best, b.best);
+}
+
+TEST(TopKBSFBC, MatchesBruteForceMaximum) {
+  for (std::uint64_t seed = 60; seed < 72; ++seed) {
+    BipartiteGraph g = RandomSmallGraph(seed, 6, 0.6);
+    FairBicliqueParams params{1, 1, 1, 0.0};
+    MaxSearchResult result =
+        TopKBSFBC(g, params, {}, 1, BicliqueObjective::kEdges);
+    auto oracle = BruteForceBSFBC(g, params);
+    if (oracle.empty()) {
+      EXPECT_TRUE(result.best.empty()) << "seed=" << seed;
+      continue;
+    }
+    std::uint64_t best = 0;
+    for (const auto& b : oracle) {
+      best = std::max(best, ObjectiveValue(b, BicliqueObjective::kEdges));
+    }
+    ASSERT_FALSE(result.best.empty());
+    EXPECT_EQ(ObjectiveValue(result.best[0], BicliqueObjective::kEdges), best)
+        << "seed=" << seed;
+  }
+}
+
+TEST(TopKSSFBC, ZeroKTreatedAsOne) {
+  BipartiteGraph g = RandomSmallGraph(9, 6, 0.6);
+  FairBicliqueParams params{1, 1, 1, 0.0};
+  MaxSearchResult result =
+      TopKSSFBC(g, params, {}, 0, BicliqueObjective::kEdges);
+  EXPECT_LE(result.best.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fairbc

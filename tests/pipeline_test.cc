@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace fairbc {
+namespace {
+
+using ::fairbc::testing::Canonicalize;
+using ::fairbc::testing::RandomSmallGraph;
+
+TEST(Pipeline, StatsSplitPruneAndEnumTime) {
+  BipartiteGraph g = MakeUniformRandom(300, 300, 2500, 2, 5);
+  FairBicliqueParams params{2, 2, 1, 0.0};
+  CountSink sink;
+  EnumStats stats = EnumerateSSFBCPlusPlus(g, params, {}, sink.AsSink());
+  EXPECT_GE(stats.prune_seconds, 0.0);
+  EXPECT_GE(stats.enum_seconds, 0.0);
+  EXPECT_LE(stats.remaining_upper, g.NumUpper());
+}
+
+TEST(Pipeline, MemoryMeterPopulatedWithColorfulPruning) {
+  AffiliationConfig config;
+  config.num_upper = 150;
+  config.num_lower = 150;
+  config.num_communities = 12;
+  config.seed = 31;
+  BipartiteGraph g = MakeAffiliation(config);
+  FairBicliqueParams params{2, 2, 1, 0.0};
+  CountSink sink;
+  EnumStats stats = EnumerateSSFBCPlusPlus(g, params, {}, sink.AsSink());
+  // The CFCore 2-hop graph + color matrices must be accounted.
+  EXPECT_GT(stats.peak_struct_bytes, 0u);
+}
+
+TEST(Pipeline, MaximalBicliquesPruned) {
+  BipartiteGraph g = RandomSmallGraph(17, 10, 0.5);
+  CollectSink sink;
+  EnumStats stats =
+      EnumerateMaximalBicliquesPruned(g, 2, 2, {}, sink.AsSink());
+  EXPECT_EQ(stats.num_results, sink.results().size());
+  for (const Biclique& b : sink.results()) {
+    EXPECT_GE(b.upper.size(), 2u);
+    EXPECT_GE(b.lower.size(), 2u);
+    for (VertexId u : b.upper) {
+      for (VertexId v : b.lower) EXPECT_TRUE(g.HasEdge(u, v));
+    }
+  }
+}
+
+TEST(Pipeline, TimeBudgetPropagates) {
+  BipartiteGraph g = MakeUniformRandom(500, 500, 20000, 2, 9);
+  FairBicliqueParams params{1, 1, 3, 0.0};
+  EnumOptions options;
+  options.time_budget_seconds = 1e-6;
+  CountSink sink;
+  EnumStats stats = EnumerateSSFBCNaive(g, params, options, sink.AsSink());
+  EXPECT_TRUE(stats.budget_exhausted);
+}
+
+TEST(Pipeline, SinkAbortIsHonored) {
+  BipartiteGraph g = RandomSmallGraph(23, 12, 0.5);
+  FairBicliqueParams params{1, 1, 2, 0.0};
+  std::uint64_t seen = 0;
+  EnumerateSSFBCPlusPlus(g, params, {}, [&](const Biclique&) {
+    ++seen;
+    return false;
+  });
+  EXPECT_LE(seen, 1u);
+}
+
+TEST(Pipeline, OrderingsAgreeOnResultSet) {
+  BipartiteGraph g = MakeUniformRandom(120, 120, 1200, 2, 41);
+  FairBicliqueParams params{2, 2, 1, 0.0};
+  EnumOptions id_ord, deg_ord;
+  id_ord.ordering = VertexOrdering::kId;
+  deg_ord.ordering = VertexOrdering::kDegreeDesc;
+  CollectSink a, b;
+  EnumerateSSFBCPlusPlus(g, params, id_ord, a.AsSink());
+  EnumerateSSFBCPlusPlus(g, params, deg_ord, b.AsSink());
+  EXPECT_EQ(Canonicalize(a.results()), Canonicalize(b.results()));
+}
+
+}  // namespace
+}  // namespace fairbc

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "test_util.h"
+
+namespace fairbc {
+namespace {
+
+using ::fairbc::testing::MakeGraph;
+using ::fairbc::testing::RandomSmallGraph;
+
+TEST(DegreeStats, BasicValues) {
+  BipartiteGraph g = MakeGraph(3, 3, {{0, 0}, {0, 1}, {0, 2}, {1, 0}},
+                               {0, 1, 0}, {0, 1, 0});
+  DegreeStats up = ComputeDegreeStats(g, Side::kUpper);
+  EXPECT_EQ(up.min_degree, 0u);
+  EXPECT_EQ(up.max_degree, 3u);
+  EXPECT_DOUBLE_EQ(up.mean_degree, 4.0 / 3.0);
+  EXPECT_EQ(up.isolated, 1u);  // u2 has no edges.
+  DegreeStats lo = ComputeDegreeStats(g, Side::kLower);
+  EXPECT_EQ(lo.max_degree, 2u);
+  EXPECT_EQ(lo.isolated, 0u);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  BipartiteGraph g;
+  DegreeStats stats = ComputeDegreeStats(g, Side::kUpper);
+  EXPECT_EQ(stats.max_degree, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 0.0);
+}
+
+TEST(DegreeHistogram, BucketsAndOverflow) {
+  BipartiteGraph g = MakeGraph(3, 3, {{0, 0}, {0, 1}, {0, 2}, {1, 0}},
+                               {0, 1, 0}, {0, 1, 0});
+  auto hist = DegreeHistogram(g, Side::kUpper, 2);
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 1u);  // u2
+  EXPECT_EQ(hist[1], 1u);  // u1
+  EXPECT_EQ(hist[2], 1u);  // u0 (degree 3, clamped into last bucket)
+}
+
+TEST(Butterflies, SingleButterfly) {
+  // Complete 2x2 = exactly one butterfly.
+  BipartiteGraph g = MakeGraph(2, 2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}},
+                               {0, 1}, {0, 1});
+  EXPECT_EQ(CountButterflies(g), 1u);
+}
+
+TEST(Butterflies, CompleteBipartite) {
+  // K_{3,4}: C(3,2) * C(4,2) = 3 * 6 = 18 butterflies.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId v = 0; v < 4; ++v) edges.emplace_back(u, v);
+  }
+  BipartiteGraph g = MakeGraph(3, 4, edges, {0, 1, 0}, {0, 1, 0, 1});
+  EXPECT_EQ(CountButterflies(g), 18u);
+}
+
+TEST(Butterflies, NoneInAStar) {
+  BipartiteGraph g = MakeGraph(1, 4, {{0, 0}, {0, 1}, {0, 2}, {0, 3}},
+                               {0}, {0, 1, 0, 1});
+  EXPECT_EQ(CountButterflies(g), 0u);
+}
+
+TEST(Butterflies, MatchesNaiveOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    BipartiteGraph g = RandomSmallGraph(seed, 12, 0.4);
+    EXPECT_EQ(CountButterflies(g), CountButterfliesNaive(g))
+        << "seed=" << seed << " " << g.DebugString();
+  }
+}
+
+TEST(Butterflies, SymmetricUnderSideChoice) {
+  // Anchoring heuristic must not change the count: compare skewed graphs
+  // where each side in turn has the smaller wedge sum.
+  BipartiteGraph tall = MakeUniformRandom(200, 20, 600, 2, 3);
+  BipartiteGraph wide = MakeUniformRandom(20, 200, 600, 2, 3);
+  EXPECT_EQ(CountButterflies(tall), CountButterfliesNaive(tall));
+  EXPECT_EQ(CountButterflies(wide), CountButterfliesNaive(wide));
+}
+
+TEST(AttrImbalance, BalancedAndSkewed) {
+  BipartiteGraph g = MakeGraph(2, 4, {{0, 0}, {1, 1}}, {0, 1}, {0, 0, 0, 1});
+  EXPECT_DOUBLE_EQ(AttrImbalance(g, Side::kUpper), 0.5);
+  EXPECT_DOUBLE_EQ(AttrImbalance(g, Side::kLower), 0.75);
+}
+
+TEST(StatsReport, MentionsKeyNumbers) {
+  BipartiteGraph g = MakeGraph(2, 2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}},
+                               {0, 1}, {0, 1});
+  std::string report = StatsReport(g);
+  EXPECT_NE(report.find("butterflies = 1"), std::string::npos);
+  EXPECT_NE(report.find("upper"), std::string::npos);
+  EXPECT_NE(report.find("lower"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairbc

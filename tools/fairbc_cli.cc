@@ -1,0 +1,236 @@
+// fairbc command-line tool.
+//
+// Usage:
+//   fairbc_cli stats   --graph=FILE [--format=edges|attr]
+//   fairbc_cli enum    --graph=FILE [--format=edges|attr] --model=ssfbc|bsfbc
+//                      [--algo=pp|bcem|naive] [--alpha=A] [--beta=B]
+//                      [--delta=D] [--theta=T] [--ordering=deg|id]
+//                      [--pruning=colorful|core|none] [--budget=SECONDS]
+//                      [--out=FILE] [--count-only] [--rand-attrs=N --seed=S]
+//   fairbc_cli gen     --out=FILE --kind=uniform|powerlaw|affiliation
+//                      [--nu=N --nv=N --edges=M --attrs=K --seed=S]
+//   fairbc_cli verify  --graph=FILE --results=FILE --model=ssfbc|bsfbc
+//                      [--alpha=A --beta=B --delta=D --theta=T]
+//
+// `--format=edges` reads a plain `u v` edge list (attributes default to
+// class 0; combine with --rand-attrs to mirror the paper's random
+// attribute assignment). `--format=attr` reads the %fairbc format.
+
+#include <iostream>
+#include <string>
+
+#include "common/flags.h"
+#include "core/pipeline.h"
+#include "core/verify.h"
+#include "graph/biclique_io.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+
+namespace {
+
+using fairbc::BipartiteGraph;
+using fairbc::FlagParser;
+using fairbc::Side;
+using fairbc::Status;
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+int Usage() {
+  std::cerr << "usage: fairbc_cli <stats|enum|gen> [flags]\n"
+               "run with a command to see its flags (top of tools/"
+               "fairbc_cli.cc)\n";
+  return 2;
+}
+
+fairbc::Result<BipartiteGraph> LoadGraph(const FlagParser& flags) {
+  std::string path = flags.GetString("graph", "");
+  if (path.empty()) {
+    return Status::InvalidArgument("--graph is required");
+  }
+  std::string format = flags.GetString("format", "attr");
+  fairbc::Result<BipartiteGraph> loaded =
+      format == "edges" ? fairbc::ReadEdgeList(path)
+                        : fairbc::ReadAttributedGraph(path);
+  if (!loaded.ok()) return loaded;
+  BipartiteGraph g = std::move(loaded).value();
+
+  auto rand_attrs = flags.GetInt("rand-attrs", 0);
+  if (rand_attrs > 1) {
+    // Re-attribute both sides uniformly, the paper's preprocessing for
+    // non-attributed inputs.
+    fairbc::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+    fairbc::BipartiteGraphBuilder builder(g.NumUpper(), g.NumLower());
+    for (fairbc::VertexId u = 0; u < g.NumUpper(); ++u) {
+      for (fairbc::VertexId v : g.Neighbors(Side::kUpper, u)) {
+        builder.AddEdge(u, v);
+      }
+    }
+    builder.AssignRandomAttrs(Side::kUpper, static_cast<fairbc::AttrId>(rand_attrs),
+                              rng);
+    builder.AssignRandomAttrs(Side::kLower, static_cast<fairbc::AttrId>(rand_attrs),
+                              rng);
+    return builder.Build();
+  }
+  return g;
+}
+
+int RunStats(const FlagParser& flags) {
+  auto loaded = LoadGraph(flags);
+  if (!loaded.ok()) return Fail(loaded.status());
+  std::cout << fairbc::StatsReport(loaded.value());
+  return 0;
+}
+
+int RunEnum(const FlagParser& flags) {
+  auto loaded = LoadGraph(flags);
+  if (!loaded.ok()) return Fail(loaded.status());
+  const BipartiteGraph& g = loaded.value();
+
+  fairbc::FairBicliqueParams params;
+  params.alpha = static_cast<std::uint32_t>(flags.GetInt("alpha", 1));
+  params.beta = static_cast<std::uint32_t>(flags.GetInt("beta", 1));
+  params.delta = static_cast<std::uint32_t>(flags.GetInt("delta", 0));
+  params.theta = flags.GetDouble("theta", 0.0);
+
+  fairbc::EnumOptions options;
+  std::string ordering = flags.GetString("ordering", "deg");
+  options.ordering = ordering == "id" ? fairbc::VertexOrdering::kId
+                                      : fairbc::VertexOrdering::kDegreeDesc;
+  std::string pruning = flags.GetString("pruning", "colorful");
+  options.pruning = pruning == "none"   ? fairbc::PruningLevel::kNone
+                    : pruning == "core" ? fairbc::PruningLevel::kCore
+                                        : fairbc::PruningLevel::kColorful;
+  options.time_budget_seconds = flags.GetDouble("budget", 0.0);
+
+  std::string model = flags.GetString("model", "ssfbc");
+  std::string algo = flags.GetString("algo", "pp");
+  auto run = [&](const fairbc::BicliqueSink& sink) {
+    if (model == "bsfbc") {
+      if (algo == "bcem") return fairbc::EnumerateBSFBC(g, params, options, sink);
+      if (algo == "naive") {
+        return fairbc::EnumerateBSFBCNaive(g, params, options, sink);
+      }
+      return fairbc::EnumerateBSFBCPlusPlus(g, params, options, sink);
+    }
+    if (algo == "bcem") return fairbc::EnumerateSSFBC(g, params, options, sink);
+    if (algo == "naive") {
+      return fairbc::EnumerateSSFBCNaive(g, params, options, sink);
+    }
+    return fairbc::EnumerateSSFBCPlusPlus(g, params, options, sink);
+  };
+
+  fairbc::EnumStats stats;
+  if (flags.GetBool("count-only", false)) {
+    fairbc::CountSink sink;
+    stats = run(sink.AsSink());
+    std::cout << "count: " << sink.count() << "\n";
+  } else {
+    fairbc::CollectSink sink;
+    stats = run(sink.AsSink());
+    std::string out = flags.GetString("out", "");
+    if (!out.empty()) {
+      Status st = fairbc::WriteBicliques(sink.results(), out);
+      if (!st.ok()) return Fail(st);
+      std::cout << "wrote " << sink.results().size() << " bicliques to "
+                << out << "\n";
+    } else {
+      for (const fairbc::Biclique& b : sink.results()) {
+        std::cout << b.DebugString() << "\n";
+      }
+    }
+  }
+  std::cout << "stats: " << stats.DebugString() << "\n";
+  return stats.budget_exhausted ? 3 : 0;
+}
+
+int RunGen(const FlagParser& flags) {
+  std::string out = flags.GetString("out", "");
+  if (out.empty()) return Fail(Status::InvalidArgument("--out is required"));
+  auto nu = static_cast<fairbc::VertexId>(flags.GetInt("nu", 1000));
+  auto nv = static_cast<fairbc::VertexId>(flags.GetInt("nv", 1000));
+  auto edges = static_cast<fairbc::EdgeIndex>(flags.GetInt("edges", 5000));
+  auto attrs = static_cast<fairbc::AttrId>(flags.GetInt("attrs", 2));
+  auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  std::string kind = flags.GetString("kind", "affiliation");
+
+  BipartiteGraph g;
+  if (kind == "uniform") {
+    g = fairbc::MakeUniformRandom(nu, nv, edges, attrs, seed);
+  } else if (kind == "powerlaw") {
+    g = fairbc::MakePowerLaw(nu, nv, edges, flags.GetDouble("gamma", 2.2),
+                             attrs, seed);
+  } else {
+    fairbc::AffiliationConfig config;
+    config.num_upper = nu;
+    config.num_lower = nv;
+    config.num_communities =
+        static_cast<std::uint32_t>(flags.GetInt("communities", 60));
+    config.num_upper_attrs = attrs;
+    config.num_lower_attrs = attrs;
+    config.seed = seed;
+    g = fairbc::MakeAffiliation(config);
+  }
+  Status st = fairbc::WriteAttributedGraph(g, out);
+  if (!st.ok()) return Fail(st);
+  std::cout << "wrote " << g.DebugString() << " to " << out << "\n";
+  return 0;
+}
+
+int RunVerify(const FlagParser& flags) {
+  auto loaded = LoadGraph(flags);
+  if (!loaded.ok()) return Fail(loaded.status());
+  std::string results_path = flags.GetString("results", "");
+  if (results_path.empty()) {
+    return Fail(Status::InvalidArgument("--results is required"));
+  }
+  auto results = fairbc::ReadBicliques(results_path);
+  if (!results.ok()) return Fail(results.status());
+
+  fairbc::FairBicliqueParams params;
+  params.alpha = static_cast<std::uint32_t>(flags.GetInt("alpha", 1));
+  params.beta = static_cast<std::uint32_t>(flags.GetInt("beta", 1));
+  params.delta = static_cast<std::uint32_t>(flags.GetInt("delta", 0));
+  params.theta = flags.GetDouble("theta", 0.0);
+  fairbc::FairModel model = flags.GetString("model", "ssfbc") == "bsfbc"
+                                ? fairbc::FairModel::kBsfbc
+                                : fairbc::FairModel::kSsfbc;
+  Status st = fairbc::VerifyResultSet(loaded.value(), results.value(), params,
+                                      model);
+  if (!st.ok()) return Fail(st);
+  std::cout << "OK: " << results.value().size()
+            << " results verified (biclique, fairness, maximality, no "
+               "duplicates)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  FlagParser flags;
+  Status st = flags.Parse(argc - 1, argv + 1);
+  if (!st.ok()) return Fail(st);
+
+  int rc;
+  if (command == "stats") {
+    rc = RunStats(flags);
+  } else if (command == "enum") {
+    rc = RunEnum(flags);
+  } else if (command == "gen") {
+    rc = RunGen(flags);
+  } else if (command == "verify") {
+    rc = RunVerify(flags);
+  } else {
+    return Usage();
+  }
+  for (const std::string& name : flags.UnusedFlags()) {
+    std::cerr << "warning: unknown flag --" << name << " ignored\n";
+  }
+  return rc;
+}
