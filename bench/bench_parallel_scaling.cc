@@ -1,0 +1,124 @@
+// Parallel scaling of the ++ engines: wall-clock for SSFBC++ and BSFBC++
+// at 1/2/4/8 worker threads on a fixed synthetic affiliation graph,
+// emitted as JSON so the perf trajectory is machine-readable across PRs.
+//
+// Expected shape on a multi-core host: near-linear speedup while the
+// thread count stays at or below the physical cores (root branches
+// dominate and steal-balancing keeps workers busy), flattening once
+// threads exceed cores. On a single-core host every row reports
+// speedup ~1.0 and the run only measures fan-out overhead.
+//
+// FAIRBC_SCALE scales the graph (default 1.0); FAIRBC_MAX_THREADS caps
+// the sweep (default 8).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/datasets.h"
+#include "common/timer.h"
+#include "core/pipeline.h"
+#include "graph/generators.h"
+
+namespace {
+
+using fairbc::BipartiteGraph;
+using fairbc::EnumOptions;
+using fairbc::EnumStats;
+using fairbc::FairBicliqueParams;
+
+struct Run {
+  unsigned threads;
+  double seconds;
+  std::uint64_t results;
+};
+
+double RunOnce(const fairbc::BipartiteGraph& g,
+               const FairBicliqueParams& params, unsigned threads,
+               bool bi_side, std::uint64_t* count) {
+  EnumOptions options;
+  options.num_threads = threads;
+  fairbc::CountSink sink;
+  fairbc::Timer timer;
+  EnumStats stats = bi_side
+                        ? fairbc::EnumerateBSFBCPlusPlus(g, params, options,
+                                                         sink.AsSink())
+                        : fairbc::EnumerateSSFBCPlusPlus(g, params, options,
+                                                         sink.AsSink());
+  double seconds = timer.ElapsedSeconds();
+  (void)stats;
+  *count = sink.count();
+  return seconds;
+}
+
+void EmitEngine(std::ostream& os, const BipartiteGraph& g,
+                const std::string& name, const FairBicliqueParams& params,
+                bool bi_side, unsigned max_threads, bool last) {
+  std::vector<Run> runs;
+  std::uint64_t reference_count = 0;
+  for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
+    std::uint64_t count = 0;
+    // Best of two runs per point to damp scheduler noise.
+    double seconds = RunOnce(g, params, threads, bi_side, &count);
+    std::uint64_t count2 = 0;
+    seconds = std::min(seconds, RunOnce(g, params, threads, bi_side, &count2));
+    if (threads == 1) reference_count = count;
+    if (count != reference_count || count2 != reference_count) {
+      std::cerr << "ERROR: " << name << " result count changed with threads="
+                << threads << " (" << count << "/" << count2 << " vs "
+                << reference_count << ")\n";
+      std::exit(1);
+    }
+    runs.push_back({threads, seconds, count});
+  }
+  os << "    {\"engine\": \"" << name << "\", \"results\": "
+     << reference_count << ", \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    os << "      {\"threads\": " << runs[i].threads
+       << ", \"seconds\": " << runs[i].seconds
+       << ", \"speedup\": " << runs[0].seconds / runs[i].seconds << "}"
+       << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  os << "    ]}" << (last ? "" : ",") << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const double scale = fairbc::EnvScale();
+  unsigned max_threads = 8;
+  if (const char* env = std::getenv("FAIRBC_MAX_THREADS")) {
+    max_threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (max_threads == 0) max_threads = 1;
+  }
+
+  fairbc::AffiliationConfig config;
+  config.num_upper = static_cast<fairbc::VertexId>(1500 * scale);
+  config.num_lower = static_cast<fairbc::VertexId>(1500 * scale);
+  config.num_communities = static_cast<std::uint32_t>(90 * scale);
+  config.community_upper_max = 20;
+  config.community_lower_max = 20;
+  config.seed = 7;
+  BipartiteGraph g = fairbc::MakeAffiliation(config);
+
+  FairBicliqueParams params{2, 2, 1, 0.0};
+
+  std::cout << "{\n  \"bench\": \"parallel_scaling\",\n"
+            << "  \"hardware_threads\": "
+            << std::thread::hardware_concurrency() << ",\n"
+            << "  \"graph\": {\"upper\": " << g.NumUpper()
+            << ", \"lower\": " << g.NumLower()
+            << ", \"edges\": " << g.NumEdges() << "},\n"
+            << "  \"params\": {\"alpha\": " << params.alpha
+            << ", \"beta\": " << params.beta
+            << ", \"delta\": " << params.delta << "},\n"
+            << "  \"engines\": [\n";
+  EmitEngine(std::cout, g, "ssfbc_pp", params, /*bi_side=*/false, max_threads,
+             /*last=*/false);
+  EmitEngine(std::cout, g, "bsfbc_pp", params, /*bi_side=*/true, max_threads,
+             /*last=*/true);
+  std::cout << "  ]\n}\n";
+  return 0;
+}

@@ -1,9 +1,11 @@
 #include "core/bfair_bcem.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "core/fair_bcem_pp.h"
 #include "core/intersect.h"
+#include "core/search_context.h"
 #include "fairness/combination.h"
 #include "fairness/fair_set.h"
 
@@ -32,15 +34,21 @@ EnumStats BFairBcemRun(const BipartiteGraph& g,
   EnumStats stats;
   if (g.NumUpper() == 0 || g.NumLower() == 0) return stats;
   const FairnessSpec upper_spec = params.UpperSpec();
-  const FairnessSpec lower_spec = params.LowerSpec();
+  // The bi-side model is the lower-side policy applied once more on the
+  // upper side; both policies are shared read-only by every worker.
+  const SpecFairnessPolicy lower_policy(params.LowerSpec());
 
   // Every bi-side fair biclique has at least num_upper_attrs * alpha upper
   // vertices, so the inner single-side search can use the tighter bound.
   const std::uint32_t min_upper = std::max<std::uint32_t>(
       1u, params.alpha * g.NumAttrs(Side::kUpper));
 
-  bool aborted = false;
-  std::uint64_t emitted = 0;
+  // The inner engine delivers single-side fair bicliques from several
+  // workers at once when options.num_threads != 1; this body keeps all
+  // its state per-call or atomic and forwards to `sink` under the
+  // engine-level threading contract (core/enumerate.h).
+  std::atomic<bool> aborted{false};
+  std::atomic<std::uint64_t> emitted{0};
 
   // Paper Alg. 9 body, run per single-side fair biclique (L', R').
   BicliqueSink ss_sink = [&](const Biclique& ss) {
@@ -52,21 +60,20 @@ EnumStats BFairBcemRun(const BipartiteGraph& g,
           std::vector<VertexId> hood = CommonLowerNeighborhood(g, l_sub);
           // R' ⊆ N∩(l') always holds (l' ⊆ N∩(R')); (l', R') is a bi-side
           // fair biclique iff R' cannot be fairly extended inside N∩(l').
-          if (IsMaximalFairVector(r_sizes,
-                                  AttrSizes(g, Side::kLower, hood),
-                                  lower_spec)) {
+          if (lower_policy.MaximalWithin(r_sizes,
+                                         AttrSizes(g, Side::kLower, hood))) {
             Biclique b;
             b.upper.assign(l_sub.begin(), l_sub.end());
             b.lower = ss.lower;
-            ++emitted;
+            emitted.fetch_add(1, std::memory_order_relaxed);
             if (!sink(b)) {
-              aborted = true;
+              aborted.store(true, std::memory_order_relaxed);
               return false;
             }
           }
           return true;
         });
-    return !aborted;
+    return !aborted.load(std::memory_order_relaxed);
   };
 
   switch (engine) {
@@ -82,7 +89,7 @@ EnumStats BFairBcemRun(const BipartiteGraph& g,
                           ss_sink);
       break;
   }
-  stats.num_results = emitted;
+  stats.num_results = emitted.load(std::memory_order_relaxed);
   return stats;
 }
 

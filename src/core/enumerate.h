@@ -1,8 +1,10 @@
 #ifndef FAIRBC_CORE_ENUMERATE_H_
 #define FAIRBC_CORE_ENUMERATE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +41,17 @@ struct Biclique {
 };
 
 /// Receives results; return false to abort the enumeration.
+///
+/// Threading contract: the pipeline.h entry points always invoke the
+/// caller's sink one call at a time (they wrap it in a SerializingSink,
+/// core/parallel.h, before fanning out), so sinks passed to the public API
+/// need no synchronization of their own — but when
+/// EnumOptions::num_threads != 1 the calls arrive from worker threads in
+/// nondeterministic order. The lower-level engine entry points
+/// (FairBcemRun, FairBcemPpRun, BFairBcemRun, EnumerateMaximalBicliques)
+/// skip that wrapping and may invoke their sink concurrently; direct
+/// callers running with num_threads != 1 must pass a thread-safe sink
+/// (CollectSink/CountSink below qualify).
 using BicliqueSink = std::function<bool(const Biclique&)>;
 
 /// Candidate processing order in the branch-and-bound search (Table II).
@@ -62,6 +75,12 @@ struct EnumOptions {
   std::uint64_t node_budget = 0;
   /// Wall-clock budget in seconds (0 = unlimited).
   double time_budget_seconds = 0.0;
+  /// Worker threads for the root-level subtree fan-out: 1 = serial (the
+  /// exact pre-parallel traversal, node accounting included), 0 = one per
+  /// hardware thread, n = n workers. The result *set* is identical for
+  /// every value; emission order and search_nodes bookkeeping may differ
+  /// once the search actually runs on several workers.
+  unsigned num_threads = 1;
 };
 
 /// Counters reported by every enumeration entry point.
@@ -81,11 +100,15 @@ struct EnumStats {
   std::string DebugString() const;
 };
 
-/// Convenience sink collecting every result.
+/// Convenience sink collecting every result. Internally synchronized so it
+/// is safe even with the engine-level entry points that emit from several
+/// workers; results()/mutable_results() must only be read after the
+/// enumeration returned.
 class CollectSink {
  public:
   BicliqueSink AsSink() {
     return [this](const Biclique& b) {
+      std::lock_guard<std::mutex> lock(mu_);
       results_.push_back(b);
       return true;
     };
@@ -94,22 +117,25 @@ class CollectSink {
   std::vector<Biclique>& mutable_results() { return results_; }
 
  private:
+  std::mutex mu_;
   std::vector<Biclique> results_;
 };
 
-/// Convenience sink that only counts.
+/// Convenience sink that only counts; safe under concurrent emission.
 class CountSink {
  public:
   BicliqueSink AsSink() {
     return [this](const Biclique&) {
-      ++count_;
+      count_.fetch_add(1, std::memory_order_relaxed);
       return true;
     };
   }
-  std::uint64_t count() const { return count_; }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t count_ = 0;
+  std::atomic<std::uint64_t> count_{0};
 };
 
 }  // namespace fairbc

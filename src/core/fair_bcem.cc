@@ -1,194 +1,178 @@
 #include "core/fair_bcem.h"
 
 #include <algorithm>
+#include <memory>
+#include <span>
+#include <vector>
 
-#include "common/status.h"
-#include "common/timer.h"
 #include "core/intersect.h"
 #include "core/ordering.h"
+#include "core/parallel.h"
+#include "core/search_context.h"
 #include "fairness/fair_vector.h"
 
 namespace fairbc {
 
 namespace {
 
+// FairBCEM recursion (paper Alg. 5) on the shared SearchContext layer:
+// the context owns stats, budget, fairness policy and sink; this class
+// owns only the branch-and-bound logic. Root-level branches are
+// independent (branch i's exclusion set is exactly the candidates before
+// it), which is what the parallel fan-out in FairBcemRun exploits.
 class FairBcemEngine {
  public:
-  FairBcemEngine(const BipartiteGraph& g, const FairBicliqueParams& params,
-                 std::uint32_t min_upper, const EnumOptions& options,
-                 const FairBcemSearchOptions& search, const BicliqueSink& sink)
-      : g_(g),
-        spec_(params.LowerSpec()),
-        min_upper_(std::max(min_upper, 1u)),
-        options_(options),
+  FairBcemEngine(SearchContext& ctx, const FairBcemSearchOptions& search,
+                 std::uint32_t min_upper)
+      : ctx_(ctx),
         search_(search),
-        sink_(sink),
-        deadline_(options.time_budget_seconds),
-        num_attrs_(g.NumAttrs(Side::kLower)) {}
+        min_upper_(std::max(min_upper, 1u)),
+        num_attrs_(ctx.graph().NumAttrs(Side::kLower)) {}
 
-  EnumStats Run() {
-    std::vector<VertexId> upper_all(g_.NumUpper());
-    for (VertexId u = 0; u < g_.NumUpper(); ++u) upper_all[u] = u;
-    std::vector<VertexId> candidates =
-        MakeOrder(g_, Side::kLower, options_.ordering);
-    Recurse(std::move(upper_all), {}, std::move(candidates), {});
-    return stats_;
+  /// Full serial search; traversal (and node accounting) is identical to
+  /// running every root branch in candidate order.
+  void Run(const std::vector<VertexId>& upper_all,
+           const std::vector<VertexId>& candidates) {
+    Recurse(upper_all, {}, candidates, {});
+  }
+
+  /// One root-level subtree: the branch on candidates[root] with the
+  /// exclusion prefix candidates[0..root).
+  void RunRootBranch(const std::vector<VertexId>& upper_all,
+                     const std::vector<VertexId>& candidates,
+                     std::size_t root) {
+    std::span<const VertexId> all(candidates);
+    Branch(upper_all, {}, SizeVector(num_attrs_, 0), all.subspan(root),
+           all.first(root));
   }
 
  private:
-  bool OverBudget() {
-    if (aborted_) return true;
-    if ((options_.node_budget > 0 &&
-         stats_.search_nodes >= options_.node_budget) ||
-        deadline_.Expired()) {
-      stats_.budget_exhausted = true;
-      return true;
-    }
-    return false;
-  }
-
   std::uint32_t CandidateThreshold() const {
     return search_.filter_candidates_alpha ? min_upper_ : 1u;
-  }
-
-  SizeVector SizesOf(const std::vector<VertexId>& vs) const {
-    SizeVector sizes(num_attrs_, 0);
-    for (VertexId v : vs) ++sizes[g_.Attr(Side::kLower, v)];
-    return sizes;
   }
 
   // Emits (upper, lower) if the maximality check against `ground_sizes`
   // passes. `lower_sizes` must be the class sizes of `lower`.
   void MaybeEmit(const std::vector<VertexId>& upper,
-                 const std::vector<VertexId>& lower,
-                 const SizeVector& lower_sizes, const SizeVector& ground_sizes) {
+                 std::vector<VertexId> lower, const SizeVector& lower_sizes,
+                 const SizeVector& ground_sizes) {
     if (upper.size() < min_upper_) return;
-    if (!IsFeasibleVector(lower_sizes, spec_)) return;
-    if (!IsMaximalFairVector(lower_sizes, ground_sizes, spec_)) return;
+    if (!ctx_.policy().Feasible(lower_sizes)) return;
+    if (!ctx_.policy().MaximalWithin(lower_sizes, ground_sizes)) return;
     Biclique b;
     b.upper = upper;
-    b.lower = lower;
+    b.lower = std::move(lower);
     std::sort(b.lower.begin(), b.lower.end());
-    ++stats_.num_results;
-    if (!sink_(b)) aborted_ = true;
+    ctx_.Emit(b);
   }
 
-  void Recurse(std::vector<VertexId> big_l, std::vector<VertexId> r,
-               std::vector<VertexId> p, std::vector<VertexId> q) {
-    const SizeVector r_sizes_base = SizesOf(r);
-    while (!p.empty()) {
-      if (OverBudget()) return;
-      ++stats_.search_nodes;
-      const VertexId x = p.front();
+  // Processes the branch rooted at p[0] (remaining candidates p, exclusion
+  // set q; `r_sizes` are the class sizes of r, computed once per level)
+  // and recurses into its subtree. Returns false when the whole search
+  // must stop (budget exhausted or sink abort).
+  bool Branch(const std::vector<VertexId>& big_l,
+              const std::vector<VertexId>& r, const SizeVector& r_sizes,
+              std::span<const VertexId> p, std::span<const VertexId> q) {
+    if (ctx_.ShouldStop()) return false;
+    ctx_.CountNode();
+    const BipartiteGraph& g = ctx_.graph();
+    const VertexId x = p.front();
 
-      std::vector<VertexId> new_l = Intersect(big_l, g_.Neighbors(Side::kLower, x));
-      std::vector<VertexId> new_r = r;
-      new_r.push_back(x);
+    std::vector<VertexId> new_l =
+        Intersect(big_l, g.Neighbors(Side::kLower, x));
 
-      bool viable = !new_l.empty();
-      if (search_.prune_small_l && new_l.size() < min_upper_) viable = false;
+    bool viable = !new_l.empty();
+    if (search_.prune_small_l && new_l.size() < min_upper_) viable = false;
 
-      std::vector<VertexId> new_q;
-      std::vector<VertexId> q_full;
-      if (viable) {
-        const std::uint32_t keep_at = CandidateThreshold();
-        for (VertexId v : q) {
-          std::uint32_t c = IntersectSize(g_.Neighbors(Side::kLower, v), new_l);
-          if (c == new_l.size()) q_full.push_back(v);
-          if (c >= keep_at) new_q.push_back(v);
-        }
-        if (search_.prune_excluded_full && !q_full.empty()) {
-          // Observation 2: one fully-connected excluded vertex per class
-          // means no descendant can be maximal.
-          SizeVector cover(num_attrs_, 0);
-          for (VertexId v : q_full) ++cover[g_.Attr(Side::kLower, v)];
-          bool all_covered = true;
-          for (auto c : cover) {
-            if (c == 0) {
-              all_covered = false;
-              break;
-            }
+    std::vector<VertexId> new_q;
+    std::vector<VertexId> q_full;
+    if (viable) {
+      FilterCandidates(g, Side::kLower, q, new_l, CandidateThreshold(), &new_q,
+                       &q_full);
+      if (search_.prune_excluded_full && !q_full.empty()) {
+        // Observation 2: one fully-connected excluded vertex per class
+        // means no descendant can be maximal.
+        SizeVector cover(num_attrs_, 0);
+        for (VertexId v : q_full) ++cover[g.Attr(Side::kLower, v)];
+        bool all_covered = true;
+        for (auto c : cover) {
+          if (c == 0) {
+            all_covered = false;
+            break;
           }
-          if (all_covered) viable = false;
+        }
+        if (all_covered) viable = false;
+      }
+    }
+    if (!viable) return true;
+
+    std::vector<VertexId> new_p;
+    std::vector<VertexId> p_full;
+    FilterCandidates(g, Side::kLower, p.subspan(1), new_l,
+                     CandidateThreshold(), &new_p, &p_full);
+
+    std::vector<VertexId> new_r = r;
+    new_r.push_back(x);
+    SizeVector new_r_sizes = r_sizes;
+    ++new_r_sizes[g.Attr(Side::kLower, x)];
+    SizeVector ground_sizes = new_r_sizes;
+    for (VertexId v : p_full) ++ground_sizes[g.Attr(Side::kLower, v)];
+    for (VertexId v : q_full) ++ground_sizes[g.Attr(Side::kLower, v)];
+
+    bool shortcut = false;
+    // p_full ⊆ new_p requires |new_l| >= threshold; only then does the
+    // size equality mean "every remaining candidate is fully connected".
+    if (search_.absorb_full_candidates &&
+        new_l.size() >= CandidateThreshold() &&
+        new_p.size() == p_full.size()) {
+      // Observation 4: every remaining candidate is fully connected.
+      SizeVector all_sizes = new_r_sizes;
+      for (VertexId v : p_full) ++all_sizes[g.Attr(Side::kLower, v)];
+      if (ctx_.policy().Feasible(all_sizes)) {
+        std::vector<VertexId> all_r = new_r;
+        all_r.insert(all_r.end(), p_full.begin(), p_full.end());
+        MaybeEmit(new_l, std::move(all_r), all_sizes, ground_sizes);
+        shortcut = true;
+      }
+    }
+
+    if (!shortcut) {
+      MaybeEmit(new_l, new_r, new_r_sizes, ground_sizes);
+      if (ctx_.budget().aborted()) return false;
+      if (!new_p.empty()) {
+        bool reachable = true;
+        if (search_.prune_class_counts) {
+          // Observation 5 (second half): every class must be able to
+          // reach beta from R' plus the candidate pool.
+          SizeVector pool = new_r_sizes;
+          for (VertexId v : new_p) ++pool[g.Attr(Side::kLower, v)];
+          reachable = ctx_.policy().Reachable(pool);
+        }
+        if (reachable) {
+          Recurse(new_l, new_r, new_p, std::move(new_q));
+          if (ctx_.ShouldStop()) return false;
         }
       }
+    }
+    return !ctx_.budget().aborted();
+  }
 
-      if (viable) {
-        const std::uint32_t keep_at = CandidateThreshold();
-        std::vector<VertexId> new_p;
-        std::vector<VertexId> p_full;
-        for (std::size_t i = 1; i < p.size(); ++i) {
-          const VertexId v = p[i];
-          std::uint32_t c = IntersectSize(g_.Neighbors(Side::kLower, v), new_l);
-          if (c == new_l.size()) p_full.push_back(v);
-          if (c >= keep_at) new_p.push_back(v);
-        }
-
-        SizeVector new_r_sizes = r_sizes_base;
-        ++new_r_sizes[g_.Attr(Side::kLower, x)];
-        SizeVector ground_sizes = new_r_sizes;
-        for (VertexId v : p_full) ++ground_sizes[g_.Attr(Side::kLower, v)];
-        for (VertexId v : q_full) ++ground_sizes[g_.Attr(Side::kLower, v)];
-
-        bool shortcut = false;
-        // p_full ⊆ new_p requires |new_l| >= keep_at; only then does the
-        // size equality mean "every remaining candidate is fully
-        // connected".
-        if (search_.absorb_full_candidates && new_l.size() >= keep_at &&
-            new_p.size() == p_full.size()) {
-          // Observation 4: every remaining candidate is fully connected.
-          SizeVector all_sizes = new_r_sizes;
-          for (VertexId v : p_full) ++all_sizes[g_.Attr(Side::kLower, v)];
-          if (IsFeasibleVector(all_sizes, spec_)) {
-            std::vector<VertexId> all_r = new_r;
-            all_r.insert(all_r.end(), p_full.begin(), p_full.end());
-            MaybeEmit(new_l, all_r, all_sizes, ground_sizes);
-            shortcut = true;
-          }
-        }
-
-        if (!shortcut) {
-          MaybeEmit(new_l, new_r, new_r_sizes, ground_sizes);
-          if (aborted_) return;
-          if (!new_p.empty()) {
-            bool reachable = true;
-            if (search_.prune_class_counts) {
-              // Observation 5 (second half): every class must be able to
-              // reach beta from R' plus the candidate pool.
-              SizeVector pool = new_r_sizes;
-              for (VertexId v : new_p) ++pool[g_.Attr(Side::kLower, v)];
-              for (auto c : pool) {
-                if (c < spec_.min_per_class) {
-                  reachable = false;
-                  break;
-                }
-              }
-            }
-            if (reachable) {
-              Recurse(new_l, new_r, std::move(new_p), std::move(new_q));
-              if (aborted_ || OverBudget()) return;
-            }
-          }
-        }
-        if (aborted_) return;
-      }
-
-      // Move x from P to Q.
-      q.push_back(x);
-      p.erase(p.begin());
+  // Branches on every candidate of p in order, growing the exclusion set.
+  void Recurse(const std::vector<VertexId>& big_l,
+               const std::vector<VertexId>& r, const std::vector<VertexId>& p,
+               std::vector<VertexId> q) {
+    const SizeVector r_sizes = ctx_.ClassSizes(Side::kLower, r);
+    std::span<const VertexId> rest(p);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (!Branch(big_l, r, r_sizes, rest.subspan(i), q)) return;
+      q.push_back(p[i]);
     }
   }
 
-  const BipartiteGraph& g_;
-  const FairnessSpec spec_;
-  const std::uint32_t min_upper_;
-  const EnumOptions& options_;
+  SearchContext& ctx_;
   const FairBcemSearchOptions& search_;
-  const BicliqueSink& sink_;
-  Deadline deadline_;
+  const std::uint32_t min_upper_;
   const AttrId num_attrs_;
-  EnumStats stats_;
-  bool aborted_ = false;
 };
 
 }  // namespace
@@ -200,8 +184,32 @@ EnumStats FairBcemRun(const BipartiteGraph& g, const FairBicliqueParams& params,
   if (g.NumUpper() == 0 || g.NumLower() == 0) {
     return {};
   }
-  FairBcemEngine engine(g, params, min_upper, options, search, sink);
-  EnumStats stats = engine.Run();
+  SpecFairnessPolicy policy(params.LowerSpec());
+  SearchBudget budget(options);
+  const std::vector<VertexId> upper_all = AllVertices(g, Side::kUpper);
+  const std::vector<VertexId> candidates =
+      MakeOrder(g, Side::kLower, options.ordering);
+
+  EnumStats stats;
+  const unsigned num_threads = ResolveNumThreads(options.num_threads);
+  if (num_threads <= 1) {
+    SearchContext ctx(g, options, policy, budget, sink);
+    FairBcemEngine(ctx, search, min_upper).Run(upper_all, candidates);
+    stats = ctx.stats();
+  } else {
+    auto contexts = FanOutRootBranches<std::unique_ptr<SearchContext>>(
+        num_threads, candidates.size(),
+        [&](unsigned) {
+          return std::make_unique<SearchContext>(g, options, policy, budget,
+                                                 sink);
+        },
+        [&](SearchContext& ctx, std::uint64_t task) {
+          FairBcemEngine(ctx, search, min_upper)
+              .RunRootBranch(upper_all, candidates, task);
+        });
+    for (const auto& ctx : contexts) MergeEnumStats(stats, ctx->stats());
+  }
+  stats.budget_exhausted = budget.exhausted();
   stats.remaining_upper = g.NumUpper();
   stats.remaining_lower = g.NumLower();
   return stats;

@@ -1,6 +1,7 @@
 #include "core/fair_bcem_pp.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/timer.h"
 #include "core/intersect.h"
@@ -45,23 +46,31 @@ EnumStats FairBcemPpRun(const BipartiteGraph& g,
   config.ordering = options.ordering;
   config.node_budget = options.node_budget;
   config.time_budget_seconds = options.time_budget_seconds;
+  config.num_threads = options.num_threads;
 
+  // The substrate may deliver maximal bicliques from several workers at
+  // once (config.num_threads != 1), so everything the per-biclique
+  // post-processing shares is atomic; `sink` follows the engine-level
+  // threading contract (core/enumerate.h).
   Deadline deadline(options.time_budget_seconds);
-  bool aborted = false;
+  std::atomic<bool> aborted{false};
+  std::atomic<bool> subset_budget_exhausted{false};
+  std::atomic<std::uint64_t> num_results{0};
+  std::atomic<std::uint64_t> visited{0};
 
   auto emit = [&](const std::vector<VertexId>& upper,
                   std::vector<VertexId> lower) {
     Biclique b;
     b.upper = upper;
     b.lower = std::move(lower);
-    ++stats.num_results;
-    if (!sink(b)) aborted = true;
-    return !aborted;
+    num_results.fetch_add(1, std::memory_order_relaxed);
+    if (!sink(b)) aborted.store(true, std::memory_order_relaxed);
+    return !aborted.load(std::memory_order_relaxed);
   };
 
   MaximalBicliqueSink mb_sink = [&](const std::vector<VertexId>& upper,
                                     const std::vector<VertexId>& lower) {
-    ++stats.maximal_bicliques_visited;
+    visited.fetch_add(1, std::memory_order_relaxed);
     SizeVector sizes = AttrSizes(g, Side::kLower, lower);
     if (IsFeasibleVector(sizes, spec)) {
       // A fair closure is its own unique maximal fair subset and its
@@ -74,7 +83,7 @@ EnumStats FairBcemPpRun(const BipartiteGraph& g,
     EnumerateMaximalFairSubsets(
         g, Side::kLower, lower, spec, [&](std::span<const VertexId> subset) {
           if (deadline.Expired()) {
-            stats.budget_exhausted = true;
+            subset_budget_exhausted.store(true, std::memory_order_relaxed);
             return false;
           }
           if (subset.empty()) return true;
@@ -87,12 +96,17 @@ EnumStats FairBcemPpRun(const BipartiteGraph& g,
           }
           return true;
         });
-    return !aborted && !stats.budget_exhausted;
+    return !aborted.load(std::memory_order_relaxed) &&
+           !subset_budget_exhausted.load(std::memory_order_relaxed);
   };
 
   MbeaStats mb_stats = EnumerateMaximalBicliques(g, config, mb_sink);
+  stats.num_results = num_results.load(std::memory_order_relaxed);
+  stats.maximal_bicliques_visited = visited.load(std::memory_order_relaxed);
   stats.search_nodes = mb_stats.search_nodes;
-  stats.budget_exhausted = stats.budget_exhausted || mb_stats.budget_exhausted;
+  stats.budget_exhausted =
+      subset_budget_exhausted.load(std::memory_order_relaxed) ||
+      mb_stats.budget_exhausted;
   stats.remaining_upper = g.NumUpper();
   stats.remaining_lower = g.NumLower();
   return stats;

@@ -1,47 +1,58 @@
 #include "core/mbea.h"
 
 #include <algorithm>
+#include <memory>
+#include <span>
 
-#include "common/status.h"
-#include "common/timer.h"
 #include "core/intersect.h"
 #include "core/ordering.h"
+#include "core/parallel.h"
+#include "core/search_context.h"
 
 namespace fairbc {
 
 namespace {
 
+// iMBEA recursion on the shared budget layer. One instance per worker;
+// stats_ is worker-local, the SearchBudget is shared by every worker of
+// the run. Root branches are independent: branch i only needs the
+// exclusion prefix candidates[0..i), so the parallel driver hands each
+// root to a pool worker. The serial path (Run) keeps the original
+// traversal — including the "exhausted candidate" skip, which is a pure
+// work-saving: a skipped root re-run in isolation is killed by the
+// excluded-vertex check, so the parallel fan-out may safely ignore it.
 class MbeaEngine {
  public:
   MbeaEngine(const BipartiteGraph& g, const MbeaConfig& config,
-             const MaximalBicliqueSink& sink)
+             SearchBudget& budget, const MaximalBicliqueSink& sink)
       : g_(g),
         config_(config),
+        budget_(budget),
         sink_(sink),
-        deadline_(config.time_budget_seconds),
         num_lower_attrs_(g.NumAttrs(Side::kLower)) {}
 
-  MbeaStats Run() {
-    std::vector<VertexId> upper_all(g_.NumUpper());
-    for (VertexId u = 0; u < g_.NumUpper(); ++u) upper_all[u] = u;
-    std::vector<VertexId> candidates =
-        MakeOrder(g_, Side::kLower, config_.ordering);
-    Recurse(std::move(upper_all), {}, std::move(candidates), {});
-    return stats_;
+  const MbeaStats& stats() const { return stats_; }
+
+  void Run(const std::vector<VertexId>& upper_all,
+           std::vector<VertexId> candidates) {
+    Recurse(upper_all, {}, std::move(candidates), {});
+  }
+
+  void RunRootBranch(const std::vector<VertexId>& upper_all,
+                     const std::vector<VertexId>& candidates,
+                     std::size_t root) {
+    std::vector<VertexId> unused_exhausted;
+    std::span<const VertexId> all(candidates);
+    Branch(upper_all, {}, all.subspan(root), all.first(root),
+           &unused_exhausted);
   }
 
  private:
   std::uint32_t MinUpper() const { return std::max(config_.min_upper, 1u); }
 
-  bool OverBudget() {
-    if (aborted_) return true;
-    if ((config_.node_budget > 0 &&
-         stats_.search_nodes >= config_.node_budget) ||
-        deadline_.Expired()) {
-      stats_.budget_exhausted = true;
-      return true;
-    }
-    return false;
+  void CountNode() {
+    ++stats_.search_nodes;
+    budget_.CountNode();
   }
 
   // Per-class sizes of a sorted lower vertex set.
@@ -51,94 +62,105 @@ class MbeaEngine {
     return sizes;
   }
 
-  // L sorted; R sorted; P in candidate order; Q arbitrary order.
-  void Recurse(std::vector<VertexId> big_l, std::vector<VertexId> r,
-               std::vector<VertexId> p, std::vector<VertexId> q) {
-    while (!p.empty()) {
-      if (OverBudget()) return;
-      ++stats_.search_nodes;
-      const VertexId x = p.front();
+  // Processes the branch at p[0] (exclusion set q) and recurses into its
+  // subtree. Absorbed candidates with no neighbors outside the shrunk L
+  // are appended to `exhausted`: the caller may drop them from its
+  // remaining candidates (their branches are provably redundant).
+  // Returns false when the whole search must stop.
+  bool Branch(const std::vector<VertexId>& big_l,
+              const std::vector<VertexId>& r, std::span<const VertexId> p,
+              std::span<const VertexId> q, std::vector<VertexId>* exhausted) {
+    if (budget_.OverBudget()) return false;
+    CountNode();
+    const VertexId x = p.front();
 
-      std::vector<VertexId> new_l = Intersect(big_l, g_.Neighbors(Side::kLower, x));
-      bool viable = new_l.size() >= MinUpper();
+    std::vector<VertexId> new_l =
+        Intersect(big_l, g_.Neighbors(Side::kLower, x));
+    bool viable = new_l.size() >= MinUpper();
 
-      std::vector<VertexId> new_q;
-      if (viable) {
-        for (VertexId v : q) {
-          std::uint32_t c = IntersectSize(g_.Neighbors(Side::kLower, v), new_l);
-          if (c == new_l.size()) {
-            // An excluded vertex is fully connected: this L (and every L
-            // of the subtree) was already enumerated in v's branch.
-            viable = false;
+    std::vector<VertexId> new_q;
+    if (viable) {
+      for (VertexId v : q) {
+        std::uint32_t c = IntersectSize(g_.Neighbors(Side::kLower, v), new_l);
+        if (c == new_l.size()) {
+          // An excluded vertex is fully connected: this L (and every L
+          // of the subtree) was already enumerated in v's branch.
+          viable = false;
+          break;
+        }
+        if (c >= MinUpper()) new_q.push_back(v);
+      }
+    }
+    if (!viable) return true;
+
+    std::vector<VertexId> new_r = r;
+    new_r.push_back(x);
+    std::vector<VertexId> new_p;
+    for (std::size_t i = 1; i < p.size(); ++i) {
+      const VertexId v = p[i];
+      auto nbrs = g_.Neighbors(Side::kLower, v);
+      std::uint32_t c = IntersectSize(nbrs, new_l);
+      if (c == new_l.size()) {
+        new_r.push_back(v);  // absorb: fully connected to new_l.
+        if (IntersectSize(nbrs, big_l) == c) exhausted->push_back(v);
+      } else if (c >= MinUpper()) {
+        new_p.push_back(v);
+      }
+    }
+    std::sort(new_r.begin(), new_r.end());
+
+    // Emit (new_l, new_r) if it passes the size filters.
+    if (new_r.size() >= config_.min_lower_total) {
+      bool classes_ok = true;
+      if (config_.min_lower_per_attr > 0) {
+        for (auto s : LowerSizes(new_r)) {
+          if (s < config_.min_lower_per_attr) {
+            classes_ok = false;
             break;
           }
-          if (c >= MinUpper()) new_q.push_back(v);
         }
       }
-
-      std::vector<VertexId> exhausted;  // the paper's C set, minus x.
-      if (viable) {
-        std::vector<VertexId> new_r = r;
-        new_r.push_back(x);
-        std::vector<VertexId> new_p;
-        for (std::size_t i = 1; i < p.size(); ++i) {
-          const VertexId v = p[i];
-          auto nbrs = g_.Neighbors(Side::kLower, v);
-          std::uint32_t c = IntersectSize(nbrs, new_l);
-          if (c == new_l.size()) {
-            new_r.push_back(v);  // absorb: fully connected to new_l.
-            if (IntersectSize(nbrs, big_l) == c) exhausted.push_back(v);
-          } else if (c >= MinUpper()) {
-            new_p.push_back(v);
-          }
+      if (classes_ok) {
+        ++stats_.emitted;
+        if (!sink_(new_l, new_r)) {
+          budget_.Abort();
+          return false;
         }
-        std::sort(new_r.begin(), new_r.end());
+      }
+    }
 
-        // Emit (new_l, new_r) if it passes the size filters.
-        if (new_r.size() >= config_.min_lower_total) {
-          bool classes_ok = true;
-          if (config_.min_lower_per_attr > 0) {
-            for (auto s : LowerSizes(new_r)) {
-              if (s < config_.min_lower_per_attr) {
-                classes_ok = false;
-                break;
-              }
-            }
-          }
-          if (classes_ok) {
-            ++stats_.emitted;
-            if (!sink_(new_l, new_r)) {
-              aborted_ = true;
-              return;
-            }
-          }
-        }
-
-        // Recurse if the candidate pool can still reach the thresholds.
-        if (!new_p.empty() &&
-            new_r.size() + new_p.size() >= config_.min_lower_total) {
-          bool reachable = true;
-          if (config_.min_lower_per_attr > 0) {
-            SizeVector sizes = LowerSizes(new_r);
-            for (VertexId v : new_p) ++sizes[g_.Attr(Side::kLower, v)];
-            for (auto s : sizes) {
-              if (s < config_.min_lower_per_attr) {
-                reachable = false;
-                break;
-              }
-            }
-          }
-          if (reachable) {
-            Recurse(new_l, std::move(new_r), std::move(new_p),
-                    std::move(new_q));
-            if (aborted_ || OverBudget()) return;
+    // Recurse if the candidate pool can still reach the thresholds.
+    if (!new_p.empty() &&
+        new_r.size() + new_p.size() >= config_.min_lower_total) {
+      bool reachable = true;
+      if (config_.min_lower_per_attr > 0) {
+        SizeVector sizes = LowerSizes(new_r);
+        for (VertexId v : new_p) ++sizes[g_.Attr(Side::kLower, v)];
+        for (auto s : sizes) {
+          if (s < config_.min_lower_per_attr) {
+            reachable = false;
+            break;
           }
         }
       }
+      if (reachable) {
+        Recurse(new_l, std::move(new_r), std::move(new_p), std::move(new_q));
+        if (budget_.OverBudget()) return false;
+      }
+    }
+    return true;
+  }
 
-      // Move x (and absorbed vertices with no neighbors outside new_l)
-      // from P to Q.
-      q.push_back(x);
+  // L sorted; R sorted; P in candidate order; Q arbitrary order.
+  void Recurse(const std::vector<VertexId>& big_l, std::vector<VertexId> r,
+               std::vector<VertexId> p, std::vector<VertexId> q) {
+    while (!p.empty()) {
+      std::vector<VertexId> exhausted;
+      if (!Branch(big_l, r, p, q, &exhausted)) return;
+
+      // Move p[0] (and absorbed vertices with no neighbors outside the
+      // shrunk L) from P to Q.
+      q.push_back(p.front());
       for (VertexId v : exhausted) q.push_back(v);
       std::vector<VertexId> rest;
       rest.reserve(p.size() - 1);
@@ -154,11 +176,10 @@ class MbeaEngine {
 
   const BipartiteGraph& g_;
   const MbeaConfig& config_;
+  SearchBudget& budget_;
   const MaximalBicliqueSink& sink_;
-  Deadline deadline_;
   const AttrId num_lower_attrs_;
   MbeaStats stats_;
-  bool aborted_ = false;
 };
 
 }  // namespace
@@ -167,8 +188,33 @@ MbeaStats EnumerateMaximalBicliques(const BipartiteGraph& g,
                                     const MbeaConfig& config,
                                     const MaximalBicliqueSink& sink) {
   if (g.NumUpper() == 0 || g.NumLower() == 0) return {};
-  MbeaEngine engine(g, config, sink);
-  return engine.Run();
+  SearchBudget budget(config.node_budget, config.time_budget_seconds);
+  const std::vector<VertexId> upper_all = AllVertices(g, Side::kUpper);
+  const std::vector<VertexId> candidates =
+      MakeOrder(g, Side::kLower, config.ordering);
+
+  MbeaStats stats;
+  const unsigned num_threads = ResolveNumThreads(config.num_threads);
+  if (num_threads <= 1) {
+    MbeaEngine engine(g, config, budget, sink);
+    engine.Run(upper_all, candidates);
+    stats = engine.stats();
+  } else {
+    auto engines = FanOutRootBranches<std::unique_ptr<MbeaEngine>>(
+        num_threads, candidates.size(),
+        [&](unsigned) {
+          return std::make_unique<MbeaEngine>(g, config, budget, sink);
+        },
+        [&](MbeaEngine& engine, std::uint64_t task) {
+          engine.RunRootBranch(upper_all, candidates, task);
+        });
+    for (const auto& engine : engines) {
+      stats.search_nodes += engine->stats().search_nodes;
+      stats.emitted += engine->stats().emitted;
+    }
+  }
+  stats.budget_exhausted = budget.exhausted();
+  return stats;
 }
 
 }  // namespace fairbc

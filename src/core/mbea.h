@@ -11,7 +11,9 @@
 namespace fairbc {
 
 /// Receives one maximal biclique (both sides sorted ascending). Return
-/// false to abort the enumeration.
+/// false to abort the enumeration. May be invoked concurrently from
+/// worker threads when MbeaConfig::num_threads != 1 (same contract as the
+/// engine-level BicliqueSink entry points, see core/enumerate.h).
 using MaximalBicliqueSink =
     std::function<bool(const std::vector<VertexId>& upper,
                        const std::vector<VertexId>& lower)>;
@@ -28,6 +30,9 @@ struct MbeaConfig {
   VertexOrdering ordering = VertexOrdering::kDegreeDesc;
   std::uint64_t node_budget = 0;       ///< 0 = unlimited search nodes.
   double time_budget_seconds = 0.0;    ///< 0 = unlimited wall clock.
+  /// Root-branch fan-out workers (same semantics as
+  /// EnumOptions::num_threads: 1 = exact serial traversal, 0 = all cores).
+  unsigned num_threads = 1;
 };
 
 struct MbeaStats {

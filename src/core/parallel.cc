@@ -1,0 +1,133 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace fairbc {
+
+unsigned ResolveNumThreads(unsigned requested) {
+  // Cap far above any sane oversubscription: protects against sign-cast
+  // accidents (e.g. -1 becoming 4 billion workers) without judging
+  // deliberate oversubscription.
+  constexpr unsigned kMaxThreads = 1024;
+  if (requested != 0) return std::min(requested, kMaxThreads);
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : std::min(hw, kMaxThreads);
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  FAIRBC_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::ParallelFor(
+    std::uint64_t num_tasks,
+    const std::function<void(std::uint64_t, unsigned)>& fn) {
+  if (num_tasks == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FAIRBC_CHECK(outstanding_ == 0);
+    // Deal tasks round-robin; stealing rebalances skewed subtrees.
+    for (std::uint64_t t = 0; t < num_tasks; ++t) {
+      Worker& w = *workers_[t % workers_.size()];
+      std::lock_guard<std::mutex> wlock(w.mu);
+      w.tasks.push_back(t);
+    }
+    fn_ = &fn;
+    outstanding_ = num_tasks;
+    ++batch_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  fn_ = nullptr;
+}
+
+bool ThreadPool::NextTask(unsigned index, std::uint64_t* task) {
+  {
+    Worker& own = *workers_[index];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task = own.tasks.back();  // own work: newest first.
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  for (std::size_t step = 1; step < workers_.size(); ++step) {
+    Worker& victim = *workers_[(index + step) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      *task = victim.tasks.front();  // stolen work: oldest first.
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(unsigned index) {
+  std::uint64_t seen_batch = 0;
+  for (;;) {
+    const std::function<void(std::uint64_t, unsigned)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (fn_ != nullptr && batch_ != seen_batch);
+      });
+      if (stop_) return;
+      seen_batch = batch_;
+      fn = fn_;
+    }
+    std::uint64_t task;
+    while (NextTask(index, &task)) {
+      // Re-read fn_ under the lock for every task: a worker delayed past
+      // the end of its batch may pop a task dealt by a *later*
+      // ParallelFor, whose fn_ differs. Any popped task belongs to the
+      // currently-running batch (deques only refill once outstanding_
+      // hits zero), so the current fn_ is always the right one — and it
+      // stays alive until this task's completion is posted below.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        fn = fn_;
+      }
+      (*fn)(task, index);
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) {
+        lock.unlock();
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void MergeEnumStats(EnumStats& into, const EnumStats& worker) {
+  into.num_results += worker.num_results;
+  into.search_nodes += worker.search_nodes;
+  into.maximal_bicliques_visited += worker.maximal_bicliques_visited;
+  into.prune_seconds += worker.prune_seconds;
+  into.enum_seconds += worker.enum_seconds;
+  into.budget_exhausted = into.budget_exhausted || worker.budget_exhausted;
+  into.remaining_upper = std::max(into.remaining_upper, worker.remaining_upper);
+  into.remaining_lower = std::max(into.remaining_lower, worker.remaining_lower);
+  into.peak_struct_bytes =
+      std::max(into.peak_struct_bytes, worker.peak_struct_bytes);
+}
+
+}  // namespace fairbc

@@ -1,0 +1,122 @@
+#ifndef FAIRBC_CORE_PARALLEL_H_
+#define FAIRBC_CORE_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/enumerate.h"
+
+namespace fairbc {
+
+/// Resolves EnumOptions::num_threads: 0 means "use every hardware thread",
+/// anything else is taken literally (minimum 1).
+unsigned ResolveNumThreads(unsigned requested);
+
+/// Minimal work-stealing thread pool used for the root-level subtree
+/// fan-out of the enumeration engines. Each worker owns a deque of task
+/// indices: it pops its own work from the back (LIFO, cache-friendly for
+/// locally submitted work) and steals from a sibling's front (FIFO, takes
+/// the oldest — typically largest — task) when its deque runs dry.
+///
+/// The pool is intentionally small and generic: tasks are plain indices,
+/// cancellation is the callee's job (the engines poll their shared
+/// SearchBudget), and nothing here knows about bicliques — future
+/// subsystems (sharded serving, batch pipelines) can reuse it as-is.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (resolved; must be >= 1).
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs tasks `0 .. num_tasks-1` as `fn(task, worker)` where `worker` is
+  /// in `[0, num_threads())`; returns once every task has finished. Tasks
+  /// are dealt round-robin across the worker deques and rebalanced by
+  /// stealing. `fn` must not throw. One ParallelFor may run at a time.
+  void ParallelFor(std::uint64_t num_tasks,
+                   const std::function<void(std::uint64_t, unsigned)>& fn);
+
+ private:
+  struct Worker {
+    std::deque<std::uint64_t> tasks;
+    std::mutex mu;
+  };
+
+  void WorkerLoop(unsigned index);
+  /// Pops a task for worker `index`, stealing if needed. Returns false
+  /// when no task is available anywhere.
+  bool NextTask(unsigned index, std::uint64_t* task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;                    // guards the fields below.
+  std::condition_variable work_cv_;  // workers wait for a batch.
+  std::condition_variable done_cv_;  // ParallelFor waits for completion.
+  const std::function<void(std::uint64_t, unsigned)>* fn_ = nullptr;
+  std::uint64_t outstanding_ = 0;
+  std::uint64_t batch_ = 0;  // bumped per ParallelFor to wake workers.
+  bool stop_ = false;
+};
+
+/// Serializing sink adapter: wraps a plain BicliqueSink so concurrent
+/// workers invoke it one at a time. The pipeline entry points wrap every
+/// caller-provided sink in one of these, which is why existing sinks need
+/// no thread-safety of their own (see the contract in core/enumerate.h).
+class SerializingSink {
+ public:
+  explicit SerializingSink(const BicliqueSink& sink) : inner_(sink) {}
+
+  SerializingSink(const SerializingSink&) = delete;
+  SerializingSink& operator=(const SerializingSink&) = delete;
+
+  /// Thread-safe sink view; valid while this adapter is alive.
+  BicliqueSink AsSink() {
+    return [this](const Biclique& b) {
+      std::lock_guard<std::mutex> lock(mu_);
+      return inner_(b);
+    };
+  }
+
+ private:
+  std::mutex mu_;
+  const BicliqueSink& inner_;
+};
+
+/// Folds one worker's stats block into the run aggregate: counters and
+/// timings sum, peaks take the max, and budget_exhausted is sticky (any
+/// worker tripping the budget marks the whole run).
+void MergeEnumStats(EnumStats& into, const EnumStats& worker);
+
+/// Shared fan-out driver of the enumeration engines: builds one worker
+/// state via `make_state(worker)`, runs `run(*states[worker], task)` for
+/// every root task on a work-stealing pool, and returns the states for
+/// the caller to merge. `State` is typically a unique_ptr to a per-worker
+/// context/engine (those hold references and don't move).
+template <typename State, typename MakeState, typename Run>
+std::vector<State> FanOutRootBranches(unsigned num_threads,
+                                      std::uint64_t num_tasks,
+                                      MakeState&& make_state, Run&& run) {
+  std::vector<State> states;
+  states.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) states.push_back(make_state(t));
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(num_tasks, [&](std::uint64_t task, unsigned worker) {
+    run(*states[worker], task);
+  });
+  return states;
+}
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_CORE_PARALLEL_H_

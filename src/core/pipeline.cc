@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "common/timer.h"
@@ -10,6 +11,7 @@
 #include "core/fair_bcem_pp.h"
 #include "core/fcore.h"
 #include "core/mbea.h"
+#include "core/parallel.h"
 
 namespace fairbc {
 
@@ -59,8 +61,20 @@ EnumStats RunPipeline(const BipartiteGraph& g, const FairBicliqueParams& params,
   const double prune_seconds = prune_timer.ElapsedSeconds();
 
   Timer enum_timer;
-  BicliqueSink remapped = RemapSink(maps, sink);
-  EnumStats stats = engine(sub, remapped);
+  // The engines may emit from several workers at once; the caller's sink
+  // is plain code, so serialize it before handing it down (threading
+  // contract in core/enumerate.h). Remapping itself is pure and runs
+  // concurrently in the workers.
+  EnumStats stats;
+  if (ResolveNumThreads(options.num_threads) > 1) {
+    SerializingSink serializer(sink);
+    BicliqueSink serialized = serializer.AsSink();
+    BicliqueSink remapped = RemapSink(maps, serialized);
+    stats = engine(sub, remapped);
+  } else {
+    BicliqueSink remapped = RemapSink(maps, sink);
+    stats = engine(sub, remapped);
+  }
   stats.enum_seconds = enum_timer.ElapsedSeconds();
   stats.prune_seconds = prune_seconds;
   stats.remaining_upper = static_cast<VertexId>(maps.upper_to_parent.size());
@@ -164,7 +178,10 @@ EnumStats EnumerateMaximalBicliquesPruned(const BipartiteGraph& g,
 
   IdMaps maps;
   BipartiteGraph sub = InducedSubgraph(g, masks, &maps);
-  BicliqueSink remapped = RemapSink(maps, sink);
+  SerializingSink serializer(sink);
+  BicliqueSink serialized = serializer.AsSink();
+  BicliqueSink remapped = RemapSink(
+      maps, ResolveNumThreads(options.num_threads) > 1 ? serialized : sink);
 
   MbeaConfig config;
   config.min_upper = min_upper;
@@ -173,9 +190,11 @@ EnumStats EnumerateMaximalBicliquesPruned(const BipartiteGraph& g,
   config.ordering = options.ordering;
   config.node_budget = options.node_budget;
   config.time_budget_seconds = options.time_budget_seconds;
+  config.num_threads = options.num_threads;
 
   Timer enum_timer;
   EnumStats stats;
+  std::atomic<std::uint64_t> num_results{0};
   MbeaStats mb = EnumerateMaximalBicliques(
       sub, config,
       [&](const std::vector<VertexId>& upper,
@@ -183,9 +202,10 @@ EnumStats EnumerateMaximalBicliquesPruned(const BipartiteGraph& g,
         Biclique b;
         b.upper = upper;
         b.lower = lower;
-        ++stats.num_results;
+        num_results.fetch_add(1, std::memory_order_relaxed);
         return remapped(b);
       });
+  stats.num_results = num_results.load(std::memory_order_relaxed);
   stats.search_nodes = mb.search_nodes;
   stats.maximal_bicliques_visited = mb.emitted;
   stats.budget_exhausted = mb.budget_exhausted;

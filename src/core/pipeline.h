@@ -18,6 +18,12 @@ namespace fairbc {
 ///   fairbc::CollectSink sink;
 ///   fairbc::EnumerateSSFBCPlusPlus(graph, params, {}, sink.AsSink());
 ///   for (const auto& b : sink.results()) { ... }
+///
+/// Set EnumOptions::num_threads to parallelize the search (0 = one worker
+/// per hardware thread). The caller's sink is always invoked serially —
+/// these entry points wrap it in a SerializingSink before fanning out —
+/// but emission order is nondeterministic once several workers run; the
+/// result *set* is identical for every thread count.
 
 /// FairBCEM (paper Alg. 5): branch-and-bound single-side fair biclique
 /// enumeration. With params.theta > 0 it enumerates PSSFBCs.

@@ -1,0 +1,25 @@
+#include "core/search_context.h"
+
+#include "core/intersect.h"
+
+namespace fairbc {
+
+void FilterCandidates(const BipartiteGraph& g, Side side,
+                      std::span<const VertexId> candidates,
+                      const std::vector<VertexId>& big_l,
+                      std::uint32_t keep_threshold, std::vector<VertexId>* kept,
+                      std::vector<VertexId>* full) {
+  for (VertexId v : candidates) {
+    std::uint32_t c = IntersectSize(g.Neighbors(side, v), big_l);
+    if (c == big_l.size()) full->push_back(v);
+    if (c >= keep_threshold) kept->push_back(v);
+  }
+}
+
+std::vector<VertexId> AllVertices(const BipartiteGraph& g, Side side) {
+  std::vector<VertexId> all(g.NumVertices(side));
+  for (VertexId v = 0; v < all.size(); ++v) all[v] = v;
+  return all;
+}
+
+}  // namespace fairbc

@@ -1,0 +1,189 @@
+#ifndef FAIRBC_CORE_SEARCH_CONTEXT_H_
+#define FAIRBC_CORE_SEARCH_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/enumerate.h"
+#include "fairness/fair_vector.h"
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Pluggable fairness model evaluated on per-class size vectors. The
+/// branch-and-bound engines only ever ask these three questions, so a
+/// policy object is the whole fairness model from the search's point of
+/// view: single-side models install one policy on the lower side, bi-side
+/// models one per side, and the proportional (theta) variants are the same
+/// policy with theta > 0 in the spec. Implementations must be thread-safe
+/// (const methods, no mutable state) — one instance is shared by every
+/// worker of a run.
+class FairnessPolicy {
+ public:
+  virtual ~FairnessPolicy() = default;
+
+  /// Def. 11 feasibility (plus the Def. 5/6 ratio constraint when
+  /// proportional): may `sizes` be the class sizes of a fair set?
+  virtual bool Feasible(const SizeVector& sizes) const = 0;
+
+  /// MFSCheck (paper Alg. 4): is `sizes` maximal within the per-class
+  /// capacities `counts`, i.e. is a set with these sizes a *maximal* fair
+  /// subset of a ground set with those counts?
+  virtual bool MaximalWithin(const SizeVector& sizes,
+                             const SizeVector& counts) const = 0;
+
+  /// Branch-and-bound reachability (Observation 5, second half): can every
+  /// class still reach the per-class minimum within pool capacities
+  /// `pool` (current picks plus remaining candidates)?
+  virtual bool Reachable(const SizeVector& pool) const = 0;
+
+  virtual const FairnessSpec& spec() const = 0;
+};
+
+/// The size-vector policy implementing all four paper models on top of
+/// fairness/fair_vector.h (plain and proportional, either side).
+class SpecFairnessPolicy final : public FairnessPolicy {
+ public:
+  explicit SpecFairnessPolicy(FairnessSpec spec) : spec_(spec) {}
+
+  bool Feasible(const SizeVector& sizes) const override {
+    return IsFeasibleVector(sizes, spec_);
+  }
+  bool MaximalWithin(const SizeVector& sizes,
+                     const SizeVector& counts) const override {
+    return IsMaximalFairVector(sizes, counts, spec_);
+  }
+  bool Reachable(const SizeVector& pool) const override {
+    for (auto c : pool) {
+      if (c < spec_.min_per_class) return false;
+    }
+    return true;
+  }
+  const FairnessSpec& spec() const override { return spec_; }
+
+ private:
+  const FairnessSpec spec_;
+};
+
+/// Thread-safe node/time budget and abort latch shared by every worker of
+/// one enumeration run. Preserves the serial engines' check-then-count
+/// sequence: the node that would exceed the budget is never accounted.
+class SearchBudget {
+ public:
+  explicit SearchBudget(const EnumOptions& options)
+      : SearchBudget(options.node_budget, options.time_budget_seconds) {}
+  SearchBudget(std::uint64_t node_budget, double time_budget_seconds)
+      : node_budget_(node_budget), deadline_(time_budget_seconds) {}
+
+  /// True when the run must stop. Sets the exhausted latch when the node
+  /// or time budget tripped; an abort (sink returned false) stops the run
+  /// without marking the budget exhausted, exactly like the serial code.
+  bool OverBudget() {
+    if (aborted_.load(std::memory_order_relaxed)) return true;
+    if ((node_budget_ > 0 &&
+         nodes_.load(std::memory_order_relaxed) >= node_budget_) ||
+        deadline_.Expired()) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Accounts one search node against the shared budget.
+  void CountNode() { nodes_.fetch_add(1, std::memory_order_relaxed); }
+
+  void Abort() { aborted_.store(true, std::memory_order_relaxed); }
+  bool aborted() const { return aborted_.load(std::memory_order_relaxed); }
+  bool exhausted() const { return exhausted_.load(std::memory_order_relaxed); }
+  bool DeadlineExpired() const { return deadline_.Expired(); }
+
+ private:
+  const std::uint64_t node_budget_;
+  const Deadline deadline_;
+  std::atomic<std::uint64_t> nodes_{0};
+  std::atomic<bool> aborted_{false};
+  std::atomic<bool> exhausted_{false};
+};
+
+/// Per-worker view of one enumeration run: a local EnumStats block plus
+/// the pieces every worker shares (graph, options, fairness policy, budget,
+/// result sink). The engines' recursion classes hold exactly one of these;
+/// the run driver merges the stats blocks afterwards (MergeEnumStats).
+///
+/// The sink handed in here is invoked directly from the owning worker —
+/// callers decide where serialization happens (see the BicliqueSink
+/// contract in core/enumerate.h).
+class SearchContext {
+ public:
+  SearchContext(const BipartiteGraph& g, const EnumOptions& options,
+                const FairnessPolicy& policy, SearchBudget& budget,
+                const BicliqueSink& sink)
+      : g_(g), options_(options), policy_(policy), budget_(budget),
+        sink_(sink) {}
+
+  SearchContext(const SearchContext&) = delete;
+  SearchContext& operator=(const SearchContext&) = delete;
+
+  const BipartiteGraph& graph() const { return g_; }
+  const EnumOptions& options() const { return options_; }
+  const FairnessPolicy& policy() const { return policy_; }
+  SearchBudget& budget() { return budget_; }
+  EnumStats& stats() { return stats_; }
+
+  /// True when this worker must unwind (shared abort or exhausted budget).
+  bool ShouldStop() { return budget_.OverBudget(); }
+
+  /// Accounts one search node in the local stats and the shared budget.
+  void CountNode() {
+    ++stats_.search_nodes;
+    budget_.CountNode();
+  }
+
+  /// Class-size vector of a vertex set on `side`.
+  SizeVector ClassSizes(Side side, std::span<const VertexId> vs) const {
+    SizeVector sizes(g_.NumAttrs(side), 0);
+    for (VertexId v : vs) ++sizes[g_.Attr(side, v)];
+    return sizes;
+  }
+
+  /// Emits one result; counts it and latches the shared abort when the
+  /// sink declines more. Returns false once the run is aborted.
+  bool Emit(const Biclique& b) {
+    ++stats_.num_results;
+    if (!sink_(b)) {
+      budget_.Abort();
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  const BipartiteGraph& g_;
+  const EnumOptions& options_;
+  const FairnessPolicy& policy_;
+  SearchBudget& budget_;
+  const BicliqueSink& sink_;
+  EnumStats stats_;
+};
+
+/// Splits candidate-set maintenance shared by the engines: for each v in
+/// `candidates` (vertices on `side`) computes c = |N(v) ∩ big_l| against
+/// the sorted upper set `big_l`, appends v to `kept` when
+/// c >= keep_threshold and to `full` when c == |big_l| (fully connected).
+/// A fully connected vertex lands in both lists iff |big_l| also meets the
+/// threshold.
+void FilterCandidates(const BipartiteGraph& g, Side side,
+                      std::span<const VertexId> candidates,
+                      const std::vector<VertexId>& big_l,
+                      std::uint32_t keep_threshold, std::vector<VertexId>* kept,
+                      std::vector<VertexId>* full);
+
+/// All vertex ids of one side, ascending (the root "L = U(G)" set).
+std::vector<VertexId> AllVertices(const BipartiteGraph& g, Side side);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_CORE_SEARCH_CONTEXT_H_

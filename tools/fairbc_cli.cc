@@ -6,7 +6,8 @@
 //                      [--algo=pp|bcem|naive] [--alpha=A] [--beta=B]
 //                      [--delta=D] [--theta=T] [--ordering=deg|id]
 //                      [--pruning=colorful|core|none] [--budget=SECONDS]
-//                      [--out=FILE] [--count-only] [--rand-attrs=N --seed=S]
+//                      [--threads=N] [--out=FILE] [--count-only]
+//                      [--rand-attrs=N --seed=S]
 //   fairbc_cli gen     --out=FILE --kind=uniform|powerlaw|affiliation
 //                      [--nu=N --nv=N --edges=M --attrs=K --seed=S]
 //   fairbc_cli verify  --graph=FILE --results=FILE --model=ssfbc|bsfbc
@@ -106,6 +107,13 @@ int RunEnum(const FlagParser& flags) {
                     : pruning == "core" ? fairbc::PruningLevel::kCore
                                         : fairbc::PruningLevel::kColorful;
   options.time_budget_seconds = flags.GetDouble("budget", 0.0);
+  // 1 = serial (default, reproducible output order), 0 = all cores.
+  std::int64_t threads = flags.GetInt("threads", 1);
+  if (threads < 0) {
+    std::cerr << "error: --threads must be >= 0\n";
+    return 2;
+  }
+  options.num_threads = static_cast<unsigned>(threads);
 
   std::string model = flags.GetString("model", "ssfbc");
   std::string algo = flags.GetString("algo", "pp");
