@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attr_assign_test.dir/tests/attr_assign_test.cc.o"
+  "CMakeFiles/attr_assign_test.dir/tests/attr_assign_test.cc.o.d"
+  "attr_assign_test"
+  "attr_assign_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attr_assign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_observations.dir/bench/bench_ablation_observations.cc.o"
+  "CMakeFiles/bench_ablation_observations.dir/bench/bench_ablation_observations.cc.o.d"
+  "bench_ablation_observations"
+  "bench_ablation_observations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_observations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

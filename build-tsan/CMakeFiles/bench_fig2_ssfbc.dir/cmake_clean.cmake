@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ssfbc.dir/bench/bench_fig2_ssfbc.cc.o"
+  "CMakeFiles/bench_fig2_ssfbc.dir/bench/bench_fig2_ssfbc.cc.o.d"
+  "bench_fig2_ssfbc"
+  "bench_fig2_ssfbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ssfbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

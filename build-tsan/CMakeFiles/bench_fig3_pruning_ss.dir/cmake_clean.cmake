@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_pruning_ss.dir/bench/bench_fig3_pruning_ss.cc.o"
+  "CMakeFiles/bench_fig3_pruning_ss.dir/bench/bench_fig3_pruning_ss.cc.o.d"
+  "bench_fig3_pruning_ss"
+  "bench_fig3_pruning_ss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_pruning_ss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_pruning_bi.dir/bench/bench_fig4_pruning_bi.cc.o"
+  "CMakeFiles/bench_fig4_pruning_bi.dir/bench/bench_fig4_pruning_bi.cc.o.d"
+  "bench_fig4_pruning_bi"
+  "bench_fig4_pruning_bi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pruning_bi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_bsfbc.dir/bench/bench_fig5_bsfbc.cc.o"
+  "CMakeFiles/bench_fig5_bsfbc.dir/bench/bench_fig5_bsfbc.cc.o.d"
+  "bench_fig5_bsfbc"
+  "bench_fig5_bsfbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bsfbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

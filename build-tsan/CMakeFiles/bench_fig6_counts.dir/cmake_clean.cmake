@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_counts.dir/bench/bench_fig6_counts.cc.o"
+  "CMakeFiles/bench_fig6_counts.dir/bench/bench_fig6_counts.cc.o.d"
+  "bench_fig6_counts"
+  "bench_fig6_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

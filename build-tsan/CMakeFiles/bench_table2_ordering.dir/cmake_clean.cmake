@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ordering.dir/bench/bench_table2_ordering.cc.o"
+  "CMakeFiles/bench_table2_ordering.dir/bench/bench_table2_ordering.cc.o.d"
+  "bench_table2_ordering"
+  "bench_table2_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfair_bcem_test.dir/tests/bfair_bcem_test.cc.o"
+  "CMakeFiles/bfair_bcem_test.dir/tests/bfair_bcem_test.cc.o.d"
+  "bfair_bcem_test"
+  "bfair_bcem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfair_bcem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biclique_io_test.dir/tests/biclique_io_test.cc.o"
+  "CMakeFiles/biclique_io_test.dir/tests/biclique_io_test.cc.o.d"
+  "biclique_io_test"
+  "biclique_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biclique_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

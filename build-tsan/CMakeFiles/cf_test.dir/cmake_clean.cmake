@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_test.dir/tests/cf_test.cc.o"
+  "CMakeFiles/cf_test.dir/tests/cf_test.cc.o.d"
+  "cf_test"
+  "cf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cfcore_test.cc" "CMakeFiles/cfcore_test.dir/tests/cfcore_test.cc.o" "gcc" "CMakeFiles/cfcore_test.dir/tests/cfcore_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/fairbc_test_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fairbc_recsys.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fairbc_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fairbc_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fairbc_fairness.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fairbc_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fairbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfcore_test.dir/tests/cfcore_test.cc.o"
+  "CMakeFiles/cfcore_test.dir/tests/cfcore_test.cc.o.d"
+  "cfcore_test"
+  "cfcore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfcore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enumerate_types_test.dir/tests/enumerate_types_test.cc.o"
+  "CMakeFiles/enumerate_types_test.dir/tests/enumerate_types_test.cc.o.d"
+  "enumerate_types_test"
+  "enumerate_types_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enumerate_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

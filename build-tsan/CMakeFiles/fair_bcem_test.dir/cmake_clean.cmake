@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_bcem_test.dir/tests/fair_bcem_test.cc.o"
+  "CMakeFiles/fair_bcem_test.dir/tests/fair_bcem_test.cc.o.d"
+  "fair_bcem_test"
+  "fair_bcem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_bcem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

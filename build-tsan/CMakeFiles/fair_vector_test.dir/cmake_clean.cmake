@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_vector_test.dir/tests/fair_vector_test.cc.o"
+  "CMakeFiles/fair_vector_test.dir/tests/fair_vector_test.cc.o.d"
+  "fair_vector_test"
+  "fair_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

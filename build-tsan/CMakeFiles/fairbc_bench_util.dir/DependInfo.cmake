@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_util/datasets.cc" "CMakeFiles/fairbc_bench_util.dir/src/bench_util/datasets.cc.o" "gcc" "CMakeFiles/fairbc_bench_util.dir/src/bench_util/datasets.cc.o.d"
+  "/root/repo/src/bench_util/sweep.cc" "CMakeFiles/fairbc_bench_util.dir/src/bench_util/sweep.cc.o" "gcc" "CMakeFiles/fairbc_bench_util.dir/src/bench_util/sweep.cc.o.d"
+  "/root/repo/src/bench_util/table.cc" "CMakeFiles/fairbc_bench_util.dir/src/bench_util/table.cc.o" "gcc" "CMakeFiles/fairbc_bench_util.dir/src/bench_util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/fairbc_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fairbc_fairness.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fairbc_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fairbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

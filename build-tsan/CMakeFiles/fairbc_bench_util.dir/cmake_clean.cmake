@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairbc_bench_util.dir/src/bench_util/datasets.cc.o"
+  "CMakeFiles/fairbc_bench_util.dir/src/bench_util/datasets.cc.o.d"
+  "CMakeFiles/fairbc_bench_util.dir/src/bench_util/sweep.cc.o"
+  "CMakeFiles/fairbc_bench_util.dir/src/bench_util/sweep.cc.o.d"
+  "CMakeFiles/fairbc_bench_util.dir/src/bench_util/table.cc.o"
+  "CMakeFiles/fairbc_bench_util.dir/src/bench_util/table.cc.o.d"
+  "libfairbc_bench_util.a"
+  "libfairbc_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairbc_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfairbc_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairbc_cli.dir/tools/fairbc_cli.cc.o"
+  "CMakeFiles/fairbc_cli.dir/tools/fairbc_cli.cc.o.d"
+  "fairbc_cli"
+  "fairbc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairbc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

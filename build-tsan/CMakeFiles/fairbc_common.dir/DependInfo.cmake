@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/flags.cc" "CMakeFiles/fairbc_common.dir/src/common/flags.cc.o" "gcc" "CMakeFiles/fairbc_common.dir/src/common/flags.cc.o.d"
+  "/root/repo/src/common/memory.cc" "CMakeFiles/fairbc_common.dir/src/common/memory.cc.o" "gcc" "CMakeFiles/fairbc_common.dir/src/common/memory.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/fairbc_common.dir/src/common/status.cc.o" "gcc" "CMakeFiles/fairbc_common.dir/src/common/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

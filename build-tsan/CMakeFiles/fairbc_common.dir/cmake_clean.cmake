@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairbc_common.dir/src/common/flags.cc.o"
+  "CMakeFiles/fairbc_common.dir/src/common/flags.cc.o.d"
+  "CMakeFiles/fairbc_common.dir/src/common/memory.cc.o"
+  "CMakeFiles/fairbc_common.dir/src/common/memory.cc.o.d"
+  "CMakeFiles/fairbc_common.dir/src/common/status.cc.o"
+  "CMakeFiles/fairbc_common.dir/src/common/status.cc.o.d"
+  "libfairbc_common.a"
+  "libfairbc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairbc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

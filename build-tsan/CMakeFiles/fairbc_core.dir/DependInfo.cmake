@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bfair_bcem.cc" "CMakeFiles/fairbc_core.dir/src/core/bfair_bcem.cc.o" "gcc" "CMakeFiles/fairbc_core.dir/src/core/bfair_bcem.cc.o.d"
+  "/root/repo/src/core/bruteforce.cc" "CMakeFiles/fairbc_core.dir/src/core/bruteforce.cc.o" "gcc" "CMakeFiles/fairbc_core.dir/src/core/bruteforce.cc.o.d"
+  "/root/repo/src/core/cfcore.cc" "CMakeFiles/fairbc_core.dir/src/core/cfcore.cc.o" "gcc" "CMakeFiles/fairbc_core.dir/src/core/cfcore.cc.o.d"
+  "/root/repo/src/core/coloring.cc" "CMakeFiles/fairbc_core.dir/src/core/coloring.cc.o" "gcc" "CMakeFiles/fairbc_core.dir/src/core/coloring.cc.o.d"
+  "/root/repo/src/core/enumerate.cc" "CMakeFiles/fairbc_core.dir/src/core/enumerate.cc.o" "gcc" "CMakeFiles/fairbc_core.dir/src/core/enumerate.cc.o.d"
+  "/root/repo/src/core/fair_bcem.cc" "CMakeFiles/fairbc_core.dir/src/core/fair_bcem.cc.o" "gcc" "CMakeFiles/fairbc_core.dir/src/core/fair_bcem.cc.o.d"
+  "/root/repo/src/core/fair_bcem_pp.cc" "CMakeFiles/fairbc_core.dir/src/core/fair_bcem_pp.cc.o" "gcc" "CMakeFiles/fairbc_core.dir/src/core/fair_bcem_pp.cc.o.d"
+  "/root/repo/src/core/fcore.cc" "CMakeFiles/fairbc_core.dir/src/core/fcore.cc.o" "gcc" "CMakeFiles/fairbc_core.dir/src/core/fcore.cc.o.d"
+  "/root/repo/src/core/max_search.cc" "CMakeFiles/fairbc_core.dir/src/core/max_search.cc.o" "gcc" "CMakeFiles/fairbc_core.dir/src/core/max_search.cc.o.d"
+  "/root/repo/src/core/mbea.cc" "CMakeFiles/fairbc_core.dir/src/core/mbea.cc.o" "gcc" "CMakeFiles/fairbc_core.dir/src/core/mbea.cc.o.d"
+  "/root/repo/src/core/ordering.cc" "CMakeFiles/fairbc_core.dir/src/core/ordering.cc.o" "gcc" "CMakeFiles/fairbc_core.dir/src/core/ordering.cc.o.d"
+  "/root/repo/src/core/parallel.cc" "CMakeFiles/fairbc_core.dir/src/core/parallel.cc.o" "gcc" "CMakeFiles/fairbc_core.dir/src/core/parallel.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "CMakeFiles/fairbc_core.dir/src/core/pipeline.cc.o" "gcc" "CMakeFiles/fairbc_core.dir/src/core/pipeline.cc.o.d"
+  "/root/repo/src/core/search_context.cc" "CMakeFiles/fairbc_core.dir/src/core/search_context.cc.o" "gcc" "CMakeFiles/fairbc_core.dir/src/core/search_context.cc.o.d"
+  "/root/repo/src/core/two_hop_graph.cc" "CMakeFiles/fairbc_core.dir/src/core/two_hop_graph.cc.o" "gcc" "CMakeFiles/fairbc_core.dir/src/core/two_hop_graph.cc.o.d"
+  "/root/repo/src/core/verify.cc" "CMakeFiles/fairbc_core.dir/src/core/verify.cc.o" "gcc" "CMakeFiles/fairbc_core.dir/src/core/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/fairbc_fairness.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fairbc_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fairbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

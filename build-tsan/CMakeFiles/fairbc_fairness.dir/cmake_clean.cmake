@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairbc_fairness.dir/src/fairness/combination.cc.o"
+  "CMakeFiles/fairbc_fairness.dir/src/fairness/combination.cc.o.d"
+  "CMakeFiles/fairbc_fairness.dir/src/fairness/fair_set.cc.o"
+  "CMakeFiles/fairbc_fairness.dir/src/fairness/fair_set.cc.o.d"
+  "CMakeFiles/fairbc_fairness.dir/src/fairness/fair_vector.cc.o"
+  "CMakeFiles/fairbc_fairness.dir/src/fairness/fair_vector.cc.o.d"
+  "libfairbc_fairness.a"
+  "libfairbc_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairbc_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

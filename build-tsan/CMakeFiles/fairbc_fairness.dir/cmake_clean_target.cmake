@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfairbc_fairness.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/attr_assign.cc" "CMakeFiles/fairbc_graph.dir/src/graph/attr_assign.cc.o" "gcc" "CMakeFiles/fairbc_graph.dir/src/graph/attr_assign.cc.o.d"
+  "/root/repo/src/graph/biclique_io.cc" "CMakeFiles/fairbc_graph.dir/src/graph/biclique_io.cc.o" "gcc" "CMakeFiles/fairbc_graph.dir/src/graph/biclique_io.cc.o.d"
+  "/root/repo/src/graph/bipartite_graph.cc" "CMakeFiles/fairbc_graph.dir/src/graph/bipartite_graph.cc.o" "gcc" "CMakeFiles/fairbc_graph.dir/src/graph/bipartite_graph.cc.o.d"
+  "/root/repo/src/graph/builder.cc" "CMakeFiles/fairbc_graph.dir/src/graph/builder.cc.o" "gcc" "CMakeFiles/fairbc_graph.dir/src/graph/builder.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "CMakeFiles/fairbc_graph.dir/src/graph/generators.cc.o" "gcc" "CMakeFiles/fairbc_graph.dir/src/graph/generators.cc.o.d"
+  "/root/repo/src/graph/io.cc" "CMakeFiles/fairbc_graph.dir/src/graph/io.cc.o" "gcc" "CMakeFiles/fairbc_graph.dir/src/graph/io.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "CMakeFiles/fairbc_graph.dir/src/graph/stats.cc.o" "gcc" "CMakeFiles/fairbc_graph.dir/src/graph/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/fairbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

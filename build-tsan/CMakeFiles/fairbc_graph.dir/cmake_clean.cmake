@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairbc_graph.dir/src/graph/attr_assign.cc.o"
+  "CMakeFiles/fairbc_graph.dir/src/graph/attr_assign.cc.o.d"
+  "CMakeFiles/fairbc_graph.dir/src/graph/biclique_io.cc.o"
+  "CMakeFiles/fairbc_graph.dir/src/graph/biclique_io.cc.o.d"
+  "CMakeFiles/fairbc_graph.dir/src/graph/bipartite_graph.cc.o"
+  "CMakeFiles/fairbc_graph.dir/src/graph/bipartite_graph.cc.o.d"
+  "CMakeFiles/fairbc_graph.dir/src/graph/builder.cc.o"
+  "CMakeFiles/fairbc_graph.dir/src/graph/builder.cc.o.d"
+  "CMakeFiles/fairbc_graph.dir/src/graph/generators.cc.o"
+  "CMakeFiles/fairbc_graph.dir/src/graph/generators.cc.o.d"
+  "CMakeFiles/fairbc_graph.dir/src/graph/io.cc.o"
+  "CMakeFiles/fairbc_graph.dir/src/graph/io.cc.o.d"
+  "CMakeFiles/fairbc_graph.dir/src/graph/stats.cc.o"
+  "CMakeFiles/fairbc_graph.dir/src/graph/stats.cc.o.d"
+  "libfairbc_graph.a"
+  "libfairbc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairbc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

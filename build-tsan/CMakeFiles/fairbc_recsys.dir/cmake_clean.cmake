@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairbc_recsys.dir/src/recsys/cf.cc.o"
+  "CMakeFiles/fairbc_recsys.dir/src/recsys/cf.cc.o.d"
+  "CMakeFiles/fairbc_recsys.dir/src/recsys/recommend_graph.cc.o"
+  "CMakeFiles/fairbc_recsys.dir/src/recsys/recommend_graph.cc.o.d"
+  "libfairbc_recsys.a"
+  "libfairbc_recsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairbc_recsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

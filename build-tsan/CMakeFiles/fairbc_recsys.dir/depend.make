@@ -1,0 +1,2 @@
+# Empty dependencies file for fairbc_recsys.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairbc_test_util.dir/tests/test_util.cc.o"
+  "CMakeFiles/fairbc_test_util.dir/tests/test_util.cc.o.d"
+  "libfairbc_test_util.a"
+  "libfairbc_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairbc_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcore_test.dir/tests/fcore_test.cc.o"
+  "CMakeFiles/fcore_test.dir/tests/fcore_test.cc.o.d"
+  "fcore_test"
+  "fcore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

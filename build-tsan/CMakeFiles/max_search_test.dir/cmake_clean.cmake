@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/max_search_test.dir/tests/max_search_test.cc.o"
+  "CMakeFiles/max_search_test.dir/tests/max_search_test.cc.o.d"
+  "max_search_test"
+  "max_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/max_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

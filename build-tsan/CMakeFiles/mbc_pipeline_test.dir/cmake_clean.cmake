@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_pipeline_test.dir/tests/mbc_pipeline_test.cc.o"
+  "CMakeFiles/mbc_pipeline_test.dir/tests/mbc_pipeline_test.cc.o.d"
+  "mbc_pipeline_test"
+  "mbc_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

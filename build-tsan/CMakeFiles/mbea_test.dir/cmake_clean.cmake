@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbea_test.dir/tests/mbea_test.cc.o"
+  "CMakeFiles/mbea_test.dir/tests/mbea_test.cc.o.d"
+  "mbea_test"
+  "mbea_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbea_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

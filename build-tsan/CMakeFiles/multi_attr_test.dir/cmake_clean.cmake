@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_attr_test.dir/tests/multi_attr_test.cc.o"
+  "CMakeFiles/multi_attr_test.dir/tests/multi_attr_test.cc.o.d"
+  "multi_attr_test"
+  "multi_attr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_attr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

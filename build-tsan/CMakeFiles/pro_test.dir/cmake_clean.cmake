@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pro_test.dir/tests/pro_test.cc.o"
+  "CMakeFiles/pro_test.dir/tests/pro_test.cc.o.d"
+  "pro_test"
+  "pro_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

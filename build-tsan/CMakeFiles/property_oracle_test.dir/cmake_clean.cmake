@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_oracle_test.dir/tests/property_oracle_test.cc.o"
+  "CMakeFiles/property_oracle_test.dir/tests/property_oracle_test.cc.o.d"
+  "property_oracle_test"
+  "property_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

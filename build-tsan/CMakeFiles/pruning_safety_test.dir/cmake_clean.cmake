@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pruning_safety_test.dir/tests/pruning_safety_test.cc.o"
+  "CMakeFiles/pruning_safety_test.dir/tests/pruning_safety_test.cc.o.d"
+  "pruning_safety_test"
+  "pruning_safety_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pruning_safety_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_hop_test.dir/tests/two_hop_test.cc.o"
+  "CMakeFiles/two_hop_test.dir/tests/two_hop_test.cc.o.d"
+  "two_hop_test"
+  "two_hop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_hop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

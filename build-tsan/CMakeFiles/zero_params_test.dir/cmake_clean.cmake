@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_params_test.dir/tests/zero_params_test.cc.o"
+  "CMakeFiles/zero_params_test.dir/tests/zero_params_test.cc.o.d"
+  "zero_params_test"
+  "zero_params_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
