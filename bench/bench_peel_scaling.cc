@@ -1,0 +1,134 @@
+// Parallel scaling of the graph-reduction phase: wall-clock for CFCore
+// and BCFCore at 1/2/4/8 peeling threads on a fixed synthetic
+// affiliation graph, emitted as JSON so the perf trajectory is
+// machine-readable across PRs. Every parallel run is checked against the
+// serial masks — the core is a unique fixpoint, so any divergence is a
+// bug, not noise.
+//
+// Expected shape on a multi-core host: the degree init and the early
+// frontier rounds scale near-linearly (they are embarrassingly parallel
+// over vertices/removals); the tail rounds with tiny frontiers do not,
+// so speedup saturates below the ideal. On a single-core host every row
+// reports speedup ~1.0 and the run only measures round-barrier overhead.
+//
+// FAIRBC_SCALE scales the graph (default 1.0); FAIRBC_MAX_THREADS caps
+// the sweep (default 8).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/datasets.h"
+#include "common/timer.h"
+#include "core/cfcore.h"
+#include "core/parallel.h"
+#include "graph/generators.h"
+
+namespace {
+
+using fairbc::BipartiteGraph;
+using fairbc::PruneResult;
+using fairbc::ThreadPool;
+using fairbc::VertexId;
+
+struct Run {
+  unsigned threads;
+  double seconds;
+};
+
+bool SameMasks(const fairbc::SideMasks& a, const fairbc::SideMasks& b) {
+  return a.upper_alive == b.upper_alive && a.lower_alive == b.lower_alive;
+}
+
+void EmitEngine(std::ostream& os, const BipartiteGraph& g,
+                const std::string& name, bool bi_side, std::uint32_t alpha,
+                std::uint32_t beta, unsigned max_threads, bool last) {
+  auto run_once = [&](ThreadPool* pool) {
+    return bi_side ? fairbc::BCFCore(g, alpha, beta, pool)
+                   : fairbc::CFCore(g, alpha, beta, pool);
+  };
+
+  PruneResult reference;
+  std::vector<Run> runs;
+  for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
+    // Best of two runs per point to damp scheduler noise; the pool is
+    // constructed outside the timed region like the pipeline does.
+    double seconds = 0.0;
+    PruneResult result;
+    for (int rep = 0; rep < 2; ++rep) {
+      fairbc::Timer timer;
+      if (threads == 1) {
+        result = run_once(nullptr);
+      } else {
+        ThreadPool pool(threads);
+        result = run_once(&pool);
+      }
+      const double elapsed = timer.ElapsedSeconds();
+      if (rep == 0 || elapsed < seconds) seconds = elapsed;
+    }
+    if (threads == 1) {
+      reference = result;
+    } else if (!SameMasks(reference.masks, result.masks)) {
+      std::cerr << "ERROR: " << name << " masks changed with threads="
+                << threads << "\n";
+      std::exit(1);
+    }
+    runs.push_back({threads, seconds});
+  }
+
+  const VertexId alive_upper = reference.masks.CountAlive(fairbc::Side::kUpper);
+  const VertexId alive_lower = reference.masks.CountAlive(fairbc::Side::kLower);
+  os << "    {\"engine\": \"" << name << "\", \"alive_upper\": " << alive_upper
+     << ", \"alive_lower\": " << alive_lower << ", \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    os << "      {\"threads\": " << runs[i].threads
+       << ", \"seconds\": " << runs[i].seconds
+       << ", \"speedup\": " << runs[0].seconds / runs[i].seconds << "}"
+       << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  os << "    ]}" << (last ? "" : ",") << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const double scale = fairbc::EnvScale();
+  unsigned max_threads = 8;
+  if (const char* env = std::getenv("FAIRBC_MAX_THREADS")) {
+    max_threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (max_threads == 0) max_threads = 1;
+  }
+
+  // Larger and noisier than the search-scaling graph: reduction cost is
+  // dominated by degree init + 2-hop construction + peel rounds, all of
+  // which need volume (not search-tree depth) to show up.
+  fairbc::AffiliationConfig config;
+  config.num_upper = static_cast<VertexId>(6000 * scale);
+  config.num_lower = static_cast<VertexId>(6000 * scale);
+  config.num_communities = static_cast<std::uint32_t>(220 * scale);
+  config.community_upper_max = 24;
+  config.community_lower_max = 24;
+  config.noise_fraction = 0.5;
+  config.seed = 11;
+  BipartiteGraph g = fairbc::MakeAffiliation(config);
+
+  const std::uint32_t alpha = 2, beta = 2;
+
+  std::cout << "{\n  \"bench\": \"peel_scaling\",\n"
+            << "  \"hardware_threads\": "
+            << std::thread::hardware_concurrency() << ",\n"
+            << "  \"graph\": {\"upper\": " << g.NumUpper()
+            << ", \"lower\": " << g.NumLower()
+            << ", \"edges\": " << g.NumEdges() << "},\n"
+            << "  \"params\": {\"alpha\": " << alpha << ", \"beta\": " << beta
+            << "},\n"
+            << "  \"engines\": [\n";
+  EmitEngine(std::cout, g, "cfcore", /*bi_side=*/false, alpha, beta,
+             max_threads, /*last=*/false);
+  EmitEngine(std::cout, g, "bcfcore", /*bi_side=*/true, alpha, beta,
+             max_threads, /*last=*/true);
+  std::cout << "  ]\n}\n";
+  return 0;
+}

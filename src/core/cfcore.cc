@@ -1,30 +1,27 @@
 #include "core/cfcore.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 
 #include "common/status.h"
 #include "core/fcore.h"
+#include "core/parallel.h"
 
 namespace fairbc {
 
-void EgoColorfulCorePeel(const UnipartiteGraph& h, const Coloring& coloring,
-                         std::uint32_t k, std::vector<char>& alive,
-                         std::size_t* meter_bytes) {
+namespace {
+
+// Serial ego colorful peel: the exact traversal the pre-parallel code ran
+// (queue order preserved), used when no pool is available.
+void EgoPeelSerial(const UnipartiteGraph& h, const Coloring& coloring,
+                   std::uint32_t k, std::vector<char>& alive,
+                   std::vector<std::uint32_t>& mult,
+                   std::vector<std::uint32_t>& ego_deg) {
   const VertexId n = h.NumVertices();
   const AttrId na = h.num_attrs;
   const std::uint32_t nc = std::max<std::uint32_t>(coloring.num_colors, 1);
-  FAIRBC_CHECK(alive.size() == n);
-
-  // Color multiplicity matrix M_v(attr, color) over N(v) ∪ {v}, flattened,
-  // plus the ego colorful degrees ED_a(v) (count of nonzero color slots).
   const std::size_t stride = static_cast<std::size_t>(na) * nc;
-  std::vector<std::uint32_t> mult(static_cast<std::size_t>(n) * stride, 0);
-  std::vector<std::uint32_t> ego_deg(static_cast<std::size_t>(n) * na, 0);
-  if (meter_bytes != nullptr) {
-    *meter_bytes += mult.size() * sizeof(std::uint32_t) +
-                    ego_deg.size() * sizeof(std::uint32_t);
-  }
 
   auto bump = [&](VertexId v, AttrId a, std::uint32_t c) {
     std::uint32_t& slot = mult[v * stride + static_cast<std::size_t>(a) * nc + c];
@@ -75,6 +72,135 @@ void EgoColorfulCorePeel(const UnipartiteGraph& h, const Coloring& coloring,
   }
 }
 
+// Frontier-based bulk-synchronous ego colorful peel (same fixpoint as the
+// serial queue — see the overestimation argument in fcore.cc). The color
+// multiplicity slots and ego degrees are decremented with atomics; the
+// slot's 1 -> 0 transition is what decrements the ego degree, and each
+// edge contributes that transition at most once.
+void EgoPeelParallel(const UnipartiteGraph& h, const Coloring& coloring,
+                     std::uint32_t k, std::vector<char>& alive,
+                     std::vector<std::uint32_t>& mult,
+                     std::vector<std::uint32_t>& ego_deg, ThreadPool& pool) {
+  const VertexId n = h.NumVertices();
+  const AttrId na = h.num_attrs;
+  const std::uint32_t nc = std::max<std::uint32_t>(coloring.num_colors, 1);
+  const std::size_t stride = static_cast<std::size_t>(na) * nc;
+
+  // Init: vertex v's multiplicity row is filled only by v's own chunk.
+  ParallelForChunks(pool, n, [&](std::uint64_t begin, std::uint64_t end,
+                                 unsigned) {
+    auto bump = [&](VertexId v, AttrId a, std::uint32_t c) {
+      std::uint32_t& slot =
+          mult[v * stride + static_cast<std::size_t>(a) * nc + c];
+      if (slot == 0) ++ego_deg[static_cast<std::size_t>(v) * na + a];
+      ++slot;
+    };
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      if (!alive[v]) continue;
+      bump(v, h.attrs[v], coloring.color[v]);
+      for (VertexId w : h.adj[v]) {
+        if (alive[w]) bump(v, h.attrs[w], coloring.color[w]);
+      }
+    }
+  });
+
+  auto violates = [&](VertexId v) {
+    for (AttrId a = 0; a < na; ++a) {
+      if (std::atomic_ref<std::uint32_t>(
+              ego_deg[static_cast<std::size_t>(v) * na + a])
+              .load(std::memory_order_relaxed) < k) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<std::vector<VertexId>> local(pool.num_threads());
+  ParallelForChunks(pool, n, [&](std::uint64_t begin, std::uint64_t end,
+                                 unsigned worker) {
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      if (alive[v] && violates(v)) {
+        alive[v] = 0;
+        local[worker].push_back(v);
+      }
+    }
+  });
+
+  std::vector<VertexId> frontier;
+  auto drain_local = [&] {
+    frontier.clear();
+    for (auto& buf : local) {
+      frontier.insert(frontier.end(), buf.begin(), buf.end());
+      buf.clear();
+    }
+  };
+  drain_local();
+
+  std::vector<VertexId> current;
+  while (!frontier.empty()) {
+    current.swap(frontier);
+    ParallelForChunks(pool, current.size(), [&](std::uint64_t begin,
+                                                std::uint64_t end,
+                                                unsigned worker) {
+      auto& out = local[worker];
+      for (std::uint64_t i = begin; i < end; ++i) {
+        const VertexId u = current[i];
+        const AttrId ua = h.attrs[u];
+        const std::uint32_t uc = coloring.color[u];
+        for (VertexId v : h.adj[u]) {
+          std::atomic_ref<char> alive_ref(alive[v]);
+          if (alive_ref.load(std::memory_order_relaxed) == 0) continue;
+          std::atomic_ref<std::uint32_t> slot(
+              mult[v * stride + static_cast<std::size_t>(ua) * nc + uc]);
+          const std::uint32_t prev =
+              slot.fetch_sub(1, std::memory_order_relaxed);
+          FAIRBC_CHECK(prev > 0);
+          if (prev == 1) {
+            std::atomic_ref<std::uint32_t>(
+                ego_deg[static_cast<std::size_t>(v) * na + ua])
+                .fetch_sub(1, std::memory_order_relaxed);
+            if (violates(v)) {
+              char expected = 1;
+              if (alive_ref.compare_exchange_strong(
+                      expected, 0, std::memory_order_relaxed)) {
+                out.push_back(v);
+              }
+            }
+          }
+        }
+      }
+    });
+    drain_local();
+  }
+}
+
+}  // namespace
+
+void EgoColorfulCorePeel(const UnipartiteGraph& h, const Coloring& coloring,
+                         std::uint32_t k, std::vector<char>& alive,
+                         std::size_t* meter_bytes, ThreadPool* pool) {
+  const VertexId n = h.NumVertices();
+  const AttrId na = h.num_attrs;
+  const std::uint32_t nc = std::max<std::uint32_t>(coloring.num_colors, 1);
+  FAIRBC_CHECK(alive.size() == n);
+
+  // Color multiplicity matrix M_v(attr, color) over N(v) ∪ {v}, flattened,
+  // plus the ego colorful degrees ED_a(v) (count of nonzero color slots).
+  const std::size_t stride = static_cast<std::size_t>(na) * nc;
+  std::vector<std::uint32_t> mult(static_cast<std::size_t>(n) * stride, 0);
+  std::vector<std::uint32_t> ego_deg(static_cast<std::size_t>(n) * na, 0);
+  if (meter_bytes != nullptr) {
+    *meter_bytes += mult.size() * sizeof(std::uint32_t) +
+                    ego_deg.size() * sizeof(std::uint32_t);
+  }
+
+  if (pool != nullptr && pool->num_threads() > 1) {
+    EgoPeelParallel(h, coloring, k, alive, mult, ego_deg, *pool);
+  } else {
+    EgoPeelSerial(h, coloring, k, alive, mult, ego_deg);
+  }
+}
+
 namespace {
 
 // Shared colorful phase: build the 2-hop graph on `fair_side`, apply the
@@ -82,7 +208,8 @@ namespace {
 // clear the masks of removed vertices.
 void ColorfulPhase(const BipartiteGraph& g, Side fair_side,
                    std::uint32_t common_threshold, std::uint32_t k,
-                   bool per_attr, SideMasks& masks, std::size_t* bytes) {
+                   bool per_attr, SideMasks& masks, std::size_t* bytes,
+                   ThreadPool* pool) {
   if (common_threshold == 0) return;  // 2-hop condition degenerate; skip.
   UnipartiteGraph h =
       per_attr ? BiConstruct2HopGraph(g, fair_side, common_threshold, masks)
@@ -104,32 +231,32 @@ void ColorfulPhase(const BipartiteGraph& g, Side fair_side,
   }
 
   Coloring coloring = GreedyColor(h, alive);
-  EgoColorfulCorePeel(h, coloring, k, alive, bytes);
+  EgoColorfulCorePeel(h, coloring, k, alive, bytes, pool);
 }
 
 }  // namespace
 
 PruneResult CFCore(const BipartiteGraph& g, std::uint32_t alpha,
-                   std::uint32_t beta) {
+                   std::uint32_t beta, ThreadPool* pool) {
   PruneResult result;
-  result.masks = FCore(g, alpha, beta);
+  result.masks = FCore(g, alpha, beta, pool);
   ColorfulPhase(g, Side::kLower, alpha, beta, /*per_attr=*/false, result.masks,
-                &result.peak_struct_bytes);
-  FCoreInPlace(g, alpha, beta, result.masks);
+                &result.peak_struct_bytes, pool);
+  FCoreInPlace(g, alpha, beta, result.masks, pool);
   return result;
 }
 
 PruneResult BCFCore(const BipartiteGraph& g, std::uint32_t alpha,
-                    std::uint32_t beta) {
+                    std::uint32_t beta, ThreadPool* pool) {
   PruneResult result;
-  result.masks = BFCore(g, alpha, beta);
+  result.masks = BFCore(g, alpha, beta, pool);
   // Lower side: vertices must share alpha common neighbors per upper
   // class; upper side: beta common neighbors per lower class.
   ColorfulPhase(g, Side::kLower, alpha, beta, /*per_attr=*/true, result.masks,
-                &result.peak_struct_bytes);
+                &result.peak_struct_bytes, pool);
   ColorfulPhase(g, Side::kUpper, beta, alpha, /*per_attr=*/true, result.masks,
-                &result.peak_struct_bytes);
-  BFCoreInPlace(g, alpha, beta, result.masks);
+                &result.peak_struct_bytes, pool);
+  BFCoreInPlace(g, alpha, beta, result.masks, pool);
   return result;
 }
 

@@ -9,6 +9,8 @@
 
 namespace fairbc {
 
+class ThreadPool;
+
 /// Result of a graph-reduction run (CFCore / BCFCore).
 struct PruneResult {
   SideMasks masks;
@@ -21,22 +23,27 @@ struct PruneResult {
 /// (Def. 10): every surviving vertex keeps ego colorful degree >= k for
 /// every attribute class. Updates `alive` in place. `meter_bytes`, if
 /// non-null, accumulates the peak size of the color multiplicity matrices.
+/// With a non-null `pool` (and > 1 worker) the peel runs frontier-based
+/// bulk-synchronous rounds with atomic multiplicity counters; the
+/// surviving set is identical to the serial peel (the ego colorful core
+/// is a unique fixpoint).
 void EgoColorfulCorePeel(const UnipartiteGraph& h, const Coloring& coloring,
                          std::uint32_t k, std::vector<char>& alive,
-                         std::size_t* meter_bytes);
+                         std::size_t* meter_bytes, ThreadPool* pool = nullptr);
 
 /// Colorful fair α-β core pruning (paper Alg. 2, CFCore): FCore, then the
 /// 2-hop graph on the fair (lower) side, degree pruning, greedy coloring,
 /// ego colorful β-core, and a final FCore pass. Lossless for SSFBC
-/// enumeration (Lemma 2).
+/// enumeration (Lemma 2). `pool` parallelizes the peeling phases
+/// (nullptr = exact serial path).
 PruneResult CFCore(const BipartiteGraph& g, std::uint32_t alpha,
-                   std::uint32_t beta);
+                   std::uint32_t beta, ThreadPool* pool = nullptr);
 
 /// Bi-side variant (paper §IV-A, BCFCore): BFCore, then colorful pruning
 /// on *both* sides using BiConstruct2HopGraph, and a final BFCore pass.
 /// Lossless for BSFBC enumeration.
 PruneResult BCFCore(const BipartiteGraph& g, std::uint32_t alpha,
-                    std::uint32_t beta);
+                    std::uint32_t beta, ThreadPool* pool = nullptr);
 
 }  // namespace fairbc
 

@@ -21,7 +21,8 @@ std::string Biclique::DebugString() const {
 std::string EnumStats::DebugString() const {
   std::ostringstream os;
   os << "results=" << num_results << " nodes=" << search_nodes
-     << " mbc=" << maximal_bicliques_visited << " prune_s=" << prune_seconds
+     << " mbc=" << maximal_bicliques_visited << " splits=" << split_subtrees
+     << " prune_s=" << prune_seconds
      << " enum_s=" << enum_seconds << " remaining=(" << remaining_upper << ","
      << remaining_lower << ")"
      << (budget_exhausted ? " BUDGET_EXHAUSTED" : "");

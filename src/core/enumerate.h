@@ -75,11 +75,14 @@ struct EnumOptions {
   std::uint64_t node_budget = 0;
   /// Wall-clock budget in seconds (0 = unlimited).
   double time_budget_seconds = 0.0;
-  /// Worker threads for the root-level subtree fan-out: 1 = serial (the
-  /// exact pre-parallel traversal, node accounting included), 0 = one per
-  /// hardware thread, n = n workers. The result *set* is identical for
-  /// every value; emission order and search_nodes bookkeeping may differ
-  /// once the search actually runs on several workers.
+  /// Worker threads for the whole pipeline: the graph-reduction peeling
+  /// (bulk-synchronous frontier rounds), the root-level subtree fan-out of
+  /// the search, and its depth-adaptive task splitting all use this count.
+  /// 1 = serial (the exact pre-parallel traversal, node accounting
+  /// included), 0 = one per hardware thread, n = n workers. The result
+  /// *set* is identical for every value; emission order and search_nodes
+  /// bookkeeping may differ once the search actually runs on several
+  /// workers.
   unsigned num_threads = 1;
 };
 
@@ -88,6 +91,9 @@ struct EnumStats {
   std::uint64_t num_results = 0;
   std::uint64_t search_nodes = 0;
   std::uint64_t maximal_bicliques_visited = 0;  ///< ++ engines only.
+  /// Subtrees handed back to the pool by depth-adaptive task splitting
+  /// (0 on serial runs and whenever the queue never ran dry).
+  std::uint64_t split_subtrees = 0;
   double prune_seconds = 0.0;
   double enum_seconds = 0.0;
   bool budget_exhausted = false;

@@ -15,17 +15,23 @@ namespace fairbc {
 
 namespace {
 
+class FairBcemEngine;
+using ContextSplitter = SubtreeSplitter<std::unique_ptr<SearchContext>>;
+
 // FairBCEM recursion (paper Alg. 5) on the shared SearchContext layer:
 // the context owns stats, budget, fairness policy and sink; this class
 // owns only the branch-and-bound logic. Root-level branches are
 // independent (branch i's exclusion set is exactly the candidates before
-// it), which is what the parallel fan-out in FairBcemRun exploits.
+// it), which is what the parallel fan-out in FairBcemRun exploits; a
+// root branch whose subtree dominates re-submits its depth-1 children to
+// the pool once the queue runs dry (depth-adaptive splitting).
 class FairBcemEngine {
  public:
   FairBcemEngine(SearchContext& ctx, const FairBcemSearchOptions& search,
-                 std::uint32_t min_upper)
+                 std::uint32_t min_upper, ContextSplitter* splitter = nullptr)
       : ctx_(ctx),
         search_(search),
+        splitter_(splitter),
         min_upper_(std::max(min_upper, 1u)),
         num_attrs_(ctx.graph().NumAttrs(Side::kLower)) {}
 
@@ -41,9 +47,20 @@ class FairBcemEngine {
   void RunRootBranch(const std::vector<VertexId>& upper_all,
                      const std::vector<VertexId>& candidates,
                      std::size_t root) {
+    allow_split_ = splitter_ != nullptr;
     std::span<const VertexId> all(candidates);
     Branch(upper_all, {}, SizeVector(num_attrs_, 0), all.subspan(root),
            all.first(root));
+  }
+
+  /// One depth-1 child of a split subtree (never splits again).
+  void RunSubtreeChild(const std::shared_ptr<const SubtreeBatch>& batch,
+                       std::size_t child) {
+    allow_split_ = false;
+    const std::vector<VertexId> q = batch->ExclusionFor(child);
+    const SizeVector r_sizes = ctx_.ClassSizes(Side::kLower, batch->r);
+    std::span<const VertexId> p(batch->p);
+    Branch(batch->big_l, batch->r, r_sizes, p.subspan(child), q);
   }
 
  private:
@@ -149,12 +166,45 @@ class FairBcemEngine {
           reachable = ctx_.policy().Reachable(pool);
         }
         if (reachable) {
-          Recurse(new_l, new_r, new_p, std::move(new_q));
+          if (!TrySplit(new_l, new_r, new_p, new_q)) {
+            Recurse(new_l, new_r, new_p, std::move(new_q));
+          }
           if (ctx_.ShouldStop()) return false;
         }
       }
     }
     return !ctx_.budget().aborted();
+  }
+
+  // Depth-adaptive task splitting: a root task re-checks the pool queue
+  // at every descend point of its serial walk and, at the first node
+  // where the queue has run dry, hands that node's depth-1 children to
+  // the pool (with the exact exclusion prefixes the serial loop would
+  // have used) instead of walking them while other workers starve.
+  // Split children never split again, and a split only fires on a
+  // near-empty queue, so the task count stays bounded. Returns true when
+  // the subtree was handed to the pool.
+  bool TrySplit(const std::vector<VertexId>& big_l,
+                const std::vector<VertexId>& r, const std::vector<VertexId>& p,
+                const std::vector<VertexId>& q) {
+    if (!allow_split_ || splitter_ == nullptr) return false;
+    if (p.size() < 2 || !splitter_->ShouldSplit()) return false;
+    ++ctx_.stats().split_subtrees;
+    auto batch = std::make_shared<SubtreeBatch>();
+    batch->big_l = big_l;
+    batch->r = r;
+    batch->p = p;
+    batch->q = q;
+    const FairBcemSearchOptions* search = &search_;
+    const std::uint32_t min_upper = min_upper_;
+    for (std::size_t child = 0; child < batch->p.size(); ++child) {
+      splitter_->Submit(
+          [batch, child, search, min_upper](SearchContext& ctx) {
+            FairBcemEngine(ctx, *search, min_upper)
+                .RunSubtreeChild(batch, child);
+          });
+    }
+    return true;
   }
 
   // Branches on every candidate of p in order, growing the exclusion set.
@@ -171,8 +221,11 @@ class FairBcemEngine {
 
   SearchContext& ctx_;
   const FairBcemSearchOptions& search_;
+  ContextSplitter* const splitter_;
   const std::uint32_t min_upper_;
   const AttrId num_attrs_;
+  /// True only while the root node of a parallel task is being branched.
+  bool allow_split_ = false;
 };
 
 }  // namespace
@@ -203,8 +256,8 @@ EnumStats FairBcemRun(const BipartiteGraph& g, const FairBicliqueParams& params,
           return std::make_unique<SearchContext>(g, options, policy, budget,
                                                  sink);
         },
-        [&](SearchContext& ctx, std::uint64_t task) {
-          FairBcemEngine(ctx, search, min_upper)
+        [&](SearchContext& ctx, std::uint64_t task, ContextSplitter& splitter) {
+          FairBcemEngine(ctx, search, min_upper, &splitter)
               .RunRootBranch(upper_all, candidates, task);
         });
     for (const auto& ctx : contexts) MergeEnumStats(stats, ctx->stats());

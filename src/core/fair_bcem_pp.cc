@@ -104,6 +104,7 @@ EnumStats FairBcemPpRun(const BipartiteGraph& g,
   stats.num_results = num_results.load(std::memory_order_relaxed);
   stats.maximal_bicliques_visited = visited.load(std::memory_order_relaxed);
   stats.search_nodes = mb_stats.search_nodes;
+  stats.split_subtrees = mb_stats.split_subtrees;
   stats.budget_exhausted =
       subset_budget_exhausted.load(std::memory_order_relaxed) ||
       mb_stats.budget_exhausted;

@@ -1,10 +1,12 @@
 #include "core/fcore.h"
 
+#include <atomic>
 #include <deque>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "core/parallel.h"
 #include "fairness/fair_vector.h"
 
 namespace fairbc {
@@ -15,8 +17,8 @@ namespace {
 // upper side always uses lower-attribute degrees with threshold beta; the
 // lower side uses plain degree (FCore) or upper-attribute degrees
 // (BFCore) with threshold alpha.
-void PeelCore(const BipartiteGraph& g, std::uint32_t alpha, std::uint32_t beta,
-              bool bi_side, SideMasks& masks) {
+void PeelCoreSerial(const BipartiteGraph& g, std::uint32_t alpha,
+                    std::uint32_t beta, bool bi_side, SideMasks& masks) {
   const VertexId nu = g.NumUpper();
   const VertexId nv = g.NumLower();
   const AttrId av = g.NumAttrs(Side::kLower);
@@ -99,6 +101,184 @@ void PeelCore(const BipartiteGraph& g, std::uint32_t alpha, std::uint32_t beta,
   }
 }
 
+inline std::atomic_ref<std::uint32_t> AtomicAt(std::vector<std::uint32_t>& v,
+                                               std::size_t i) {
+  return std::atomic_ref<std::uint32_t>(v[i]);
+}
+
+// Frontier-based bulk-synchronous peel. Counters lag behind removals that
+// are still queued in the frontier, so they only ever *overestimate* the
+// alive degree — a vertex removed here genuinely violates its threshold
+// (violation is monotone under decrements), and every pending removal is
+// processed in a later round. The fixpoint is therefore exactly the core
+// the serial peel computes; only the traversal order differs.
+void PeelCoreParallel(const BipartiteGraph& g, std::uint32_t alpha,
+                      std::uint32_t beta, bool bi_side, SideMasks& masks,
+                      ThreadPool& pool) {
+  const VertexId nu = g.NumUpper();
+  const VertexId nv = g.NumLower();
+  const AttrId av = g.NumAttrs(Side::kLower);
+  const AttrId au = g.NumAttrs(Side::kUpper);
+  FAIRBC_CHECK(masks.upper_alive.size() == nu);
+  FAIRBC_CHECK(masks.lower_alive.size() == nv);
+
+  std::vector<std::uint32_t> up_attr_deg(static_cast<std::size_t>(nu) * av, 0);
+  std::vector<std::uint32_t> lo_attr_deg;
+  std::vector<std::uint32_t> lo_deg(nv, 0);
+  if (bi_side) lo_attr_deg.assign(static_cast<std::size_t>(nv) * au, 0);
+
+  // Degree init: each side fills its own rows from its own adjacency, so
+  // the writes of distinct chunks never alias.
+  ParallelForChunks(pool, nu, [&](std::uint64_t begin, std::uint64_t end,
+                                  unsigned) {
+    for (VertexId u = static_cast<VertexId>(begin); u < end; ++u) {
+      if (!masks.upper_alive[u]) continue;
+      for (VertexId v : g.Neighbors(Side::kUpper, u)) {
+        if (masks.lower_alive[v]) {
+          ++up_attr_deg[static_cast<std::size_t>(u) * av +
+                        g.Attr(Side::kLower, v)];
+        }
+      }
+    }
+  });
+  ParallelForChunks(pool, nv, [&](std::uint64_t begin, std::uint64_t end,
+                                  unsigned) {
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      if (!masks.lower_alive[v]) continue;
+      for (VertexId u : g.Neighbors(Side::kLower, v)) {
+        if (!masks.upper_alive[u]) continue;
+        ++lo_deg[v];
+        if (bi_side) {
+          ++lo_attr_deg[static_cast<std::size_t>(v) * au +
+                        g.Attr(Side::kUpper, u)];
+        }
+      }
+    }
+  });
+
+  // Violation checks over the (possibly concurrently decremented) atomic
+  // counters. Relaxed order suffices: counters only decrease, and any
+  // decrement that crosses a threshold is observed by the worker that
+  // performed it.
+  auto upper_violates = [&](VertexId u) {
+    for (AttrId a = 0; a < av; ++a) {
+      if (AtomicAt(up_attr_deg, static_cast<std::size_t>(u) * av + a)
+              .load(std::memory_order_relaxed) < beta) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto lower_violates = [&](VertexId v) {
+    if (!bi_side) {
+      return AtomicAt(lo_deg, v).load(std::memory_order_relaxed) < alpha;
+    }
+    for (AttrId a = 0; a < au; ++a) {
+      if (AtomicAt(lo_attr_deg, static_cast<std::size_t>(v) * au + a)
+              .load(std::memory_order_relaxed) < alpha) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  using Removal = std::pair<Side, VertexId>;
+  std::vector<std::vector<Removal>> local(pool.num_threads());
+
+  // Initial frontier: unsynchronized scans are safe — each vertex is
+  // examined by exactly one chunk and the scans only read counters their
+  // own side's init wrote (published by the batch barrier above).
+  ParallelForChunks(pool, nu, [&](std::uint64_t begin, std::uint64_t end,
+                                  unsigned worker) {
+    for (VertexId u = static_cast<VertexId>(begin); u < end; ++u) {
+      if (masks.upper_alive[u] && upper_violates(u)) {
+        masks.upper_alive[u] = 0;
+        local[worker].emplace_back(Side::kUpper, u);
+      }
+    }
+  });
+  ParallelForChunks(pool, nv, [&](std::uint64_t begin, std::uint64_t end,
+                                  unsigned worker) {
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      if (masks.lower_alive[v] && lower_violates(v)) {
+        masks.lower_alive[v] = 0;
+        local[worker].emplace_back(Side::kLower, v);
+      }
+    }
+  });
+
+  std::vector<Removal> frontier;
+  auto drain_local = [&] {
+    frontier.clear();
+    for (auto& buf : local) {
+      frontier.insert(frontier.end(), buf.begin(), buf.end());
+      buf.clear();
+    }
+  };
+  drain_local();
+
+  // Rounds: every removal decrements its alive neighbors' counters once;
+  // a CAS on the alive byte makes sure each newly violating vertex enters
+  // the next frontier exactly once. Decrements of vertices that die in
+  // the same round are harmless (their counters are never read again).
+  std::vector<Removal> current;
+  while (!frontier.empty()) {
+    current.swap(frontier);
+    ParallelForChunks(pool, current.size(), [&](std::uint64_t begin,
+                                                std::uint64_t end,
+                                                unsigned worker) {
+      auto& out = local[worker];
+      for (std::uint64_t i = begin; i < end; ++i) {
+        const auto [side, x] = current[i];
+        if (side == Side::kUpper) {
+          const AttrId xa = g.Attr(Side::kUpper, x);
+          for (VertexId v : g.Neighbors(Side::kUpper, x)) {
+            std::atomic_ref<char> alive(masks.lower_alive[v]);
+            if (alive.load(std::memory_order_relaxed) == 0) continue;
+            AtomicAt(lo_deg, v).fetch_sub(1, std::memory_order_relaxed);
+            if (bi_side) {
+              AtomicAt(lo_attr_deg, static_cast<std::size_t>(v) * au + xa)
+                  .fetch_sub(1, std::memory_order_relaxed);
+            }
+            if (lower_violates(v)) {
+              char expected = 1;
+              if (alive.compare_exchange_strong(expected, 0,
+                                                std::memory_order_relaxed)) {
+                out.emplace_back(Side::kLower, v);
+              }
+            }
+          }
+        } else {
+          const AttrId xa = g.Attr(Side::kLower, x);
+          for (VertexId u : g.Neighbors(Side::kLower, x)) {
+            std::atomic_ref<char> alive(masks.upper_alive[u]);
+            if (alive.load(std::memory_order_relaxed) == 0) continue;
+            AtomicAt(up_attr_deg, static_cast<std::size_t>(u) * av + xa)
+                .fetch_sub(1, std::memory_order_relaxed);
+            if (upper_violates(u)) {
+              char expected = 1;
+              if (alive.compare_exchange_strong(expected, 0,
+                                                std::memory_order_relaxed)) {
+                out.emplace_back(Side::kUpper, u);
+              }
+            }
+          }
+        }
+      }
+    });
+    drain_local();
+  }
+}
+
+void PeelCore(const BipartiteGraph& g, std::uint32_t alpha, std::uint32_t beta,
+              bool bi_side, SideMasks& masks, ThreadPool* pool) {
+  if (pool != nullptr && pool->num_threads() > 1) {
+    PeelCoreParallel(g, alpha, beta, bi_side, masks, *pool);
+  } else {
+    PeelCoreSerial(g, alpha, beta, bi_side, masks);
+  }
+}
+
 SideMasks AllAlive(const BipartiteGraph& g) {
   SideMasks masks;
   masks.upper_alive.assign(g.NumUpper(), 1);
@@ -109,27 +289,27 @@ SideMasks AllAlive(const BipartiteGraph& g) {
 }  // namespace
 
 SideMasks FCore(const BipartiteGraph& g, std::uint32_t alpha,
-                std::uint32_t beta) {
+                std::uint32_t beta, ThreadPool* pool) {
   SideMasks masks = AllAlive(g);
-  PeelCore(g, alpha, beta, /*bi_side=*/false, masks);
+  PeelCore(g, alpha, beta, /*bi_side=*/false, masks, pool);
   return masks;
 }
 
 SideMasks BFCore(const BipartiteGraph& g, std::uint32_t alpha,
-                 std::uint32_t beta) {
+                 std::uint32_t beta, ThreadPool* pool) {
   SideMasks masks = AllAlive(g);
-  PeelCore(g, alpha, beta, /*bi_side=*/true, masks);
+  PeelCore(g, alpha, beta, /*bi_side=*/true, masks, pool);
   return masks;
 }
 
 void FCoreInPlace(const BipartiteGraph& g, std::uint32_t alpha,
-                  std::uint32_t beta, SideMasks& masks) {
-  PeelCore(g, alpha, beta, /*bi_side=*/false, masks);
+                  std::uint32_t beta, SideMasks& masks, ThreadPool* pool) {
+  PeelCore(g, alpha, beta, /*bi_side=*/false, masks, pool);
 }
 
 void BFCoreInPlace(const BipartiteGraph& g, std::uint32_t alpha,
-                   std::uint32_t beta, SideMasks& masks) {
-  PeelCore(g, alpha, beta, /*bi_side=*/true, masks);
+                   std::uint32_t beta, SideMasks& masks, ThreadPool* pool) {
+  PeelCore(g, alpha, beta, /*bi_side=*/true, masks, pool);
 }
 
 SideMasks FCoreNaive(const BipartiteGraph& g, std::uint32_t alpha,

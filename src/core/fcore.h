@@ -7,6 +7,8 @@
 
 namespace fairbc {
 
+class ThreadPool;
+
 /// Fair α-β core pruning (paper Alg. 1, FCore).
 ///
 /// Computes the unique maximal subgraph in which every surviving upper
@@ -14,23 +16,31 @@ namespace fairbc {
 /// and every surviving lower vertex has degree >= alpha. By Lemma 1 every
 /// single-side fair biclique lives inside it. Linear-time peeling
 /// (Batagelj–Zaversnik style). Returns alive masks over `g`.
+///
+/// All peeling entry points take an optional `pool`: nullptr runs the
+/// exact serial peel (deterministic traversal order); a non-null pool
+/// runs frontier-based bulk-synchronous rounds with atomic degree
+/// counters. The surviving vertex set is identical either way — the core
+/// is the unique maximal fixpoint, so peel order cannot change it.
 SideMasks FCore(const BipartiteGraph& g, std::uint32_t alpha,
-                std::uint32_t beta);
+                std::uint32_t beta, ThreadPool* pool = nullptr);
 
 /// Bi-fair α-β core pruning (paper Def. 13, BFCore): like FCore but the
 /// lower side also uses attribute degrees — every surviving lower vertex
 /// needs attribute degree >= alpha for every *upper* attribute class
 /// (Lemma 3: every bi-side fair biclique lives inside it).
 SideMasks BFCore(const BipartiteGraph& g, std::uint32_t alpha,
-                 std::uint32_t beta);
+                 std::uint32_t beta, ThreadPool* pool = nullptr);
 
 /// In-place variants restricted to the already-alive vertices in `masks`
 /// (used by CFCore/BCFCore which interleave core pruning with colorful
 /// pruning, paper Alg. 2 lines 1 and 27).
 void FCoreInPlace(const BipartiteGraph& g, std::uint32_t alpha,
-                  std::uint32_t beta, SideMasks& masks);
+                  std::uint32_t beta, SideMasks& masks,
+                  ThreadPool* pool = nullptr);
 void BFCoreInPlace(const BipartiteGraph& g, std::uint32_t alpha,
-                   std::uint32_t beta, SideMasks& masks);
+                   std::uint32_t beta, SideMasks& masks,
+                   ThreadPool* pool = nullptr);
 
 /// Reference implementation used by tests: repeatedly delete violating
 /// vertices until fixpoint, quadratic but obviously correct.

@@ -13,14 +13,19 @@ namespace fairbc {
 
 namespace {
 
+class MbeaEngine;
+using EngineSplitter = SubtreeSplitter<std::unique_ptr<MbeaEngine>>;
+
 // iMBEA recursion on the shared budget layer. One instance per worker;
 // stats_ is worker-local, the SearchBudget is shared by every worker of
 // the run. Root branches are independent: branch i only needs the
 // exclusion prefix candidates[0..i), so the parallel driver hands each
-// root to a pool worker. The serial path (Run) keeps the original
-// traversal — including the "exhausted candidate" skip, which is a pure
-// work-saving: a skipped root re-run in isolation is killed by the
-// excluded-vertex check, so the parallel fan-out may safely ignore it.
+// root to a pool worker; a dominating root subtree re-submits its depth-1
+// children once the pool queue runs dry (depth-adaptive splitting). The
+// serial path (Run) keeps the original traversal — including the
+// "exhausted candidate" skip, which is a pure work-saving: a skipped
+// branch re-run in isolation is killed by the excluded-vertex check, so
+// both the root fan-out and the splitter may safely ignore it.
 class MbeaEngine {
  public:
   MbeaEngine(const BipartiteGraph& g, const MbeaConfig& config,
@@ -39,12 +44,24 @@ class MbeaEngine {
   }
 
   void RunRootBranch(const std::vector<VertexId>& upper_all,
-                     const std::vector<VertexId>& candidates,
-                     std::size_t root) {
+                     const std::vector<VertexId>& candidates, std::size_t root,
+                     EngineSplitter* splitter) {
+    splitter_ = splitter;
+    allow_split_ = splitter != nullptr;
     std::vector<VertexId> unused_exhausted;
     std::span<const VertexId> all(candidates);
     Branch(upper_all, {}, all.subspan(root), all.first(root),
            &unused_exhausted);
+  }
+
+  /// One depth-1 child of a split subtree (never splits again).
+  void RunSubtreeChild(const std::shared_ptr<const SubtreeBatch>& batch,
+                       std::size_t child) {
+    allow_split_ = false;
+    const std::vector<VertexId> q = batch->ExclusionFor(child);
+    std::vector<VertexId> unused_exhausted;
+    std::span<const VertexId> p(batch->p);
+    Branch(batch->big_l, batch->r, p.subspan(child), q, &unused_exhausted);
   }
 
  private:
@@ -144,9 +161,36 @@ class MbeaEngine {
         }
       }
       if (reachable) {
-        Recurse(new_l, std::move(new_r), std::move(new_p), std::move(new_q));
+        if (!TrySplit(new_l, new_r, new_p, new_q)) {
+          Recurse(new_l, std::move(new_r), std::move(new_p), std::move(new_q));
+        }
         if (budget_.OverBudget()) return false;
       }
+    }
+    return true;
+  }
+
+  // Depth-adaptive task splitting (see FairBcemEngine::TrySplit): a root
+  // task re-checks the queue at every descend point and hands the first
+  // dry-queue node's depth-1 children to the pool. The split children
+  // skip the exhausted-candidate pruning of the serial Recurse loop,
+  // which is safe for the same reason the root fan-out may skip it (see
+  // the class comment).
+  bool TrySplit(const std::vector<VertexId>& big_l,
+                const std::vector<VertexId>& r, const std::vector<VertexId>& p,
+                const std::vector<VertexId>& q) {
+    if (!allow_split_ || splitter_ == nullptr) return false;
+    if (p.size() < 2 || !splitter_->ShouldSplit()) return false;
+    ++stats_.split_subtrees;
+    auto batch = std::make_shared<SubtreeBatch>();
+    batch->big_l = big_l;
+    batch->r = r;
+    batch->p = p;
+    batch->q = q;
+    for (std::size_t child = 0; child < batch->p.size(); ++child) {
+      splitter_->Submit([batch, child](MbeaEngine& engine) {
+        engine.RunSubtreeChild(batch, child);
+      });
     }
     return true;
   }
@@ -180,6 +224,9 @@ class MbeaEngine {
   const MaximalBicliqueSink& sink_;
   const AttrId num_lower_attrs_;
   MbeaStats stats_;
+  EngineSplitter* splitter_ = nullptr;
+  /// True only while the root node of a parallel task is being branched.
+  bool allow_split_ = false;
 };
 
 }  // namespace
@@ -205,12 +252,13 @@ MbeaStats EnumerateMaximalBicliques(const BipartiteGraph& g,
         [&](unsigned) {
           return std::make_unique<MbeaEngine>(g, config, budget, sink);
         },
-        [&](MbeaEngine& engine, std::uint64_t task) {
-          engine.RunRootBranch(upper_all, candidates, task);
+        [&](MbeaEngine& engine, std::uint64_t task, EngineSplitter& splitter) {
+          engine.RunRootBranch(upper_all, candidates, task, &splitter);
         });
     for (const auto& engine : engines) {
       stats.search_nodes += engine->stats().search_nodes;
       stats.emitted += engine->stats().emitted;
+      stats.split_subtrees += engine->stats().split_subtrees;
     }
   }
   stats.budget_exhausted = budget.exhausted();

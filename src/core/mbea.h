@@ -38,6 +38,8 @@ struct MbeaConfig {
 struct MbeaStats {
   std::uint64_t search_nodes = 0;
   std::uint64_t emitted = 0;
+  /// Subtrees handed back to the pool by depth-adaptive task splitting.
+  std::uint64_t split_subtrees = 0;
   bool budget_exhausted = false;
 };
 

@@ -44,29 +44,52 @@ void ThreadPool::ParallelFor(
   {
     std::lock_guard<std::mutex> lock(mu_);
     FAIRBC_CHECK(outstanding_ == 0);
-    // Deal tasks round-robin; stealing rebalances skewed subtrees.
+    // Deal tasks round-robin; stealing rebalances skewed subtrees. The
+    // closures only reference `fn`, which outlives the batch: ParallelFor
+    // returns after the last task destroyed its closure (WorkerLoop drops
+    // the closure before posting completion).
     for (std::uint64_t t = 0; t < num_tasks; ++t) {
       Worker& w = *workers_[t % workers_.size()];
       std::lock_guard<std::mutex> wlock(w.mu);
-      w.tasks.push_back(t);
+      w.tasks.push_back([&fn, t](unsigned worker) { fn(t, worker); });
     }
-    fn_ = &fn;
     outstanding_ = num_tasks;
-    ++batch_;
+    queued_.fetch_add(static_cast<std::int64_t>(num_tasks),
+                      std::memory_order_relaxed);
   }
   work_cv_.notify_all();
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return outstanding_ == 0; });
-  fn_ = nullptr;
 }
 
-bool ThreadPool::NextTask(unsigned index, std::uint64_t* task) {
+void ThreadPool::Submit(Task task) {
+  const unsigned victim =
+      static_cast<unsigned>(next_victim_.fetch_add(1, std::memory_order_relaxed) %
+                            workers_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Only valid mid-batch: the caller runs inside a task whose completion
+    // has not been posted yet, so the batch cannot finish under us.
+    FAIRBC_CHECK(outstanding_ > 0);
+    ++outstanding_;
+    {
+      Worker& w = *workers_[victim];
+      std::lock_guard<std::mutex> wlock(w.mu);
+      w.tasks.push_back(std::move(task));
+    }
+    queued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  work_cv_.notify_all();
+}
+
+bool ThreadPool::NextTask(unsigned index, Task* task) {
   {
     Worker& own = *workers_[index];
     std::lock_guard<std::mutex> lock(own.mu);
     if (!own.tasks.empty()) {
-      *task = own.tasks.back();  // own work: newest first.
+      *task = std::move(own.tasks.back());  // own work: newest first.
       own.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -74,8 +97,9 @@ bool ThreadPool::NextTask(unsigned index, std::uint64_t* task) {
     Worker& victim = *workers_[(index + step) % workers_.size()];
     std::lock_guard<std::mutex> lock(victim.mu);
     if (!victim.tasks.empty()) {
-      *task = victim.tasks.front();  // stolen work: oldest first.
+      *task = std::move(victim.tasks.front());  // stolen work: oldest first.
       victim.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -83,31 +107,21 @@ bool ThreadPool::NextTask(unsigned index, std::uint64_t* task) {
 }
 
 void ThreadPool::WorkerLoop(unsigned index) {
-  std::uint64_t seen_batch = 0;
   for (;;) {
-    const std::function<void(std::uint64_t, unsigned)>* fn = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || (fn_ != nullptr && batch_ != seen_batch);
+      work_cv_.wait(lock, [this] {
+        return stop_ || queued_.load(std::memory_order_relaxed) > 0;
       });
       if (stop_) return;
-      seen_batch = batch_;
-      fn = fn_;
     }
-    std::uint64_t task;
+    Task task;
     while (NextTask(index, &task)) {
-      // Re-read fn_ under the lock for every task: a worker delayed past
-      // the end of its batch may pop a task dealt by a *later*
-      // ParallelFor, whose fn_ differs. Any popped task belongs to the
-      // currently-running batch (deques only refill once outstanding_
-      // hits zero), so the current fn_ is always the right one — and it
-      // stays alive until this task's completion is posted below.
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        fn = fn_;
-      }
-      (*fn)(task, index);
+      task(index);
+      // Destroy the closure (it may reference the batch's fn or a split
+      // batch) before posting completion: once outstanding_ hits zero
+      // ParallelFor returns and those referents die.
+      task = Task();
       std::unique_lock<std::mutex> lock(mu_);
       if (--outstanding_ == 0) {
         lock.unlock();
@@ -121,6 +135,7 @@ void MergeEnumStats(EnumStats& into, const EnumStats& worker) {
   into.num_results += worker.num_results;
   into.search_nodes += worker.search_nodes;
   into.maximal_bicliques_visited += worker.maximal_bicliques_visited;
+  into.split_subtrees += worker.split_subtrees;
   into.prune_seconds += worker.prune_seconds;
   into.enum_seconds += worker.enum_seconds;
   into.budget_exhausted = into.budget_exhausted || worker.budget_exhausted;

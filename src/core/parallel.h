@@ -1,6 +1,8 @@
 #ifndef FAIRBC_CORE_PARALLEL_H_
 #define FAIRBC_CORE_PARALLEL_H_
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -8,6 +10,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/enumerate.h"
@@ -18,18 +21,25 @@ namespace fairbc {
 /// anything else is taken literally (minimum 1).
 unsigned ResolveNumThreads(unsigned requested);
 
-/// Minimal work-stealing thread pool used for the root-level subtree
-/// fan-out of the enumeration engines. Each worker owns a deque of task
-/// indices: it pops its own work from the back (LIFO, cache-friendly for
-/// locally submitted work) and steals from a sibling's front (FIFO, takes
-/// the oldest — typically largest — task) when its deque runs dry.
+/// Minimal work-stealing thread pool used for the subtree fan-out of the
+/// enumeration engines and the bulk-synchronous peeling rounds of the
+/// graph reduction. Each worker owns a deque of tasks: it pops its own
+/// work from the back (LIFO, cache-friendly for locally submitted work)
+/// and steals from a sibling's front (FIFO, takes the oldest — typically
+/// largest — task) when its deque runs dry.
 ///
-/// The pool is intentionally small and generic: tasks are plain indices,
-/// cancellation is the callee's job (the engines poll their shared
-/// SearchBudget), and nothing here knows about bicliques — future
-/// subsystems (sharded serving, batch pipelines) can reuse it as-is.
+/// Tasks are closures `void(unsigned worker)`; a running task may push
+/// follow-up tasks into the same batch with Submit() (this is how the
+/// engines split a dominating subtree once the queue runs dry). The pool
+/// stays small and generic: cancellation is the callee's job (the engines
+/// poll their shared SearchBudget) and nothing here knows about bicliques
+/// — future subsystems (sharded serving, batch pipelines) can reuse it
+/// as-is.
 class ThreadPool {
  public:
+  /// A unit of work; receives the id of the worker running it.
+  using Task = std::function<void(unsigned)>;
+
   /// Spawns `num_threads` workers (resolved; must be >= 1).
   explicit ThreadPool(unsigned num_threads);
   ~ThreadPool();
@@ -40,34 +50,70 @@ class ThreadPool {
   unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Runs tasks `0 .. num_tasks-1` as `fn(task, worker)` where `worker` is
-  /// in `[0, num_threads())`; returns once every task has finished. Tasks
-  /// are dealt round-robin across the worker deques and rebalanced by
-  /// stealing. `fn` must not throw. One ParallelFor may run at a time.
+  /// in `[0, num_threads())`; returns once every task (including tasks
+  /// added by Submit) has finished. Tasks are dealt round-robin across the
+  /// worker deques and rebalanced by stealing. `fn` must not throw. One
+  /// ParallelFor may run at a time.
   void ParallelFor(std::uint64_t num_tasks,
                    const std::function<void(std::uint64_t, unsigned)>& fn);
 
+  /// Adds one task to the currently running batch. Must only be called
+  /// from inside a task of an active ParallelFor (the batch cannot
+  /// complete concurrently: the calling task's completion has not been
+  /// posted yet). Thread-safe; tasks are dealt round-robin so starving
+  /// siblings pick them up directly.
+  void Submit(Task task);
+
+  /// True when fewer tasks are queued than there are workers — i.e. some
+  /// worker is starving or about to. Cheap approximation (relaxed atomic),
+  /// used by the engines to decide when splitting a subtree is worth the
+  /// copies.
+  bool QueueNearlyDry() const {
+    return queued_.load(std::memory_order_relaxed) <
+           static_cast<std::int64_t>(workers_.size());
+  }
+
  private:
   struct Worker {
-    std::deque<std::uint64_t> tasks;
+    std::deque<Task> tasks;
     std::mutex mu;
   };
 
   void WorkerLoop(unsigned index);
   /// Pops a task for worker `index`, stealing if needed. Returns false
   /// when no task is available anywhere.
-  bool NextTask(unsigned index, std::uint64_t* task);
+  bool NextTask(unsigned index, Task* task);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;                    // guards the fields below.
-  std::condition_variable work_cv_;  // workers wait for a batch.
+  std::mutex mu_;                    // guards outstanding_ / stop_.
+  std::condition_variable work_cv_;  // workers wait for queued tasks.
   std::condition_variable done_cv_;  // ParallelFor waits for completion.
-  const std::function<void(std::uint64_t, unsigned)>* fn_ = nullptr;
   std::uint64_t outstanding_ = 0;
-  std::uint64_t batch_ = 0;  // bumped per ParallelFor to wake workers.
   bool stop_ = false;
+  /// Tasks sitting in deques (not yet popped). Every increment happens
+  /// while mu_ is held so sleeping workers cannot miss the wakeup;
+  /// decrements (pops) happen lock-free.
+  std::atomic<std::int64_t> queued_{0};
+  std::atomic<std::uint64_t> next_victim_{0};  // round-robin Submit target.
 };
+
+/// Chunk size of the data-parallel loops (peeling rounds, degree init):
+/// coarse enough to amortize deque traffic, fine enough to rebalance.
+inline constexpr std::uint64_t kParallelChunk = 512;
+
+/// Runs `fn(begin, end, worker)` over consecutive chunks of `[0, n)` on
+/// the pool. A plain blocking data-parallel loop (one batch, no dynamic
+/// submission) used by the bulk-synchronous peeling phases.
+template <typename Fn>
+void ParallelForChunks(ThreadPool& pool, std::uint64_t n, Fn&& fn) {
+  const std::uint64_t chunks = (n + kParallelChunk - 1) / kParallelChunk;
+  pool.ParallelFor(chunks, [&](std::uint64_t chunk, unsigned worker) {
+    const std::uint64_t begin = chunk * kParallelChunk;
+    fn(begin, std::min(n, begin + kParallelChunk), worker);
+  });
+}
 
 /// Serializing sink adapter: wraps a plain BicliqueSink so concurrent
 /// workers invoke it one at a time. The pipeline entry points wrap every
@@ -98,11 +144,46 @@ class SerializingSink {
 /// worker tripping the budget marks the whole run).
 void MergeEnumStats(EnumStats& into, const EnumStats& worker);
 
+/// Handle the engines use for depth-adaptive task splitting: when the
+/// pool queue runs dry while a worker walks a dominating subtree, the
+/// subtree's depth-1 branches are re-submitted as fresh tasks instead of
+/// starving the other workers. Submitted closures receive the per-worker
+/// state of whichever worker picks them up (`State` is typically a
+/// unique_ptr to a context/engine; the closure gets the dereferenced
+/// element).
+template <typename State>
+class SubtreeSplitter {
+ public:
+  SubtreeSplitter(ThreadPool& pool, std::vector<State>& states)
+      : pool_(pool), states_(states) {}
+
+  SubtreeSplitter(const SubtreeSplitter&) = delete;
+  SubtreeSplitter& operator=(const SubtreeSplitter&) = delete;
+
+  /// True when splitting would feed starving workers right now.
+  bool ShouldSplit() const { return pool_.QueueNearlyDry(); }
+
+  /// Re-submits one subtree as a fresh pool task; `fn(*states[worker])`
+  /// runs on whichever worker pops it. Only valid from inside a running
+  /// task (ThreadPool::Submit's contract).
+  template <typename Fn>
+  void Submit(Fn&& fn) {
+    pool_.Submit([this, fn = std::forward<Fn>(fn)](unsigned worker) mutable {
+      fn(*states_[worker]);
+    });
+  }
+
+ private:
+  ThreadPool& pool_;
+  std::vector<State>& states_;
+};
+
 /// Shared fan-out driver of the enumeration engines: builds one worker
-/// state via `make_state(worker)`, runs `run(*states[worker], task)` for
-/// every root task on a work-stealing pool, and returns the states for
-/// the caller to merge. `State` is typically a unique_ptr to a per-worker
-/// context/engine (those hold references and don't move).
+/// state via `make_state(worker)`, runs `run(*states[worker], task,
+/// splitter)` for every root task on a work-stealing pool, and returns the
+/// states for the caller to merge. The splitter lets a root task
+/// re-submit its depth-1 branches when the queue runs dry (depth-adaptive
+/// splitting); engines that never split may ignore it.
 template <typename State, typename MakeState, typename Run>
 std::vector<State> FanOutRootBranches(unsigned num_threads,
                                       std::uint64_t num_tasks,
@@ -111,8 +192,9 @@ std::vector<State> FanOutRootBranches(unsigned num_threads,
   states.reserve(num_threads);
   for (unsigned t = 0; t < num_threads; ++t) states.push_back(make_state(t));
   ThreadPool pool(num_threads);
+  SubtreeSplitter<State> splitter(pool, states);
   pool.ParallelFor(num_tasks, [&](std::uint64_t task, unsigned worker) {
-    run(*states[worker], task);
+    run(*states[worker], task, splitter);
   });
   return states;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <utility>
 
 #include "common/timer.h"
@@ -18,7 +19,15 @@ namespace fairbc {
 namespace {
 
 PruneResult RunPruning(const BipartiteGraph& g, const FairBicliqueParams& p,
-                       PruningLevel level, bool bi_side) {
+                       PruningLevel level, bool bi_side, unsigned num_threads) {
+  // One pool serves every peeling phase of the reduction; num_threads == 1
+  // keeps the exact serial peel (EnumOptions::num_threads contract).
+  std::optional<ThreadPool> pool;
+  if (num_threads > 1 && level != PruningLevel::kNone) {
+    pool.emplace(num_threads);
+  }
+  ThreadPool* pool_ptr = pool.has_value() ? &*pool : nullptr;
+
   PruneResult result;
   switch (level) {
     case PruningLevel::kNone:
@@ -26,12 +35,12 @@ PruneResult RunPruning(const BipartiteGraph& g, const FairBicliqueParams& p,
       result.masks.lower_alive.assign(g.NumLower(), 1);
       break;
     case PruningLevel::kCore:
-      result.masks = bi_side ? BFCore(g, p.alpha, p.beta)
-                             : FCore(g, p.alpha, p.beta);
+      result.masks = bi_side ? BFCore(g, p.alpha, p.beta, pool_ptr)
+                             : FCore(g, p.alpha, p.beta, pool_ptr);
       break;
     case PruningLevel::kColorful:
-      result = bi_side ? BCFCore(g, p.alpha, p.beta)
-                       : CFCore(g, p.alpha, p.beta);
+      result = bi_side ? BCFCore(g, p.alpha, p.beta, pool_ptr)
+                       : CFCore(g, p.alpha, p.beta, pool_ptr);
       break;
   }
   return result;
@@ -55,7 +64,8 @@ EnumStats RunPipeline(const BipartiteGraph& g, const FairBicliqueParams& params,
                       const EnumOptions& options, bool bi_side,
                       const BicliqueSink& sink, EngineFn&& engine) {
   Timer prune_timer;
-  PruneResult pruned = RunPruning(g, params, options.pruning, bi_side);
+  PruneResult pruned = RunPruning(g, params, options.pruning, bi_side,
+                                  ResolveNumThreads(options.num_threads));
   IdMaps maps;
   BipartiteGraph sub = InducedSubgraph(g, pruned.masks, &maps);
   const double prune_seconds = prune_timer.ElapsedSeconds();

@@ -4,6 +4,14 @@
 
 namespace fairbc {
 
+std::vector<VertexId> SubtreeBatch::ExclusionFor(std::size_t i) const {
+  std::vector<VertexId> exclusion;
+  exclusion.reserve(q.size() + i);
+  exclusion.insert(exclusion.end(), q.begin(), q.end());
+  exclusion.insert(exclusion.end(), p.begin(), p.begin() + i);
+  return exclusion;
+}
+
 void FilterCandidates(const BipartiteGraph& g, Side side,
                       std::span<const VertexId> candidates,
                       const std::vector<VertexId>& big_l,

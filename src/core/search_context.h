@@ -2,6 +2,7 @@
 #define FAIRBC_CORE_SEARCH_CONTEXT_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -167,6 +168,23 @@ class SearchContext {
   SearchBudget& budget_;
   const BicliqueSink& sink_;
   EnumStats stats_;
+};
+
+/// Frozen state of one search node whose children are fanned out as pool
+/// tasks (depth-adaptive task splitting): when the pool queue runs dry
+/// under a dominating subtree, the owning worker freezes the node's sets
+/// here and re-submits child `i` as a fresh task. Children share the batch
+/// via shared_ptr; child i branches on `p[i]` with the exclusion set
+/// `q + p[0..i)` — exactly the sets the serial recursion would have used,
+/// so the enumerated result set is unchanged.
+struct SubtreeBatch {
+  std::vector<VertexId> big_l;  ///< upper set L at the split node.
+  std::vector<VertexId> r;      ///< partial fair-side pick R.
+  std::vector<VertexId> p;      ///< remaining candidates, in branch order.
+  std::vector<VertexId> q;      ///< exclusion set at the split node.
+
+  /// Exclusion set of child `i`: q followed by p[0..i).
+  std::vector<VertexId> ExclusionFor(std::size_t i) const;
 };
 
 /// Splits candidate-set maintenance shared by the engines: for each v in

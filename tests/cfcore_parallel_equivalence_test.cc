@@ -1,0 +1,207 @@
+// Serial-vs-parallel equivalence of the graph-reduction peeling: for
+// every generator family and every num_threads in {2, 8} the parallel
+// frontier-based peel must produce byte-identical alive masks (and hence
+// identical induced-subgraph degrees) to the serial queue-based peel.
+// The core is a unique maximal fixpoint, so any peel order must converge
+// to the same set — these tests pin that down across FCore, BFCore,
+// CFCore, BCFCore and the raw EgoColorfulCorePeel, including a
+// single-giant-community graph whose one dominating subtree also
+// exercises the engines' depth-adaptive task splitting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/cfcore.h"
+#include "core/coloring.h"
+#include "core/fcore.h"
+#include "core/parallel.h"
+#include "core/pipeline.h"
+#include "core/two_hop_graph.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace fairbc {
+namespace {
+
+using ::fairbc::testing::Canonicalize;
+using ::fairbc::testing::RandomSmallGraph;
+
+constexpr unsigned kThreadCounts[] = {2, 8};
+
+// One planted community covering a third of each side: after pruning the
+// search tree is dominated by a single root subtree, the shape the
+// depth-adaptive splitter exists for.
+BipartiteGraph SingleGiantCommunityGraph() {
+  AffiliationConfig config;
+  config.num_upper = 150;
+  config.num_lower = 150;
+  config.num_communities = 1;
+  config.community_upper_min = 20;
+  config.community_upper_max = 26;
+  config.community_lower_min = 20;
+  config.community_lower_max = 26;
+  config.noise_fraction = 0.4;
+  config.seed = 13;
+  return MakeAffiliation(config);
+}
+
+std::vector<BipartiteGraph> GeneratorGraphs() {
+  std::vector<BipartiteGraph> graphs;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    graphs.push_back(RandomSmallGraph(seed, 14, 0.4));
+  }
+  graphs.push_back(MakeUniformRandom(200, 200, 1600, 2, 21));
+  graphs.push_back(MakePowerLaw(200, 200, 1600, 2.2, 2, 22));
+  AffiliationConfig config;
+  config.num_upper = 150;
+  config.num_lower = 150;
+  config.num_communities = 10;
+  config.seed = 23;
+  graphs.push_back(MakeAffiliation(config));
+  graphs.push_back(SingleGiantCommunityGraph());
+  return graphs;
+}
+
+// Degree sequence of the alive-induced subgraph on both sides; equal
+// masks imply equal degrees, so this is a belt-and-braces check that the
+// masks really describe the same subgraph.
+std::vector<VertexId> AliveDegrees(const BipartiteGraph& g,
+                                   const SideMasks& masks) {
+  std::vector<VertexId> degrees;
+  for (VertexId u = 0; u < g.NumUpper(); ++u) {
+    if (!masks.upper_alive[u]) continue;
+    VertexId d = 0;
+    for (VertexId v : g.Neighbors(Side::kUpper, u)) {
+      if (masks.lower_alive[v]) ++d;
+    }
+    degrees.push_back(d);
+  }
+  for (VertexId v = 0; v < g.NumLower(); ++v) {
+    if (!masks.lower_alive[v]) continue;
+    VertexId d = 0;
+    for (VertexId u : g.Neighbors(Side::kLower, v)) {
+      if (masks.upper_alive[u]) ++d;
+    }
+    degrees.push_back(d);
+  }
+  return degrees;
+}
+
+void ExpectMasksEqual(const BipartiteGraph& g, const SideMasks& serial,
+                      const SideMasks& parallel, const std::string& label) {
+  EXPECT_EQ(serial.upper_alive, parallel.upper_alive) << label;
+  EXPECT_EQ(serial.lower_alive, parallel.lower_alive) << label;
+  EXPECT_EQ(AliveDegrees(g, serial), AliveDegrees(g, parallel)) << label;
+}
+
+TEST(PeelParallelEquivalence, FCoreAndBFCore) {
+  const std::vector<BipartiteGraph> graphs = GeneratorGraphs();
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const BipartiteGraph& g = graphs[i];
+    for (std::uint32_t alpha : {1u, 2u, 3u}) {
+      for (std::uint32_t beta : {1u, 2u}) {
+        const SideMasks serial_f = FCore(g, alpha, beta);
+        const SideMasks serial_bf = BFCore(g, alpha, beta);
+        for (unsigned threads : kThreadCounts) {
+          ThreadPool pool(threads);
+          const std::string label = "graph=" + std::to_string(i) +
+                                    " alpha=" + std::to_string(alpha) +
+                                    " beta=" + std::to_string(beta) +
+                                    " threads=" + std::to_string(threads);
+          ExpectMasksEqual(g, serial_f, FCore(g, alpha, beta, &pool),
+                           "FCore " + label);
+          ExpectMasksEqual(g, serial_bf, BFCore(g, alpha, beta, &pool),
+                           "BFCore " + label);
+        }
+      }
+    }
+  }
+}
+
+TEST(PeelParallelEquivalence, CFCoreAndBCFCore) {
+  const std::vector<BipartiteGraph> graphs = GeneratorGraphs();
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const BipartiteGraph& g = graphs[i];
+    for (std::uint32_t alpha : {1u, 2u}) {
+      for (std::uint32_t beta : {1u, 2u}) {
+        const PruneResult serial_c = CFCore(g, alpha, beta);
+        const PruneResult serial_bc = BCFCore(g, alpha, beta);
+        for (unsigned threads : kThreadCounts) {
+          ThreadPool pool(threads);
+          const std::string label = "graph=" + std::to_string(i) +
+                                    " alpha=" + std::to_string(alpha) +
+                                    " beta=" + std::to_string(beta) +
+                                    " threads=" + std::to_string(threads);
+          ExpectMasksEqual(g, serial_c.masks,
+                           CFCore(g, alpha, beta, &pool).masks,
+                           "CFCore " + label);
+          ExpectMasksEqual(g, serial_bc.masks,
+                           BCFCore(g, alpha, beta, &pool).masks,
+                           "BCFCore " + label);
+        }
+      }
+    }
+  }
+}
+
+TEST(PeelParallelEquivalence, EgoColorfulCorePeelDirect) {
+  const BipartiteGraph g = SingleGiantCommunityGraph();
+  const SideMasks masks = FCore(g, 2, 2);
+  const UnipartiteGraph h = Construct2HopGraph(g, Side::kLower, 2, masks);
+  const Coloring coloring = GreedyColor(h, masks.lower_alive);
+  for (std::uint32_t k : {1u, 2u, 3u}) {
+    std::vector<char> serial = masks.lower_alive;
+    EgoColorfulCorePeel(h, coloring, k, serial, nullptr);
+    for (unsigned threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      std::vector<char> parallel = masks.lower_alive;
+      EgoColorfulCorePeel(h, coloring, k, parallel, nullptr, &pool);
+      EXPECT_EQ(serial, parallel)
+          << "k=" << k << " threads=" << threads;
+    }
+  }
+}
+
+// Pruning runs inside the pipeline with the same thread count as the
+// search; the full enumeration must stay equivalent now that both phases
+// parallelize. The giant community graph funnels nearly the whole search
+// into one root subtree, so with 8 workers the pool queue runs dry and
+// the depth-adaptive splitter kicks in.
+TEST(PeelParallelEquivalence, EnumerationOnGiantCommunity) {
+  const BipartiteGraph g = SingleGiantCommunityGraph();
+  const FairBicliqueParams params{2, 2, 1, 0.0};
+  using PipelineFn = EnumStats (*)(const BipartiteGraph&,
+                                   const FairBicliqueParams&,
+                                   const EnumOptions&, const BicliqueSink&);
+  const std::pair<const char*, PipelineFn> engines[] = {
+      {"SSFBC", EnumerateSSFBC},
+      {"SSFBC++", EnumerateSSFBCPlusPlus},
+      {"BSFBC", EnumerateBSFBC},
+      {"BSFBC++", EnumerateBSFBCPlusPlus},
+  };
+  for (const auto& [name, fn] : engines) {
+    CollectSink serial_sink;
+    EnumStats serial_stats = fn(g, params, {}, serial_sink.AsSink());
+    const std::vector<Biclique> serial = Canonicalize(serial_sink.results());
+    for (unsigned threads : kThreadCounts) {
+      EnumOptions options;
+      options.num_threads = threads;
+      CollectSink sink;
+      EnumStats stats = fn(g, params, options, sink.AsSink());
+      EXPECT_EQ(Canonicalize(sink.results()), serial)
+          << name << " threads=" << threads;
+      EXPECT_EQ(stats.num_results, serial_stats.num_results)
+          << name << " threads=" << threads;
+      EXPECT_EQ(stats.remaining_upper, serial_stats.remaining_upper)
+          << name << " threads=" << threads;
+      EXPECT_EQ(stats.remaining_lower, serial_stats.remaining_lower)
+          << name << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairbc
