@@ -6,6 +6,11 @@
 //
 // Paper shape: FairBCEM and FairBCEM++ use almost the same memory
 // (likewise the bi-side pair), usually above the graph size.
+//
+// The 2-hop graph is accounted exactly as its CSR arrays
+// (UnipartiteGraph::MemoryBytes: offsets + neighbors + attrs), not the
+// old per-vector capacity approximation; the shape above still holds
+// on all standard datasets.
 
 #include <iostream>
 

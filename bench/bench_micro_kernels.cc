@@ -8,6 +8,7 @@
 #include "core/coloring.h"
 #include "core/fcore.h"
 #include "core/pipeline.h"
+#include "core/reduction_context.h"
 #include "core/two_hop_graph.h"
 #include "fairness/fair_vector.h"
 #include "graph/generators.h"
@@ -71,6 +72,32 @@ void BM_GreedyColoring(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GreedyColoring);
+
+void BM_JonesPlassmannColoring(benchmark::State& state) {
+  const auto& g = TestGraph();
+  fairbc::SideMasks masks = fairbc::FCore(g, 3, 2);
+  fairbc::UnipartiteGraph h =
+      fairbc::Construct2HopGraph(g, fairbc::Side::kLower, 3, masks);
+  std::vector<char> alive(h.NumVertices(), 1);
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  fairbc::ReductionContext ctx(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fairbc::JonesPlassmannColor(h, alive, &ctx));
+  }
+}
+BENCHMARK(BM_JonesPlassmannColoring)->Arg(1)->Arg(4);
+
+void BM_TwoHopConstructionParallel(benchmark::State& state) {
+  const auto& g = TestGraph();
+  fairbc::SideMasks masks = fairbc::FCore(g, 3, 2);
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  fairbc::ReductionContext ctx(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fairbc::Construct2HopGraph(g, fairbc::Side::kLower, 3, masks, &ctx));
+  }
+}
+BENCHMARK(BM_TwoHopConstructionParallel)->Arg(1)->Arg(4);
 
 void BM_MaximalFairVectors(benchmark::State& state) {
   fairbc::SizeVector counts{static_cast<std::uint32_t>(state.range(0)),

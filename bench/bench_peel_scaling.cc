@@ -24,18 +24,21 @@
 #include "common/timer.h"
 #include "core/cfcore.h"
 #include "core/parallel.h"
+#include "core/reduction_context.h"
 #include "graph/generators.h"
 
 namespace {
 
 using fairbc::BipartiteGraph;
 using fairbc::PruneResult;
-using fairbc::ThreadPool;
+using fairbc::ReductionContext;
+using fairbc::ReductionPhaseTimes;
 using fairbc::VertexId;
 
 struct Run {
   unsigned threads;
   double seconds;
+  ReductionPhaseTimes phases;
 };
 
 bool SameMasks(const fairbc::SideMasks& a, const fairbc::SideMasks& b) {
@@ -45,28 +48,30 @@ bool SameMasks(const fairbc::SideMasks& a, const fairbc::SideMasks& b) {
 void EmitEngine(std::ostream& os, const BipartiteGraph& g,
                 const std::string& name, bool bi_side, std::uint32_t alpha,
                 std::uint32_t beta, unsigned max_threads, bool last) {
-  auto run_once = [&](ThreadPool* pool) {
-    return bi_side ? fairbc::BCFCore(g, alpha, beta, pool)
-                   : fairbc::CFCore(g, alpha, beta, pool);
+  auto run_once = [&](ReductionContext& ctx) {
+    return bi_side ? fairbc::BCFCore(g, alpha, beta, &ctx)
+                   : fairbc::CFCore(g, alpha, beta, &ctx);
   };
 
   PruneResult reference;
   std::vector<Run> runs;
   for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
-    // Best of two runs per point to damp scheduler noise; the pool is
-    // constructed outside the timed region like the pipeline does.
+    // Best of two runs per point to damp scheduler noise; the context
+    // (and its pool) is constructed outside the timed region like the
+    // pipeline does. The context's phase timers provide the
+    // construct/color/peel breakdown of the winning rep.
     double seconds = 0.0;
+    ReductionPhaseTimes phases;
     PruneResult result;
     for (int rep = 0; rep < 2; ++rep) {
+      ReductionContext ctx(threads);
       fairbc::Timer timer;
-      if (threads == 1) {
-        result = run_once(nullptr);
-      } else {
-        ThreadPool pool(threads);
-        result = run_once(&pool);
-      }
+      result = run_once(ctx);
       const double elapsed = timer.ElapsedSeconds();
-      if (rep == 0 || elapsed < seconds) seconds = elapsed;
+      if (rep == 0 || elapsed < seconds) {
+        seconds = elapsed;
+        phases = ctx.times();
+      }
     }
     if (threads == 1) {
       reference = result;
@@ -75,7 +80,7 @@ void EmitEngine(std::ostream& os, const BipartiteGraph& g,
                 << threads << "\n";
       std::exit(1);
     }
-    runs.push_back({threads, seconds});
+    runs.push_back({threads, seconds, phases});
   }
 
   const VertexId alive_upper = reference.masks.CountAlive(fairbc::Side::kUpper);
@@ -85,7 +90,10 @@ void EmitEngine(std::ostream& os, const BipartiteGraph& g,
   for (std::size_t i = 0; i < runs.size(); ++i) {
     os << "      {\"threads\": " << runs[i].threads
        << ", \"seconds\": " << runs[i].seconds
-       << ", \"speedup\": " << runs[0].seconds / runs[i].seconds << "}"
+       << ", \"speedup\": " << runs[0].seconds / runs[i].seconds
+       << ", \"construct\": " << runs[i].phases.construct_seconds
+       << ", \"color\": " << runs[i].phases.color_seconds
+       << ", \"peel\": " << runs[i].phases.peel_seconds << "}"
        << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   os << "    ]}" << (last ? "" : ",") << "\n";

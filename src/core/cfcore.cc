@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "core/fcore.h"
 #include "core/parallel.h"
+#include "core/reduction_context.h"
 
 namespace fairbc {
 
@@ -31,7 +32,7 @@ void EgoPeelSerial(const UnipartiteGraph& h, const Coloring& coloring,
   for (VertexId v = 0; v < n; ++v) {
     if (!alive[v]) continue;
     bump(v, h.attrs[v], coloring.color[v]);
-    for (VertexId w : h.adj[v]) {
+    for (VertexId w : h.Neighbors(v)) {
       if (alive[w]) bump(v, h.attrs[w], coloring.color[w]);
     }
   }
@@ -55,7 +56,7 @@ void EgoPeelSerial(const UnipartiteGraph& h, const Coloring& coloring,
     queue.pop_front();
     const AttrId ua = h.attrs[u];
     const std::uint32_t uc = coloring.color[u];
-    for (VertexId v : h.adj[u]) {
+    for (VertexId v : h.Neighbors(u)) {
       if (!alive[v]) continue;
       std::uint32_t& slot =
           mult[v * stride + static_cast<std::size_t>(ua) * nc + uc];
@@ -98,7 +99,7 @@ void EgoPeelParallel(const UnipartiteGraph& h, const Coloring& coloring,
     for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
       if (!alive[v]) continue;
       bump(v, h.attrs[v], coloring.color[v]);
-      for (VertexId w : h.adj[v]) {
+      for (VertexId w : h.Neighbors(v)) {
         if (alive[w]) bump(v, h.attrs[w], coloring.color[w]);
       }
     }
@@ -147,7 +148,7 @@ void EgoPeelParallel(const UnipartiteGraph& h, const Coloring& coloring,
         const VertexId u = current[i];
         const AttrId ua = h.attrs[u];
         const std::uint32_t uc = coloring.color[u];
-        for (VertexId v : h.adj[u]) {
+        for (VertexId v : h.Neighbors(u)) {
           std::atomic_ref<char> alive_ref(alive[v]);
           if (alive_ref.load(std::memory_order_relaxed) == 0) continue;
           std::atomic_ref<std::uint32_t> slot(
@@ -178,7 +179,8 @@ void EgoPeelParallel(const UnipartiteGraph& h, const Coloring& coloring,
 
 void EgoColorfulCorePeel(const UnipartiteGraph& h, const Coloring& coloring,
                          std::uint32_t k, std::vector<char>& alive,
-                         std::size_t* meter_bytes, ThreadPool* pool) {
+                         std::size_t* meter_bytes, ReductionContext* ctx) {
+  ThreadPool* pool = ctx != nullptr ? ctx->pool() : nullptr;
   const VertexId n = h.NumVertices();
   const AttrId na = h.num_attrs;
   const std::uint32_t nc = std::max<std::uint32_t>(coloring.num_colors, 1);
@@ -205,58 +207,76 @@ namespace {
 
 // Shared colorful phase: build the 2-hop graph on `fair_side`, apply the
 // clique-size degree bound, color, peel the ego colorful k-core, and
-// clear the masks of removed vertices.
+// clear the masks of removed vertices. Each stage accumulates into its
+// phase timer on the context (construct / color / peel).
 void ColorfulPhase(const BipartiteGraph& g, Side fair_side,
                    std::uint32_t common_threshold, std::uint32_t k,
                    bool per_attr, SideMasks& masks, std::size_t* bytes,
-                   ThreadPool* pool) {
+                   ReductionContext* ctx) {
   if (common_threshold == 0) return;  // 2-hop condition degenerate; skip.
-  UnipartiteGraph h =
-      per_attr ? BiConstruct2HopGraph(g, fair_side, common_threshold, masks)
-               : Construct2HopGraph(g, fair_side, common_threshold, masks);
-  if (bytes != nullptr) *bytes += h.MemoryBytes();
+  ReductionPhaseTimes* times = ctx != nullptr ? &ctx->times() : nullptr;
 
+  UnipartiteGraph h;
   std::vector<char>& alive =
       fair_side == Side::kLower ? masks.lower_alive : masks.upper_alive;
+  {
+    ScopedPhaseTimer timer(times != nullptr ? &times->construct_seconds
+                                            : nullptr);
+    h = per_attr
+            ? BiConstruct2HopGraph(g, fair_side, common_threshold, masks, ctx)
+            : Construct2HopGraph(g, fair_side, common_threshold, masks, ctx);
+    if (bytes != nullptr) *bytes += h.MemoryBytes();
 
-  // A fair biclique has at least num_attrs * k vertices on the fair side,
-  // so each participant needs num_attrs * k - 1 neighbors in `h`
-  // (paper Alg. 2 lines 4-5).
-  const std::int64_t min_degree =
-      static_cast<std::int64_t>(g.NumAttrs(fair_side)) * k - 1;
-  for (VertexId v = 0; v < h.NumVertices(); ++v) {
-    if (alive[v] && static_cast<std::int64_t>(h.Degree(v)) < min_degree) {
-      alive[v] = 0;
+    // A fair biclique has at least num_attrs * k vertices on the fair
+    // side, so each participant needs num_attrs * k - 1 neighbors in `h`
+    // (paper Alg. 2 lines 4-5).
+    const std::int64_t min_degree =
+        static_cast<std::int64_t>(g.NumAttrs(fair_side)) * k - 1;
+    for (VertexId v = 0; v < h.NumVertices(); ++v) {
+      if (alive[v] && static_cast<std::int64_t>(h.Degree(v)) < min_degree) {
+        alive[v] = 0;
+      }
     }
   }
 
-  Coloring coloring = GreedyColor(h, alive);
-  EgoColorfulCorePeel(h, coloring, k, alive, bytes, pool);
+  Coloring coloring;
+  {
+    ScopedPhaseTimer timer(times != nullptr ? &times->color_seconds : nullptr);
+    // Jones–Plassmann evaluates the same degree-then-id greedy fixpoint in
+    // parallel rounds, so the coloring (and hence the peel below) is
+    // byte-identical to the serial GreedyColor path.
+    coloring = ctx != nullptr && ctx->pool() != nullptr
+                   ? JonesPlassmannColor(h, alive, ctx)
+                   : GreedyColor(h, alive);
+  }
+
+  ScopedPhaseTimer timer(times != nullptr ? &times->peel_seconds : nullptr);
+  EgoColorfulCorePeel(h, coloring, k, alive, bytes, ctx);
 }
 
 }  // namespace
 
 PruneResult CFCore(const BipartiteGraph& g, std::uint32_t alpha,
-                   std::uint32_t beta, ThreadPool* pool) {
+                   std::uint32_t beta, ReductionContext* ctx) {
   PruneResult result;
-  result.masks = FCore(g, alpha, beta, pool);
+  result.masks = FCore(g, alpha, beta, ctx);
   ColorfulPhase(g, Side::kLower, alpha, beta, /*per_attr=*/false, result.masks,
-                &result.peak_struct_bytes, pool);
-  FCoreInPlace(g, alpha, beta, result.masks, pool);
+                &result.peak_struct_bytes, ctx);
+  FCoreInPlace(g, alpha, beta, result.masks, ctx);
   return result;
 }
 
 PruneResult BCFCore(const BipartiteGraph& g, std::uint32_t alpha,
-                    std::uint32_t beta, ThreadPool* pool) {
+                    std::uint32_t beta, ReductionContext* ctx) {
   PruneResult result;
-  result.masks = BFCore(g, alpha, beta, pool);
+  result.masks = BFCore(g, alpha, beta, ctx);
   // Lower side: vertices must share alpha common neighbors per upper
   // class; upper side: beta common neighbors per lower class.
   ColorfulPhase(g, Side::kLower, alpha, beta, /*per_attr=*/true, result.masks,
-                &result.peak_struct_bytes, pool);
+                &result.peak_struct_bytes, ctx);
   ColorfulPhase(g, Side::kUpper, beta, alpha, /*per_attr=*/true, result.masks,
-                &result.peak_struct_bytes, pool);
-  BFCoreInPlace(g, alpha, beta, result.masks, pool);
+                &result.peak_struct_bytes, ctx);
+  BFCoreInPlace(g, alpha, beta, result.masks, ctx);
   return result;
 }
 

@@ -9,7 +9,7 @@
 
 namespace fairbc {
 
-class ThreadPool;
+class ReductionContext;
 
 /// Result of a graph-reduction run (CFCore / BCFCore).
 struct PruneResult {
@@ -23,27 +23,34 @@ struct PruneResult {
 /// (Def. 10): every surviving vertex keeps ego colorful degree >= k for
 /// every attribute class. Updates `alive` in place. `meter_bytes`, if
 /// non-null, accumulates the peak size of the color multiplicity matrices.
-/// With a non-null `pool` (and > 1 worker) the peel runs frontier-based
+/// With a context carrying a pool the peel runs frontier-based
 /// bulk-synchronous rounds with atomic multiplicity counters; the
 /// surviving set is identical to the serial peel (the ego colorful core
 /// is a unique fixpoint).
 void EgoColorfulCorePeel(const UnipartiteGraph& h, const Coloring& coloring,
                          std::uint32_t k, std::vector<char>& alive,
-                         std::size_t* meter_bytes, ThreadPool* pool = nullptr);
+                         std::size_t* meter_bytes,
+                         ReductionContext* ctx = nullptr);
 
 /// Colorful fair α-β core pruning (paper Alg. 2, CFCore): FCore, then the
-/// 2-hop graph on the fair (lower) side, degree pruning, greedy coloring,
-/// ego colorful β-core, and a final FCore pass. Lossless for SSFBC
-/// enumeration (Lemma 2). `pool` parallelizes the peeling phases
-/// (nullptr = exact serial path).
+/// 2-hop graph on the fair (lower) side, degree pruning, coloring, ego
+/// colorful β-core, and a final FCore pass. Lossless for SSFBC
+/// enumeration (Lemma 2).
+///
+/// `ctx` carries the ThreadPool (nullptr or a serial context = the exact
+/// serial path: serial sweeps, GreedyColor, serial peel), the per-worker
+/// construction scratch, and the per-phase construct/color/peel timers.
+/// With a pool the front-end runs sharded parallel 2-hop construction and
+/// Jones–Plassmann coloring; both are byte-identical to the serial
+/// kernels, so the returned masks match at every thread count.
 PruneResult CFCore(const BipartiteGraph& g, std::uint32_t alpha,
-                   std::uint32_t beta, ThreadPool* pool = nullptr);
+                   std::uint32_t beta, ReductionContext* ctx = nullptr);
 
 /// Bi-side variant (paper §IV-A, BCFCore): BFCore, then colorful pruning
 /// on *both* sides using BiConstruct2HopGraph, and a final BFCore pass.
-/// Lossless for BSFBC enumeration.
+/// Lossless for BSFBC enumeration. Same context contract as CFCore.
 PruneResult BCFCore(const BipartiteGraph& g, std::uint32_t alpha,
-                    std::uint32_t beta, ThreadPool* pool = nullptr);
+                    std::uint32_t beta, ReductionContext* ctx = nullptr);
 
 }  // namespace fairbc
 

@@ -8,17 +8,39 @@
 
 namespace fairbc {
 
-/// Color assignment produced by greedy coloring; colors are dense from 0.
+class ReductionContext;
+
+/// Color assignment produced by the coloring kernels; colors are dense
+/// from 0.
 struct Coloring {
   std::vector<std::uint32_t> color;
   std::uint32_t num_colors = 0;
+
+  bool operator==(const Coloring& other) const = default;
 };
 
 /// Degree-ordered greedy coloring (paper §III-B / [35]): vertices are
-/// processed by non-increasing degree, each taking the smallest color
-/// absent from its neighborhood. Guaranteed proper; at most max_degree+1
-/// colors. Vertices with `alive[v] == 0` are skipped (color 0, unused).
+/// processed by non-increasing degree (ties by ascending id), each taking
+/// the smallest color absent from its already-colored neighborhood.
+/// Guaranteed proper; at most max_degree+1 colors. Vertices with
+/// `alive[v] == 0` are skipped (color 0, unused). This is the exact
+/// serial kernel the reduction runs at num_threads == 1.
 Coloring GreedyColor(const UnipartiteGraph& h, const std::vector<char>& alive);
+
+/// Deterministic Jones–Plassmann coloring with degree-then-id priorities:
+/// vertex `v` outranks `w` iff deg(v) > deg(w), ties broken by smaller
+/// id. Each round colors every uncolored vertex whose uncolored alive
+/// neighbors are all lower-priority, assigning the smallest color absent
+/// among its higher-priority neighbors.
+///
+/// Because the priority order is a fixed total order, the fixpoint is
+/// `color(v) = mex{color(w) : w alive neighbor, w outranks v}` — exactly
+/// the assignment GreedyColor computes — so the output is byte-identical
+/// to GreedyColor at *every* thread count, serial rounds included. The
+/// rounds only parallelize the evaluation of that unique fixpoint.
+Coloring JonesPlassmannColor(const UnipartiteGraph& h,
+                             const std::vector<char>& alive,
+                             ReductionContext* ctx = nullptr);
 
 /// True iff no edge of `h` connects two equal colors (test helper).
 bool IsProperColoring(const UnipartiteGraph& h, const std::vector<char>& alive,

@@ -22,7 +22,9 @@ std::string EnumStats::DebugString() const {
   std::ostringstream os;
   os << "results=" << num_results << " nodes=" << search_nodes
      << " mbc=" << maximal_bicliques_visited << " splits=" << split_subtrees
-     << " prune_s=" << prune_seconds
+     << " prune_s=" << prune_seconds << " (construct=" << prune_construct_seconds
+     << " color=" << prune_color_seconds << " peel=" << prune_peel_seconds
+     << ")"
      << " enum_s=" << enum_seconds << " remaining=(" << remaining_upper << ","
      << remaining_lower << ")"
      << (budget_exhausted ? " BUDGET_EXHAUSTED" : "");

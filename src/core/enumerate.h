@@ -95,6 +95,12 @@ struct EnumStats {
   /// (0 on serial runs and whenever the queue never ran dry).
   std::uint64_t split_subtrees = 0;
   double prune_seconds = 0.0;
+  /// Reduction-phase breakdown of prune_seconds (kColorful pruning):
+  /// 2-hop construction, coloring, and peeling (FCore/BFCore passes count
+  /// toward peel). Compaction and mask bookkeeping make up the remainder.
+  double prune_construct_seconds = 0.0;
+  double prune_color_seconds = 0.0;
+  double prune_peel_seconds = 0.0;
   double enum_seconds = 0.0;
   bool budget_exhausted = false;
   /// Vertices surviving the graph reduction.

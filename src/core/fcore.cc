@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "core/parallel.h"
+#include "core/reduction_context.h"
 #include "fairness/fair_vector.h"
 
 namespace fairbc {
@@ -271,7 +272,9 @@ void PeelCoreParallel(const BipartiteGraph& g, std::uint32_t alpha,
 }
 
 void PeelCore(const BipartiteGraph& g, std::uint32_t alpha, std::uint32_t beta,
-              bool bi_side, SideMasks& masks, ThreadPool* pool) {
+              bool bi_side, SideMasks& masks, ReductionContext* ctx) {
+  ScopedPhaseTimer timer(ctx != nullptr ? &ctx->times().peel_seconds : nullptr);
+  ThreadPool* pool = ctx != nullptr ? ctx->pool() : nullptr;
   if (pool != nullptr && pool->num_threads() > 1) {
     PeelCoreParallel(g, alpha, beta, bi_side, masks, *pool);
   } else {
@@ -289,27 +292,27 @@ SideMasks AllAlive(const BipartiteGraph& g) {
 }  // namespace
 
 SideMasks FCore(const BipartiteGraph& g, std::uint32_t alpha,
-                std::uint32_t beta, ThreadPool* pool) {
+                std::uint32_t beta, ReductionContext* ctx) {
   SideMasks masks = AllAlive(g);
-  PeelCore(g, alpha, beta, /*bi_side=*/false, masks, pool);
+  PeelCore(g, alpha, beta, /*bi_side=*/false, masks, ctx);
   return masks;
 }
 
 SideMasks BFCore(const BipartiteGraph& g, std::uint32_t alpha,
-                 std::uint32_t beta, ThreadPool* pool) {
+                 std::uint32_t beta, ReductionContext* ctx) {
   SideMasks masks = AllAlive(g);
-  PeelCore(g, alpha, beta, /*bi_side=*/true, masks, pool);
+  PeelCore(g, alpha, beta, /*bi_side=*/true, masks, ctx);
   return masks;
 }
 
 void FCoreInPlace(const BipartiteGraph& g, std::uint32_t alpha,
-                  std::uint32_t beta, SideMasks& masks, ThreadPool* pool) {
-  PeelCore(g, alpha, beta, /*bi_side=*/false, masks, pool);
+                  std::uint32_t beta, SideMasks& masks, ReductionContext* ctx) {
+  PeelCore(g, alpha, beta, /*bi_side=*/false, masks, ctx);
 }
 
 void BFCoreInPlace(const BipartiteGraph& g, std::uint32_t alpha,
-                   std::uint32_t beta, SideMasks& masks, ThreadPool* pool) {
-  PeelCore(g, alpha, beta, /*bi_side=*/true, masks, pool);
+                   std::uint32_t beta, SideMasks& masks, ReductionContext* ctx) {
+  PeelCore(g, alpha, beta, /*bi_side=*/true, masks, ctx);
 }
 
 SideMasks FCoreNaive(const BipartiteGraph& g, std::uint32_t alpha,

@@ -7,7 +7,7 @@
 
 namespace fairbc {
 
-class ThreadPool;
+class ReductionContext;
 
 /// Fair α-β core pruning (paper Alg. 1, FCore).
 ///
@@ -17,30 +17,32 @@ class ThreadPool;
 /// single-side fair biclique lives inside it. Linear-time peeling
 /// (Batagelj–Zaversnik style). Returns alive masks over `g`.
 ///
-/// All peeling entry points take an optional `pool`: nullptr runs the
-/// exact serial peel (deterministic traversal order); a non-null pool
-/// runs frontier-based bulk-synchronous rounds with atomic degree
-/// counters. The surviving vertex set is identical either way — the core
-/// is the unique maximal fixpoint, so peel order cannot change it.
+/// All peeling entry points take an optional `ReductionContext`: a null
+/// context (or one without a pool) runs the exact serial peel
+/// (deterministic traversal order); a context carrying a pool runs
+/// frontier-based bulk-synchronous rounds with atomic degree counters.
+/// The surviving vertex set is identical either way — the core is the
+/// unique maximal fixpoint, so peel order cannot change it. Wall-clock
+/// accumulates into the context's peel phase timer.
 SideMasks FCore(const BipartiteGraph& g, std::uint32_t alpha,
-                std::uint32_t beta, ThreadPool* pool = nullptr);
+                std::uint32_t beta, ReductionContext* ctx = nullptr);
 
 /// Bi-fair α-β core pruning (paper Def. 13, BFCore): like FCore but the
 /// lower side also uses attribute degrees — every surviving lower vertex
 /// needs attribute degree >= alpha for every *upper* attribute class
 /// (Lemma 3: every bi-side fair biclique lives inside it).
 SideMasks BFCore(const BipartiteGraph& g, std::uint32_t alpha,
-                 std::uint32_t beta, ThreadPool* pool = nullptr);
+                 std::uint32_t beta, ReductionContext* ctx = nullptr);
 
 /// In-place variants restricted to the already-alive vertices in `masks`
 /// (used by CFCore/BCFCore which interleave core pruning with colorful
 /// pruning, paper Alg. 2 lines 1 and 27).
 void FCoreInPlace(const BipartiteGraph& g, std::uint32_t alpha,
                   std::uint32_t beta, SideMasks& masks,
-                  ThreadPool* pool = nullptr);
+                  ReductionContext* ctx = nullptr);
 void BFCoreInPlace(const BipartiteGraph& g, std::uint32_t alpha,
                    std::uint32_t beta, SideMasks& masks,
-                   ThreadPool* pool = nullptr);
+                   ReductionContext* ctx = nullptr);
 
 /// Reference implementation used by tests: repeatedly delete violating
 /// vertices until fixpoint, quadratic but obviously correct.

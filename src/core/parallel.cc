@@ -137,6 +137,9 @@ void MergeEnumStats(EnumStats& into, const EnumStats& worker) {
   into.maximal_bicliques_visited += worker.maximal_bicliques_visited;
   into.split_subtrees += worker.split_subtrees;
   into.prune_seconds += worker.prune_seconds;
+  into.prune_construct_seconds += worker.prune_construct_seconds;
+  into.prune_color_seconds += worker.prune_color_seconds;
+  into.prune_peel_seconds += worker.prune_peel_seconds;
   into.enum_seconds += worker.enum_seconds;
   into.budget_exhausted = into.budget_exhausted || worker.budget_exhausted;
   into.remaining_upper = std::max(into.remaining_upper, worker.remaining_upper);

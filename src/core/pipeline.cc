@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <optional>
 #include <utility>
 
 #include "common/timer.h"
@@ -13,20 +12,20 @@
 #include "core/fcore.h"
 #include "core/mbea.h"
 #include "core/parallel.h"
+#include "core/reduction_context.h"
 
 namespace fairbc {
 
 namespace {
 
 PruneResult RunPruning(const BipartiteGraph& g, const FairBicliqueParams& p,
-                       PruningLevel level, bool bi_side, unsigned num_threads) {
-  // One pool serves every peeling phase of the reduction; num_threads == 1
-  // keeps the exact serial peel (EnumOptions::num_threads contract).
-  std::optional<ThreadPool> pool;
-  if (num_threads > 1 && level != PruningLevel::kNone) {
-    pool.emplace(num_threads);
-  }
-  ThreadPool* pool_ptr = pool.has_value() ? &*pool : nullptr;
+                       PruningLevel level, bool bi_side, unsigned num_threads,
+                       ReductionPhaseTimes* times) {
+  // One ReductionContext serves the whole reduction: it owns the pool
+  // (created only when num_threads > 1 — the num_threads == 1 contract is
+  // the exact serial front-end), the per-worker construction scratch, and
+  // the per-phase construct/color/peel timers.
+  ReductionContext ctx(level != PruningLevel::kNone ? num_threads : 1);
 
   PruneResult result;
   switch (level) {
@@ -35,14 +34,15 @@ PruneResult RunPruning(const BipartiteGraph& g, const FairBicliqueParams& p,
       result.masks.lower_alive.assign(g.NumLower(), 1);
       break;
     case PruningLevel::kCore:
-      result.masks = bi_side ? BFCore(g, p.alpha, p.beta, pool_ptr)
-                             : FCore(g, p.alpha, p.beta, pool_ptr);
+      result.masks = bi_side ? BFCore(g, p.alpha, p.beta, &ctx)
+                             : FCore(g, p.alpha, p.beta, &ctx);
       break;
     case PruningLevel::kColorful:
-      result = bi_side ? BCFCore(g, p.alpha, p.beta, pool_ptr)
-                       : CFCore(g, p.alpha, p.beta, pool_ptr);
+      result = bi_side ? BCFCore(g, p.alpha, p.beta, &ctx)
+                       : CFCore(g, p.alpha, p.beta, &ctx);
       break;
   }
+  if (times != nullptr) *times = ctx.times();
   return result;
 }
 
@@ -64,8 +64,10 @@ EnumStats RunPipeline(const BipartiteGraph& g, const FairBicliqueParams& params,
                       const EnumOptions& options, bool bi_side,
                       const BicliqueSink& sink, EngineFn&& engine) {
   Timer prune_timer;
-  PruneResult pruned = RunPruning(g, params, options.pruning, bi_side,
-                                  ResolveNumThreads(options.num_threads));
+  ReductionPhaseTimes phase_times;
+  PruneResult pruned =
+      RunPruning(g, params, options.pruning, bi_side,
+                 ResolveNumThreads(options.num_threads), &phase_times);
   IdMaps maps;
   BipartiteGraph sub = InducedSubgraph(g, pruned.masks, &maps);
   const double prune_seconds = prune_timer.ElapsedSeconds();
@@ -87,6 +89,9 @@ EnumStats RunPipeline(const BipartiteGraph& g, const FairBicliqueParams& params,
   }
   stats.enum_seconds = enum_timer.ElapsedSeconds();
   stats.prune_seconds = prune_seconds;
+  stats.prune_construct_seconds = phase_times.construct_seconds;
+  stats.prune_color_seconds = phase_times.color_seconds;
+  stats.prune_peel_seconds = phase_times.peel_seconds;
   stats.remaining_upper = static_cast<VertexId>(maps.upper_to_parent.size());
   stats.remaining_lower = static_cast<VertexId>(maps.lower_to_parent.size());
   stats.peak_struct_bytes += pruned.peak_struct_bytes;

@@ -1,0 +1,37 @@
+#include "core/reduction_context.h"
+
+#include "common/status.h"
+#include "core/parallel.h"
+
+namespace fairbc {
+
+ReductionContext::ReductionContext() : scratch_(1) {}
+
+ReductionContext::ReductionContext(unsigned num_threads) {
+  if (num_threads > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(num_threads);
+    pool_ = owned_pool_.get();
+    num_workers_ = pool_->num_threads();
+  }
+  scratch_.resize(num_workers_);
+}
+
+ReductionContext::~ReductionContext() = default;
+
+std::vector<std::uint32_t>& ReductionContext::CountScratch(unsigned worker,
+                                                           std::size_t size) {
+  FAIRBC_CHECK(worker < scratch_.size());
+  auto& counts = scratch_[worker].counts;
+  if (counts.size() < size) counts.assign(size, 0);
+  return counts;
+}
+
+std::vector<char>& ReductionContext::FlagScratch(unsigned worker,
+                                                 std::size_t size) {
+  FAIRBC_CHECK(worker < scratch_.size());
+  auto& flags = scratch_[worker].flags;
+  if (flags.size() < size) flags.assign(size, 0);
+  return flags;
+}
+
+}  // namespace fairbc

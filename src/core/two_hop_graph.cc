@@ -3,76 +3,45 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "core/parallel.h"
+#include "core/reduction_context.h"
 
 namespace fairbc {
 
-std::size_t UnipartiteGraph::NumEdges() const {
-  std::size_t total = 0;
-  for (const auto& nbrs : adj) total += nbrs.size();
-  return total / 2;
-}
-
-std::size_t UnipartiteGraph::MemoryBytes() const {
-  std::size_t bytes = attrs.size() * sizeof(AttrId);
-  for (const auto& nbrs : adj) {
-    bytes += nbrs.capacity() * sizeof(VertexId) + sizeof(nbrs);
-  }
-  return bytes;
-}
-
 namespace {
 
-UnipartiteGraph ConstructImpl(const BipartiteGraph& g, Side fair_side,
-                              std::uint32_t alpha, const SideMasks& masks,
-                              bool per_attr) {
+/// Counter-sweep over one contiguous vertex shard `[begin, end)`: for
+/// every alive `v` in the shard, count alive 2-hop paths into `counts`
+/// (per opposite-attribute class when `per_attr`), then emit the sorted
+/// satisfying neighbors into `out` and record `deg[v]`. First touches are
+/// tracked with one flag byte per vertex (not by rescanning the count
+/// slots), and both scratch arrays are returned all-zero.
+void SweepShard(const BipartiteGraph& g, Side fair_side, std::uint32_t alpha,
+                const std::vector<char>& fair_alive,
+                const std::vector<char>& other_alive, bool per_attr,
+                VertexId begin, VertexId end,
+                std::vector<std::uint32_t>& counts, std::vector<char>& touched_flag,
+                std::vector<VertexId>& out, std::vector<std::uint32_t>& deg) {
   const Side other = Opposite(fair_side);
-  const VertexId n = g.NumVertices(fair_side);
-  const AttrId other_attrs = g.NumAttrs(other);
-  const auto& fair_alive =
-      fair_side == Side::kLower ? masks.lower_alive : masks.upper_alive;
-  const auto& other_alive =
-      fair_side == Side::kLower ? masks.upper_alive : masks.lower_alive;
-  FAIRBC_CHECK(fair_alive.size() == n);
-
-  UnipartiteGraph h;
-  h.adj.assign(n, {});
-  h.attrs.resize(n);
-  h.num_attrs = g.NumAttrs(fair_side);
-  for (VertexId v = 0; v < n; ++v) h.attrs[v] = g.Attr(fair_side, v);
-
-  // Counter sweep with a touched-list reset, per paper Algs. 3/8. For the
-  // bi-side variant counts are kept per opposite-side attribute class.
-  const std::size_t stride = per_attr ? other_attrs : 1;
-  std::vector<std::uint32_t> counts(static_cast<std::size_t>(n) * stride, 0);
+  const std::size_t stride = per_attr ? g.NumAttrs(other) : 1;
   std::vector<VertexId> touched;
 
-  for (VertexId v = 0; v < n; ++v) {
+  for (VertexId v = begin; v < end; ++v) {
     if (!fair_alive[v]) continue;
     touched.clear();
     for (VertexId u : g.Neighbors(fair_side, v)) {
       if (!other_alive[u]) continue;
-      const std::size_t attr_off =
-          per_attr ? g.Attr(other, u) : 0;
+      const std::size_t attr_off = per_attr ? g.Attr(other, u) : 0;
       for (VertexId w : g.Neighbors(other, u)) {
         if (w == v || !fair_alive[w]) continue;
-        std::uint32_t& slot = counts[static_cast<std::size_t>(w) * stride +
-                                     attr_off];
-        if (slot == 0) {
-          bool first_touch = true;
-          if (per_attr) {
-            first_touch = true;
-            for (std::size_t a = 0; a < stride; ++a) {
-              if (counts[static_cast<std::size_t>(w) * stride + a] != 0) {
-                first_touch = false;
-                break;
-              }
-            }
-          }
-          if (first_touch) touched.push_back(w);
+        if (!touched_flag[w]) {
+          touched_flag[w] = 1;
+          touched.push_back(w);
         }
-        ++slot;
+        ++counts[static_cast<std::size_t>(w) * stride + attr_off];
       }
     }
+    const std::size_t out_begin = out.size();
     for (VertexId w : touched) {
       bool connect;
       if (!per_attr) {
@@ -86,33 +55,121 @@ UnipartiteGraph ConstructImpl(const BipartiteGraph& g, Side fair_side,
           }
         }
       }
-      // Paper adds each pair once via the `u < v` guard; we materialize
-      // both directions for symmetric adjacency.
-      if (connect && w < v) {
-        h.adj[v].push_back(w);
-        h.adj[w].push_back(v);
-      }
+      if (connect) out.push_back(w);
       for (std::size_t a = 0; a < stride; ++a) {
         counts[static_cast<std::size_t>(w) * stride + a] = 0;
       }
+      touched_flag[w] = 0;
+    }
+    std::sort(out.begin() + out_begin, out.end());
+    deg[v] = static_cast<std::uint32_t>(out.size() - out_begin);
+  }
+}
+
+UnipartiteGraph ConstructImpl(const BipartiteGraph& g, Side fair_side,
+                              std::uint32_t alpha, const SideMasks& masks,
+                              bool per_attr, ReductionContext* ctx) {
+  const Side other = Opposite(fair_side);
+  const VertexId n = g.NumVertices(fair_side);
+  const auto& fair_alive =
+      fair_side == Side::kLower ? masks.lower_alive : masks.upper_alive;
+  const auto& other_alive =
+      fair_side == Side::kLower ? masks.upper_alive : masks.lower_alive;
+  FAIRBC_CHECK(fair_alive.size() == n);
+
+  UnipartiteGraph h;
+  h.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  h.attrs.resize(n);
+  h.num_attrs = g.NumAttrs(fair_side);
+  for (VertexId v = 0; v < n; ++v) h.attrs[v] = g.Attr(fair_side, v);
+  if (n == 0) return h;
+
+  const std::size_t stride = per_attr ? g.NumAttrs(other) : 1;
+  const std::size_t counts_size = static_cast<std::size_t>(n) * stride;
+
+  // A null context runs the same code path through a local serial
+  // context, so the scratch grow-and-zero contract lives in one place.
+  ReductionContext serial_ctx;
+  if (ctx == nullptr) ctx = &serial_ctx;
+  ThreadPool* pool = ctx->pool();
+
+  // Shard plan: contiguous vertex ranges, several shards per worker so
+  // stealing can rebalance skewed degree distributions. The shard
+  // boundaries do not affect the output — each vertex's neighbor list is
+  // a pure function of (g, masks, alpha) — so the serial path is simply
+  // the same shards swept in order by worker 0.
+  const unsigned workers = pool != nullptr ? pool->num_threads() : 1;
+  const VertexId shard_size = std::max<VertexId>(
+      64, (n + workers * 8 - 1) / (workers * 8));
+  const std::size_t num_shards = (n + shard_size - 1) / shard_size;
+
+  std::vector<std::uint32_t> deg(n, 0);
+  std::vector<std::vector<VertexId>> shard_nbrs(num_shards);
+
+  auto sweep_one = [&](std::size_t shard, unsigned worker) {
+    std::vector<std::uint32_t>& counts = ctx->CountScratch(worker, counts_size);
+    std::vector<char>& flags = ctx->FlagScratch(worker, n);
+    const VertexId begin = static_cast<VertexId>(shard * shard_size);
+    const VertexId end = std::min<VertexId>(n, begin + shard_size);
+    SweepShard(g, fair_side, alpha, fair_alive, other_alive, per_attr, begin,
+               end, counts, flags, shard_nbrs[shard], deg);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_shards,
+                      [&](std::uint64_t shard, unsigned worker) {
+                        sweep_one(shard, worker);
+                      });
+  } else {
+    for (std::size_t shard = 0; shard < num_shards; ++shard) {
+      sweep_one(shard, 0);
     }
   }
-  for (auto& nbrs : h.adj) std::sort(nbrs.begin(), nbrs.end());
+
+  // Prefix-sum the per-vertex counts into the CSR offsets: one serial
+  // scan over the (few) shard totals, then each shard fills its own
+  // offset range in parallel.
+  std::vector<EdgeIndex> shard_base(num_shards + 1, 0);
+  for (std::size_t shard = 0; shard < num_shards; ++shard) {
+    shard_base[shard + 1] = shard_base[shard] + shard_nbrs[shard].size();
+  }
+  auto fill_offsets = [&](std::size_t shard) {
+    const VertexId begin = static_cast<VertexId>(shard * shard_size);
+    const VertexId end = std::min<VertexId>(n, begin + shard_size);
+    EdgeIndex off = shard_base[shard];
+    for (VertexId v = begin; v < end; ++v) {
+      off += deg[v];
+      h.offsets[v + 1] = off;
+    }
+  };
+  h.neighbors.resize(shard_base[num_shards]);
+  auto scatter = [&](std::size_t shard) {
+    fill_offsets(shard);
+    std::copy(shard_nbrs[shard].begin(), shard_nbrs[shard].end(),
+              h.neighbors.begin() + shard_base[shard]);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_shards, [&](std::uint64_t shard, unsigned) {
+      scatter(shard);
+    });
+  } else {
+    for (std::size_t shard = 0; shard < num_shards; ++shard) scatter(shard);
+  }
   return h;
 }
 
 }  // namespace
 
 UnipartiteGraph Construct2HopGraph(const BipartiteGraph& g, Side fair_side,
-                                   std::uint32_t alpha,
-                                   const SideMasks& masks) {
-  return ConstructImpl(g, fair_side, alpha, masks, /*per_attr=*/false);
+                                   std::uint32_t alpha, const SideMasks& masks,
+                                   ReductionContext* ctx) {
+  return ConstructImpl(g, fair_side, alpha, masks, /*per_attr=*/false, ctx);
 }
 
 UnipartiteGraph BiConstruct2HopGraph(const BipartiteGraph& g, Side fair_side,
                                      std::uint32_t alpha,
-                                     const SideMasks& masks) {
-  return ConstructImpl(g, fair_side, alpha, masks, /*per_attr=*/true);
+                                     const SideMasks& masks,
+                                     ReductionContext* ctx) {
+  return ConstructImpl(g, fair_side, alpha, masks, /*per_attr=*/true, ctx);
 }
 
 }  // namespace fairbc

@@ -2,40 +2,37 @@
 #define FAIRBC_CORE_TWO_HOP_GRAPH_H_
 
 #include <cstdint>
-#include <vector>
 
 #include "graph/bipartite_graph.h"
+#include "graph/unipartite_graph.h"
 
 namespace fairbc {
 
-/// Attributed unipartite graph over the fair-side vertices of a bipartite
-/// graph (the `H(V, E, A)` of paper Algs. 3 and 8). Vertex ids are those
-/// of the originating side; dead vertices simply have empty adjacency.
-struct UnipartiteGraph {
-  std::vector<std::vector<VertexId>> adj;  ///< sorted neighbor lists.
-  std::vector<AttrId> attrs;
-  AttrId num_attrs = 1;
-
-  VertexId NumVertices() const { return static_cast<VertexId>(adj.size()); }
-  VertexId Degree(VertexId v) const {
-    return static_cast<VertexId>(adj[v].size());
-  }
-  std::size_t NumEdges() const;
-  std::size_t MemoryBytes() const;
-};
+class ReductionContext;
 
 /// Paper Alg. 3 (Construct2HopGraph): connects two alive vertices of
 /// `fair_side` iff they share at least `alpha` alive common neighbors.
 /// Runs in O(sum of squared degrees) like the paper's counter sweep.
+///
+/// With a `ReductionContext` carrying a pool the counter sweeps shard by
+/// vertex range across workers (each worker sweeps with private
+/// counter/flag scratch from the context), the per-vertex edge counts are
+/// prefix-summed into the CSR offsets, and the shard outputs are copied
+/// into place. The output is a pure function of (g, masks, alpha) — byte
+/// identical at every thread count, including the serial null-context
+/// path.
 UnipartiteGraph Construct2HopGraph(const BipartiteGraph& g, Side fair_side,
-                                   std::uint32_t alpha, const SideMasks& masks);
+                                   std::uint32_t alpha, const SideMasks& masks,
+                                   ReductionContext* ctx = nullptr);
 
 /// Paper Alg. 8 (BiConstruct2HopGraph): connects two alive vertices iff
 /// they share at least `alpha` alive common neighbors *of every opposite-
-/// side attribute class* (the bi-side condition of Def. 4(1)).
+/// side attribute class* (the bi-side condition of Def. 4(1)). Same
+/// sharded parallel scheme and determinism guarantee as above.
 UnipartiteGraph BiConstruct2HopGraph(const BipartiteGraph& g, Side fair_side,
                                      std::uint32_t alpha,
-                                     const SideMasks& masks);
+                                     const SideMasks& masks,
+                                     ReductionContext* ctx = nullptr);
 
 }  // namespace fairbc
 

@@ -1,0 +1,50 @@
+#include "graph/unipartite_graph.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace fairbc {
+
+std::size_t UnipartiteGraph::MemoryBytes() const {
+  return offsets.capacity() * sizeof(EdgeIndex) +
+         neighbors.capacity() * sizeof(VertexId) +
+         attrs.capacity() * sizeof(AttrId);
+}
+
+UnipartiteGraph UnipartiteGraph::FromEdges(
+    VertexId n, const std::vector<std::pair<VertexId, VertexId>>& edges,
+    std::vector<AttrId> attrs, AttrId num_attrs) {
+  UnipartiteGraph h;
+  h.attrs = std::move(attrs);
+  h.num_attrs = num_attrs;
+  h.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [a, b] : edges) {
+    FAIRBC_CHECK(a < n && b < n && a != b);
+    ++h.offsets[a + 1];
+    ++h.offsets[b + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) h.offsets[v + 1] += h.offsets[v];
+  h.neighbors.resize(h.offsets[n]);
+  std::vector<EdgeIndex> cursor(h.offsets.begin(), h.offsets.end() - 1);
+  for (const auto& [a, b] : edges) {
+    h.neighbors[cursor[a]++] = b;
+    h.neighbors[cursor[b]++] = a;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(h.neighbors.begin() + h.offsets[v],
+              h.neighbors.begin() + h.offsets[v + 1]);
+  }
+  return h;
+}
+
+std::vector<std::vector<VertexId>> UnipartiteGraph::AdjacencyLists() const {
+  std::vector<std::vector<VertexId>> adj(NumVertices());
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    const auto nbrs = Neighbors(v);
+    adj[v].assign(nbrs.begin(), nbrs.end());
+  }
+  return adj;
+}
+
+}  // namespace fairbc

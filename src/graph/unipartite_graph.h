@@ -1,0 +1,58 @@
+#ifndef FAIRBC_GRAPH_UNIPARTITE_GRAPH_H_
+#define FAIRBC_GRAPH_UNIPARTITE_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fairbc {
+
+/// Attributed undirected unipartite graph in CSR layout (offsets + flat
+/// neighbor array), matching BipartiteGraph's storage. Used for the 2-hop
+/// graph `H(V, E, A)` of paper Algs. 3 and 8, built over the fair-side
+/// vertices of a bipartite graph. Vertex ids are those of the originating
+/// side; dead vertices simply have empty adjacency.
+///
+/// Invariants: `offsets` has NumVertices()+1 monotone entries; each
+/// vertex's neighbor range is sorted ascending and deduplicated; every
+/// edge appears in both endpoints' ranges.
+struct UnipartiteGraph {
+  std::vector<EdgeIndex> offsets{0};
+  std::vector<VertexId> neighbors;
+  std::vector<AttrId> attrs;
+  AttrId num_attrs = 1;
+
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(offsets.size() - 1);
+  }
+  VertexId Degree(VertexId v) const {
+    return static_cast<VertexId>(offsets[v + 1] - offsets[v]);
+  }
+  /// Sorted neighbors of `v`.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {neighbors.data() + offsets[v], neighbors.data() + offsets[v + 1]};
+  }
+  /// Undirected edge count (each edge is stored twice).
+  std::size_t NumEdges() const { return neighbors.size() / 2; }
+  /// Exact heap footprint of the CSR arrays (offsets + neighbors + attrs).
+  std::size_t MemoryBytes() const;
+
+  /// Builds a CSR graph from an undirected edge list (each pair once, in
+  /// any order). Test/tooling helper; the 2-hop constructors build their
+  /// CSR directly.
+  static UnipartiteGraph FromEdges(
+      VertexId n, const std::vector<std::pair<VertexId, VertexId>>& edges,
+      std::vector<AttrId> attrs, AttrId num_attrs);
+
+  /// Materializes per-vertex neighbor vectors (tests/debugging only).
+  std::vector<std::vector<VertexId>> AdjacencyLists() const;
+
+  bool operator==(const UnipartiteGraph& other) const = default;
+};
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_GRAPH_UNIPARTITE_GRAPH_H_

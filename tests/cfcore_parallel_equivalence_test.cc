@@ -19,6 +19,7 @@
 #include "core/fcore.h"
 #include "core/parallel.h"
 #include "core/pipeline.h"
+#include "core/reduction_context.h"
 #include "core/two_hop_graph.h"
 #include "graph/generators.h"
 #include "test_util.h"
@@ -106,14 +107,14 @@ TEST(PeelParallelEquivalence, FCoreAndBFCore) {
         const SideMasks serial_f = FCore(g, alpha, beta);
         const SideMasks serial_bf = BFCore(g, alpha, beta);
         for (unsigned threads : kThreadCounts) {
-          ThreadPool pool(threads);
+          ReductionContext ctx(threads);
           const std::string label = "graph=" + std::to_string(i) +
                                     " alpha=" + std::to_string(alpha) +
                                     " beta=" + std::to_string(beta) +
                                     " threads=" + std::to_string(threads);
-          ExpectMasksEqual(g, serial_f, FCore(g, alpha, beta, &pool),
+          ExpectMasksEqual(g, serial_f, FCore(g, alpha, beta, &ctx),
                            "FCore " + label);
-          ExpectMasksEqual(g, serial_bf, BFCore(g, alpha, beta, &pool),
+          ExpectMasksEqual(g, serial_bf, BFCore(g, alpha, beta, &ctx),
                            "BFCore " + label);
         }
       }
@@ -130,16 +131,16 @@ TEST(PeelParallelEquivalence, CFCoreAndBCFCore) {
         const PruneResult serial_c = CFCore(g, alpha, beta);
         const PruneResult serial_bc = BCFCore(g, alpha, beta);
         for (unsigned threads : kThreadCounts) {
-          ThreadPool pool(threads);
+          ReductionContext ctx(threads);
           const std::string label = "graph=" + std::to_string(i) +
                                     " alpha=" + std::to_string(alpha) +
                                     " beta=" + std::to_string(beta) +
                                     " threads=" + std::to_string(threads);
           ExpectMasksEqual(g, serial_c.masks,
-                           CFCore(g, alpha, beta, &pool).masks,
+                           CFCore(g, alpha, beta, &ctx).masks,
                            "CFCore " + label);
           ExpectMasksEqual(g, serial_bc.masks,
-                           BCFCore(g, alpha, beta, &pool).masks,
+                           BCFCore(g, alpha, beta, &ctx).masks,
                            "BCFCore " + label);
         }
       }
@@ -156,9 +157,9 @@ TEST(PeelParallelEquivalence, EgoColorfulCorePeelDirect) {
     std::vector<char> serial = masks.lower_alive;
     EgoColorfulCorePeel(h, coloring, k, serial, nullptr);
     for (unsigned threads : kThreadCounts) {
-      ThreadPool pool(threads);
+      ReductionContext ctx(threads);
       std::vector<char> parallel = masks.lower_alive;
-      EgoColorfulCorePeel(h, coloring, k, parallel, nullptr, &pool);
+      EgoColorfulCorePeel(h, coloring, k, parallel, nullptr, &ctx);
       EXPECT_EQ(serial, parallel)
           << "k=" << k << " threads=" << threads;
     }

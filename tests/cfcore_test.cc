@@ -13,10 +13,8 @@ using ::fairbc::testing::RandomSmallGraph;
 TEST(EgoColorfulCorePeel, KeepsBalancedClique) {
   // A 4-clique with 2 vertices per class: all colors distinct, every
   // vertex has ego colorful degree 2 per class -> survives k=2.
-  UnipartiteGraph h;
-  h.adj = {{1, 2, 3}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2}};
-  h.attrs = {0, 0, 1, 1};
-  h.num_attrs = 2;
+  UnipartiteGraph h = UnipartiteGraph::FromEdges(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, {0, 0, 1, 1}, 2);
   std::vector<char> alive(4, 1);
   Coloring c = GreedyColor(h, alive);
   EgoColorfulCorePeel(h, c, 2, alive, nullptr);
@@ -26,10 +24,8 @@ TEST(EgoColorfulCorePeel, KeepsBalancedClique) {
 TEST(EgoColorfulCorePeel, RemovesClassStarved) {
   // Star around 0; vertex 0 has class-1 neighbors but leaves have only
   // class-0 contacts (plus themselves).
-  UnipartiteGraph h;
-  h.adj = {{1, 2, 3}, {0}, {0}, {0}};
-  h.attrs = {0, 1, 1, 1};
-  h.num_attrs = 2;
+  UnipartiteGraph h = UnipartiteGraph::FromEdges(
+      4, {{0, 1}, {0, 2}, {0, 3}}, {0, 1, 1, 1}, 2);
   std::vector<char> alive(4, 1);
   Coloring c = GreedyColor(h, alive);
   EgoColorfulCorePeel(h, c, 2, alive, nullptr);
@@ -38,10 +34,7 @@ TEST(EgoColorfulCorePeel, RemovesClassStarved) {
 }
 
 TEST(EgoColorfulCorePeel, MetersBytes) {
-  UnipartiteGraph h;
-  h.adj = {{1}, {0}};
-  h.attrs = {0, 1};
-  h.num_attrs = 2;
+  UnipartiteGraph h = UnipartiteGraph::FromEdges(2, {{0, 1}}, {0, 1}, 2);
   std::vector<char> alive(2, 1);
   Coloring c = GreedyColor(h, alive);
   std::size_t bytes = 0;

@@ -1,0 +1,96 @@
+// Determinism of the Jones–Plassmann coloring front-end: with
+// degree-then-id priorities JP evaluates exactly the greedy coloring's
+// fixpoint, so its output must be byte-identical (colors and color
+// count) across thread counts {1, 2, 8} — and equal to GreedyColor —
+// on every generator family. This is what keeps the CFCore/BCFCore
+// masks independent of the thread count even though the parallel
+// reduction colors with JP while --threads=1 keeps the serial greedy.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/coloring.h"
+#include "core/fcore.h"
+#include "core/reduction_context.h"
+#include "core/two_hop_graph.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace fairbc {
+namespace {
+
+using ::fairbc::testing::RandomSmallGraph;
+
+std::vector<std::pair<std::string, BipartiteGraph>> GeneratorFamilies() {
+  std::vector<std::pair<std::string, BipartiteGraph>> graphs;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    graphs.emplace_back("random_small_" + std::to_string(seed),
+                        RandomSmallGraph(seed, 14, 0.4));
+  }
+  graphs.emplace_back("uniform", MakeUniformRandom(220, 220, 1800, 2, 41));
+  graphs.emplace_back("powerlaw", MakePowerLaw(220, 220, 1800, 2.2, 2, 42));
+  AffiliationConfig config;
+  config.num_upper = 160;
+  config.num_lower = 160;
+  config.num_communities = 12;
+  config.seed = 43;
+  graphs.emplace_back("affiliation", MakeAffiliation(config));
+  return graphs;
+}
+
+TEST(JonesPlassmann, ByteIdenticalAcrossThreadCountsAndToGreedy) {
+  for (const auto& [name, g] : GeneratorFamilies()) {
+    const SideMasks masks = FCore(g, 2, 2);
+    const UnipartiteGraph h = Construct2HopGraph(g, Side::kLower, 2, masks);
+    const std::vector<char>& alive = masks.lower_alive;
+
+    const Coloring greedy = GreedyColor(h, alive);
+    const Coloring jp_serial = JonesPlassmannColor(h, alive);
+    EXPECT_EQ(jp_serial.color, greedy.color) << name;
+    EXPECT_EQ(jp_serial.num_colors, greedy.num_colors) << name;
+    EXPECT_TRUE(IsProperColoring(h, alive, jp_serial)) << name;
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+      ReductionContext ctx(threads);
+      const Coloring jp = JonesPlassmannColor(h, alive, &ctx);
+      EXPECT_EQ(jp.color, jp_serial.color) << name << " threads=" << threads;
+      EXPECT_EQ(jp.num_colors, jp_serial.num_colors)
+          << name << " threads=" << threads;
+      EXPECT_TRUE(IsProperColoring(h, alive, jp))
+          << name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(JonesPlassmann, BiSideTwoHopGraphs) {
+  for (const auto& [name, g] : GeneratorFamilies()) {
+    const SideMasks masks = BFCore(g, 1, 1);
+    const UnipartiteGraph h = BiConstruct2HopGraph(g, Side::kLower, 1, masks);
+    const std::vector<char>& alive = masks.lower_alive;
+    const Coloring greedy = GreedyColor(h, alive);
+    for (unsigned threads : {2u, 8u}) {
+      ReductionContext ctx(threads);
+      const Coloring jp = JonesPlassmannColor(h, alive, &ctx);
+      EXPECT_EQ(jp.color, greedy.color) << name << " threads=" << threads;
+      EXPECT_EQ(jp.num_colors, greedy.num_colors)
+          << name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(JonesPlassmann, EmptyAndDeadGraphs) {
+  UnipartiteGraph empty;
+  EXPECT_EQ(JonesPlassmannColor(empty, {}).num_colors, 0u);
+
+  UnipartiteGraph h = UnipartiteGraph::FromEdges(3, {{0, 1}}, {0, 0, 1}, 2);
+  std::vector<char> dead(3, 0);
+  const Coloring c = JonesPlassmannColor(h, dead);
+  EXPECT_EQ(c.num_colors, 0u);
+  EXPECT_EQ(c.color, (std::vector<std::uint32_t>(3, 0)));
+}
+
+}  // namespace
+}  // namespace fairbc

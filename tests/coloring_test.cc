@@ -13,16 +13,7 @@ UnipartiteGraph MakeUnipartite(VertexId n,
                                const std::vector<std::pair<VertexId, VertexId>>&
                                    edges,
                                std::vector<AttrId> attrs, AttrId num_attrs = 2) {
-  UnipartiteGraph h;
-  h.adj.assign(n, {});
-  h.attrs = std::move(attrs);
-  h.num_attrs = num_attrs;
-  for (auto [a, b] : edges) {
-    h.adj[a].push_back(b);
-    h.adj[b].push_back(a);
-  }
-  for (auto& nbrs : h.adj) std::sort(nbrs.begin(), nbrs.end());
-  return h;
+  return UnipartiteGraph::FromEdges(n, edges, std::move(attrs), num_attrs);
 }
 
 TEST(GreedyColor, ProperOnTriangle) {

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "core/intersect.h"
+#include "core/reduction_context.h"
 #include "core/two_hop_graph.h"
+#include "graph/generators.h"
 #include "test_util.h"
 
 namespace fairbc {
@@ -22,13 +24,11 @@ SideMasks AllAlive(const BipartiteGraph& g) {
 // Naive O(n^2) reference: count common alive neighbors directly.
 UnipartiteGraph NaiveTwoHop(const BipartiteGraph& g, std::uint32_t alpha,
                             const SideMasks& masks, bool per_attr) {
-  UnipartiteGraph h;
-  h.adj.assign(g.NumLower(), {});
-  h.attrs.resize(g.NumLower());
-  h.num_attrs = g.NumAttrs(Side::kLower);
+  std::vector<AttrId> attrs(g.NumLower());
   for (VertexId v = 0; v < g.NumLower(); ++v) {
-    h.attrs[v] = g.Attr(Side::kLower, v);
+    attrs[v] = g.Attr(Side::kLower, v);
   }
+  std::vector<std::pair<VertexId, VertexId>> edges;
   const AttrId au = g.NumAttrs(Side::kUpper);
   for (VertexId a = 0; a < g.NumLower(); ++a) {
     if (!masks.lower_alive[a]) continue;
@@ -51,14 +51,11 @@ UnipartiteGraph NaiveTwoHop(const BipartiteGraph& g, std::uint32_t alpha,
         for (auto c : common) total += c;
         connect = total >= alpha;
       }
-      if (connect) {
-        h.adj[a].push_back(b);
-        h.adj[b].push_back(a);
-      }
+      if (connect) edges.emplace_back(a, b);
     }
   }
-  for (auto& nbrs : h.adj) std::sort(nbrs.begin(), nbrs.end());
-  return h;
+  return UnipartiteGraph::FromEdges(g.NumLower(), edges, std::move(attrs),
+                                    g.NumAttrs(Side::kLower));
 }
 
 TEST(TwoHop, SimpleSharedNeighbors) {
@@ -67,9 +64,10 @@ TEST(TwoHop, SimpleSharedNeighbors) {
                                {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {1, 2}},
                                {0, 1}, {0, 1, 0});
   UnipartiteGraph h = Construct2HopGraph(g, Side::kLower, 2, AllAlive(g));
-  EXPECT_EQ(h.adj[0], (std::vector<VertexId>{1}));
-  EXPECT_EQ(h.adj[1], (std::vector<VertexId>{0}));
-  EXPECT_TRUE(h.adj[2].empty());
+  const auto adj = h.AdjacencyLists();
+  EXPECT_EQ(adj[0], (std::vector<VertexId>{1}));
+  EXPECT_EQ(adj[1], (std::vector<VertexId>{0}));
+  EXPECT_TRUE(adj[2].empty());
   EXPECT_EQ(h.NumEdges(), 1u);
 }
 
@@ -83,7 +81,7 @@ TEST(TwoHop, MatchesNaiveOnRandomGraphs) {
     for (std::uint32_t alpha : {1u, 2u, 3u}) {
       UnipartiteGraph fast = Construct2HopGraph(g, Side::kLower, alpha, masks);
       UnipartiteGraph slow = NaiveTwoHop(g, alpha, masks, false);
-      EXPECT_EQ(fast.adj, slow.adj) << "seed=" << seed << " alpha=" << alpha;
+      EXPECT_EQ(fast, slow) << "seed=" << seed << " alpha=" << alpha;
     }
   }
 }
@@ -95,7 +93,7 @@ TEST(BiTwoHop, MatchesNaiveOnRandomGraphs) {
     for (std::uint32_t alpha : {1u, 2u}) {
       UnipartiteGraph fast = BiConstruct2HopGraph(g, Side::kLower, alpha, masks);
       UnipartiteGraph slow = NaiveTwoHop(g, alpha, masks, true);
-      EXPECT_EQ(fast.adj, slow.adj) << "seed=" << seed << " alpha=" << alpha;
+      EXPECT_EQ(fast, slow) << "seed=" << seed << " alpha=" << alpha;
     }
   }
 }
@@ -105,8 +103,8 @@ TEST(BiTwoHop, RequiresCommonNeighborsPerClass) {
   BipartiteGraph g = MakeGraph(3, 2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}},
                                {0, 0, 1}, {0, 1});
   UnipartiteGraph h = BiConstruct2HopGraph(g, Side::kLower, 1, AllAlive(g));
-  EXPECT_TRUE(h.adj[0].empty());
-  EXPECT_TRUE(h.adj[1].empty());
+  EXPECT_TRUE(h.Neighbors(0).empty());
+  EXPECT_TRUE(h.Neighbors(1).empty());
 }
 
 TEST(TwoHop, UpperSideConstruction) {
@@ -115,9 +113,10 @@ TEST(TwoHop, UpperSideConstruction) {
                                {0, 1, 0}, {0, 1});
   UnipartiteGraph h = Construct2HopGraph(g, Side::kUpper, 2, AllAlive(g));
   // u0,u1 share v0,v1; u2 shares only v1.
-  EXPECT_EQ(h.adj[0], (std::vector<VertexId>{1}));
-  EXPECT_EQ(h.adj[1], (std::vector<VertexId>{0}));
-  EXPECT_TRUE(h.adj[2].empty());
+  const auto adj = h.AdjacencyLists();
+  EXPECT_EQ(adj[0], (std::vector<VertexId>{1}));
+  EXPECT_EQ(adj[1], (std::vector<VertexId>{0}));
+  EXPECT_TRUE(adj[2].empty());
   EXPECT_EQ(h.num_attrs, g.NumAttrs(Side::kUpper));
 }
 
@@ -125,6 +124,51 @@ TEST(TwoHop, MemoryBytesNonZero) {
   BipartiteGraph g = RandomSmallGraph(7, 10, 0.5);
   UnipartiteGraph h = Construct2HopGraph(g, Side::kLower, 1, AllAlive(g));
   EXPECT_GT(h.MemoryBytes(), 0u);
+}
+
+TEST(TwoHop, MemoryBytesCoversCsrArraysExactly) {
+  BipartiteGraph g = RandomSmallGraph(7, 10, 0.5);
+  UnipartiteGraph h = Construct2HopGraph(g, Side::kLower, 1, AllAlive(g));
+  // Independently computed from the element counts: n+1 offsets, one
+  // attr per vertex, each undirected edge stored twice. Construction is
+  // exact-fit, so the report must match with no per-vector bookkeeping
+  // approximations or overhead terms.
+  const std::size_t n = h.NumVertices();
+  EXPECT_EQ(h.MemoryBytes(), (n + 1) * sizeof(EdgeIndex) +
+                                 2 * h.NumEdges() * sizeof(VertexId) +
+                                 n * sizeof(AttrId));
+}
+
+// The sharded parallel construction must produce byte-identical CSR
+// output (offsets, neighbors, attrs) at every thread count, on both the
+// single-side and bi-side variants.
+TEST(TwoHop, ParallelConstructionByteIdentical) {
+  std::vector<BipartiteGraph> graphs;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    graphs.push_back(RandomSmallGraph(seed, 12, 0.4));
+  }
+  graphs.push_back(MakeUniformRandom(300, 300, 2400, 2, 33));
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const BipartiteGraph& g = graphs[i];
+    SideMasks masks = AllAlive(g);
+    if (g.NumUpper() > 2) masks.upper_alive[0] = 0;
+    if (g.NumLower() > 2) masks.lower_alive[1] = 0;
+    for (std::uint32_t alpha : {1u, 2u}) {
+      const UnipartiteGraph serial =
+          Construct2HopGraph(g, Side::kLower, alpha, masks);
+      const UnipartiteGraph serial_bi =
+          BiConstruct2HopGraph(g, Side::kLower, alpha, masks);
+      for (unsigned threads : {2u, 8u}) {
+        ReductionContext ctx(threads);
+        EXPECT_EQ(serial, Construct2HopGraph(g, Side::kLower, alpha, masks,
+                                             &ctx))
+            << "graph=" << i << " alpha=" << alpha << " threads=" << threads;
+        EXPECT_EQ(serial_bi, BiConstruct2HopGraph(g, Side::kLower, alpha,
+                                                  masks, &ctx))
+            << "graph=" << i << " alpha=" << alpha << " threads=" << threads;
+      }
+    }
+  }
 }
 
 TEST(Intersect, Helpers) {
