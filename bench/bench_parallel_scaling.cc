@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_util/datasets.h"
+#include "bench_util/meta.h"
 #include "common/timer.h"
 #include "core/pipeline.h"
 #include "graph/generators.h"
@@ -106,6 +107,9 @@ int main() {
   FairBicliqueParams params{2, 2, 1, 0.0};
 
   std::cout << "{\n  \"bench\": \"parallel_scaling\",\n"
+            << "  \"meta\": "
+            << fairbc::RunMetadataJson(fairbc::CollectRunMetadata(config.seed))
+            << ",\n"
             << "  \"hardware_threads\": "
             << std::thread::hardware_concurrency() << ",\n"
             << "  \"graph\": {\"upper\": " << g.NumUpper()

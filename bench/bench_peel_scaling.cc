@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_util/datasets.h"
+#include "bench_util/meta.h"
 #include "common/timer.h"
 #include "core/cfcore.h"
 #include "core/parallel.h"
@@ -125,6 +126,9 @@ int main() {
   const std::uint32_t alpha = 2, beta = 2;
 
   std::cout << "{\n  \"bench\": \"peel_scaling\",\n"
+            << "  \"meta\": "
+            << fairbc::RunMetadataJson(fairbc::CollectRunMetadata(config.seed))
+            << ",\n"
             << "  \"hardware_threads\": "
             << std::thread::hardware_concurrency() << ",\n"
             << "  \"graph\": {\"upper\": " << g.NumUpper()

@@ -1,0 +1,156 @@
+// Service-layer throughput: replays a mixed query trace (a shuffled
+// parameter sweep with repeats — the fig2/fig5/fig7 shape) through
+// QueryExecutor::ExecuteBatch at increasing pool widths and reports
+// per-query latency percentiles, aggregate throughput, and the
+// ResultCache hit rate. Emitted as JSON so the serving trajectory is
+// machine-readable across PRs.
+//
+// Expected shape on a multi-core host: throughput scales with the pool
+// until queries contend for memory bandwidth; p99 tracks the most
+// expensive uncached parameter point; the hit rate is trace-determined
+// (~repeats/total; identical queries in flight at once may both miss
+// before either inserts, so wider pools can sit a few hits lower). Each
+// width gets a fresh executor so caches never leak across rows. On a
+// single-core host every row measures admission overhead only.
+//
+// FAIRBC_SCALE scales the graph (default 1.0); FAIRBC_MAX_THREADS caps
+// the sweep (default 8).
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_util/datasets.h"
+#include "bench_util/meta.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "graph/generators.h"
+#include "service/graph_catalog.h"
+#include "service/query_executor.h"
+#include "service/response_json.h"
+
+namespace {
+
+using fairbc::QueryRequest;
+using fairbc::QueryResult;
+
+constexpr std::uint64_t kSeed = 17;
+
+/// The sweep grid: 2 models x alpha {2,3} x beta {2,3} x delta {1,2},
+/// each issued `repeats` times, shuffled.
+std::vector<QueryRequest> MakeTrace(const std::string& graph, int repeats,
+                                    fairbc::Rng& rng) {
+  std::vector<QueryRequest> unique;
+  for (auto model : {fairbc::FairModel::kSsfbc, fairbc::FairModel::kBsfbc}) {
+    for (std::uint32_t alpha = 2; alpha <= 3; ++alpha) {
+      for (std::uint32_t beta = 2; beta <= 3; ++beta) {
+        for (std::uint32_t delta = 1; delta <= 2; ++delta) {
+          QueryRequest req;
+          req.graph = graph;
+          req.model = model;
+          req.params = {alpha, beta, delta, 0.0};
+          unique.push_back(req);
+        }
+      }
+    }
+  }
+  std::vector<QueryRequest> trace;
+  for (int r = 0; r < repeats; ++r) {
+    trace.insert(trace.end(), unique.begin(), unique.end());
+  }
+  rng.Shuffle(trace);
+  return trace;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(p * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main() {
+  const double scale = fairbc::EnvScale();
+  unsigned max_threads = 8;
+  if (const char* env = std::getenv("FAIRBC_MAX_THREADS")) {
+    max_threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (max_threads == 0) max_threads = 1;
+  }
+
+  fairbc::AffiliationConfig config;
+  config.num_upper = static_cast<fairbc::VertexId>(1200 * scale);
+  config.num_lower = static_cast<fairbc::VertexId>(1200 * scale);
+  config.num_communities = static_cast<std::uint32_t>(70 * scale);
+  config.seed = kSeed;
+  fairbc::BipartiteGraph g = fairbc::MakeAffiliation(config);
+
+  fairbc::GraphCatalog catalog;
+  FAIRBC_CHECK(catalog.AddGraph("synth", std::move(g)).ok());
+  auto entry = catalog.Get("synth");
+
+  constexpr int kRepeats = 4;
+  fairbc::Rng rng(kSeed);
+  const std::vector<QueryRequest> trace = MakeTrace("synth", kRepeats, rng);
+
+  std::cout << "{\n  \"bench\": \"service_throughput\",\n"
+            << "  \"meta\": "
+            << fairbc::RunMetadataJson(fairbc::CollectRunMetadata(kSeed))
+            << ",\n"
+            << "  \"graph\": {\"upper\": " << entry->graph.NumUpper()
+            << ", \"lower\": " << entry->graph.NumLower()
+            << ", \"edges\": " << entry->graph.NumEdges() << ", \"version\": \""
+            << fairbc::JsonHex64(entry->version) << "\"},\n"
+            << "  \"queries\": " << trace.size()
+            << ",\n  \"unique_queries\": " << trace.size() / kRepeats
+            << ",\n  \"runs\": [\n";
+
+  std::uint64_t reference_digest = 0;
+  bool first_row = true;
+  for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
+    fairbc::QueryExecutorOptions options;
+    options.num_threads = threads;
+    fairbc::QueryExecutor executor(catalog, options);
+
+    fairbc::Timer timer;
+    std::vector<QueryResult> results = executor.ExecuteBatch(trace);
+    const double total = timer.ElapsedSeconds();
+
+    std::vector<double> latencies;
+    latencies.reserve(results.size());
+    std::uint64_t digest = 0;
+    for (const QueryResult& r : results) {
+      FAIRBC_CHECK(r.status.ok());
+      latencies.push_back(r.seconds);
+      digest += r.summary.digest;
+    }
+    // Cross-width sanity: the batch's combined result digest must not
+    // depend on the pool width (cache hits return the producing run's
+    // summary, so digests survive caching unchanged).
+    if (threads == 1) {
+      reference_digest = digest;
+    } else if (digest != reference_digest) {
+      std::cerr << "ERROR: batch digest changed with threads=" << threads
+                << "\n";
+      return 1;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const auto telemetry = executor.cache().telemetry();
+
+    std::cout << (first_row ? "" : ",\n") << "    {\"threads\": " << threads
+              << ", \"total_seconds\": " << fairbc::JsonDouble(total)
+              << ", \"qps\": "
+              << fairbc::JsonDouble(static_cast<double>(results.size()) / total)
+              << ", \"p50_ms\": "
+              << fairbc::JsonDouble(Percentile(latencies, 0.50) * 1e3)
+              << ", \"p99_ms\": "
+              << fairbc::JsonDouble(Percentile(latencies, 0.99) * 1e3)
+              << ", \"cache_hits\": " << telemetry.hits
+              << ", \"cache_hit_rate\": "
+              << fairbc::JsonDouble(telemetry.HitRate()) << "}";
+    first_row = false;
+  }
+  std::cout << "\n  ]\n}\n";
+  return 0;
+}

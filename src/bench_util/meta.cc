@@ -1,0 +1,35 @@
+#include "bench_util/meta.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "bench_util/datasets.h"
+#include "service/response_json.h"
+
+#ifndef FAIRBC_BUILD_GIT_SHA
+#define FAIRBC_BUILD_GIT_SHA "unknown"
+#endif
+
+namespace fairbc {
+
+RunMetadata CollectRunMetadata(std::uint64_t dataset_seed) {
+  RunMetadata meta;
+  meta.hardware_threads = std::thread::hardware_concurrency();
+  const char* env_sha = std::getenv("FAIRBC_GIT_SHA");
+  meta.git_sha = (env_sha != nullptr && *env_sha != '\0') ? env_sha
+                                                          : FAIRBC_BUILD_GIT_SHA;
+  meta.dataset_seed = dataset_seed;
+  meta.scale = EnvScale();
+  return meta;
+}
+
+std::string RunMetadataJson(const RunMetadata& meta) {
+  std::ostringstream os;
+  os << "{\"hardware_threads\":" << meta.hardware_threads << ",\"git_sha\":\""
+     << JsonEscape(meta.git_sha) << "\",\"dataset_seed\":" << meta.dataset_seed
+     << ",\"scale\":" << JsonDouble(meta.scale) << "}";
+  return os.str();
+}
+
+}  // namespace fairbc

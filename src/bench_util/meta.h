@@ -1,0 +1,28 @@
+#ifndef FAIRBC_BENCH_UTIL_META_H_
+#define FAIRBC_BENCH_UTIL_META_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fairbc {
+
+/// Run metadata stamped into every bench JSON output so trajectories are
+/// comparable across containers/machines: the hardware parallelism the
+/// run saw, the git revision of the binary, and the dataset seed/scale
+/// that generated the inputs.
+struct RunMetadata {
+  unsigned hardware_threads = 0;
+  std::string git_sha;  ///< FAIRBC_GIT_SHA env, else build-time sha.
+  std::uint64_t dataset_seed = 0;
+  double scale = 1.0;  ///< FAIRBC_SCALE at run time.
+};
+
+/// Fills the metadata from the environment (seed passed by the bench).
+RunMetadata CollectRunMetadata(std::uint64_t dataset_seed);
+
+/// `{"hardware_threads":...,"git_sha":"...","dataset_seed":...,"scale":...}`
+std::string RunMetadataJson(const RunMetadata& meta);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_BENCH_UTIL_META_H_

@@ -231,4 +231,29 @@ EnumStats EnumerateMaximalBicliquesPruned(const BipartiteGraph& g,
   return stats;
 }
 
+EnumStats RunEnumeration(const BipartiteGraph& g, FairModel model,
+                         FairAlgo algo, const FairBicliqueParams& params,
+                         const EnumOptions& options, const BicliqueSink& sink) {
+  if (model == FairModel::kBsfbc) {
+    switch (algo) {
+      case FairAlgo::kBcem:
+        return EnumerateBSFBC(g, params, options, sink);
+      case FairAlgo::kNaive:
+        return EnumerateBSFBCNaive(g, params, options, sink);
+      case FairAlgo::kPlusPlus:
+        break;
+    }
+    return EnumerateBSFBCPlusPlus(g, params, options, sink);
+  }
+  switch (algo) {
+    case FairAlgo::kBcem:
+      return EnumerateSSFBC(g, params, options, sink);
+    case FairAlgo::kNaive:
+      return EnumerateSSFBCNaive(g, params, options, sink);
+    case FairAlgo::kPlusPlus:
+      break;
+  }
+  return EnumerateSSFBCPlusPlus(g, params, options, sink);
+}
+
 }  // namespace fairbc

@@ -3,6 +3,7 @@
 
 #include "core/enumerate.h"
 #include "core/fair_bcem.h"
+#include "core/verify.h"
 #include "graph/bipartite_graph.h"
 
 namespace fairbc {
@@ -70,6 +71,21 @@ EnumStats EnumerateMaximalBicliquesPruned(const BipartiteGraph& g,
                                           std::uint32_t min_lower_total,
                                           const EnumOptions& options,
                                           const BicliqueSink& sink);
+
+/// Engine selector over the six entry points above, shared by the CLI,
+/// the query service and ad-hoc drivers.
+enum class FairAlgo {
+  kPlusPlus,  ///< FairBCEM++ / BFairBCEM++ (paper default).
+  kBcem,      ///< FairBCEM / BFairBCEM.
+  kNaive,     ///< NSF / BNSF baselines.
+};
+
+/// Single (model, algo) dispatch: exactly equivalent to calling the
+/// matching Enumerate* entry point. The proportional variants remain
+/// selected by params.theta > 0, as everywhere else.
+EnumStats RunEnumeration(const BipartiteGraph& g, FairModel model,
+                         FairAlgo algo, const FairBicliqueParams& params,
+                         const EnumOptions& options, const BicliqueSink& sink);
 
 /// Ablation hook: FairBCEM with explicit search-pruning switches.
 EnumStats EnumerateSSFBCWithSearchOptions(const BipartiteGraph& g,

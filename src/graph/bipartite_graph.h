@@ -66,6 +66,23 @@ class BipartiteGraph {
   /// Binary-search adjacency test: is `u` (upper) adjacent to `v` (lower)?
   bool HasEdge(VertexId u, VertexId v) const;
 
+  /// Raw CSR arrays of one side, exposed for bulk serialization and
+  /// checksumming (graph/snapshot.h). Offsets has NumVertices(side) + 1
+  /// entries; NeighborArray is the flat neighbor list all offsets index
+  /// into; AttrArray has one attribute value per vertex.
+  std::span<const EdgeIndex> Offsets(Side side) const {
+    const auto& off = side == Side::kUpper ? upper_offsets_ : lower_offsets_;
+    return {off.data(), off.size()};
+  }
+  std::span<const VertexId> NeighborArray(Side side) const {
+    const auto& nbr = side == Side::kUpper ? upper_neighbors_ : lower_neighbors_;
+    return {nbr.data(), nbr.size()};
+  }
+  std::span<const AttrId> AttrArray(Side side) const {
+    const auto& attrs = side == Side::kUpper ? upper_attrs_ : lower_attrs_;
+    return {attrs.data(), attrs.size()};
+  }
+
   /// Per-attribute class sizes of one side of the whole graph.
   std::vector<VertexId> AttrCounts(Side side) const;
 

@@ -1,0 +1,202 @@
+#include "graph/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace fairbc {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+struct SnapshotCounts {
+  std::uint32_t num_upper = 0;
+  std::uint32_t num_lower = 0;
+  std::uint64_t num_edges = 0;
+  std::uint16_t num_upper_attrs = 0;
+  std::uint16_t num_lower_attrs = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(SnapshotCounts) == 24, "packed count block");
+
+SnapshotCounts CountsOf(const BipartiteGraph& g) {
+  SnapshotCounts c;
+  c.num_upper = g.NumUpper();
+  c.num_lower = g.NumLower();
+  c.num_edges = g.NumEdges();
+  c.num_upper_attrs = g.NumAttrs(Side::kUpper);
+  c.num_lower_attrs = g.NumAttrs(Side::kLower);
+  return c;
+}
+
+template <typename T>
+std::uint64_t FoldSpan(std::uint64_t state, std::span<const T> data) {
+  return Fnv1a64(data.data(), data.size() * sizeof(T), state);
+}
+
+/// Checksum over the count block and the six arrays, in file order.
+std::uint64_t ChecksumOf(const SnapshotCounts& counts,
+                         const BipartiteGraph& g) {
+  std::uint64_t state = Fnv1a64(&counts, sizeof(counts));
+  state = FoldSpan(state, g.Offsets(Side::kUpper));
+  state = FoldSpan(state, g.NeighborArray(Side::kUpper));
+  state = FoldSpan(state, g.Offsets(Side::kLower));
+  state = FoldSpan(state, g.NeighborArray(Side::kLower));
+  state = FoldSpan(state, g.AttrArray(Side::kUpper));
+  state = FoldSpan(state, g.AttrArray(Side::kLower));
+  return state;
+}
+
+template <typename T>
+void WriteArray(std::ofstream& out, std::span<const T> data) {
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(T)));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.gcount() == sizeof(T);
+}
+
+template <typename T>
+bool ReadArray(std::ifstream& in, std::size_t count, std::vector<T>* out) {
+  out->resize(count);
+  const auto bytes = static_cast<std::streamsize>(count * sizeof(T));
+  in.read(reinterpret_cast<char*>(out->data()), bytes);
+  return in.gcount() == bytes;
+}
+
+}  // namespace
+
+std::uint64_t Fnv1a64(const void* data, std::size_t size, std::uint64_t state) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= bytes[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+std::uint64_t GraphFingerprint(const BipartiteGraph& g) {
+  const SnapshotCounts counts = CountsOf(g);
+  return ChecksumOf(counts, g);
+}
+
+Status WriteSnapshot(const BipartiteGraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  const SnapshotCounts counts = CountsOf(g);
+  const std::uint64_t checksum = ChecksumOf(counts, g);
+
+  out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+  const std::uint32_t version = kSnapshotVersion;
+  const std::uint32_t reserved = 0;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&reserved), sizeof(reserved));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.write(reinterpret_cast<const char*>(&counts), sizeof(counts));
+  WriteArray(out, g.Offsets(Side::kUpper));
+  WriteArray(out, g.NeighborArray(Side::kUpper));
+  WriteArray(out, g.Offsets(Side::kLower));
+  WriteArray(out, g.NeighborArray(Side::kLower));
+  WriteArray(out, g.AttrArray(Side::kUpper));
+  WriteArray(out, g.AttrArray(Side::kLower));
+  out.flush();
+  if (!out) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<BipartiteGraph> ReadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open: " + path);
+  }
+
+  char magic[sizeof(kSnapshotMagic)];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    return Status::CorruptInput("not a fairbc snapshot: " + path);
+  }
+  std::uint32_t version = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t checksum = 0;
+  SnapshotCounts counts;
+  if (!ReadPod(in, &version) || !ReadPod(in, &reserved) ||
+      !ReadPod(in, &checksum) || !ReadPod(in, &counts)) {
+    return Status::CorruptInput("truncated snapshot header: " + path);
+  }
+  if (version != kSnapshotVersion) {
+    return Status::CorruptInput("unsupported snapshot version " +
+                                std::to_string(version) + ": " + path);
+  }
+
+  // Bound the payload by the actual file size *before* sizing any
+  // vector from the (as yet unauthenticated) count fields: a corrupt
+  // num_edges must come back as a Status, not a length_error/OOM. The
+  // exact-size check also rejects trailing garbage. 128-bit arithmetic
+  // because num_edges alone can overflow a u64 byte count.
+  const std::streampos payload_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(payload_start);
+  unsigned __int128 expected = 0;
+  expected += (static_cast<unsigned __int128>(counts.num_upper) + 1) *
+              sizeof(EdgeIndex);
+  expected += (static_cast<unsigned __int128>(counts.num_lower) + 1) *
+              sizeof(EdgeIndex);
+  expected +=
+      static_cast<unsigned __int128>(counts.num_edges) * 2 * sizeof(VertexId);
+  expected += static_cast<unsigned __int128>(counts.num_upper) * sizeof(AttrId);
+  expected += static_cast<unsigned __int128>(counts.num_lower) * sizeof(AttrId);
+  if (expected !=
+      file_size - static_cast<std::uint64_t>(payload_start)) {
+    return Status::CorruptInput(
+        "snapshot payload size does not match its header counts: " + path);
+  }
+
+  std::vector<EdgeIndex> upper_offsets;
+  std::vector<VertexId> upper_neighbors;
+  std::vector<EdgeIndex> lower_offsets;
+  std::vector<VertexId> lower_neighbors;
+  std::vector<AttrId> upper_attrs;
+  std::vector<AttrId> lower_attrs;
+  if (!ReadArray(in, counts.num_upper + std::size_t{1}, &upper_offsets) ||
+      !ReadArray(in, counts.num_edges, &upper_neighbors) ||
+      !ReadArray(in, counts.num_lower + std::size_t{1}, &lower_offsets) ||
+      !ReadArray(in, counts.num_edges, &lower_neighbors) ||
+      !ReadArray(in, counts.num_upper, &upper_attrs) ||
+      !ReadArray(in, counts.num_lower, &lower_attrs)) {
+    return Status::CorruptInput("truncated snapshot payload: " + path);
+  }
+  std::uint64_t state = Fnv1a64(&counts, sizeof(counts));
+  state = FoldSpan(state, std::span<const EdgeIndex>(upper_offsets));
+  state = FoldSpan(state, std::span<const VertexId>(upper_neighbors));
+  state = FoldSpan(state, std::span<const EdgeIndex>(lower_offsets));
+  state = FoldSpan(state, std::span<const VertexId>(lower_neighbors));
+  state = FoldSpan(state, std::span<const AttrId>(upper_attrs));
+  state = FoldSpan(state, std::span<const AttrId>(lower_attrs));
+  if (state != checksum) {
+    return Status::CorruptInput("snapshot checksum mismatch: " + path);
+  }
+
+  BipartiteGraph g(std::move(upper_offsets), std::move(upper_neighbors),
+                   std::move(lower_offsets), std::move(lower_neighbors),
+                   std::move(upper_attrs), std::move(lower_attrs),
+                   static_cast<AttrId>(counts.num_upper_attrs),
+                   static_cast<AttrId>(counts.num_lower_attrs));
+  Status valid = g.Validate();
+  if (!valid.ok()) {
+    return Status::CorruptInput("snapshot fails graph validation (" +
+                                valid.message() + "): " + path);
+  }
+  return g;
+}
+
+}  // namespace fairbc

@@ -1,0 +1,63 @@
+#ifndef FAIRBC_GRAPH_SNAPSHOT_H_
+#define FAIRBC_GRAPH_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "graph/bipartite_graph.h"
+
+namespace fairbc {
+
+/// Versioned binary snapshot of an attributed bipartite graph. Loading a
+/// snapshot is a handful of bulk reads straight into the CSR vectors — no
+/// text parsing — which is what makes GraphCatalog preloading cheap.
+///
+/// Layout (native-endian; the checksum catches cross-endian loads too,
+/// since the payload bytes differ):
+///
+///   magic              8 bytes   "FBCSNAP1"
+///   version            u32       kSnapshotVersion
+///   reserved           u32       0
+///   checksum           u64       FNV-1a over the count fields + payload
+///   num_upper          u32
+///   num_lower          u32
+///   num_edges          u64
+///   num_upper_attrs    u16
+///   num_lower_attrs    u16
+///   reserved           u32       0
+///   upper_offsets      (num_upper + 1) x u64
+///   upper_neighbors    num_edges x u32
+///   lower_offsets      (num_lower + 1) x u64
+///   lower_neighbors    num_edges x u32
+///   upper_attrs        num_upper x u16
+///   lower_attrs        num_lower x u16
+///
+/// ReadSnapshot validates magic, version, checksum, exact file length and
+/// the full BipartiteGraph::Validate() invariants; every failure is a
+/// Status (kCorruptInput / kNotFound), never a crash.
+
+inline constexpr char kSnapshotMagic[8] = {'F', 'B', 'C', 'S', 'N', 'A', 'P', '1'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Incremental FNV-1a (64-bit) over a byte range.
+std::uint64_t Fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t state = 14695981039346656037ULL);
+
+/// Content fingerprint of a graph: FNV-1a over the vertex/edge/attr-domain
+/// counts followed by the six CSR arrays — exactly the bytes a snapshot's
+/// checksum covers, so `GraphFingerprint(g) == header.checksum` for a
+/// snapshot of `g`. GraphCatalog versions and ResultCache keys use this;
+/// two graphs with equal fingerprints are treated as identical content.
+std::uint64_t GraphFingerprint(const BipartiteGraph& g);
+
+/// Writes `g` to `path` in the format above. Overwrites existing files.
+Status WriteSnapshot(const BipartiteGraph& g, const std::string& path);
+
+/// Reads a snapshot written by WriteSnapshot. The returned graph is
+/// byte-identical to the one written (same CSR arrays, same fingerprint).
+Result<BipartiteGraph> ReadSnapshot(const std::string& path);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_GRAPH_SNAPSHOT_H_

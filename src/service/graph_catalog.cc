@@ -1,0 +1,96 @@
+#include "service/graph_catalog.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "graph/io.h"
+#include "graph/snapshot.h"
+
+namespace fairbc {
+
+namespace {
+
+Status Publish(std::mutex& mu,
+               std::map<std::string, std::shared_ptr<const CatalogEntry>>& map,
+               const std::string& name, BipartiteGraph graph,
+               const std::string& source, double load_seconds) {
+  if (name.empty()) {
+    return Status::InvalidArgument("catalog name must be nonempty");
+  }
+  auto entry = std::make_shared<CatalogEntry>();
+  entry->name = name;
+  entry->version = GraphFingerprint(graph);
+  entry->source = source;
+  entry->load_seconds = load_seconds;
+  entry->graph = std::move(graph);
+  std::lock_guard<std::mutex> lock(mu);
+  map[name] = std::move(entry);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status GraphCatalog::AddGraph(const std::string& name, BipartiteGraph graph,
+                              const std::string& source) {
+  return Publish(mu_, entries_, name, std::move(graph), source,
+                 /*load_seconds=*/0.0);
+}
+
+Status GraphCatalog::AddFromFile(const std::string& name,
+                                 const std::string& path, Format format) {
+  Timer timer;
+  Result<BipartiteGraph> loaded =
+      format == Format::kSnapshot ? ReadSnapshot(path)
+      : format == Format::kAttr   ? ReadAttributedGraph(path)
+                                  : ReadEdgeList(path);
+  if (!loaded.ok()) return loaded.status();
+  return Publish(mu_, entries_, name, std::move(loaded).value(), path,
+                 timer.ElapsedSeconds());
+}
+
+std::shared_ptr<const CatalogEntry> GraphCatalog::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+bool GraphCatalog::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.erase(name) > 0;
+}
+
+std::vector<std::shared_ptr<const CatalogEntry>> GraphCatalog::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const CatalogEntry>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+std::size_t GraphCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::optional<GraphCatalog::Format> ParseCatalogFormat(
+    const std::string& name) {
+  if (name == "snapshot") return GraphCatalog::Format::kSnapshot;
+  if (name == "attr") return GraphCatalog::Format::kAttr;
+  if (name == "edges") return GraphCatalog::Format::kEdges;
+  return std::nullopt;
+}
+
+const char* ToString(GraphCatalog::Format format) {
+  switch (format) {
+    case GraphCatalog::Format::kAttr:
+      return "attr";
+    case GraphCatalog::Format::kEdges:
+      return "edges";
+    case GraphCatalog::Format::kSnapshot:
+      break;
+  }
+  return "snapshot";
+}
+
+}  // namespace fairbc

@@ -1,0 +1,96 @@
+#include "service/query.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "graph/snapshot.h"
+
+namespace fairbc {
+
+std::uint64_t BicliqueHash(const Biclique& b) {
+  // FNV over the upper ids, a side separator, then the lower ids. The
+  // per-biclique hash is order-*dependent* (vertex lists are canonically
+  // sorted), the set digest built from it is order-independent.
+  std::uint64_t state = Fnv1a64(b.upper.data(),
+                                b.upper.size() * sizeof(VertexId));
+  const std::uint32_t separator = 0x5eb1c11eu;
+  state = Fnv1a64(&separator, sizeof(separator), state);
+  return Fnv1a64(b.lower.data(), b.lower.size() * sizeof(VertexId), state);
+}
+
+BicliqueSink DigestAccumulator::Wrap(BicliqueSink inner) {
+  return [this, inner = std::move(inner)](const Biclique& b) {
+    ++count_;
+    digest_ += BicliqueHash(b);
+    max_upper_ = std::max(max_upper_, static_cast<std::uint32_t>(b.upper.size()));
+    max_lower_ = std::max(max_lower_, static_cast<std::uint32_t>(b.lower.size()));
+    return inner(b);
+  };
+}
+
+void DigestAccumulator::FillSummary(QuerySummary* summary) const {
+  summary->count = count_;
+  summary->digest = digest_;
+  summary->max_upper = max_upper_;
+  summary->max_lower = max_lower_;
+}
+
+std::string CanonicalCacheKey(const QueryRequest& req,
+                              std::uint64_t graph_version) {
+  char buf[160];
+  // %.17g round-trips every double, so distinct thetas never collide.
+  std::snprintf(buf, sizeof(buf), "@%016llx|%s|%s|a=%u|b=%u|d=%u|t=%.17g|%s|%s",
+                static_cast<unsigned long long>(graph_version),
+                ToString(req.model), ToString(req.algo), req.params.alpha,
+                req.params.beta, req.params.delta, req.params.theta,
+                ToString(req.options.ordering), ToString(req.options.pruning));
+  return req.graph + buf;
+}
+
+std::optional<FairModel> ParseFairModel(const std::string& name) {
+  if (name == "ssfbc") return FairModel::kSsfbc;
+  if (name == "bsfbc") return FairModel::kBsfbc;
+  return std::nullopt;
+}
+
+std::optional<FairAlgo> ParseFairAlgo(const std::string& name) {
+  if (name == "pp") return FairAlgo::kPlusPlus;
+  if (name == "bcem") return FairAlgo::kBcem;
+  if (name == "naive") return FairAlgo::kNaive;
+  return std::nullopt;
+}
+
+const char* ToString(FairModel model) {
+  return model == FairModel::kBsfbc ? "bsfbc" : "ssfbc";
+}
+
+const char* ToString(FairAlgo algo) {
+  switch (algo) {
+    case FairAlgo::kBcem:
+      return "bcem";
+    case FairAlgo::kNaive:
+      return "naive";
+    case FairAlgo::kPlusPlus:
+      break;
+  }
+  return "pp";
+}
+
+const char* ToString(VertexOrdering ordering) {
+  return ordering == VertexOrdering::kId ? "id" : "deg";
+}
+
+const char* ToString(PruningLevel level) {
+  switch (level) {
+    case PruningLevel::kNone:
+      return "none";
+    case PruningLevel::kCore:
+      return "core";
+    case PruningLevel::kColorful:
+      break;
+  }
+  return "colorful";
+}
+
+}  // namespace fairbc

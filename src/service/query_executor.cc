@@ -1,0 +1,70 @@
+#include "service/query_executor.h"
+
+#include "common/timer.h"
+
+namespace fairbc {
+
+QueryExecutor::QueryExecutor(const GraphCatalog& catalog,
+                             const QueryExecutorOptions& options)
+    : catalog_(catalog),
+      cache_(options.cache_capacity),
+      pool_(ResolveNumThreads(options.num_threads)) {}
+
+QueryResult QueryExecutor::Execute(const QueryRequest& request) {
+  Timer timer;
+  QueryResult out;
+  std::shared_ptr<const CatalogEntry> entry = catalog_.Get(request.graph);
+  if (entry == nullptr) {
+    out.status = Status::NotFound("unknown graph: " + request.graph);
+    out.seconds = timer.ElapsedSeconds();
+    return out;
+  }
+  out.graph_version = entry->version;
+
+  const std::string key = CanonicalCacheKey(request, entry->version);
+  if (request.use_cache && !request.include_bicliques) {
+    if (std::optional<QuerySummary> hit = cache_.Lookup(key)) {
+      out.summary = *hit;
+      out.cache_hit = true;
+      out.seconds = timer.ElapsedSeconds();
+      return out;
+    }
+  }
+
+  DigestAccumulator digest;
+  BicliqueSink inner;
+  if (request.include_bicliques) {
+    inner = [&out](const Biclique& b) {
+      out.bicliques.push_back(b);
+      return true;
+    };
+  } else {
+    inner = [](const Biclique&) { return true; };
+  }
+  // The pipeline entry points serialize sink invocation, so the plain
+  // accumulator and vector push_back are safe at any num_threads.
+  out.summary.stats =
+      RunEnumeration(entry->graph, request.model, request.algo, request.params,
+                     request.options, digest.Wrap(std::move(inner)));
+  digest.FillSummary(&out.summary);
+
+  // Partial runs (deadline/budget tripped) must not poison the cache.
+  if (request.use_cache && !out.summary.stats.budget_exhausted) {
+    cache_.Insert(key, out.summary);
+  }
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+std::vector<QueryResult> QueryExecutor::ExecuteBatch(
+    const std::vector<QueryRequest>& requests) {
+  std::vector<QueryResult> results(requests.size());
+  if (requests.empty()) return results;
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  pool_.ParallelFor(requests.size(), [&](std::uint64_t i, unsigned) {
+    results[i] = Execute(requests[i]);
+  });
+  return results;
+}
+
+}  // namespace fairbc

@@ -1,0 +1,72 @@
+#ifndef FAIRBC_SERVICE_QUERY_EXECUTOR_H_
+#define FAIRBC_SERVICE_QUERY_EXECUTOR_H_
+
+#include <mutex>
+#include <vector>
+
+#include "core/parallel.h"
+#include "service/graph_catalog.h"
+#include "service/query.h"
+#include "service/result_cache.h"
+
+namespace fairbc {
+
+struct QueryExecutorOptions {
+  /// Width of the executor's work-stealing pool used by ExecuteBatch
+  /// (whole queries run as tasks). 0 = one worker per hardware thread.
+  unsigned num_threads = 0;
+  /// ResultCache capacity in entries; 0 disables cross-query reuse.
+  std::size_t cache_capacity = 256;
+};
+
+/// Concurrent query engine over a GraphCatalog: admits whole queries onto
+/// the existing work-stealing ThreadPool, shares the read-only catalog
+/// entries across them (no per-query graph copies), and reuses summaries
+/// through an LRU ResultCache.
+///
+/// Concurrency invariants:
+///  - catalog entries are immutable shared_ptr<const>, so queries read
+///    the graph with no locking; a concurrent catalog replace affects
+///    only queries admitted afterwards;
+///  - the cache is internally synchronized; the executor itself holds no
+///    lock while an engine runs;
+///  - Execute() is safe from any thread (ExecuteBatch calls it from pool
+///    workers); ExecuteBatch serializes whole batches against each other
+///    (the pool runs one ParallelFor at a time).
+///
+/// Per-query deadlines/budgets ride on EnumOptions inside the request
+/// (SearchBudget in the engines); a query hitting its budget reports
+/// stats.budget_exhausted and is never cached.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const GraphCatalog& catalog,
+                         const QueryExecutorOptions& options = {});
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  /// Runs one query on the calling thread (cache lookup, then the full
+  /// reduction + search pipeline on a cache miss). Never throws; failures
+  /// (unknown graph, invalid parameters) come back in QueryResult::status.
+  QueryResult Execute(const QueryRequest& request);
+
+  /// Runs `requests` concurrently on the executor's pool; results are
+  /// positionally aligned with the requests. Repeated parameters inside
+  /// one batch may be served from the cache as earlier queries complete.
+  std::vector<QueryResult> ExecuteBatch(
+      const std::vector<QueryRequest>& requests);
+
+  ResultCache& cache() { return cache_; }
+  const GraphCatalog& catalog() const { return catalog_; }
+  unsigned num_threads() const { return pool_.num_threads(); }
+
+ private:
+  const GraphCatalog& catalog_;
+  ResultCache cache_;
+  ThreadPool pool_;
+  std::mutex batch_mu_;  ///< one ExecuteBatch at a time (pool contract).
+};
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_SERVICE_QUERY_EXECUTOR_H_

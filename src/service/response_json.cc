@@ -1,0 +1,133 @@
+#include "service/response_json.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace fairbc {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonHex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string JsonDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string StatsJson(const EnumStats& stats) {
+  std::ostringstream os;
+  os << "{\"results\":" << stats.num_results
+     << ",\"nodes\":" << stats.search_nodes
+     << ",\"mbc\":" << stats.maximal_bicliques_visited
+     << ",\"splits\":" << stats.split_subtrees
+     << ",\"prune_s\":" << JsonDouble(stats.prune_seconds)
+     << ",\"prune_construct_s\":" << JsonDouble(stats.prune_construct_seconds)
+     << ",\"prune_color_s\":" << JsonDouble(stats.prune_color_seconds)
+     << ",\"prune_peel_s\":" << JsonDouble(stats.prune_peel_seconds)
+     << ",\"enum_s\":" << JsonDouble(stats.enum_seconds)
+     << ",\"remaining_upper\":" << stats.remaining_upper
+     << ",\"remaining_lower\":" << stats.remaining_lower
+     << ",\"peak_struct_bytes\":" << stats.peak_struct_bytes
+     << ",\"budget_exhausted\":"
+     << (stats.budget_exhausted ? "true" : "false") << "}";
+  return os.str();
+}
+
+std::string QueryParamsSummaryJson(FairModel model, FairAlgo algo,
+                                   const FairBicliqueParams& params,
+                                   const QuerySummary& summary) {
+  std::ostringstream os;
+  os << "\"model\":\"" << ToString(model) << "\",\"algo\":\""
+     << ToString(algo) << "\",\"alpha\":" << params.alpha
+     << ",\"beta\":" << params.beta << ",\"delta\":" << params.delta
+     << ",\"theta\":" << JsonDouble(params.theta)
+     << ",\"count\":" << summary.count << ",\"digest\":\""
+     << JsonHex64(summary.digest) << "\",\"max_upper\":" << summary.max_upper
+     << ",\"max_lower\":" << summary.max_lower;
+  return os.str();
+}
+
+std::string QueryResultJson(const QueryRequest& request,
+                            const QueryResult& result) {
+  if (!result.status.ok()) return ErrorJson(result.status);
+  std::ostringstream os;
+  os << "{\"ok\":true,\"cmd\":\"query\",\"graph\":\""
+     << JsonEscape(request.graph) << "\",\"version\":\""
+     << JsonHex64(result.graph_version) << "\","
+     << QueryParamsSummaryJson(request.model, request.algo, request.params,
+                               result.summary)
+     << ",\"cache_hit\":" << (result.cache_hit ? "true" : "false")
+     << ",\"seconds\":" << JsonDouble(result.seconds)
+     << ",\"stats\":" << StatsJson(result.summary.stats) << "}";
+  return os.str();
+}
+
+std::string CacheTelemetryJson(const ResultCache::Telemetry& t) {
+  std::ostringstream os;
+  os << "{\"ok\":true,\"cmd\":\"cache\",\"hits\":" << t.hits
+     << ",\"misses\":" << t.misses << ",\"insertions\":" << t.insertions
+     << ",\"evictions\":" << t.evictions << ",\"entries\":" << t.entries
+     << ",\"capacity\":" << t.capacity
+     << ",\"hit_rate\":" << JsonDouble(t.HitRate()) << "}";
+  return os.str();
+}
+
+std::string CatalogEntryJson(const CatalogEntry& entry) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << JsonEscape(entry.name) << "\",\"version\":\""
+     << JsonHex64(entry.version) << "\",\"source\":\""
+     << JsonEscape(entry.source)
+     << "\",\"upper\":" << entry.graph.NumUpper()
+     << ",\"lower\":" << entry.graph.NumLower()
+     << ",\"edges\":" << entry.graph.NumEdges()
+     << ",\"memory_bytes\":" << entry.graph.MemoryBytes()
+     << ",\"load_seconds\":" << JsonDouble(entry.load_seconds) << "}";
+  return os.str();
+}
+
+std::string ErrorJson(const std::string& message) {
+  return "{\"ok\":false,\"error\":\"" + JsonEscape(message) + "\"}";
+}
+
+std::string ErrorJson(const Status& status) {
+  return ErrorJson(status.ToString());
+}
+
+}  // namespace fairbc

@@ -1,0 +1,59 @@
+#ifndef FAIRBC_SERVICE_RESPONSE_JSON_H_
+#define FAIRBC_SERVICE_RESPONSE_JSON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/enumerate.h"
+#include "service/graph_catalog.h"
+#include "service/query.h"
+#include "service/result_cache.h"
+
+namespace fairbc {
+
+/// Single-line JSON serializers shared by `fairbc_cli --output=json` and
+/// the fairbc_server line protocol: same keys, same formatting, so the
+/// CI smoke can compare CLI output against server responses textually.
+/// All emitters produce compact JSON (no spaces after ':'), and 64-bit
+/// hashes/versions are hex strings ("0x...") to stay safely inside JSON
+/// number ranges.
+
+std::string JsonEscape(const std::string& s);
+
+/// `"0x%016x"` form used for digests and graph versions.
+std::string JsonHex64(std::uint64_t v);
+
+/// Double with round-trip precision (shortest form via %.17g is overkill
+/// for timings; %.9g keeps lines short and sub-nanosecond exact).
+std::string JsonDouble(double v);
+
+/// EnumStats as a flat object mirroring EnumStats::DebugString's fields.
+std::string StatsJson(const EnumStats& stats);
+
+/// The braceless `"model":...,...,"max_lower":N` fragment describing a
+/// query's parameters and its result summary. The server's query
+/// responses and `fairbc_cli enum --output=json` both embed exactly
+/// this fragment — one emitter, so the key set can never drift apart
+/// (the CI smoke compares the two textually).
+std::string QueryParamsSummaryJson(FairModel model, FairAlgo algo,
+                                   const FairBicliqueParams& params,
+                                   const QuerySummary& summary);
+
+/// Full query response (the server's `query` reply; the CLI's enum
+/// --output=json embeds the same object under identical keys).
+std::string QueryResultJson(const QueryRequest& request,
+                            const QueryResult& result);
+
+/// Cache telemetry reply.
+std::string CacheTelemetryJson(const ResultCache::Telemetry& t);
+
+/// One catalog entry (the server's `catalog` reply lists these).
+std::string CatalogEntryJson(const CatalogEntry& entry);
+
+/// Uniform error reply: {"ok":false,"error":"..."}.
+std::string ErrorJson(const std::string& message);
+std::string ErrorJson(const Status& status);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_SERVICE_RESPONSE_JSON_H_

@@ -1,0 +1,56 @@
+#include "service/result_cache.h"
+
+namespace fairbc {
+
+std::optional<QuerySummary> ResultCache::Lookup(const std::string& key) {
+  if (capacity_ == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::Insert(const std::string& key, const QuerySummary& summary) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++insertions_;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = summary;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, summary);
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCache::Telemetry ResultCache::telemetry() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Telemetry t;
+  t.hits = hits_;
+  t.misses = misses_;
+  t.insertions = insertions_;
+  t.evictions = evictions_;
+  t.entries = lru_.size();
+  t.capacity = capacity_;
+  return t;
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  hits_ = misses_ = insertions_ = evictions_ = 0;
+}
+
+}  // namespace fairbc

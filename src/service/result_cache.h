@@ -1,0 +1,75 @@
+#ifndef FAIRBC_SERVICE_RESULT_CACHE_H_
+#define FAIRBC_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "service/query.h"
+
+namespace fairbc {
+
+/// Thread-safe LRU cache of query summaries, keyed on the canonical
+/// (graph version, model, parameters) string (CanonicalCacheKey). The
+/// parameter-sweep workloads (the fig2/fig5/fig7 shape) re-issue
+/// near-identical queries, so even a small cache absorbs most repeats.
+/// Capacity 0 disables the cache (every lookup misses, inserts drop).
+///
+/// Graph versions are content fingerprints, so replacing a catalog entry
+/// with different content naturally invalidates its cached summaries —
+/// the stale keys simply age out of the LRU list.
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached summary and refreshes its recency, or nullopt.
+  std::optional<QuerySummary> Lookup(const std::string& key);
+
+  /// Inserts or refreshes `key`; evicts the least-recently-used entry
+  /// when over capacity.
+  void Insert(const std::string& key, const QuerySummary& summary);
+
+  /// Hit/miss/eviction counters since construction (or the last Clear).
+  struct Telemetry {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+
+    double HitRate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+  Telemetry telemetry() const;
+
+  /// Drops all entries and resets the counters.
+  void Clear();
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<std::string, QuerySummary>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_SERVICE_RESULT_CACHE_H_

@@ -98,6 +98,90 @@ TEST(CliEndToEnd, CountOnlyMode) {
   EXPECT_NE(count.output.find("count:"), std::string::npos);
 }
 
+// Extracts the value of a flat `"key":value` / `"key":"value"` JSON
+// field from a single-line response; empty when absent.
+std::string JsonField(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  auto pos = json.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  std::string out;
+  if (json[pos] == '"') {
+    for (++pos; pos < json.size() && json[pos] != '"'; ++pos) out += json[pos];
+  } else {
+    for (; pos < json.size() && json[pos] != ',' && json[pos] != '}'; ++pos) {
+      out += json[pos];
+    }
+  }
+  return out;
+}
+
+TEST(CliEndToEnd, SnapshotSaveLoadRoundTrip) {
+  std::string graph = GraphPath();
+  std::string snap = ::testing::TempDir() + "/fairbc_cli_graph.snap";
+  ASSERT_EQ(RunCli("gen --out=" + graph +
+                " --kind=affiliation --nu=300 --nv=300 --communities=15"
+                " --seed=5")
+                .exit_code,
+            0);
+
+  CommandResult save =
+      RunCli("snapshot save --graph=" + graph + " --out=" + snap);
+  ASSERT_EQ(save.exit_code, 0) << save.output;
+  EXPECT_NE(save.output.find("wrote snapshot"), std::string::npos);
+
+  CommandResult load = RunCli("snapshot load --graph=" + snap);
+  ASSERT_EQ(load.exit_code, 0) << load.output;
+  EXPECT_NE(load.output.find("loaded snapshot"), std::string::npos);
+  // Save and load report the same content version.
+  auto version_of = [](const std::string& s) {
+    auto pos = s.find("version ");
+    return s.substr(pos, 8 + 18);
+  };
+  EXPECT_EQ(version_of(save.output), version_of(load.output));
+
+  // Corrupt snapshots fail with a Status, not a crash.
+  {
+    std::ofstream out(snap, std::ios::binary | std::ios::app);
+    out << "garbage";
+  }
+  CommandResult corrupt = RunCli("snapshot load --graph=" + snap);
+  EXPECT_NE(corrupt.exit_code, 0);
+  EXPECT_NE(corrupt.output.find("CORRUPT_INPUT"), std::string::npos);
+}
+
+TEST(CliEndToEnd, JsonOutputMatchesAcrossFormats) {
+  std::string graph = GraphPath();
+  std::string snap = ::testing::TempDir() + "/fairbc_cli_json.snap";
+  ASSERT_EQ(RunCli("gen --out=" + graph +
+                " --kind=affiliation --nu=300 --nv=300 --communities=15"
+                " --seed=5")
+                .exit_code,
+            0);
+  ASSERT_EQ(RunCli("snapshot save --graph=" + graph + " --out=" + snap)
+                .exit_code,
+            0);
+
+  const std::string params =
+      " --model=ssfbc --alpha=2 --beta=2 --delta=1 --count-only"
+      " --output=json";
+  CommandResult from_text = RunCli("enum --graph=" + graph + params);
+  ASSERT_EQ(from_text.exit_code, 0) << from_text.output;
+  CommandResult from_snap =
+      RunCli("enum --graph=" + snap + " --format=snapshot" + params);
+  ASSERT_EQ(from_snap.exit_code, 0) << from_snap.output;
+
+  // Same graph content → same count and result-set digest, whichever
+  // format it was loaded from.
+  EXPECT_NE(JsonField(from_text.output, "count"), "");
+  EXPECT_EQ(JsonField(from_text.output, "count"),
+            JsonField(from_snap.output, "count"));
+  EXPECT_NE(JsonField(from_text.output, "digest"), "");
+  EXPECT_EQ(JsonField(from_text.output, "digest"),
+            JsonField(from_snap.output, "digest"));
+  EXPECT_EQ(JsonField(from_text.output, "budget_exhausted"), "false");
+}
+
 TEST(CliEndToEnd, UnknownCommandFails) {
   CommandResult r = RunCli("frobnicate");
   EXPECT_NE(r.exit_code, 0);

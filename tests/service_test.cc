@@ -1,0 +1,331 @@
+// Service-layer tests: GraphCatalog semantics, ResultCache LRU +
+// telemetry, and the concurrent-query equivalence acceptance criterion —
+// batches executed on pool widths {2, 8} must return results
+// byte-identical to serial pipeline runs, with cache hits verified on
+// repeated parameters and the snapshot load measurably faster than the
+// text parse on the largest generator config.
+
+#include "service/query_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/snapshot.h"
+#include "service/graph_catalog.h"
+#include "service/query.h"
+#include "service/response_json.h"
+#include "service/result_cache.h"
+#include "test_util.h"
+
+namespace fairbc {
+namespace {
+
+BipartiteGraph ServiceTestGraph() {
+  AffiliationConfig config;
+  config.num_upper = 400;
+  config.num_lower = 400;
+  config.num_communities = 20;
+  config.seed = 23;
+  return MakeAffiliation(config);
+}
+
+QuerySummary SummaryWithCount(std::uint64_t count) {
+  QuerySummary s;
+  s.count = count;
+  return s;
+}
+
+TEST(GraphCatalogTest, AddGetRemoveAndVersioning) {
+  GraphCatalog catalog;
+  EXPECT_EQ(catalog.Get("g"), nullptr);
+  EXPECT_FALSE(catalog.AddGraph("", ServiceTestGraph()).ok());
+
+  ASSERT_TRUE(catalog.AddGraph("g", ServiceTestGraph()).ok());
+  auto entry = catalog.Get("g");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->name, "g");
+  EXPECT_EQ(entry->version, GraphFingerprint(entry->graph));
+  EXPECT_EQ(catalog.size(), 1u);
+
+  // Replacing a name publishes a new entry; the old handle stays valid
+  // and unchanged (immutability invariant).
+  ASSERT_TRUE(catalog.AddGraph("g", MakeUniformRandom(50, 50, 200, 2, 9)).ok());
+  auto replaced = catalog.Get("g");
+  ASSERT_NE(replaced, nullptr);
+  EXPECT_NE(replaced->version, entry->version);
+  EXPECT_EQ(entry->graph.NumUpper(), 400u);  // old handle untouched.
+
+  EXPECT_TRUE(catalog.Remove("g"));
+  EXPECT_FALSE(catalog.Remove("g"));
+  EXPECT_EQ(catalog.Get("g"), nullptr);
+}
+
+TEST(GraphCatalogTest, AddFromFileAllFormatsAndErrors) {
+  GraphCatalog catalog;
+  const BipartiteGraph g = ServiceTestGraph();
+  const std::string attr_path = ::testing::TempDir() + "/catalog_g.fbg";
+  const std::string snap_path = ::testing::TempDir() + "/catalog_g.snap";
+  ASSERT_TRUE(WriteAttributedGraph(g, attr_path).ok());
+  ASSERT_TRUE(WriteSnapshot(g, snap_path).ok());
+
+  ASSERT_TRUE(
+      catalog.AddFromFile("t", attr_path, GraphCatalog::Format::kAttr).ok());
+  ASSERT_TRUE(
+      catalog.AddFromFile("s", snap_path, GraphCatalog::Format::kSnapshot).ok());
+  // Same content through either path → same version.
+  EXPECT_EQ(catalog.Get("t")->version, catalog.Get("s")->version);
+
+  Status missing = catalog.AddFromFile("x", ::testing::TempDir() + "/nope.snap",
+                                       GraphCatalog::Format::kSnapshot);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(catalog.Get("x"), nullptr);
+
+  // A text file fed to the snapshot loader fails with a Status.
+  Status wrong =
+      catalog.AddFromFile("x", attr_path, GraphCatalog::Format::kSnapshot);
+  EXPECT_FALSE(wrong.ok());
+}
+
+TEST(ResultCacheTest, LruEvictionAndTelemetry) {
+  ResultCache cache(2);
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+  cache.Insert("a", SummaryWithCount(1));
+  cache.Insert("b", SummaryWithCount(2));
+  ASSERT_TRUE(cache.Lookup("a").has_value());  // refreshes a's recency.
+  cache.Insert("c", SummaryWithCount(3));      // evicts b, not a.
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  ASSERT_TRUE(cache.Lookup("c").has_value());
+  EXPECT_EQ(cache.Lookup("c")->count, 3u);
+
+  auto t = cache.telemetry();
+  EXPECT_EQ(t.evictions, 1u);
+  EXPECT_EQ(t.entries, 2u);
+  EXPECT_EQ(t.insertions, 3u);
+  EXPECT_EQ(t.hits + t.misses, 6u);  // the six Lookup calls above.
+
+  cache.Clear();
+  t = cache.telemetry();
+  EXPECT_EQ(t.entries, 0u);
+  EXPECT_EQ(t.hits, 0u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  cache.Insert("a", SummaryWithCount(1));
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+  EXPECT_EQ(cache.telemetry().insertions, 0u);
+}
+
+TEST(CacheKeyTest, DistinguishesEveryParameter) {
+  QueryRequest base;
+  base.graph = "g";
+  base.params = {2, 2, 1, 0.0};
+  const std::string key = CanonicalCacheKey(base, 42);
+
+  EXPECT_EQ(CanonicalCacheKey(base, 42), key);
+  EXPECT_NE(CanonicalCacheKey(base, 43), key);
+  auto differ = [&](auto mutate) {
+    QueryRequest req = base;
+    mutate(req);
+    return CanonicalCacheKey(req, 42);
+  };
+  EXPECT_NE(differ([](QueryRequest& r) { r.model = FairModel::kBsfbc; }), key);
+  EXPECT_NE(differ([](QueryRequest& r) { r.algo = FairAlgo::kNaive; }), key);
+  EXPECT_NE(differ([](QueryRequest& r) { r.params.alpha = 3; }), key);
+  EXPECT_NE(differ([](QueryRequest& r) { r.params.beta = 3; }), key);
+  EXPECT_NE(differ([](QueryRequest& r) { r.params.delta = 2; }), key);
+  EXPECT_NE(differ([](QueryRequest& r) { r.params.theta = 0.3; }), key);
+  EXPECT_NE(differ([](QueryRequest& r) {
+              r.options.ordering = VertexOrdering::kId;
+            }),
+            key);
+  EXPECT_NE(differ([](QueryRequest& r) {
+              r.options.pruning = PruningLevel::kNone;
+            }),
+            key);
+  // Thread count deliberately does NOT change the key.
+  EXPECT_EQ(differ([](QueryRequest& r) { r.options.num_threads = 8; }), key);
+}
+
+std::vector<QueryRequest> MixedRequests(const std::string& graph) {
+  std::vector<QueryRequest> requests;
+  for (auto model : {FairModel::kSsfbc, FairModel::kBsfbc}) {
+    for (std::uint32_t alpha = 2; alpha <= 3; ++alpha) {
+      for (std::uint32_t delta = 1; delta <= 2; ++delta) {
+        QueryRequest req;
+        req.graph = graph;
+        req.model = model;
+        req.params = {alpha, 2, delta, 0.0};
+        req.include_bicliques = true;
+        requests.push_back(req);
+      }
+    }
+  }
+  return requests;
+}
+
+/// Acceptance criterion: concurrent batches on pool widths {2, 8} return
+/// result sets byte-identical to serial pipeline runs of the same
+/// queries, and repeated parameters afterwards are served from the cache
+/// with the same summary.
+TEST(QueryExecutorTest, ConcurrentBatchesMatchSerialRuns) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", ServiceTestGraph()).ok());
+  const std::vector<QueryRequest> requests = MixedRequests("g");
+
+  // Serial reference: the plain pipeline entry points, num_threads = 1.
+  std::vector<std::vector<Biclique>> expected;
+  std::vector<EnumStats> expected_stats;
+  for (const QueryRequest& req : requests) {
+    CollectSink sink;
+    expected_stats.push_back(RunEnumeration(ServiceTestGraph(), req.model,
+                                            req.algo, req.params, req.options,
+                                            sink.AsSink()));
+    expected.push_back(testing::Canonicalize(sink.results()));
+    ASSERT_FALSE(expected.back().empty());
+  }
+
+  for (unsigned width : {2u, 8u}) {
+    QueryExecutorOptions options;
+    options.num_threads = width;
+    QueryExecutor executor(catalog, options);
+    ASSERT_EQ(executor.num_threads(), width);
+
+    std::vector<QueryResult> results = executor.ExecuteBatch(requests);
+    ASSERT_EQ(results.size(), requests.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].status.ok()) << results[i].status.ToString();
+      EXPECT_FALSE(results[i].cache_hit);  // all parameter points distinct.
+      EXPECT_EQ(testing::Canonicalize(results[i].bicliques), expected[i])
+          << "width=" << width << " query=" << i;
+      EXPECT_EQ(results[i].summary.count, expected_stats[i].num_results);
+      EXPECT_EQ(results[i].summary.stats.num_results,
+                expected_stats[i].num_results);
+    }
+
+    // Replay summary-only: every repeat must hit the cache and agree.
+    std::vector<QueryRequest> replay = requests;
+    for (QueryRequest& req : replay) req.include_bicliques = false;
+    std::vector<QueryResult> cached = executor.ExecuteBatch(replay);
+    for (std::size_t i = 0; i < cached.size(); ++i) {
+      ASSERT_TRUE(cached[i].status.ok());
+      EXPECT_TRUE(cached[i].cache_hit) << "width=" << width << " query=" << i;
+      EXPECT_EQ(cached[i].summary.count, results[i].summary.count);
+      EXPECT_EQ(cached[i].summary.digest, results[i].summary.digest);
+    }
+    const auto telemetry = executor.cache().telemetry();
+    EXPECT_EQ(telemetry.hits, requests.size());
+    EXPECT_GE(telemetry.insertions, requests.size());
+  }
+}
+
+TEST(QueryExecutorTest, DigestIsThreadCountInvariant) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", ServiceTestGraph()).ok());
+  QueryExecutor executor(catalog, {});
+
+  QueryRequest req;
+  req.graph = "g";
+  req.params = {2, 2, 1, 0.0};
+  req.use_cache = false;  // force real runs.
+  QueryResult serial = executor.Execute(req);
+  ASSERT_TRUE(serial.status.ok());
+
+  req.options.num_threads = 4;  // parallel search inside one query.
+  QueryResult parallel = executor.Execute(req);
+  ASSERT_TRUE(parallel.status.ok());
+  EXPECT_EQ(parallel.summary.count, serial.summary.count);
+  EXPECT_EQ(parallel.summary.digest, serial.summary.digest);
+  EXPECT_EQ(parallel.summary.max_upper, serial.summary.max_upper);
+  EXPECT_EQ(parallel.summary.max_lower, serial.summary.max_lower);
+}
+
+TEST(QueryExecutorTest, UnknownGraphAndNoCachePaths) {
+  GraphCatalog catalog;
+  QueryExecutorOptions options;
+  options.num_threads = 2;
+  QueryExecutor executor(catalog, options);
+
+  QueryRequest req;
+  req.graph = "missing";
+  QueryResult result = executor.Execute(req);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(catalog.AddGraph("g", ServiceTestGraph()).ok());
+  req.graph = "g";
+  req.use_cache = false;
+  EXPECT_TRUE(executor.Execute(req).status.ok());
+  EXPECT_TRUE(executor.Execute(req).status.ok());
+  EXPECT_EQ(executor.cache().telemetry().hits, 0u);
+  EXPECT_EQ(executor.cache().telemetry().insertions, 0u);
+}
+
+TEST(QueryExecutorTest, BudgetExhaustedRunsAreNotCached) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", ServiceTestGraph()).ok());
+  QueryExecutor executor(catalog, {});
+
+  QueryRequest req;
+  req.graph = "g";
+  req.params = {1, 1, 4, 0.0};
+  req.options.node_budget = 1;  // trips immediately.
+  QueryResult result = executor.Execute(req);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_TRUE(result.summary.stats.budget_exhausted);
+  EXPECT_EQ(executor.cache().telemetry().insertions, 0u);
+
+  // The partial run must not be served to an unbudgeted repeat.
+  req.options.node_budget = 0;
+  QueryResult full = executor.Execute(req);
+  ASSERT_TRUE(full.status.ok());
+  EXPECT_FALSE(full.cache_hit);
+  EXPECT_FALSE(full.summary.stats.budget_exhausted);
+  EXPECT_GE(full.summary.count, result.summary.count);
+}
+
+/// Acceptance criterion: loading the largest generator config from a
+/// binary snapshot is measurably faster than parsing the text format.
+TEST(SnapshotSpeedTest, SnapshotLoadsFasterThanTextParse) {
+  // The largest generator config exercised in tests: ~100k edges.
+  const BipartiteGraph g = MakeUniformRandom(20000, 20000, 100000, 4, 3);
+  const std::string attr_path = ::testing::TempDir() + "/speed.fbg";
+  const std::string snap_path = ::testing::TempDir() + "/speed.snap";
+  ASSERT_TRUE(WriteAttributedGraph(g, attr_path).ok());
+  ASSERT_TRUE(WriteSnapshot(g, snap_path).ok());
+
+  // Best-of-3 per loader to damp scheduler/page-cache noise; the text
+  // parser does per-token integer parsing, the snapshot loader six bulk
+  // reads, so the gap is large (>5x) and the assertion has headroom.
+  double text_seconds = 1e9;
+  double snap_seconds = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer t1;
+    auto parsed = ReadAttributedGraph(attr_path);
+    ASSERT_TRUE(parsed.ok());
+    text_seconds = std::min(text_seconds, t1.ElapsedSeconds());
+
+    Timer t2;
+    auto loaded = ReadSnapshot(snap_path);
+    ASSERT_TRUE(loaded.ok());
+    snap_seconds = std::min(snap_seconds, t2.ElapsedSeconds());
+
+    if (rep == 0) {
+      EXPECT_EQ(GraphFingerprint(parsed.value()),
+                GraphFingerprint(loaded.value()));
+    }
+  }
+  EXPECT_LT(snap_seconds, text_seconds)
+      << "snapshot load " << snap_seconds << "s vs text parse "
+      << text_seconds << "s";
+}
+
+}  // namespace
+}  // namespace fairbc

@@ -1,0 +1,208 @@
+// Binary snapshot round-trip and error-path tests (graph/snapshot.h):
+// save/load must reproduce byte-identical CSR arrays for every generator
+// family, and every corruption mode (bad magic, bad version, truncation,
+// flipped payload bytes, trailing garbage) must come back as a Status —
+// never a crash.
+
+#include "graph/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace fairbc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+template <typename T>
+void ExpectSpansEqual(std::span<const T> a, std::span<const T> b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::vector<T>(a.begin(), a.end()),
+            std::vector<T>(b.begin(), b.end()));
+}
+
+void ExpectByteIdentical(const BipartiteGraph& a, const BipartiteGraph& b) {
+  EXPECT_EQ(a.NumUpper(), b.NumUpper());
+  EXPECT_EQ(a.NumLower(), b.NumLower());
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  for (Side side : {Side::kUpper, Side::kLower}) {
+    EXPECT_EQ(a.NumAttrs(side), b.NumAttrs(side));
+    ExpectSpansEqual(a.Offsets(side), b.Offsets(side));
+    ExpectSpansEqual(a.NeighborArray(side), b.NeighborArray(side));
+    ExpectSpansEqual(a.AttrArray(side), b.AttrArray(side));
+  }
+  EXPECT_EQ(GraphFingerprint(a), GraphFingerprint(b));
+}
+
+class SnapshotRoundTrip : public ::testing::TestWithParam<const char*> {
+ protected:
+  BipartiteGraph MakeFamilyGraph() const {
+    const std::string family = GetParam();
+    if (family == "uniform") {
+      return MakeUniformRandom(400, 500, 3000, 3, 19);
+    }
+    if (family == "powerlaw") {
+      return MakePowerLaw(400, 500, 3000, 2.2, 3, 19);
+    }
+    AffiliationConfig config;
+    config.num_upper = 400;
+    config.num_lower = 500;
+    config.num_communities = 25;
+    config.seed = 19;
+    return MakeAffiliation(config);
+  }
+};
+
+TEST_P(SnapshotRoundTrip, SaveLoadByteIdentical) {
+  const BipartiteGraph g = MakeFamilyGraph();
+  const std::string path = TempPath(std::string("rt_") + GetParam() + ".snap");
+  ASSERT_TRUE(WriteSnapshot(g, path).ok());
+
+  auto loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectByteIdentical(g, loaded.value());
+  EXPECT_TRUE(loaded.value().Validate().ok());
+}
+
+TEST_P(SnapshotRoundTrip, RewriteIsDeterministic) {
+  const BipartiteGraph g = MakeFamilyGraph();
+  const std::string p1 = TempPath("det1.snap");
+  const std::string p2 = TempPath("det2.snap");
+  ASSERT_TRUE(WriteSnapshot(g, p1).ok());
+  ASSERT_TRUE(WriteSnapshot(g, p2).ok());
+  EXPECT_EQ(ReadFileBytes(p1), ReadFileBytes(p2));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, SnapshotRoundTrip,
+                         ::testing::Values("uniform", "powerlaw",
+                                           "affiliation"));
+
+TEST(SnapshotTest, EmptyGraphRoundTrips) {
+  BipartiteGraph g;
+  const std::string path = TempPath("empty.snap");
+  ASSERT_TRUE(WriteSnapshot(g, path).ok());
+  auto loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectByteIdentical(g, loaded.value());
+}
+
+TEST(SnapshotTest, FingerprintMatchesHeaderAndDistinguishesContent) {
+  const BipartiteGraph a = MakeUniformRandom(100, 100, 500, 2, 1);
+  const BipartiteGraph b = MakeUniformRandom(100, 100, 500, 2, 2);
+  EXPECT_NE(GraphFingerprint(a), GraphFingerprint(b));
+  // Same topology, different attribute domain → different fingerprint.
+  const BipartiteGraph c = MakeUniformRandom(100, 100, 500, 3, 1);
+  EXPECT_NE(GraphFingerprint(a), GraphFingerprint(c));
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  auto loaded = ReadSnapshot(TempPath("does_not_exist.snap"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+class SnapshotCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = testing::RandomSmallGraph(33, 40, 0.15);
+    path_ = TempPath("corrupt.snap");
+    ASSERT_TRUE(WriteSnapshot(g_, path_).ok());
+    bytes_ = ReadFileBytes(path_);
+    ASSERT_GT(bytes_.size(), 48u);
+  }
+
+  StatusCode LoadCode() {
+    auto loaded = ReadSnapshot(path_);
+    if (loaded.ok()) return StatusCode::kOk;
+    return loaded.status().code();
+  }
+
+  BipartiteGraph g_;
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotCorruption, BadMagic) {
+  bytes_[0] = 'X';
+  WriteFileBytes(path_, bytes_);
+  EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+}
+
+TEST_F(SnapshotCorruption, UnsupportedVersion) {
+  bytes_[8] = 99;  // version field follows the 8-byte magic.
+  WriteFileBytes(path_, bytes_);
+  EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+}
+
+TEST_F(SnapshotCorruption, TruncatedHeader) {
+  WriteFileBytes(path_, bytes_.substr(0, 20));
+  EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+}
+
+TEST_F(SnapshotCorruption, TruncatedPayload) {
+  WriteFileBytes(path_, bytes_.substr(0, bytes_.size() - 7));
+  EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+}
+
+TEST_F(SnapshotCorruption, FlippedPayloadByteFailsChecksum) {
+  bytes_[bytes_.size() - 1] ^= 0x40;
+  WriteFileBytes(path_, bytes_);
+  EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+}
+
+TEST_F(SnapshotCorruption, FlippedCountFieldFailsChecksum) {
+  bytes_[24] ^= 0x01;  // num_upper, first byte of the count block.
+  WriteFileBytes(path_, bytes_);
+  EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+}
+
+TEST_F(SnapshotCorruption, HugeCountFieldRejectedBeforeAllocation) {
+  // Flipping a *high* byte of num_edges claims a multi-petabyte payload;
+  // the loader must bound counts by the file size before sizing any
+  // vector (a length_error/OOM here would crash a resident server).
+  bytes_[39] ^= 0x80;  // num_edges occupies bytes 32..39.
+  WriteFileBytes(path_, bytes_);
+  EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+
+  bytes_[39] ^= 0x80;
+  bytes_[27] ^= 0x40;  // and the same for num_upper (bytes 24..27).
+  WriteFileBytes(path_, bytes_);
+  EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+}
+
+TEST_F(SnapshotCorruption, TrailingGarbageRejected) {
+  WriteFileBytes(path_, bytes_ + "extra");
+  EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+}
+
+TEST_F(SnapshotCorruption, EmptyFileRejected) {
+  WriteFileBytes(path_, "");
+  EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+}
+
+TEST_F(SnapshotCorruption, TextFileRejected) {
+  WriteFileBytes(path_, "%fairbc 1 2 2 1 1\nE 0 0\n");
+  EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+}
+
+}  // namespace
+}  // namespace fairbc

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Service-layer smoke: generate a graph, snapshot it, serve it with
+# fairbc_server, replay a canned 20-query trace over the line protocol,
+# and assert every response's count + result-set digest matches a
+# fairbc_cli run of the same parameters. Also checks the repeated
+# queries at the end of the trace were served from the ResultCache.
+#
+# Usage: tools/ci_service_smoke.sh [BUILD_DIR]   (default: build)
+
+set -euo pipefail
+
+BUILD=${1:-build}
+CLI=$BUILD/fairbc_cli
+SERVER=$BUILD/fairbc_server
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+jsonfield() {  # jsonfield FILE_LINE KEY -> value (flat compact JSON)
+  sed -n "s/.*\"$2\":\"\{0,1\}\([^,\"}]*\)\"\{0,1\}[,}].*/\1/p" <<<"$1"
+}
+
+echo "== gen + snapshot save"
+"$CLI" gen --out="$WORK/g.fbg" --kind=affiliation --nu=400 --nv=400 \
+       --communities=20 --seed=7
+"$CLI" snapshot save --graph="$WORK/g.fbg" --out="$WORK/g.snap"
+
+echo "== build 20-query trace (16 unique + 4 repeats)"
+PARAMS=()
+for model in ssfbc bsfbc; do
+  for alpha in 2 3; do
+    for beta in 2 3; do
+      for delta in 1 2; do
+        PARAMS+=("$model $alpha $beta $delta")
+      done
+    done
+  done
+done
+# Repeats of the first four parameter points → must be cache hits.
+PARAMS+=("${PARAMS[0]}" "${PARAMS[1]}" "${PARAMS[2]}" "${PARAMS[3]}")
+test "${#PARAMS[@]}" -eq 20
+
+TRACE="$WORK/trace.txt"
+{
+  echo "load name=g path=$WORK/g.snap format=snapshot"
+  for p in "${PARAMS[@]}"; do
+    read -r model alpha beta delta <<<"$p"
+    echo "query graph=g model=$model alpha=$alpha beta=$beta delta=$delta"
+  done
+  echo "cache"
+  echo "quit"
+} > "$TRACE"
+
+echo "== replay through fairbc_server"
+"$SERVER" < "$TRACE" > "$WORK/responses.txt"
+mapfile -t RESPONSES < "$WORK/responses.txt"
+# responses: [0]=load, [1..20]=queries, [21]=cache, [22]=quit
+test "${#RESPONSES[@]}" -eq 23
+
+grep -q '"ok":true' <<<"${RESPONSES[0]}" || { echo "load failed"; exit 1; }
+
+echo "== compare each response against fairbc_cli"
+hits=0
+for i in "${!PARAMS[@]}"; do
+  read -r model alpha beta delta <<<"${PARAMS[$i]}"
+  resp="${RESPONSES[$((i + 1))]}"
+  grep -q '"ok":true' <<<"$resp" || { echo "query $i failed: $resp"; exit 1; }
+
+  cli_out=$("$CLI" enum --graph="$WORK/g.snap" --format=snapshot \
+    --model="$model" --alpha="$alpha" --beta="$beta" --delta="$delta" \
+    --count-only --output=json)
+
+  for key in count digest; do
+    want=$(jsonfield "$cli_out" $key)
+    got=$(jsonfield "$resp" $key)
+    if [ -z "$want" ] || [ "$want" != "$got" ]; then
+      echo "MISMATCH query $i ($model a=$alpha b=$beta d=$delta):"
+      echo "  server $key=$got, cli $key=$want"
+      echo "  server: $resp"
+      echo "  cli:    $cli_out"
+      exit 1
+    fi
+  done
+  if [ "$(jsonfield "$resp" cache_hit)" = "true" ]; then
+    hits=$((hits + 1))
+  fi
+done
+
+echo "== check cache telemetry"
+cache_hits=$(jsonfield "${RESPONSES[21]}" hits)
+if [ "$hits" -lt 4 ] || [ "$cache_hits" -lt 4 ]; then
+  echo "expected >=4 cache hits from the repeated queries, saw $hits" \
+       "(telemetry: $cache_hits)"
+  exit 1
+fi
+
+echo "OK: 20 responses match fairbc_cli; $hits cache hits"

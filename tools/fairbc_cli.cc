@@ -1,21 +1,30 @@
 // fairbc command-line tool.
 //
 // Usage:
-//   fairbc_cli stats   --graph=FILE [--format=edges|attr]
-//   fairbc_cli enum    --graph=FILE [--format=edges|attr] --model=ssfbc|bsfbc
+//   fairbc_cli stats   --graph=FILE [--format=edges|attr|snapshot]
+//   fairbc_cli enum    --graph=FILE [--format=edges|attr|snapshot]
+//                      --model=ssfbc|bsfbc
 //                      [--algo=pp|bcem|naive] [--alpha=A] [--beta=B]
 //                      [--delta=D] [--theta=T] [--ordering=deg|id]
 //                      [--pruning=colorful|core|none] [--budget=SECONDS]
 //                      [--threads=N] [--out=FILE] [--count-only]
-//                      [--rand-attrs=N --seed=S]
+//                      [--output=text|json] [--rand-attrs=N --seed=S]
 //   fairbc_cli gen     --out=FILE --kind=uniform|powerlaw|affiliation
 //                      [--nu=N --nv=N --edges=M --attrs=K --seed=S]
+//   fairbc_cli snapshot save --graph=FILE [--format=edges|attr] --out=SNAP
+//   fairbc_cli snapshot load --graph=SNAP
 //   fairbc_cli verify  --graph=FILE --results=FILE --model=ssfbc|bsfbc
 //                      [--alpha=A --beta=B --delta=D --theta=T]
 //
 // `--format=edges` reads a plain `u v` edge list (attributes default to
 // class 0; combine with --rand-attrs to mirror the paper's random
-// attribute assignment). `--format=attr` reads the %fairbc format.
+// attribute assignment). `--format=attr` reads the %fairbc format;
+// `--format=snapshot` reads the binary snapshot format (graph/snapshot.h,
+// written by `snapshot save` — bulk load, no text parsing).
+//
+// `--output=json` replaces enum's human-readable lines with one JSON
+// object (count, result-set digest, per-phase stats) emitted through the
+// same serializer as the fairbc_server responses.
 
 #include <iostream>
 #include <string>
@@ -27,7 +36,10 @@
 #include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "graph/snapshot.h"
 #include "graph/stats.h"
+#include "service/query.h"
+#include "service/response_json.h"
 
 namespace {
 
@@ -42,7 +54,7 @@ int Fail(const Status& status) {
 }
 
 int Usage() {
-  std::cerr << "usage: fairbc_cli <stats|enum|gen> [flags]\n"
+  std::cerr << "usage: fairbc_cli <stats|enum|gen|snapshot|verify> [flags]\n"
                "run with a command to see its flags (top of tools/"
                "fairbc_cli.cc)\n";
   return 2;
@@ -55,8 +67,9 @@ fairbc::Result<BipartiteGraph> LoadGraph(const FlagParser& flags) {
   }
   std::string format = flags.GetString("format", "attr");
   fairbc::Result<BipartiteGraph> loaded =
-      format == "edges" ? fairbc::ReadEdgeList(path)
-                        : fairbc::ReadAttributedGraph(path);
+      format == "edges"      ? fairbc::ReadEdgeList(path)
+      : format == "snapshot" ? fairbc::ReadSnapshot(path)
+                             : fairbc::ReadAttributedGraph(path);
   if (!loaded.ok()) return loaded;
   BipartiteGraph g = std::move(loaded).value();
 
@@ -115,45 +128,95 @@ int RunEnum(const FlagParser& flags) {
   }
   options.num_threads = static_cast<unsigned>(threads);
 
-  std::string model = flags.GetString("model", "ssfbc");
-  std::string algo = flags.GetString("algo", "pp");
-  auto run = [&](const fairbc::BicliqueSink& sink) {
-    if (model == "bsfbc") {
-      if (algo == "bcem") return fairbc::EnumerateBSFBC(g, params, options, sink);
-      if (algo == "naive") {
-        return fairbc::EnumerateBSFBCNaive(g, params, options, sink);
-      }
-      return fairbc::EnumerateBSFBCPlusPlus(g, params, options, sink);
-    }
-    if (algo == "bcem") return fairbc::EnumerateSSFBC(g, params, options, sink);
-    if (algo == "naive") {
-      return fairbc::EnumerateSSFBCNaive(g, params, options, sink);
-    }
-    return fairbc::EnumerateSSFBCPlusPlus(g, params, options, sink);
+  auto model = fairbc::ParseFairModel(flags.GetString("model", "ssfbc"));
+  if (!model) return Fail(Status::InvalidArgument("bad --model (ssfbc|bsfbc)"));
+  auto algo = fairbc::ParseFairAlgo(flags.GetString("algo", "pp"));
+  if (!algo) return Fail(Status::InvalidArgument("bad --algo (pp|bcem|naive)"));
+
+  const bool json = flags.GetString("output", "text") == "json";
+  // The digest feeds the JSON output; the pipeline serializes sink
+  // invocation, so the plain accumulator is safe at any --threads.
+  fairbc::DigestAccumulator digest;
+  auto run = [&](fairbc::BicliqueSink sink) {
+    if (json) sink = digest.Wrap(std::move(sink));
+    return fairbc::RunEnumeration(g, *model, *algo, params, options, sink);
   };
 
   fairbc::EnumStats stats;
-  if (flags.GetBool("count-only", false)) {
+  std::string wrote;
+  const std::string out = flags.GetString("out", "");
+  // JSON mode only ever reports count/digest/stats, so unless the
+  // bicliques are written to a file the streaming accumulator is all
+  // that's needed — never buffer the result set just to drop it.
+  if (flags.GetBool("count-only", false) || (json && out.empty())) {
     fairbc::CountSink sink;
     stats = run(sink.AsSink());
-    std::cout << "count: " << sink.count() << "\n";
+    if (!json) std::cout << "count: " << sink.count() << "\n";
   } else {
     fairbc::CollectSink sink;
     stats = run(sink.AsSink());
-    std::string out = flags.GetString("out", "");
     if (!out.empty()) {
       Status st = fairbc::WriteBicliques(sink.results(), out);
       if (!st.ok()) return Fail(st);
-      std::cout << "wrote " << sink.results().size() << " bicliques to "
-                << out << "\n";
+      wrote = out;
+      if (!json) {
+        std::cout << "wrote " << sink.results().size() << " bicliques to "
+                  << out << "\n";
+      }
     } else {
       for (const fairbc::Biclique& b : sink.results()) {
         std::cout << b.DebugString() << "\n";
       }
     }
   }
-  std::cout << "stats: " << stats.DebugString() << "\n";
+  if (json) {
+    // The params/summary fragment is the exact emitter the fairbc_server
+    // `query` response uses, so CLI runs and server responses stay
+    // textually comparable (the CI smoke relies on this).
+    fairbc::QuerySummary summary;
+    digest.FillSummary(&summary);
+    std::cout << "{\"ok\":true,\"cmd\":\"enum\","
+              << fairbc::QueryParamsSummaryJson(*model, *algo, params, summary);
+    if (!wrote.empty()) {
+      std::cout << ",\"wrote\":\"" << fairbc::JsonEscape(wrote) << "\"";
+    }
+    std::cout << ",\"stats\":" << fairbc::StatsJson(stats) << "}\n";
+  } else {
+    std::cout << "stats: " << stats.DebugString() << "\n";
+  }
   return stats.budget_exhausted ? 3 : 0;
+}
+
+int RunSnapshot(const FlagParser& flags) {
+  const auto& positional = flags.positional();
+  std::string sub = positional.empty() ? "" : positional.front();
+  if (sub == "save") {
+    // --graph/--format name the (typically text) input; --out the snapshot.
+    std::string out = flags.GetString("out", "");
+    if (out.empty()) return Fail(Status::InvalidArgument("--out is required"));
+    auto loaded = LoadGraph(flags);
+    if (!loaded.ok()) return Fail(loaded.status());
+    Status st = fairbc::WriteSnapshot(loaded.value(), out);
+    if (!st.ok()) return Fail(st);
+    std::cout << "wrote snapshot " << out << " version "
+              << fairbc::JsonHex64(fairbc::GraphFingerprint(loaded.value()))
+              << " (" << loaded.value().DebugString() << ")\n";
+    return 0;
+  }
+  if (sub == "load") {
+    std::string path = flags.GetString("graph", "");
+    if (path.empty()) {
+      return Fail(Status::InvalidArgument("--graph is required"));
+    }
+    auto loaded = fairbc::ReadSnapshot(path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    std::cout << "loaded snapshot " << path << " version "
+              << fairbc::JsonHex64(fairbc::GraphFingerprint(loaded.value()))
+              << " (" << loaded.value().DebugString() << ")\n";
+    return 0;
+  }
+  std::cerr << "usage: fairbc_cli snapshot <save|load> [flags]\n";
+  return 2;
 }
 
 int RunGen(const FlagParser& flags) {
@@ -232,6 +295,8 @@ int main(int argc, char** argv) {
     rc = RunEnum(flags);
   } else if (command == "gen") {
     rc = RunGen(flags);
+  } else if (command == "snapshot") {
+    rc = RunSnapshot(flags);
   } else if (command == "verify") {
     rc = RunVerify(flags);
   } else {
