@@ -1,17 +1,26 @@
 // Service-layer throughput: replays a mixed query trace (a shuffled
 // parameter sweep with repeats — the fig2/fig5/fig7 shape) through
 // QueryExecutor::ExecuteBatch at increasing pool widths and reports
-// per-query latency percentiles, aggregate throughput, and the
-// ResultCache hit rate. Emitted as JSON so the serving trajectory is
-// machine-readable across PRs.
+// per-query latency percentiles, aggregate throughput, the ResultCache
+// hit rate and the single-flight counters. Emitted as JSON so the
+// serving trajectory is machine-readable across PRs.
 //
 // Expected shape on a multi-core host: throughput scales with the pool
 // until queries contend for memory bandwidth; p99 tracks the most
 // expensive uncached parameter point; the hit rate is trace-determined
-// (~repeats/total; identical queries in flight at once may both miss
-// before either inserts, so wider pools can sit a few hits lower). Each
-// width gets a fresh executor so caches never leak across rows. On a
-// single-core host every row measures admission overhead only.
+// (~repeats/total; identical queries in flight at once now *coalesce*
+// behind one execution instead of both missing, so executions ≈ unique
+// points at every width). Each width gets a fresh executor so caches
+// never leak across rows. On a single-core host every row measures
+// admission overhead only.
+//
+// The trailing "duplicate_heavy" block is the burst shape single-flight
+// admission targets: few unique points, many concurrent repeats, one
+// batch at the widest pool. Its JSON must report coalesced > 0 on any
+// multi-worker run and a hit rate at least as high as the pre-
+// single-flight baseline (waiters count one miss each, exactly like the
+// both-miss behavior they replace — so the rate can only move up as
+// post-leader arrivals turn into hits).
 //
 // FAIRBC_SCALE scales the graph (default 1.0); FAIRBC_MAX_THREADS caps
 // the sweep (default 8).
@@ -136,7 +145,7 @@ int main() {
       return 1;
     }
     std::sort(latencies.begin(), latencies.end());
-    const auto telemetry = executor.cache().telemetry();
+    const auto telemetry = executor.telemetry();
 
     std::cout << (first_row ? "" : ",\n") << "    {\"threads\": " << threads
               << ", \"total_seconds\": " << fairbc::JsonDouble(total)
@@ -146,11 +155,68 @@ int main() {
               << fairbc::JsonDouble(Percentile(latencies, 0.50) * 1e3)
               << ", \"p99_ms\": "
               << fairbc::JsonDouble(Percentile(latencies, 0.99) * 1e3)
-              << ", \"cache_hits\": " << telemetry.hits
+              << ", \"cache_hits\": " << telemetry.cache.hits
               << ", \"cache_hit_rate\": "
-              << fairbc::JsonDouble(telemetry.HitRate()) << "}";
+              << fairbc::JsonDouble(telemetry.cache.HitRate())
+              << ", \"executions\": " << telemetry.executions
+              << ", \"coalesced\": " << telemetry.coalesced << "}";
     first_row = false;
   }
-  std::cout << "\n  ]\n}\n";
+  std::cout << "\n  ],\n";
+
+  // Duplicate-heavy burst: 4 unique parameter points x 16 concurrent
+  // repeats on the widest pool. Single-flight admission must show up as
+  // executions ≈ 4 (one per unique point) with the other ~60 queries
+  // split between coalesced waiters and cache hits.
+  {
+    const unsigned threads = std::max(max_threads, 2u);
+    fairbc::QueryExecutorOptions options;
+    options.num_threads = threads;
+    fairbc::QueryExecutor executor(catalog, options);
+
+    std::vector<QueryRequest> unique;
+    for (std::uint32_t alpha = 2; alpha <= 3; ++alpha) {
+      for (std::uint32_t beta = 2; beta <= 3; ++beta) {
+        QueryRequest req;
+        req.graph = "synth";
+        req.params = {alpha, beta, 1, 0.0};
+        unique.push_back(req);
+      }
+    }
+    constexpr int kDupRepeats = 16;
+    std::vector<QueryRequest> burst;
+    for (int r = 0; r < kDupRepeats; ++r) {
+      burst.insert(burst.end(), unique.begin(), unique.end());
+    }
+    rng.Shuffle(burst);
+
+    fairbc::Timer timer;
+    std::vector<QueryResult> results = executor.ExecuteBatch(burst);
+    const double total = timer.ElapsedSeconds();
+    std::uint64_t coalesced_results = 0;
+    for (const QueryResult& r : results) {
+      FAIRBC_CHECK(r.status.ok());
+      coalesced_results += r.coalesced ? 1 : 0;
+    }
+    const auto telemetry = executor.telemetry();
+    FAIRBC_CHECK(telemetry.coalesced == coalesced_results);
+    if (threads > 1 && telemetry.coalesced == 0) {
+      std::cerr << "WARNING: duplicate-heavy burst saw no coalescing "
+                   "(expected on multi-worker pools)\n";
+    }
+    std::cout << "  \"duplicate_heavy\": {\"threads\": " << threads
+              << ", \"queries\": " << burst.size()
+              << ", \"unique_queries\": " << unique.size()
+              << ", \"total_seconds\": " << fairbc::JsonDouble(total)
+              << ", \"qps\": "
+              << fairbc::JsonDouble(static_cast<double>(results.size()) /
+                                    total)
+              << ", \"executions\": " << telemetry.executions
+              << ", \"coalesced\": " << telemetry.coalesced
+              << ", \"cache_hits\": " << telemetry.cache.hits
+              << ", \"cache_hit_rate\": "
+              << fairbc::JsonDouble(telemetry.cache.HitRate()) << "}\n";
+  }
+  std::cout << "}\n";
   return 0;
 }

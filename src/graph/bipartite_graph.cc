@@ -5,6 +5,8 @@
 
 namespace fairbc {
 
+BipartiteGraph::BipartiteGraph() { BindOwned(); }
+
 BipartiteGraph::BipartiteGraph(std::vector<EdgeIndex> upper_offsets,
                                std::vector<VertexId> upper_neighbors,
                                std::vector<EdgeIndex> lower_offsets,
@@ -26,6 +28,140 @@ BipartiteGraph::BipartiteGraph(std::vector<EdgeIndex> upper_offsets,
   FAIRBC_CHECK(upper_attrs_.size() == num_upper_);
   FAIRBC_CHECK(lower_attrs_.size() == num_lower_);
   FAIRBC_CHECK(lower_neighbors_.size() == num_edges_);
+  BindOwned();
+}
+
+BipartiteGraph BipartiteGraph::MakeView(
+    std::span<const EdgeIndex> upper_offsets,
+    std::span<const VertexId> upper_neighbors,
+    std::span<const EdgeIndex> lower_offsets,
+    std::span<const VertexId> lower_neighbors,
+    std::span<const AttrId> upper_attrs, std::span<const AttrId> lower_attrs,
+    AttrId num_upper_attrs, AttrId num_lower_attrs,
+    std::shared_ptr<const void> backing) {
+  FAIRBC_CHECK(!upper_offsets.empty() && !lower_offsets.empty());
+  FAIRBC_CHECK(upper_attrs.size() == upper_offsets.size() - 1);
+  FAIRBC_CHECK(lower_attrs.size() == lower_offsets.size() - 1);
+  FAIRBC_CHECK(lower_neighbors.size() == upper_neighbors.size());
+  FAIRBC_CHECK(backing != nullptr);
+  BipartiteGraph g;
+  g.num_upper_ = static_cast<VertexId>(upper_offsets.size() - 1);
+  g.num_lower_ = static_cast<VertexId>(lower_offsets.size() - 1);
+  g.num_edges_ = upper_neighbors.size();
+  g.num_upper_attrs_ = num_upper_attrs;
+  g.num_lower_attrs_ = num_lower_attrs;
+  g.upper_offsets_v_ = upper_offsets;
+  g.upper_neighbors_v_ = upper_neighbors;
+  g.lower_offsets_v_ = lower_offsets;
+  g.lower_neighbors_v_ = lower_neighbors;
+  g.upper_attrs_v_ = upper_attrs;
+  g.lower_attrs_v_ = lower_attrs;
+  g.backing_ = std::move(backing);
+  return g;
+}
+
+void BipartiteGraph::BindOwned() {
+  // The empty state binds the offset views to this static zero entry, so
+  // default construction and ResetToEmpty never allocate — which is what
+  // lets the move operations be genuinely noexcept.
+  static constexpr EdgeIndex kEmptyOffsets[1] = {0};
+  upper_offsets_v_ = upper_offsets_.empty()
+                         ? std::span<const EdgeIndex>(kEmptyOffsets, 1)
+                         : std::span<const EdgeIndex>(upper_offsets_.data(),
+                                                      upper_offsets_.size());
+  lower_offsets_v_ = lower_offsets_.empty()
+                         ? std::span<const EdgeIndex>(kEmptyOffsets, 1)
+                         : std::span<const EdgeIndex>(lower_offsets_.data(),
+                                                      lower_offsets_.size());
+  upper_neighbors_v_ = {upper_neighbors_.data(), upper_neighbors_.size()};
+  lower_neighbors_v_ = {lower_neighbors_.data(), lower_neighbors_.size()};
+  upper_attrs_v_ = {upper_attrs_.data(), upper_attrs_.size()};
+  lower_attrs_v_ = {lower_attrs_.data(), lower_attrs_.size()};
+}
+
+void BipartiteGraph::ResetToEmpty() {
+  num_upper_ = num_lower_ = 0;
+  num_edges_ = 0;
+  num_upper_attrs_ = num_lower_attrs_ = 1;
+  upper_offsets_.clear();
+  upper_neighbors_.clear();
+  lower_offsets_.clear();
+  lower_neighbors_.clear();
+  upper_attrs_.clear();
+  lower_attrs_.clear();
+  backing_.reset();
+  BindOwned();
+}
+
+void BipartiteGraph::MoveFrom(BipartiteGraph& other) {
+  num_upper_ = other.num_upper_;
+  num_lower_ = other.num_lower_;
+  num_edges_ = other.num_edges_;
+  num_upper_attrs_ = other.num_upper_attrs_;
+  num_lower_attrs_ = other.num_lower_attrs_;
+  upper_offsets_ = std::move(other.upper_offsets_);
+  upper_neighbors_ = std::move(other.upper_neighbors_);
+  lower_offsets_ = std::move(other.lower_offsets_);
+  lower_neighbors_ = std::move(other.lower_neighbors_);
+  upper_attrs_ = std::move(other.upper_attrs_);
+  lower_attrs_ = std::move(other.lower_attrs_);
+  backing_ = std::move(other.backing_);
+  if (backing_ != nullptr) {
+    // View: the spans point into the backing, which we now hold.
+    upper_offsets_v_ = other.upper_offsets_v_;
+    upper_neighbors_v_ = other.upper_neighbors_v_;
+    lower_offsets_v_ = other.lower_offsets_v_;
+    lower_neighbors_v_ = other.lower_neighbors_v_;
+    upper_attrs_v_ = other.upper_attrs_v_;
+    lower_attrs_v_ = other.lower_attrs_v_;
+  } else {
+    // Owned: vector moves keep the heap buffers, rebinding is exact.
+    BindOwned();
+  }
+  other.ResetToEmpty();
+}
+
+BipartiteGraph::BipartiteGraph(const BipartiteGraph& other)
+    : num_upper_(other.num_upper_),
+      num_lower_(other.num_lower_),
+      num_edges_(other.num_edges_),
+      num_upper_attrs_(other.num_upper_attrs_),
+      num_lower_attrs_(other.num_lower_attrs_),
+      upper_offsets_(other.upper_offsets_),
+      upper_neighbors_(other.upper_neighbors_),
+      lower_offsets_(other.lower_offsets_),
+      lower_neighbors_(other.lower_neighbors_),
+      upper_attrs_(other.upper_attrs_),
+      lower_attrs_(other.lower_attrs_),
+      backing_(other.backing_) {
+  if (backing_ != nullptr) {
+    // Copying a view shares the backing; the arrays are immutable.
+    upper_offsets_v_ = other.upper_offsets_v_;
+    upper_neighbors_v_ = other.upper_neighbors_v_;
+    lower_offsets_v_ = other.lower_offsets_v_;
+    lower_neighbors_v_ = other.lower_neighbors_v_;
+    upper_attrs_v_ = other.upper_attrs_v_;
+    lower_attrs_v_ = other.lower_attrs_v_;
+  } else {
+    BindOwned();
+  }
+}
+
+BipartiteGraph& BipartiteGraph::operator=(const BipartiteGraph& other) {
+  if (this != &other) {
+    BipartiteGraph tmp(other);
+    MoveFrom(tmp);
+  }
+  return *this;
+}
+
+BipartiteGraph::BipartiteGraph(BipartiteGraph&& other) noexcept {
+  MoveFrom(other);
+}
+
+BipartiteGraph& BipartiteGraph::operator=(BipartiteGraph&& other) noexcept {
+  if (this != &other) MoveFrom(other);
+  return *this;
 }
 
 bool BipartiteGraph::HasEdge(VertexId u, VertexId v) const {
@@ -35,8 +171,7 @@ bool BipartiteGraph::HasEdge(VertexId u, VertexId v) const {
 
 std::vector<VertexId> BipartiteGraph::AttrCounts(Side side) const {
   std::vector<VertexId> counts(NumAttrs(side), 0);
-  const auto& attrs = side == Side::kUpper ? upper_attrs_ : lower_attrs_;
-  for (AttrId a : attrs) ++counts[a];
+  for (AttrId a : AttrArray(side)) ++counts[a];
   return counts;
 }
 
@@ -47,18 +182,19 @@ double BipartiteGraph::Density() const {
 }
 
 std::size_t BipartiteGraph::MemoryBytes() const {
-  return upper_offsets_.size() * sizeof(EdgeIndex) +
-         lower_offsets_.size() * sizeof(EdgeIndex) +
-         upper_neighbors_.size() * sizeof(VertexId) +
-         lower_neighbors_.size() * sizeof(VertexId) +
-         upper_attrs_.size() * sizeof(AttrId) +
-         lower_attrs_.size() * sizeof(AttrId);
+  // For a view this is the mapped CSR footprint, not heap usage.
+  return upper_offsets_v_.size() * sizeof(EdgeIndex) +
+         lower_offsets_v_.size() * sizeof(EdgeIndex) +
+         upper_neighbors_v_.size() * sizeof(VertexId) +
+         lower_neighbors_v_.size() * sizeof(VertexId) +
+         upper_attrs_v_.size() * sizeof(AttrId) +
+         lower_attrs_v_.size() * sizeof(AttrId);
 }
 
 Status BipartiteGraph::Validate() const {
   auto check_side = [&](Side side, VertexId n, VertexId other_n,
-                        const std::vector<EdgeIndex>& off,
-                        const std::vector<VertexId>& nbr) -> Status {
+                        std::span<const EdgeIndex> off,
+                        std::span<const VertexId> nbr) -> Status {
     if (off.size() != static_cast<std::size_t>(n) + 1) {
       return Status::CorruptInput("offset array size mismatch");
     }
@@ -84,10 +220,10 @@ Status BipartiteGraph::Validate() const {
     return Status::OK();
   };
   FAIRBC_RETURN_IF_ERROR(check_side(Side::kUpper, num_upper_, num_lower_,
-                                    upper_offsets_, upper_neighbors_));
+                                    upper_offsets_v_, upper_neighbors_v_));
   FAIRBC_RETURN_IF_ERROR(check_side(Side::kLower, num_lower_, num_upper_,
-                                    lower_offsets_, lower_neighbors_));
-  if (upper_neighbors_.size() != lower_neighbors_.size()) {
+                                    lower_offsets_v_, lower_neighbors_v_));
+  if (upper_neighbors_v_.size() != lower_neighbors_v_.size()) {
     return Status::CorruptInput("CSR directions disagree on edge count");
   }
   // Cross-check both directions describe the same edge set.
@@ -100,12 +236,12 @@ Status BipartiteGraph::Validate() const {
     }
   }
   for (VertexId u = 0; u < num_upper_; ++u) {
-    if (upper_attrs_[u] >= num_upper_attrs_) {
+    if (upper_attrs_v_[u] >= num_upper_attrs_) {
       return Status::CorruptInput("upper attribute out of domain");
     }
   }
   for (VertexId v = 0; v < num_lower_; ++v) {
-    if (lower_attrs_[v] >= num_lower_attrs_) {
+    if (lower_attrs_v_[v] >= num_lower_attrs_) {
       return Status::CorruptInput("lower attribute out of domain");
     }
   }

@@ -2,6 +2,7 @@
 #define FAIRBC_GRAPH_BIPARTITE_GRAPH_H_
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -19,9 +20,17 @@ namespace fairbc {
 /// Construction goes through BipartiteGraphBuilder (builder.h) or the
 /// generators; the invariants above are established there and relied on
 /// everywhere else (binary search adjacency tests, sorted merges).
+///
+/// Storage comes in two flavors behind the same accessors: the normal
+/// owned mode (CSR vectors held by the graph) and a read-only *view* mode
+/// (MakeView) where the arrays live in externally managed memory — e.g.
+/// an mmap'd snapshot (ReadSnapshotView) — kept alive by a shared backing
+/// handle. Copying a view shares the backing (cheap); copying an owned
+/// graph deep-copies the vectors. Every accessor reads through spans, so
+/// engines never see the difference.
 class BipartiteGraph {
  public:
-  BipartiteGraph() = default;
+  BipartiteGraph();
 
   /// Assembles a graph from pre-validated CSR pieces. Prefer the builder.
   BipartiteGraph(std::vector<EdgeIndex> upper_offsets,
@@ -31,6 +40,29 @@ class BipartiteGraph {
                  std::vector<AttrId> upper_attrs,
                  std::vector<AttrId> lower_attrs, AttrId num_upper_attrs,
                  AttrId num_lower_attrs);
+
+  /// Assembles a non-owning view over externally managed CSR arrays.
+  /// `backing` keeps the memory alive for the lifetime of the graph (and
+  /// of every copy of it); the arrays must satisfy the same invariants as
+  /// the owned constructor and must stay immutable while mapped.
+  static BipartiteGraph MakeView(std::span<const EdgeIndex> upper_offsets,
+                                 std::span<const VertexId> upper_neighbors,
+                                 std::span<const EdgeIndex> lower_offsets,
+                                 std::span<const VertexId> lower_neighbors,
+                                 std::span<const AttrId> upper_attrs,
+                                 std::span<const AttrId> lower_attrs,
+                                 AttrId num_upper_attrs, AttrId num_lower_attrs,
+                                 std::shared_ptr<const void> backing);
+
+  BipartiteGraph(const BipartiteGraph& other);
+  BipartiteGraph& operator=(const BipartiteGraph& other);
+  BipartiteGraph(BipartiteGraph&& other) noexcept;
+  BipartiteGraph& operator=(BipartiteGraph&& other) noexcept;
+  ~BipartiteGraph() = default;
+
+  /// True when the CSR arrays live in externally managed (e.g. mmap'd)
+  /// memory rather than in vectors owned by this graph.
+  bool IsView() const { return backing_ != nullptr; }
 
   VertexId NumVertices(Side side) const {
     return side == Side::kUpper ? num_upper_ : num_lower_;
@@ -46,20 +78,21 @@ class BipartiteGraph {
 
   /// Attribute value of vertex `v` on `side` (`v.val` in the paper).
   AttrId Attr(Side side, VertexId v) const {
-    return side == Side::kUpper ? upper_attrs_[v] : lower_attrs_[v];
+    return side == Side::kUpper ? upper_attrs_v_[v] : lower_attrs_v_[v];
   }
 
   /// Sorted neighbors of `v` (which lives on `side`; neighbors are on the
   /// opposite side).
   std::span<const VertexId> Neighbors(Side side, VertexId v) const {
-    const auto& off = side == Side::kUpper ? upper_offsets_ : lower_offsets_;
-    const auto& nbr = side == Side::kUpper ? upper_neighbors_ : lower_neighbors_;
+    const auto off = side == Side::kUpper ? upper_offsets_v_ : lower_offsets_v_;
+    const auto nbr =
+        side == Side::kUpper ? upper_neighbors_v_ : lower_neighbors_v_;
     return {nbr.data() + off[v], nbr.data() + off[v + 1]};
   }
 
   /// Degree of `v` on `side`.
   VertexId Degree(Side side, VertexId v) const {
-    const auto& off = side == Side::kUpper ? upper_offsets_ : lower_offsets_;
+    const auto off = side == Side::kUpper ? upper_offsets_v_ : lower_offsets_v_;
     return static_cast<VertexId>(off[v + 1] - off[v]);
   }
 
@@ -71,16 +104,13 @@ class BipartiteGraph {
   /// entries; NeighborArray is the flat neighbor list all offsets index
   /// into; AttrArray has one attribute value per vertex.
   std::span<const EdgeIndex> Offsets(Side side) const {
-    const auto& off = side == Side::kUpper ? upper_offsets_ : lower_offsets_;
-    return {off.data(), off.size()};
+    return side == Side::kUpper ? upper_offsets_v_ : lower_offsets_v_;
   }
   std::span<const VertexId> NeighborArray(Side side) const {
-    const auto& nbr = side == Side::kUpper ? upper_neighbors_ : lower_neighbors_;
-    return {nbr.data(), nbr.size()};
+    return side == Side::kUpper ? upper_neighbors_v_ : lower_neighbors_v_;
   }
   std::span<const AttrId> AttrArray(Side side) const {
-    const auto& attrs = side == Side::kUpper ? upper_attrs_ : lower_attrs_;
-    return {attrs.data(), attrs.size()};
+    return side == Side::kUpper ? upper_attrs_v_ : lower_attrs_v_;
   }
 
   /// Per-attribute class sizes of one side of the whole graph.
@@ -101,17 +131,38 @@ class BipartiteGraph {
   std::string DebugString() const;
 
  private:
+  /// Points the span views at the owned vectors (owned mode only).
+  void BindOwned();
+  /// Returns to the default empty owned state (used for moved-from
+  /// sources, so they stay valid graphs).
+  void ResetToEmpty();
+  /// Takes over `other`'s representation; leaves `other` empty.
+  void MoveFrom(BipartiteGraph& other);
+
   VertexId num_upper_ = 0;
   VertexId num_lower_ = 0;
   EdgeIndex num_edges_ = 0;
   AttrId num_upper_attrs_ = 1;
   AttrId num_lower_attrs_ = 1;
-  std::vector<EdgeIndex> upper_offsets_{0};
+  /// Owned storage; empty in view mode and in the default/moved-from
+  /// state (where the offset *views* bind to a static zero entry so no
+  /// allocation is ever needed — see BindOwned).
+  std::vector<EdgeIndex> upper_offsets_;
   std::vector<VertexId> upper_neighbors_;
-  std::vector<EdgeIndex> lower_offsets_{0};
+  std::vector<EdgeIndex> lower_offsets_;
   std::vector<VertexId> lower_neighbors_;
   std::vector<AttrId> upper_attrs_;
   std::vector<AttrId> lower_attrs_;
+  /// What every accessor reads: either the owned vectors above or the
+  /// externally backed arrays of a view.
+  std::span<const EdgeIndex> upper_offsets_v_;
+  std::span<const VertexId> upper_neighbors_v_;
+  std::span<const EdgeIndex> lower_offsets_v_;
+  std::span<const VertexId> lower_neighbors_v_;
+  std::span<const AttrId> upper_attrs_v_;
+  std::span<const AttrId> lower_attrs_v_;
+  /// Keeps a view's memory alive (e.g. holds the munmap); null when owned.
+  std::shared_ptr<const void> backing_;
 };
 
 /// Masks identifying a vertex subset on each side; used by pruning.

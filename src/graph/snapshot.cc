@@ -2,13 +2,31 @@
 
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <type_traits>
 #include <vector>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 namespace fairbc {
 
 namespace {
 
 constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Array sections are zero-padded to this alignment in version-2 files so
+/// mmap'd u64 spans never do misaligned loads.
+constexpr std::uint64_t kSectionAlign = 8;
+
+/// Templated so the 128-bit size pre-check shares the exact same padding
+/// rule as the u64 writer/reader paths.
+template <typename T>
+constexpr T PadTo8(T bytes) {
+  return (T{kSectionAlign} - bytes % T{kSectionAlign}) % T{kSectionAlign};
+}
 
 struct SnapshotCounts {
   std::uint32_t num_upper = 0;
@@ -52,6 +70,9 @@ template <typename T>
 void WriteArray(std::ofstream& out, std::span<const T> data) {
   out.write(reinterpret_cast<const char*>(data.data()),
             static_cast<std::streamsize>(data.size() * sizeof(T)));
+  static constexpr char kZeros[kSectionAlign] = {};
+  out.write(kZeros,
+            static_cast<std::streamsize>(PadTo8(data.size() * sizeof(T))));
 }
 
 template <typename T>
@@ -61,11 +82,47 @@ bool ReadPod(std::ifstream& in, T* value) {
 }
 
 template <typename T>
-bool ReadArray(std::ifstream& in, std::size_t count, std::vector<T>* out) {
+bool ReadArray(std::ifstream& in, std::size_t count, bool padded,
+               std::vector<T>* out) {
   out->resize(count);
   const auto bytes = static_cast<std::streamsize>(count * sizeof(T));
   in.read(reinterpret_cast<char*>(out->data()), bytes);
-  return in.gcount() == bytes;
+  if (in.gcount() != bytes) return false;
+  if (padded) {
+    // Padding must be zero: the checksum excludes it, so this is the
+    // only thing standing between a flipped pad byte and a clean load.
+    char pad[kSectionAlign] = {};
+    const auto pad_bytes =
+        static_cast<std::streamsize>(PadTo8(count * sizeof(T)));
+    in.read(pad, pad_bytes);
+    if (in.gcount() != pad_bytes) return false;
+    for (std::streamsize i = 0; i < pad_bytes; ++i) {
+      if (pad[i] != 0) return false;
+    }
+  }
+  return static_cast<bool>(in);
+}
+
+/// Payload size implied by the count fields: the six raw arrays, plus the
+/// per-section alignment padding for version-2 files. 128-bit because a
+/// corrupt num_edges alone can overflow a u64 byte count.
+unsigned __int128 ExpectedPayloadBytes(const SnapshotCounts& counts,
+                                       std::uint32_t version) {
+  const unsigned __int128 sections[6] = {
+      (static_cast<unsigned __int128>(counts.num_upper) + 1) *
+          sizeof(EdgeIndex),
+      static_cast<unsigned __int128>(counts.num_edges) * sizeof(VertexId),
+      (static_cast<unsigned __int128>(counts.num_lower) + 1) *
+          sizeof(EdgeIndex),
+      static_cast<unsigned __int128>(counts.num_edges) * sizeof(VertexId),
+      static_cast<unsigned __int128>(counts.num_upper) * sizeof(AttrId),
+      static_cast<unsigned __int128>(counts.num_lower) * sizeof(AttrId)};
+  unsigned __int128 total = 0;
+  for (unsigned __int128 bytes : sections) {
+    total += bytes;
+    if (version >= 2) total += PadTo8(bytes);
+  }
+  return total;
 }
 
 }  // namespace
@@ -132,7 +189,7 @@ Result<BipartiteGraph> ReadSnapshot(const std::string& path) {
       !ReadPod(in, &checksum) || !ReadPod(in, &counts)) {
     return Status::CorruptInput("truncated snapshot header: " + path);
   }
-  if (version != kSnapshotVersion) {
+  if (version != 1 && version != kSnapshotVersion) {
     return Status::CorruptInput("unsupported snapshot version " +
                                 std::to_string(version) + ": " + path);
   }
@@ -140,39 +197,32 @@ Result<BipartiteGraph> ReadSnapshot(const std::string& path) {
   // Bound the payload by the actual file size *before* sizing any
   // vector from the (as yet unauthenticated) count fields: a corrupt
   // num_edges must come back as a Status, not a length_error/OOM. The
-  // exact-size check also rejects trailing garbage. 128-bit arithmetic
-  // because num_edges alone can overflow a u64 byte count.
+  // exact-size check also rejects trailing garbage.
   const std::streampos payload_start = in.tellg();
   in.seekg(0, std::ios::end);
   const auto file_size = static_cast<std::uint64_t>(in.tellg());
   in.seekg(payload_start);
-  unsigned __int128 expected = 0;
-  expected += (static_cast<unsigned __int128>(counts.num_upper) + 1) *
-              sizeof(EdgeIndex);
-  expected += (static_cast<unsigned __int128>(counts.num_lower) + 1) *
-              sizeof(EdgeIndex);
-  expected +=
-      static_cast<unsigned __int128>(counts.num_edges) * 2 * sizeof(VertexId);
-  expected += static_cast<unsigned __int128>(counts.num_upper) * sizeof(AttrId);
-  expected += static_cast<unsigned __int128>(counts.num_lower) * sizeof(AttrId);
-  if (expected !=
+  if (ExpectedPayloadBytes(counts, version) !=
       file_size - static_cast<std::uint64_t>(payload_start)) {
     return Status::CorruptInput(
         "snapshot payload size does not match its header counts: " + path);
   }
 
+  const bool padded = version >= 2;
   std::vector<EdgeIndex> upper_offsets;
   std::vector<VertexId> upper_neighbors;
   std::vector<EdgeIndex> lower_offsets;
   std::vector<VertexId> lower_neighbors;
   std::vector<AttrId> upper_attrs;
   std::vector<AttrId> lower_attrs;
-  if (!ReadArray(in, counts.num_upper + std::size_t{1}, &upper_offsets) ||
-      !ReadArray(in, counts.num_edges, &upper_neighbors) ||
-      !ReadArray(in, counts.num_lower + std::size_t{1}, &lower_offsets) ||
-      !ReadArray(in, counts.num_edges, &lower_neighbors) ||
-      !ReadArray(in, counts.num_upper, &upper_attrs) ||
-      !ReadArray(in, counts.num_lower, &lower_attrs)) {
+  if (!ReadArray(in, counts.num_upper + std::size_t{1}, padded,
+                 &upper_offsets) ||
+      !ReadArray(in, counts.num_edges, padded, &upper_neighbors) ||
+      !ReadArray(in, counts.num_lower + std::size_t{1}, padded,
+                 &lower_offsets) ||
+      !ReadArray(in, counts.num_edges, padded, &lower_neighbors) ||
+      !ReadArray(in, counts.num_upper, padded, &upper_attrs) ||
+      !ReadArray(in, counts.num_lower, padded, &lower_attrs)) {
     return Status::CorruptInput("truncated snapshot payload: " + path);
   }
   std::uint64_t state = Fnv1a64(&counts, sizeof(counts));
@@ -191,6 +241,112 @@ Result<BipartiteGraph> ReadSnapshot(const std::string& path) {
                    std::move(upper_attrs), std::move(lower_attrs),
                    static_cast<AttrId>(counts.num_upper_attrs),
                    static_cast<AttrId>(counts.num_lower_attrs));
+  Status valid = g.Validate();
+  if (!valid.ok()) {
+    return Status::CorruptInput("snapshot fails graph validation (" +
+                                valid.message() + "): " + path);
+  }
+  return g;
+}
+
+Result<BipartiteGraph> ReadSnapshotView(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::CorruptInput("cannot stat: " + path);
+  }
+  const auto file_size = static_cast<std::uint64_t>(st.st_size);
+  constexpr std::uint64_t kHeaderBytes =
+      sizeof(kSnapshotMagic) + 2 * sizeof(std::uint32_t) +
+      sizeof(std::uint64_t) + sizeof(SnapshotCounts);
+  static_assert(kHeaderBytes == 48 && kHeaderBytes % kSectionAlign == 0);
+  if (file_size < kHeaderBytes) {
+    return (::close(fd),
+            Status::CorruptInput("truncated snapshot header: " + path));
+  }
+  void* mapped = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference.
+  if (mapped == MAP_FAILED) {
+    return Status::Internal("mmap failed: " + path);
+  }
+  std::shared_ptr<const void> backing(
+      mapped, [file_size](const void* p) {
+        ::munmap(const_cast<void*>(p), file_size);
+      });
+  const auto* base = static_cast<const unsigned char*>(mapped);
+
+  if (std::memcmp(base, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::CorruptInput("not a fairbc snapshot: " + path);
+  }
+  std::uint32_t version = 0;
+  std::uint64_t checksum = 0;
+  SnapshotCounts counts;
+  std::memcpy(&version, base + 8, sizeof(version));
+  std::memcpy(&checksum, base + 16, sizeof(checksum));
+  std::memcpy(&counts, base + 24, sizeof(counts));
+  if (version == 1) {
+    // Version 1 has no alignment padding, so its u64 sections may start
+    // misaligned in the mapping; load it the copying way instead.
+    backing.reset();
+    return ReadSnapshot(path);
+  }
+  if (version != kSnapshotVersion) {
+    return Status::CorruptInput("unsupported snapshot version " +
+                                std::to_string(version) + ": " + path);
+  }
+  if (ExpectedPayloadBytes(counts, version) != file_size - kHeaderBytes) {
+    return Status::CorruptInput(
+        "snapshot payload size does not match its header counts: " + path);
+  }
+
+  // Slice the six sections out of the mapping; every section start is
+  // 8-byte aligned by the v2 padding (and mmap bases are page-aligned).
+  // Padding bytes must be zero — the checksum excludes them.
+  std::uint64_t pos = kHeaderBytes;
+  bool padding_clean = true;
+  auto take = [&](std::uint64_t count, auto* span_out) {
+    using T = typename std::remove_reference_t<decltype(*span_out)>::value_type;
+    const std::uint64_t bytes = count * sizeof(T);
+    *span_out = std::span<const T>(reinterpret_cast<const T*>(base + pos),
+                                   static_cast<std::size_t>(count));
+    pos += bytes;
+    for (std::uint64_t i = 0; i < PadTo8(bytes); ++i) {
+      padding_clean = padding_clean && base[pos + i] == 0;
+    }
+    pos += PadTo8(bytes);
+  };
+  std::span<const EdgeIndex> upper_offsets, lower_offsets;
+  std::span<const VertexId> upper_neighbors, lower_neighbors;
+  std::span<const AttrId> upper_attrs, lower_attrs;
+  take(counts.num_upper + std::uint64_t{1}, &upper_offsets);
+  take(counts.num_edges, &upper_neighbors);
+  take(counts.num_lower + std::uint64_t{1}, &lower_offsets);
+  take(counts.num_edges, &lower_neighbors);
+  take(counts.num_upper, &upper_attrs);
+  take(counts.num_lower, &lower_attrs);
+  if (!padding_clean) {
+    return Status::CorruptInput("snapshot padding bytes corrupted: " + path);
+  }
+
+  std::uint64_t state = Fnv1a64(&counts, sizeof(counts));
+  state = FoldSpan(state, upper_offsets);
+  state = FoldSpan(state, upper_neighbors);
+  state = FoldSpan(state, lower_offsets);
+  state = FoldSpan(state, lower_neighbors);
+  state = FoldSpan(state, upper_attrs);
+  state = FoldSpan(state, lower_attrs);
+  if (state != checksum) {
+    return Status::CorruptInput("snapshot checksum mismatch: " + path);
+  }
+
+  BipartiteGraph g = BipartiteGraph::MakeView(
+      upper_offsets, upper_neighbors, lower_offsets, lower_neighbors,
+      upper_attrs, lower_attrs, static_cast<AttrId>(counts.num_upper_attrs),
+      static_cast<AttrId>(counts.num_lower_attrs), std::move(backing));
   Status valid = g.Validate();
   if (!valid.ok()) {
     return Status::CorruptInput("snapshot fails graph validation (" +

@@ -11,7 +11,9 @@ namespace fairbc {
 
 /// Versioned binary snapshot of an attributed bipartite graph. Loading a
 /// snapshot is a handful of bulk reads straight into the CSR vectors — no
-/// text parsing — which is what makes GraphCatalog preloading cheap.
+/// text parsing — which is what makes GraphCatalog preloading cheap. The
+/// mmap loader (ReadSnapshotView) skips even those reads and maps the CSR
+/// sections in place.
 ///
 /// Layout (native-endian; the checksum catches cross-endian loads too,
 /// since the payload bytes differ):
@@ -33,12 +35,21 @@ namespace fairbc {
 ///   upper_attrs        num_upper x u16
 ///   lower_attrs        num_lower x u16
 ///
+/// Version 2 (current) zero-pads every array section to the next 8-byte
+/// boundary so each section starts 8-byte aligned relative to the file —
+/// the 48-byte header is itself 8-aligned, which is what lets an mmap'd
+/// file be read through typed u64 spans without misaligned loads. The
+/// padding bytes are *excluded* from the checksum, so a graph's
+/// GraphFingerprint still equals its snapshot header checksum in both
+/// versions. Version-1 files (unpadded) remain readable by both loaders;
+/// ReadSnapshotView falls back to a copying load for them.
+///
 /// ReadSnapshot validates magic, version, checksum, exact file length and
 /// the full BipartiteGraph::Validate() invariants; every failure is a
 /// Status (kCorruptInput / kNotFound), never a crash.
 
 inline constexpr char kSnapshotMagic[8] = {'F', 'B', 'C', 'S', 'N', 'A', 'P', '1'};
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Incremental FNV-1a (64-bit) over a byte range.
 std::uint64_t Fnv1a64(const void* data, std::size_t size,
@@ -57,6 +68,17 @@ Status WriteSnapshot(const BipartiteGraph& g, const std::string& path);
 /// Reads a snapshot written by WriteSnapshot. The returned graph is
 /// byte-identical to the one written (same CSR arrays, same fingerprint).
 Result<BipartiteGraph> ReadSnapshot(const std::string& path);
+
+/// Maps `path` read-only and returns a BipartiteGraph *view* whose CSR
+/// spans point straight into the mapped pages (BipartiteGraph::IsView()),
+/// making the load allocation-free: the only O(n) work is the checksum
+/// verification, which doubles as page warm-up. The mapping is owned by
+/// the returned graph (and any copies) and unmapped with the last one.
+/// Version-1 snapshots lack the alignment padding, so they fall back to
+/// the copying ReadSnapshot — same bytes, IsView() false. All validation
+/// (magic, version, checksum, exact length, graph invariants) matches
+/// ReadSnapshot; the file must stay unmodified while mapped.
+Result<BipartiteGraph> ReadSnapshotView(const std::string& path);
 
 }  // namespace fairbc
 

@@ -40,9 +40,10 @@ Status GraphCatalog::AddFromFile(const std::string& name,
                                  const std::string& path, Format format) {
   Timer timer;
   Result<BipartiteGraph> loaded =
-      format == Format::kSnapshot ? ReadSnapshot(path)
-      : format == Format::kAttr   ? ReadAttributedGraph(path)
-                                  : ReadEdgeList(path);
+      format == Format::kSnapshot     ? ReadSnapshot(path)
+      : format == Format::kSnapshotMmap ? ReadSnapshotView(path)
+      : format == Format::kAttr       ? ReadAttributedGraph(path)
+                                      : ReadEdgeList(path);
   if (!loaded.ok()) return loaded.status();
   return Publish(mu_, entries_, name, std::move(loaded).value(), path,
                  timer.ElapsedSeconds());
@@ -76,6 +77,7 @@ std::size_t GraphCatalog::size() const {
 std::optional<GraphCatalog::Format> ParseCatalogFormat(
     const std::string& name) {
   if (name == "snapshot") return GraphCatalog::Format::kSnapshot;
+  if (name == "mmap") return GraphCatalog::Format::kSnapshotMmap;
   if (name == "attr") return GraphCatalog::Format::kAttr;
   if (name == "edges") return GraphCatalog::Format::kEdges;
   return std::nullopt;
@@ -87,6 +89,8 @@ const char* ToString(GraphCatalog::Format format) {
       return "attr";
     case GraphCatalog::Format::kEdges:
       return "edges";
+    case GraphCatalog::Format::kSnapshotMmap:
+      return "mmap";
     case GraphCatalog::Format::kSnapshot:
       break;
   }

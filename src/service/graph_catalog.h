@@ -38,9 +38,13 @@ struct CatalogEntry {
 class GraphCatalog {
  public:
   enum class Format {
-    kSnapshot,  ///< binary snapshot (graph/snapshot.h) — the fast path.
-    kAttr,      ///< %fairbc attributed text format.
-    kEdges,     ///< plain `u v` edge list.
+    kSnapshot,      ///< binary snapshot (graph/snapshot.h) — the fast path.
+    kSnapshotMmap,  ///< snapshot mapped in place (ReadSnapshotView): the
+                    ///< entry's graph is a read-only view over the file's
+                    ///< pages, so the load allocates nothing and the entry
+                    ///< is the natural unit for per-socket page placement.
+    kAttr,          ///< %fairbc attributed text format.
+    kEdges,         ///< plain `u v` edge list.
   };
 
   GraphCatalog() = default;
@@ -74,7 +78,8 @@ class GraphCatalog {
   std::map<std::string, std::shared_ptr<const CatalogEntry>> entries_;
 };
 
-/// Wire-name parser/printer for Format ("snapshot" / "attr" / "edges").
+/// Wire-name parser/printer for Format ("snapshot" / "mmap" / "attr" /
+/// "edges").
 std::optional<GraphCatalog::Format> ParseCatalogFormat(const std::string& name);
 const char* ToString(GraphCatalog::Format format);
 

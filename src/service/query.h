@@ -72,11 +72,19 @@ class DigestAccumulator {
   std::uint32_t max_lower_ = 0;
 };
 
-/// Outcome of one executed (or cache-served) query.
+/// Outcome of one executed (or cache-served, or coalesced) query.
 struct QueryResult {
   Status status = Status::OK();
   QuerySummary summary;
   bool cache_hit = false;
+  /// True when this query joined an identical in-flight execution
+  /// (single-flight admission) and shares that run's summary instead of
+  /// having run the engines itself.
+  bool coalesced = false;
+  /// Worker threads the enumeration actually ran with (after the
+  /// executor's batch clamp); 0 for cache hits, coalesced waiters and
+  /// failed lookups, where no enumeration ran.
+  unsigned effective_threads = 0;
   double seconds = 0.0;  ///< wall clock incl. catalog/cache bookkeeping.
   std::uint64_t graph_version = 0;
   std::vector<Biclique> bicliques;  ///< filled iff include_bicliques.

@@ -10,6 +10,28 @@ QueryExecutor::QueryExecutor(const GraphCatalog& catalog,
       cache_(options.cache_capacity),
       pool_(ResolveNumThreads(options.num_threads)) {}
 
+void QueryExecutor::RunQuery(const QueryRequest& request,
+                             const BipartiteGraph& graph, QueryResult* out) {
+  DigestAccumulator digest;
+  BicliqueSink inner;
+  if (request.include_bicliques) {
+    inner = [out](const Biclique& b) {
+      out->bicliques.push_back(b);
+      return true;
+    };
+  } else {
+    inner = [](const Biclique&) { return true; };
+  }
+  // The pipeline entry points serialize sink invocation, so the plain
+  // accumulator and vector push_back are safe at any num_threads.
+  out->summary.stats =
+      RunEnumeration(graph, request.model, request.algo, request.params,
+                     request.options, digest.Wrap(std::move(inner)));
+  digest.FillSummary(&out->summary);
+  out->effective_threads = ResolveNumThreads(request.options.num_threads);
+  executions_.fetch_add(1, std::memory_order_relaxed);
+}
+
 QueryResult QueryExecutor::Execute(const QueryRequest& request) {
   Timer timer;
   QueryResult out;
@@ -22,38 +44,86 @@ QueryResult QueryExecutor::Execute(const QueryRequest& request) {
   out.graph_version = entry->version;
 
   const std::string key = CanonicalCacheKey(request, entry->version);
-  if (request.use_cache && !request.include_bicliques) {
-    if (std::optional<QuerySummary> hit = cache_.Lookup(key)) {
-      out.summary = *hit;
-      out.cache_hit = true;
+  // Only summary-only cacheable queries can share results — with someone
+  // already in flight (single-flight) or with the cache.
+  const bool shareable = request.use_cache && !request.include_bicliques;
+  // Budgeted queries never *wait* on a leader: the cache key excludes
+  // budgets, so an identical-key leader may take arbitrarily longer than
+  // this query's own deadline allows. They still lead (and publish) when
+  // first, and still take cache hits — they just run themselves instead
+  // of blocking behind someone else's run.
+  const bool may_wait = request.options.time_budget_seconds == 0.0 &&
+                        request.options.node_budget == 0;
+
+  for (;;) {
+    std::shared_ptr<InFlight> slot;
+    bool leader = true;
+    if (shareable) {
+      // Admission is atomic: cache lookup and in-flight join/lead happen
+      // under one lock, and a leader publishes (cache insert + slot
+      // retire) under the same lock — so between a miss here and our slot
+      // insertion no other execution can slip through, and each key has
+      // exactly one execution per cache-miss epoch (among queries allowed
+      // to wait).
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      if (std::optional<QuerySummary> hit = cache_.Lookup(key)) {
+        out.summary = *hit;
+        out.cache_hit = true;
+        out.seconds = timer.ElapsedSeconds();
+        return out;
+      }
+      auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        if (may_wait) {
+          slot = it->second;
+          leader = false;
+        }
+        // else: run unshared below — slot stays null, nothing to retire.
+      } else {
+        slot = std::make_shared<InFlight>();
+        inflight_[key] = slot;
+      }
+    }
+
+    if (!leader) {
+      std::unique_lock<std::mutex> lk(slot->mu);
+      slot->cv.wait(lk, [&] { return slot->done; });
+      if (!slot->shareable) continue;  // partial leader run; run ourselves.
+      out.summary = slot->summary;
+      out.coalesced = true;
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
       out.seconds = timer.ElapsedSeconds();
       return out;
     }
-  }
 
-  DigestAccumulator digest;
-  BicliqueSink inner;
-  if (request.include_bicliques) {
-    inner = [&out](const Biclique& b) {
-      out.bicliques.push_back(b);
-      return true;
-    };
-  } else {
-    inner = [](const Biclique&) { return true; };
-  }
-  // The pipeline entry points serialize sink invocation, so the plain
-  // accumulator and vector push_back are safe at any num_threads.
-  out.summary.stats =
-      RunEnumeration(entry->graph, request.model, request.algo, request.params,
-                     request.options, digest.Wrap(std::move(inner)));
-  digest.FillSummary(&out.summary);
+    RunQuery(request, entry->graph, &out);
 
-  // Partial runs (deadline/budget tripped) must not poison the cache.
-  if (request.use_cache && !out.summary.stats.budget_exhausted) {
-    cache_.Insert(key, out.summary);
+    // Partial runs (deadline/budget tripped) must not poison the cache —
+    // and must not be adopted by waiters, whose own budgets may differ.
+    const bool complete = !out.summary.stats.budget_exhausted;
+    if (slot != nullptr) {
+      // We own the in-flight slot for `key`: publish and retire it.
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        if (complete) cache_.Insert(key, out.summary);
+        inflight_.erase(key);
+      }
+      {
+        std::lock_guard<std::mutex> lk(slot->mu);
+        slot->done = true;
+        slot->shareable = complete;
+        slot->summary = out.summary;
+      }
+      slot->cv.notify_all();
+    } else if (request.use_cache && complete) {
+      // Unshared runs (biclique-collecting, or budgeted queries that
+      // declined to wait on someone else's slot) still publish their
+      // summary for later summary-only queries.
+      cache_.Insert(key, out.summary);
+    }
+    out.seconds = timer.ElapsedSeconds();
+    return out;
   }
-  out.seconds = timer.ElapsedSeconds();
-  return out;
 }
 
 std::vector<QueryResult> QueryExecutor::ExecuteBatch(
@@ -62,9 +132,22 @@ std::vector<QueryResult> QueryExecutor::ExecuteBatch(
   if (requests.empty()) return results;
   std::lock_guard<std::mutex> lock(batch_mu_);
   pool_.ParallelFor(requests.size(), [&](std::uint64_t i, unsigned) {
-    results[i] = Execute(requests[i]);
+    QueryRequest request = requests[i];
+    // Whole queries are the batch's unit of parallelism; nested per-query
+    // pools on top of busy batch workers would oversubscribe the machine
+    // (see the header contract — the result set does not change).
+    request.options.num_threads = 1;
+    results[i] = Execute(request);
   });
   return results;
+}
+
+QueryExecutor::Telemetry QueryExecutor::telemetry() const {
+  Telemetry t;
+  t.cache = cache_.telemetry();
+  t.executions = executions_.load(std::memory_order_relaxed);
+  t.coalesced = coalesced_.load(std::memory_order_relaxed);
+  return t;
 }
 
 }  // namespace fairbc

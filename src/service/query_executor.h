@@ -1,7 +1,12 @@
 #ifndef FAIRBC_SERVICE_QUERY_EXECUTOR_H_
 #define FAIRBC_SERVICE_QUERY_EXECUTOR_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/parallel.h"
@@ -21,18 +26,30 @@ struct QueryExecutorOptions {
 
 /// Concurrent query engine over a GraphCatalog: admits whole queries onto
 /// the existing work-stealing ThreadPool, shares the read-only catalog
-/// entries across them (no per-query graph copies), and reuses summaries
-/// through an LRU ResultCache.
+/// entries across them (no per-query graph copies), reuses summaries
+/// through an LRU ResultCache, and coalesces concurrent identical queries
+/// behind one execution (single-flight admission).
 ///
 /// Concurrency invariants:
 ///  - catalog entries are immutable shared_ptr<const>, so queries read
 ///    the graph with no locking; a concurrent catalog replace affects
 ///    only queries admitted afterwards;
-///  - the cache is internally synchronized; the executor itself holds no
-///    lock while an engine runs;
+///  - the cache and the in-flight table are internally synchronized; the
+///    executor holds no lock while an engine runs;
 ///  - Execute() is safe from any thread (ExecuteBatch calls it from pool
-///    workers); ExecuteBatch serializes whole batches against each other
-///    (the pool runs one ParallelFor at a time).
+///    workers, the TCP server from session threads); ExecuteBatch
+///    serializes whole batches against each other (the pool runs one
+///    ParallelFor at a time).
+///
+/// Single-flight: summary-only cacheable queries (use_cache &&
+/// !include_bicliques) that arrive while an identical query (same
+/// CanonicalCacheKey) is already executing block until that leader
+/// finishes and adopt its summary (QueryResult::coalesced). Budget-
+/// exhausted leader runs are never shared — such waiters retry with their
+/// own execution, mirroring the "partial runs are never cached" rule.
+/// Queries carrying their own time/node budget never wait on a leader at
+/// all (the key excludes budgets, so a leader may outlive their
+/// deadline): they run themselves, at worst duplicating one execution.
 ///
 /// Per-query deadlines/budgets ride on EnumOptions inside the request
 /// (SearchBudget in the engines); a query hitting its budget reports
@@ -45,26 +62,68 @@ class QueryExecutor {
   QueryExecutor(const QueryExecutor&) = delete;
   QueryExecutor& operator=(const QueryExecutor&) = delete;
 
-  /// Runs one query on the calling thread (cache lookup, then the full
-  /// reduction + search pipeline on a cache miss). Never throws; failures
-  /// (unknown graph, invalid parameters) come back in QueryResult::status.
+  /// Runs one query on the calling thread (cache lookup, single-flight
+  /// admission, then the full reduction + search pipeline when this call
+  /// becomes the leader). Never throws; failures (unknown graph, invalid
+  /// parameters) come back in QueryResult::status.
   QueryResult Execute(const QueryRequest& request);
 
   /// Runs `requests` concurrently on the executor's pool; results are
   /// positionally aligned with the requests. Repeated parameters inside
-  /// one batch may be served from the cache as earlier queries complete.
+  /// one batch are served from the cache or coalesced behind the one
+  /// in-flight execution. Per-query num_threads is clamped to 1: the
+  /// batch itself is the unit of parallelism, and a query spinning a
+  /// nested pool on top of a busy batch pool would oversubscribe the
+  /// machine (the result set is thread-count invariant, so the clamp is
+  /// unobservable in the output).
   std::vector<QueryResult> ExecuteBatch(
       const std::vector<QueryRequest>& requests);
+
+  /// Executor-level counters on top of the cache's own telemetry.
+  struct Telemetry {
+    ResultCache::Telemetry cache;
+    std::uint64_t executions = 0;  ///< enumerations actually run.
+    std::uint64_t coalesced = 0;   ///< queries served by joining a leader.
+  };
+  Telemetry telemetry() const;
+
+  std::uint64_t execution_count() const {
+    return executions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t coalesced_count() const {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
 
   ResultCache& cache() { return cache_; }
   const GraphCatalog& catalog() const { return catalog_; }
   unsigned num_threads() const { return pool_.num_threads(); }
 
  private:
+  /// One in-flight execution; waiters block on cv until the leader
+  /// publishes. `shareable` is false when the leader's run must not be
+  /// adopted (budget exhausted), sending waiters back around the loop.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool shareable = false;
+    QuerySummary summary;
+  };
+
+  /// Runs the enumeration for `request` against `graph` into `out`
+  /// (digest accumulation, optional biclique collection, stats).
+  void RunQuery(const QueryRequest& request, const BipartiteGraph& graph,
+                QueryResult* out);
+
   const GraphCatalog& catalog_;
   ResultCache cache_;
   ThreadPool pool_;
   std::mutex batch_mu_;  ///< one ExecuteBatch at a time (pool contract).
+
+  std::mutex inflight_mu_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  std::atomic<std::uint64_t> executions_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
 };
 
 }  // namespace fairbc

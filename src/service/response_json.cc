@@ -94,18 +94,23 @@ std::string QueryResultJson(const QueryRequest& request,
      << QueryParamsSummaryJson(request.model, request.algo, request.params,
                                result.summary)
      << ",\"cache_hit\":" << (result.cache_hit ? "true" : "false")
+     << ",\"coalesced\":" << (result.coalesced ? "true" : "false")
      << ",\"seconds\":" << JsonDouble(result.seconds)
      << ",\"stats\":" << StatsJson(result.summary.stats) << "}";
   return os.str();
 }
 
-std::string CacheTelemetryJson(const ResultCache::Telemetry& t) {
+std::string ExecutorTelemetryJson(const QueryExecutor::Telemetry& t) {
   std::ostringstream os;
-  os << "{\"ok\":true,\"cmd\":\"cache\",\"hits\":" << t.hits
-     << ",\"misses\":" << t.misses << ",\"insertions\":" << t.insertions
-     << ",\"evictions\":" << t.evictions << ",\"entries\":" << t.entries
-     << ",\"capacity\":" << t.capacity
-     << ",\"hit_rate\":" << JsonDouble(t.HitRate()) << "}";
+  os << "{\"ok\":true,\"cmd\":\"cache\",\"hits\":" << t.cache.hits
+     << ",\"misses\":" << t.cache.misses
+     << ",\"insertions\":" << t.cache.insertions
+     << ",\"evictions\":" << t.cache.evictions
+     << ",\"entries\":" << t.cache.entries
+     << ",\"capacity\":" << t.cache.capacity
+     << ",\"hit_rate\":" << JsonDouble(t.cache.HitRate())
+     << ",\"executions\":" << t.executions
+     << ",\"coalesced\":" << t.coalesced << "}";
   return os.str();
 }
 

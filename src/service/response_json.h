@@ -7,6 +7,7 @@
 #include "core/enumerate.h"
 #include "service/graph_catalog.h"
 #include "service/query.h"
+#include "service/query_executor.h"
 #include "service/result_cache.h"
 
 namespace fairbc {
@@ -44,8 +45,10 @@ std::string QueryParamsSummaryJson(FairModel model, FairAlgo algo,
 std::string QueryResultJson(const QueryRequest& request,
                             const QueryResult& result);
 
-/// Cache telemetry reply.
-std::string CacheTelemetryJson(const ResultCache::Telemetry& t);
+/// Telemetry reply for the server's `cache` command: the ResultCache
+/// counters plus the executor's single-flight counters ("executions",
+/// "coalesced").
+std::string ExecutorTelemetryJson(const QueryExecutor::Telemetry& t);
 
 /// One catalog entry (the server's `catalog` reply lists these).
 std::string CatalogEntryJson(const CatalogEntry& entry);

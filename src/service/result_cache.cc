@@ -3,8 +3,13 @@
 namespace fairbc {
 
 std::optional<QuerySummary> ResultCache::Lookup(const std::string& key) {
-  if (capacity_ == 0) return std::nullopt;
   std::lock_guard<std::mutex> lock(mu_);
+  // A disabled cache (capacity 0) still counts its misses: a server run
+  // with --cache=0 must report the real lookup traffic, not zeros.
+  if (capacity_ == 0) {
+    ++misses_;
+    return std::nullopt;
+  }
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;

@@ -1,0 +1,581 @@
+#include "service/server.h"
+
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "graph/generators.h"
+#include "graph/snapshot.h"
+#include "service/response_json.h"
+
+namespace fairbc {
+
+namespace {
+
+/// alpha/beta/delta (and the sweep lists) live in [0, kMaxParamValue]:
+/// far above any meaningful fairness threshold, far below the uint32
+/// wrap that `query alpha=-1` used to silently hit.
+constexpr std::int64_t kMaxParamValue = 1'000'000'000;
+
+std::string Arg(const RequestLine& req, const std::string& key,
+                const std::string& default_value) {
+  auto it = req.args.find(key);
+  return it == req.args.end() ? default_value : it->second;
+}
+
+/// Strict integer argument: absent → default, present-but-unparsable or
+/// partially numeric ("3x") → error. Negative values parse fine here and
+/// are range-checked by the caller, so "alpha=-1" reports its real value
+/// instead of wrapping through an unsigned cast.
+Result<std::int64_t> IntArg(const RequestLine& req, const std::string& key,
+                            std::int64_t default_value) {
+  auto it = req.args.find(key);
+  if (it == req.args.end()) return default_value;
+  const std::string& text = it->second;
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument(key + " must be an integer, got \"" + text +
+                                   "\"");
+  }
+  return value;
+}
+
+/// Strict floating-point argument, same contract as IntArg.
+Result<double> DoubleArg(const RequestLine& req, const std::string& key,
+                         double default_value) {
+  auto it = req.args.find(key);
+  if (it == req.args.end()) return default_value;
+  const std::string& text = it->second;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(key);
+    return value;
+  } catch (...) {
+    return Status::InvalidArgument(key + " must be a number, got \"" + text +
+                                   "\"");
+  }
+}
+
+Status RangeError(const std::string& key, const std::string& range) {
+  return Status::InvalidArgument(key + " must be in " + range);
+}
+
+}  // namespace
+
+RequestLine ParseRequestLine(const std::string& line) {
+  RequestLine req;
+  std::istringstream tokens(line);
+  tokens >> req.command;
+  std::string token;
+  while (tokens >> token) {
+    auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      req.args[token] = "1";  // bare key = boolean true, like the CLI.
+    } else {
+      req.args[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  return req;
+}
+
+Result<QueryRequest> BuildQueryRequest(const RequestLine& req) {
+  QueryRequest query;
+  query.graph = Arg(req, "graph", "");
+  if (query.graph.empty()) {
+    return Status::InvalidArgument("query needs graph=NAME");
+  }
+  auto model = ParseFairModel(Arg(req, "model", "ssfbc"));
+  if (!model) return Status::InvalidArgument("bad model (ssfbc|bsfbc)");
+  query.model = *model;
+  auto algo = ParseFairAlgo(Arg(req, "algo", "pp"));
+  if (!algo) return Status::InvalidArgument("bad algo (pp|bcem|naive)");
+  query.algo = *algo;
+
+  for (auto [key, field, default_value] :
+       {std::tuple<const char*, std::uint32_t*, std::int64_t>
+            {"alpha", &query.params.alpha, 1},
+        {"beta", &query.params.beta, 1},
+        {"delta", &query.params.delta, 0}}) {
+    auto parsed = IntArg(req, key, default_value);
+    if (!parsed.ok()) return parsed.status();
+    if (parsed.value() < 0 || parsed.value() > kMaxParamValue) {
+      return RangeError(key, "[0, 1000000000]");
+    }
+    *field = static_cast<std::uint32_t>(parsed.value());
+  }
+
+  auto theta = DoubleArg(req, "theta", 0.0);
+  if (!theta.ok()) return theta.status();
+  if (!(theta.value() >= 0.0) || !(theta.value() <= 1.0)) {
+    return RangeError("theta", "[0, 1]");
+  }
+  query.params.theta = theta.value();
+
+  const std::string ordering = Arg(req, "ordering", "deg");
+  query.options.ordering = ordering == "id" ? VertexOrdering::kId
+                                            : VertexOrdering::kDegreeDesc;
+  const std::string pruning = Arg(req, "pruning", "colorful");
+  query.options.pruning = pruning == "none"   ? PruningLevel::kNone
+                          : pruning == "core" ? PruningLevel::kCore
+                                              : PruningLevel::kColorful;
+
+  auto budget = DoubleArg(req, "budget", 0.0);
+  if (!budget.ok()) return budget.status();
+  if (!(budget.value() >= 0.0)) return RangeError("budget", "[0, inf)");
+  query.options.time_budget_seconds = budget.value();
+
+  auto threads = IntArg(req, "threads", 1);
+  if (!threads.ok()) return threads.status();
+  if (threads.value() < 0 || threads.value() > 1024) {
+    return RangeError("threads", "[0, 1024]");
+  }
+  query.options.num_threads = static_cast<unsigned>(threads.value());
+
+  auto use_cache = IntArg(req, "cache", 1);
+  if (!use_cache.ok()) return use_cache.status();
+  query.use_cache = use_cache.value() != 0;
+  return query;
+}
+
+ServerSession::ServerSession(GraphCatalog& catalog, QueryExecutor& executor,
+                             std::uint64_t id)
+    : catalog_(catalog), executor_(executor), id_(id) {}
+
+std::string ServerSession::Tag(std::string json) const {
+  if (json.empty() || json.front() != '{') return json;
+  return "{\"session\":" + std::to_string(id_) + "," + json.substr(1);
+}
+
+bool ServerSession::Handle(const std::string& line, std::string* response,
+                           bool* stop_server) {
+  const RequestLine req = ParseRequestLine(line);
+  if (req.command.empty() || req.command[0] == '#') {
+    response->clear();
+    return true;
+  }
+  if (req.command == "quit") {
+    *response = Tag("{\"ok\":true,\"cmd\":\"quit\"}");
+    return false;
+  }
+  if (req.command == "stop") {
+    *stop_server = true;
+    *response = Tag("{\"ok\":true,\"cmd\":\"stop\"}");
+    return false;
+  }
+  *response = Tag(Dispatch(req));
+  return true;
+}
+
+std::string ServerSession::Dispatch(const RequestLine& req) {
+  if (req.command == "ping") return "{\"ok\":true,\"cmd\":\"ping\"}";
+  if (req.command == "load") return Load(req);
+  if (req.command == "gen") return Gen(req);
+  if (req.command == "save") return Save(req);
+  if (req.command == "drop") return Drop(req);
+  if (req.command == "catalog") return Catalog();
+  if (req.command == "cache") {
+    return ExecutorTelemetryJson(executor_.telemetry());
+  }
+  if (req.command == "query") return Query(req);
+  if (req.command == "sweep") return Sweep(req);
+  return ErrorJson("unknown command: " + req.command);
+}
+
+std::string ServerSession::Load(const RequestLine& req) {
+  const std::string name = Arg(req, "name", "");
+  const std::string path = Arg(req, "path", "");
+  if (name.empty() || path.empty()) {
+    return ErrorJson("load needs name=NAME path=FILE");
+  }
+  auto format = ParseCatalogFormat(Arg(req, "format", "snapshot"));
+  if (!format) return ErrorJson("bad format (snapshot|mmap|attr|edges)");
+  Status st = catalog_.AddFromFile(name, path, *format);
+  if (!st.ok()) return ErrorJson(st);
+  return EntryReply("load", name);
+}
+
+std::string ServerSession::Gen(const RequestLine& req) {
+  const std::string name = Arg(req, "name", "");
+  if (name.empty()) return ErrorJson("gen needs name=NAME");
+  const std::string kind = Arg(req, "kind", "affiliation");
+  // Validate everything before casting: the generators FAIRBC_CHECK
+  // (abort) on bad parameters, and a resident server must never die
+  // on a request line.
+  auto nu = IntArg(req, "nu", 1000);
+  auto nv = IntArg(req, "nv", 1000);
+  auto edges = IntArg(req, "edges", 5000);
+  auto attrs = IntArg(req, "attrs", 2);
+  auto communities = IntArg(req, "communities", 60);
+  auto gamma = DoubleArg(req, "gamma", 2.2);
+  auto seed = IntArg(req, "seed", 42);
+  for (const auto* parsed : {&nu, &nv, &edges, &attrs, &communities, &seed}) {
+    if (!parsed->ok()) return ErrorJson(parsed->status());
+  }
+  if (!gamma.ok()) return ErrorJson(gamma.status());
+  if (nu.value() < 1 || nu.value() > 20'000'000 || nv.value() < 1 ||
+      nv.value() > 20'000'000) {
+    return ErrorJson("nu/nv must be in [1, 2e7]");
+  }
+  if (edges.value() < 0 || edges.value() > 200'000'000) {
+    return ErrorJson("edges must be in [0, 2e8]");
+  }
+  if (attrs.value() < 1 || attrs.value() > 1024) {
+    return ErrorJson("attrs must be in [1, 1024]");
+  }
+  if (communities.value() < 1 || communities.value() > 1'000'000) {
+    return ErrorJson("communities must be in [1, 1e6]");
+  }
+  if (!(gamma.value() > 1.0) || gamma.value() > 10.0) {
+    return ErrorJson("gamma must be in (1, 10]");
+  }
+  BipartiteGraph g;
+  if (kind == "uniform") {
+    g = MakeUniformRandom(static_cast<VertexId>(nu.value()),
+                          static_cast<VertexId>(nv.value()),
+                          static_cast<EdgeIndex>(edges.value()),
+                          static_cast<AttrId>(attrs.value()),
+                          static_cast<std::uint64_t>(seed.value()));
+  } else if (kind == "powerlaw") {
+    g = MakePowerLaw(static_cast<VertexId>(nu.value()),
+                     static_cast<VertexId>(nv.value()),
+                     static_cast<EdgeIndex>(edges.value()), gamma.value(),
+                     static_cast<AttrId>(attrs.value()),
+                     static_cast<std::uint64_t>(seed.value()));
+  } else if (kind == "affiliation") {
+    AffiliationConfig config;
+    config.num_upper = static_cast<VertexId>(nu.value());
+    config.num_lower = static_cast<VertexId>(nv.value());
+    config.num_communities = static_cast<std::uint32_t>(communities.value());
+    config.num_upper_attrs = static_cast<AttrId>(attrs.value());
+    config.num_lower_attrs = static_cast<AttrId>(attrs.value());
+    config.seed = static_cast<std::uint64_t>(seed.value());
+    g = MakeAffiliation(config);
+  } else {
+    return ErrorJson("bad kind (uniform|powerlaw|affiliation)");
+  }
+  Status st = catalog_.AddGraph(name, std::move(g), "<gen:" + kind + ">");
+  if (!st.ok()) return ErrorJson(st);
+  return EntryReply("gen", name);
+}
+
+std::string ServerSession::Save(const RequestLine& req) {
+  const std::string name = Arg(req, "name", "");
+  const std::string path = Arg(req, "path", "");
+  if (name.empty() || path.empty()) {
+    return ErrorJson("save needs name=NAME path=FILE");
+  }
+  auto entry = catalog_.Get(name);
+  if (entry == nullptr) return ErrorJson("unknown graph: " + name);
+  Status st = WriteSnapshot(entry->graph, path);
+  if (!st.ok()) return ErrorJson(st);
+  return "{\"ok\":true,\"cmd\":\"save\",\"name\":\"" + JsonEscape(name) +
+         "\",\"path\":\"" + JsonEscape(path) + "\",\"version\":\"" +
+         JsonHex64(entry->version) + "\"}";
+}
+
+std::string ServerSession::Drop(const RequestLine& req) {
+  const std::string name = Arg(req, "name", "");
+  if (name.empty()) return ErrorJson("drop needs name=NAME");
+  if (!catalog_.Remove(name)) return ErrorJson("unknown graph: " + name);
+  return "{\"ok\":true,\"cmd\":\"drop\",\"name\":\"" + JsonEscape(name) +
+         "\"}";
+}
+
+std::string ServerSession::Catalog() {
+  std::ostringstream os;
+  os << "{\"ok\":true,\"cmd\":\"catalog\",\"graphs\":[";
+  bool first = true;
+  for (const auto& entry : catalog_.List()) {
+    if (!first) os << ",";
+    first = false;
+    os << CatalogEntryJson(*entry);
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string ServerSession::Query(const RequestLine& req) {
+  auto built = BuildQueryRequest(req);
+  if (!built.ok()) return ErrorJson(built.status());
+  const QueryRequest query = std::move(built).value();
+  QueryResult result = executor_.Execute(query);
+  return QueryResultJson(query, result);
+}
+
+// `sweep` expands a parameter grid (comma lists) into one batch and
+// admits it onto the executor's pool — this is where the server's
+// --threads width does concurrent work. Response: one JSON object
+// with the per-query results, positionally aligned with the grid in
+// alphas-outer / betas / deltas-inner order.
+std::string ServerSession::Sweep(const RequestLine& req) {
+  RequestLine base = req;
+  base.args["alpha"] = "0";
+  base.args["beta"] = "0";
+  base.args["delta"] = "0";
+  auto built = BuildQueryRequest(base);
+  if (!built.ok()) return ErrorJson(built.status());
+  const QueryRequest prototype = std::move(built).value();
+
+  // Each list value gets the same strict parse + range check as the
+  // scalar query parameters: `sweep alphas=-1` must be an error, not a
+  // wrapped-to-4294967295 grid point.
+  auto list = [&](const std::string& key, const std::string& fallback)
+      -> Result<std::vector<std::uint32_t>> {
+    std::vector<std::uint32_t> values;
+    std::istringstream ss(Arg(req, key, fallback));
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      std::int64_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec != std::errc() || ptr != token.data() + token.size()) {
+        return Status::InvalidArgument(key + " wants a comma list of " +
+                                       "integers, got \"" + token + "\"");
+      }
+      if (value < 0 || value > kMaxParamValue) {
+        return RangeError(key + " values", "[0, 1000000000]");
+      }
+      values.push_back(static_cast<std::uint32_t>(value));
+    }
+    if (values.empty()) {
+      return Status::InvalidArgument(key + " wants a nonempty comma list");
+    }
+    return values;
+  };
+  auto alphas = list("alphas", "1");
+  if (!alphas.ok()) return ErrorJson(alphas.status());
+  auto betas = list("betas", "1");
+  if (!betas.ok()) return ErrorJson(betas.status());
+  auto deltas = list("deltas", "0");
+  if (!deltas.ok()) return ErrorJson(deltas.status());
+
+  constexpr std::size_t kMaxSweep = 4096;
+  if (alphas.value().size() * betas.value().size() * deltas.value().size() >
+      kMaxSweep) {
+    return ErrorJson("sweep grid too large (max 4096 points)");
+  }
+
+  std::vector<QueryRequest> grid;
+  for (std::uint32_t alpha : alphas.value()) {
+    for (std::uint32_t beta : betas.value()) {
+      for (std::uint32_t delta : deltas.value()) {
+        QueryRequest point = prototype;
+        point.params.alpha = alpha;
+        point.params.beta = beta;
+        point.params.delta = delta;
+        grid.push_back(point);
+      }
+    }
+  }
+  std::vector<QueryResult> results = executor_.ExecuteBatch(grid);
+  std::ostringstream os;
+  os << "{\"ok\":true,\"cmd\":\"sweep\",\"queries\":" << grid.size()
+     << ",\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    os << (i > 0 ? "," : "") << QueryResultJson(grid[i], results[i]);
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string ServerSession::EntryReply(const std::string& cmd,
+                                      const std::string& name) {
+  auto entry = catalog_.Get(name);
+  if (entry == nullptr) return ErrorJson("entry vanished: " + name);
+  return "{\"ok\":true,\"cmd\":\"" + cmd +
+         "\",\"entry\":" + CatalogEntryJson(*entry) + "}";
+}
+
+bool ServeStream(std::istream& in, std::ostream& out, ServerSession& session) {
+  bool stop_server = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string response;
+    const bool keep_going = session.Handle(line, &response, &stop_server);
+    if (!response.empty()) out << response << "\n" << std::flush;
+    if (!keep_going) break;
+  }
+  return stop_server;
+}
+
+TcpServer::TcpServer(GraphCatalog& catalog, QueryExecutor& executor,
+                     const TcpServerOptions& options)
+    : catalog_(catalog), executor_(executor), options_(options) {}
+
+TcpServer::~TcpServer() {
+  Reap(/*all=*/true);
+  if (listener_ >= 0) ::close(listener_);
+}
+
+Status TcpServer::Listen() {
+  listener_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener_ < 0) {
+    return Status::Internal("socket() failed");
+  }
+  int reuse = 1;
+  ::setsockopt(listener_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listener_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener_, 16) < 0) {
+    ::close(listener_);
+    listener_ = -1;
+    return Status::Internal("cannot listen on 127.0.0.1:" +
+                            std::to_string(options_.port));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+  return Status::OK();
+}
+
+void TcpServer::RequestStop() {
+  stopping_.store(true, std::memory_order_release);
+  // shutdown(2) — not close(2) — wakes a blocked accept() without
+  // invalidating the fd another thread may be using: race-free shutdown.
+  if (listener_ >= 0) ::shutdown(listener_, SHUT_RDWR);
+}
+
+void TcpServer::Reap(bool all) {
+  // Splice the reapable slots out under the lock, join them outside it:
+  // joining under sessions_mu_ could deadlock with a session thread that
+  // is itself blocked on the mutex in its epilogue reap. splice keeps
+  // the list nodes alive, so RunSession's `slot` pointer stays valid.
+  std::list<SessionSlot> done;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      // A session thread reaping its peers must never join itself (its
+      // own finished flag is not yet set at that point anyway; the id
+      // check makes self-joining structurally impossible).
+      if ((all || it->finished.load(std::memory_order_acquire)) &&
+          it->thread.get_id() != std::this_thread::get_id()) {
+        auto next = std::next(it);
+        done.splice(done.end(), sessions_, it);
+        it = next;
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (SessionSlot& slot : done) {
+    if (slot.thread.joinable()) slot.thread.join();
+  }
+}
+
+void TcpServer::Serve() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int client = ::accept(listener_, nullptr, nullptr);
+    if (client < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      // A resident server must survive transient accept failures: a
+      // client aborting in the backlog (ECONNABORTED), a signal (EINTR)
+      // or fd exhaustion while sessions hold sockets (EMFILE/ENFILE —
+      // back off briefly so the loop cannot spin at the limit).
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      std::perror("fairbc_server: accept");
+      break;  // not a known-transient failure: shut down cleanly.
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(client);
+      break;
+    }
+    Reap(/*all=*/false);
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      // Turn the client away with a parseable error rather than leaving
+      // it queued behind an unbounded backlog.
+      std::string reply =
+          ErrorJson("server full: max-sessions=" +
+                    std::to_string(options_.max_sessions)) +
+          "\n";
+      (void)!::send(client, reply.data(), reply.size(), MSG_NOSIGNAL);
+      ::close(client);
+      continue;
+    }
+    const std::uint64_t id =
+        next_session_id_.fetch_add(1, std::memory_order_relaxed);
+    sessions_started_.fetch_add(1, std::memory_order_relaxed);
+    sessions_.emplace_back();
+    SessionSlot* slot = &sessions_.back();
+    slot->thread = std::thread(
+        [this, client, id, slot] { RunSession(client, id, slot); });
+  }
+  // Drain: let every active session finish its stream before returning.
+  Reap(/*all=*/true);
+}
+
+void TcpServer::RunSession(int client_fd, std::uint64_t id,
+                           SessionSlot* slot) {
+  FILE* rf = ::fdopen(client_fd, "r");
+  if (rf == nullptr) {
+    ::close(client_fd);
+    slot->finished.store(true, std::memory_order_release);
+    return;
+  }
+  ServerSession session(catalog_, executor_, id);
+  bool stop_server = false;
+  char* buf = nullptr;
+  size_t cap = 0;
+  ssize_t len;
+  bool keep_going = true;
+  while (keep_going && (len = ::getline(&buf, &cap, rf)) >= 0) {
+    std::string line(buf, static_cast<std::size_t>(len));
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    std::string response;
+    keep_going = session.Handle(line, &response, &stop_server);
+    if (!response.empty()) {
+      response += "\n";
+      const char* data = response.data();
+      std::size_t remaining = response.size();
+      while (remaining > 0) {
+        // MSG_NOSIGNAL: a client resetting mid-response must surface as
+        // an EPIPE error here, never as a process-wide SIGPIPE (the
+        // tests run this server in-process without a signal handler).
+        ssize_t n = ::send(client_fd, data, remaining, MSG_NOSIGNAL);
+        if (n <= 0) {
+          keep_going = false;
+          break;
+        }
+        data += n;
+        remaining -= static_cast<std::size_t>(n);
+      }
+    }
+  }
+  std::free(buf);
+  ::fclose(rf);  // also closes the client fd.
+  if (stop_server) RequestStop();
+  // Join already-finished peers so an idle server does not accumulate
+  // exited-but-unjoined threads until the next accept. The id check in
+  // Reap keeps this thread from touching its own slot; its own join
+  // happens on the next accept-loop reap or the final drain.
+  Reap(/*all=*/false);
+  slot->finished.store(true, std::memory_order_release);
+}
+
+}  // namespace fairbc

@@ -1,0 +1,177 @@
+#ifndef FAIRBC_SERVICE_SERVER_H_
+#define FAIRBC_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "service/graph_catalog.h"
+#include "service/query.h"
+#include "service/query_executor.h"
+
+namespace fairbc {
+
+/// Line protocol of fairbc_server, shared by the stdin/stdout mode, the
+/// TCP mode and the in-process tests. One request per line, `command
+/// key=value ...`; one JSON object per response line (every response
+/// carries the serving session's id as `"session":N`). Blank lines and
+/// `#` comments are ignored. Malformed requests — including unparsable
+/// or out-of-range numeric arguments — get {"ok":false,"error":...}; the
+/// server never exits on bad input.
+///
+///   ping
+///   load name=G path=FILE [format=snapshot|mmap|attr|edges]
+///   gen name=G [kind=uniform|powerlaw|affiliation] [nu=N] [nv=N]
+///       [edges=M] [attrs=K] [seed=S] [communities=C]
+///   save name=G path=FILE
+///   catalog
+///   query graph=G [model=ssfbc|bsfbc] [algo=pp|bcem|naive] [alpha=A]
+///         [beta=B] [delta=D] [theta=T] [ordering=deg|id]
+///         [pruning=colorful|core|none] [budget=SECONDS] [threads=N]
+///         [cache=0|1]
+///   sweep graph=G alphas=2,3 betas=2,3 deltas=1,2 [query keys...]
+///   cache        (cache + single-flight telemetry)
+///   drop name=G
+///   quit         (ends THIS session: closes the TCP connection / stops
+///                 reading the stdin stream; the server keeps serving
+///                 other sessions)
+///   stop         (ends this session AND stops the server: no new TCP
+///                 connections are accepted and the accept loop drains —
+///                 it returns once every active session has ended. In
+///                 stdin mode the single session is the server, so quit
+///                 and stop both terminate the process; stop additionally
+///                 reports the server-stop intent to the caller, which
+///                 logs it.)
+struct RequestLine {
+  std::string command;
+  std::map<std::string, std::string> args;
+};
+
+RequestLine ParseRequestLine(const std::string& line);
+
+/// Builds a QueryRequest from a `query` line; unset keys keep the same
+/// defaults as `fairbc_cli enum`. Numeric arguments are strictly
+/// validated: alpha/beta/delta must be integers in [0, 1e9] (a negative
+/// value must NOT wrap to a huge unsigned), theta must be in [0, 1],
+/// budget must be >= 0 and threads in [0, 1024].
+Result<QueryRequest> BuildQueryRequest(const RequestLine& req);
+
+/// One server session: shares the catalog/executor (and therefore the
+/// result cache and single-flight table) with every other session; owns
+/// nothing but its id.
+class ServerSession {
+ public:
+  ServerSession(GraphCatalog& catalog, QueryExecutor& executor,
+                std::uint64_t id);
+
+  /// Handles one request line. Returns false when the session ends
+  /// (quit/stop); `stop_server` is latched by `stop`.
+  bool Handle(const std::string& line, std::string* response,
+              bool* stop_server);
+
+  std::uint64_t id() const { return id_; }
+
+ private:
+  std::string Dispatch(const RequestLine& req);
+  std::string Load(const RequestLine& req);
+  std::string Gen(const RequestLine& req);
+  std::string Save(const RequestLine& req);
+  std::string Drop(const RequestLine& req);
+  std::string Catalog();
+  std::string Query(const RequestLine& req);
+  std::string Sweep(const RequestLine& req);
+  std::string EntryReply(const std::string& cmd, const std::string& name);
+  /// Prefixes `"session":id` into a `{...}` response object.
+  std::string Tag(std::string json) const;
+
+  GraphCatalog& catalog_;
+  QueryExecutor& executor_;
+  const std::uint64_t id_;
+};
+
+/// Serves one already-open line stream (the stdin/stdout mode). Returns
+/// true when the session ended via `stop` (server shutdown requested),
+/// false on `quit` or end of stream.
+bool ServeStream(std::istream& in, std::ostream& out, ServerSession& session);
+
+struct TcpServerOptions {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  int port = 0;
+  /// Connections served concurrently; further clients are turned away
+  /// with a "server full" error response. Must be >= 1.
+  unsigned max_sessions = 8;
+};
+
+/// Concurrent TCP front end: the accept loop hands each connection to a
+/// detached-from-the-acceptor session thread (a SessionRunner running the
+/// read/dispatch/write loop over its own ServerSession), bounded by
+/// max_sessions. Catalog, executor, result cache and single-flight table
+/// are shared across sessions; per-session state is just the id stamped
+/// into every response.
+///
+/// Shutdown: `stop` (from any session) or RequestStop() stops the accept
+/// loop race-free (shutdown(2) on the listener wakes a blocked accept)
+/// and Serve() then drains — joins every active session thread, letting
+/// in-flight sessions finish their streams — before returning.
+class TcpServer {
+ public:
+  TcpServer(GraphCatalog& catalog, QueryExecutor& executor,
+            const TcpServerOptions& options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds and listens on 127.0.0.1:options.port. Must be called (and
+  /// have succeeded) before Serve().
+  Status Listen();
+
+  /// The bound port (resolves options.port == 0 to the ephemeral pick).
+  int port() const { return port_; }
+
+  /// Blocking accept loop; returns after a stop request has been seen
+  /// and every session thread has been joined.
+  void Serve();
+
+  /// Stops accepting new connections and wakes a blocked accept. Safe
+  /// from any thread (sessions call it when they see `stop`).
+  void RequestStop();
+
+  /// Sessions ever admitted (telemetry/test aid).
+  std::uint64_t sessions_started() const {
+    return sessions_started_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct SessionSlot {
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+
+  /// The per-connection session loop (read line, dispatch, write reply).
+  void RunSession(int client_fd, std::uint64_t id, SessionSlot* slot);
+  /// Joins finished session threads; with `all` set, joins every one
+  /// (the drain path — blocks until active sessions end).
+  void Reap(bool all);
+
+  GraphCatalog& catalog_;
+  QueryExecutor& executor_;
+  const TcpServerOptions options_;
+  int listener_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> next_session_id_{1};
+  std::atomic<std::uint64_t> sessions_started_{0};
+  std::mutex sessions_mu_;
+  std::list<SessionSlot> sessions_;
+};
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_SERVICE_SERVER_H_

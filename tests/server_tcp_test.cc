@@ -1,0 +1,439 @@
+// In-process tests of the fairbc_server front end (service/server.h):
+// request validation (the `alpha=-1` wrap class of bugs), uniform
+// quit/stop stream semantics, and the concurrent TCP server — ≥4
+// simultaneous client sessions with interleaved load/query/drop, session
+// ids in every response, the --max-sessions admission bound, and the
+// stop-then-drain shutdown. Runs the real sockets and session threads in
+// this process so the TSan CI job sees every interleaving.
+
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "graph/generators.h"
+#include "graph/snapshot.h"
+#include "service/graph_catalog.h"
+#include "service/query_executor.h"
+
+namespace fairbc {
+namespace {
+
+BipartiteGraph ServerTestGraph(std::uint64_t seed = 29) {
+  AffiliationConfig config;
+  config.num_upper = 200;
+  config.num_lower = 200;
+  config.num_communities = 12;
+  config.seed = seed;
+  return MakeAffiliation(config);
+}
+
+std::string JsonField(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  auto pos = json.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  std::string value;
+  if (json[pos] == '"') {
+    for (++pos; pos < json.size() && json[pos] != '"'; ++pos) {
+      value += json[pos];
+    }
+  } else {
+    for (; pos < json.size() && json[pos] != ',' && json[pos] != '}'; ++pos) {
+      value += json[pos];
+    }
+  }
+  return value;
+}
+
+// --- request validation -----------------------------------------------------
+
+Status BuildStatus(const std::string& line) {
+  auto built = BuildQueryRequest(ParseRequestLine(line));
+  return built.ok() ? Status::OK() : built.status();
+}
+
+TEST(BuildQueryRequestTest, RejectsNegativeAndOutOfRangeNumerics) {
+  // The original bug: `alpha=-1` wrapped through static_cast<uint32_t>
+  // to 4294967295 and silently ran an absurd query.
+  EXPECT_FALSE(BuildStatus("query graph=g alpha=-1").ok());
+  EXPECT_FALSE(BuildStatus("query graph=g beta=-7").ok());
+  EXPECT_FALSE(BuildStatus("query graph=g delta=-1").ok());
+  EXPECT_FALSE(BuildStatus("query graph=g alpha=4294967295").ok());
+  EXPECT_FALSE(BuildStatus("query graph=g alpha=abc").ok());
+  EXPECT_FALSE(BuildStatus("query graph=g alpha=3x").ok());
+  EXPECT_FALSE(BuildStatus("query graph=g threads=-2").ok());
+  EXPECT_FALSE(BuildStatus("query graph=g threads=9999").ok());
+  EXPECT_FALSE(BuildStatus("query graph=g budget=-1").ok());
+  const Status alpha = BuildStatus("query graph=g alpha=-1");
+  EXPECT_NE(alpha.ToString().find("alpha"), std::string::npos);
+}
+
+TEST(BuildQueryRequestTest, ValidatesThetaIntoUnitInterval) {
+  EXPECT_FALSE(BuildStatus("query graph=g theta=-0.1").ok());
+  EXPECT_FALSE(BuildStatus("query graph=g theta=1.5").ok());
+  EXPECT_FALSE(BuildStatus("query graph=g theta=nope").ok());
+  EXPECT_TRUE(BuildStatus("query graph=g theta=0").ok());
+  EXPECT_TRUE(BuildStatus("query graph=g theta=1").ok());
+  EXPECT_TRUE(BuildStatus("query graph=g theta=0.4").ok());
+}
+
+TEST(BuildQueryRequestTest, AcceptsDefaultsAndBoundaryValues) {
+  auto built = BuildQueryRequest(
+      ParseRequestLine("query graph=g alpha=0 beta=1000000000 delta=0"));
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().params.alpha, 0u);
+  EXPECT_EQ(built.value().params.beta, 1'000'000'000u);
+}
+
+TEST(ServerSessionTest, SweepRejectsNegativeAndMalformedLists) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", ServerTestGraph()).ok());
+  QueryExecutor executor(catalog, {});
+  ServerSession session(catalog, executor, /*id=*/7);
+
+  bool stop = false;
+  std::string response;
+  // The original bug: std::stoul("-1") wraps instead of failing.
+  ASSERT_TRUE(session.Handle("sweep graph=g alphas=-1", &response, &stop));
+  EXPECT_EQ(JsonField(response, "ok"), "false") << response;
+  ASSERT_TRUE(
+      session.Handle("sweep graph=g alphas=1,zap betas=2", &response, &stop));
+  EXPECT_EQ(JsonField(response, "ok"), "false") << response;
+  ASSERT_TRUE(session.Handle("sweep graph=g alphas=2 betas=2 deltas=1,2",
+                             &response, &stop));
+  EXPECT_EQ(JsonField(response, "ok"), "true") << response;
+  EXPECT_EQ(JsonField(response, "queries"), "2");
+  EXPECT_EQ(JsonField(response, "session"), "7");
+}
+
+TEST(ServerSessionTest, QueryErrorsCarrySessionIdAndOkFalse) {
+  GraphCatalog catalog;
+  QueryExecutor executor(catalog, {});
+  ServerSession session(catalog, executor, /*id=*/3);
+  bool stop = false;
+  std::string response;
+  ASSERT_TRUE(session.Handle("query graph=g alpha=-1", &response, &stop));
+  EXPECT_EQ(JsonField(response, "ok"), "false");
+  EXPECT_EQ(JsonField(response, "session"), "3");
+  EXPECT_NE(response.find("alpha"), std::string::npos);
+}
+
+// --- stream (stdin mode) semantics ------------------------------------------
+
+TEST(ServeStreamTest, StopRequestsServerShutdownQuitDoesNot) {
+  GraphCatalog catalog;
+  QueryExecutor executor(catalog, {});
+
+  {
+    ServerSession session(catalog, executor, 0);
+    std::istringstream in("ping\nstop\nping\n");
+    std::ostringstream out;
+    EXPECT_TRUE(ServeStream(in, out, session));  // stop latched.
+    // stop ends the session: the trailing ping is never answered.
+    EXPECT_EQ(out.str().find("ping", out.str().find("stop")),
+              std::string::npos);
+  }
+  {
+    ServerSession session(catalog, executor, 0);
+    std::istringstream in("ping\nquit\n");
+    std::ostringstream out;
+    EXPECT_FALSE(ServeStream(in, out, session));
+  }
+  {  // End of stream without quit/stop: clean non-stop return.
+    ServerSession session(catalog, executor, 0);
+    std::istringstream in("ping\n");
+    std::ostringstream out;
+    EXPECT_FALSE(ServeStream(in, out, session));
+    EXPECT_EQ(JsonField(out.str(), "session"), "0");
+  }
+}
+
+// --- TCP --------------------------------------------------------------------
+
+/// Minimal blocking line client against 127.0.0.1:port.
+class LineClient {
+ public:
+  explicit LineClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    connected_ = fd_ >= 0 && ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                                       sizeof(addr)) == 0;
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  bool connected() const { return connected_; }
+
+  bool Send(const std::string& line) {
+    std::string data = line + "\n";
+    std::size_t off = 0;
+    while (off < data.size()) {
+      // MSG_NOSIGNAL: sending to a closed session must fail, not SIGPIPE
+      // the test binary.
+      ssize_t n =
+          ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads one \n-terminated line ("" on EOF/error).
+  std::string RecvLine() {
+    std::string line;
+    char c;
+    for (;;) {
+      ssize_t n = ::read(fd_, &c, 1);
+      if (n <= 0) return "";
+      if (c == '\n') return line;
+      line += c;
+    }
+  }
+
+  std::string Ask(const std::string& line) {
+    if (!Send(line)) return "";
+    return RecvLine();
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+/// A server running in a background thread for the duration of a test.
+class ServerFixture {
+ public:
+  explicit ServerFixture(unsigned max_sessions = 8,
+                         std::size_t cache_capacity = 256) {
+    QueryExecutorOptions options;
+    options.num_threads = 2;
+    options.cache_capacity = cache_capacity;
+    executor_ = std::make_unique<QueryExecutor>(catalog_, options);
+    TcpServerOptions tcp;
+    tcp.port = 0;  // ephemeral
+    tcp.max_sessions = max_sessions;
+    server_ = std::make_unique<TcpServer>(catalog_, *executor_, tcp);
+    FAIRBC_CHECK(server_->Listen().ok());
+    serve_thread_ = std::thread([this] {
+      server_->Serve();
+      serve_returned_.store(true, std::memory_order_release);
+    });
+  }
+
+  ~ServerFixture() {
+    server_->RequestStop();
+    serve_thread_.join();
+  }
+
+  int port() const { return server_->port(); }
+  TcpServer& server() { return *server_; }
+  GraphCatalog& catalog() { return catalog_; }
+  QueryExecutor& executor() { return *executor_; }
+  bool serve_returned() const {
+    return serve_returned_.load(std::memory_order_acquire);
+  }
+
+ private:
+  GraphCatalog catalog_;
+  std::unique_ptr<QueryExecutor> executor_;
+  std::unique_ptr<TcpServer> server_;
+  std::thread serve_thread_;
+  std::atomic<bool> serve_returned_{false};
+};
+
+/// Acceptance criterion: ≥4 simultaneous client sessions with
+/// interleaved load/query/drop — distinct session ids, every response
+/// tagged, identical digests for identical parameters across sessions.
+TEST(TcpServerTest, FourConcurrentSessionsInterleaved) {
+  ServerFixture fx;
+  ASSERT_TRUE(fx.catalog().AddGraph("g", ServerTestGraph()).ok());
+  const std::string snap = ::testing::TempDir() + "/tcp_extra.snap";
+  ASSERT_TRUE(WriteSnapshot(ServerTestGraph(/*seed=*/31), snap).ok());
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 6;
+  std::vector<std::string> session_ids(kClients);
+  std::vector<std::vector<std::string>> digests(kClients);
+  // Not vector<bool>: concurrent writers need distinct objects, and
+  // vector<bool> packs its flags into shared words (a data race).
+  std::array<std::atomic<bool>, kClients> failed{};
+  std::barrier sync(kClients);
+
+  auto run_client = [&](int idx) {
+    LineClient client(fx.port());
+    if (!client.connected()) {
+      failed[idx] = true;
+      return;
+    }
+    // All four sessions are provably simultaneous: each holds its
+    // connection across the barrier below.
+    std::string pong = client.Ask("ping");
+    session_ids[idx] = JsonField(pong, "session");
+    sync.arrive_and_wait();
+    for (int round = 0; round < kRounds; ++round) {
+      // Interleave per-session catalog churn (load/drop of a private
+      // name) with queries against the shared graph.
+      const std::string mine = "side" + std::to_string(idx);
+      std::string loaded = client.Ask("load name=" + mine + " path=" + snap +
+                                      (idx % 2 ? " format=mmap" : ""));
+      if (JsonField(loaded, "ok") != "true") failed[idx] = true;
+      const std::uint32_t alpha = 2 + (round % 2);
+      std::string reply =
+          client.Ask("query graph=g alpha=" + std::to_string(alpha) +
+                     " beta=2 delta=1");
+      if (JsonField(reply, "ok") != "true" ||
+          JsonField(reply, "session") != session_ids[idx]) {
+        failed[idx] = true;
+      }
+      digests[idx].push_back(JsonField(reply, "digest"));
+      std::string dropped = client.Ask("drop name=" + mine);
+      if (JsonField(dropped, "ok") != "true") failed[idx] = true;
+    }
+    sync.arrive_and_wait();
+    client.Ask("quit");
+  };
+
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) clients.emplace_back(run_client, i);
+  for (std::thread& t : clients) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_FALSE(failed[i].load()) << "client " << i;
+    EXPECT_FALSE(session_ids[i].empty());
+    ASSERT_EQ(digests[i].size(), static_cast<std::size_t>(kRounds));
+    // Same parameter point ⇒ same digest, whichever session asked.
+    EXPECT_EQ(digests[i][0], digests[0][0]);
+    EXPECT_EQ(digests[i][1], digests[0][1]);
+    for (int j = 0; j < i; ++j) {
+      EXPECT_NE(session_ids[i], session_ids[j]) << "session ids must differ";
+    }
+  }
+  EXPECT_GE(fx.server().sessions_started(), 4u);
+}
+
+TEST(TcpServerTest, MaxSessionsBoundTurnsExtraClientsAway) {
+  ServerFixture fx(/*max_sessions=*/1);
+
+  LineClient first(fx.port());
+  ASSERT_TRUE(first.connected());
+  // Round-trip before the second connect so admission has happened.
+  ASSERT_EQ(JsonField(first.Ask("ping"), "ok"), "true");
+
+  LineClient second(fx.port());
+  ASSERT_TRUE(second.connected());
+  const std::string rejected = second.RecvLine();
+  EXPECT_EQ(JsonField(rejected, "ok"), "false") << rejected;
+  EXPECT_NE(rejected.find("server full"), std::string::npos) << rejected;
+
+  // After the first session quits, the slot frees up.
+  first.Ask("quit");
+  for (int attempt = 0;; ++attempt) {
+    LineClient retry(fx.port());
+    ASSERT_TRUE(retry.connected());
+    std::string pong = retry.Ask("ping");
+    if (JsonField(pong, "ok") == "true") {
+      retry.Ask("quit");
+      break;
+    }
+    ASSERT_LT(attempt, 200) << "slot never freed after quit";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+TEST(TcpServerTest, StopStopsAcceptingAndDrainsActiveSessions) {
+  ServerFixture fx;
+  ASSERT_TRUE(fx.catalog().AddGraph("g", ServerTestGraph()).ok());
+
+  LineClient survivor(fx.port());
+  ASSERT_TRUE(survivor.connected());
+  ASSERT_EQ(JsonField(survivor.Ask("ping"), "ok"), "true");
+
+  {
+    LineClient stopper(fx.port());
+    ASSERT_TRUE(stopper.connected());
+    std::string reply = stopper.Ask("stop");
+    EXPECT_EQ(JsonField(reply, "ok"), "true");
+    EXPECT_EQ(JsonField(reply, "cmd"), "stop");
+  }
+
+  // The surviving session keeps working while the server drains...
+  std::string reply = survivor.Ask("query graph=g alpha=2 beta=2 delta=1");
+  EXPECT_EQ(JsonField(reply, "ok"), "true") << reply;
+  EXPECT_FALSE(fx.serve_returned()) << "drain must wait for live sessions";
+
+  // ...and Serve() returns only after it ends.
+  survivor.Ask("quit");
+  for (int i = 0; i < 500 && !fx.serve_returned(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(fx.serve_returned());
+
+  // No new connections are admitted after stop: connect either fails or
+  // is closed without a served response.
+  LineClient late(fx.port());
+  if (late.connected()) {
+    EXPECT_EQ(late.Ask("ping"), "");
+  }
+}
+
+/// Concurrent identical queries across *sessions* coalesce: the cache
+/// command must report the single-flight counters.
+TEST(TcpServerTest, CacheCommandReportsCoalescedCounter) {
+  ServerFixture fx;
+  ASSERT_TRUE(fx.catalog().AddGraph("g", ServerTestGraph()).ok());
+
+  constexpr int kClients = 4;
+  std::barrier sync(kClients);
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&] {
+      LineClient client(fx.port());
+      if (!client.connected()) return;
+      sync.arrive_and_wait();
+      std::string reply = client.Ask("query graph=g alpha=2 beta=2 delta=1");
+      if (JsonField(reply, "ok") == "true") ok_count.fetch_add(1);
+      client.Ask("quit");
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  ASSERT_EQ(ok_count.load(), kClients);
+
+  // One execution total; everyone else coalesced or hit the cache.
+  EXPECT_EQ(fx.executor().execution_count(), 1u);
+  LineClient client(fx.port());
+  ASSERT_TRUE(client.connected());
+  std::string cache = client.Ask("cache");
+  EXPECT_EQ(JsonField(cache, "ok"), "true");
+  EXPECT_EQ(JsonField(cache, "executions"), "1") << cache;
+  const std::string coalesced = JsonField(cache, "coalesced");
+  ASSERT_FALSE(coalesced.empty());
+  EXPECT_EQ(std::stoul(coalesced) + std::stoul(JsonField(cache, "hits")),
+            static_cast<unsigned long>(kClients - 1))
+      << cache;
+  client.Ask("quit");
+}
+
+}  // namespace
+}  // namespace fairbc

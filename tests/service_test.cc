@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <barrier>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/timer.h"
@@ -81,6 +83,16 @@ TEST(GraphCatalogTest, AddFromFileAllFormatsAndErrors) {
   // Same content through either path → same version.
   EXPECT_EQ(catalog.Get("t")->version, catalog.Get("s")->version);
 
+  // The mmap format registers a view entry with the same version (same
+  // bytes) and no per-load CSR copies.
+  ASSERT_TRUE(
+      catalog.AddFromFile("m", snap_path, GraphCatalog::Format::kSnapshotMmap)
+          .ok());
+  EXPECT_TRUE(catalog.Get("m")->graph.IsView());
+  EXPECT_EQ(catalog.Get("m")->version, catalog.Get("s")->version);
+  ASSERT_EQ(ParseCatalogFormat("mmap"), GraphCatalog::Format::kSnapshotMmap);
+  EXPECT_STREQ(ToString(GraphCatalog::Format::kSnapshotMmap), "mmap");
+
   Status missing = catalog.AddFromFile("x", ::testing::TempDir() + "/nope.snap",
                                        GraphCatalog::Format::kSnapshot);
   EXPECT_FALSE(missing.ok());
@@ -116,11 +128,19 @@ TEST(ResultCacheTest, LruEvictionAndTelemetry) {
   EXPECT_EQ(t.hits, 0u);
 }
 
-TEST(ResultCacheTest, ZeroCapacityDisables) {
+TEST(ResultCacheTest, ZeroCapacityDisablesButCountsMisses) {
   ResultCache cache(0);
   cache.Insert("a", SummaryWithCount(1));
   EXPECT_FALSE(cache.Lookup("a").has_value());
-  EXPECT_EQ(cache.telemetry().insertions, 0u);
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  auto t = cache.telemetry();
+  EXPECT_EQ(t.insertions, 0u);
+  EXPECT_EQ(t.entries, 0u);
+  // A disabled cache still reports its lookup traffic: a --cache=0
+  // server under load must show real misses, not zeros.
+  EXPECT_EQ(t.misses, 2u);
+  EXPECT_EQ(t.hits, 0u);
+  EXPECT_EQ(t.HitRate(), 0.0);
 }
 
 TEST(CacheKeyTest, DistinguishesEveryParameter) {
@@ -289,6 +309,193 @@ TEST(QueryExecutorTest, BudgetExhaustedRunsAreNotCached) {
   EXPECT_FALSE(full.cache_hit);
   EXPECT_FALSE(full.summary.stats.budget_exhausted);
   EXPECT_GE(full.summary.count, result.summary.count);
+}
+
+/// Single-flight admission: N identical summary-only queries fired
+/// concurrently result in exactly ONE execution; every other caller is
+/// either coalesced behind the in-flight leader or served by the cache
+/// the leader filled — and all of them report the same digest. The
+/// executions==1 assertion is timing-independent: admission (cache
+/// lookup + in-flight join) is atomic in the executor.
+TEST(QueryExecutorTest, ConcurrentIdenticalQueriesCoalesce) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", ServiceTestGraph()).ok());
+  QueryExecutor executor(catalog, {});
+
+  QueryRequest req;
+  req.graph = "g";
+  req.params = {2, 2, 1, 0.0};
+
+  constexpr unsigned kCallers = 6;
+  std::vector<QueryResult> results(kCallers);
+  std::barrier sync(kCallers);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kCallers; ++t) {
+    threads.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      results[t] = executor.Execute(req);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  unsigned ran = 0, coalesced = 0, cache_hits = 0;
+  for (const QueryResult& r : results) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.summary.digest, results[0].summary.digest);
+    EXPECT_EQ(r.summary.count, results[0].summary.count);
+    ran += (!r.cache_hit && !r.coalesced) ? 1 : 0;
+    coalesced += r.coalesced ? 1 : 0;
+    cache_hits += r.cache_hit ? 1 : 0;
+  }
+  EXPECT_EQ(executor.execution_count(), 1u);
+  EXPECT_EQ(ran, 1u);
+  EXPECT_EQ(coalesced + cache_hits, kCallers - 1);
+  auto telemetry = executor.telemetry();
+  EXPECT_EQ(telemetry.executions, 1u);
+  EXPECT_EQ(telemetry.coalesced, coalesced);
+  EXPECT_EQ(telemetry.cache.insertions, 1u);
+
+  // A later identical query is a plain cache hit, not a new execution.
+  QueryResult replay = executor.Execute(req);
+  EXPECT_TRUE(replay.cache_hit);
+  EXPECT_EQ(executor.execution_count(), 1u);
+}
+
+/// Queries that must not share results do not coalesce: use_cache=false
+/// callers always run themselves.
+TEST(QueryExecutorTest, UncachedQueriesDoNotCoalesce) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", ServiceTestGraph()).ok());
+  QueryExecutor executor(catalog, {});
+
+  QueryRequest req;
+  req.graph = "g";
+  req.params = {2, 2, 1, 0.0};
+  req.use_cache = false;
+
+  constexpr unsigned kCallers = 3;
+  std::vector<QueryResult> results(kCallers);
+  std::barrier sync(kCallers);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kCallers; ++t) {
+    threads.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      results[t] = executor.Execute(req);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const QueryResult& r : results) {
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_FALSE(r.cache_hit);
+    EXPECT_FALSE(r.coalesced);
+    EXPECT_EQ(r.summary.digest, results[0].summary.digest);
+  }
+  EXPECT_EQ(executor.execution_count(), kCallers);
+  EXPECT_EQ(executor.coalesced_count(), 0u);
+}
+
+/// Queries carrying their own budget never wait on an identical-key
+/// leader (whose runtime may exceed their deadline — the cache key
+/// excludes budgets): they run themselves, so `coalesced` can never be
+/// set on a budgeted result, whatever the interleaving.
+TEST(QueryExecutorTest, BudgetedQueriesNeverWaitOnALeader) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", ServiceTestGraph()).ok());
+  QueryExecutor executor(catalog, {});
+
+  QueryRequest slow;
+  slow.graph = "g";
+  slow.params = {2, 2, 1, 0.0};
+
+  QueryRequest budgeted = slow;
+  budgeted.options.time_budget_seconds = 0.001;
+
+  constexpr unsigned kPairs = 3;
+  std::vector<QueryResult> budgeted_results(kPairs);
+  std::barrier sync(2 * kPairs);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kPairs; ++t) {
+    threads.emplace_back([&] {
+      sync.arrive_and_wait();
+      (void)executor.Execute(slow);
+    });
+    threads.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      budgeted_results[t] = executor.Execute(budgeted);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (const QueryResult& r : budgeted_results) {
+    ASSERT_TRUE(r.status.ok());
+    // Whatever the interleaving: a cache hit (leader already published)
+    // or an own run — never an adopted wait.
+    EXPECT_FALSE(r.coalesced);
+  }
+}
+
+/// Regression test for nested-pool oversubscription: a query inside an
+/// ExecuteBatch must not spin its own enumeration pool on top of the
+/// batch pool, however many threads the request asks for. The clamp is
+/// observable through QueryResult::effective_threads; direct Execute
+/// calls keep their requested width.
+TEST(QueryExecutorTest, BatchClampsPerQueryThreadsToOne) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", ServiceTestGraph()).ok());
+  QueryExecutorOptions options;
+  options.num_threads = 2;
+  QueryExecutor executor(catalog, options);
+
+  std::vector<QueryRequest> requests = MixedRequests("g");
+  for (QueryRequest& req : requests) {
+    req.include_bicliques = false;
+    req.use_cache = false;  // force real runs so the clamp is visible.
+    req.options.num_threads = 8;
+  }
+  std::vector<QueryResult> batched = executor.ExecuteBatch(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (const QueryResult& r : batched) {
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.effective_threads, 1u) << "nested pool inside a batch";
+  }
+
+  // The clamp changes thread accounting only, never the result set.
+  QueryResult direct = executor.Execute(requests[0]);
+  ASSERT_TRUE(direct.status.ok());
+  EXPECT_EQ(direct.effective_threads, 8u);
+  EXPECT_EQ(direct.summary.digest, batched[0].summary.digest);
+  EXPECT_EQ(direct.summary.count, batched[0].summary.count);
+}
+
+/// Queries run identically against an mmap'd catalog entry: same digest
+/// and count as the owned-snapshot entry of the same bytes.
+TEST(QueryExecutorTest, MmapEntryMatchesOwnedEntry) {
+  const std::string snap_path = ::testing::TempDir() + "/exec_mmap.snap";
+  ASSERT_TRUE(WriteSnapshot(ServiceTestGraph(), snap_path).ok());
+  GraphCatalog catalog;
+  ASSERT_TRUE(
+      catalog.AddFromFile("owned", snap_path, GraphCatalog::Format::kSnapshot)
+          .ok());
+  ASSERT_TRUE(catalog
+                  .AddFromFile("mapped", snap_path,
+                               GraphCatalog::Format::kSnapshotMmap)
+                  .ok());
+  ASSERT_TRUE(catalog.Get("mapped")->graph.IsView());
+  QueryExecutor executor(catalog, {});
+
+  QueryRequest req;
+  req.graph = "owned";
+  req.params = {2, 2, 1, 0.0};
+  req.use_cache = false;  // same content ⇒ same cache key; force real runs.
+  QueryResult owned = executor.Execute(req);
+  req.graph = "mapped";
+  QueryResult mapped = executor.Execute(req);
+  ASSERT_TRUE(owned.status.ok());
+  ASSERT_TRUE(mapped.status.ok());
+  EXPECT_EQ(executor.execution_count(), 2u);
+  EXPECT_EQ(owned.graph_version, mapped.graph_version);
+  EXPECT_EQ(owned.summary.digest, mapped.summary.digest);
+  EXPECT_EQ(owned.summary.count, mapped.summary.count);
 }
 
 /// Acceptance criterion: loading the largest generator config from a

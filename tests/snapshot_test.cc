@@ -83,6 +83,27 @@ TEST_P(SnapshotRoundTrip, SaveLoadByteIdentical) {
   EXPECT_TRUE(loaded.value().Validate().ok());
 }
 
+TEST_P(SnapshotRoundTrip, MmapViewByteIdenticalToCopyLoad) {
+  const BipartiteGraph g = MakeFamilyGraph();
+  const std::string path =
+      TempPath(std::string("view_") + GetParam() + ".snap");
+  ASSERT_TRUE(WriteSnapshot(g, path).ok());
+
+  // Copies of a view share the mapping and stay byte-identical; the
+  // mapping survives the original being destroyed.
+  BipartiteGraph copy;
+  {
+    auto view = ReadSnapshotView(path);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_TRUE(view.value().IsView());
+    ExpectByteIdentical(g, view.value());
+    EXPECT_TRUE(view.value().Validate().ok());
+    copy = view.value();
+  }
+  EXPECT_TRUE(copy.IsView());
+  ExpectByteIdentical(g, copy);
+}
+
 TEST_P(SnapshotRoundTrip, RewriteIsDeterministic) {
   const BipartiteGraph g = MakeFamilyGraph();
   const std::string p1 = TempPath("det1.snap");
@@ -136,6 +157,13 @@ class SnapshotCorruption : public ::testing::Test {
     return loaded.status().code();
   }
 
+  /// Same corruption must also be rejected by the mmap loader.
+  StatusCode LoadViewCode() {
+    auto loaded = ReadSnapshotView(path_);
+    if (loaded.ok()) return StatusCode::kOk;
+    return loaded.status().code();
+  }
+
   BipartiteGraph g_;
   std::string path_;
   std::string bytes_;
@@ -145,34 +173,47 @@ TEST_F(SnapshotCorruption, BadMagic) {
   bytes_[0] = 'X';
   WriteFileBytes(path_, bytes_);
   EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+  EXPECT_EQ(LoadViewCode(), StatusCode::kCorruptInput);
 }
 
 TEST_F(SnapshotCorruption, UnsupportedVersion) {
   bytes_[8] = 99;  // version field follows the 8-byte magic.
   WriteFileBytes(path_, bytes_);
   EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+  EXPECT_EQ(LoadViewCode(), StatusCode::kCorruptInput);
 }
 
 TEST_F(SnapshotCorruption, TruncatedHeader) {
   WriteFileBytes(path_, bytes_.substr(0, 20));
   EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+  EXPECT_EQ(LoadViewCode(), StatusCode::kCorruptInput);
 }
 
 TEST_F(SnapshotCorruption, TruncatedPayload) {
   WriteFileBytes(path_, bytes_.substr(0, bytes_.size() - 7));
   EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+  EXPECT_EQ(LoadViewCode(), StatusCode::kCorruptInput);
 }
 
 TEST_F(SnapshotCorruption, FlippedPayloadByteFailsChecksum) {
   bytes_[bytes_.size() - 1] ^= 0x40;
   WriteFileBytes(path_, bytes_);
   EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+  EXPECT_EQ(LoadViewCode(), StatusCode::kCorruptInput);
+}
+
+TEST_F(SnapshotCorruption, FlippedMidPayloadByteFailsChecksum) {
+  bytes_[48 + (bytes_.size() - 48) / 2] ^= 0x04;
+  WriteFileBytes(path_, bytes_);
+  EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+  EXPECT_EQ(LoadViewCode(), StatusCode::kCorruptInput);
 }
 
 TEST_F(SnapshotCorruption, FlippedCountFieldFailsChecksum) {
   bytes_[24] ^= 0x01;  // num_upper, first byte of the count block.
   WriteFileBytes(path_, bytes_);
   EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+  EXPECT_EQ(LoadViewCode(), StatusCode::kCorruptInput);
 }
 
 TEST_F(SnapshotCorruption, HugeCountFieldRejectedBeforeAllocation) {
@@ -182,26 +223,97 @@ TEST_F(SnapshotCorruption, HugeCountFieldRejectedBeforeAllocation) {
   bytes_[39] ^= 0x80;  // num_edges occupies bytes 32..39.
   WriteFileBytes(path_, bytes_);
   EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+  EXPECT_EQ(LoadViewCode(), StatusCode::kCorruptInput);
 
   bytes_[39] ^= 0x80;
   bytes_[27] ^= 0x40;  // and the same for num_upper (bytes 24..27).
   WriteFileBytes(path_, bytes_);
   EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+  EXPECT_EQ(LoadViewCode(), StatusCode::kCorruptInput);
 }
 
 TEST_F(SnapshotCorruption, TrailingGarbageRejected) {
   WriteFileBytes(path_, bytes_ + "extra");
   EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+  EXPECT_EQ(LoadViewCode(), StatusCode::kCorruptInput);
 }
 
 TEST_F(SnapshotCorruption, EmptyFileRejected) {
   WriteFileBytes(path_, "");
   EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+  EXPECT_EQ(LoadViewCode(), StatusCode::kCorruptInput);
 }
 
 TEST_F(SnapshotCorruption, TextFileRejected) {
   WriteFileBytes(path_, "%fairbc 1 2 2 1 1\nE 0 0\n");
   EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+  EXPECT_EQ(LoadViewCode(), StatusCode::kCorruptInput);
+}
+
+TEST(SnapshotViewTest, MissingFileIsNotFound) {
+  auto loaded = ReadSnapshotView(TempPath("view_does_not_exist.snap"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+/// Serializes `g` in the (unpadded) version-1 layout, which WriteSnapshot
+/// no longer emits: the count block + six raw arrays, version field 1.
+/// The checksum definition is identical across versions.
+void WriteV1Snapshot(const BipartiteGraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+  const std::uint32_t version = 1;
+  const std::uint32_t reserved = 0;
+  const std::uint64_t checksum = GraphFingerprint(g);
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&reserved), sizeof(reserved));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  const std::uint32_t num_upper = g.NumUpper();
+  const std::uint32_t num_lower = g.NumLower();
+  const std::uint64_t num_edges = g.NumEdges();
+  const std::uint16_t num_upper_attrs = g.NumAttrs(Side::kUpper);
+  const std::uint16_t num_lower_attrs = g.NumAttrs(Side::kLower);
+  const std::uint32_t counts_reserved = 0;
+  out.write(reinterpret_cast<const char*>(&num_upper), sizeof(num_upper));
+  out.write(reinterpret_cast<const char*>(&num_lower), sizeof(num_lower));
+  out.write(reinterpret_cast<const char*>(&num_edges), sizeof(num_edges));
+  out.write(reinterpret_cast<const char*>(&num_upper_attrs),
+            sizeof(num_upper_attrs));
+  out.write(reinterpret_cast<const char*>(&num_lower_attrs),
+            sizeof(num_lower_attrs));
+  out.write(reinterpret_cast<const char*>(&counts_reserved),
+            sizeof(counts_reserved));
+  auto write_span = [&out](const auto span) {
+    out.write(reinterpret_cast<const char*>(span.data()),
+              static_cast<std::streamsize>(span.size_bytes()));
+  };
+  write_span(g.Offsets(Side::kUpper));
+  write_span(g.NeighborArray(Side::kUpper));
+  write_span(g.Offsets(Side::kLower));
+  write_span(g.NeighborArray(Side::kLower));
+  write_span(g.AttrArray(Side::kUpper));
+  write_span(g.AttrArray(Side::kLower));
+  ASSERT_TRUE(out.good());
+}
+
+/// Version-1 files (no alignment padding) stay loadable: the copying
+/// loader reads them directly and the mmap loader falls back to a copy
+/// (its u64 sections may start misaligned in a mapping).
+TEST(SnapshotViewTest, Version1FilesLoadAndFallBackToCopy) {
+  // An odd vertex count makes the attr sections odd-sized, so the v1 and
+  // v2 encodings genuinely differ (padding would be nonzero).
+  const BipartiteGraph g = MakeUniformRandom(101, 77, 900, 3, 11);
+  const std::string path = TempPath("v1.snap");
+  WriteV1Snapshot(g, path);
+
+  auto copied = ReadSnapshot(path);
+  ASSERT_TRUE(copied.ok()) << copied.status().ToString();
+  ExpectByteIdentical(g, copied.value());
+
+  auto view = ReadSnapshotView(path);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_FALSE(view.value().IsView());  // fallback = owned copy.
+  ExpectByteIdentical(g, view.value());
 }
 
 }  // namespace

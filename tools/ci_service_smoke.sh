@@ -4,6 +4,10 @@
 # and assert every response's count + result-set digest matches a
 # fairbc_cli run of the same parameters. Also checks the repeated
 # queries at the end of the trace were served from the ResultCache.
+# Then restarts the server in TCP mode (--port=0, mmap preload) and
+# replays the same trace through TWO PARALLEL TCP clients, diffing both
+# response streams against the same CLI oracle — exercising concurrent
+# sessions, session ids and single-flight admission end to end.
 #
 # Usage: tools/ci_service_smoke.sh [BUILD_DIR]   (default: build)
 
@@ -13,7 +17,10 @@ BUILD=${1:-build}
 CLI=$BUILD/fairbc_cli
 SERVER=$BUILD/fairbc_server
 WORK=$(mktemp -d)
-trap 'rm -rf "$WORK"' EXIT
+SERVER_PID=
+# A failed assertion mid-script must not leak the backgrounded TCP
+# server: kill it (if any) before removing the workdir.
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
 
 jsonfield() {  # jsonfield FILE_LINE KEY -> value (flat compact JSON)
   sed -n "s/.*\"$2\":\"\{0,1\}\([^,\"}]*\)\"\{0,1\}[,}].*/\1/p" <<<"$1"
@@ -58,32 +65,49 @@ test "${#RESPONSES[@]}" -eq 23
 
 grep -q '"ok":true' <<<"${RESPONSES[0]}" || { echo "load failed"; exit 1; }
 
-echo "== compare each response against fairbc_cli"
-hits=0
+echo "== build the fairbc_cli oracle (count + digest per parameter point)"
+CLI_COUNT=()
+CLI_DIGEST=()
 for i in "${!PARAMS[@]}"; do
   read -r model alpha beta delta <<<"${PARAMS[$i]}"
-  resp="${RESPONSES[$((i + 1))]}"
-  grep -q '"ok":true' <<<"$resp" || { echo "query $i failed: $resp"; exit 1; }
-
   cli_out=$("$CLI" enum --graph="$WORK/g.snap" --format=snapshot \
     --model="$model" --alpha="$alpha" --beta="$beta" --delta="$delta" \
     --count-only --output=json)
+  CLI_COUNT[$i]=$(jsonfield "$cli_out" count)
+  CLI_DIGEST[$i]=$(jsonfield "$cli_out" digest)
+  test -n "${CLI_COUNT[$i]}" || { echo "cli oracle $i failed"; exit 1; }
+done
 
-  for key in count digest; do
-    want=$(jsonfield "$cli_out" $key)
-    got=$(jsonfield "$resp" $key)
-    if [ -z "$want" ] || [ "$want" != "$got" ]; then
-      echo "MISMATCH query $i ($model a=$alpha b=$beta d=$delta):"
-      echo "  server $key=$got, cli $key=$want"
-      echo "  server: $resp"
-      echo "  cli:    $cli_out"
-      exit 1
+# check_stream LABEL RESP_FILE FIRST_QUERY_LINE — diffs a response
+# stream's queries against the oracle; prints the stream's cache-hit
+# count to stdout.
+check_stream() {
+  local label=$1 file=$2 offset=$3 hits=0
+  mapfile -t resp < "$file"
+  for i in "${!PARAMS[@]}"; do
+    read -r model alpha beta delta <<<"${PARAMS[$i]}"
+    local r="${resp[$((i + offset))]}"
+    grep -q '"ok":true' <<<"$r" \
+      || { echo "$label query $i failed: $r" >&2; return 1; }
+    local got_count got_digest
+    got_count=$(jsonfield "$r" count)
+    got_digest=$(jsonfield "$r" digest)
+    if [ "$got_count" != "${CLI_COUNT[$i]}" ] \
+       || [ "$got_digest" != "${CLI_DIGEST[$i]}" ]; then
+      echo "$label MISMATCH query $i ($model a=$alpha b=$beta d=$delta):" >&2
+      echo "  server count=$got_count digest=$got_digest" >&2
+      echo "  cli    count=${CLI_COUNT[$i]} digest=${CLI_DIGEST[$i]}" >&2
+      return 1
+    fi
+    if [ "$(jsonfield "$r" cache_hit)" = "true" ]; then
+      hits=$((hits + 1))
     fi
   done
-  if [ "$(jsonfield "$resp" cache_hit)" = "true" ]; then
-    hits=$((hits + 1))
-  fi
-done
+  echo "$hits"
+}
+
+echo "== compare each stdin response against the oracle"
+hits=$(check_stream stdin "$WORK/responses.txt" 1) || exit 1
 
 echo "== check cache telemetry"
 cache_hits=$(jsonfield "${RESPONSES[21]}" hits)
@@ -92,5 +116,83 @@ if [ "$hits" -lt 4 ] || [ "$cache_hits" -lt 4 ]; then
        "(telemetry: $cache_hits)"
   exit 1
 fi
+echo "stdin OK: 20 responses match fairbc_cli; $hits cache hits"
 
-echo "OK: 20 responses match fairbc_cli; $hits cache hits"
+echo "== restart in TCP mode (mmap preload) and replay through 2 parallel clients"
+"$SERVER" --port=0 --preload=g="$WORK/g.snap" --mmap --max-sessions=8 \
+  2> "$WORK/server.log" &
+SERVER_PID=$!
+PORT=
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' \
+         "$WORK/server.log")
+  [ -n "$PORT" ] && break
+  sleep 0.05
+done
+[ -n "$PORT" ] || { echo "server did not report its port"; cat "$WORK/server.log"; exit 1; }
+
+tcp_client() {  # tcp_client OUTFILE — graph preloaded, so queries only
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+  {
+    for p in "${PARAMS[@]}"; do
+      read -r model alpha beta delta <<<"$p"
+      echo "query graph=g model=$model alpha=$alpha beta=$beta delta=$delta"
+    done
+    echo "quit"
+  } >&3
+  local line n=0
+  while [ "$n" -lt $(( ${#PARAMS[@]} + 1 )) ] && read -r line <&3; do
+    echo "$line" >> "$1"
+    n=$((n + 1))
+  done
+  exec 3<&- 3>&-
+}
+
+tcp_client "$WORK/tcp_a.txt" & CA=$!
+tcp_client "$WORK/tcp_b.txt" & CB=$!
+wait "$CA" "$CB"
+
+hits_a=$(check_stream tcp-a "$WORK/tcp_a.txt" 0) || exit 1
+hits_b=$(check_stream tcp-b "$WORK/tcp_b.txt" 0) || exit 1
+
+# Distinct session ids prove both streams were real concurrent sessions.
+sid_a=$(jsonfield "$(head -1 "$WORK/tcp_a.txt")" session)
+sid_b=$(jsonfield "$(head -1 "$WORK/tcp_b.txt")" session)
+if [ -z "$sid_a" ] || [ "$sid_a" = "$sid_b" ]; then
+  echo "expected distinct session ids, got '$sid_a' and '$sid_b'"
+  exit 1
+fi
+
+echo "== stop the server (drain) and collect telemetry"
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+echo "cache" >&3
+read -r CACHE_LINE <&3
+echo "stop" >&3
+read -r _ <&3 || true
+exec 3<&- 3>&-
+wait "$SERVER_PID"
+SERVER_PID=
+
+total_hits=$(jsonfield "$CACHE_LINE" hits)
+coalesced=$(jsonfield "$CACHE_LINE" coalesced)
+executions=$(jsonfield "$CACHE_LINE" executions)
+# Two identical 20-query traces over 16 unique points: exactly 16 real
+# executions (single-flight coalesces concurrent identicals, the cache
+# serves the rest), so hits + coalesced must cover the other 24.
+if [ -z "$total_hits" ] || [ -z "$coalesced" ] || [ -z "$executions" ]; then
+  echo "TCP telemetry unexpected: $CACHE_LINE"
+  exit 1
+fi
+if [ "$executions" -gt 16 ]; then
+  echo "single-flight failed: $executions executions for 16 unique points"
+  exit 1
+fi
+if [ $((total_hits + coalesced)) -lt 24 ]; then
+  echo "expected hits+coalesced >= 24, got $total_hits+$coalesced" \
+       "($CACHE_LINE)"
+  exit 1
+fi
+
+echo "OK: stdin + 2 TCP clients match fairbc_cli" \
+     "(tcp hits: $hits_a/$hits_b, executions: $executions," \
+     "coalesced: $coalesced)"

@@ -1,8 +1,8 @@
 // fairbc command-line tool.
 //
 // Usage:
-//   fairbc_cli stats   --graph=FILE [--format=edges|attr|snapshot]
-//   fairbc_cli enum    --graph=FILE [--format=edges|attr|snapshot]
+//   fairbc_cli stats   --graph=FILE [--format=edges|attr|snapshot|mmap]
+//   fairbc_cli enum    --graph=FILE [--format=edges|attr|snapshot|mmap]
 //                      --model=ssfbc|bsfbc
 //                      [--algo=pp|bcem|naive] [--alpha=A] [--beta=B]
 //                      [--delta=D] [--theta=T] [--ordering=deg|id]
@@ -20,7 +20,9 @@
 // class 0; combine with --rand-attrs to mirror the paper's random
 // attribute assignment). `--format=attr` reads the %fairbc format;
 // `--format=snapshot` reads the binary snapshot format (graph/snapshot.h,
-// written by `snapshot save` — bulk load, no text parsing).
+// written by `snapshot save` — bulk load, no text parsing);
+// `--format=mmap` maps the same snapshot in place (read-only view, no
+// copy — ReadSnapshotView).
 //
 // `--output=json` replaces enum's human-readable lines with one JSON
 // object (count, result-set digest, per-phase stats) emitted through the
@@ -69,6 +71,7 @@ fairbc::Result<BipartiteGraph> LoadGraph(const FlagParser& flags) {
   fairbc::Result<BipartiteGraph> loaded =
       format == "edges"      ? fairbc::ReadEdgeList(path)
       : format == "snapshot" ? fairbc::ReadSnapshot(path)
+      : format == "mmap"     ? fairbc::ReadSnapshotView(path)
                              : fairbc::ReadAttributedGraph(path);
   if (!loaded.ok()) return loaded;
   BipartiteGraph g = std::move(loaded).value();

@@ -1,468 +1,45 @@
 // fairbc query server: a long-lived front end over the service layer
-// (GraphCatalog + QueryExecutor + ResultCache).
+// (GraphCatalog + QueryExecutor + ResultCache + single-flight admission).
+// The protocol, the session dispatch and the concurrent TCP front end
+// live in src/service/server.{h,cc} (so the tests can drive them
+// in-process); this file is argument parsing and wiring.
 //
 // Usage:
-//   fairbc_server [--port=N] [--cache=ENTRIES] [--threads=N]
-//                 [--preload=NAME=PATH]
+//   fairbc_server [--port=N] [--max-sessions=N] [--cache=ENTRIES]
+//                 [--threads=N] [--preload=NAME=PATH] [--mmap]
 //
-// Without --port it speaks the line protocol on stdin/stdout; with
-// --port it listens on 127.0.0.1:N and serves TCP clients one at a time
-// (same protocol, one session per connection).
+// Without --port it speaks the line protocol on stdin/stdout (one
+// session, id 0); with --port it listens on 127.0.0.1:N (0 = ephemeral,
+// the bound port is reported on stderr) and serves up to --max-sessions
+// TCP clients *concurrently* — each accepted connection gets its own
+// session thread and a unique session id stamped into every response,
+// over the shared catalog/executor/cache. Clients beyond the bound are
+// turned away with {"ok":false,"error":"server full..."}.
 //
-// Line protocol: one request per line, `command key=value ...`; one JSON
-// object per response line. Blank lines and `#` comments are ignored.
+// `quit` ends one session; `stop` ends the session AND the server: the
+// accept loop stops admitting and drains (waits for the remaining
+// sessions to finish their streams) before the process exits. In stdin
+// mode the single session *is* the server, so quit and stop both
+// terminate the process; stop is additionally logged as a server stop.
+// See service/server.h for the full protocol.
 //
-//   ping
-//   load name=G path=FILE [format=snapshot|attr|edges]
-//   gen name=G [kind=uniform|powerlaw|affiliation] [nu=N] [nv=N]
-//       [edges=M] [attrs=K] [seed=S] [communities=C]
-//   save name=G path=FILE
-//   catalog
-//   query graph=G [model=ssfbc|bsfbc] [algo=pp|bcem|naive] [alpha=A]
-//         [beta=B] [delta=D] [theta=T] [ordering=deg|id]
-//         [pruning=colorful|core|none] [budget=SECONDS] [threads=N]
-//         [cache=0|1]
-//   sweep graph=G alphas=2,3 betas=2,3 deltas=1,2 [query keys...]
-//         (expands the grid and runs it as one concurrent batch on the
-//         executor's pool — the --threads width — returning an array
-//         of per-query results)
-//   cache        (telemetry)
-//   drop name=G
-//   quit         (ends the session; in TCP mode closes the connection)
-//   stop         (TCP mode: also stops accepting new connections)
-//
-// Malformed requests get {"ok":false,"error":...}; the server never
-// exits on bad input.
+// --preload=NAME=PATH loads one snapshot before serving; with --mmap it
+// is mapped in place (ReadSnapshotView) instead of copied, making the
+// load allocation-free.
 
 #include <csignal>
-#include <cstdio>
-#include <cstdlib>
 #include <iostream>
-#include <map>
-#include <optional>
-#include <sstream>
 #include <string>
-#include <vector>
-
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include "common/flags.h"
-#include "graph/generators.h"
-#include "graph/snapshot.h"
 #include "service/graph_catalog.h"
-#include "service/query.h"
 #include "service/query_executor.h"
-#include "service/response_json.h"
-
-namespace {
-
-using fairbc::ErrorJson;
-using fairbc::GraphCatalog;
-using fairbc::QueryRequest;
-using fairbc::Status;
-
-/// Parsed request line: a command plus key=value arguments.
-struct RequestLine {
-  std::string command;
-  std::map<std::string, std::string> args;
-};
-
-RequestLine ParseLine(const std::string& line) {
-  RequestLine req;
-  std::istringstream tokens(line);
-  tokens >> req.command;
-  std::string token;
-  while (tokens >> token) {
-    auto eq = token.find('=');
-    if (eq == std::string::npos) {
-      req.args[token] = "1";  // bare key = boolean true, like the CLI.
-    } else {
-      req.args[token.substr(0, eq)] = token.substr(eq + 1);
-    }
-  }
-  return req;
-}
-
-std::string Arg(const RequestLine& req, const std::string& key,
-                const std::string& default_value) {
-  auto it = req.args.find(key);
-  return it == req.args.end() ? default_value : it->second;
-}
-
-std::int64_t ArgInt(const RequestLine& req, const std::string& key,
-                    std::int64_t default_value) {
-  auto it = req.args.find(key);
-  if (it == req.args.end()) return default_value;
-  try {
-    return std::stoll(it->second);
-  } catch (...) {
-    return default_value;
-  }
-}
-
-double ArgDouble(const RequestLine& req, const std::string& key,
-                 double default_value) {
-  auto it = req.args.find(key);
-  if (it == req.args.end()) return default_value;
-  try {
-    return std::stod(it->second);
-  } catch (...) {
-    return default_value;
-  }
-}
-
-/// Builds a QueryRequest from a `query` line; unset keys keep the same
-/// defaults as fairbc_cli enum.
-fairbc::Result<QueryRequest> BuildQuery(const RequestLine& req) {
-  QueryRequest query;
-  query.graph = Arg(req, "graph", "");
-  if (query.graph.empty()) {
-    return Status::InvalidArgument("query needs graph=NAME");
-  }
-  auto model = fairbc::ParseFairModel(Arg(req, "model", "ssfbc"));
-  if (!model) return Status::InvalidArgument("bad model (ssfbc|bsfbc)");
-  query.model = *model;
-  auto algo = fairbc::ParseFairAlgo(Arg(req, "algo", "pp"));
-  if (!algo) return Status::InvalidArgument("bad algo (pp|bcem|naive)");
-  query.algo = *algo;
-  query.params.alpha = static_cast<std::uint32_t>(ArgInt(req, "alpha", 1));
-  query.params.beta = static_cast<std::uint32_t>(ArgInt(req, "beta", 1));
-  query.params.delta = static_cast<std::uint32_t>(ArgInt(req, "delta", 0));
-  query.params.theta = ArgDouble(req, "theta", 0.0);
-  const std::string ordering = Arg(req, "ordering", "deg");
-  query.options.ordering = ordering == "id"
-                               ? fairbc::VertexOrdering::kId
-                               : fairbc::VertexOrdering::kDegreeDesc;
-  const std::string pruning = Arg(req, "pruning", "colorful");
-  query.options.pruning = pruning == "none" ? fairbc::PruningLevel::kNone
-                          : pruning == "core"
-                              ? fairbc::PruningLevel::kCore
-                              : fairbc::PruningLevel::kColorful;
-  query.options.time_budget_seconds = ArgDouble(req, "budget", 0.0);
-  const std::int64_t threads = ArgInt(req, "threads", 1);
-  if (threads < 0 || threads > 1024) {
-    return Status::InvalidArgument("threads must be in [0, 1024]");
-  }
-  query.options.num_threads = static_cast<unsigned>(threads);
-  query.use_cache = ArgInt(req, "cache", 1) != 0;
-  return query;
-}
-
-/// One server session: catalog + executor shared across sessions.
-class Session {
- public:
-  Session(GraphCatalog& catalog, fairbc::QueryExecutor& executor)
-      : catalog_(catalog), executor_(executor) {}
-
-  /// Handles one request line. Returns false when the session ends
-  /// (quit/stop); `stop_server` is latched by `stop`.
-  bool Handle(const std::string& line, std::string* response,
-              bool* stop_server) {
-    const RequestLine req = ParseLine(line);
-    if (req.command.empty() || req.command[0] == '#') {
-      response->clear();
-      return true;
-    }
-    if (req.command == "quit") {
-      *response = "{\"ok\":true,\"cmd\":\"quit\"}";
-      return false;
-    }
-    if (req.command == "stop") {
-      *stop_server = true;
-      *response = "{\"ok\":true,\"cmd\":\"stop\"}";
-      return false;
-    }
-    *response = Dispatch(req);
-    return true;
-  }
-
- private:
-  std::string Dispatch(const RequestLine& req) {
-    if (req.command == "ping") return "{\"ok\":true,\"cmd\":\"ping\"}";
-    if (req.command == "load") return Load(req);
-    if (req.command == "gen") return Gen(req);
-    if (req.command == "save") return Save(req);
-    if (req.command == "drop") return Drop(req);
-    if (req.command == "catalog") return Catalog();
-    if (req.command == "cache") {
-      return CacheTelemetryJson(executor_.cache().telemetry());
-    }
-    if (req.command == "query") return Query(req);
-    if (req.command == "sweep") return Sweep(req);
-    return ErrorJson("unknown command: " + req.command);
-  }
-
-  std::string Load(const RequestLine& req) {
-    const std::string name = Arg(req, "name", "");
-    const std::string path = Arg(req, "path", "");
-    if (name.empty() || path.empty()) {
-      return ErrorJson("load needs name=NAME path=FILE");
-    }
-    auto format = fairbc::ParseCatalogFormat(Arg(req, "format", "snapshot"));
-    if (!format) return ErrorJson("bad format (snapshot|attr|edges)");
-    Status st = catalog_.AddFromFile(name, path, *format);
-    if (!st.ok()) return ErrorJson(st);
-    return EntryReply("load", name);
-  }
-
-  std::string Gen(const RequestLine& req) {
-    const std::string name = Arg(req, "name", "");
-    if (name.empty()) return ErrorJson("gen needs name=NAME");
-    const std::string kind = Arg(req, "kind", "affiliation");
-    // Validate everything before casting: the generators FAIRBC_CHECK
-    // (abort) on bad parameters, and a resident server must never die
-    // on a request line.
-    const std::int64_t nu = ArgInt(req, "nu", 1000);
-    const std::int64_t nv = ArgInt(req, "nv", 1000);
-    const std::int64_t edges = ArgInt(req, "edges", 5000);
-    const std::int64_t attrs = ArgInt(req, "attrs", 2);
-    const std::int64_t communities = ArgInt(req, "communities", 60);
-    const double gamma = ArgDouble(req, "gamma", 2.2);
-    if (nu < 1 || nu > 20'000'000 || nv < 1 || nv > 20'000'000) {
-      return ErrorJson("nu/nv must be in [1, 2e7]");
-    }
-    if (edges < 0 || edges > 200'000'000) {
-      return ErrorJson("edges must be in [0, 2e8]");
-    }
-    if (attrs < 1 || attrs > 1024) return ErrorJson("attrs must be in [1, 1024]");
-    if (communities < 1 || communities > 1'000'000) {
-      return ErrorJson("communities must be in [1, 1e6]");
-    }
-    if (!(gamma > 1.0) || gamma > 10.0) {
-      return ErrorJson("gamma must be in (1, 10]");
-    }
-    const auto seed = static_cast<std::uint64_t>(ArgInt(req, "seed", 42));
-    fairbc::BipartiteGraph g;
-    if (kind == "uniform") {
-      g = fairbc::MakeUniformRandom(static_cast<fairbc::VertexId>(nu),
-                                    static_cast<fairbc::VertexId>(nv),
-                                    static_cast<fairbc::EdgeIndex>(edges),
-                                    static_cast<fairbc::AttrId>(attrs), seed);
-    } else if (kind == "powerlaw") {
-      g = fairbc::MakePowerLaw(static_cast<fairbc::VertexId>(nu),
-                               static_cast<fairbc::VertexId>(nv),
-                               static_cast<fairbc::EdgeIndex>(edges), gamma,
-                               static_cast<fairbc::AttrId>(attrs), seed);
-    } else if (kind == "affiliation") {
-      fairbc::AffiliationConfig config;
-      config.num_upper = static_cast<fairbc::VertexId>(nu);
-      config.num_lower = static_cast<fairbc::VertexId>(nv);
-      config.num_communities = static_cast<std::uint32_t>(communities);
-      config.num_upper_attrs = static_cast<fairbc::AttrId>(attrs);
-      config.num_lower_attrs = static_cast<fairbc::AttrId>(attrs);
-      config.seed = seed;
-      g = fairbc::MakeAffiliation(config);
-    } else {
-      return ErrorJson("bad kind (uniform|powerlaw|affiliation)");
-    }
-    Status st = catalog_.AddGraph(name, std::move(g), "<gen:" + kind + ">");
-    if (!st.ok()) return ErrorJson(st);
-    return EntryReply("gen", name);
-  }
-
-  std::string Save(const RequestLine& req) {
-    const std::string name = Arg(req, "name", "");
-    const std::string path = Arg(req, "path", "");
-    if (name.empty() || path.empty()) {
-      return ErrorJson("save needs name=NAME path=FILE");
-    }
-    auto entry = catalog_.Get(name);
-    if (entry == nullptr) return ErrorJson("unknown graph: " + name);
-    Status st = fairbc::WriteSnapshot(entry->graph, path);
-    if (!st.ok()) return ErrorJson(st);
-    return "{\"ok\":true,\"cmd\":\"save\",\"name\":\"" +
-           fairbc::JsonEscape(name) + "\",\"path\":\"" +
-           fairbc::JsonEscape(path) + "\",\"version\":\"" +
-           fairbc::JsonHex64(entry->version) + "\"}";
-  }
-
-  std::string Drop(const RequestLine& req) {
-    const std::string name = Arg(req, "name", "");
-    if (name.empty()) return ErrorJson("drop needs name=NAME");
-    if (!catalog_.Remove(name)) return ErrorJson("unknown graph: " + name);
-    return "{\"ok\":true,\"cmd\":\"drop\",\"name\":\"" +
-           fairbc::JsonEscape(name) + "\"}";
-  }
-
-  std::string Catalog() {
-    std::ostringstream os;
-    os << "{\"ok\":true,\"cmd\":\"catalog\",\"graphs\":[";
-    bool first = true;
-    for (const auto& entry : catalog_.List()) {
-      if (!first) os << ",";
-      first = false;
-      os << fairbc::CatalogEntryJson(*entry);
-    }
-    os << "]}";
-    return os.str();
-  }
-
-  std::string Query(const RequestLine& req) {
-    auto built = BuildQuery(req);
-    if (!built.ok()) return ErrorJson(built.status());
-    const QueryRequest query = std::move(built).value();
-    fairbc::QueryResult result = executor_.Execute(query);
-    return QueryResultJson(query, result);
-  }
-
-  // `sweep` expands a parameter grid (comma lists) into one batch and
-  // admits it onto the executor's pool — this is where the server's
-  // --threads width does concurrent work. Response: one JSON object
-  // with the per-query results, positionally aligned with the grid in
-  // alphas-outer / betas / deltas-inner order.
-  std::string Sweep(const RequestLine& req) {
-    RequestLine base = req;
-    base.args["alpha"] = "0";
-    base.args["beta"] = "0";
-    base.args["delta"] = "0";
-    auto built = BuildQuery(base);
-    if (!built.ok()) return ErrorJson(built.status());
-    const QueryRequest prototype = std::move(built).value();
-
-    auto list = [&](const std::string& key, const std::string& fallback) {
-      std::vector<std::uint32_t> values;
-      std::istringstream ss(Arg(req, key, fallback));
-      std::string token;
-      while (std::getline(ss, token, ',')) {
-        try {
-          values.push_back(static_cast<std::uint32_t>(std::stoul(token)));
-        } catch (...) {
-          values.clear();
-          return values;
-        }
-      }
-      return values;
-    };
-    const std::vector<std::uint32_t> alphas = list("alphas", "1");
-    const std::vector<std::uint32_t> betas = list("betas", "1");
-    const std::vector<std::uint32_t> deltas = list("deltas", "0");
-    if (alphas.empty() || betas.empty() || deltas.empty()) {
-      return ErrorJson("sweep wants comma lists: alphas= betas= deltas=");
-    }
-    constexpr std::size_t kMaxSweep = 4096;
-    if (alphas.size() * betas.size() * deltas.size() > kMaxSweep) {
-      return ErrorJson("sweep grid too large (max 4096 points)");
-    }
-
-    std::vector<QueryRequest> grid;
-    for (std::uint32_t alpha : alphas) {
-      for (std::uint32_t beta : betas) {
-        for (std::uint32_t delta : deltas) {
-          QueryRequest point = prototype;
-          point.params.alpha = alpha;
-          point.params.beta = beta;
-          point.params.delta = delta;
-          grid.push_back(point);
-        }
-      }
-    }
-    std::vector<fairbc::QueryResult> results = executor_.ExecuteBatch(grid);
-    std::ostringstream os;
-    os << "{\"ok\":true,\"cmd\":\"sweep\",\"queries\":" << grid.size()
-       << ",\"results\":[";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      os << (i > 0 ? "," : "") << QueryResultJson(grid[i], results[i]);
-    }
-    os << "]}";
-    return os.str();
-  }
-
-  std::string EntryReply(const std::string& cmd, const std::string& name) {
-    auto entry = catalog_.Get(name);
-    if (entry == nullptr) return ErrorJson("entry vanished: " + name);
-    return "{\"ok\":true,\"cmd\":\"" + cmd + "\",\"entry\":" +
-           fairbc::CatalogEntryJson(*entry) + "}";
-  }
-
-  GraphCatalog& catalog_;
-  fairbc::QueryExecutor& executor_;
-};
-
-/// Serves one already-open line stream (stdin/stdout or a TCP client).
-bool ServeStream(std::istream& in, std::ostream& out, Session& session) {
-  bool stop_server = false;
-  std::string line;
-  while (std::getline(in, line)) {
-    std::string response;
-    const bool keep_going = session.Handle(line, &response, &stop_server);
-    if (!response.empty()) out << response << "\n" << std::flush;
-    if (!keep_going) break;
-  }
-  return stop_server;
-}
-
-int ServeTcp(int port, GraphCatalog& catalog, fairbc::QueryExecutor& executor) {
-  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::cerr << "error: socket() failed\n";
-    return 1;
-  }
-  int reuse = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener, 4) < 0) {
-    std::cerr << "error: cannot listen on 127.0.0.1:" << port << "\n";
-    ::close(listener);
-    return 1;
-  }
-  std::cerr << "listening on 127.0.0.1:" << port << "\n";
-
-  bool stop = false;
-  while (!stop) {
-    int client = ::accept(listener, nullptr, nullptr);
-    if (client < 0) break;
-    // One connection at a time: a session is a plain request/response
-    // loop; concurrency lives inside the executor, not across sockets.
-    FILE* rf = ::fdopen(client, "r");
-    if (rf == nullptr) {
-      ::close(client);
-      continue;
-    }
-    Session session(catalog, executor);
-    bool stop_server = false;
-    char* buf = nullptr;
-    size_t cap = 0;
-    ssize_t len;
-    bool keep_going = true;
-    while (keep_going && (len = ::getline(&buf, &cap, rf)) >= 0) {
-      std::string line(buf, static_cast<std::size_t>(len));
-      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
-        line.pop_back();
-      }
-      std::string response;
-      keep_going = session.Handle(line, &response, &stop_server);
-      if (!response.empty()) {
-        response += "\n";
-        const char* data = response.data();
-        std::size_t remaining = response.size();
-        while (remaining > 0) {
-          ssize_t n = ::write(client, data, remaining);
-          if (n <= 0) {
-            keep_going = false;
-            break;
-          }
-          data += n;
-          remaining -= static_cast<std::size_t>(n);
-        }
-      }
-    }
-    std::free(buf);
-    ::fclose(rf);  // also closes the client fd.
-    stop = stop_server;
-  }
-  ::close(listener);
-  return 0;
-}
-
-}  // namespace
+#include "service/server.h"
 
 int main(int argc, char** argv) {
+  using fairbc::GraphCatalog;
+  using fairbc::Status;
+
   // A TCP client resetting its connection mid-response must surface as
   // a write() error, not a process-killing SIGPIPE.
   std::signal(SIGPIPE, SIG_IGN);
@@ -483,35 +60,64 @@ int main(int argc, char** argv) {
   }
   options.num_threads = static_cast<unsigned>(pool_threads);
   auto cache = flags.GetInt("cache", 256);
-  options.cache_capacity =
-      cache < 0 ? 0 : static_cast<std::size_t>(cache);
+  options.cache_capacity = cache < 0 ? 0 : static_cast<std::size_t>(cache);
   fairbc::QueryExecutor executor(catalog, options);
 
-  // --preload=NAME=PATH loads one snapshot before serving.
+  // --preload=NAME=PATH loads one snapshot before serving (--mmap maps
+  // it in place instead of copying).
   std::string preload = flags.GetString("preload", "");
+  const bool use_mmap = flags.GetBool("mmap", false);
   if (!preload.empty()) {
     auto eq = preload.find('=');
     if (eq == std::string::npos) {
       std::cerr << "error: --preload wants NAME=PATH\n";
       return 1;
     }
-    Status loaded =
-        catalog.AddFromFile(preload.substr(0, eq), preload.substr(eq + 1),
-                            GraphCatalog::Format::kSnapshot);
+    Status loaded = catalog.AddFromFile(
+        preload.substr(0, eq), preload.substr(eq + 1),
+        use_mmap ? GraphCatalog::Format::kSnapshotMmap
+                 : GraphCatalog::Format::kSnapshot);
     if (!loaded.ok()) {
       std::cerr << "error: preload failed: " << loaded.ToString() << "\n";
       return 1;
     }
   }
 
-  auto port = flags.GetInt("port", 0);
+  auto port = flags.GetInt("port", -1);
+  auto max_sessions = flags.GetInt("max-sessions", 8);
   for (const std::string& name : flags.UnusedFlags()) {
     std::cerr << "warning: unknown flag --" << name << " ignored\n";
   }
-  if (port > 0) {
-    return ServeTcp(static_cast<int>(port), catalog, executor);
+  if (port >= 0) {
+    if (port > 65535) {
+      std::cerr << "error: --port must be in [0, 65535]\n";
+      return 1;
+    }
+    if (max_sessions < 1 || max_sessions > 1024) {
+      std::cerr << "error: --max-sessions must be in [1, 1024]\n";
+      return 1;
+    }
+    fairbc::TcpServerOptions tcp;
+    tcp.port = static_cast<int>(port);
+    tcp.max_sessions = static_cast<unsigned>(max_sessions);
+    fairbc::TcpServer server(catalog, executor, tcp);
+    Status listening = server.Listen();
+    if (!listening.ok()) {
+      std::cerr << "error: " << listening.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "listening on 127.0.0.1:" << server.port() << "\n";
+    server.Serve();
+    std::cerr << "server stopped after " << server.sessions_started()
+              << " sessions\n";
+    return 0;
   }
-  Session session(catalog, executor);
-  ServeStream(std::cin, std::cout, session);
+
+  fairbc::ServerSession session(catalog, executor, /*id=*/0);
+  const bool stop_requested = ServeStream(std::cin, std::cout, session);
+  // Uniform stop semantics: in stdin mode the single session is the
+  // server, so both quit and stream end finish the process; an explicit
+  // `stop` is surfaced as the server stop it asked for.
+  if (stop_requested) std::cerr << "server stopped\n";
   return 0;
 }
