@@ -22,13 +22,33 @@
 // both-miss behavior they replace — so the rate can only move up as
 // post-leader arrivals turn into hits).
 //
+// The trailing "tcp" block drives the epoll reactor front end over real
+// loopback sockets: {100, 1000, 10000} concurrent connections, line vs
+// binary protocol, mostly idle with a bounded active set doing ping +
+// cached-query round-trips. Reports per-round-trip p50/p99 and verifies
+// the idle fleet still answers afterwards (sustained, not just opened).
+// The process RLIMIT_NOFILE soft limit is raised to the hard limit
+// first; connection counts that still do not fit are reported as
+// explicitly skipped rows — never silently dropped.
+//
 // FAIRBC_SCALE scales the graph (default 1.0); FAIRBC_MAX_THREADS caps
 // the sweep (default 8).
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "bench_util/datasets.h"
 #include "bench_util/meta.h"
@@ -38,6 +58,8 @@
 #include "service/graph_catalog.h"
 #include "service/query_executor.h"
 #include "service/response_json.h"
+#include "service/server.h"
+#include "service/wire.h"
 
 namespace {
 
@@ -78,9 +100,119 @@ double Percentile(std::vector<double> sorted, double p) {
   return sorted[idx];
 }
 
+// --- TCP connection-axis helpers --------------------------------------------
+
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  return fd;
+}
+
+bool SendAll(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One blocking round-trip on an established connection: line mode sends
+/// `line` + '\n' and reads one response line; binary mode sends one
+/// frame and reads one frame. Returns false on any protocol error.
+bool RoundTrip(int fd, bool binary, const std::string& line,
+               const std::string& query_payload, std::string* rbuf) {
+  if (binary) {
+    fairbc::wire::Frame frame;
+    if (line == "ping") {
+      frame.opcode = fairbc::wire::Opcode::kPing;
+    } else if (!query_payload.empty()) {
+      frame.opcode = fairbc::wire::Opcode::kQuery;
+      frame.payload = query_payload;
+    } else {
+      frame.opcode = fairbc::wire::Opcode::kCommand;
+      frame.payload = line;
+    }
+    frame.request_id = 1;
+    std::string encoded;
+    fairbc::wire::EncodeFrame(frame, &encoded);
+    if (!SendAll(fd, encoded.data(), encoded.size())) return false;
+    for (;;) {
+      fairbc::wire::Frame reply;
+      std::size_t consumed = 0;
+      const auto decoded = fairbc::wire::DecodeFrame(*rbuf, 64u << 20, &reply,
+                                                     &consumed);
+      if (decoded.status == fairbc::wire::FrameStatus::kOk) {
+        rbuf->erase(0, consumed);
+        return fairbc::wire::IsResponseOpcode(reply.opcode) &&
+               reply.opcode != fairbc::wire::Opcode::kError;
+      }
+      if (decoded.status == fairbc::wire::FrameStatus::kBad) return false;
+      char chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      rbuf->append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+  const std::string out = line + "\n";
+  if (!SendAll(fd, out.data(), out.size())) return false;
+  for (;;) {
+    const std::size_t nl = rbuf->find('\n');
+    if (nl != std::string::npos) {
+      const bool ok = rbuf->compare(0, 11, "{\"session\":") == 0;
+      rbuf->erase(0, nl + 1);
+      return ok;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    rbuf->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// Raises RLIMIT_NOFILE as far as this process may: soft → hard always,
+/// and a best-effort hard-limit bump (needs CAP_SYS_RESOURCE). Returns
+/// the resulting soft limit.
+std::uint64_t RaiseNofileLimit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 0;
+  rlimit want = lim;
+  want.rlim_cur = want.rlim_max = 1 << 20;
+  ::setrlimit(RLIMIT_NOFILE, &want);  // privileged environments only
+  ::getrlimit(RLIMIT_NOFILE, &lim);
+  if (lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+    ::getrlimit(RLIMIT_NOFILE, &lim);
+  }
+  return static_cast<std::uint64_t>(lim.rlim_cur);
+}
+
 }  // namespace
 
 int main() {
+  // The TCP block writes to sockets a reactor may close first.
+  std::signal(SIGPIPE, SIG_IGN);
   const double scale = fairbc::EnvScale();
   unsigned max_threads = 8;
   if (const char* env = std::getenv("FAIRBC_MAX_THREADS")) {
@@ -215,7 +347,145 @@ int main() {
               << ", \"coalesced\": " << telemetry.coalesced
               << ", \"cache_hits\": " << telemetry.cache.hits
               << ", \"cache_hit_rate\": "
-              << fairbc::JsonDouble(telemetry.cache.HitRate()) << "}\n";
+              << fairbc::JsonDouble(telemetry.cache.HitRate()) << "},\n";
+  }
+
+  // TCP connection axis: the epoll reactor under {100, 1000, 10000}
+  // concurrent connections, line vs binary protocol. A bounded active
+  // set does ping + cached-query round-trips while the rest sit idle;
+  // the idle fleet is then sampled to prove it is still being served.
+  {
+    const std::uint64_t nofile = RaiseNofileLimit();
+
+    fairbc::QueryExecutorOptions exec_options;
+    exec_options.num_threads = 2;  // every measured query is cache-warm.
+    fairbc::QueryExecutor executor(catalog, exec_options);
+    fairbc::TcpServerOptions tcp;
+    tcp.port = 0;
+    tcp.max_sessions = 20000;
+    tcp.max_inflight = 256;
+    fairbc::TcpServer server(catalog, executor, tcp);
+    FAIRBC_CHECK(server.Listen().ok());
+    std::thread serve_thread([&server] { server.Serve(); });
+
+    QueryRequest warm;
+    warm.graph = "synth";
+    warm.params = {2, 2, 1, 0.0};
+    FAIRBC_CHECK(executor.Execute(warm).status.ok());  // prime the cache
+    const std::string warm_payload = fairbc::wire::EncodeQueryPayload(warm);
+    const std::string warm_line = "query graph=synth alpha=2 beta=2 delta=1";
+
+    std::cout << "  \"tcp\": {\"inflight_limit\": " << tcp.max_inflight
+              << ", \"nofile_limit\": " << nofile << ", \"rows\": [\n";
+    bool first_tcp_row = true;
+    for (const unsigned conns : {100u, 1000u, 10000u}) {
+      for (const bool binary : {false, true}) {
+        const char* protocol = binary ? "binary" : "line";
+        std::cout << (first_tcp_row ? "" : ",\n")
+                  << "    {\"protocol\": \"" << protocol
+                  << "\", \"connections\": " << conns;
+        first_tcp_row = false;
+        // Client and server ends share this process, so every
+        // connection costs TWO fds.
+        if (nofile < 2ull * conns + 128) {
+          // Explicit skip, never a silent cap: this environment cannot
+          // hold `conns` socket pairs + bookkeeping fds open at once.
+          std::cout << ", \"skipped\": \"RLIMIT_NOFILE " << nofile
+                    << " < " << (2ull * conns + 128) << "\"}";
+          continue;
+        }
+
+        fairbc::Timer connect_timer;
+        std::vector<int> fds;
+        fds.reserve(conns);
+        for (unsigned i = 0; i < conns; ++i) {
+          const int fd = ConnectLoopback(server.port());
+          if (fd < 0) break;
+          fds.push_back(fd);
+        }
+        const double connect_seconds = connect_timer.ElapsedSeconds();
+        if (fds.size() != conns) {
+          std::cout << ", \"skipped\": \"connect failed at "
+                    << fds.size() << "\"}";
+          for (int fd : fds) ::close(fd);
+          continue;
+        }
+
+        // Active phase: up to 256 connections, 8 driver threads, each
+        // round-trip alternating ping and the cache-warm query.
+        const unsigned active = std::min(conns, 256u);
+        constexpr unsigned kDrivers = 8;
+        constexpr unsigned kRounds = 8;
+        std::vector<std::vector<double>> driver_latencies(kDrivers);
+        std::atomic<unsigned> failures{0};
+        fairbc::Timer active_timer;
+        {
+          std::vector<std::thread> drivers;
+          for (unsigned d = 0; d < kDrivers; ++d) {
+            drivers.emplace_back([&, d] {
+              std::string rbuf;
+              for (unsigned i = d; i < active; i += kDrivers) {
+                rbuf.clear();
+                for (unsigned round = 0; round < kRounds; ++round) {
+                  const bool query = (round % 2) == 1;
+                  fairbc::Timer rt;
+                  const bool ok = RoundTrip(
+                      fds[i], binary, query ? warm_line : "ping",
+                      query && binary ? warm_payload : std::string(), &rbuf);
+                  if (!ok) {
+                    failures.fetch_add(1);
+                    break;
+                  }
+                  driver_latencies[d].push_back(rt.ElapsedSeconds());
+                }
+              }
+            });
+          }
+          for (std::thread& t : drivers) t.join();
+        }
+        const double active_seconds = active_timer.ElapsedSeconds();
+        std::vector<double> latencies;
+        for (const auto& v : driver_latencies) {
+          latencies.insert(latencies.end(), v.begin(), v.end());
+        }
+        std::sort(latencies.begin(), latencies.end());
+
+        // Sustained, not just opened: sample the idle remainder.
+        unsigned idle_verified = 0, idle_sampled = 0;
+        {
+          std::string rbuf;
+          const unsigned stride =
+              std::max(1u, (conns - active) / 100u);
+          for (unsigned i = active; i < conns; i += stride) {
+            ++idle_sampled;
+            rbuf.clear();
+            if (RoundTrip(fds[i], binary, "ping", std::string(), &rbuf)) {
+              ++idle_verified;
+            }
+          }
+        }
+        for (int fd : fds) ::close(fd);
+
+        std::cout << ", \"active\": " << active
+                  << ", \"rounds\": " << latencies.size()
+                  << ", \"failures\": " << failures.load()
+                  << ", \"connect_seconds\": "
+                  << fairbc::JsonDouble(connect_seconds)
+                  << ", \"p50_ms\": "
+                  << fairbc::JsonDouble(Percentile(latencies, 0.50) * 1e3)
+                  << ", \"p99_ms\": "
+                  << fairbc::JsonDouble(Percentile(latencies, 0.99) * 1e3)
+                  << ", \"rt_per_second\": "
+                  << fairbc::JsonDouble(
+                         static_cast<double>(latencies.size()) /
+                         std::max(active_seconds, 1e-9))
+                  << ", \"idle_sampled\": " << idle_sampled
+                  << ", \"idle_verified\": " << idle_verified << "}";
+      }
+    }
+    std::cout << "\n  ]}\n";
+    server.RequestStop();
+    serve_thread.join();
   }
   std::cout << "}\n";
   return 0;

@@ -1,17 +1,62 @@
 #include "service/query_executor.h"
 
-#include "common/timer.h"
+#include <optional>
+#include <utility>
 
 namespace fairbc {
 
 QueryExecutor::QueryExecutor(const GraphCatalog& catalog,
                              const QueryExecutorOptions& options)
-    : catalog_(catalog),
-      cache_(options.cache_capacity),
-      pool_(ResolveNumThreads(options.num_threads)) {}
+    : catalog_(catalog), cache_(options.cache_capacity) {
+  const unsigned n = ResolveNumThreads(options.num_threads);
+  runners_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    runners_.emplace_back([this] { RunnerLoop(); });
+  }
+}
+
+QueryExecutor::~QueryExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(runner_mu_);
+    runner_stop_ = true;
+  }
+  runner_cv_.notify_all();
+  for (std::thread& t : runners_) t.join();
+}
+
+void QueryExecutor::PostToRunner(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(runner_mu_);
+    runner_tasks_.push_back(std::move(task));
+  }
+  runner_cv_.notify_one();
+}
+
+void QueryExecutor::RunnerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(runner_mu_);
+      runner_cv_.wait(
+          lock, [this] { return runner_stop_ || !runner_tasks_.empty(); });
+      // Drain-on-stop: queued executions still carry completions someone
+      // may be waiting on, so the pool finishes them before exiting.
+      if (runner_tasks_.empty()) return;
+      task = std::move(runner_tasks_.front());
+      runner_tasks_.pop_front();
+    }
+    task();
+  }
+}
 
 void QueryExecutor::RunQuery(const QueryRequest& request,
                              const BipartiteGraph& graph, QueryResult* out) {
+  std::function<void(const QueryRequest&)> hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    hook = execute_hook_;
+  }
+  if (hook) hook(request);
   DigestAccumulator digest;
   BicliqueSink inner;
   if (request.include_bicliques) {
@@ -30,6 +75,46 @@ void QueryExecutor::RunQuery(const QueryRequest& request,
   digest.FillSummary(&out->summary);
   out->effective_threads = ResolveNumThreads(request.options.num_threads);
   executions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void QueryExecutor::FinishLeader(const std::string& key,
+                                 const std::shared_ptr<InFlight>& slot,
+                                 const QuerySummary& summary, bool complete) {
+  // Take the completion list and retire the slot atomically with the
+  // cache insert: between these, no duplicate can either miss the cache
+  // or register on a dead slot.
+  std::vector<InFlight::Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    if (complete) cache_.Insert(key, summary);
+    waiters = std::move(slot->waiters);
+    slot->waiters.clear();
+    inflight_.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> lk(slot->mu);
+    slot->done = true;
+    slot->shareable = complete;
+    slot->summary = summary;
+  }
+  slot->cv.notify_all();
+  for (InFlight::Waiter& w : waiters) {
+    async_pending_.fetch_sub(1, std::memory_order_relaxed);
+    if (complete) {
+      QueryResult adopted;
+      adopted.summary = summary;
+      adopted.coalesced = true;
+      adopted.graph_version = w.graph_version;
+      adopted.seconds = w.timer.ElapsedSeconds();
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      w.done(std::move(adopted));
+    } else {
+      // Partial leader run (deadline/budget tripped): never adopted.
+      // Re-admission usually elects the first waiter as the new leader
+      // and stacks the rest behind it again.
+      ExecuteAsync(w.request, std::move(w.done));
+    }
+  }
 }
 
 QueryResult QueryExecutor::Execute(const QueryRequest& request) {
@@ -86,6 +171,9 @@ QueryResult QueryExecutor::Execute(const QueryRequest& request) {
     }
 
     if (!leader) {
+      // Synchronous join: this parks the CALLER's thread (CLI, tests) —
+      // the server reactors and the runner pool always go through
+      // ExecuteAsync, whose duplicates register a completion instead.
       std::unique_lock<std::mutex> lk(slot->mu);
       slot->cv.wait(lk, [&] { return slot->done; });
       if (!slot->shareable) continue;  // partial leader run; run ourselves.
@@ -102,19 +190,7 @@ QueryResult QueryExecutor::Execute(const QueryRequest& request) {
     // and must not be adopted by waiters, whose own budgets may differ.
     const bool complete = !out.summary.stats.budget_exhausted;
     if (slot != nullptr) {
-      // We own the in-flight slot for `key`: publish and retire it.
-      {
-        std::lock_guard<std::mutex> lock(inflight_mu_);
-        if (complete) cache_.Insert(key, out.summary);
-        inflight_.erase(key);
-      }
-      {
-        std::lock_guard<std::mutex> lk(slot->mu);
-        slot->done = true;
-        slot->shareable = complete;
-        slot->summary = out.summary;
-      }
-      slot->cv.notify_all();
+      FinishLeader(key, slot, out.summary, complete);
     } else if (request.use_cache && complete) {
       // Unshared runs (biclique-collecting, or budgeted queries that
       // declined to wait on someone else's slot) still publish their
@@ -126,19 +202,100 @@ QueryResult QueryExecutor::Execute(const QueryRequest& request) {
   }
 }
 
+void QueryExecutor::ExecuteAsync(const QueryRequest& request, Completion done) {
+  Timer timer;
+  std::shared_ptr<const CatalogEntry> entry = catalog_.Get(request.graph);
+  if (entry == nullptr) {
+    QueryResult out;
+    out.status = Status::NotFound("unknown graph: " + request.graph);
+    out.seconds = timer.ElapsedSeconds();
+    done(std::move(out));
+    return;
+  }
+
+  const std::string key = CanonicalCacheKey(request, entry->version);
+  const bool shareable = request.use_cache && !request.include_bicliques;
+  const bool may_wait = request.options.time_budget_seconds == 0.0 &&
+                        request.options.node_budget == 0;
+
+  std::shared_ptr<InFlight> slot;
+  if (shareable) {
+    std::optional<QueryResult> hit;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      if (std::optional<QuerySummary> cached = cache_.Lookup(key)) {
+        QueryResult out;
+        out.summary = *cached;
+        out.cache_hit = true;
+        out.graph_version = entry->version;
+        out.seconds = timer.ElapsedSeconds();
+        hit = std::move(out);
+      } else {
+        auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+          if (may_wait) {
+            // The whole point of completion-list single-flight: the
+            // duplicate costs one vector slot, not one parked thread.
+            async_pending_.fetch_add(1, std::memory_order_relaxed);
+            it->second->waiters.push_back(
+                {request, std::move(done), timer, entry->version});
+            return;
+          }
+          // Budgeted duplicate: run unshared (slot stays null).
+        } else {
+          slot = std::make_shared<InFlight>();
+          inflight_[key] = slot;
+        }
+      }
+    }
+    if (hit) {
+      done(std::move(*hit));  // invoked outside the admission lock.
+      return;
+    }
+  }
+
+  async_pending_.fetch_add(1, std::memory_order_relaxed);
+  PostToRunner([this, request, done = std::move(done), entry = std::move(entry),
+                key, slot, timer]() mutable {
+    QueryResult out;
+    out.graph_version = entry->version;
+    RunQuery(request, entry->graph, &out);
+    const bool complete = !out.summary.stats.budget_exhausted;
+    if (slot != nullptr) {
+      FinishLeader(key, slot, out.summary, complete);
+    } else if (request.use_cache && complete) {
+      cache_.Insert(key, out.summary);
+    }
+    out.seconds = timer.ElapsedSeconds();
+    async_pending_.fetch_sub(1, std::memory_order_relaxed);
+    done(std::move(out));
+  });
+}
+
 std::vector<QueryResult> QueryExecutor::ExecuteBatch(
     const std::vector<QueryRequest>& requests) {
   std::vector<QueryResult> results(requests.size());
   if (requests.empty()) return results;
-  std::lock_guard<std::mutex> lock(batch_mu_);
-  pool_.ParallelFor(requests.size(), [&](std::uint64_t i, unsigned) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = requests.size();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
     QueryRequest request = requests[i];
     // Whole queries are the batch's unit of parallelism; nested per-query
-    // pools on top of busy batch workers would oversubscribe the machine
-    // (see the header contract — the result set does not change).
+    // pools on top of busy runners would oversubscribe the machine (see
+    // the header contract — the result set does not change).
     request.options.num_threads = 1;
-    results[i] = Execute(request);
-  });
+    ExecuteAsync(request, [&results, &mu, &cv, &remaining, i](QueryResult r) {
+      results[i] = std::move(r);
+      // Notify while holding mu: the waiter cannot return from wait (and
+      // destroy the stack cv) until it reacquires mu, which orders the
+      // destruction after this signal completes.
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return remaining == 0; });
   return results;
 }
 

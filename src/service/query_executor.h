@@ -3,12 +3,16 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/timer.h"
 #include "core/parallel.h"
 #include "service/graph_catalog.h"
 #include "service/query.h"
@@ -17,18 +21,20 @@
 namespace fairbc {
 
 struct QueryExecutorOptions {
-  /// Width of the executor's work-stealing pool used by ExecuteBatch
-  /// (whole queries run as tasks). 0 = one worker per hardware thread.
+  /// Width of the executor's query-runner pool: the fixed set of worker
+  /// threads that async executions (ExecuteAsync leaders and unshared
+  /// runs, and therefore every ExecuteBatch query) run on. 0 = one
+  /// worker per hardware thread.
   unsigned num_threads = 0;
   /// ResultCache capacity in entries; 0 disables cross-query reuse.
   std::size_t cache_capacity = 256;
 };
 
-/// Concurrent query engine over a GraphCatalog: admits whole queries onto
-/// the existing work-stealing ThreadPool, shares the read-only catalog
-/// entries across them (no per-query graph copies), reuses summaries
-/// through an LRU ResultCache, and coalesces concurrent identical queries
-/// behind one execution (single-flight admission).
+/// Concurrent query engine over a GraphCatalog: runs whole queries on a
+/// fixed pool of runner threads, shares the read-only catalog entries
+/// across them (no per-query graph copies), reuses summaries through an
+/// LRU ResultCache, and coalesces concurrent identical queries behind
+/// one execution (single-flight admission).
 ///
 /// Concurrency invariants:
 ///  - catalog entries are immutable shared_ptr<const>, so queries read
@@ -36,28 +42,36 @@ struct QueryExecutorOptions {
 ///    only queries admitted afterwards;
 ///  - the cache and the in-flight table are internally synchronized; the
 ///    executor holds no lock while an engine runs;
-///  - Execute() is safe from any thread (ExecuteBatch calls it from pool
-///    workers, the TCP server from session threads); ExecuteBatch
-///    serializes whole batches against each other (the pool runs one
-///    ParallelFor at a time).
+///  - Execute()/ExecuteAsync() are safe from any thread; batches may run
+///    concurrently with each other and with direct calls.
 ///
-/// Single-flight: summary-only cacheable queries (use_cache &&
-/// !include_bicliques) that arrive while an identical query (same
-/// CanonicalCacheKey) is already executing block until that leader
-/// finishes and adopt its summary (QueryResult::coalesced). Budget-
-/// exhausted leader runs are never shared — such waiters retry with their
-/// own execution, mirroring the "partial runs are never cached" rule.
-/// Queries carrying their own time/node budget never wait on a leader at
-/// all (the key excludes budgets, so a leader may outlive their
-/// deadline): they run themselves, at worst duplicating one execution.
+/// Single-flight is COMPLETION-LIST based: a duplicate of an in-flight
+/// query (same CanonicalCacheKey, summary-only, cacheable) registers a
+/// completion callback on the leader's slot instead of occupying a
+/// thread. When the leader publishes, it invokes every registered
+/// completion with its summary (QueryResult::coalesced) — so however
+/// many duplicates are in flight, they hold zero runner threads and zero
+/// caller threads (the async path) between admission and completion.
+/// The synchronous Execute() still blocks its *own calling* thread when
+/// it joins a leader — that thread belongs to the caller (CLI, tests),
+/// never to the runner pool or a server reactor, both of which only use
+/// the async path. Budget-exhausted leader runs are never shared —
+/// waiters are re-admitted (usually becoming the new leader), mirroring
+/// the "partial runs are never cached" rule. Queries carrying their own
+/// time/node budget never join a leader at all (the key excludes
+/// budgets, so a leader may outlive their deadline): they run
+/// themselves, at worst duplicating one execution.
 ///
 /// Per-query deadlines/budgets ride on EnumOptions inside the request
 /// (SearchBudget in the engines); a query hitting its budget reports
 /// stats.budget_exhausted and is never cached.
 class QueryExecutor {
  public:
+  using Completion = std::function<void(QueryResult)>;
+
   explicit QueryExecutor(const GraphCatalog& catalog,
                          const QueryExecutorOptions& options = {});
+  ~QueryExecutor();
 
   QueryExecutor(const QueryExecutor&) = delete;
   QueryExecutor& operator=(const QueryExecutor&) = delete;
@@ -68,14 +82,28 @@ class QueryExecutor {
   /// parameters) come back in QueryResult::status.
   QueryResult Execute(const QueryRequest& request);
 
-  /// Runs `requests` concurrently on the executor's pool; results are
-  /// positionally aligned with the requests. Repeated parameters inside
-  /// one batch are served from the cache or coalesced behind the one
-  /// in-flight execution. Per-query num_threads is clamped to 1: the
-  /// batch itself is the unit of parallelism, and a query spinning a
-  /// nested pool on top of a busy batch pool would oversubscribe the
-  /// machine (the result set is thread-count invariant, so the clamp is
-  /// unobservable in the output).
+  /// Asynchronous admission: never blocks beyond the admission lock.
+  ///  - cache hit / unknown graph → `done` is invoked inline, before the
+  ///    call returns;
+  ///  - duplicate of an in-flight query → `done` is registered on the
+  ///    leader's completion list and invoked (with coalesced=true) from
+  ///    the leader's runner thread when it publishes — no thread waits;
+  ///  - otherwise → the query is posted to the runner pool and `done` is
+  ///    invoked from the runner thread that executed it.
+  /// `done` must be callable from any thread and must not block for
+  /// long: the server's reactors hand it straight to a cheap cross-
+  /// thread post.
+  void ExecuteAsync(const QueryRequest& request, Completion done);
+
+  /// Runs `requests` concurrently on the runner pool via ExecuteAsync;
+  /// results are positionally aligned with the requests; returns when
+  /// all have completed. Repeated parameters inside one batch are served
+  /// from the cache or coalesced behind the one in-flight execution.
+  /// Per-query num_threads is clamped to 1: the batch itself is the unit
+  /// of parallelism, and a query spinning a nested enumeration pool on
+  /// top of busy runners would oversubscribe the machine (the result set
+  /// is thread-count invariant, so the clamp is unobservable in the
+  /// output).
   std::vector<QueryResult> ExecuteBatch(
       const std::vector<QueryRequest>& requests);
 
@@ -94,20 +122,47 @@ class QueryExecutor {
     return coalesced_.load(std::memory_order_relaxed);
   }
 
+  /// Async executions admitted but not yet completed (leaders + unshared
+  /// runs + registered waiters). Telemetry/test aid.
+  std::uint64_t async_pending() const {
+    return async_pending_.load(std::memory_order_relaxed);
+  }
+
+  /// Test seam: invoked on the executing thread right before each real
+  /// enumeration (leaders and unshared runs; never cache hits or
+  /// coalesced waiters). Tests use it to hold a leader in flight
+  /// deterministically. Not for production use. Mutex-guarded so a test
+  /// may install/clear it while runner threads are live.
+  void SetExecuteHook(std::function<void(const QueryRequest&)> hook) {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    execute_hook_ = std::move(hook);
+  }
+
   ResultCache& cache() { return cache_; }
   const GraphCatalog& catalog() const { return catalog_; }
-  unsigned num_threads() const { return pool_.num_threads(); }
+  unsigned num_threads() const {
+    return static_cast<unsigned>(runners_.size());
+  }
 
  private:
-  /// One in-flight execution; waiters block on cv until the leader
-  /// publishes. `shareable` is false when the leader's run must not be
-  /// adopted (budget exhausted), sending waiters back around the loop.
+  /// One in-flight execution. Sync waiters block on `cv` (their own
+  /// calling thread); async waiters sit in `completions`, which is
+  /// guarded by inflight_mu_ (NOT `mu`) so registration and the leader's
+  /// take-and-erase are atomic with the in-flight table itself.
   struct InFlight {
     std::mutex mu;
     std::condition_variable cv;
     bool done = false;
     bool shareable = false;
     QuerySummary summary;
+    /// Async duplicates awaiting this leader; guarded by inflight_mu_.
+    struct Waiter {
+      QueryRequest request;  ///< kept for re-admission on partial runs.
+      Completion done;
+      Timer timer;
+      std::uint64_t graph_version = 0;
+    };
+    std::vector<Waiter> waiters;
   };
 
   /// Runs the enumeration for `request` against `graph` into `out`
@@ -115,15 +170,37 @@ class QueryExecutor {
   void RunQuery(const QueryRequest& request, const BipartiteGraph& graph,
                 QueryResult* out);
 
+  /// Leader epilogue shared by Execute and the async runner task:
+  /// publishes to the cache, retires the slot, wakes sync waiters and
+  /// invokes (or re-admits) async completions.
+  void FinishLeader(const std::string& key,
+                    const std::shared_ptr<InFlight>& slot,
+                    const QuerySummary& summary, bool complete);
+
+  /// Posts one closure to the runner pool.
+  void PostToRunner(std::function<void()> task);
+  void RunnerLoop();
+
   const GraphCatalog& catalog_;
   ResultCache cache_;
-  ThreadPool pool_;
-  std::mutex batch_mu_;  ///< one ExecuteBatch at a time (pool contract).
 
   std::mutex inflight_mu_;
   std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
   std::atomic<std::uint64_t> executions_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> async_pending_{0};
+  std::mutex hook_mu_;
+  std::function<void(const QueryRequest&)> execute_hook_;  // guarded by hook_mu_
+
+  // Fixed runner pool: a mutex/cv task deque drained by num_threads
+  // workers. Executions are coarse (a whole query each), so a plain
+  // shared deque is plenty — work stealing lives inside the enumeration
+  // engines' own pools.
+  std::mutex runner_mu_;
+  std::condition_variable runner_cv_;
+  std::deque<std::function<void()>> runner_tasks_;
+  bool runner_stop_ = false;
+  std::vector<std::thread> runners_;
 };
 
 }  // namespace fairbc

@@ -135,4 +135,9 @@ std::string ErrorJson(const Status& status) {
   return ErrorJson(status.ToString());
 }
 
+std::string TypedErrorJson(const std::string& code, const std::string& message) {
+  return "{\"ok\":false,\"code\":\"" + JsonEscape(code) + "\",\"error\":\"" +
+         JsonEscape(message) + "\"}";
+}
+
 }  // namespace fairbc

@@ -57,6 +57,11 @@ std::string CatalogEntryJson(const CatalogEntry& entry);
 std::string ErrorJson(const std::string& message);
 std::string ErrorJson(const Status& status);
 
+/// Typed error reply: {"ok":false,"code":"busy","error":"..."} — the line
+/// protocol's mirror of the binary protocol's wire::ErrorCode, so clients
+/// on either protocol can branch on the same category strings.
+std::string TypedErrorJson(const std::string& code, const std::string& message);
+
 }  // namespace fairbc
 
 #endif  // FAIRBC_SERVICE_RESPONSE_JSON_H_

@@ -1,23 +1,32 @@
 #include "service/server.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "graph/generators.h"
 #include "graph/snapshot.h"
 #include "service/response_json.h"
+#include "service/wire.h"
 
 namespace fairbc {
 
@@ -151,13 +160,17 @@ Result<QueryRequest> BuildQueryRequest(const RequestLine& req) {
   return query;
 }
 
+std::string TagSessionJson(std::uint64_t id, std::string json) {
+  if (json.empty() || json.front() != '{') return json;
+  return "{\"session\":" + std::to_string(id) + "," + json.substr(1);
+}
+
 ServerSession::ServerSession(GraphCatalog& catalog, QueryExecutor& executor,
                              std::uint64_t id)
     : catalog_(catalog), executor_(executor), id_(id) {}
 
 std::string ServerSession::Tag(std::string json) const {
-  if (json.empty() || json.front() != '{') return json;
-  return "{\"session\":" + std::to_string(id_) + "," + json.substr(1);
+  return TagSessionJson(id_, std::move(json));
 }
 
 bool ServerSession::Handle(const std::string& line, std::string* response,
@@ -317,7 +330,7 @@ std::string ServerSession::Query(const RequestLine& req) {
 }
 
 // `sweep` expands a parameter grid (comma lists) into one batch and
-// admits it onto the executor's pool — this is where the server's
+// admits it onto the executor's runner pool — this is where the server's
 // --threads width does concurrent work. Response: one JSON object
 // with the per-query results, positionally aligned with the grid in
 // alphas-outer / betas / deltas-inner order.
@@ -400,29 +413,588 @@ std::string ServerSession::EntryReply(const std::string& cmd,
          "\",\"entry\":" + CatalogEntryJson(*entry) + "}";
 }
 
-bool ServeStream(std::istream& in, std::ostream& out, ServerSession& session) {
+bool ServeStream(std::istream& in, std::ostream& out, ServerSession& session,
+                 std::size_t max_request_bytes) {
   bool stop_server = false;
   std::string line;
   while (std::getline(in, line)) {
     std::string response;
-    const bool keep_going = session.Handle(line, &response, &stop_server);
+    bool keep_going = true;
+    if (line.size() > max_request_bytes) {
+      response = TagSessionJson(
+          session.id(),
+          TypedErrorJson("too_large", "request line exceeds " +
+                                          std::to_string(max_request_bytes) +
+                                          " bytes"));
+    } else {
+      keep_going = session.Handle(line, &response, &stop_server);
+    }
     if (!response.empty()) out << response << "\n" << std::flush;
     if (!keep_going) break;
   }
   return stop_server;
 }
 
+// ---------------------------------------------------------------------------
+// Reactor: one epoll loop owning a share of the connections.
+// ---------------------------------------------------------------------------
+
+/// All Connection state is touched ONLY on the owning reactor's thread;
+/// cross-thread inputs (new connections from the accept loop, async query
+/// completions from executor runner threads) arrive through the reactor's
+/// locked op queue + eventfd wakeup and are applied on the loop thread.
+class Reactor {
+ public:
+  explicit Reactor(TcpServer& server) : server_(server) {}
+
+  ~Reactor() {
+    RequestStop();
+    Join();
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  }
+
+  Status Start() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) return Status::Internal("epoll_create1() failed");
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) return Status::Internal("eventfd() failed");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = 0;  // 0 is the wake sentinel; session ids start at 1.
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+      return Status::Internal("epoll_ctl(wake) failed");
+    }
+    thread_ = std::thread([this] { Loop(); });
+    return Status::OK();
+  }
+
+  /// Hands a freshly accepted (non-blocking, CLOEXEC, NODELAY) socket to
+  /// this reactor. Called from the accept thread.
+  void Adopt(int fd, std::uint64_t id) {
+    PostOp(Op{Op::kAdopt, fd, id, 0, {}});
+  }
+
+  /// Delivers an async query result for connection `conn_id`'s response
+  /// slot `seq`. Called from executor runner threads (or inline from a
+  /// reactor thread on a cache hit); the slot's framing was fixed at
+  /// admission, only the body travels.
+  void PostCompletion(std::uint64_t conn_id, std::uint64_t seq,
+                      std::string body) {
+    PostOp(Op{Op::kComplete, -1, conn_id, seq, std::move(body)});
+  }
+
+  void RequestStop() {
+    stop_.store(true, std::memory_order_release);
+    Wake();
+  }
+
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+    // The loop has exited; reap anything that raced in behind it so no
+    // fd outlives the reactor (adopted-but-unprocessed sockets included).
+    std::vector<Op> ops;
+    {
+      std::lock_guard<std::mutex> lock(ops_mu_);
+      ops.swap(ops_);
+    }
+    for (const Op& op : ops) {
+      if (op.kind == Op::kAdopt) {
+        ::close(op.fd);
+        server_.active_conns_.fetch_sub(1, std::memory_order_release);
+      }
+    }
+    server_.active_conns_.fetch_sub(static_cast<unsigned>(conns_.size()),
+                                    std::memory_order_release);
+    conns_.clear();  // Connection dtor closes the fds.
+  }
+
+ private:
+  struct Connection {
+    Connection(GraphCatalog& catalog, QueryExecutor& executor, int fd_in,
+               std::uint64_t id_in)
+        : fd(fd_in), id(id_in), session(catalog, executor, id_in) {}
+    ~Connection() {
+      if (fd >= 0) ::close(fd);
+    }
+
+    int fd;
+    const std::uint64_t id;
+    enum class Proto { kUnknown, kLine, kBinary };
+    Proto proto = Proto::kUnknown;
+    std::string rbuf;
+    std::string wbuf;
+    bool want_write = false;
+    /// Set by quit/stop/EOF/protocol errors: buffered input after the
+    /// current request is discarded, no new requests are parsed.
+    bool stop_reading = false;
+    /// Close once every pending response has been written out.
+    bool close_after_flush = false;
+    ServerSession session;
+
+    /// One response, in request order. Pipelining: a slot is appended
+    /// when its request is parsed and flushed only when it is `ready`
+    /// AND every older slot has been flushed — async queries that finish
+    /// out of order wait their turn in the deque.
+    struct Slot {
+      std::uint64_t seq = 0;
+      bool ready = false;
+      bool binary = false;
+      wire::Opcode opcode = wire::Opcode::kReply;
+      std::uint64_t request_id = 0;
+      std::string body;
+    };
+    std::deque<Slot> pending;
+    std::uint64_t next_seq = 1;
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  struct Op {
+    enum Kind { kAdopt, kComplete };
+    Kind kind;
+    int fd;
+    std::uint64_t conn_id;
+    std::uint64_t seq;
+    std::string body;
+  };
+
+  void PostOp(Op op) {
+    {
+      std::lock_guard<std::mutex> lock(ops_mu_);
+      ops_.push_back(std::move(op));
+    }
+    Wake();
+  }
+
+  void Wake() {
+    if (wake_fd_ < 0) return;
+    std::uint64_t one = 1;
+    (void)!::write(wake_fd_, &one, sizeof(one));
+  }
+
+  void Loop() {
+    std::vector<epoll_event> events(64);
+    for (;;) {
+      int timeout = -1;
+      if (server_.options_.client_deadline_ms > 0 && !conns_.empty()) {
+        timeout = std::clamp(server_.options_.client_deadline_ms / 4, 5, 1000);
+      }
+      const int n = ::epoll_wait(epoll_fd_, events.data(),
+                                 static_cast<int>(events.size()), timeout);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // epoll itself failing is unrecoverable for this loop.
+      }
+      for (int i = 0; i < n; ++i) {
+        if (events[i].data.u64 == 0) {
+          std::uint64_t drained = 0;
+          while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+          }
+          continue;  // the op queue is applied below, once per wakeup.
+        }
+        // Look the connection up per event: an earlier event in this
+        // batch may have closed it (stale entries must be skipped, never
+        // dereferenced).
+        auto it = conns_.find(events[i].data.u64);
+        if (it == conns_.end()) continue;
+        Connection* c = it->second.get();
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          CloseConn(c);
+          continue;
+        }
+        if ((events[i].events & EPOLLIN) && !HandleReadable(c)) continue;
+        if (events[i].events & EPOLLOUT) Flush(c);
+      }
+      ApplyOps();
+      SweepDeadlines();
+      if (stop_.load(std::memory_order_acquire) && conns_.empty() &&
+          NoPendingOps()) {
+        break;
+      }
+    }
+  }
+
+  bool NoPendingOps() {
+    std::lock_guard<std::mutex> lock(ops_mu_);
+    return ops_.empty();
+  }
+
+  void ApplyOps() {
+    std::vector<Op> ops;
+    {
+      std::lock_guard<std::mutex> lock(ops_mu_);
+      ops.swap(ops_);
+    }
+    for (Op& op : ops) {
+      if (op.kind == Op::kAdopt) {
+        auto conn = std::make_unique<Connection>(server_.catalog_,
+                                                 server_.executor_, op.fd,
+                                                 op.conn_id);
+        conn->last_activity = std::chrono::steady_clock::now();
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = op.conn_id;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, op.fd, &ev) < 0) {
+          server_.active_conns_.fetch_sub(1, std::memory_order_release);
+          continue;  // conn dtor closes the fd.
+        }
+        conns_.emplace(op.conn_id, std::move(conn));
+      } else {
+        // Completion for a connection that died mid-query is simply
+        // dropped — the executor already accounted for it.
+        auto it = conns_.find(op.conn_id);
+        if (it == conns_.end()) continue;
+        Connection* c = it->second.get();
+        for (Connection::Slot& slot : c->pending) {
+          if (slot.seq == op.seq) {
+            slot.body = std::move(op.body);
+            slot.ready = true;
+            break;
+          }
+        }
+        Flush(c);
+      }
+    }
+  }
+
+  void SweepDeadlines() {
+    const int deadline_ms = server_.options_.client_deadline_ms;
+    if (deadline_ms <= 0 || conns_.empty()) return;
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<Connection*> expired;
+    for (auto& kv : conns_) {
+      Connection* conn = kv.second.get();
+      // Only truly idle clients are reaped: a connection with responses
+      // still pending or unflushed is waiting on US (or on its own read
+      // loop), not dawdling.
+      if (!conn->pending.empty() || !conn->wbuf.empty()) continue;
+      if (now - conn->last_activity >
+          std::chrono::milliseconds(deadline_ms)) {
+        expired.push_back(conn);
+      }
+    }
+    for (Connection* c : expired) CloseConn(c);
+  }
+
+  void CloseConn(Connection* c) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
+    server_.active_conns_.fetch_sub(1, std::memory_order_release);
+    conns_.erase(c->id);  // dtor closes the fd.
+  }
+
+  /// Drains the socket into rbuf, consuming complete requests as they
+  /// appear (so a pipelined burst never accumulates more than one
+  /// incomplete request past the size cap). Returns false when the
+  /// connection was closed.
+  bool HandleReadable(Connection* c) {
+    char chunk[16384];
+    bool eof = false;
+    for (;;) {
+      const ssize_t r = ::recv(c->fd, chunk, sizeof(chunk), 0);
+      if (r > 0) {
+        c->rbuf.append(chunk, static_cast<std::size_t>(r));
+        c->last_activity = std::chrono::steady_clock::now();
+        if (!ProcessInput(c)) return false;
+        continue;
+      }
+      if (r == 0) {
+        eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(c);
+      return false;
+    }
+    if (eof) {
+      c->stop_reading = true;
+      if (c->pending.empty() && c->wbuf.empty()) {
+        CloseConn(c);
+        return false;
+      }
+      // In-flight queries still owe responses; deliver them, then close.
+      c->close_after_flush = true;
+    }
+    return Flush(c);
+  }
+
+  /// Parses every complete request in rbuf. Returns false when the
+  /// connection was closed.
+  bool ProcessInput(Connection* c) {
+    const std::size_t max_request = server_.options_.max_request_bytes;
+    while (!c->stop_reading) {
+      if (c->proto == Connection::Proto::kUnknown) {
+        if (c->rbuf.empty()) break;
+        // Protocol negotiation: wire::kMagic's low byte is not printable
+        // ASCII, so the first byte decides unambiguously.
+        c->proto = wire::LooksBinary(static_cast<unsigned char>(c->rbuf[0]))
+                       ? Connection::Proto::kBinary
+                       : Connection::Proto::kLine;
+      }
+      if (c->proto == Connection::Proto::kLine) {
+        const std::size_t nl = c->rbuf.find('\n');
+        // The cap triggers both on a complete-but-huge line and on an
+        // unterminated one that already outgrew it (the latter stops a
+        // hostile newline-free stream from allocating without bound).
+        if (nl > max_request) {  // npos > max, so this covers both.
+          if (nl != std::string::npos || c->rbuf.size() > max_request) {
+            Connection::Slot& slot = NewSlot(c, /*binary=*/false,
+                                             wire::Opcode::kReply, 0);
+            FillError(c, &slot, wire::ErrorCode::kTooLarge,
+                      "request line exceeds " + std::to_string(max_request) +
+                          " bytes");
+            c->stop_reading = true;
+            c->close_after_flush = true;
+          }
+          break;
+        }
+        std::string line = c->rbuf.substr(0, nl);
+        c->rbuf.erase(0, nl + 1);
+        while (!line.empty() && line.back() == '\r') line.pop_back();
+        HandleCommandText(c, line, /*binary=*/false, 0);
+      } else {
+        wire::Frame frame;
+        std::size_t consumed = 0;
+        const wire::DecodeResult decoded =
+            wire::DecodeFrame(c->rbuf, max_request, &frame, &consumed);
+        if (decoded.status == wire::FrameStatus::kNeedMore) break;
+        if (decoded.status == wire::FrameStatus::kBad) {
+          // A corrupt length-prefixed stream cannot be resynchronized:
+          // one typed error frame, then hang up.
+          Connection::Slot& slot =
+              NewSlot(c, /*binary=*/true, wire::Opcode::kError, 0);
+          FillError(c, &slot, decoded.code, decoded.message);
+          c->stop_reading = true;
+          c->close_after_flush = true;
+          break;
+        }
+        c->rbuf.erase(0, consumed);
+        HandleFrame(c, frame);
+      }
+    }
+    return Flush(c);
+  }
+
+  Connection::Slot& NewSlot(Connection* c, bool binary, wire::Opcode opcode,
+                            std::uint64_t request_id) {
+    Connection::Slot slot;
+    slot.seq = c->next_seq++;
+    slot.binary = binary;
+    slot.opcode = opcode;
+    slot.request_id = request_id;
+    c->pending.push_back(std::move(slot));
+    return c->pending.back();
+  }
+
+  /// Formats a typed error into `slot` in the connection's own protocol:
+  /// a kError frame, or the line protocol's {"code":...} JSON (same
+  /// category strings on both sides).
+  void FillError(Connection* c, Connection::Slot* slot, wire::ErrorCode code,
+                 const std::string& message) {
+    if (slot->binary) {
+      slot->opcode = wire::Opcode::kError;
+      slot->body = wire::EncodeErrorPayload(code, message);
+    } else {
+      slot->body =
+          TagSessionJson(c->id, TypedErrorJson(wire::ToString(code), message));
+    }
+    slot->ready = true;
+  }
+
+  /// One request line — from the line protocol or a kCommand frame.
+  /// Queries go async (the reactor thread never runs an enumeration);
+  /// everything else dispatches inline through the shared ServerSession.
+  void HandleCommandText(Connection* c, const std::string& line, bool binary,
+                         std::uint64_t request_id) {
+    const RequestLine req = ParseRequestLine(line);
+    if (req.command == "query") {
+      Connection::Slot& slot =
+          NewSlot(c, binary, wire::Opcode::kReply, request_id);
+      auto built = BuildQueryRequest(req);
+      if (!built.ok()) {
+        if (binary) {
+          FillError(c, &slot, wire::ErrorCode::kBadRequest,
+                    built.status().message());
+        } else {
+          // The line protocol's historical bad-query shape (no "code"
+          // field) — old clients parse it, the smoke oracle diffs it.
+          slot.body = TagSessionJson(c->id, ErrorJson(built.status()));
+          slot.ready = true;
+        }
+        return;
+      }
+      AdmitQuery(c, &slot, std::move(built).value());
+      return;
+    }
+    std::string response;
+    bool stop_server = false;
+    const bool keep_going = c->session.Handle(line, &response, &stop_server);
+    if (binary) {
+      // Binary framing answers EVERY request frame (pipelined clients
+      // match responses positionally / by id), even where the line
+      // protocol stays silent on blanks and comments.
+      Connection::Slot& slot =
+          NewSlot(c, /*binary=*/true, wire::Opcode::kReply, request_id);
+      slot.body = std::move(response);
+      slot.ready = true;
+    } else if (!response.empty()) {
+      Connection::Slot& slot =
+          NewSlot(c, /*binary=*/false, wire::Opcode::kReply, 0);
+      slot.body = std::move(response);
+      slot.ready = true;
+    }
+    if (stop_server) server_.RequestStop();
+    if (!keep_going) {
+      c->stop_reading = true;
+      c->close_after_flush = true;
+    }
+  }
+
+  void HandleFrame(Connection* c, wire::Frame& frame) {
+    switch (frame.opcode) {
+      case wire::Opcode::kPing: {
+        Connection::Slot& slot =
+            NewSlot(c, /*binary=*/true, wire::Opcode::kPong, frame.request_id);
+        slot.ready = true;
+        return;
+      }
+      case wire::Opcode::kCommand:
+        HandleCommandText(c, frame.payload, /*binary=*/true, frame.request_id);
+        return;
+      case wire::Opcode::kQuery: {
+        Connection::Slot& slot = NewSlot(c, /*binary=*/true,
+                                         wire::Opcode::kReply,
+                                         frame.request_id);
+        auto built = wire::DecodeQueryPayload(frame.payload);
+        if (!built.ok()) {
+          FillError(c, &slot, wire::ErrorCode::kBadRequest,
+                    built.status().message());
+          return;
+        }
+        AdmitQuery(c, &slot, std::move(built).value());
+        return;
+      }
+      default: {
+        // DecodeFrame admits response opcodes (clients must decode
+        // them), but a client sending one AT the server is confused.
+        Connection::Slot& slot =
+            NewSlot(c, /*binary=*/true, wire::Opcode::kError,
+                    frame.request_id);
+        FillError(c, &slot, wire::ErrorCode::kBadFrame,
+                  "response opcode sent to server");
+        c->stop_reading = true;
+        c->close_after_flush = true;
+        return;
+      }
+    }
+  }
+
+  /// Admission + async dispatch for one query. The slot is addressed by
+  /// (conn id, seq) — NOT by pointer — so a connection that dies while
+  /// the query runs just drops the completion.
+  void AdmitQuery(Connection* c, Connection::Slot* slot, QueryRequest query) {
+    const unsigned limit = server_.options_.max_inflight;
+    unsigned current = server_.inflight_.fetch_add(1, std::memory_order_acq_rel);
+    if (limit != 0 && current >= limit) {
+      server_.inflight_.fetch_sub(1, std::memory_order_release);
+      FillError(c, slot, wire::ErrorCode::kBusy,
+                "server busy: max-inflight=" + std::to_string(limit));
+      return;
+    }
+    TcpServer* server = &server_;
+    Reactor* self = this;
+    const std::uint64_t conn_id = c->id;
+    const std::uint64_t seq = slot->seq;
+    server_.executor_.ExecuteAsync(
+        query, [server, self, conn_id, seq, query](QueryResult result) {
+          std::string body =
+              TagSessionJson(conn_id, QueryResultJson(query, result));
+          // Post BEFORE releasing the in-flight ticket: Serve()'s drain
+          // epilogue waits for inflight_ == 0 and may tear the reactors
+          // down right after, so the post must already have landed.
+          self->PostCompletion(conn_id, seq, std::move(body));
+          server->inflight_.fetch_sub(1, std::memory_order_release);
+        });
+  }
+
+  /// Moves ready-in-order responses into wbuf and writes as much as the
+  /// socket accepts; manages EPOLLOUT registration and the
+  /// close-after-flush epilogue. Returns false when the connection was
+  /// closed.
+  bool Flush(Connection* c) {
+    while (!c->pending.empty() && c->pending.front().ready) {
+      Connection::Slot& slot = c->pending.front();
+      if (slot.binary) {
+        wire::Frame frame;
+        frame.opcode = slot.opcode;
+        frame.request_id = slot.request_id;
+        frame.payload = std::move(slot.body);
+        wire::EncodeFrame(frame, &c->wbuf);
+      } else if (!slot.body.empty()) {
+        c->wbuf += slot.body;
+        c->wbuf += '\n';
+      }
+      c->pending.pop_front();
+    }
+    while (!c->wbuf.empty()) {
+      const ssize_t n =
+          ::send(c->fd, c->wbuf.data(), c->wbuf.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        c->wbuf.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      CloseConn(c);  // peer reset mid-response.
+      return false;
+    }
+    const bool want_write = !c->wbuf.empty();
+    if (want_write != c->want_write) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+      ev.data.u64 = c->id;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
+      c->want_write = want_write;
+    }
+    if (c->close_after_flush && c->pending.empty() && c->wbuf.empty()) {
+      CloseConn(c);
+      return false;
+    }
+    return true;
+  }
+
+  TcpServer& server_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::mutex ops_mu_;
+  std::vector<Op> ops_;
+  /// Owned connections, keyed by session id. Loop-thread only.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::thread thread_;
+};
+
+// ---------------------------------------------------------------------------
+// TcpServer: listener + accept loop over the reactor pool.
+// ---------------------------------------------------------------------------
+
 TcpServer::TcpServer(GraphCatalog& catalog, QueryExecutor& executor,
                      const TcpServerOptions& options)
     : catalog_(catalog), executor_(executor), options_(options) {}
 
 TcpServer::~TcpServer() {
-  Reap(/*all=*/true);
+  RequestStop();
+  // Executor runner threads may still hold completions that post into a
+  // reactor, so the reactor objects must outlive the last ticket.
+  while (inflight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  reactors_.clear();  // each dtor stops, joins and reaps its fds.
   if (listener_ >= 0) ::close(listener_);
 }
 
 Status TcpServer::Listen() {
-  listener_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listener_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listener_ < 0) {
     return Status::Internal("socket() failed");
   }
@@ -432,8 +1004,12 @@ Status TcpServer::Listen() {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  // A deep backlog: connection floods (the 10k-connection bench tier)
+  // must queue behind the serial accept loop instead of overflowing the
+  // SYN queue into multi-second client-side retransmit stalls. The
+  // kernel clamps this to net.core.somaxconn.
   if (::bind(listener_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener_, 16) < 0) {
+      ::listen(listener_, 4096) < 0) {
     ::close(listener_);
     listener_ = -1;
     return Status::Internal("cannot listen on 127.0.0.1:" +
@@ -445,6 +1021,20 @@ Status TcpServer::Listen() {
   } else {
     port_ = options_.port;
   }
+
+  unsigned reactors = options_.reactor_threads;
+  if (reactors == 0) {
+    reactors = std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
+  }
+  for (unsigned i = 0; i < reactors; ++i) {
+    auto reactor = std::make_unique<Reactor>(*this);
+    Status st = reactor->Start();
+    if (!st.ok()) {
+      reactors_.clear();
+      return st;
+    }
+    reactors_.push_back(std::move(reactor));
+  }
   return Status::OK();
 }
 
@@ -453,38 +1043,13 @@ void TcpServer::RequestStop() {
   // shutdown(2) — not close(2) — wakes a blocked accept() without
   // invalidating the fd another thread may be using: race-free shutdown.
   if (listener_ >= 0) ::shutdown(listener_, SHUT_RDWR);
-}
-
-void TcpServer::Reap(bool all) {
-  // Splice the reapable slots out under the lock, join them outside it:
-  // joining under sessions_mu_ could deadlock with a session thread that
-  // is itself blocked on the mutex in its epilogue reap. splice keeps
-  // the list nodes alive, so RunSession's `slot` pointer stays valid.
-  std::list<SessionSlot> done;
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (auto it = sessions_.begin(); it != sessions_.end();) {
-      // A session thread reaping its peers must never join itself (its
-      // own finished flag is not yet set at that point anyway; the id
-      // check makes self-joining structurally impossible).
-      if ((all || it->finished.load(std::memory_order_acquire)) &&
-          it->thread.get_id() != std::this_thread::get_id()) {
-        auto next = std::next(it);
-        done.splice(done.end(), sessions_, it);
-        it = next;
-      } else {
-        ++it;
-      }
-    }
-  }
-  for (SessionSlot& slot : done) {
-    if (slot.thread.joinable()) slot.thread.join();
-  }
+  for (auto& reactor : reactors_) reactor->RequestStop();
 }
 
 void TcpServer::Serve() {
   while (!stopping_.load(std::memory_order_acquire)) {
-    int client = ::accept(listener_, nullptr, nullptr);
+    int client = ::accept4(listener_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (client < 0) {
       if (stopping_.load(std::memory_order_acquire)) break;
       // A resident server must survive transient accept failures: a
@@ -503,11 +1068,17 @@ void TcpServer::Serve() {
       ::close(client);
       break;
     }
-    Reap(/*all=*/false);
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    if (sessions_.size() >= options_.max_sessions) {
+    // Small responses must not sit in Nagle's buffer behind a pipelined
+    // request burst.
+    int nodelay = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    const unsigned admitted =
+        active_conns_.fetch_add(1, std::memory_order_acq_rel);
+    if (admitted >= options_.max_sessions) {
+      active_conns_.fetch_sub(1, std::memory_order_release);
       // Turn the client away with a parseable error rather than leaving
-      // it queued behind an unbounded backlog.
+      // it queued behind an unbounded backlog. (Best effort on a fresh
+      // socket whose send buffer is empty.)
       std::string reply =
           ErrorJson("server full: max-sessions=" +
                     std::to_string(options_.max_sessions)) +
@@ -519,63 +1090,15 @@ void TcpServer::Serve() {
     const std::uint64_t id =
         next_session_id_.fetch_add(1, std::memory_order_relaxed);
     sessions_started_.fetch_add(1, std::memory_order_relaxed);
-    sessions_.emplace_back();
-    SessionSlot* slot = &sessions_.back();
-    slot->thread = std::thread(
-        [this, client, id, slot] { RunSession(client, id, slot); });
+    reactors_[id % reactors_.size()]->Adopt(client, id);
   }
-  // Drain: let every active session finish its stream before returning.
-  Reap(/*all=*/true);
-}
-
-void TcpServer::RunSession(int client_fd, std::uint64_t id,
-                           SessionSlot* slot) {
-  FILE* rf = ::fdopen(client_fd, "r");
-  if (rf == nullptr) {
-    ::close(client_fd);
-    slot->finished.store(true, std::memory_order_release);
-    return;
+  // Drain: every reactor keeps serving its live connections until they
+  // close, then exits; then wait for stragglers' completions to land.
+  for (auto& reactor : reactors_) reactor->RequestStop();
+  for (auto& reactor : reactors_) reactor->Join();
+  while (inflight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  ServerSession session(catalog_, executor_, id);
-  bool stop_server = false;
-  char* buf = nullptr;
-  size_t cap = 0;
-  ssize_t len;
-  bool keep_going = true;
-  while (keep_going && (len = ::getline(&buf, &cap, rf)) >= 0) {
-    std::string line(buf, static_cast<std::size_t>(len));
-    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
-      line.pop_back();
-    }
-    std::string response;
-    keep_going = session.Handle(line, &response, &stop_server);
-    if (!response.empty()) {
-      response += "\n";
-      const char* data = response.data();
-      std::size_t remaining = response.size();
-      while (remaining > 0) {
-        // MSG_NOSIGNAL: a client resetting mid-response must surface as
-        // an EPIPE error here, never as a process-wide SIGPIPE (the
-        // tests run this server in-process without a signal handler).
-        ssize_t n = ::send(client_fd, data, remaining, MSG_NOSIGNAL);
-        if (n <= 0) {
-          keep_going = false;
-          break;
-        }
-        data += n;
-        remaining -= static_cast<std::size_t>(n);
-      }
-    }
-  }
-  std::free(buf);
-  ::fclose(rf);  // also closes the client fd.
-  if (stop_server) RequestStop();
-  // Join already-finished peers so an idle server does not accumulate
-  // exited-but-unjoined threads until the next accept. The id check in
-  // Reap keeps this thread from touching its own slot; its own join
-  // happens on the next accept-loop reap or the final drain.
-  Reap(/*all=*/false);
-  slot->finished.store(true, std::memory_order_release);
 }
 
 }  // namespace fairbc

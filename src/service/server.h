@@ -4,11 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <list>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <thread>
+#include <vector>
 
 #include "common/status.h"
 #include "service/graph_catalog.h"
@@ -42,12 +41,17 @@ namespace fairbc {
 ///                 reading the stdin stream; the server keeps serving
 ///                 other sessions)
 ///   stop         (ends this session AND stops the server: no new TCP
-///                 connections are accepted and the accept loop drains —
-///                 it returns once every active session has ended. In
-///                 stdin mode the single session is the server, so quit
-///                 and stop both terminate the process; stop additionally
-///                 reports the server-stop intent to the caller, which
-///                 logs it.)
+///                 connections are accepted and the front end drains —
+///                 Serve() returns once every active connection has
+///                 closed. In stdin mode the single session is the
+///                 server, so quit and stop both terminate the process;
+///                 stop additionally reports the server-stop intent to
+///                 the caller, which logs it.)
+///
+/// The same port also speaks a length-prefixed binary protocol (see
+/// service/wire.h and docs/WIRE_PROTOCOL.md): the first byte of a
+/// connection selects the protocol — wire::kMagic's low byte is not
+/// printable ASCII, so the two framings cannot collide.
 struct RequestLine {
   std::string command;
   std::map<std::string, std::string> args;
@@ -61,6 +65,12 @@ RequestLine ParseRequestLine(const std::string& line);
 /// value must NOT wrap to a huge unsigned), theta must be in [0, 1],
 /// budget must be >= 0 and threads in [0, 1024].
 Result<QueryRequest> BuildQueryRequest(const RequestLine& req);
+
+/// Prefixes `"session":id` into a `{...}` response object (identity on
+/// anything that is not an object). Every per-session response emitter —
+/// ServerSession and the reactor's async query completions — goes
+/// through this one function so the tag format cannot drift.
+std::string TagSessionJson(std::uint64_t id, std::string json);
 
 /// One server session: shares the catalog/executor (and therefore the
 /// result cache and single-flight table) with every other session; owns
@@ -87,7 +97,6 @@ class ServerSession {
   std::string Query(const RequestLine& req);
   std::string Sweep(const RequestLine& req);
   std::string EntryReply(const std::string& cmd, const std::string& name);
-  /// Prefixes `"session":id` into a `{...}` response object.
   std::string Tag(std::string json) const;
 
   GraphCatalog& catalog_;
@@ -95,10 +104,19 @@ class ServerSession {
   const std::uint64_t id_;
 };
 
+/// Default cap on one request (a line, or a binary frame payload): large
+/// enough for any real sweep grid, small enough that a buggy or hostile
+/// client cannot drive unbounded allocation.
+inline constexpr std::size_t kDefaultMaxRequestBytes = 1 << 20;
+
 /// Serves one already-open line stream (the stdin/stdout mode). Returns
 /// true when the session ended via `stop` (server shutdown requested),
-/// false on `quit` or end of stream.
-bool ServeStream(std::istream& in, std::ostream& out, ServerSession& session);
+/// false on `quit` or end of stream. Lines longer than
+/// `max_request_bytes` get a typed "too_large" error and are not
+/// dispatched (the stream keeps going — stdin is a trusted local pipe,
+/// unlike a TCP peer, whose connection is closed instead).
+bool ServeStream(std::istream& in, std::ostream& out, ServerSession& session,
+                 std::size_t max_request_bytes = kDefaultMaxRequestBytes);
 
 struct TcpServerOptions {
   /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (see port()).
@@ -106,19 +124,48 @@ struct TcpServerOptions {
   /// Connections served concurrently; further clients are turned away
   /// with a "server full" error response. Must be >= 1.
   unsigned max_sessions = 8;
+  /// Reactor (event-loop) threads multiplexing all connections;
+  /// 0 = min(4, hardware threads).
+  unsigned reactor_threads = 0;
+  /// Global bound on admitted-but-uncompleted query requests (leaders
+  /// AND coalesced duplicates, across all connections). Requests beyond
+  /// it get a typed "busy" error instead of queueing unboundedly.
+  /// 0 = unlimited.
+  unsigned max_inflight = 256;
+  /// Per-request size cap: a line longer than this, or a binary frame
+  /// whose header announces a larger payload, draws a typed "too_large"
+  /// error and the connection is closed (a length-prefixed stream cannot
+  /// be resynchronized past a rejected frame).
+  std::size_t max_request_bytes = kDefaultMaxRequestBytes;
+  /// Idle deadline: a connection with no traffic and no pending
+  /// responses for this long is closed. 0 = never (the default — idle
+  /// monitoring connections are legitimate).
+  int client_deadline_ms = 0;
 };
 
-/// Concurrent TCP front end: the accept loop hands each connection to a
-/// detached-from-the-acceptor session thread (a SessionRunner running the
-/// read/dispatch/write loop over its own ServerSession), bounded by
-/// max_sessions. Catalog, executor, result cache and single-flight table
-/// are shared across sessions; per-session state is just the id stamped
-/// into every response.
+class Reactor;
+
+/// Event-driven TCP front end: a small fixed pool of reactor threads
+/// (epoll, level-triggered) multiplexes every client connection over
+/// non-blocking sockets. Each accepted connection is pinned to one
+/// reactor, which owns all its state — read/write buffers, protocol
+/// (line vs. binary, negotiated on the first byte), and the ordered
+/// response queue that implements pipelining: clients may send many
+/// requests without reading; responses are delivered strictly in request
+/// order per connection.
+///
+/// Queries never run on a reactor thread: they are admitted through
+/// QueryExecutor::ExecuteAsync against the global in-flight bound, and
+/// their completions hop back to the owning reactor over a cross-thread
+/// op queue (eventfd wakeup). Catalog mutations and other commands are
+/// cheap and dispatch inline. No reactor thread and no executor runner
+/// ever parks waiting on another query (see QueryExecutor's
+/// completion-list single-flight).
 ///
 /// Shutdown: `stop` (from any session) or RequestStop() stops the accept
 /// loop race-free (shutdown(2) on the listener wakes a blocked accept)
-/// and Serve() then drains — joins every active session thread, letting
-/// in-flight sessions finish their streams — before returning.
+/// and Serve() then drains — every reactor keeps serving its live
+/// connections until they close, then exits — before returning.
 class TcpServer {
  public:
   TcpServer(GraphCatalog& catalog, QueryExecutor& executor,
@@ -128,37 +175,30 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds and listens on 127.0.0.1:options.port. Must be called (and
-  /// have succeeded) before Serve().
+  /// Binds and listens on 127.0.0.1:options.port and starts the reactor
+  /// threads. Must be called (and have succeeded) before Serve().
   Status Listen();
 
   /// The bound port (resolves options.port == 0 to the ephemeral pick).
   int port() const { return port_; }
 
-  /// Blocking accept loop; returns after a stop request has been seen
-  /// and every session thread has been joined.
+  /// Blocking accept loop; returns after a stop request has been seen,
+  /// every connection has closed, every reactor thread has been joined,
+  /// and every outstanding async query completion has landed.
   void Serve();
 
-  /// Stops accepting new connections and wakes a blocked accept. Safe
-  /// from any thread (sessions call it when they see `stop`).
+  /// Stops accepting new connections, wakes a blocked accept and tells
+  /// the reactors to drain. Safe from any thread (sessions call it when
+  /// they see `stop`).
   void RequestStop();
 
-  /// Sessions ever admitted (telemetry/test aid).
+  /// Sessions (connections) ever admitted (telemetry/test aid).
   std::uint64_t sessions_started() const {
     return sessions_started_.load(std::memory_order_relaxed);
   }
 
  private:
-  struct SessionSlot {
-    std::thread thread;
-    std::atomic<bool> finished{false};
-  };
-
-  /// The per-connection session loop (read line, dispatch, write reply).
-  void RunSession(int client_fd, std::uint64_t id, SessionSlot* slot);
-  /// Joins finished session threads; with `all` set, joins every one
-  /// (the drain path — blocks until active sessions end).
-  void Reap(bool all);
+  friend class Reactor;
 
   GraphCatalog& catalog_;
   QueryExecutor& executor_;
@@ -168,8 +208,12 @@ class TcpServer {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> next_session_id_{1};
   std::atomic<std::uint64_t> sessions_started_{0};
-  std::mutex sessions_mu_;
-  std::list<SessionSlot> sessions_;
+  /// Live connections across all reactors (admission vs. max_sessions).
+  std::atomic<unsigned> active_conns_{0};
+  /// Admitted-but-uncompleted async query requests (admission vs.
+  /// max_inflight, and the Serve() epilogue's completion drain).
+  std::atomic<unsigned> inflight_{0};
+  std::vector<std::unique_ptr<Reactor>> reactors_;
 };
 
 }  // namespace fairbc

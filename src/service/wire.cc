@@ -1,0 +1,280 @@
+#include "service/wire.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace fairbc {
+namespace wire {
+
+namespace {
+
+/// Same window as the line protocol's BuildQueryRequest: far above any
+/// meaningful fairness threshold, far below unsigned-wrap territory.
+constexpr std::uint32_t kMaxParam = 1'000'000'000;
+
+template <typename T>
+void AppendLE(std::string* out, T v) {
+  char bytes[sizeof(T)];
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  out->append(bytes, sizeof(T));
+}
+
+template <typename T>
+bool ReadLE(std::string_view data, std::size_t* off, T* v) {
+  if (data.size() - *off < sizeof(T)) return false;
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(static_cast<unsigned char>(data[*off + i]))
+             << (8 * i);
+  }
+  *off += sizeof(T);
+  *v = value;
+  return true;
+}
+
+}  // namespace
+
+bool IsRequestOpcode(Opcode op) {
+  switch (op) {
+    case Opcode::kPing:
+    case Opcode::kCommand:
+    case Opcode::kQuery:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsResponseOpcode(Opcode op) {
+  switch (op) {
+    case Opcode::kPong:
+    case Opcode::kReply:
+    case Opcode::kError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* ToString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest:
+      return "bad_request";
+    case ErrorCode::kBusy:
+      return "busy";
+    case ErrorCode::kTooLarge:
+      return "too_large";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kInternal:
+      return "internal";
+    case ErrorCode::kBadFrame:
+      return "bad_frame";
+    case ErrorCode::kUnsupportedVersion:
+      return "unsupported_version";
+  }
+  return "unknown";
+}
+
+void AppendU8(std::string* out, std::uint8_t v) { AppendLE(out, v); }
+void AppendU16(std::string* out, std::uint16_t v) { AppendLE(out, v); }
+void AppendU32(std::string* out, std::uint32_t v) { AppendLE(out, v); }
+void AppendU64(std::string* out, std::uint64_t v) { AppendLE(out, v); }
+
+void AppendF64(std::string* out, double v) {
+  AppendLE(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void AppendString16(std::string* out, std::string_view s) {
+  FAIRBC_CHECK(s.size() <= 0xFFFF);
+  AppendU16(out, static_cast<std::uint16_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+bool Reader::ReadU8(std::uint8_t* v) { return ReadLE(data_, &off_, v); }
+bool Reader::ReadU16(std::uint16_t* v) { return ReadLE(data_, &off_, v); }
+bool Reader::ReadU32(std::uint32_t* v) { return ReadLE(data_, &off_, v); }
+bool Reader::ReadU64(std::uint64_t* v) { return ReadLE(data_, &off_, v); }
+
+bool Reader::ReadF64(double* v) {
+  std::uint64_t bits = 0;
+  if (!ReadLE(data_, &off_, &bits)) return false;
+  *v = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool Reader::ReadString16(std::string* v) {
+  std::uint16_t len = 0;
+  if (!ReadLE(data_, &off_, &len)) return false;
+  if (data_.size() - off_ < len) return false;
+  v->assign(data_.data() + off_, len);
+  off_ += len;
+  return true;
+}
+
+void EncodeFrame(const Frame& frame, std::string* out) {
+  FAIRBC_CHECK(frame.payload.size() <= 0xFFFFFFFFu);
+  AppendU16(out, kMagic);
+  AppendU8(out, frame.version);
+  AppendU8(out, static_cast<std::uint8_t>(frame.opcode));
+  AppendU64(out, frame.request_id);
+  AppendU32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out->append(frame.payload);
+}
+
+DecodeResult DecodeFrame(std::string_view buf, std::size_t max_payload,
+                         Frame* out, std::size_t* consumed) {
+  *consumed = 0;
+  // Reject on the earliest byte that can prove corruption, so a line
+  // client (or garbage) is turned away before a full header accumulates.
+  if (!buf.empty() && !LooksBinary(static_cast<unsigned char>(buf[0]))) {
+    return {FrameStatus::kBad, ErrorCode::kBadFrame, "bad frame magic"};
+  }
+  if (buf.size() >= 2) {
+    std::size_t off = 0;
+    std::uint16_t magic = 0;
+    ReadLE(buf, &off, &magic);
+    if (magic != kMagic) {
+      return {FrameStatus::kBad, ErrorCode::kBadFrame, "bad frame magic"};
+    }
+  }
+  if (buf.size() < kHeaderBytes) return {FrameStatus::kNeedMore, {}, {}};
+
+  std::size_t off = 2;
+  std::uint8_t version = 0, opcode = 0;
+  std::uint64_t request_id = 0;
+  std::uint32_t payload_len = 0;
+  ReadLE(buf, &off, &version);
+  ReadLE(buf, &off, &opcode);
+  ReadLE(buf, &off, &request_id);
+  ReadLE(buf, &off, &payload_len);
+  if (version != kVersion) {
+    return {FrameStatus::kBad, ErrorCode::kUnsupportedVersion,
+            "unsupported frame version " + std::to_string(version)};
+  }
+  if (!IsRequestOpcode(static_cast<Opcode>(opcode)) &&
+      !IsResponseOpcode(static_cast<Opcode>(opcode))) {
+    return {FrameStatus::kBad, ErrorCode::kBadFrame,
+            "unknown opcode " + std::to_string(opcode)};
+  }
+  // The length check precedes any buffering decision: a hostile prefix
+  // ("send 4 GiB") is refused from the 16 header bytes alone.
+  if (payload_len > max_payload) {
+    return {FrameStatus::kBad, ErrorCode::kTooLarge,
+            "frame payload of " + std::to_string(payload_len) +
+                " bytes exceeds the " + std::to_string(max_payload) +
+                "-byte limit"};
+  }
+  if (buf.size() - kHeaderBytes < payload_len) {
+    return {FrameStatus::kNeedMore, {}, {}};
+  }
+  out->version = version;
+  out->opcode = static_cast<Opcode>(opcode);
+  out->request_id = request_id;
+  out->payload.assign(buf.data() + kHeaderBytes, payload_len);
+  *consumed = kHeaderBytes + payload_len;
+  return {FrameStatus::kOk, {}, {}};
+}
+
+std::string EncodeQueryPayload(const QueryRequest& request) {
+  std::string out;
+  AppendString16(&out, request.graph);
+  AppendU8(&out, request.model == FairModel::kSsfbc ? 0 : 1);
+  AppendU8(&out, request.algo == FairAlgo::kPlusPlus ? 0
+                 : request.algo == FairAlgo::kBcem  ? 1
+                                                    : 2);
+  AppendU32(&out, request.params.alpha);
+  AppendU32(&out, request.params.beta);
+  AppendU32(&out, request.params.delta);
+  AppendF64(&out, request.params.theta);
+  AppendU8(&out, request.options.ordering == VertexOrdering::kDegreeDesc ? 0
+                                                                         : 1);
+  AppendU8(&out, request.options.pruning == PruningLevel::kColorful ? 0
+                 : request.options.pruning == PruningLevel::kCore   ? 1
+                                                                    : 2);
+  AppendF64(&out, request.options.time_budget_seconds);
+  AppendU64(&out, request.options.node_budget);
+  AppendU32(&out, request.options.num_threads);
+  AppendU8(&out, request.use_cache ? 1 : 0);
+  return out;
+}
+
+Result<QueryRequest> DecodeQueryPayload(std::string_view payload) {
+  Reader r(payload);
+  QueryRequest req;
+  std::uint8_t model = 0, algo = 0, ordering = 0, pruning = 0, flags = 0;
+  std::uint32_t threads = 0;
+  if (!r.ReadString16(&req.graph) || !r.ReadU8(&model) || !r.ReadU8(&algo) ||
+      !r.ReadU32(&req.params.alpha) || !r.ReadU32(&req.params.beta) ||
+      !r.ReadU32(&req.params.delta) || !r.ReadF64(&req.params.theta) ||
+      !r.ReadU8(&ordering) || !r.ReadU8(&pruning) ||
+      !r.ReadF64(&req.options.time_budget_seconds) ||
+      !r.ReadU64(&req.options.node_budget) || !r.ReadU32(&threads) ||
+      !r.ReadU8(&flags)) {
+    return Status::InvalidArgument("truncated query payload");
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after query payload");
+  }
+  if (req.graph.empty()) {
+    return Status::InvalidArgument("query needs a graph name");
+  }
+  if (model > 1) return Status::InvalidArgument("bad model byte");
+  req.model = model == 0 ? FairModel::kSsfbc : FairModel::kBsfbc;
+  if (algo > 2) return Status::InvalidArgument("bad algo byte");
+  req.algo = algo == 0   ? FairAlgo::kPlusPlus
+             : algo == 1 ? FairAlgo::kBcem
+                         : FairAlgo::kNaive;
+  // The exact windows of the line protocol (BuildQueryRequest): the two
+  // front doors must accept and reject the same requests.
+  if (req.params.alpha > kMaxParam || req.params.beta > kMaxParam ||
+      req.params.delta > kMaxParam) {
+    return Status::InvalidArgument("alpha/beta/delta must be in [0, 1e9]");
+  }
+  if (!std::isfinite(req.params.theta) || req.params.theta < 0.0 ||
+      req.params.theta > 1.0) {
+    return Status::InvalidArgument("theta must be in [0, 1]");
+  }
+  if (ordering > 1) return Status::InvalidArgument("bad ordering byte");
+  req.options.ordering =
+      ordering == 0 ? VertexOrdering::kDegreeDesc : VertexOrdering::kId;
+  if (pruning > 2) return Status::InvalidArgument("bad pruning byte");
+  req.options.pruning = pruning == 0   ? PruningLevel::kColorful
+                        : pruning == 1 ? PruningLevel::kCore
+                                       : PruningLevel::kNone;
+  if (!std::isfinite(req.options.time_budget_seconds) ||
+      req.options.time_budget_seconds < 0.0) {
+    return Status::InvalidArgument("budget must be in [0, inf)");
+  }
+  if (threads > 1024) {
+    return Status::InvalidArgument("threads must be in [0, 1024]");
+  }
+  req.options.num_threads = threads;
+  req.use_cache = (flags & 1) != 0;
+  return req;
+}
+
+std::string EncodeErrorPayload(ErrorCode code, std::string_view message) {
+  std::string out;
+  AppendU16(&out, static_cast<std::uint16_t>(code));
+  out.append(message.data(), message.size());
+  return out;
+}
+
+Status DecodeErrorPayload(std::string_view payload, ErrorCode* code,
+                          std::string* message) {
+  Reader r(payload);
+  std::uint16_t raw = 0;
+  if (!r.ReadU16(&raw)) {
+    return Status::CorruptInput("error payload shorter than its code");
+  }
+  *code = static_cast<ErrorCode>(raw);
+  message->assign(payload.substr(2));
+  return Status::OK();
+}
+
+}  // namespace wire
+}  // namespace fairbc

@@ -1,0 +1,171 @@
+#ifndef FAIRBC_SERVICE_WIRE_H_
+#define FAIRBC_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "service/query.h"
+
+namespace fairbc {
+namespace wire {
+
+/// Length-prefixed little-endian binary framing for the fairbc server.
+/// Both protocols share one port: the first byte of a connection decides —
+/// kMagic's low byte (0xBC) is not printable ASCII, so no line-protocol
+/// command can ever start a binary stream and vice versa.
+///
+/// Frame layout (all integers little-endian):
+///
+///   offset  size  field
+///   0       2     magic        0xFBBC
+///   2       1     version      kVersion (currently 1)
+///   3       1     opcode       Opcode
+///   4       8     request id   echoed verbatim in the response frame
+///   12      4     payload len  bytes following the header
+///   16      n     payload      opcode-specific
+///
+/// Responses are delivered in request order per connection (pipelining:
+/// a client may send many frames before reading), and the request id is
+/// echoed so clients can also match by id. Unknown versions and corrupt
+/// headers are answered with one kError frame (ErrorCode::kBadFrame /
+/// kUnsupportedVersion) before the connection closes — a parser can not
+/// resynchronize inside a corrupt length-prefixed stream.
+
+inline constexpr std::uint16_t kMagic = 0xFBBC;
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 16;
+
+/// True when a connection's first byte announces the binary protocol.
+inline bool LooksBinary(unsigned char first_byte) {
+  return first_byte == static_cast<unsigned char>(kMagic & 0xFF);
+}
+
+enum class Opcode : std::uint8_t {
+  // Requests.
+  kPing = 0x01,     ///< liveness probe; empty payload.
+  kCommand = 0x02,  ///< payload: UTF-8 request line (line-protocol grammar).
+  kQuery = 0x03,    ///< payload: packed QueryRequest (EncodeQueryPayload).
+  // Responses (high bit set).
+  kPong = 0x81,   ///< reply to kPing; empty payload.
+  kReply = 0x82,  ///< payload: the JSON object the line protocol prints.
+  kError = 0x8F,  ///< payload: u16 ErrorCode + UTF-8 message.
+};
+
+/// True for opcodes a *client* may send (the server rejects responses
+/// sent at it, and vice versa).
+bool IsRequestOpcode(Opcode op);
+bool IsResponseOpcode(Opcode op);
+
+/// Typed error category carried by kError frames (and mirrored as the
+/// "code" field of line-protocol error JSON).
+enum class ErrorCode : std::uint16_t {
+  kBadRequest = 1,          ///< malformed/out-of-range request contents.
+  kBusy = 2,                ///< admission control: too many in-flight queries.
+  kTooLarge = 3,            ///< request exceeds --max-request-bytes.
+  kNotFound = 4,            ///< unknown graph/entry.
+  kInternal = 5,            ///< server-side failure.
+  kBadFrame = 6,            ///< corrupt frame (magic/opcode/length).
+  kUnsupportedVersion = 7,  ///< frame version this server does not speak.
+};
+
+const char* ToString(ErrorCode code);
+
+/// One decoded frame. `payload` is owned (copied out of the stream
+/// buffer) so the connection may compact its read buffer immediately.
+struct Frame {
+  std::uint8_t version = kVersion;
+  Opcode opcode = Opcode::kPing;
+  std::uint64_t request_id = 0;
+  std::string payload;
+};
+
+// --- primitive little-endian codec -----------------------------------------
+
+void AppendU8(std::string* out, std::uint8_t v);
+void AppendU16(std::string* out, std::uint16_t v);
+void AppendU32(std::string* out, std::uint32_t v);
+void AppendU64(std::string* out, std::uint64_t v);
+void AppendF64(std::string* out, double v);
+/// u16 length prefix + bytes; FAIRBC_CHECKs the string fits in 64 KiB.
+void AppendString16(std::string* out, std::string_view s);
+
+/// Bounds-checked forward reader over a payload. Every Read* returns
+/// false (and leaves the output untouched) instead of reading past the
+/// end, so truncated/corrupt payloads can never be UB.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ReadU8(std::uint8_t* v);
+  bool ReadU16(std::uint16_t* v);
+  bool ReadU32(std::uint32_t* v);
+  bool ReadU64(std::uint64_t* v);
+  bool ReadF64(double* v);
+  bool ReadString16(std::string* v);
+
+  std::size_t remaining() const { return data_.size() - off_; }
+  bool AtEnd() const { return off_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t off_ = 0;
+};
+
+// --- frame codec ------------------------------------------------------------
+
+/// Serializes `frame` (header + payload) onto `out`.
+void EncodeFrame(const Frame& frame, std::string* out);
+
+enum class FrameStatus {
+  kOk,        ///< one complete frame decoded; `consumed` bytes used.
+  kNeedMore,  ///< the buffer holds a valid prefix; read more bytes.
+  kBad,       ///< unrecoverable: wrong magic/version/opcode or oversized.
+};
+
+struct DecodeResult {
+  FrameStatus status = FrameStatus::kBad;
+  /// Set when status == kBad: what to tell the client before closing.
+  ErrorCode code = ErrorCode::kBadFrame;
+  std::string message;
+};
+
+/// Decodes the frame starting at `buf[0]`. Payloads longer than
+/// `max_payload` are rejected as kBad/kTooLarge *from the header alone*,
+/// so a hostile length prefix can never drive buffering or allocation.
+DecodeResult DecodeFrame(std::string_view buf, std::size_t max_payload,
+                         Frame* out, std::size_t* consumed);
+
+// --- opcode payloads --------------------------------------------------------
+
+/// Packed QueryRequest payload for Opcode::kQuery:
+///
+///   u16+bytes graph      catalog name
+///   u8        model      0 = ssfbc, 1 = bsfbc
+///   u8        algo       0 = pp, 1 = bcem, 2 = naive
+///   u32       alpha, beta, delta
+///   f64       theta
+///   u8        ordering   0 = deg, 1 = id
+///   u8        pruning    0 = colorful, 1 = core, 2 = none
+///   f64       time budget seconds (0 = unlimited)
+///   u64       node budget (0 = unlimited)
+///   u32       threads
+///   u8        flags      bit0 = use_cache
+std::string EncodeQueryPayload(const QueryRequest& request);
+
+/// Strictly validated inverse of EncodeQueryPayload: truncated or
+/// trailing bytes, unknown enum values, and out-of-range numerics (the
+/// same [0, 1e9] / [0, 1] / [0, 1024] windows as the line protocol's
+/// BuildQueryRequest) all come back as InvalidArgument.
+Result<QueryRequest> DecodeQueryPayload(std::string_view payload);
+
+/// kError payload: u16 code + UTF-8 message (rest of payload).
+std::string EncodeErrorPayload(ErrorCode code, std::string_view message);
+Status DecodeErrorPayload(std::string_view payload, ErrorCode* code,
+                          std::string* message);
+
+}  // namespace wire
+}  // namespace fairbc
+
+#endif  // FAIRBC_SERVICE_WIRE_H_

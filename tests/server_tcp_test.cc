@@ -14,7 +14,9 @@
 #include <atomic>
 #include <barrier>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -29,6 +31,7 @@
 #include "graph/snapshot.h"
 #include "service/graph_catalog.h"
 #include "service/query_executor.h"
+#include "service/wire.h"
 
 namespace fairbc {
 namespace {
@@ -185,8 +188,10 @@ class LineClient {
 
   bool connected() const { return connected_; }
 
-  bool Send(const std::string& line) {
-    std::string data = line + "\n";
+  bool Send(const std::string& line) { return SendRaw(line + "\n"); }
+
+  /// Writes `data` verbatim (no newline appended).
+  bool SendRaw(const std::string& data) {
     std::size_t off = 0;
     while (off < data.size()) {
       // MSG_NOSIGNAL: sending to a closed session must fail, not SIGPIPE
@@ -225,14 +230,18 @@ class LineClient {
 class ServerFixture {
  public:
   explicit ServerFixture(unsigned max_sessions = 8,
-                         std::size_t cache_capacity = 256) {
+                         std::size_t cache_capacity = 256)
+      : ServerFixture(WithMaxSessions(max_sessions), cache_capacity) {}
+
+  /// Full-options constructor for admission/deadline/request-cap tests;
+  /// `tcp.port` is forced ephemeral.
+  explicit ServerFixture(TcpServerOptions tcp, std::size_t cache_capacity = 256,
+                         unsigned executor_threads = 2) {
     QueryExecutorOptions options;
-    options.num_threads = 2;
+    options.num_threads = executor_threads;
     options.cache_capacity = cache_capacity;
     executor_ = std::make_unique<QueryExecutor>(catalog_, options);
-    TcpServerOptions tcp;
     tcp.port = 0;  // ephemeral
-    tcp.max_sessions = max_sessions;
     server_ = std::make_unique<TcpServer>(catalog_, *executor_, tcp);
     FAIRBC_CHECK(server_->Listen().ok());
     serve_thread_ = std::thread([this] {
@@ -255,11 +264,101 @@ class ServerFixture {
   }
 
  private:
+  static TcpServerOptions WithMaxSessions(unsigned max_sessions) {
+    TcpServerOptions tcp;
+    tcp.max_sessions = max_sessions;
+    return tcp;
+  }
+
   GraphCatalog catalog_;
   std::unique_ptr<QueryExecutor> executor_;
   std::unique_ptr<TcpServer> server_;
   std::thread serve_thread_;
   std::atomic<bool> serve_returned_{false};
+};
+
+// --- binary wire protocol ----------------------------------------------------
+
+/// Minimal blocking binary-protocol client; mirrors LineClient but in
+/// frames (service/wire.h). Send* enqueue nothing — each writes the
+/// encoded frame straight to the socket, so pipelining is just calling
+/// Send* repeatedly before the first Recv.
+class WireClient {
+ public:
+  explicit WireClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    connected_ = fd_ >= 0 && ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                                       sizeof(addr)) == 0;
+  }
+  ~WireClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  bool connected() const { return connected_; }
+
+  bool SendFrame(wire::Opcode op, std::uint64_t request_id,
+                 std::string payload = "") {
+    wire::Frame frame;
+    frame.opcode = op;
+    frame.request_id = request_id;
+    frame.payload = std::move(payload);
+    std::string encoded;
+    wire::EncodeFrame(frame, &encoded);
+    return SendRaw(encoded);
+  }
+
+  bool SendQuery(std::uint64_t request_id, const std::string& line) {
+    auto built = BuildQueryRequest(ParseRequestLine(line));
+    FAIRBC_CHECK(built.ok());
+    return SendFrame(wire::Opcode::kQuery, request_id,
+                     wire::EncodeQueryPayload(built.value()));
+  }
+
+  bool SendRaw(const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      ssize_t n =
+          ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads one complete frame; false on EOF/protocol error.
+  bool RecvFrame(wire::Frame* frame) {
+    for (;;) {
+      std::size_t consumed = 0;
+      const auto decoded =
+          wire::DecodeFrame(rbuf_, /*max_payload=*/64u << 20, frame, &consumed);
+      if (decoded.status == wire::FrameStatus::kOk) {
+        rbuf_.erase(0, consumed);
+        return true;
+      }
+      if (decoded.status == wire::FrameStatus::kBad) return false;
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      rbuf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// True when the server closed the connection (clean EOF).
+  bool AtEof() {
+    char c;
+    return ::recv(fd_, &c, 1, 0) == 0;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string rbuf_;
 };
 
 /// Acceptance criterion: ≥4 simultaneous client sessions with
@@ -433,6 +532,346 @@ TEST(TcpServerTest, CacheCommandReportsCoalescedCounter) {
             static_cast<unsigned long>(kClients - 1))
       << cache;
   client.Ask("quit");
+}
+
+// --- binary protocol over the shared port -----------------------------------
+
+TEST(WireServerTest, PingPongEchoesRequestId) {
+  ServerFixture fx;
+  WireClient client(fx.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendFrame(wire::Opcode::kPing, 0xABCDEF01u));
+  wire::Frame pong;
+  ASSERT_TRUE(client.RecvFrame(&pong));
+  EXPECT_EQ(pong.opcode, wire::Opcode::kPong);
+  EXPECT_EQ(pong.request_id, 0xABCDEF01u);
+  EXPECT_TRUE(pong.payload.empty());
+}
+
+/// The two protocols must agree byte-for-byte on query results: a binary
+/// kQuery and the equivalent line-protocol query produce the same digest
+/// (the smoke script's oracle property, provable in-process).
+TEST(WireServerTest, BinaryQueryMatchesLineProtocolOracle) {
+  ServerFixture fx;
+  ASSERT_TRUE(fx.catalog().AddGraph("g", ServerTestGraph()).ok());
+  const std::string query = "query graph=g alpha=2 beta=2 delta=1";
+
+  LineClient oracle(fx.port());
+  ASSERT_TRUE(oracle.connected());
+  const std::string line_reply = oracle.Ask(query);
+  ASSERT_EQ(JsonField(line_reply, "ok"), "true") << line_reply;
+
+  WireClient client(fx.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendQuery(7, query));
+  wire::Frame reply;
+  ASSERT_TRUE(client.RecvFrame(&reply));
+  ASSERT_EQ(reply.opcode, wire::Opcode::kReply);
+  EXPECT_EQ(reply.request_id, 7u);
+  EXPECT_EQ(JsonField(reply.payload, "ok"), "true") << reply.payload;
+  EXPECT_EQ(JsonField(reply.payload, "digest"), JsonField(line_reply, "digest"));
+  EXPECT_EQ(JsonField(reply.payload, "count"), JsonField(line_reply, "count"));
+  oracle.Ask("quit");
+}
+
+/// kCommand carries the line grammar verbatim, so binary clients reach
+/// every command (load/cache/graphs/...) without a second code path.
+TEST(WireServerTest, CommandFramesSpeakTheLineGrammar) {
+  ServerFixture fx;
+  ASSERT_TRUE(fx.catalog().AddGraph("g", ServerTestGraph()).ok());
+  WireClient client(fx.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendFrame(wire::Opcode::kCommand, 1, "catalog"));
+  wire::Frame reply;
+  ASSERT_TRUE(client.RecvFrame(&reply));
+  ASSERT_EQ(reply.opcode, wire::Opcode::kReply);
+  EXPECT_EQ(JsonField(reply.payload, "ok"), "true") << reply.payload;
+  EXPECT_NE(reply.payload.find("\"g\""), std::string::npos) << reply.payload;
+
+  // A malformed query via kCommand gets the server-side validation
+  // error, typed as a kError/bad_request frame on the binary protocol.
+  ASSERT_TRUE(
+      client.SendFrame(wire::Opcode::kCommand, 2, "query graph=g alpha=-1"));
+  ASSERT_TRUE(client.RecvFrame(&reply));
+  ASSERT_EQ(reply.opcode, wire::Opcode::kError);
+  EXPECT_EQ(reply.request_id, 2u);
+  wire::ErrorCode code;
+  std::string message;
+  ASSERT_TRUE(wire::DecodeErrorPayload(reply.payload, &code, &message).ok());
+  EXPECT_EQ(code, wire::ErrorCode::kBadRequest);
+  EXPECT_NE(message.find("alpha"), std::string::npos) << message;
+}
+
+/// Line and binary clients interleave on one server; both see tagged
+/// sessions, and identical queries agree across protocols.
+TEST(WireServerTest, MixedLineAndBinaryClientsConcurrently) {
+  ServerFixture fx;
+  ASSERT_TRUE(fx.catalog().AddGraph("g", ServerTestGraph()).ok());
+  const std::string query = "query graph=g alpha=2 beta=3 delta=1";
+
+  constexpr int kEach = 3;
+  std::barrier sync(2 * kEach);
+  std::array<std::atomic<bool>, 2 * kEach> failed{};
+  std::vector<std::string> digests(2 * kEach);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kEach; ++i) {
+    threads.emplace_back([&, i] {
+      LineClient client(fx.port());
+      if (!client.connected()) {
+        failed[i] = true;
+        return;
+      }
+      sync.arrive_and_wait();
+      const std::string reply = client.Ask(query);
+      if (JsonField(reply, "ok") != "true") failed[i] = true;
+      digests[i] = JsonField(reply, "digest");
+      client.Ask("quit");
+    });
+    threads.emplace_back([&, i] {
+      const int slot = kEach + i;
+      WireClient client(fx.port());
+      if (!client.connected()) {
+        failed[slot] = true;
+        return;
+      }
+      sync.arrive_and_wait();
+      wire::Frame reply;
+      if (!client.SendQuery(1, query) || !client.RecvFrame(&reply) ||
+          reply.opcode != wire::Opcode::kReply ||
+          JsonField(reply.payload, "ok") != "true") {
+        failed[slot] = true;
+        return;
+      }
+      digests[slot] = JsonField(reply.payload, "digest");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < 2 * kEach; ++i) {
+    EXPECT_FALSE(failed[i].load()) << "client " << i;
+    EXPECT_EQ(digests[i], digests[0]) << "client " << i;
+  }
+  EXPECT_FALSE(digests[0].empty());
+  // All six asked the same parameter point: exactly one run of the engine.
+  EXPECT_EQ(fx.executor().execution_count(), 1u);
+}
+
+/// A pipelined duplicate-heavy burst: responses come back in request
+/// order with matching ids, and the executor runs each distinct
+/// parameter point exactly once (acceptance criterion: executions ==
+/// unique keys under pipelining).
+TEST(WireServerTest, PipelinedBurstKeepsOrderAndCoalescesDuplicates) {
+  ServerFixture fx;
+  ASSERT_TRUE(fx.catalog().AddGraph("g", ServerTestGraph()).ok());
+
+  WireClient client(fx.port());
+  ASSERT_TRUE(client.connected());
+
+  // 12 requests, 3 distinct parameter points, interleaved — plus pings
+  // mixed in to prove ordering holds across opcodes.
+  constexpr int kRequests = 12;
+  constexpr unsigned kUnique = 3;
+  for (int i = 0; i < kRequests; ++i) {
+    const std::uint64_t id = static_cast<std::uint64_t>(i) + 1;
+    if (i % 4 == 3) {
+      ASSERT_TRUE(client.SendFrame(wire::Opcode::kPing, id));
+    } else {
+      const unsigned alpha = 2 + (static_cast<unsigned>(i) % kUnique);
+      ASSERT_TRUE(client.SendQuery(
+          id, "query graph=g alpha=" + std::to_string(alpha) +
+                  " beta=2 delta=1"));
+    }
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    wire::Frame reply;
+    ASSERT_TRUE(client.RecvFrame(&reply)) << "response " << i;
+    EXPECT_EQ(reply.request_id, static_cast<std::uint64_t>(i) + 1)
+        << "responses must arrive in request order";
+    if (i % 4 == 3) {
+      EXPECT_EQ(reply.opcode, wire::Opcode::kPong);
+    } else {
+      ASSERT_EQ(reply.opcode, wire::Opcode::kReply);
+      EXPECT_EQ(JsonField(reply.payload, "ok"), "true") << reply.payload;
+    }
+  }
+  EXPECT_EQ(fx.executor().execution_count(), kUnique);
+}
+
+/// Admission control: with --max-inflight=1 and the only slot held by a
+/// deliberately-blocked leader, further queries get the typed busy error
+/// on BOTH protocols — and the server stays fully responsive (pings).
+TEST(WireServerTest, OverloadedServerSaysBusyOnBothProtocols) {
+  TcpServerOptions tcp;
+  tcp.max_inflight = 1;
+  ServerFixture fx(tcp);
+  ASSERT_TRUE(fx.catalog().AddGraph("g", ServerTestGraph()).ok());
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+  fx.executor().SetExecuteHook([&](const QueryRequest& req) {
+    if (req.params.alpha != 7) return;  // only the blocker query stalls.
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  WireClient blocker(fx.port());
+  ASSERT_TRUE(blocker.connected());
+  ASSERT_TRUE(blocker.SendQuery(1, "query graph=g alpha=7 beta=2 delta=1"));
+  while (entered.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Line protocol: typed JSON error, connection stays usable.
+  LineClient line(fx.port());
+  ASSERT_TRUE(line.connected());
+  const std::string busy = line.Ask("query graph=g alpha=3 beta=2 delta=1");
+  EXPECT_EQ(JsonField(busy, "ok"), "false") << busy;
+  EXPECT_EQ(JsonField(busy, "code"), "busy") << busy;
+  EXPECT_EQ(JsonField(line.Ask("ping"), "ok"), "true");
+
+  // Binary protocol: kError frame with ErrorCode::kBusy.
+  WireClient binary(fx.port());
+  ASSERT_TRUE(binary.connected());
+  ASSERT_TRUE(binary.SendQuery(5, "query graph=g alpha=4 beta=2 delta=1"));
+  wire::Frame err;
+  ASSERT_TRUE(binary.RecvFrame(&err));
+  ASSERT_EQ(err.opcode, wire::Opcode::kError);
+  EXPECT_EQ(err.request_id, 5u);
+  wire::ErrorCode code;
+  std::string message;
+  ASSERT_TRUE(wire::DecodeErrorPayload(err.payload, &code, &message).ok());
+  EXPECT_EQ(code, wire::ErrorCode::kBusy);
+  EXPECT_NE(message.find("max-inflight"), std::string::npos) << message;
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  wire::Frame reply;
+  ASSERT_TRUE(blocker.RecvFrame(&reply));
+  EXPECT_EQ(reply.opcode, wire::Opcode::kReply);
+  EXPECT_EQ(JsonField(reply.payload, "ok"), "true") << reply.payload;
+  fx.executor().SetExecuteHook(nullptr);
+  line.Ask("quit");
+}
+
+/// Requests beyond --max-request-bytes get the typed too_large error:
+/// a complete huge line, an unterminated line that outgrows the cap, and
+/// a binary frame whose length prefix alone announces the excess.
+TEST(WireServerTest, OversizedRequestsRejectedWithTypedError) {
+  TcpServerOptions tcp;
+  tcp.max_request_bytes = 1024;
+  ServerFixture fx(tcp);
+
+  {  // Complete-but-huge line (newline arrives with the payload).
+    LineClient client(fx.port());
+    ASSERT_TRUE(client.connected());
+    const std::string reply =
+        client.Ask("ping " + std::string(4096, 'x'));
+    EXPECT_EQ(JsonField(reply, "ok"), "false") << reply;
+    EXPECT_EQ(JsonField(reply, "code"), "too_large") << reply;
+    EXPECT_EQ(client.RecvLine(), "") << "connection must close after";
+  }
+  {  // Unterminated line that outgrows the cap mid-stream: a hostile
+    // newline-free sender must be cut off, not buffered without bound.
+    LineClient client(fx.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.SendRaw(std::string(4096, 'y')));  // no '\n'
+    const std::string reply = client.RecvLine();
+    EXPECT_EQ(JsonField(reply, "code"), "too_large") << reply;
+    EXPECT_EQ(client.RecvLine(), "");
+  }
+  {  // Binary: payload length in the header exceeds the cap; rejected
+    // without buffering the (never-sent) payload.
+    WireClient client(fx.port());
+    ASSERT_TRUE(client.connected());
+    std::string header;
+    wire::AppendU16(&header, wire::kMagic);
+    wire::AppendU8(&header, wire::kVersion);
+    wire::AppendU8(&header, static_cast<std::uint8_t>(wire::Opcode::kCommand));
+    wire::AppendU64(&header, 9);
+    wire::AppendU32(&header, 1u << 20);  // 1 MiB announced, cap is 1 KiB.
+    ASSERT_TRUE(client.SendRaw(header));
+    wire::Frame err;
+    ASSERT_TRUE(client.RecvFrame(&err));
+    ASSERT_EQ(err.opcode, wire::Opcode::kError);
+    wire::ErrorCode code;
+    std::string message;
+    ASSERT_TRUE(wire::DecodeErrorPayload(err.payload, &code, &message).ok());
+    EXPECT_EQ(code, wire::ErrorCode::kTooLarge);
+    EXPECT_TRUE(client.AtEof()) << "corrupt-length stream must close";
+  }
+}
+
+/// Corrupt binary framing (bad magic after negotiation, unknown opcode,
+/// response opcode sent at the server) earns one kError then a close.
+TEST(WireServerTest, CorruptFramesGetOneErrorThenClose) {
+  ServerFixture fx;
+  {  // Unknown opcode.
+    WireClient client(fx.port());
+    ASSERT_TRUE(client.connected());
+    std::string header;
+    wire::AppendU16(&header, wire::kMagic);
+    wire::AppendU8(&header, wire::kVersion);
+    wire::AppendU8(&header, 0x55);
+    wire::AppendU64(&header, 1);
+    wire::AppendU32(&header, 0);
+    ASSERT_TRUE(client.SendRaw(header));
+    wire::Frame err;
+    ASSERT_TRUE(client.RecvFrame(&err));
+    EXPECT_EQ(err.opcode, wire::Opcode::kError);
+    EXPECT_TRUE(client.AtEof());
+  }
+  {  // Unsupported version.
+    WireClient client(fx.port());
+    ASSERT_TRUE(client.connected());
+    std::string header;
+    wire::AppendU16(&header, wire::kMagic);
+    wire::AppendU8(&header, 99);
+    wire::AppendU8(&header, static_cast<std::uint8_t>(wire::Opcode::kPing));
+    wire::AppendU64(&header, 1);
+    wire::AppendU32(&header, 0);
+    ASSERT_TRUE(client.SendRaw(header));
+    wire::Frame err;
+    ASSERT_TRUE(client.RecvFrame(&err));
+    ASSERT_EQ(err.opcode, wire::Opcode::kError);
+    wire::ErrorCode code;
+    std::string message;
+    ASSERT_TRUE(wire::DecodeErrorPayload(err.payload, &code, &message).ok());
+    EXPECT_EQ(code, wire::ErrorCode::kUnsupportedVersion);
+    EXPECT_TRUE(client.AtEof());
+  }
+  {  // A response opcode aimed at the server.
+    WireClient client(fx.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.SendFrame(wire::Opcode::kPong, 1));
+    wire::Frame err;
+    ASSERT_TRUE(client.RecvFrame(&err));
+    EXPECT_EQ(err.opcode, wire::Opcode::kError);
+    EXPECT_TRUE(client.AtEof());
+  }
+}
+
+/// --client-deadline-ms reaps idle connections; a fresh connection keeps
+/// working afterwards.
+TEST(WireServerTest, IdleConnectionsReapedAfterDeadline) {
+  TcpServerOptions tcp;
+  tcp.client_deadline_ms = 100;
+  ServerFixture fx(tcp);
+
+  LineClient idle(fx.port());
+  ASSERT_TRUE(idle.connected());
+  ASSERT_EQ(JsonField(idle.Ask("ping"), "ok"), "true");
+  // No traffic for well past the deadline: the server must close it.
+  EXPECT_EQ(idle.RecvLine(), "") << "idle connection should be reaped";
+
+  LineClient fresh(fx.port());
+  ASSERT_TRUE(fresh.connected());
+  EXPECT_EQ(JsonField(fresh.Ask("ping"), "ok"), "true");
+  fresh.Ask("quit");
 }
 
 }  // namespace

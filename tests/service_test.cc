@@ -10,7 +10,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <barrier>
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -532,6 +537,230 @@ TEST(SnapshotSpeedTest, SnapshotLoadsFasterThanTextParse) {
   EXPECT_LT(snap_seconds, text_seconds)
       << "snapshot load " << snap_seconds << "s vs text parse "
       << text_seconds << "s";
+}
+
+// --- async completion-list single-flight ------------------------------------
+
+unsigned CountProcessThreads() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return static_cast<unsigned>(std::stoul(line.substr(8)));
+    }
+  }
+  return 0;
+}
+
+/// Acceptance criterion: duplicate queries registered through
+/// ExecuteAsync park as completion callbacks, not blocked threads — the
+/// process thread count stays fixed while N duplicates are in flight,
+/// and an unrelated query still completes on the free runner.
+TEST(QueryExecutorAsyncTest, DuplicatesParkAsCompletionsNotThreads) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", ServiceTestGraph()).ok());
+  QueryExecutorOptions options;
+  options.num_threads = 2;  // one for the blocked leader, one free.
+  QueryExecutor executor(catalog, options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+  executor.SetExecuteHook([&](const QueryRequest& req) {
+    if (req.params.alpha != 9) return;
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  QueryRequest blocked;
+  blocked.graph = "g";
+  blocked.params = {9, 2, 1, 0.0};
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::vector<QueryResult> results;
+  auto collect = [&](QueryResult r) {
+    std::lock_guard<std::mutex> lock(done_mu);
+    results.push_back(std::move(r));
+    done_cv.notify_all();
+  };
+
+  constexpr unsigned kDuplicates = 8;
+  executor.ExecuteAsync(blocked, collect);  // leader
+  while (entered.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const unsigned threads_before = CountProcessThreads();
+  ASSERT_GT(threads_before, 0u);
+
+  for (unsigned i = 1; i < kDuplicates; ++i) {
+    executor.ExecuteAsync(blocked, collect);  // parked waiters
+  }
+  EXPECT_EQ(executor.async_pending(), kDuplicates);
+  // Every duplicate is registered, none holds a thread: the count is
+  // exactly what it was with only the leader running.
+  EXPECT_EQ(CountProcessThreads(), threads_before);
+
+  // The second runner is idle, not parked on the leader: an unrelated
+  // query completes end-to-end while all 8 duplicates are in flight.
+  QueryRequest other;
+  other.graph = "g";
+  other.params = {2, 2, 1, 0.0};
+  {
+    std::mutex m2;
+    std::condition_variable cv2;
+    bool other_done = false;
+    QueryResult other_result;
+    executor.ExecuteAsync(other, [&](QueryResult r) {
+      std::lock_guard<std::mutex> lock(m2);
+      other_result = std::move(r);
+      other_done = true;
+      cv2.notify_one();
+    });
+    std::unique_lock<std::mutex> lock(m2);
+    ASSERT_TRUE(cv2.wait_for(lock, std::chrono::seconds(30),
+                             [&] { return other_done; }));
+    EXPECT_TRUE(other_result.status.ok());
+  }
+  EXPECT_EQ(entered.load(), 1) << "duplicates must not have executed";
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    ASSERT_TRUE(done_cv.wait_for(lock, std::chrono::seconds(30), [&] {
+      return results.size() == kDuplicates;
+    }));
+  }
+  unsigned coalesced = 0;
+  for (const QueryResult& r : results) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.summary.digest, results[0].summary.digest);
+    coalesced += r.coalesced ? 1 : 0;
+  }
+  EXPECT_EQ(coalesced, kDuplicates - 1);
+  // One run for the blocked key, one for the unrelated query.
+  EXPECT_EQ(executor.execution_count(), 2u);
+  EXPECT_EQ(executor.coalesced_count(), kDuplicates - 1);
+  EXPECT_EQ(executor.async_pending(), 0u);
+  executor.SetExecuteHook(nullptr);
+}
+
+/// A budget-limited leader publishes nothing reusable; parked waiters
+/// are re-admitted instead of being handed the partial summary.
+TEST(QueryExecutorAsyncTest, PartialLeaderReadmitsItsWaiters) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", ServiceTestGraph()).ok());
+  QueryExecutorOptions options;
+  options.num_threads = 2;
+  QueryExecutor executor(catalog, options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> calls{0};
+  executor.SetExecuteHook([&](const QueryRequest& req) {
+    if (req.params.alpha != 5) return;
+    if (calls.fetch_add(1) != 0) return;  // only the first run stalls.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  // Leader carries a 1-node budget: guaranteed partial on this graph.
+  QueryRequest partial;
+  partial.graph = "g";
+  partial.params = {5, 2, 1, 0.0};
+  partial.options.node_budget = 1;
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  QueryResult leader_result, waiter_result;
+  bool leader_done = false, waiter_done = false;
+  executor.ExecuteAsync(partial, [&](QueryResult r) {
+    std::lock_guard<std::mutex> lock(done_mu);
+    leader_result = std::move(r);
+    leader_done = true;
+    done_cv.notify_all();
+  });
+  while (calls.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The unbudgeted duplicate parks behind the leader (same cache key:
+  // budgets are excluded from the canonical key).
+  QueryRequest full = partial;
+  full.options.node_budget = 0;
+  executor.ExecuteAsync(full, [&](QueryResult r) {
+    std::lock_guard<std::mutex> lock(done_mu);
+    waiter_result = std::move(r);
+    waiter_done = true;
+    done_cv.notify_all();
+  });
+  EXPECT_EQ(executor.async_pending(), 2u);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    ASSERT_TRUE(done_cv.wait_for(lock, std::chrono::seconds(30), [&] {
+      return leader_done && waiter_done;
+    }));
+  }
+
+  ASSERT_TRUE(leader_result.status.ok());
+  EXPECT_TRUE(leader_result.summary.stats.budget_exhausted);
+  ASSERT_TRUE(waiter_result.status.ok());
+  // The waiter was re-admitted and ran the query itself, to completion.
+  EXPECT_FALSE(waiter_result.coalesced);
+  EXPECT_FALSE(waiter_result.summary.stats.budget_exhausted);
+  EXPECT_GE(waiter_result.summary.count, leader_result.summary.count);
+  EXPECT_EQ(executor.execution_count(), 2u);
+
+  // Only the full run was cached.
+  QueryResult replay = executor.Execute(full);
+  EXPECT_TRUE(replay.cache_hit);
+  EXPECT_FALSE(replay.summary.stats.budget_exhausted);
+  executor.SetExecuteHook(nullptr);
+}
+
+/// Cache hits complete the async path inline on the calling thread — no
+/// runner round-trip for served-from-cache queries.
+TEST(QueryExecutorAsyncTest, CacheHitsCompleteInline) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", ServiceTestGraph()).ok());
+  QueryExecutor executor(catalog, {});
+
+  QueryRequest req;
+  req.graph = "g";
+  req.params = {2, 2, 1, 0.0};
+  ASSERT_TRUE(executor.Execute(req).status.ok());
+
+  const std::thread::id caller = std::this_thread::get_id();
+  bool done_inline = false;
+  executor.ExecuteAsync(req, [&](QueryResult r) {
+    EXPECT_TRUE(r.cache_hit);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    done_inline = true;
+  });
+  EXPECT_TRUE(done_inline) << "cache hits must not bounce via the pool";
+
+  // Unknown graphs fail inline the same way.
+  QueryRequest missing;
+  missing.graph = "nope";
+  bool failed_inline = false;
+  executor.ExecuteAsync(missing, [&](QueryResult r) {
+    EXPECT_FALSE(r.status.ok());
+    failed_inline = true;
+  });
+  EXPECT_TRUE(failed_inline);
 }
 
 }  // namespace

@@ -8,6 +8,10 @@
 # replays the same trace through TWO PARALLEL TCP clients, diffing both
 # response streams against the same CLI oracle — exercising concurrent
 # sessions, session ids and single-flight admission end to end.
+# Finally replays the trace a third time over the BINARY wire protocol
+# (fairbc_wire_client --pipeline, responses verified in request order)
+# against the same oracle, while a 256-connection idle soak proves the
+# epoll reactor holds and still serves a large fd fleet.
 #
 # Usage: tools/ci_service_smoke.sh [BUILD_DIR]   (default: build)
 
@@ -16,6 +20,7 @@ set -euo pipefail
 BUILD=${1:-build}
 CLI=$BUILD/fairbc_cli
 SERVER=$BUILD/fairbc_server
+WIRE=$BUILD/fairbc_wire_client
 WORK=$(mktemp -d)
 SERVER_PID=
 # A failed assertion mid-script must not leak the backgrounded TCP
@@ -119,7 +124,9 @@ fi
 echo "stdin OK: 20 responses match fairbc_cli; $hits cache hits"
 
 echo "== restart in TCP mode (mmap preload) and replay through 2 parallel clients"
-"$SERVER" --port=0 --preload=g="$WORK/g.snap" --mmap --max-sessions=8 \
+# max-sessions covers the 2 line clients + the wire client + its
+# 256-connection idle soak fleet below.
+"$SERVER" --port=0 --preload=g="$WORK/g.snap" --mmap --max-sessions=300 \
   2> "$WORK/server.log" &
 SERVER_PID=$!
 PORT=
@@ -162,6 +169,24 @@ if [ -z "$sid_a" ] || [ "$sid_a" = "$sid_b" ]; then
   echo "expected distinct session ids, got '$sid_a' and '$sid_b'"
   exit 1
 fi
+
+echo "== binary wire protocol: pipelined replay + 256-idle-connection soak"
+WIRE_TRACE="$WORK/wire_trace.txt"
+for p in "${PARAMS[@]}"; do
+  read -r model alpha beta delta <<<"$p"
+  echo "query graph=g model=$model alpha=$alpha beta=$beta delta=$delta"
+done > "$WIRE_TRACE"
+# --pipeline sends all 20 frames before reading; the client exits
+# nonzero if responses come back out of request order or any soak
+# connection fails its ping after the replay.
+"$WIRE" --port="$PORT" --pipeline --soak=256 \
+  < "$WIRE_TRACE" > "$WORK/wire.txt" 2> "$WORK/wire.log" \
+  || { echo "wire client failed:"; cat "$WORK/wire.log"; exit 1; }
+hits_w=$(check_stream wire "$WORK/wire.txt" 0) || exit 1
+grep -q "soak: 256 idle connections verified" "$WORK/wire.log" \
+  || { echo "soak verification missing:"; cat "$WORK/wire.log"; exit 1; }
+echo "wire OK: 20 pipelined responses match fairbc_cli ($hits_w cache hits);" \
+     "256 idle connections verified"
 
 echo "== stop the server (drain) and collect telemetry"
 exec 3<>"/dev/tcp/127.0.0.1/$PORT"

@@ -7,14 +7,23 @@
 // Usage:
 //   fairbc_server [--port=N] [--max-sessions=N] [--cache=ENTRIES]
 //                 [--threads=N] [--preload=NAME=PATH] [--mmap]
+//                 [--reactor-threads=N] [--max-inflight=N]
+//                 [--max-request-bytes=N] [--client-deadline-ms=N]
 //
 // Without --port it speaks the line protocol on stdin/stdout (one
 // session, id 0); with --port it listens on 127.0.0.1:N (0 = ephemeral,
 // the bound port is reported on stderr) and serves up to --max-sessions
-// TCP clients *concurrently* — each accepted connection gets its own
-// session thread and a unique session id stamped into every response,
-// over the shared catalog/executor/cache. Clients beyond the bound are
-// turned away with {"ok":false,"error":"server full..."}.
+// TCP clients *concurrently* — all connections are multiplexed over a
+// fixed pool of --reactor-threads epoll loops (0 = min(4, hw threads)),
+// each connection carrying a unique session id stamped into every
+// response, over the shared catalog/executor/cache. The same port
+// speaks the line protocol AND the binary wire protocol (see
+// docs/WIRE_PROTOCOL.md), negotiated on a connection's first byte.
+// Clients beyond the bound are turned away with
+// {"ok":false,"error":"server full..."}; query requests beyond
+// --max-inflight get a typed "busy" error; requests larger than
+// --max-request-bytes get a typed "too_large" error; connections idle
+// longer than --client-deadline-ms are closed (0 = never).
 //
 // `quit` ends one session; `stop` ends the session AND the server: the
 // accept loop stops admitting and drains (waits for the remaining
@@ -85,6 +94,12 @@ int main(int argc, char** argv) {
 
   auto port = flags.GetInt("port", -1);
   auto max_sessions = flags.GetInt("max-sessions", 8);
+  auto reactor_threads = flags.GetInt("reactor-threads", 0);
+  auto max_inflight = flags.GetInt("max-inflight", 256);
+  auto max_request_bytes =
+      flags.GetInt("max-request-bytes",
+                   static_cast<std::int64_t>(fairbc::kDefaultMaxRequestBytes));
+  auto client_deadline_ms = flags.GetInt("client-deadline-ms", 0);
   for (const std::string& name : flags.UnusedFlags()) {
     std::cerr << "warning: unknown flag --" << name << " ignored\n";
   }
@@ -97,9 +112,29 @@ int main(int argc, char** argv) {
       std::cerr << "error: --max-sessions must be in [1, 1024]\n";
       return 1;
     }
+    if (reactor_threads < 0 || reactor_threads > 64) {
+      std::cerr << "error: --reactor-threads must be in [0, 64]\n";
+      return 1;
+    }
+    if (max_inflight < 0 || max_inflight > 1'000'000) {
+      std::cerr << "error: --max-inflight must be in [0, 1000000]\n";
+      return 1;
+    }
+    if (max_request_bytes < 64 || max_request_bytes > (1 << 30)) {
+      std::cerr << "error: --max-request-bytes must be in [64, 2^30]\n";
+      return 1;
+    }
+    if (client_deadline_ms < 0 || client_deadline_ms > 86'400'000) {
+      std::cerr << "error: --client-deadline-ms must be in [0, 86400000]\n";
+      return 1;
+    }
     fairbc::TcpServerOptions tcp;
     tcp.port = static_cast<int>(port);
     tcp.max_sessions = static_cast<unsigned>(max_sessions);
+    tcp.reactor_threads = static_cast<unsigned>(reactor_threads);
+    tcp.max_inflight = static_cast<unsigned>(max_inflight);
+    tcp.max_request_bytes = static_cast<std::size_t>(max_request_bytes);
+    tcp.client_deadline_ms = static_cast<int>(client_deadline_ms);
     fairbc::TcpServer server(catalog, executor, tcp);
     Status listening = server.Listen();
     if (!listening.ok()) {
