@@ -192,10 +192,15 @@ bool RoundTrip(int fd, bool binary, const std::string& line,
 
 /// Raises RLIMIT_NOFILE as far as this process may: soft → hard always,
 /// and a best-effort hard-limit bump (needs CAP_SYS_RESOURCE). Returns
-/// the resulting soft limit.
-std::uint64_t RaiseNofileLimit() {
+/// the resulting soft limit and reports the detected hard cap through
+/// `hard` — a skipped row must say what the environment would allow,
+/// not just what it currently grants.
+std::uint64_t RaiseNofileLimit(std::uint64_t* hard) {
   rlimit lim{};
-  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 0;
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) {
+    *hard = 0;
+    return 0;
+  }
   rlimit want = lim;
   want.rlim_cur = want.rlim_max = 1 << 20;
   ::setrlimit(RLIMIT_NOFILE, &want);  // privileged environments only
@@ -205,6 +210,7 @@ std::uint64_t RaiseNofileLimit() {
     ::setrlimit(RLIMIT_NOFILE, &lim);
     ::getrlimit(RLIMIT_NOFILE, &lim);
   }
+  *hard = static_cast<std::uint64_t>(lim.rlim_max);
   return static_cast<std::uint64_t>(lim.rlim_cur);
 }
 
@@ -355,7 +361,8 @@ int main() {
   // set does ping + cached-query round-trips while the rest sit idle;
   // the idle fleet is then sampled to prove it is still being served.
   {
-    const std::uint64_t nofile = RaiseNofileLimit();
+    std::uint64_t nofile_hard = 0;
+    const std::uint64_t nofile = RaiseNofileLimit(&nofile_hard);
 
     fairbc::QueryExecutorOptions exec_options;
     exec_options.num_threads = 2;  // every measured query is cache-warm.
@@ -390,8 +397,14 @@ int main() {
         if (nofile < 2ull * conns + 128) {
           // Explicit skip, never a silent cap: this environment cannot
           // hold `conns` socket pairs + bookkeeping fds open at once.
-          std::cout << ", \"skipped\": \"RLIMIT_NOFILE " << nofile
-                    << " < " << (2ull * conns + 128) << "\"}";
+          // Record the detected soft AND hard caps next to the required
+          // one, so the reader can tell "raise ulimit -n" (soft < hard)
+          // apart from "this machine cannot run the row at all".
+          std::cout << ", \"skipped\": \"RLIMIT_NOFILE too low\""
+                    << ", \"nofile_soft\": " << nofile
+                    << ", \"nofile_hard\": " << nofile_hard
+                    << ", \"nofile_required\": " << (2ull * conns + 128)
+                    << "}";
           continue;
         }
 

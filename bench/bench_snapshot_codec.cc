@@ -1,0 +1,172 @@
+// Snapshot codec bench: compressed (v3) size ratio and decode
+// throughput against the raw v2 loaders, JSON to stdout.
+//
+// For each generator family and block size the bench writes the same
+// graph as v2 and v3 and times, over the uncompressed payload size (so
+// every MB/s figure shares one denominator):
+//   - v2 eager load (ReadSnapshot: bulk reads + checksum)
+//   - v2 mmap view  (ReadSnapshotView: map + checksum walk, zero copy)
+//   - v3 eager load (ReadSnapshot: stream-decompress everything)
+//   - v3 lazy open  (SnapshotReader::Open: metadata + offsets/attrs only)
+//   - v3 point lookups (DecodeNeighbors on random vertices — the
+//     hot-graph path that decodes one block per hit)
+//
+// The crossover this documents: the mmap view is near-free on a warm
+// page cache, so on local disk v2 always loads faster — v3 wins when
+// bytes are the constraint (cold object storage, network transfer,
+// many resident snapshots): ratio x smaller files against decode at
+// `v3_eager_mb_s` MB/s. A storage medium slower than roughly
+// (1 - 1/ratio) * v3_eager_mb_s MB/s makes the compressed load faster
+// end to end; the JSON carries both numbers so the reader can place
+// their own hardware on either side.
+//
+// FAIRBC_SCALE scales the graph sizes (default 1.0).
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util/datasets.h"
+#include "bench_util/meta.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "graph/generators.h"
+#include "graph/snapshot.h"
+
+namespace {
+
+constexpr std::uint64_t kSeed = 7;
+
+std::string TempPath(const std::string& name) {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") + "/" + name;
+}
+
+double MbPerSecond(std::uint64_t bytes, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / 1e6 / seconds;
+}
+
+struct Family {
+  const char* name;
+  fairbc::BipartiteGraph graph;
+};
+
+std::vector<Family> MakeFamilies(double scale) {
+  const auto nu = static_cast<fairbc::VertexId>(20000 * scale);
+  const auto nv = static_cast<fairbc::VertexId>(20000 * scale);
+  const auto edges = static_cast<fairbc::EdgeIndex>(400000 * scale);
+  std::vector<Family> families;
+  families.push_back(
+      {"uniform", fairbc::MakeUniformRandom(nu, nv, edges, 3, kSeed)});
+  families.push_back(
+      {"powerlaw", fairbc::MakePowerLaw(nu, nv, edges, 2.2, 3, kSeed)});
+  fairbc::AffiliationConfig config;
+  config.num_upper = nu;
+  config.num_lower = nv;
+  config.num_communities = static_cast<std::uint32_t>(600 * scale);
+  config.seed = kSeed;
+  families.push_back({"affiliation", fairbc::MakeAffiliation(config)});
+  return families;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = fairbc::EnvScale();
+  auto families = MakeFamilies(scale);
+  const auto meta = fairbc::CollectRunMetadata(kSeed);
+
+  std::cout << "{\n  \"bench\": \"snapshot_codec\",\n  \"meta\": "
+            << fairbc::RunMetadataJson(meta) << ",\n  \"rows\": [\n";
+  bool first_row = true;
+  for (const Family& family : families) {
+    const fairbc::BipartiteGraph& g = family.graph;
+    const std::string v2_path = TempPath("bench_codec_v2.snap");
+    if (!fairbc::WriteSnapshot(g, v2_path).ok()) return 1;
+    auto v2_info = fairbc::ProbeSnapshot(v2_path);
+    if (!v2_info.ok()) return 1;
+    const std::uint64_t payload = v2_info.value().file_bytes;
+
+    // v2 baselines, once per family (block size does not apply).
+    fairbc::Timer timer;
+    auto v2_eager = fairbc::ReadSnapshot(v2_path);
+    const double v2_eager_s = timer.ElapsedSeconds();
+    if (!v2_eager.ok()) return 1;
+    timer.Restart();
+    auto v2_view = fairbc::ReadSnapshotView(v2_path);
+    const double v2_view_s = timer.ElapsedSeconds();
+    if (!v2_view.ok() || !v2_view.value().IsView()) return 1;
+
+    for (const std::uint32_t block_edges :
+         {256u, 1024u, fairbc::kDefaultSnapshotBlockEdges, 16384u}) {
+      const std::string v3_path = TempPath("bench_codec_v3.snap");
+      fairbc::SnapshotWriteOptions options;
+      options.version = fairbc::kSnapshotVersionCompressed;
+      options.block_edges = block_edges;
+      timer.Restart();
+      if (!fairbc::WriteSnapshot(g, v3_path, options).ok()) return 1;
+      const double encode_s = timer.ElapsedSeconds();
+      auto v3_info = fairbc::ProbeSnapshot(v3_path);
+      if (!v3_info.ok()) return 1;
+      const std::uint64_t v3_bytes = v3_info.value().file_bytes;
+
+      timer.Restart();
+      auto v3_eager = fairbc::ReadSnapshot(v3_path);
+      const double v3_eager_s = timer.ElapsedSeconds();
+      if (!v3_eager.ok()) return 1;
+
+      timer.Restart();
+      auto reader = fairbc::SnapshotReader::Open(v3_path);
+      const double v3_open_s = timer.ElapsedSeconds();
+      if (!reader.ok()) return 1;
+
+      // Point lookups: random vertices on alternating sides, one block
+      // decode each — the resident-hot-graph access pattern.
+      constexpr unsigned kLookups = 2000;
+      fairbc::Rng rng(kSeed);
+      std::vector<fairbc::VertexId> neighbors;
+      std::uint64_t touched_edges = 0;
+      timer.Restart();
+      for (unsigned i = 0; i < kLookups; ++i) {
+        const fairbc::Side side =
+            (i & 1) == 0 ? fairbc::Side::kUpper : fairbc::Side::kLower;
+        const auto n = side == fairbc::Side::kUpper ? g.NumUpper()
+                                                    : g.NumLower();
+        const auto v = static_cast<fairbc::VertexId>(rng.NextUInt64(n));
+        if (!reader.value().DecodeNeighbors(side, v, &neighbors).ok()) {
+          return 1;
+        }
+        touched_edges += neighbors.size();
+      }
+      const double lookup_s = timer.ElapsedSeconds();
+
+      const double ratio =
+          v3_bytes == 0
+              ? 0.0
+              : static_cast<double>(payload) / static_cast<double>(v3_bytes);
+      std::cout << (first_row ? "" : ",\n") << "    {\"family\": \""
+                << family.name << "\", \"edges\": " << g.NumEdges()
+                << ", \"block_edges\": " << block_edges
+                << ", \"v2_bytes\": " << payload
+                << ", \"v3_bytes\": " << v3_bytes << ", \"ratio\": " << ratio
+                << ", \"encode_s\": " << encode_s
+                << ", \"v2_eager_mb_s\": " << MbPerSecond(payload, v2_eager_s)
+                << ", \"v2_mmap_mb_s\": " << MbPerSecond(payload, v2_view_s)
+                << ", \"v3_eager_mb_s\": " << MbPerSecond(payload, v3_eager_s)
+                << ", \"v3_open_s\": " << v3_open_s
+                << ", \"lookups_per_s\": "
+                << (lookup_s > 0.0 ? kLookups / lookup_s : 0.0)
+                << ", \"lookup_edges_per_s\": "
+                << (lookup_s > 0.0 ? touched_edges / lookup_s : 0.0) << "}";
+      first_row = false;
+      std::remove(v3_path.c_str());
+    }
+    std::remove(v2_path.c_str());
+  }
+  std::cout << "\n  ]\n}\n";
+  return 0;
+}

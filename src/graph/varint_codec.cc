@@ -1,0 +1,209 @@
+#include "graph/varint_codec.h"
+
+#include <algorithm>
+
+namespace fairbc {
+
+void AppendVarint(std::string* out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>(0x80u | (value & 0x7Fu)));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+std::size_t VarintSize(std::uint64_t value) {
+  std::size_t size = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++size;
+  }
+  return size;
+}
+
+bool ReadVarint(const unsigned char** p, const unsigned char* end,
+                std::uint64_t* value) {
+  std::uint64_t result = 0;
+  unsigned shift = 0;
+  const unsigned char* cur = *p;
+  while (cur < end) {
+    const unsigned char byte = *cur++;
+    if (shift == 63 && byte > 1) return false;  // would overflow 64 bits.
+    result |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      *p = cur;
+      *value = result;
+      return true;
+    }
+    shift += 7;
+    if (shift > 63) return false;  // 11th continuation byte.
+  }
+  return false;  // truncated mid-varint.
+}
+
+void BitWriter::PushBit(bool bit) {
+  cur_ = static_cast<unsigned char>((cur_ << 1) | (bit ? 1u : 0u));
+  if (++filled_ == 8) {
+    out_->push_back(static_cast<char>(cur_));
+    cur_ = 0;
+    filled_ = 0;
+  }
+}
+
+void BitWriter::WriteBits(std::uint64_t value, unsigned nbits) {
+  for (unsigned i = nbits; i-- > 0;) {
+    PushBit((value >> i) & 1u);
+  }
+}
+
+void BitWriter::WriteUnary(std::uint64_t q) {
+  for (std::uint64_t i = 0; i < q; ++i) PushBit(true);
+  PushBit(false);
+}
+
+void BitWriter::Flush() {
+  while (filled_ != 0) PushBit(false);
+}
+
+bool BitReader::ReadBits(unsigned nbits, std::uint64_t* value) {
+  if (nbits > 64 || size_bits_ - pos_ < nbits) return false;
+  std::uint64_t result = 0;
+  for (unsigned i = 0; i < nbits; ++i, ++pos_) {
+    const unsigned char byte = data_[pos_ >> 3];
+    const unsigned bit = (byte >> (7 - (pos_ & 7))) & 1u;
+    result = (result << 1) | bit;
+  }
+  *value = result;
+  return true;
+}
+
+bool BitReader::ReadUnary(std::uint64_t* q) {
+  std::uint64_t count = 0;
+  while (pos_ < size_bits_) {
+    const unsigned char byte = data_[pos_ >> 3];
+    const unsigned bit = (byte >> (7 - (pos_ & 7))) & 1u;
+    ++pos_;
+    if (bit == 0) {
+      *q = count;
+      return true;
+    }
+    ++count;
+  }
+  return false;  // ran off the end before the terminator.
+}
+
+bool BitReader::RemainderIsZeroPadding() const {
+  for (std::size_t p = pos_; p < size_bits_; ++p) {
+    if ((data_[p >> 3] >> (7 - (p & 7))) & 1u) return false;
+  }
+  return true;
+}
+
+void AppendRice(BitWriter* writer, std::uint64_t value, unsigned k) {
+  writer->WriteUnary(value >> k);
+  writer->WriteBits(value, k);
+}
+
+bool ReadRice(BitReader* reader, unsigned k, std::uint64_t* value) {
+  std::uint64_t q = 0;
+  if (!reader->ReadUnary(&q)) return false;
+  // A corrupt stream can claim an arbitrarily long unary run; the shift
+  // below must not overflow into a small value that then "decodes".
+  if (k >= 64 || (k > 0 && q > (~std::uint64_t{0} >> k))) return false;
+  std::uint64_t r = 0;
+  if (!reader->ReadBits(k, &r)) return false;
+  *value = (q << k) | r;
+  return true;
+}
+
+std::size_t RiceBits(std::uint64_t value, unsigned k) {
+  return static_cast<std::size_t>(value >> k) + 1 + k;
+}
+
+unsigned ChooseRiceK(std::span<const std::uint64_t> values) {
+  // Exact minimization: for each candidate k the cost is
+  // sum(v >> k) + n * (k + 1). Values here are < 2^32 (vertex ids and
+  // gaps), so k beyond 33 never helps; the scan is O(34 n) on blocks of
+  // a few thousand values — negligible against the encode itself.
+  unsigned best_k = 0;
+  std::uint64_t best_bits = ~std::uint64_t{0};
+  for (unsigned k = 0; k <= 33; ++k) {
+    std::uint64_t bits = 0;
+    for (std::uint64_t v : values) {
+      bits += (v >> k) + 1 + k;
+      if (bits >= best_bits) break;  // already worse; stop summing.
+    }
+    if (bits < best_bits) {
+      best_bits = bits;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+std::string EncodeBlock(std::span<const std::uint64_t> values,
+                        BlockCodec* codec, std::uint16_t* rice_k) {
+  std::size_t varint_bytes = 0;
+  for (std::uint64_t v : values) varint_bytes += VarintSize(v);
+
+  const unsigned k = ChooseRiceK(values);
+  std::uint64_t rice_bits = 0;
+  for (std::uint64_t v : values) rice_bits += RiceBits(v, k);
+  const std::size_t rice_bytes = static_cast<std::size_t>((rice_bits + 7) / 8);
+
+  std::string out;
+  if (rice_bytes < varint_bytes) {
+    *codec = BlockCodec::kRice;
+    *rice_k = static_cast<std::uint16_t>(k);
+    out.reserve(rice_bytes);
+    BitWriter writer(&out);
+    for (std::uint64_t v : values) AppendRice(&writer, v, k);
+    writer.Flush();
+  } else {
+    *codec = BlockCodec::kVarint;
+    *rice_k = 0;
+    out.reserve(varint_bytes);
+    for (std::uint64_t v : values) AppendVarint(&out, v);
+  }
+  return out;
+}
+
+Status DecodeBlock(std::string_view bytes, BlockCodec codec, unsigned rice_k,
+                   std::size_t expected, std::uint64_t* out) {
+  const auto* data = reinterpret_cast<const unsigned char*>(bytes.data());
+  if (codec == BlockCodec::kVarint) {
+    const unsigned char* p = data;
+    const unsigned char* end = data + bytes.size();
+    for (std::size_t i = 0; i < expected; ++i) {
+      if (!ReadVarint(&p, end, &out[i])) {
+        return Status::CorruptInput("block decodes to fewer values than its "
+                                    "header claims");
+      }
+    }
+    if (p != end) {
+      return Status::CorruptInput("block carries trailing bytes past the "
+                                  "expected value count");
+    }
+    return Status::OK();
+  }
+  if (codec != BlockCodec::kRice) {
+    return Status::CorruptInput("unknown block codec id");
+  }
+  BitReader reader(data, bytes.size());
+  for (std::size_t i = 0; i < expected; ++i) {
+    if (!ReadRice(&reader, rice_k, &out[i])) {
+      return Status::CorruptInput("block decodes to fewer values than its "
+                                  "header claims");
+    }
+  }
+  // Only the encoder's zero padding may remain: a whole trailing byte or
+  // a set bit would mean the stream held more values than the header
+  // admits.
+  if (reader.RemainingBits() >= 8 || !reader.RemainderIsZeroPadding()) {
+    return Status::CorruptInput("block carries trailing bits past the "
+                                "expected value count");
+  }
+  return Status::OK();
+}
+
+}  // namespace fairbc

@@ -1,0 +1,116 @@
+#ifndef FAIRBC_GRAPH_VARINT_CODEC_H_
+#define FAIRBC_GRAPH_VARINT_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace fairbc {
+
+/// Integer codecs for the compressed snapshot format (snapshot v3,
+/// docs/SNAPSHOT_FORMAT.md): LEB128 varints for skewed gap
+/// distributions and Golomb–Rice codes for near-uniform ones, plus the
+/// per-block chooser that picks whichever is smaller for a given value
+/// sequence. Everything here decodes *hostile* bytes — a snapshot file
+/// may be truncated, bit-flipped or crafted — so every read is bounds
+/// checked, every decode enforces an exact expected value count, and
+/// failures are Status, never UB or unbounded allocation (the
+/// snapshot_codec_test fuzz loop plus the ASan/UBSan CI job hold this
+/// line the same way wire_test does for the network codec).
+
+/// Appends `value` as an LEB128 varint (7 bits per byte, high bit =
+/// continuation); at most 10 bytes for a u64.
+void AppendVarint(std::string* out, std::uint64_t value);
+
+/// Encoded size of `value` as a varint, in bytes.
+std::size_t VarintSize(std::uint64_t value);
+
+/// Reads one varint from [*p, end), advancing *p. Returns false on
+/// truncation or an over-long (> 10 byte / > 64 bit) encoding.
+bool ReadVarint(const unsigned char** p, const unsigned char* end,
+                std::uint64_t* value);
+
+/// MSB-first bit appender over a byte string. Flush() zero-pads the
+/// final partial byte.
+class BitWriter {
+ public:
+  explicit BitWriter(std::string* out) : out_(out) {}
+
+  /// Appends the low `nbits` bits of `value`, most significant first.
+  void WriteBits(std::uint64_t value, unsigned nbits);
+
+  /// Unary code: `q` one-bits then a terminating zero-bit.
+  void WriteUnary(std::uint64_t q);
+
+  void Flush();
+
+ private:
+  void PushBit(bool bit);
+
+  std::string* out_;
+  unsigned char cur_ = 0;
+  unsigned filled_ = 0;
+};
+
+/// MSB-first bit reader over a byte range; every read reports
+/// exhaustion instead of running past the end.
+class BitReader {
+ public:
+  BitReader(const unsigned char* data, std::size_t size)
+      : data_(data), size_bits_(size * 8) {}
+
+  bool ReadBits(unsigned nbits, std::uint64_t* value);
+
+  /// Counts one-bits up to the terminating zero. Returns false when the
+  /// buffer ends before a terminator.
+  bool ReadUnary(std::uint64_t* q);
+
+  /// Bits not yet consumed (the encoder's zero padding at most).
+  std::size_t RemainingBits() const { return size_bits_ - pos_; }
+
+  /// True when every unconsumed bit is zero — i.e. the remainder is
+  /// legitimate Flush() padding, not trailing data.
+  bool RemainderIsZeroPadding() const;
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_bits_;
+  std::size_t pos_ = 0;
+};
+
+/// Rice code with parameter `k`: unary quotient `value >> k`, then the
+/// k low bits. Optimal when values are geometrically distributed around
+/// 2^k — the near-uniform gap case delta-coded neighbor lists produce.
+void AppendRice(BitWriter* writer, std::uint64_t value, unsigned k);
+bool ReadRice(BitReader* reader, unsigned k, std::uint64_t* value);
+std::size_t RiceBits(std::uint64_t value, unsigned k);
+
+/// The Rice parameter minimizing the exact encoded size of `values`.
+unsigned ChooseRiceK(std::span<const std::uint64_t> values);
+
+/// Per-block codec id, stored in the snapshot block index.
+enum class BlockCodec : std::uint16_t {
+  kVarint = 0,
+  kRice = 1,
+};
+
+/// Encodes `values` with whichever codec is smaller for this block
+/// (ties go to varint); reports the choice through `codec` / `rice_k`.
+std::string EncodeBlock(std::span<const std::uint64_t> values,
+                        BlockCodec* codec, std::uint16_t* rice_k);
+
+/// Decodes exactly `expected` values into `out` (caller-allocated,
+/// `expected` slots). Rejects — with Status, before writing past
+/// `expected` — streams that are truncated, carry trailing data, or
+/// would overflow a u64; a corrupted length can never cause quiet
+/// success with the wrong count.
+Status DecodeBlock(std::string_view bytes, BlockCodec codec, unsigned rice_k,
+                   std::size_t expected, std::uint64_t* out);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_GRAPH_VARINT_CODEC_H_

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include <sys/stat.h>
+
 #include "common/timer.h"
 #include "graph/io.h"
 #include "graph/snapshot.h"
@@ -13,7 +15,9 @@ namespace {
 Status Publish(std::mutex& mu,
                std::map<std::string, std::shared_ptr<const CatalogEntry>>& map,
                const std::string& name, BipartiteGraph graph,
-               const std::string& source, double load_seconds) {
+               const std::string& source, double load_seconds,
+               std::uint32_t snapshot_version = 0,
+               std::uint64_t source_bytes = 0) {
   if (name.empty()) {
     return Status::InvalidArgument("catalog name must be nonempty");
   }
@@ -22,6 +26,8 @@ Status Publish(std::mutex& mu,
   entry->version = GraphFingerprint(graph);
   entry->source = source;
   entry->load_seconds = load_seconds;
+  entry->snapshot_version = snapshot_version;
+  entry->source_bytes = source_bytes;
   entry->graph = std::move(graph);
   std::lock_guard<std::mutex> lock(mu);
   map[name] = std::move(entry);
@@ -45,8 +51,21 @@ Status GraphCatalog::AddFromFile(const std::string& name,
       : format == Format::kAttr       ? ReadAttributedGraph(path)
                                       : ReadEdgeList(path);
   if (!loaded.ok()) return loaded.status();
+  std::uint64_t source_bytes = 0;
+  struct stat st{};
+  if (::stat(path.c_str(), &st) == 0 && st.st_size >= 0) {
+    source_bytes = static_cast<std::uint64_t>(st.st_size);
+  }
+  std::uint32_t snapshot_version = 0;
+  if (format == Format::kSnapshot || format == Format::kSnapshotMmap) {
+    // The load above already authenticated the file; the probe only
+    // recovers which format version it was, for catalog telemetry
+    // (compressed catalogs report their on-disk footprint).
+    Result<SnapshotInfo> info = ProbeSnapshot(path);
+    if (info.ok()) snapshot_version = info.value().version;
+  }
   return Publish(mu_, entries_, name, std::move(loaded).value(), path,
-                 timer.ElapsedSeconds());
+                 timer.ElapsedSeconds(), snapshot_version, source_bytes);
 }
 
 std::shared_ptr<const CatalogEntry> GraphCatalog::Get(

@@ -28,6 +28,11 @@ struct CatalogEntry {
   std::uint64_t version = 0;
   std::string source;  ///< originating path, or "<memory>".
   double load_seconds = 0.0;
+  /// Snapshot format version of the source file (1/2 raw, 3 compressed);
+  /// 0 when the entry did not come from a snapshot.
+  std::uint32_t snapshot_version = 0;
+  /// On-disk size of the source file; 0 for in-memory/generated entries.
+  std::uint64_t source_bytes = 0;
   BipartiteGraph graph;
 };
 

@@ -123,6 +123,8 @@ std::string CatalogEntryJson(const CatalogEntry& entry) {
      << ",\"lower\":" << entry.graph.NumLower()
      << ",\"edges\":" << entry.graph.NumEdges()
      << ",\"memory_bytes\":" << entry.graph.MemoryBytes()
+     << ",\"snapshot_version\":" << entry.snapshot_version
+     << ",\"source_bytes\":" << entry.source_bytes
      << ",\"load_seconds\":" << JsonDouble(entry.load_seconds) << "}";
   return os.str();
 }

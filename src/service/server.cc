@@ -293,11 +293,31 @@ std::string ServerSession::Save(const RequestLine& req) {
   }
   auto entry = catalog_.Get(name);
   if (entry == nullptr) return ErrorJson("unknown graph: " + name);
-  Status st = WriteSnapshot(entry->graph, path);
+  auto compress = IntArg(req, "compress", 0);
+  if (!compress.ok()) return ErrorJson(compress.status());
+  auto block = IntArg(req, "block", kDefaultSnapshotBlockEdges);
+  if (!block.ok()) return ErrorJson(block.status());
+  if (block.value() < 1 || block.value() > 1'000'000'000) {
+    return ErrorJson("block must be in [1, 1000000000]");
+  }
+  SnapshotWriteOptions options;
+  options.version = compress.value() != 0 ? kSnapshotVersionCompressed
+                                          : kSnapshotVersion;
+  options.block_edges = static_cast<std::uint32_t>(block.value());
+  Status st = WriteSnapshot(entry->graph, path, options);
   if (!st.ok()) return ErrorJson(st);
-  return "{\"ok\":true,\"cmd\":\"save\",\"name\":\"" + JsonEscape(name) +
-         "\",\"path\":\"" + JsonEscape(path) + "\",\"version\":\"" +
-         JsonHex64(entry->version) + "\"}";
+  Result<SnapshotInfo> info = ProbeSnapshot(path);
+  std::ostringstream os;
+  os << "{\"ok\":true,\"cmd\":\"save\",\"name\":\"" << JsonEscape(name)
+     << "\",\"path\":\"" << JsonEscape(path) << "\",\"version\":\""
+     << JsonHex64(entry->version) << "\",\"snapshot_version\":"
+     << options.version;
+  if (info.ok()) {
+    os << ",\"file_bytes\":" << info.value().file_bytes
+       << ",\"uncompressed_bytes\":" << info.value().uncompressed_bytes;
+  }
+  os << "}";
+  return os.str();
 }
 
 std::string ServerSession::Drop(const RequestLine& req) {

@@ -28,7 +28,8 @@ namespace fairbc {
 ///   load name=G path=FILE [format=snapshot|mmap|attr|edges]
 ///   gen name=G [kind=uniform|powerlaw|affiliation] [nu=N] [nv=N]
 ///       [edges=M] [attrs=K] [seed=S] [communities=C]
-///   save name=G path=FILE
+///   save name=G path=FILE [compress=0|1] [block=EDGES_PER_BLOCK]
+///        (compress=1 writes the v3 compressed snapshot format)
 ///   catalog
 ///   query graph=G [model=ssfbc|bsfbc] [algo=pp|bcem|naive] [alpha=A]
 ///         [beta=B] [delta=D] [theta=T] [ordering=deg|id]

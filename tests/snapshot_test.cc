@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -314,6 +315,214 @@ TEST(SnapshotViewTest, Version1FilesLoadAndFallBackToCopy) {
   ASSERT_TRUE(view.ok()) << view.status().ToString();
   EXPECT_FALSE(view.value().IsView());  // fallback = owned copy.
   ExpectByteIdentical(g, view.value());
+}
+
+/// Corruption suite for the v3 (compressed) format. The v3 layout is
+///   [0,48)   common header (magic, version, content checksum, counts)
+///   [48,112) v3 header: index_checksum u64 @48, block_edges u32 @56,
+///            num_upper_blocks u32 @60, num_lower_blocks u32 @64,
+///            reserved @68, then five u64 section sizes @72..112
+///   [112, +24*(nub+nlb))  block index entries
+///   four eager varint sections (offsets x2, attrs x2)
+///   blocks region (last blocks_bytes bytes of the file)
+/// Every mutation must come back as a Status from BOTH eager loaders and
+/// from the lazy SnapshotReader — never a throw, crash or huge allocation.
+class SnapshotV3Corruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = testing::RandomSmallGraph(33, 40, 0.15);
+    path_ = TempPath("corrupt_v3.snap");
+    SnapshotWriteOptions options;
+    options.version = kSnapshotVersionCompressed;
+    options.block_edges = 16;  // several blocks per direction.
+    ASSERT_TRUE(WriteSnapshot(g_, path_, options).ok());
+    bytes_ = ReadFileBytes(path_);
+    ASSERT_GT(bytes_.size(), 112u);
+    ASSERT_GE(NumBlocks(), 4u) << "graph too small to exercise blocks";
+  }
+
+  std::uint32_t U32At(std::size_t off) const {
+    std::uint32_t v = 0;
+    std::memcpy(&v, bytes_.data() + off, sizeof(v));
+    return v;
+  }
+  std::uint64_t U64At(std::size_t off) const {
+    std::uint64_t v = 0;
+    std::memcpy(&v, bytes_.data() + off, sizeof(v));
+    return v;
+  }
+
+  std::uint32_t NumBlocks() const { return U32At(60) + U32At(64); }
+  std::size_t IndexEnd() const { return 112 + 24u * NumBlocks(); }
+  std::size_t BlocksStart() const {
+    return bytes_.size() - static_cast<std::size_t>(U64At(104));
+  }
+
+  /// Every section boundary, in file order (excluding offset 0 and the
+  /// full file size).
+  std::vector<std::size_t> SectionBoundaries() const {
+    std::vector<std::size_t> b = {48, 112, IndexEnd()};
+    std::size_t pos = IndexEnd();
+    for (std::size_t size_field : {72u, 80u, 88u, 96u}) {
+      pos += static_cast<std::size_t>(U64At(size_field));
+      b.push_back(pos);
+    }
+    return b;  // pos + blocks_bytes == file size.
+  }
+
+  /// Recomputes index_checksum after a deliberate header/index edit, so
+  /// tests can reach the guards *behind* the checksum (a forged file).
+  void ReforgeIndexChecksum() {
+    std::uint64_t state = Fnv1a64(bytes_.data() + 24, 24);
+    state = Fnv1a64(bytes_.data() + 56, BlocksStart() - 56, state);
+    std::memcpy(bytes_.data() + 48, &state, sizeof(state));
+  }
+
+  StatusCode LoadCode() {
+    auto loaded = ReadSnapshot(path_);
+    if (loaded.ok()) return StatusCode::kOk;
+    return loaded.status().code();
+  }
+  StatusCode LoadViewCode() {
+    auto loaded = ReadSnapshotView(path_);
+    if (loaded.ok()) return StatusCode::kOk;
+    return loaded.status().code();
+  }
+  /// Lazy path: Open + full-range decode of both directions.
+  StatusCode LazyCode() {
+    auto opened = SnapshotReader::Open(path_);
+    if (!opened.ok()) return opened.status().code();
+    std::vector<VertexId> out;
+    for (Side side : {Side::kUpper, Side::kLower}) {
+      Status s = opened.value().DecodeEdgeRange(
+          side, 0, opened.value().NumEdges(), &out);
+      if (!s.ok()) return s.code();
+    }
+    return StatusCode::kOk;
+  }
+  void ExpectAllLoadersReject(StatusCode code = StatusCode::kCorruptInput) {
+    EXPECT_EQ(LoadCode(), code);
+    EXPECT_EQ(LoadViewCode(), code);
+    EXPECT_EQ(LazyCode(), code);
+  }
+
+  BipartiteGraph g_;
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotV3Corruption, IntactFileLoadsEverywhere) {
+  EXPECT_EQ(LoadCode(), StatusCode::kOk);
+  EXPECT_EQ(LoadViewCode(), StatusCode::kOk);
+  EXPECT_EQ(LazyCode(), StatusCode::kOk);
+}
+
+TEST_F(SnapshotV3Corruption, TruncationAtEverySectionBoundary) {
+  for (std::size_t boundary : SectionBoundaries()) {
+    for (std::size_t cut : {boundary, boundary - 1}) {
+      WriteFileBytes(path_, bytes_.substr(0, cut));
+      ExpectAllLoadersReject();
+    }
+  }
+  // One byte short of the full file (inside the blocks region).
+  WriteFileBytes(path_, bytes_.substr(0, bytes_.size() - 1));
+  ExpectAllLoadersReject();
+}
+
+TEST_F(SnapshotV3Corruption, TrailingGarbageRejected) {
+  WriteFileBytes(path_, bytes_ + "extra");
+  ExpectAllLoadersReject();
+}
+
+TEST_F(SnapshotV3Corruption, BitFlipInBlockIndexFailsIndexChecksum) {
+  // One flip per index entry field class: offset, bytes, checksum, codec.
+  for (std::size_t off : {std::size_t{112}, std::size_t{112 + 8},
+                          std::size_t{112 + 12}, std::size_t{112 + 16},
+                          IndexEnd() - 1}) {
+    std::string mutated = bytes_;
+    mutated[off] ^= 0x10;
+    WriteFileBytes(path_, mutated);
+    ExpectAllLoadersReject();
+  }
+}
+
+TEST_F(SnapshotV3Corruption, BitFlipInEagerSectionsFailsIndexChecksum) {
+  const std::size_t mid = IndexEnd() + (BlocksStart() - IndexEnd()) / 2;
+  bytes_[mid] ^= 0x01;
+  WriteFileBytes(path_, bytes_);
+  ExpectAllLoadersReject();
+}
+
+TEST_F(SnapshotV3Corruption, BitFlipInCompressedBlockFailsBlockChecksum) {
+  // Metadata stays intact, so the lazy Open succeeds — the corruption
+  // must then be caught by the per-block checksum on decode, in both the
+  // eager loaders and the lazy range decode.
+  for (std::size_t off : {BlocksStart(), bytes_.size() - 1,
+                          BlocksStart() + (bytes_.size() - BlocksStart()) / 2}) {
+    std::string mutated = bytes_;
+    mutated[off] ^= 0x20;
+    WriteFileBytes(path_, mutated);
+    EXPECT_EQ(LoadCode(), StatusCode::kCorruptInput);
+    EXPECT_EQ(LoadViewCode(), StatusCode::kCorruptInput);
+    auto opened = SnapshotReader::Open(path_);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    EXPECT_EQ(LazyCode(), StatusCode::kCorruptInput);
+  }
+}
+
+TEST_F(SnapshotV3Corruption, HugeCountsRejectedBeforeAllocation) {
+  // A flipped high count byte claims a petabyte payload; the size and
+  // index-checksum checks must fire before any count-derived allocation
+  // (an OOM or length_error here would take down a resident server).
+  bytes_[39] ^= 0x80;  // num_edges high byte (bytes 32..39).
+  WriteFileBytes(path_, bytes_);
+  ExpectAllLoadersReject();
+
+  bytes_[39] ^= 0x80;
+  bytes_[27] ^= 0x40;  // num_upper high byte (bytes 24..27).
+  WriteFileBytes(path_, bytes_);
+  ExpectAllLoadersReject();
+}
+
+TEST_F(SnapshotV3Corruption, ForgedHugeCountsStillRejected) {
+  // Forge the index checksum after inflating num_edges: the checksum
+  // passes, so the structural guards behind it (section-size consistency
+  // against the real file length) must reject the file on their own.
+  bytes_[39] ^= 0x80;
+  ReforgeIndexChecksum();
+  WriteFileBytes(path_, bytes_);
+  ExpectAllLoadersReject();
+}
+
+TEST_F(SnapshotV3Corruption, ForgedZeroBlockEdgesRejected) {
+  // block_edges = 0 with a matching forged checksum must hit the
+  // explicit divide-by-zero guard, not a SIGFPE.
+  std::memset(bytes_.data() + 56, 0, 4);
+  ReforgeIndexChecksum();
+  WriteFileBytes(path_, bytes_);
+  ExpectAllLoadersReject();
+}
+
+TEST_F(SnapshotV3Corruption, ForgedBlockCountMismatchRejected) {
+  // Inflate num_upper_blocks (with a forged checksum): the claimed index
+  // no longer matches ceil(num_edges / block_edges) and must be
+  // rejected before the index is walked.
+  bytes_[60] = static_cast<char>(bytes_[60] + 1);
+  ReforgeIndexChecksum();
+  WriteFileBytes(path_, bytes_);
+  ExpectAllLoadersReject();
+}
+
+TEST_F(SnapshotV3Corruption, ForgedIndexEntryGeometryRejected) {
+  // Grow the first block's `bytes` field and forge the checksum: entries
+  // no longer tile the blocks region exactly and must be rejected at
+  // Open, before any entry-relative pointer is formed.
+  std::uint32_t first_bytes = U32At(112 + 8);
+  first_bytes += 1;
+  std::memcpy(bytes_.data() + 112 + 8, &first_bytes, sizeof(first_bytes));
+  ReforgeIndexChecksum();
+  WriteFileBytes(path_, bytes_);
+  ExpectAllLoadersReject();
 }
 
 }  // namespace

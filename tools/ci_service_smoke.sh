@@ -123,6 +123,41 @@ if [ "$hits" -lt 4 ] || [ "$cache_hits" -lt 4 ]; then
 fi
 echo "stdin OK: 20 responses match fairbc_cli; $hits cache hits"
 
+echo "== differential check: v3 (compressed) snapshot vs the v2 oracle"
+# Save the served graph as a v3 compressed snapshot through the server's
+# own save path, reload THAT file, and replay the full trace: every
+# count + digest must match the v2-backed oracle exactly, and the
+# catalog graph version (content fingerprint) must be identical across
+# formats — the compressed format may never change query results.
+{
+  echo "load name=g path=$WORK/g.snap format=snapshot"
+  echo "save name=g path=$WORK/g_v3.snap compress=1 block=512"
+  echo "quit"
+} > "$WORK/save_v3.txt"
+"$SERVER" < "$WORK/save_v3.txt" > "$WORK/save_v3_resp.txt"
+SAVE_LINE=$(sed -n 2p "$WORK/save_v3_resp.txt")
+grep -q '"ok":true' <<<"$SAVE_LINE" || { echo "v3 save failed: $SAVE_LINE"; exit 1; }
+test "$(jsonfield "$SAVE_LINE" snapshot_version)" = "3" \
+  || { echo "expected snapshot_version 3: $SAVE_LINE"; exit 1; }
+V3_BYTES=$(jsonfield "$SAVE_LINE" file_bytes)
+V2_BYTES=$(stat -c %s "$WORK/g.snap")
+if [ $((2 * V3_BYTES)) -gt "$V2_BYTES" ]; then
+  echo "v3 snapshot not >=2x smaller: v2=$V2_BYTES v3=$V3_BYTES"
+  exit 1
+fi
+
+sed "s|path=$WORK/g.snap|path=$WORK/g_v3.snap|" "$TRACE" > "$WORK/trace_v3.txt"
+"$SERVER" < "$WORK/trace_v3.txt" > "$WORK/responses_v3.txt"
+hits_v3=$(check_stream v3 "$WORK/responses_v3.txt" 1) || exit 1
+V2_VERSION=$(jsonfield "${RESPONSES[1]}" version)
+V3_VERSION=$(jsonfield "$(sed -n 2p "$WORK/responses_v3.txt")" version)
+if [ -z "$V2_VERSION" ] || [ "$V2_VERSION" != "$V3_VERSION" ]; then
+  echo "fingerprint drift across formats: v2=$V2_VERSION v3=$V3_VERSION"
+  exit 1
+fi
+echo "v3 OK: 20 responses match the v2 oracle; fingerprint $V3_VERSION" \
+     "identical; ${V2_BYTES}B -> ${V3_BYTES}B"
+
 echo "== restart in TCP mode (mmap preload) and replay through 2 parallel clients"
 # max-sessions covers the 2 line clients + the wire client + its
 # 256-connection idle soak fleet below.

@@ -12,7 +12,9 @@
 //   fairbc_cli gen     --out=FILE --kind=uniform|powerlaw|affiliation
 //                      [--nu=N --nv=N --edges=M --attrs=K --seed=S]
 //   fairbc_cli snapshot save --graph=FILE [--format=edges|attr] --out=SNAP
+//                            [--compress] [--block-edges=N]
 //   fairbc_cli snapshot load --graph=SNAP
+//   fairbc_cli snapshot info --graph=SNAP   (header probe: version, ratio)
 //   fairbc_cli verify  --graph=FILE --results=FILE --model=ssfbc|bsfbc
 //                      [--alpha=A --beta=B --delta=D --theta=T]
 //
@@ -194,14 +196,27 @@ int RunSnapshot(const FlagParser& flags) {
   const auto& positional = flags.positional();
   std::string sub = positional.empty() ? "" : positional.front();
   if (sub == "save") {
-    // --graph/--format name the (typically text) input; --out the snapshot.
+    // --graph/--format name the (typically text) input; --out the
+    // snapshot. --compress writes the v3 block-compressed format
+    // (--block-edges sets its block granularity).
     std::string out = flags.GetString("out", "");
     if (out.empty()) return Fail(Status::InvalidArgument("--out is required"));
     auto loaded = LoadGraph(flags);
     if (!loaded.ok()) return Fail(loaded.status());
-    Status st = fairbc::WriteSnapshot(loaded.value(), out);
+    fairbc::SnapshotWriteOptions options;
+    if (flags.GetBool("compress", false)) {
+      options.version = fairbc::kSnapshotVersionCompressed;
+    }
+    const auto block_edges =
+        flags.GetInt("block-edges", fairbc::kDefaultSnapshotBlockEdges);
+    if (block_edges < 1 || block_edges > 1'000'000'000) {
+      return Fail(Status::InvalidArgument("--block-edges must be in [1, 1e9]"));
+    }
+    options.block_edges = static_cast<std::uint32_t>(block_edges);
+    Status st = fairbc::WriteSnapshot(loaded.value(), out, options);
     if (!st.ok()) return Fail(st);
-    std::cout << "wrote snapshot " << out << " version "
+    std::cout << "wrote snapshot " << out << " v" << options.version
+              << " version "
               << fairbc::JsonHex64(fairbc::GraphFingerprint(loaded.value()))
               << " (" << loaded.value().DebugString() << ")\n";
     return 0;
@@ -218,7 +233,34 @@ int RunSnapshot(const FlagParser& flags) {
               << " (" << loaded.value().DebugString() << ")\n";
     return 0;
   }
-  std::cerr << "usage: fairbc_cli snapshot <save|load> [flags]\n";
+  if (sub == "info") {
+    // Header-only probe: format version, counts, fingerprint and the
+    // compression ratio against the raw v2 encoding.
+    std::string path = flags.GetString("graph", "");
+    if (path.empty()) {
+      return Fail(Status::InvalidArgument("--graph is required"));
+    }
+    auto info = fairbc::ProbeSnapshot(path);
+    if (!info.ok()) return Fail(info.status());
+    const fairbc::SnapshotInfo& i = info.value();
+    std::cout << "{\"path\":\"" << fairbc::JsonEscape(path)
+              << "\",\"snapshot_version\":" << i.version << ",\"version\":\""
+              << fairbc::JsonHex64(i.checksum)
+              << "\",\"upper\":" << i.num_upper << ",\"lower\":" << i.num_lower
+              << ",\"edges\":" << i.num_edges
+              << ",\"file_bytes\":" << i.file_bytes
+              << ",\"uncompressed_bytes\":" << i.uncompressed_bytes
+              << ",\"ratio\":"
+              << fairbc::JsonDouble(
+                     i.file_bytes == 0
+                         ? 0.0
+                         : static_cast<double>(i.uncompressed_bytes) /
+                               static_cast<double>(i.file_bytes))
+              << ",\"block_edges\":" << i.block_edges
+              << ",\"num_blocks\":" << i.num_blocks << "}\n";
+    return 0;
+  }
+  std::cerr << "usage: fairbc_cli snapshot <save|load|info> [flags]\n";
   return 2;
 }
 
