@@ -13,14 +13,35 @@ namespace fairbc {
 
 namespace {
 
-// Common neighborhood (on the lower side) of an upper vertex set.
-std::vector<VertexId> CommonLowerNeighborhood(const BipartiteGraph& g,
-                                              std::span<const VertexId> upper) {
+// Common neighborhood (on the lower side) of an upper vertex set, plus
+// its per-class size histogram (`counts`, sized to the lower attr
+// domain). The running intersection shrinks monotonically, so two
+// ping-pong buffers sized to the first neighbor list cover the fold, and
+// the last step fuses the class counting into the intersection instead
+// of a separate pass over the result.
+std::vector<VertexId> CommonLowerNeighborhoodWithCounts(
+    const BipartiteGraph& g, std::span<const VertexId> upper,
+    SizeVector* counts) {
   FAIRBC_CHECK(!upper.empty());
+  counts->assign(g.NumAttrs(Side::kLower), 0);
+  const std::span<const AttrId> attrs = g.AttrArray(Side::kLower);
   auto first = g.Neighbors(Side::kUpper, upper[0]);
   std::vector<VertexId> common(first.begin(), first.end());
-  for (std::size_t i = 1; i < upper.size() && !common.empty(); ++i) {
-    common = Intersect(common, g.Neighbors(Side::kUpper, upper[i]));
+  if (upper.size() == 1) {
+    for (VertexId v : common) ++(*counts)[attrs[v]];
+    return common;
+  }
+  std::vector<VertexId> tmp(common.size());
+  for (std::size_t i = 1; i + 1 < upper.size() && !common.empty(); ++i) {
+    tmp.resize(
+        IntersectInto(tmp.data(), common, g.Neighbors(Side::kUpper, upper[i])));
+    common.swap(tmp);
+  }
+  if (!common.empty()) {
+    tmp.resize(IntersectWithAttrCounts(
+        tmp.data(), common, g.Neighbors(Side::kUpper, upper.back()), attrs,
+        counts->data()));
+    common.swap(tmp);
   }
   return common;
 }
@@ -57,11 +78,12 @@ EnumStats BFairBcemRun(const BipartiteGraph& g,
         g, Side::kUpper, ss.upper, upper_spec,
         [&](std::span<const VertexId> l_sub) {
           if (l_sub.empty()) return true;  // bicliques need nonempty sides.
-          std::vector<VertexId> hood = CommonLowerNeighborhood(g, l_sub);
+          SizeVector hood_sizes;
+          std::vector<VertexId> hood =
+              CommonLowerNeighborhoodWithCounts(g, l_sub, &hood_sizes);
           // R' ⊆ N∩(l') always holds (l' ⊆ N∩(R')); (l', R') is a bi-side
           // fair biclique iff R' cannot be fairly extended inside N∩(l').
-          if (lower_policy.MaximalWithin(r_sizes,
-                                         AttrSizes(g, Side::kLower, hood))) {
+          if (lower_policy.MaximalWithin(r_sizes, hood_sizes)) {
             Biclique b;
             b.upper.assign(l_sub.begin(), l_sub.end());
             b.lower = ss.lower;

@@ -27,6 +27,9 @@ std::string EnumStats::DebugString() const {
      << ")"
      << " enum_s=" << enum_seconds << " remaining=(" << remaining_upper << ","
      << remaining_lower << ")"
+     << " kern=" << kernels.calls << "/" << kernels.steps
+     << " (merge=" << kernels.merge << " gallop=" << kernels.gallop
+     << " bitset=" << kernels.bitset << ")"
      << (budget_exhausted ? " BUDGET_EXHAUSTED" : "");
   return os.str();
 }

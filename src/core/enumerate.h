@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/kernels.h"
 #include "fairness/fair_vector.h"
 
 namespace fairbc {
@@ -106,8 +107,12 @@ struct EnumStats {
   /// Vertices surviving the graph reduction.
   VertexId remaining_upper = 0;
   VertexId remaining_lower = 0;
-  /// Peak bytes of algorithm-owned auxiliary structures (Fig. 8).
+  /// Peak bytes of algorithm-owned auxiliary structures (Fig. 8); includes
+  /// the workers' recursion-arena high-water marks.
   std::size_t peak_struct_bytes = 0;
+  /// Intersection-kernel telemetry summed over every worker of the run
+  /// (calls, work steps, dispatch histogram; core/kernels.h).
+  KernelStats kernels;
 
   std::string DebugString() const;
 };

@@ -5,7 +5,7 @@
 #include <span>
 #include <vector>
 
-#include "core/intersect.h"
+#include "core/kernels.h"
 #include "core/ordering.h"
 #include "core/parallel.h"
 #include "core/search_context.h"
@@ -25,6 +25,12 @@ using ContextSplitter = SubtreeSplitter<std::unique_ptr<SearchContext>>;
 // it), which is what the parallel fan-out in FairBcemRun exploits; a
 // root branch whose subtree dominates re-submits its depth-1 children to
 // the pool once the queue runs dry (depth-adaptive splitting).
+//
+// Every per-branch set (new L, filtered candidates, exclusion lists,
+// class counters) is carved out of the worker's ScratchArena — one
+// ArenaScope per recursion frame, capacity bounds proven from the parent
+// sets — so the recursion itself never touches the heap; only emitted
+// results allocate.
 class FairBcemEngine {
  public:
   FairBcemEngine(SearchContext& ctx, const FairBcemSearchOptions& search,
@@ -37,20 +43,22 @@ class FairBcemEngine {
 
   /// Full serial search; traversal (and node accounting) is identical to
   /// running every root branch in candidate order.
-  void Run(const std::vector<VertexId>& upper_all,
-           const std::vector<VertexId>& candidates) {
-    Recurse(upper_all, {}, candidates, {});
+  void Run(std::span<const VertexId> upper_all,
+           std::span<const VertexId> candidates) {
+    ArenaScope frame(ctx_.arena());
+    const CountVec zero = CountVec::Zero(ctx_.arena(), num_attrs_);
+    Recurse(upper_all, {}, zero.view(), candidates, {});
   }
 
   /// One root-level subtree: the branch on candidates[root] with the
   /// exclusion prefix candidates[0..root).
-  void RunRootBranch(const std::vector<VertexId>& upper_all,
-                     const std::vector<VertexId>& candidates,
-                     std::size_t root) {
+  void RunRootBranch(std::span<const VertexId> upper_all,
+                     std::span<const VertexId> candidates, std::size_t root) {
     allow_split_ = splitter_ != nullptr;
-    std::span<const VertexId> all(candidates);
-    Branch(upper_all, {}, SizeVector(num_attrs_, 0), all.subspan(root),
-           all.first(root));
+    ArenaScope frame(ctx_.arena());
+    const CountVec zero = CountVec::Zero(ctx_.arena(), num_attrs_);
+    Branch(upper_all, {}, zero.view(), candidates.subspan(root),
+           candidates.first(root));
   }
 
   /// One depth-1 child of a split subtree (never splits again).
@@ -69,16 +77,18 @@ class FairBcemEngine {
   }
 
   // Emits (upper, lower) if the maximality check against `ground_sizes`
-  // passes. `lower_sizes` must be the class sizes of `lower`.
-  void MaybeEmit(const std::vector<VertexId>& upper,
-                 std::vector<VertexId> lower, const SizeVector& lower_sizes,
-                 const SizeVector& ground_sizes) {
+  // passes. `lower_sizes` must be the class sizes of `lower`. Nothing is
+  // materialized until the checks pass; only an actual emission copies
+  // the sets out of the arena.
+  void MaybeEmit(std::span<const VertexId> upper,
+                 std::span<const VertexId> lower, SizeSpan lower_sizes,
+                 SizeSpan ground_sizes) {
     if (upper.size() < min_upper_) return;
     if (!ctx_.policy().Feasible(lower_sizes)) return;
     if (!ctx_.policy().MaximalWithin(lower_sizes, ground_sizes)) return;
     Biclique b;
-    b.upper = upper;
-    b.lower = std::move(lower);
+    b.upper.assign(upper.begin(), upper.end());
+    b.lower.assign(lower.begin(), lower.end());
     std::sort(b.lower.begin(), b.lower.end());
     ctx_.Emit(b);
   }
@@ -87,29 +97,37 @@ class FairBcemEngine {
   // set q; `r_sizes` are the class sizes of r, computed once per level)
   // and recurses into its subtree. Returns false when the whole search
   // must stop (budget exhausted or sink abort).
-  bool Branch(const std::vector<VertexId>& big_l,
-              const std::vector<VertexId>& r, const SizeVector& r_sizes,
-              std::span<const VertexId> p, std::span<const VertexId> q) {
+  bool Branch(std::span<const VertexId> big_l, std::span<const VertexId> r,
+              SizeSpan r_sizes, std::span<const VertexId> p,
+              std::span<const VertexId> q) {
     if (ctx_.ShouldStop()) return false;
     ctx_.CountNode();
     const BipartiteGraph& g = ctx_.graph();
+    ScratchArena& arena = ctx_.arena();
+    KernelStats* kstats = ctx_.kernel_stats();
     const VertexId x = p.front();
 
-    std::vector<VertexId> new_l =
-        Intersect(big_l, g.Neighbors(Side::kLower, x));
+    ArenaScope frame(arena);
+    const std::span<const VertexId> x_nbrs = g.Neighbors(Side::kLower, x);
+    IdVec new_l(arena, std::min(big_l.size(), x_nbrs.size()));
+    new_l.set_size(IntersectInto(new_l.data(), big_l, x_nbrs, &arena, kstats));
 
     bool viable = !new_l.empty();
     if (search_.prune_small_l && new_l.size() < min_upper_) viable = false;
 
-    std::vector<VertexId> new_q;
-    std::vector<VertexId> q_full;
+    // Both candidate filters probe the same L'; load its bitmap once and
+    // count each neighbor list in O(deg) probes.
+    BitsetView lbits;
+    IdVec new_q(arena, q.size());
+    IdVec q_full(arena, q.size());
     if (viable) {
-      FilterCandidates(g, Side::kLower, q, new_l, CandidateThreshold(), &new_q,
-                       &q_full);
+      lbits = BitsetView::Load(arena, new_l.view());
+      FilterCandidates(g, Side::kLower, q, new_l.view(), lbits,
+                       CandidateThreshold(), &new_q, &q_full, kstats);
       if (search_.prune_excluded_full && !q_full.empty()) {
         // Observation 2: one fully-connected excluded vertex per class
         // means no descendant can be maximal.
-        SizeVector cover(num_attrs_, 0);
+        CountVec cover = CountVec::Zero(arena, num_attrs_);
         for (VertexId v : q_full) ++cover[g.Attr(Side::kLower, v)];
         bool all_covered = true;
         for (auto c : cover) {
@@ -123,16 +141,17 @@ class FairBcemEngine {
     }
     if (!viable) return true;
 
-    std::vector<VertexId> new_p;
-    std::vector<VertexId> p_full;
-    FilterCandidates(g, Side::kLower, p.subspan(1), new_l,
-                     CandidateThreshold(), &new_p, &p_full);
+    IdVec new_p(arena, p.size() - 1);
+    IdVec p_full(arena, p.size() - 1);
+    FilterCandidates(g, Side::kLower, p.subspan(1), new_l.view(), lbits,
+                     CandidateThreshold(), &new_p, &p_full, kstats);
 
-    std::vector<VertexId> new_r = r;
+    IdVec new_r(arena, r.size() + 1);
+    for (VertexId v : r) new_r.push_back(v);
     new_r.push_back(x);
-    SizeVector new_r_sizes = r_sizes;
+    CountVec new_r_sizes = CountVec::CopyOf(arena, r_sizes);
     ++new_r_sizes[g.Attr(Side::kLower, x)];
-    SizeVector ground_sizes = new_r_sizes;
+    CountVec ground_sizes = CountVec::CopyOf(arena, new_r_sizes.view());
     for (VertexId v : p_full) ++ground_sizes[g.Attr(Side::kLower, v)];
     for (VertexId v : q_full) ++ground_sizes[g.Attr(Side::kLower, v)];
 
@@ -143,31 +162,36 @@ class FairBcemEngine {
         new_l.size() >= CandidateThreshold() &&
         new_p.size() == p_full.size()) {
       // Observation 4: every remaining candidate is fully connected.
-      SizeVector all_sizes = new_r_sizes;
+      CountVec all_sizes = CountVec::CopyOf(arena, new_r_sizes.view());
       for (VertexId v : p_full) ++all_sizes[g.Attr(Side::kLower, v)];
-      if (ctx_.policy().Feasible(all_sizes)) {
-        std::vector<VertexId> all_r = new_r;
-        all_r.insert(all_r.end(), p_full.begin(), p_full.end());
-        MaybeEmit(new_l, std::move(all_r), all_sizes, ground_sizes);
+      if (ctx_.policy().Feasible(all_sizes.view())) {
+        IdVec all_r(arena, new_r.size() + p_full.size());
+        for (VertexId v : new_r) all_r.push_back(v);
+        for (VertexId v : p_full) all_r.push_back(v);
+        MaybeEmit(new_l.view(), all_r.view(), all_sizes.view(),
+                  ground_sizes.view());
         shortcut = true;
       }
     }
 
     if (!shortcut) {
-      MaybeEmit(new_l, new_r, new_r_sizes, ground_sizes);
+      MaybeEmit(new_l.view(), new_r.view(), new_r_sizes.view(),
+                ground_sizes.view());
       if (ctx_.budget().aborted()) return false;
       if (!new_p.empty()) {
         bool reachable = true;
         if (search_.prune_class_counts) {
           // Observation 5 (second half): every class must be able to
           // reach beta from R' plus the candidate pool.
-          SizeVector pool = new_r_sizes;
+          CountVec pool = CountVec::CopyOf(arena, new_r_sizes.view());
           for (VertexId v : new_p) ++pool[g.Attr(Side::kLower, v)];
-          reachable = ctx_.policy().Reachable(pool);
+          reachable = ctx_.policy().Reachable(pool.view());
         }
         if (reachable) {
-          if (!TrySplit(new_l, new_r, new_p, new_q)) {
-            Recurse(new_l, new_r, new_p, std::move(new_q));
+          if (!TrySplit(new_l.view(), new_r.view(), new_p.view(),
+                        new_q.view())) {
+            Recurse(new_l.view(), new_r.view(), new_r_sizes.view(),
+                    new_p.view(), new_q.view());
           }
           if (ctx_.ShouldStop()) return false;
         }
@@ -184,17 +208,16 @@ class FairBcemEngine {
   // Split children never split again, and a split only fires on a
   // near-empty queue, so the task count stays bounded. Returns true when
   // the subtree was handed to the pool.
-  bool TrySplit(const std::vector<VertexId>& big_l,
-                const std::vector<VertexId>& r, const std::vector<VertexId>& p,
-                const std::vector<VertexId>& q) {
+  bool TrySplit(std::span<const VertexId> big_l, std::span<const VertexId> r,
+                std::span<const VertexId> p, std::span<const VertexId> q) {
     if (!allow_split_ || splitter_ == nullptr) return false;
     if (p.size() < 2 || !splitter_->ShouldSplit()) return false;
     ++ctx_.stats().split_subtrees;
     auto batch = std::make_shared<SubtreeBatch>();
-    batch->big_l = big_l;
-    batch->r = r;
-    batch->p = p;
-    batch->q = q;
+    batch->big_l.assign(big_l.begin(), big_l.end());
+    batch->r.assign(r.begin(), r.end());
+    batch->p.assign(p.begin(), p.end());
+    batch->q.assign(q.begin(), q.end());
     const FairBcemSearchOptions* search = &search_;
     const std::uint32_t min_upper = min_upper_;
     for (std::size_t child = 0; child < batch->p.size(); ++child) {
@@ -208,13 +231,16 @@ class FairBcemEngine {
   }
 
   // Branches on every candidate of p in order, growing the exclusion set.
-  void Recurse(const std::vector<VertexId>& big_l,
-               const std::vector<VertexId>& r, const std::vector<VertexId>& p,
-               std::vector<VertexId> q) {
-    const SizeVector r_sizes = ctx_.ClassSizes(Side::kLower, r);
-    std::span<const VertexId> rest(p);
+  // `r_sizes` are the class sizes of r, handed down by the caller (the
+  // parent branch already maintains them incrementally).
+  void Recurse(std::span<const VertexId> big_l, std::span<const VertexId> r,
+               SizeSpan r_sizes, std::span<const VertexId> p,
+               std::span<const VertexId> q_in) {
+    ArenaScope frame(ctx_.arena());
+    IdVec q(ctx_.arena(), q_in.size() + p.size());
+    for (VertexId v : q_in) q.push_back(v);
     for (std::size_t i = 0; i < p.size(); ++i) {
-      if (!Branch(big_l, r, r_sizes, rest.subspan(i), q)) return;
+      if (!Branch(big_l, r, r_sizes, p.subspan(i), q.view())) return;
       q.push_back(p[i]);
     }
   }
@@ -249,6 +275,8 @@ EnumStats FairBcemRun(const BipartiteGraph& g, const FairBicliqueParams& params,
     SearchContext ctx(g, options, policy, budget, sink);
     FairBcemEngine(ctx, search, min_upper).Run(upper_all, candidates);
     stats = ctx.stats();
+    stats.peak_struct_bytes =
+        std::max(stats.peak_struct_bytes, ctx.arena().HighWaterBytes());
   } else {
     auto contexts = FanOutRootBranches<std::unique_ptr<SearchContext>>(
         num_threads, candidates.size(),
@@ -260,7 +288,11 @@ EnumStats FairBcemRun(const BipartiteGraph& g, const FairBicliqueParams& params,
           FairBcemEngine(ctx, search, min_upper, &splitter)
               .RunRootBranch(upper_all, candidates, task);
         });
-    for (const auto& ctx : contexts) MergeEnumStats(stats, ctx->stats());
+    for (const auto& ctx : contexts) {
+      MergeEnumStats(stats, ctx->stats());
+      stats.peak_struct_bytes =
+          std::max(stats.peak_struct_bytes, ctx->arena().HighWaterBytes());
+    }
   }
   stats.budget_exhausted = budget.exhausted();
   stats.remaining_upper = g.NumUpper();

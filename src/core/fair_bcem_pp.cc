@@ -13,16 +13,21 @@ namespace fairbc {
 
 namespace {
 
-// Common neighborhood (on the upper side) of a lower vertex set; stops
-// early once the size reaches `floor_size` because the result is known to
-// contain a set of that size.
+// Common neighborhood (on the upper side) of a lower vertex set. The
+// running intersection shrinks monotonically, so two ping-pong buffers
+// sized to the first neighbor list cover the whole fold — no per-step
+// reallocation.
 std::vector<VertexId> CommonUpperNeighborhood(const BipartiteGraph& g,
                                               std::span<const VertexId> lower) {
   FAIRBC_CHECK(!lower.empty());
   auto first = g.Neighbors(Side::kLower, lower[0]);
   std::vector<VertexId> common(first.begin(), first.end());
+  if (lower.size() == 1) return common;
+  std::vector<VertexId> tmp(common.size());
   for (std::size_t i = 1; i < lower.size() && !common.empty(); ++i) {
-    common = Intersect(common, g.Neighbors(Side::kLower, lower[i]));
+    tmp.resize(
+        IntersectInto(tmp.data(), common, g.Neighbors(Side::kLower, lower[i])));
+    common.swap(tmp);
   }
   return common;
 }
@@ -105,6 +110,9 @@ EnumStats FairBcemPpRun(const BipartiteGraph& g,
   stats.maximal_bicliques_visited = visited.load(std::memory_order_relaxed);
   stats.search_nodes = mb_stats.search_nodes;
   stats.split_subtrees = mb_stats.split_subtrees;
+  stats.kernels = mb_stats.kernels;
+  stats.peak_struct_bytes =
+      std::max(stats.peak_struct_bytes, mb_stats.arena_high_water_bytes);
   stats.budget_exhausted =
       subset_budget_exhausted.load(std::memory_order_relaxed) ||
       mb_stats.budget_exhausted;

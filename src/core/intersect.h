@@ -1,48 +1,26 @@
 #ifndef FAIRBC_CORE_INTERSECT_H_
 #define FAIRBC_CORE_INTERSECT_H_
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
 #include "common/types.h"
+#include "core/kernels.h"
 
 namespace fairbc {
 
-/// Size of the intersection of two ascending-sorted id sequences.
-inline std::uint32_t IntersectSize(std::span<const VertexId> a,
-                                   std::span<const VertexId> b) {
-  std::uint32_t count = 0;
-  std::size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
-}
+// Compatibility shim: the scalar helpers that used to live here are now
+// the adaptive kernels in core/kernels.h (IntersectSize comes from that
+// header). Engine code calls the kernels directly with arena-backed
+// destination buffers; this convenience wrapper remains for callers that
+// genuinely need an owning vector.
 
 /// Intersection of two ascending-sorted id sequences (sorted output).
 inline std::vector<VertexId> Intersect(std::span<const VertexId> a,
                                        std::span<const VertexId> b) {
-  std::vector<VertexId> out;
-  std::size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      out.push_back(a[i]);
-      ++i;
-      ++j;
-    }
-  }
+  std::vector<VertexId> out(std::min(a.size(), b.size()));
+  out.resize(IntersectInto(out.data(), a, b));
   return out;
 }
 

@@ -22,10 +22,17 @@ class TopKKeeper {
   TopKKeeper(std::uint32_t k, BicliqueObjective objective)
       : k_(std::max(k, 1u)), objective_(objective) {}
 
+  // entries_ is kept sorted (Better is a total order: distinct bicliques
+  // never compare equal), so one offer is a binary search plus insert —
+  // and a full keeper rejects non-improving candidates without touching
+  // the list at all, instead of re-sorting everything per result.
   void Offer(const Biclique& b) {
-    entries_.emplace_back(ObjectiveValue(b, objective_), b);
-    std::sort(entries_.begin(), entries_.end(), Better);
-    if (entries_.size() > k_) entries_.resize(k_);
+    std::pair<std::uint64_t, Biclique> cand(ObjectiveValue(b, objective_), b);
+    if (entries_.size() >= k_ && !Better(cand, entries_.back())) return;
+    auto pos =
+        std::upper_bound(entries_.begin(), entries_.end(), cand, Better);
+    entries_.insert(pos, std::move(cand));
+    if (entries_.size() > k_) entries_.pop_back();
   }
 
   std::vector<Biclique> Take() {

@@ -4,7 +4,7 @@
 #include <memory>
 #include <span>
 
-#include "core/intersect.h"
+#include "core/kernels.h"
 #include "core/ordering.h"
 #include "core/parallel.h"
 #include "core/search_context.h"
@@ -26,6 +26,11 @@ using EngineSplitter = SubtreeSplitter<std::unique_ptr<MbeaEngine>>;
 // "exhausted candidate" skip, which is a pure work-saving: a skipped
 // branch re-run in isolation is killed by the excluded-vertex check, so
 // both the root fan-out and the splitter may safely ignore it.
+//
+// Recursion state (shrunk L, filtered candidates, exclusion lists,
+// class counters) lives in the worker's ScratchArena — one ArenaScope
+// per frame, fixed capacities bounded by the parent sets — so the search
+// itself never heap-allocates; only emissions copy sets out.
 class MbeaEngine {
  public:
   MbeaEngine(const BipartiteGraph& g, const MbeaConfig& config,
@@ -37,20 +42,21 @@ class MbeaEngine {
         num_lower_attrs_(g.NumAttrs(Side::kLower)) {}
 
   const MbeaStats& stats() const { return stats_; }
+  std::size_t ArenaHighWaterBytes() const { return arena_.HighWaterBytes(); }
 
-  void Run(const std::vector<VertexId>& upper_all,
-           std::vector<VertexId> candidates) {
-    Recurse(upper_all, {}, std::move(candidates), {});
+  void Run(std::span<const VertexId> upper_all,
+           std::span<const VertexId> candidates) {
+    Recurse(upper_all, {}, candidates, {});
   }
 
-  void RunRootBranch(const std::vector<VertexId>& upper_all,
-                     const std::vector<VertexId>& candidates, std::size_t root,
+  void RunRootBranch(std::span<const VertexId> upper_all,
+                     std::span<const VertexId> candidates, std::size_t root,
                      EngineSplitter* splitter) {
     splitter_ = splitter;
     allow_split_ = splitter != nullptr;
-    std::vector<VertexId> unused_exhausted;
-    std::span<const VertexId> all(candidates);
-    Branch(upper_all, {}, all.subspan(root), all.first(root),
+    ArenaScope frame(arena_);
+    IdVec unused_exhausted(arena_, candidates.size());
+    Branch(upper_all, {}, candidates.subspan(root), candidates.first(root),
            &unused_exhausted);
   }
 
@@ -59,8 +65,9 @@ class MbeaEngine {
                        std::size_t child) {
     allow_split_ = false;
     const std::vector<VertexId> q = batch->ExclusionFor(child);
-    std::vector<VertexId> unused_exhausted;
     std::span<const VertexId> p(batch->p);
+    ArenaScope frame(arena_);
+    IdVec unused_exhausted(arena_, p.size());
     Branch(batch->big_l, batch->r, p.subspan(child), q, &unused_exhausted);
   }
 
@@ -72,33 +79,38 @@ class MbeaEngine {
     budget_.CountNode();
   }
 
-  // Per-class sizes of a sorted lower vertex set.
-  SizeVector LowerSizes(const std::vector<VertexId>& vs) const {
-    SizeVector sizes(num_lower_attrs_, 0);
-    for (VertexId v : vs) ++sizes[g_.Attr(Side::kLower, v)];
-    return sizes;
-  }
-
   // Processes the branch at p[0] (exclusion set q) and recurses into its
   // subtree. Absorbed candidates with no neighbors outside the shrunk L
-  // are appended to `exhausted`: the caller may drop them from its
-  // remaining candidates (their branches are provably redundant).
-  // Returns false when the whole search must stop.
-  bool Branch(const std::vector<VertexId>& big_l,
-              const std::vector<VertexId>& r, std::span<const VertexId> p,
-              std::span<const VertexId> q, std::vector<VertexId>* exhausted) {
+  // are appended to `exhausted` (caller-allocated, capacity >= |p|): the
+  // caller may drop them from its remaining candidates (their branches
+  // are provably redundant). Returns false when the whole search must
+  // stop.
+  bool Branch(std::span<const VertexId> big_l, std::span<const VertexId> r,
+              std::span<const VertexId> p, std::span<const VertexId> q,
+              IdVec* exhausted) {
     if (budget_.OverBudget()) return false;
     CountNode();
+    KernelStats* kstats = &stats_.kernels;
     const VertexId x = p.front();
 
-    std::vector<VertexId> new_l =
-        Intersect(big_l, g_.Neighbors(Side::kLower, x));
+    ArenaScope frame(arena_);
+    const std::span<const VertexId> x_nbrs = g_.Neighbors(Side::kLower, x);
+    IdVec new_l(arena_, std::min(big_l.size(), x_nbrs.size()));
+    new_l.set_size(
+        IntersectInto(new_l.data(), big_l, x_nbrs, &arena_, kstats));
     bool viable = new_l.size() >= MinUpper();
 
-    std::vector<VertexId> new_q;
+    // Both the exclusion scan and the candidate scan intersect against
+    // the same L'; load its bitmap once and probe each neighbor list in
+    // O(deg).
+    BitsetView lbits;
+    if (viable) lbits = BitsetView::Load(arena_, new_l.view());
+
+    IdVec new_q(arena_, q.size());
     if (viable) {
       for (VertexId v : q) {
-        std::uint32_t c = IntersectSize(g_.Neighbors(Side::kLower, v), new_l);
+        std::uint32_t c = lbits.CountHits(g_.Neighbors(Side::kLower, v),
+                                          kstats);
         if (c == new_l.size()) {
           // An excluded vertex is fully connected: this L (and every L
           // of the subtree) was already enumerated in v's branch.
@@ -110,16 +122,19 @@ class MbeaEngine {
     }
     if (!viable) return true;
 
-    std::vector<VertexId> new_r = r;
+    IdVec new_r(arena_, r.size() + p.size());
+    for (VertexId v : r) new_r.push_back(v);
     new_r.push_back(x);
-    std::vector<VertexId> new_p;
+    IdVec new_p(arena_, p.size() - 1);
     for (std::size_t i = 1; i < p.size(); ++i) {
       const VertexId v = p[i];
       auto nbrs = g_.Neighbors(Side::kLower, v);
-      std::uint32_t c = IntersectSize(nbrs, new_l);
+      std::uint32_t c = lbits.CountHits(nbrs, kstats);
       if (c == new_l.size()) {
         new_r.push_back(v);  // absorb: fully connected to new_l.
-        if (IntersectSize(nbrs, big_l) == c) exhausted->push_back(v);
+        if (IntersectSize(nbrs, big_l, &arena_, kstats) == c) {
+          exhausted->push_back(v);
+        }
       } else if (c >= MinUpper()) {
         new_p.push_back(v);
       }
@@ -130,7 +145,9 @@ class MbeaEngine {
     if (new_r.size() >= config_.min_lower_total) {
       bool classes_ok = true;
       if (config_.min_lower_per_attr > 0) {
-        for (auto s : LowerSizes(new_r)) {
+        CountVec sizes = CountVec::Zero(arena_, num_lower_attrs_);
+        for (VertexId v : new_r) ++sizes[g_.Attr(Side::kLower, v)];
+        for (auto s : sizes) {
           if (s < config_.min_lower_per_attr) {
             classes_ok = false;
             break;
@@ -139,7 +156,9 @@ class MbeaEngine {
       }
       if (classes_ok) {
         ++stats_.emitted;
-        if (!sink_(new_l, new_r)) {
+        const std::vector<VertexId> l_out(new_l.begin(), new_l.end());
+        const std::vector<VertexId> r_out(new_r.begin(), new_r.end());
+        if (!sink_(l_out, r_out)) {
           budget_.Abort();
           return false;
         }
@@ -151,7 +170,8 @@ class MbeaEngine {
         new_r.size() + new_p.size() >= config_.min_lower_total) {
       bool reachable = true;
       if (config_.min_lower_per_attr > 0) {
-        SizeVector sizes = LowerSizes(new_r);
+        CountVec sizes = CountVec::Zero(arena_, num_lower_attrs_);
+        for (VertexId v : new_r) ++sizes[g_.Attr(Side::kLower, v)];
         for (VertexId v : new_p) ++sizes[g_.Attr(Side::kLower, v)];
         for (auto s : sizes) {
           if (s < config_.min_lower_per_attr) {
@@ -161,8 +181,9 @@ class MbeaEngine {
         }
       }
       if (reachable) {
-        if (!TrySplit(new_l, new_r, new_p, new_q)) {
-          Recurse(new_l, std::move(new_r), std::move(new_p), std::move(new_q));
+        if (!TrySplit(new_l.view(), new_r.view(), new_p.view(),
+                      new_q.view())) {
+          Recurse(new_l.view(), new_r.view(), new_p.view(), new_q.view());
         }
         if (budget_.OverBudget()) return false;
       }
@@ -176,17 +197,16 @@ class MbeaEngine {
   // skip the exhausted-candidate pruning of the serial Recurse loop,
   // which is safe for the same reason the root fan-out may skip it (see
   // the class comment).
-  bool TrySplit(const std::vector<VertexId>& big_l,
-                const std::vector<VertexId>& r, const std::vector<VertexId>& p,
-                const std::vector<VertexId>& q) {
+  bool TrySplit(std::span<const VertexId> big_l, std::span<const VertexId> r,
+                std::span<const VertexId> p, std::span<const VertexId> q) {
     if (!allow_split_ || splitter_ == nullptr) return false;
     if (p.size() < 2 || !splitter_->ShouldSplit()) return false;
     ++stats_.split_subtrees;
     auto batch = std::make_shared<SubtreeBatch>();
-    batch->big_l = big_l;
-    batch->r = r;
-    batch->p = p;
-    batch->q = q;
+    batch->big_l.assign(big_l.begin(), big_l.end());
+    batch->r.assign(r.begin(), r.end());
+    batch->p.assign(p.begin(), p.end());
+    batch->q.assign(q.begin(), q.end());
     for (std::size_t child = 0; child < batch->p.size(); ++child) {
       splitter_->Submit([batch, child](MbeaEngine& engine) {
         engine.RunSubtreeChild(batch, child);
@@ -195,26 +215,38 @@ class MbeaEngine {
     return true;
   }
 
-  // L sorted; R sorted; P in candidate order; Q arbitrary order.
-  void Recurse(const std::vector<VertexId>& big_l, std::vector<VertexId> r,
-               std::vector<VertexId> p, std::vector<VertexId> q) {
-    while (!p.empty()) {
-      std::vector<VertexId> exhausted;
-      if (!Branch(big_l, r, p, q, &exhausted)) return;
+  // L sorted; R sorted; P in candidate order; Q arbitrary order. The
+  // loop's mutable P/Q live in this frame's arena slice: Q grows by at
+  // most |P| in total (p[0] plus exhausted vertices all come out of P),
+  // and the shrinking candidate list ping-pongs between two fixed
+  // buffers (reading one while writing the other, then swapping).
+  void Recurse(std::span<const VertexId> big_l, std::span<const VertexId> r,
+               std::span<const VertexId> p_in, std::span<const VertexId> q_in) {
+    ArenaScope frame(arena_);
+    IdVec q(arena_, q_in.size() + p_in.size());
+    for (VertexId v : q_in) q.push_back(v);
+    IdVec bufs[2] = {IdVec(arena_, p_in.size()), IdVec(arena_, p_in.size())};
+    for (VertexId v : p_in) bufs[0].push_back(v);
+    IdVec exhausted(arena_, p_in.size());
+    int cur = 0;
+    while (!bufs[cur].empty()) {
+      const IdVec& p = bufs[cur];
+      exhausted.clear();
+      if (!Branch(big_l, r, p.view(), q.view(), &exhausted)) return;
 
       // Move p[0] (and absorbed vertices with no neighbors outside the
       // shrunk L) from P to Q.
-      q.push_back(p.front());
+      q.push_back(p[0]);
       for (VertexId v : exhausted) q.push_back(v);
-      std::vector<VertexId> rest;
-      rest.reserve(p.size() - 1);
+      IdVec& rest = bufs[1 - cur];
+      rest.clear();
       for (std::size_t i = 1; i < p.size(); ++i) {
         if (std::find(exhausted.begin(), exhausted.end(), p[i]) ==
             exhausted.end()) {
           rest.push_back(p[i]);
         }
       }
-      p = std::move(rest);
+      cur = 1 - cur;
     }
   }
 
@@ -224,6 +256,7 @@ class MbeaEngine {
   const MaximalBicliqueSink& sink_;
   const AttrId num_lower_attrs_;
   MbeaStats stats_;
+  ScratchArena arena_;
   EngineSplitter* splitter_ = nullptr;
   /// True only while the root node of a parallel task is being branched.
   bool allow_split_ = false;
@@ -246,6 +279,7 @@ MbeaStats EnumerateMaximalBicliques(const BipartiteGraph& g,
     MbeaEngine engine(g, config, budget, sink);
     engine.Run(upper_all, candidates);
     stats = engine.stats();
+    stats.arena_high_water_bytes = engine.ArenaHighWaterBytes();
   } else {
     auto engines = FanOutRootBranches<std::unique_ptr<MbeaEngine>>(
         num_threads, candidates.size(),
@@ -259,6 +293,9 @@ MbeaStats EnumerateMaximalBicliques(const BipartiteGraph& g,
       stats.search_nodes += engine->stats().search_nodes;
       stats.emitted += engine->stats().emitted;
       stats.split_subtrees += engine->stats().split_subtrees;
+      MergeKernelStats(stats.kernels, engine->stats().kernels);
+      stats.arena_high_water_bytes =
+          std::max(stats.arena_high_water_bytes, engine->ArenaHighWaterBytes());
     }
   }
   stats.budget_exhausted = budget.exhausted();

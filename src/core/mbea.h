@@ -41,6 +41,10 @@ struct MbeaStats {
   /// Subtrees handed back to the pool by depth-adaptive task splitting.
   std::uint64_t split_subtrees = 0;
   bool budget_exhausted = false;
+  /// Intersection-kernel telemetry summed over the run's workers.
+  KernelStats kernels;
+  /// Largest per-worker recursion-arena high-water mark (bytes).
+  std::size_t arena_high_water_bytes = 0;
 };
 
 /// iMBEA-style maximal biclique enumeration (the MBEA++ substrate of

@@ -146,6 +146,7 @@ void MergeEnumStats(EnumStats& into, const EnumStats& worker) {
   into.remaining_lower = std::max(into.remaining_lower, worker.remaining_lower);
   into.peak_struct_bytes =
       std::max(into.peak_struct_bytes, worker.peak_struct_bytes);
+  MergeKernelStats(into.kernels, worker.kernels);
 }
 
 }  // namespace fairbc

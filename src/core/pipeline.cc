@@ -224,6 +224,9 @@ EnumStats EnumerateMaximalBicliquesPruned(const BipartiteGraph& g,
   stats.search_nodes = mb.search_nodes;
   stats.maximal_bicliques_visited = mb.emitted;
   stats.budget_exhausted = mb.budget_exhausted;
+  stats.kernels = mb.kernels;
+  stats.peak_struct_bytes =
+      std::max(stats.peak_struct_bytes, mb.arena_high_water_bytes);
   stats.prune_seconds = prune_seconds;
   stats.enum_seconds = enum_timer.ElapsedSeconds();
   stats.remaining_upper = g.NumUpper();

@@ -14,11 +14,12 @@ std::vector<VertexId> SubtreeBatch::ExclusionFor(std::size_t i) const {
 
 void FilterCandidates(const BipartiteGraph& g, Side side,
                       std::span<const VertexId> candidates,
-                      const std::vector<VertexId>& big_l,
-                      std::uint32_t keep_threshold, std::vector<VertexId>* kept,
-                      std::vector<VertexId>* full) {
+                      std::span<const VertexId> big_l,
+                      const BitsetView& big_l_bits,
+                      std::uint32_t keep_threshold, IdVec* kept, IdVec* full,
+                      KernelStats* stats) {
   for (VertexId v : candidates) {
-    std::uint32_t c = IntersectSize(g.Neighbors(side, v), big_l);
+    std::uint32_t c = big_l_bits.CountHits(g.Neighbors(side, v), stats);
     if (c == big_l.size()) full->push_back(v);
     if (c >= keep_threshold) kept->push_back(v);
   }

@@ -9,6 +9,7 @@
 
 #include "common/timer.h"
 #include "core/enumerate.h"
+#include "core/kernels.h"
 #include "fairness/fair_vector.h"
 #include "graph/bipartite_graph.h"
 
@@ -28,18 +29,20 @@ class FairnessPolicy {
 
   /// Def. 11 feasibility (plus the Def. 5/6 ratio constraint when
   /// proportional): may `sizes` be the class sizes of a fair set?
-  virtual bool Feasible(const SizeVector& sizes) const = 0;
+  /// Size vectors are passed as spans so arena-backed counter blocks flow
+  /// through without copying; implementations must not allocate on the
+  /// common path (these run once per branch of the search).
+  virtual bool Feasible(SizeSpan sizes) const = 0;
 
   /// MFSCheck (paper Alg. 4): is `sizes` maximal within the per-class
   /// capacities `counts`, i.e. is a set with these sizes a *maximal* fair
   /// subset of a ground set with those counts?
-  virtual bool MaximalWithin(const SizeVector& sizes,
-                             const SizeVector& counts) const = 0;
+  virtual bool MaximalWithin(SizeSpan sizes, SizeSpan counts) const = 0;
 
   /// Branch-and-bound reachability (Observation 5, second half): can every
   /// class still reach the per-class minimum within pool capacities
   /// `pool` (current picks plus remaining candidates)?
-  virtual bool Reachable(const SizeVector& pool) const = 0;
+  virtual bool Reachable(SizeSpan pool) const = 0;
 
   virtual const FairnessSpec& spec() const = 0;
 };
@@ -50,14 +53,13 @@ class SpecFairnessPolicy final : public FairnessPolicy {
  public:
   explicit SpecFairnessPolicy(FairnessSpec spec) : spec_(spec) {}
 
-  bool Feasible(const SizeVector& sizes) const override {
+  bool Feasible(SizeSpan sizes) const override {
     return IsFeasibleVector(sizes, spec_);
   }
-  bool MaximalWithin(const SizeVector& sizes,
-                     const SizeVector& counts) const override {
+  bool MaximalWithin(SizeSpan sizes, SizeSpan counts) const override {
     return IsMaximalFairVector(sizes, counts, spec_);
   }
-  bool Reachable(const SizeVector& pool) const override {
+  bool Reachable(SizeSpan pool) const override {
     for (auto c : pool) {
       if (c < spec_.min_per_class) return false;
     }
@@ -134,6 +136,15 @@ class SearchContext {
   SearchBudget& budget() { return budget_; }
   EnumStats& stats() { return stats_; }
 
+  /// This worker's recursion scratch: engine frames carve their candidate
+  /// stacks and counter blocks out of it (ArenaScope per frame) instead of
+  /// heap-allocating. Grow-only across subtrees — after the first deep
+  /// branch the whole search is allocation-free.
+  ScratchArena& arena() { return arena_; }
+
+  /// Kernel telemetry shortcut (stats().kernels).
+  KernelStats* kernel_stats() { return &stats_.kernels; }
+
   /// True when this worker must unwind (shared abort or exhausted budget).
   bool ShouldStop() { return budget_.OverBudget(); }
 
@@ -168,6 +179,7 @@ class SearchContext {
   SearchBudget& budget_;
   const BicliqueSink& sink_;
   EnumStats stats_;
+  ScratchArena arena_;
 };
 
 /// Frozen state of one search node whose children are fanned out as pool
@@ -188,16 +200,19 @@ struct SubtreeBatch {
 };
 
 /// Splits candidate-set maintenance shared by the engines: for each v in
-/// `candidates` (vertices on `side`) computes c = |N(v) ∩ big_l| against
-/// the sorted upper set `big_l`, appends v to `kept` when
-/// c >= keep_threshold and to `full` when c == |big_l| (fully connected).
-/// A fully connected vertex lands in both lists iff |big_l| also meets the
-/// threshold.
+/// `candidates` (vertices on `side`) computes c = |N(v) ∩ big_l| by
+/// probing `big_l_bits` (a loaded BitsetView of the sorted upper set
+/// `big_l` — load once, probe every candidate in O(deg) each), appends v
+/// to `kept` when c >= keep_threshold and to `full` when c == |big_l|
+/// (fully connected). A fully connected vertex lands in both lists iff
+/// |big_l| also meets the threshold. `kept`/`full` must have capacity >=
+/// |candidates|.
 void FilterCandidates(const BipartiteGraph& g, Side side,
                       std::span<const VertexId> candidates,
-                      const std::vector<VertexId>& big_l,
-                      std::uint32_t keep_threshold, std::vector<VertexId>* kept,
-                      std::vector<VertexId>* full);
+                      std::span<const VertexId> big_l,
+                      const BitsetView& big_l_bits,
+                      std::uint32_t keep_threshold, IdVec* kept, IdVec* full,
+                      KernelStats* stats);
 
 /// All vertex ids of one side, ascending (the root "L = U(G)" set).
 std::vector<VertexId> AllVertices(const BipartiteGraph& g, Side side);

@@ -25,6 +25,10 @@ void SweepShard(const BipartiteGraph& g, Side fair_side, std::uint32_t alpha,
   const Side other = Opposite(fair_side);
   const std::size_t stride = per_attr ? g.NumAttrs(other) : 1;
   std::vector<VertexId> touched;
+  // A vertex can touch every other fair-side vertex; sizing up front keeps
+  // the inner loop free of growth reallocations (matches the other scratch
+  // arrays, which are already O(n)).
+  touched.reserve(touched_flag.size());
 
   for (VertexId v = begin; v < end; ++v) {
     if (!fair_alive[v]) continue;

@@ -16,6 +16,7 @@ namespace {
 std::vector<VertexId> AdjacentToAll(const BipartiteGraph& g, Side side,
                                     const std::vector<VertexId>& other_set) {
   std::vector<VertexId> out;
+  out.reserve(g.NumVertices(side));  // every vertex may qualify.
   for (VertexId v = 0; v < g.NumVertices(side); ++v) {
     bool all = true;
     for (VertexId w : other_set) {

@@ -14,7 +14,7 @@ constexpr double kRatioEps = 1e-9;
 
 // Ratio constraint t_i >= theta * sum(t) evaluated with a small epsilon so
 // values like theta = 0.4 on integer sums behave exactly.
-bool RatioOk(const SizeVector& t, double theta) {
+bool RatioOk(SizeSpan t, double theta) {
   if (theta <= 0.0) return true;
   std::uint64_t sum = 0;
   for (auto x : t) sum += x;
@@ -39,7 +39,7 @@ std::uint64_t ProportionalCapTwoClasses(std::uint64_t m, double theta) {
 
 }  // namespace
 
-bool IsFeasibleVector(const SizeVector& sizes, const FairnessSpec& spec) {
+bool IsFeasibleVector(SizeSpan sizes, const FairnessSpec& spec) {
   if (sizes.empty()) return true;
   std::uint32_t lo = sizes[0], hi = sizes[0];
   for (auto s : sizes) {
@@ -51,7 +51,7 @@ bool IsFeasibleVector(const SizeVector& sizes, const FairnessSpec& spec) {
   return RatioOk(sizes, spec.theta);
 }
 
-bool StrictlyDominated(const SizeVector& a, const SizeVector& b) {
+bool StrictlyDominated(SizeSpan a, SizeSpan b) {
   FAIRBC_CHECK(a.size() == b.size());
   bool differs = false;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -166,11 +166,35 @@ std::vector<SizeVector> MaximalFairVectors(const SizeVector& counts,
   return GeneralMaximal(counts, spec);
 }
 
-bool IsMaximalFairVector(const SizeVector& sizes, const SizeVector& counts,
+bool IsMaximalFairVector(SizeSpan sizes, SizeSpan counts,
                          const FairnessSpec& spec) {
+  if (sizes.size() != counts.size()) return false;
   if (!IsFeasibleVector(sizes, spec)) return false;
-  for (const auto& t : MaximalFairVectors(counts, spec)) {
-    if (t == sizes) return true;
+  if (counts.empty()) return true;
+  for (auto c : counts) {
+    if (c < spec.min_per_class) return false;
+  }
+  if (!spec.proportional() || counts.size() <= 2) {
+    // Closed-form unique maximal vector (see ClosedFormMaximal), compared
+    // slot by slot with no materialization. `sizes` is feasible and must
+    // match t* exactly, so t*'s own feasibility holds whenever we return
+    // true and never needs a separate check.
+    std::uint32_t m = *std::min_element(counts.begin(), counts.end());
+    std::uint64_t ratio_cap = spec.proportional() && counts.size() >= 2
+                                  ? ProportionalCapTwoClasses(m, spec.theta)
+                                  : std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      std::uint64_t cap = std::min<std::uint64_t>(
+          counts[i], static_cast<std::uint64_t>(m) + spec.delta);
+      cap = std::min(cap, ratio_cap);
+      if (sizes[i] != cap) return false;
+    }
+    return true;
+  }
+  SizeVector sizes_vec(sizes.begin(), sizes.end());
+  for (const auto& t :
+       MaximalFairVectors(SizeVector(counts.begin(), counts.end()), spec)) {
+    if (t == sizes_vec) return true;
   }
   return false;
 }

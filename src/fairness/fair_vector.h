@@ -2,6 +2,8 @@
 #define FAIRBC_FAIRNESS_FAIR_VECTOR_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -10,6 +12,10 @@ namespace fairbc {
 
 /// Per-attribute-class size vector (index = AttrId, value = class size).
 using SizeVector = std::vector<std::uint32_t>;
+
+/// Non-owning view of a size vector; the engines pass arena-backed
+/// counter blocks (core/kernels.h CountVec) through this without copying.
+using SizeSpan = std::span<const std::uint32_t>;
 
 /// Fairness constraints on one side. `theta <= 0` disables the
 /// proportional constraint (plain SSFBC/BSFBC models); `theta > 0` adds
@@ -28,10 +34,24 @@ struct FairnessSpec {
 /// An all-zero vector with min_per_class == 0 is feasible by convention
 /// (the empty set), except that the proportional constraint is vacuous on
 /// an empty set.
-bool IsFeasibleVector(const SizeVector& sizes, const FairnessSpec& spec);
+bool IsFeasibleVector(SizeSpan sizes, const FairnessSpec& spec);
+inline bool IsFeasibleVector(const SizeVector& sizes,
+                             const FairnessSpec& spec) {
+  return IsFeasibleVector(SizeSpan(sizes), spec);
+}
+// Braced-list convenience (`IsFeasibleVector({2, 3}, spec)`); an
+// initializer_list parameter outranks both overloads above for any
+// braced argument ([over.ics.rank]), which keeps `{}` unambiguous.
+inline bool IsFeasibleVector(std::initializer_list<std::uint32_t> sizes,
+                             const FairnessSpec& spec) {
+  return IsFeasibleVector(SizeSpan(sizes.begin(), sizes.size()), spec);
+}
 
 /// True iff `a` is pointwise <= `b` and differs somewhere.
-bool StrictlyDominated(const SizeVector& a, const SizeVector& b);
+bool StrictlyDominated(SizeSpan a, SizeSpan b);
+inline bool StrictlyDominated(const SizeVector& a, const SizeVector& b) {
+  return StrictlyDominated(SizeSpan(a), SizeSpan(b));
+}
 
 /// All maximal feasible size vectors within per-class capacities `counts`:
 /// feasible vectors t (t_i <= counts_i) such that no other feasible vector
@@ -50,9 +70,17 @@ std::vector<SizeVector> MaximalFairVectors(const SizeVector& counts,
 /// Convenience: true iff `sizes` is one of MaximalFairVectors(counts).
 /// This is the size-vector form of the paper's MFSCheck (Alg. 4): a subset
 /// is a maximal fair subset of its ground set iff its class sizes match a
-/// maximal feasible vector (see DESIGN.md §1 fact 2).
-bool IsMaximalFairVector(const SizeVector& sizes, const SizeVector& counts,
+/// maximal feasible vector (see DESIGN.md §1 fact 2). Allocation-free
+/// except on the exotic >2-classes-with-theta path: the closed-form
+/// maximal vector is compared slot by slot, so this is safe to call once
+/// per branch of the enumeration.
+bool IsMaximalFairVector(SizeSpan sizes, SizeSpan counts,
                          const FairnessSpec& spec);
+inline bool IsMaximalFairVector(const SizeVector& sizes,
+                                const SizeVector& counts,
+                                const FairnessSpec& spec) {
+  return IsMaximalFairVector(SizeSpan(sizes), SizeSpan(counts), spec);
+}
 
 /// Number of subsets realizing the maximal vectors:
 /// sum over maximal t of prod_i C(counts_i, t_i). Saturates at

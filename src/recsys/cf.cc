@@ -15,13 +15,14 @@ ItemBasedCF::ItemBasedCF(const BipartiteGraph& interactions)
   const std::size_t pairs =
       static_cast<std::size_t>(num_items_) * (num_items_ - 1) / 2;
   sim_.assign(pairs, 0.0f);
+  ScratchArena arena;  // lets the O(n^2) pair scan use the bitset kernel.
   for (VertexId a = 0; a < num_items_; ++a) {
     auto na = graph_.Neighbors(Side::kLower, a);
     if (na.empty()) continue;
     for (VertexId b = a + 1; b < num_items_; ++b) {
       auto nb = graph_.Neighbors(Side::kLower, b);
       if (nb.empty()) continue;
-      std::uint32_t common = IntersectSize(na, nb);
+      std::uint32_t common = IntersectSize(na, nb, &arena);
       if (common == 0) continue;
       double denom = std::sqrt(static_cast<double>(na.size()) *
                                static_cast<double>(nb.size()));

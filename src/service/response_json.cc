@@ -65,6 +65,11 @@ std::string StatsJson(const EnumStats& stats) {
      << ",\"remaining_upper\":" << stats.remaining_upper
      << ",\"remaining_lower\":" << stats.remaining_lower
      << ",\"peak_struct_bytes\":" << stats.peak_struct_bytes
+     << ",\"kernel_calls\":" << stats.kernels.calls
+     << ",\"kernel_steps\":" << stats.kernels.steps
+     << ",\"kernel_merge\":" << stats.kernels.merge
+     << ",\"kernel_gallop\":" << stats.kernels.gallop
+     << ",\"kernel_bitset\":" << stats.kernels.bitset
      << ",\"budget_exhausted\":"
      << (stats.budget_exhausted ? "true" : "false") << "}";
   return os.str();
