@@ -39,6 +39,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -98,6 +99,75 @@ double Percentile(std::vector<double> sorted, double p) {
   if (sorted.empty()) return 0.0;
   const auto idx = static_cast<std::size_t>(p * (sorted.size() - 1));
   return sorted[idx];
+}
+
+// --- Self-scrape helpers ----------------------------------------------------
+//
+// Telemetry in the rows below comes from scraping the executor through
+// the REAL `metrics` command (the same dispatch a TCP client hits), not
+// from recomputing counts client-side — so a registry bug shows up as a
+// bench regression, and the rows are before/after deltas by
+// construction.
+
+/// Series values ("name" or "name{labels}") parsed from one exposition.
+using Scrape = std::map<std::string, double>;
+
+Scrape ScrapeMetrics(fairbc::GraphCatalog& catalog,
+                     fairbc::QueryExecutor& executor) {
+  fairbc::ServerSession session(catalog, executor, /*id=*/0);
+  std::string response;
+  bool stop_server = false;
+  FAIRBC_CHECK(session.Handle("metrics", &response, &stop_server));
+  // Pull the exposition out of the {"text":"..."} field and unescape
+  // the \n separators (the only escapes PrometheusText produces are
+  // \n and \" — metric names and label values here are tame).
+  const std::size_t key = response.find("\"text\":\"");
+  FAIRBC_CHECK(key != std::string::npos);
+  std::string text;
+  for (std::size_t i = key + 8; i < response.size(); ++i) {
+    const char c = response[i];
+    if (c == '"') break;
+    if (c == '\\' && i + 1 < response.size()) {
+      const char next = response[++i];
+      text += next == 'n' ? '\n' : next;
+      continue;
+    }
+    text += c;
+  }
+  Scrape scrape;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    scrape[line.substr(0, space)] = std::strtod(line.c_str() + space + 1,
+                                                nullptr);
+  }
+  return scrape;
+}
+
+double Series(const Scrape& scrape, const std::string& series) {
+  const auto it = scrape.find(series);
+  return it == scrape.end() ? 0.0 : it->second;
+}
+
+/// Counter-series delta over a scrape window (counters only move up, so
+/// the delta is a whole number).
+std::uint64_t Delta(const Scrape& before, const Scrape& after,
+                    const std::string& series) {
+  const double d = Series(after, series) - Series(before, series);
+  return d <= 0.0 ? 0 : static_cast<std::uint64_t>(d + 0.5);
+}
+
+/// Cache hit rate over a scrape window, from the counter deltas.
+double ScrapedHitRate(const Scrape& before, const Scrape& after) {
+  const double hits = Delta(before, after, "fairbc_cache_hits_total");
+  const double misses = Delta(before, after, "fairbc_cache_misses_total");
+  return hits + misses <= 0.0 ? 0.0 : hits / (hits + misses);
 }
 
 // --- TCP connection-axis helpers --------------------------------------------
@@ -260,9 +330,11 @@ int main() {
     options.num_threads = threads;
     fairbc::QueryExecutor executor(catalog, options);
 
+    const Scrape before = ScrapeMetrics(catalog, executor);
     fairbc::Timer timer;
     std::vector<QueryResult> results = executor.ExecuteBatch(trace);
     const double total = timer.ElapsedSeconds();
+    const Scrape after = ScrapeMetrics(catalog, executor);
 
     std::vector<double> latencies;
     latencies.reserve(results.size());
@@ -283,7 +355,6 @@ int main() {
       return 1;
     }
     std::sort(latencies.begin(), latencies.end());
-    const auto telemetry = executor.telemetry();
 
     std::cout << (first_row ? "" : ",\n") << "    {\"threads\": " << threads
               << ", \"total_seconds\": " << fairbc::JsonDouble(total)
@@ -293,11 +364,14 @@ int main() {
               << fairbc::JsonDouble(Percentile(latencies, 0.50) * 1e3)
               << ", \"p99_ms\": "
               << fairbc::JsonDouble(Percentile(latencies, 0.99) * 1e3)
-              << ", \"cache_hits\": " << telemetry.cache.hits
+              << ", \"cache_hits\": "
+              << Delta(before, after, "fairbc_cache_hits_total")
               << ", \"cache_hit_rate\": "
-              << fairbc::JsonDouble(telemetry.cache.HitRate())
-              << ", \"executions\": " << telemetry.executions
-              << ", \"coalesced\": " << telemetry.coalesced << "}";
+              << fairbc::JsonDouble(ScrapedHitRate(before, after))
+              << ", \"executions\": "
+              << Delta(before, after, "fairbc_query_executions_total")
+              << ", \"coalesced\": "
+              << Delta(before, after, "fairbc_query_coalesced_total") << "}";
     first_row = false;
   }
   std::cout << "\n  ],\n";
@@ -328,17 +402,22 @@ int main() {
     }
     rng.Shuffle(burst);
 
+    const Scrape before = ScrapeMetrics(catalog, executor);
     fairbc::Timer timer;
     std::vector<QueryResult> results = executor.ExecuteBatch(burst);
     const double total = timer.ElapsedSeconds();
+    const Scrape after = ScrapeMetrics(catalog, executor);
     std::uint64_t coalesced_results = 0;
     for (const QueryResult& r : results) {
       FAIRBC_CHECK(r.status.ok());
       coalesced_results += r.coalesced ? 1 : 0;
     }
-    const auto telemetry = executor.telemetry();
-    FAIRBC_CHECK(telemetry.coalesced == coalesced_results);
-    if (threads > 1 && telemetry.coalesced == 0) {
+    // The scraped counter must agree with the per-result flags — a
+    // registry accounting bug fails the bench, not just a dashboard.
+    const std::uint64_t coalesced =
+        Delta(before, after, "fairbc_query_coalesced_total");
+    FAIRBC_CHECK(coalesced == coalesced_results);
+    if (threads > 1 && coalesced == 0) {
       std::cerr << "WARNING: duplicate-heavy burst saw no coalescing "
                    "(expected on multi-worker pools)\n";
     }
@@ -349,11 +428,12 @@ int main() {
               << ", \"qps\": "
               << fairbc::JsonDouble(static_cast<double>(results.size()) /
                                     total)
-              << ", \"executions\": " << telemetry.executions
-              << ", \"coalesced\": " << telemetry.coalesced
-              << ", \"cache_hits\": " << telemetry.cache.hits
+              << ", \"executions\": "
+              << Delta(before, after, "fairbc_query_executions_total")
+              << ", \"coalesced\": " << coalesced << ", \"cache_hits\": "
+              << Delta(before, after, "fairbc_cache_hits_total")
               << ", \"cache_hit_rate\": "
-              << fairbc::JsonDouble(telemetry.cache.HitRate()) << "},\n";
+              << fairbc::JsonDouble(ScrapedHitRate(before, after)) << "},\n";
   }
 
   // TCP connection axis: the epoll reactor under {100, 1000, 10000}
@@ -408,6 +488,7 @@ int main() {
           continue;
         }
 
+        const Scrape before = ScrapeMetrics(catalog, executor);
         fairbc::Timer connect_timer;
         std::vector<int> fds;
         fds.reserve(conns);
@@ -478,6 +559,7 @@ int main() {
           }
         }
         for (int fd : fds) ::close(fd);
+        const Scrape after = ScrapeMetrics(catalog, executor);
 
         std::cout << ", \"active\": " << active
                   << ", \"rounds\": " << latencies.size()
@@ -492,6 +574,13 @@ int main() {
                   << fairbc::JsonDouble(
                          static_cast<double>(latencies.size()) /
                          std::max(active_seconds, 1e-9))
+                  << ", \"admission_rejections\": "
+                  << Delta(before, after,
+                           "fairbc_server_errors_total{code=\"busy\"}")
+                  << ", \"coalesced\": "
+                  << Delta(before, after, "fairbc_query_coalesced_total")
+                  << ", \"cache_hit_rate\": "
+                  << fairbc::JsonDouble(ScrapedHitRate(before, after))
                   << ", \"idle_sampled\": " << idle_sampled
                   << ", \"idle_verified\": " << idle_verified << "}";
       }

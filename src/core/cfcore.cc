@@ -221,7 +221,9 @@ void ColorfulPhase(const BipartiteGraph& g, Side fair_side,
       fair_side == Side::kLower ? masks.lower_alive : masks.upper_alive;
   {
     ScopedPhaseTimer timer(times != nullptr ? &times->construct_seconds
-                                            : nullptr);
+                                            : nullptr,
+                           ctx != nullptr ? ctx->trace() : nullptr,
+                           "construct");
     h = per_attr
             ? BiConstruct2HopGraph(g, fair_side, common_threshold, masks, ctx)
             : Construct2HopGraph(g, fair_side, common_threshold, masks, ctx);
@@ -241,7 +243,8 @@ void ColorfulPhase(const BipartiteGraph& g, Side fair_side,
 
   Coloring coloring;
   {
-    ScopedPhaseTimer timer(times != nullptr ? &times->color_seconds : nullptr);
+    ScopedPhaseTimer timer(times != nullptr ? &times->color_seconds : nullptr,
+                           ctx != nullptr ? ctx->trace() : nullptr, "color");
     // Jones–Plassmann evaluates the same degree-then-id greedy fixpoint in
     // parallel rounds, so the coloring (and hence the peel below) is
     // byte-identical to the serial GreedyColor path.
@@ -250,7 +253,8 @@ void ColorfulPhase(const BipartiteGraph& g, Side fair_side,
                    : GreedyColor(h, alive);
   }
 
-  ScopedPhaseTimer timer(times != nullptr ? &times->peel_seconds : nullptr);
+  ScopedPhaseTimer timer(times != nullptr ? &times->peel_seconds : nullptr,
+                         ctx != nullptr ? ctx->trace() : nullptr, "peel");
   EgoColorfulCorePeel(h, coloring, k, alive, bytes, ctx);
 }
 

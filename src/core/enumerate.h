@@ -14,6 +14,8 @@
 
 namespace fairbc {
 
+class TraceRecorder;
+
 /// Parameters of the four fair-biclique models (Defs. 3–6).
 struct FairBicliqueParams {
   std::uint32_t alpha = 1;  ///< upper-side size (SSFBC) / per-class (BSFBC).
@@ -85,6 +87,12 @@ struct EnumOptions {
   /// bookkeeping may differ once the search actually runs on several
   /// workers.
   unsigned num_threads = 1;
+  /// Optional per-query span recorder (obs/trace.h): the pipeline and the
+  /// engines emit phase spans (reduce / construct / color / peel /
+  /// enumerate, root fan-out tasks, split subtrees) into it. Not part of
+  /// a query's identity — cache keys and result sets ignore it. null =
+  /// no tracing (the default, and the zero-overhead path).
+  TraceRecorder* trace = nullptr;
 };
 
 /// Counters reported by every enumeration entry point.

@@ -10,6 +10,7 @@
 #include "core/parallel.h"
 #include "core/search_context.h"
 #include "fairness/fair_vector.h"
+#include "obs/trace.h"
 
 namespace fairbc {
 
@@ -223,6 +224,7 @@ class FairBcemEngine {
     for (std::size_t child = 0; child < batch->p.size(); ++child) {
       splitter_->Submit(
           [batch, child, search, min_upper](SearchContext& ctx) {
+            TraceSpan span(ctx.options().trace, "split");
             FairBcemEngine(ctx, *search, min_upper)
                 .RunSubtreeChild(batch, child);
           });
@@ -285,6 +287,7 @@ EnumStats FairBcemRun(const BipartiteGraph& g, const FairBicliqueParams& params,
                                                  sink);
         },
         [&](SearchContext& ctx, std::uint64_t task, ContextSplitter& splitter) {
+          TraceSpan span(options.trace, "root");
           FairBcemEngine(ctx, search, min_upper, &splitter)
               .RunRootBranch(upper_all, candidates, task);
         });

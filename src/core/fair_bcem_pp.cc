@@ -52,6 +52,7 @@ EnumStats FairBcemPpRun(const BipartiteGraph& g,
   config.node_budget = options.node_budget;
   config.time_budget_seconds = options.time_budget_seconds;
   config.num_threads = options.num_threads;
+  config.trace = options.trace;
 
   // The substrate may deliver maximal bicliques from several workers at
   // once (config.num_threads != 1), so everything the per-biclique

@@ -273,7 +273,8 @@ void PeelCoreParallel(const BipartiteGraph& g, std::uint32_t alpha,
 
 void PeelCore(const BipartiteGraph& g, std::uint32_t alpha, std::uint32_t beta,
               bool bi_side, SideMasks& masks, ReductionContext* ctx) {
-  ScopedPhaseTimer timer(ctx != nullptr ? &ctx->times().peel_seconds : nullptr);
+  ScopedPhaseTimer timer(ctx != nullptr ? &ctx->times().peel_seconds : nullptr,
+                         ctx != nullptr ? ctx->trace() : nullptr, "peel");
   ThreadPool* pool = ctx != nullptr ? ctx->pool() : nullptr;
   if (pool != nullptr && pool->num_threads() > 1) {
     PeelCoreParallel(g, alpha, beta, bi_side, masks, *pool);

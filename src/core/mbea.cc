@@ -8,6 +8,7 @@
 #include "core/ordering.h"
 #include "core/parallel.h"
 #include "core/search_context.h"
+#include "obs/trace.h"
 
 namespace fairbc {
 
@@ -208,7 +209,9 @@ class MbeaEngine {
     batch->p.assign(p.begin(), p.end());
     batch->q.assign(q.begin(), q.end());
     for (std::size_t child = 0; child < batch->p.size(); ++child) {
-      splitter_->Submit([batch, child](MbeaEngine& engine) {
+      splitter_->Submit([batch, child, trace = config_.trace](
+                            MbeaEngine& engine) {
+        TraceSpan span(trace, "split");
         engine.RunSubtreeChild(batch, child);
       });
     }
@@ -287,6 +290,7 @@ MbeaStats EnumerateMaximalBicliques(const BipartiteGraph& g,
           return std::make_unique<MbeaEngine>(g, config, budget, sink);
         },
         [&](MbeaEngine& engine, std::uint64_t task, EngineSplitter& splitter) {
+          TraceSpan span(config.trace, "root");
           engine.RunRootBranch(upper_all, candidates, task, &splitter);
         });
     for (const auto& engine : engines) {

@@ -33,6 +33,8 @@ struct MbeaConfig {
   /// Root-branch fan-out workers (same semantics as
   /// EnumOptions::num_threads: 1 = exact serial traversal, 0 = all cores).
   unsigned num_threads = 1;
+  /// Optional span recorder (EnumOptions::trace); root/split task spans.
+  TraceRecorder* trace = nullptr;
 };
 
 struct MbeaStats {

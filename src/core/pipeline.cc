@@ -13,6 +13,7 @@
 #include "core/mbea.h"
 #include "core/parallel.h"
 #include "core/reduction_context.h"
+#include "obs/trace.h"
 
 namespace fairbc {
 
@@ -20,12 +21,13 @@ namespace {
 
 PruneResult RunPruning(const BipartiteGraph& g, const FairBicliqueParams& p,
                        PruningLevel level, bool bi_side, unsigned num_threads,
-                       ReductionPhaseTimes* times) {
+                       TraceRecorder* trace, ReductionPhaseTimes* times) {
   // One ReductionContext serves the whole reduction: it owns the pool
   // (created only when num_threads > 1 — the num_threads == 1 contract is
   // the exact serial front-end), the per-worker construction scratch, and
   // the per-phase construct/color/peel timers.
   ReductionContext ctx(level != PruningLevel::kNone ? num_threads : 1);
+  ctx.set_trace(trace);
 
   PruneResult result;
   switch (level) {
@@ -64,15 +66,19 @@ EnumStats RunPipeline(const BipartiteGraph& g, const FairBicliqueParams& params,
                       const EnumOptions& options, bool bi_side,
                       const BicliqueSink& sink, EngineFn&& engine) {
   Timer prune_timer;
+  TraceSpan reduce_span(options.trace, "reduce");
   ReductionPhaseTimes phase_times;
   PruneResult pruned =
       RunPruning(g, params, options.pruning, bi_side,
-                 ResolveNumThreads(options.num_threads), &phase_times);
+                 ResolveNumThreads(options.num_threads), options.trace,
+                 &phase_times);
   IdMaps maps;
   BipartiteGraph sub = InducedSubgraph(g, pruned.masks, &maps);
+  reduce_span.End();
   const double prune_seconds = prune_timer.ElapsedSeconds();
 
   Timer enum_timer;
+  TraceSpan enum_span(options.trace, "enumerate");
   // The engines may emit from several workers at once; the caller's sink
   // is plain code, so serialize it before handing it down (threading
   // contract in core/enumerate.h). Remapping itself is pure and runs
@@ -87,6 +93,7 @@ EnumStats RunPipeline(const BipartiteGraph& g, const FairBicliqueParams& params,
     BicliqueSink remapped = RemapSink(maps, sink);
     stats = engine(sub, remapped);
   }
+  enum_span.End();
   stats.enum_seconds = enum_timer.ElapsedSeconds();
   stats.prune_seconds = prune_seconds;
   stats.prune_construct_seconds = phase_times.construct_seconds;
@@ -206,8 +213,10 @@ EnumStats EnumerateMaximalBicliquesPruned(const BipartiteGraph& g,
   config.node_budget = options.node_budget;
   config.time_budget_seconds = options.time_budget_seconds;
   config.num_threads = options.num_threads;
+  config.trace = options.trace;
 
   Timer enum_timer;
+  TraceSpan enum_span(options.trace, "enumerate");
   EnumStats stats;
   std::atomic<std::uint64_t> num_results{0};
   MbeaStats mb = EnumerateMaximalBicliques(
@@ -220,6 +229,7 @@ EnumStats EnumerateMaximalBicliquesPruned(const BipartiteGraph& g,
         num_results.fetch_add(1, std::memory_order_relaxed);
         return remapped(b);
       });
+  enum_span.End();
   stats.num_results = num_results.load(std::memory_order_relaxed);
   stats.search_nodes = mb.search_nodes;
   stats.maximal_bicliques_visited = mb.emitted;

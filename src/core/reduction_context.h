@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace fairbc {
 
@@ -48,6 +49,12 @@ class ReductionContext {
   ReductionPhaseTimes& times() { return times_; }
   const ReductionPhaseTimes& times() const { return times_; }
 
+  /// Optional span recorder the phase timers also report into
+  /// (EnumOptions::trace, threaded through the pipeline); null = timing
+  /// only.
+  TraceRecorder* trace() const { return trace_; }
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
   /// Per-worker counter scratch for the 2-hop construction sweeps, grown
   /// to at least `size` and zero-filled on growth. Borrowers must return
   /// it all-zero (the sweeps reset the slots they touched), which is what
@@ -68,16 +75,24 @@ class ReductionContext {
   unsigned num_workers_ = 1;
   std::vector<WorkerScratch> scratch_;
   ReductionPhaseTimes times_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 /// RAII accumulator for one reduction phase: adds the scope's wall-clock
 /// to `*accumulator` on destruction; a null accumulator (null context
-/// path) makes it a no-op.
+/// path) makes it a no-op. With a recorder and a span name, the scope is
+/// also emitted as a trace span (retroactively, at destruction).
 class ScopedPhaseTimer {
  public:
-  explicit ScopedPhaseTimer(double* accumulator) : acc_(accumulator) {}
+  explicit ScopedPhaseTimer(double* accumulator, TraceRecorder* trace = nullptr,
+                            const char* span_name = nullptr)
+      : acc_(accumulator), trace_(trace), span_name_(span_name) {}
   ~ScopedPhaseTimer() {
-    if (acc_ != nullptr) *acc_ += timer_.ElapsedSeconds();
+    const double elapsed = timer_.ElapsedSeconds();
+    if (acc_ != nullptr) *acc_ += elapsed;
+    if (trace_ != nullptr && span_name_ != nullptr) {
+      trace_->RecordEnding(span_name_, elapsed);
+    }
   }
 
   ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
@@ -85,6 +100,8 @@ class ScopedPhaseTimer {
 
  private:
   double* acc_;
+  TraceRecorder* trace_;
+  const char* span_name_;
   Timer timer_;
 };
 

@@ -1,0 +1,178 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace fairbc {
+
+unsigned MetricShardIndex() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id & (kMetricShards - 1);
+}
+
+static_assert((kMetricShards & (kMetricShards - 1)) == 0,
+              "kMetricShards must be a power of two");
+
+unsigned Histogram::Snapshot::QuantileBucket(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cum = 0;
+  for (unsigned i = 0; i < kNumBuckets; ++i) {
+    cum += buckets[i];
+    if (cum >= rank) return i;
+  }
+  return kNumBuckets - 1;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  unsigned b = QuantileBucket(q);
+  if (b >= kFiniteBounds) b = kFiniteBounds - 1;
+  return BucketBoundSeconds(b);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    const char* off = std::getenv("FAIRBC_OBS_OFF");
+    if (off != nullptr && off[0] != '\0' && off[0] != '0') {
+      r->set_enabled(false);
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+MetricsRegistry::Metric* MetricsRegistry::GetOrCreate(Kind kind,
+                                                      std::string_view name,
+                                                      std::string_view help,
+                                                      std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = nullptr;
+  for (auto& f : families_) {
+    if (f->name == name) {
+      family = f.get();
+      break;
+    }
+  }
+  if (family == nullptr) {
+    auto f = std::make_unique<Family>();
+    f->name = std::string(name);
+    f->help = std::string(help);
+    f->kind = kind;
+    families_.push_back(std::move(f));
+    family = families_.back().get();
+  }
+  for (auto& m : family->metrics) {
+    if (m->labels == labels) return m.get();
+  }
+  auto m = std::make_unique<Metric>();
+  m->labels = std::string(labels);
+  switch (kind) {
+    case Kind::kCounter:
+      m->counter.reset(new Counter(&enabled_));
+      break;
+    case Kind::kGauge:
+      m->gauge.reset(new Gauge(&enabled_));
+      break;
+    case Kind::kHistogram:
+      m->histogram.reset(new Histogram(&enabled_));
+      break;
+  }
+  family->metrics.push_back(std::move(m));
+  return family->metrics.back().get();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help,
+                                     std::string_view labels) {
+  return GetOrCreate(Kind::kCounter, name, help, labels)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 std::string_view labels) {
+  return GetOrCreate(Kind::kGauge, name, help, labels)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         std::string_view labels) {
+  return GetOrCreate(Kind::kHistogram, name, help, labels)->histogram.get();
+}
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// name{labels} or name{labels,extra} or name{extra} or name.
+void AppendSeries(std::ostringstream& os, const std::string& name,
+                  const std::string& suffix, const std::string& labels,
+                  const std::string& extra) {
+  os << name << suffix;
+  if (!labels.empty() || !extra.empty()) {
+    os << '{' << labels;
+    if (!labels.empty() && !extra.empty()) os << ',';
+    os << extra << '}';
+  }
+  os << ' ';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& f : families_) {
+    if (!f->help.empty()) os << "# HELP " << f->name << ' ' << f->help << '\n';
+    os << "# TYPE " << f->name << ' '
+       << (f->kind == Kind::kCounter
+               ? "counter"
+               : f->kind == Kind::kGauge ? "gauge" : "histogram")
+       << '\n';
+    for (const auto& m : f->metrics) {
+      switch (f->kind) {
+        case Kind::kCounter:
+          AppendSeries(os, f->name, "", m->labels, "");
+          os << m->counter->Value() << '\n';
+          break;
+        case Kind::kGauge:
+          AppendSeries(os, f->name, "", m->labels, "");
+          os << m->gauge->Value() << '\n';
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot snap = m->histogram->snapshot();
+          std::uint64_t cum = 0;
+          for (unsigned i = 0; i < Histogram::kFiniteBounds; ++i) {
+            cum += snap.buckets[i];
+            AppendSeries(os, f->name, "_bucket", m->labels,
+                         "le=\"" +
+                             FormatDouble(Histogram::BucketBoundSeconds(i)) +
+                             "\"");
+            os << cum << '\n';
+          }
+          AppendSeries(os, f->name, "_bucket", m->labels, "le=\"+Inf\"");
+          os << snap.count << '\n';
+          AppendSeries(os, f->name, "_sum", m->labels, "");
+          os << FormatDouble(snap.sum_seconds) << '\n';
+          AppendSeries(os, f->name, "_count", m->labels, "");
+          os << snap.count << '\n';
+          break;
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace fairbc

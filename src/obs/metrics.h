@@ -1,0 +1,240 @@
+#ifndef FAIRBC_OBS_METRICS_H_
+#define FAIRBC_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fairbc {
+
+/// Number of per-thread shards behind every counter/gauge/histogram.
+/// Threads hash onto shards by a process-wide thread index, so reactors
+/// and pool workers update disjoint cache lines in the common case; the
+/// scrape path sums the shards. A power of two keeps the index a mask.
+inline constexpr unsigned kMetricShards = 16;
+
+/// Process-wide thread index modulo kMetricShards. Assigned once per
+/// thread on first use; stable for the thread's lifetime.
+unsigned MetricShardIndex();
+
+namespace internal {
+
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct alignas(64) GaugeShard {
+  std::atomic<std::int64_t> value{0};
+};
+
+}  // namespace internal
+
+/// Monotonically increasing counter. Increment is wait-free: one relaxed
+/// fetch_add on the calling thread's shard. Value() is a snapshot sum —
+/// exact once all writers are quiescent, monotone under concurrency.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    shards_[MetricShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes all shards. Only for explicit telemetry resets (cache Clear);
+  /// scrapes racing a Reset may observe a non-monotonic step.
+  void Reset() {
+    for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  internal::CounterShard shards_[kMetricShards];
+  const std::atomic<bool>* enabled_;
+};
+
+/// Signed up/down gauge (connections, in-flight queries). Add(+d)/Add(-d)
+/// are wait-free; Value() sums the shards.
+class Gauge {
+ public:
+  void Add(std::int64_t delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    shards_[MetricShardIndex()].value.fetch_add(delta,
+                                                std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  void Decrement() { Add(-1); }
+
+  std::int64_t Value() const {
+    std::int64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  internal::GaugeShard shards_[kMetricShards];
+  const std::atomic<bool>* enabled_;
+};
+
+/// Fixed log-bucketed latency histogram over seconds. Bucket upper bounds
+/// are 2^i microseconds for i in [0, kFiniteBounds), plus +Inf — the same
+/// layout for every histogram in the process, so percentiles from
+/// different scrapes are always comparable. Observe() is wait-free (one
+/// shard bucket add + one shard nanosecond-sum add).
+class Histogram {
+ public:
+  /// Finite bucket bounds: 1us, 2us, ... 2^36us (~19h).
+  static constexpr unsigned kFiniteBounds = 37;
+  static constexpr unsigned kNumBuckets = kFiniteBounds + 1;  // + (+Inf)
+
+  /// Bucket index for a latency in seconds (last index = +Inf bucket).
+  static unsigned BucketIndex(double seconds) {
+    const double us = seconds * 1e6;
+    if (!(us > 1.0)) return 0;  // NaN/negative land in the first bucket.
+    const double ceil_us = std::ceil(us);
+    if (ceil_us >= 9.3e18) return kFiniteBounds;
+    const auto u = static_cast<std::uint64_t>(ceil_us);
+    const unsigned i = static_cast<unsigned>(std::bit_width(u - 1));
+    return i < kFiniteBounds ? i : kFiniteBounds;
+  }
+
+  /// Upper bound of finite bucket `i`, in seconds.
+  static double BucketBoundSeconds(unsigned i) {
+    return static_cast<double>(std::uint64_t{1} << i) * 1e-6;
+  }
+
+  void Observe(double seconds) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    Shard& s = shards_[MetricShardIndex()];
+    s.buckets[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
+    const double ns = seconds * 1e9;
+    const std::uint64_t add =
+        ns > 0 ? static_cast<std::uint64_t>(std::llround(ns)) : 0;
+    s.sum_ns.fetch_add(add, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::uint64_t buckets[kNumBuckets] = {};  ///< per-bucket (not cumulative)
+    std::uint64_t count = 0;
+    double sum_seconds = 0.0;
+
+    /// Index of the bucket containing the q-quantile sample
+    /// (rank = ceil(q * count), 1-based); 0 when empty.
+    unsigned QuantileBucket(double q) const;
+    /// Upper bound (seconds) of the quantile's bucket — matches a sorted-
+    /// vector oracle to within one bucket by construction. For the +Inf
+    /// bucket, returns the last finite bound.
+    double Quantile(double q) const;
+  };
+  Snapshot snapshot() const {
+    Snapshot out;
+    for (const auto& s : shards_) {
+      for (unsigned i = 0; i < kNumBuckets; ++i) {
+        out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+      }
+      out.sum_seconds +=
+          static_cast<double>(s.sum_ns.load(std::memory_order_relaxed)) * 1e-9;
+    }
+    for (unsigned i = 0; i < kNumBuckets; ++i) out.count += out.buckets[i];
+    return out;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> buckets[kNumBuckets] = {};
+    std::atomic<std::uint64_t> sum_ns{0};
+  };
+  Shard shards_[kMetricShards];
+  const std::atomic<bool>* enabled_;
+};
+
+/// Registry of named metrics with Prometheus text exposition.
+///
+/// Instantiable on purpose: the server process routes everything through
+/// Global(), while tests and benches give each executor a private
+/// registry so counts stay exact per instance. Registration
+/// (GetCounter/GetGauge/GetHistogram) is mutex-guarded and idempotent —
+/// the same (name, labels) returns the same metric, so two components
+/// may declare the same counter. Update paths never touch the mutex.
+///
+/// Metrics sharing a name form one family (same HELP/TYPE, one block in
+/// the exposition) and differ by their label string, e.g.
+/// GetCounter("fairbc_server_errors_total", help, "code=\"busy\"").
+class MetricsRegistry {
+ public:
+  MetricsRegistry() : enabled_(true) {}
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (the server binary's). Honors
+  /// FAIRBC_OBS_OFF=1 in the environment: the registry still exists and
+  /// scrapes (all zeros), but every update is a no-op.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name, std::string_view help,
+                      std::string_view labels = "");
+  Gauge* GetGauge(std::string_view name, std::string_view help,
+                  std::string_view labels = "");
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          std::string_view labels = "");
+
+  /// Prometheus text exposition (version 0.0.4) of every registered
+  /// metric, grouped by family in registration order. Safe to call while
+  /// writers are updating.
+  std::string PrometheusText() const;
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Metric {
+    std::string labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::vector<std::unique_ptr<Metric>> metrics;
+  };
+
+  Metric* GetOrCreate(Kind kind, std::string_view name, std::string_view help,
+                      std::string_view labels);
+
+  std::atomic<bool> enabled_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Family>> families_;  // registration order
+};
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_OBS_METRICS_H_

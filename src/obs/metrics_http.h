@@ -1,0 +1,49 @@
+#ifndef FAIRBC_OBS_METRICS_HTTP_H_
+#define FAIRBC_OBS_METRICS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace fairbc {
+
+class MetricsRegistry;
+
+/// Minimal HTTP/1.0 exposition endpoint for Prometheus scrapes
+/// (`--metrics-port`). One blocking accept thread; each connection gets
+/// the registry's current text and is closed — deliberately outside the
+/// reactor so a stuck scrape can never stall query traffic, and cheap
+/// because scrape cadence is seconds, not microseconds. Any request path
+/// returns the metrics (scrapers conventionally use /metrics).
+class MetricsHttpServer {
+ public:
+  explicit MetricsHttpServer(MetricsRegistry* registry)
+      : registry_(registry) {}
+  ~MetricsHttpServer() { Stop(); }
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 0.0.0.0:`port` (0 = ephemeral) and starts serving. Returns
+  /// false (with a message in *error) on bind failure.
+  bool Start(std::uint16_t port, std::string* error);
+
+  /// The bound port (after Start); 0 when not running.
+  std::uint16_t port() const { return port_; }
+
+  void Stop();
+
+ private:
+  void AcceptLoop();
+
+  MetricsRegistry* registry_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_OBS_METRICS_HTTP_H_

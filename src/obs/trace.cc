@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fairbc {
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]),
+      origin_(std::chrono::steady_clock::now()) {}
+
+std::uint32_t TraceRecorder::ThreadTid() {
+  thread_local const TraceRecorder* cached_rec = nullptr;
+  thread_local std::uint32_t cached_tid = 0;
+  if (cached_rec != this) {
+    cached_rec = this;
+    cached_tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return cached_tid;
+}
+
+std::vector<TraceSpanData> TraceRecorder::Snapshot() const {
+  const std::size_t n =
+      std::min(next_.load(std::memory_order_relaxed), capacity_);
+  std::vector<TraceSpanData> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!slots_[i].ready.load(std::memory_order_acquire)) continue;
+    out.push_back(slots_[i].data);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceSpanData& a, const TraceSpanData& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.dur_us > b.dur_us;  // enclosing span first
+            });
+  return out;
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+void TraceRing::Push(std::shared_ptr<const TraceRecorder> trace) {
+  const std::uint64_t i = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[i % capacity_];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  slot.trace = std::move(trace);
+}
+
+std::vector<std::shared_ptr<const TraceRecorder>> TraceRing::Snapshot(
+    std::size_t max_n) const {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t available =
+      std::min<std::uint64_t>(head, capacity_);
+  std::vector<std::shared_ptr<const TraceRecorder>> out;
+  out.reserve(std::min<std::uint64_t>(available, max_n));
+  for (std::uint64_t k = 0; k < available && out.size() < max_n; ++k) {
+    const Slot& slot = slots_[(head - 1 - k) % capacity_];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (slot.trace != nullptr) out.push_back(slot.trace);
+  }
+  return out;
+}
+
+namespace {
+
+// Minimal JSON string escape (obs must not depend on the service layer).
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatMicros(double us) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+}  // namespace
+
+std::string TraceEventsJson(const TraceRecorder& rec) {
+  std::ostringstream os;
+  os << "{\"label\":\"" << EscapeJson(rec.label()) << "\",\"wall_ms\":"
+     << FormatMicros(rec.wall_seconds() * 1e3) << ",\"dropped\":"
+     << rec.dropped() << ",\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpanData& s : rec.Snapshot()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << EscapeJson(s.name != nullptr ? s.name : "")
+       << "\",\"cat\":\"query\",\"ph\":\"X\",\"ts\":" << FormatMicros(s.ts_us)
+       << ",\"dur\":" << FormatMicros(s.dur_us) << ",\"pid\":1,\"tid\":"
+       << s.tid << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace fairbc

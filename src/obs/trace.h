@@ -1,0 +1,211 @@
+#ifndef FAIRBC_OBS_TRACE_H_
+#define FAIRBC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fairbc {
+
+/// One completed span, in microseconds since the recorder's origin.
+struct TraceSpanData {
+  const char* name = nullptr;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+};
+
+/// Bounded per-query span buffer. Emitters (reactor thread, runner
+/// thread, enumeration pool workers) reserve a slot with one fetch_add
+/// and publish it with one release store — no locks, no allocation after
+/// construction. When the buffer fills, further spans are counted in
+/// dropped() and discarded; the reserve-at-begin discipline of TraceSpan
+/// means a flood of deep leaf spans can never crowd out the enclosing
+/// phase spans, which reserved first.
+///
+/// Span names must outlive the recorder (string literals in practice).
+/// Timestamps are microseconds on the steady clock since construction.
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit TraceRecorder(std::size_t capacity = kDefaultCapacity);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Microseconds since the recorder was created (steady clock).
+  double NowMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+  /// Claims a slot for a span that will be committed later; -1 when full
+  /// (the span is counted as dropped).
+  int Reserve() {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return -1;
+    }
+    return static_cast<int>(i);
+  }
+
+  /// Publishes a reserved slot. The tid is the calling thread's.
+  void Commit(int slot, const char* name, double ts_us, double dur_us) {
+    if (slot < 0) return;
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    s.data.name = name;
+    s.data.ts_us = ts_us;
+    s.data.dur_us = dur_us;
+    s.data.tid = ThreadTid();
+    s.ready.store(true, std::memory_order_release);
+  }
+
+  /// Reserve + Commit in one call, for retroactively recorded spans
+  /// (e.g. a phase timer that only knows its duration at scope exit).
+  void Record(const char* name, double ts_us, double dur_us) {
+    Commit(Reserve(), name, ts_us, dur_us);
+  }
+
+  /// Records a span of `dur_seconds` ending now.
+  void RecordEnding(const char* name, double dur_seconds) {
+    const double dur_us = dur_seconds * 1e6;
+    const double now = NowMicros();
+    Record(name, now > dur_us ? now - dur_us : 0.0, dur_us);
+  }
+
+  /// Completed spans, sorted by start time. Safe concurrently with
+  /// emitters: unpublished slots are skipped.
+  std::vector<TraceSpanData> Snapshot() const;
+
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Small dense per-recorder thread id for the calling thread (Chrome
+  /// trace tid). Cached thread-locally, so it is one branch per call in
+  /// the steady state.
+  std::uint32_t ThreadTid();
+
+  // Metadata stamped by the owner before the trace is published; not
+  // synchronized against concurrent span emission — set them only from
+  // the owning thread once the enumeration has returned.
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+  void set_wall_seconds(double s) { wall_seconds_ = s; }
+  double wall_seconds() const { return wall_seconds_; }
+
+ private:
+  struct Slot {
+    TraceSpanData data;
+    std::atomic<bool> ready{false};
+  };
+
+  const std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint32_t> next_tid_{0};
+  std::chrono::steady_clock::time_point origin_;
+  std::string label_;
+  double wall_seconds_ = 0.0;
+};
+
+/// RAII span: reserves its slot at construction (so enclosing spans
+/// survive buffer exhaustion), measures wall time, commits at End() or
+/// destruction. A null recorder makes every operation a no-op — the
+/// disabled path costs one pointer test.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* rec, const char* name) : rec_(rec), name_(name) {
+    if (rec_ != nullptr) {
+      slot_ = rec_->Reserve();
+      start_us_ = rec_->NowMicros();
+    }
+  }
+  ~TraceSpan() { End(); }
+
+  TraceSpan(TraceSpan&& other) noexcept
+      : rec_(other.rec_),
+        name_(other.name_),
+        slot_(other.slot_),
+        start_us_(other.start_us_) {
+    other.rec_ = nullptr;
+  }
+  TraceSpan& operator=(TraceSpan&& other) noexcept {
+    if (this != &other) {
+      End();
+      rec_ = other.rec_;
+      name_ = other.name_;
+      slot_ = other.slot_;
+      start_us_ = other.start_us_;
+      other.rec_ = nullptr;
+    }
+    return *this;
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span early; idempotent.
+  void End() {
+    if (rec_ == nullptr) return;
+    rec_->Commit(slot_, name_, start_us_, rec_->NowMicros() - start_us_);
+    rec_ = nullptr;
+  }
+
+ private:
+  TraceRecorder* rec_;
+  const char* name_ = nullptr;
+  int slot_ = -1;
+  double start_us_ = 0.0;
+};
+
+/// Bounded ring of recently retained traces (the slow-query log's
+/// storage). Push claims a slot with one fetch_add; the shared_ptr swap
+/// itself is guarded by a per-slot mutex, touched only on the claimed
+/// slot — pushes to different slots never contend.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+
+  void Push(std::shared_ptr<const TraceRecorder> trace);
+
+  /// Up to `max_n` most recently pushed traces, newest first.
+  std::vector<std::shared_ptr<const TraceRecorder>> Snapshot(
+      std::size_t max_n) const;
+
+  std::uint64_t pushed() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    std::shared_ptr<const TraceRecorder> trace;
+  };
+
+  const std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// Chrome trace-event JSON for one recorder:
+///   {"label":...,"wall_ms":...,"dropped":N,"traceEvents":[
+///     {"name":...,"cat":"query","ph":"X","ts":...,"dur":...,"pid":1,"tid":N},
+///     ...]}
+/// Loadable directly in Perfetto / chrome://tracing (extra top-level keys
+/// are ignored by both).
+std::string TraceEventsJson(const TraceRecorder& rec);
+
+}  // namespace fairbc
+
+#endif  // FAIRBC_OBS_TRACE_H_

@@ -2,6 +2,7 @@
 #define FAIRBC_SERVICE_QUERY_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "core/enumerate.h"
 #include "core/pipeline.h"
 #include "core/verify.h"
+#include "obs/trace.h"
 
 namespace fairbc {
 
@@ -88,6 +90,12 @@ struct QueryResult {
   double seconds = 0.0;  ///< wall clock incl. catalog/cache bookkeeping.
   std::uint64_t graph_version = 0;
   std::vector<Biclique> bicliques;  ///< filled iff include_bicliques.
+  /// Phase spans of this execution, when the executor ran with tracing
+  /// enabled (QueryExecutorOptions::slow_query_ms >= 0) and this result
+  /// came from a real enumeration (never cache hits or coalesced
+  /// waiters). The server appends its serialize span post-hoc; consumers
+  /// render it with TraceEventsJson.
+  std::shared_ptr<TraceRecorder> trace;
 };
 
 /// Canonical ResultCache key: everything that determines the result set

@@ -1,13 +1,67 @@
 #include "service/query_executor.h"
 
 #include <optional>
+#include <sstream>
 #include <utility>
 
 namespace fairbc {
 
 QueryExecutor::QueryExecutor(const GraphCatalog& catalog,
                              const QueryExecutorOptions& options)
-    : catalog_(catalog), cache_(options.cache_capacity) {
+    : catalog_(catalog),
+      owned_metrics_(options.metrics == nullptr
+                         ? std::make_unique<MetricsRegistry>()
+                         : nullptr),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : owned_metrics_.get()),
+      queries_(metrics_->GetCounter("fairbc_queries_total",
+                                    "Queries admitted by the executor.")),
+      executions_(metrics_->GetCounter("fairbc_query_executions_total",
+                                       "Enumerations actually run.")),
+      coalesced_(metrics_->GetCounter(
+          "fairbc_query_coalesced_total",
+          "Queries served by joining an identical in-flight execution.")),
+      failures_(metrics_->GetCounter("fairbc_query_failures_total",
+                                     "Queries completed with an error.")),
+      slow_retained_(metrics_->GetCounter(
+          "fairbc_slow_queries_total",
+          "Query traces retained by the slow-query threshold.")),
+      async_pending_(metrics_->GetGauge(
+          "fairbc_inflight_queries",
+          "Async queries admitted but not yet completed.")),
+      query_seconds_(metrics_->GetHistogram(
+          "fairbc_query_seconds", "Wall clock of executed queries.")),
+      phase_construct_(metrics_->GetHistogram(
+          "fairbc_query_phase_seconds", "Per-phase query latency.",
+          "phase=\"construct\"")),
+      phase_color_(metrics_->GetHistogram("fairbc_query_phase_seconds",
+                                          "Per-phase query latency.",
+                                          "phase=\"color\"")),
+      phase_peel_(metrics_->GetHistogram("fairbc_query_phase_seconds",
+                                         "Per-phase query latency.",
+                                         "phase=\"peel\"")),
+      phase_enumerate_(metrics_->GetHistogram("fairbc_query_phase_seconds",
+                                              "Per-phase query latency.",
+                                              "phase=\"enumerate\"")),
+      kernel_calls_(metrics_->GetCounter(
+          "fairbc_kernel_calls_total",
+          "Intersection-kernel invocations (core/kernels.h).")),
+      kernel_steps_(metrics_->GetCounter("fairbc_kernel_steps_total",
+                                         "Intersection-kernel work steps.")),
+      kernel_merge_(metrics_->GetCounter("fairbc_kernel_dispatch_total",
+                                         "Kernel dispatch decisions.",
+                                         "kernel=\"merge\"")),
+      kernel_gallop_(metrics_->GetCounter("fairbc_kernel_dispatch_total",
+                                          "Kernel dispatch decisions.",
+                                          "kernel=\"gallop\"")),
+      kernel_bitset_(metrics_->GetCounter("fairbc_kernel_dispatch_total",
+                                          "Kernel dispatch decisions.",
+                                          "kernel=\"bitset\"")),
+      cache_(options.cache_capacity, metrics_),
+      slow_query_ms_(options.slow_query_ms),
+      trace_span_capacity_(options.trace_span_capacity),
+      trace_ring_(options.trace_ring_capacity),
+      slow_query_log_(options.slow_query_log) {
   const unsigned n = ResolveNumThreads(options.num_threads);
   runners_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
@@ -49,14 +103,41 @@ void QueryExecutor::RunnerLoop() {
   }
 }
 
+std::shared_ptr<TraceRecorder> QueryExecutor::MaybeStartTrace() const {
+  if (!tracing_enabled()) return nullptr;
+  return std::make_shared<TraceRecorder>(trace_span_capacity_);
+}
+
+void QueryExecutor::FinalizeTrace(const QueryRequest& request,
+                                  std::shared_ptr<TraceRecorder> trace,
+                                  QueryResult* out) {
+  if (trace == nullptr) return;
+  std::ostringstream label;
+  label << request.graph << ' ' << ToString(request.model) << '/'
+        << ToString(request.algo) << " alpha=" << request.params.alpha
+        << " beta=" << request.params.beta
+        << " delta=" << request.params.delta;
+  trace->set_label(label.str());
+  trace->set_wall_seconds(out->seconds);
+  out->trace = trace;
+  if (out->seconds * 1e3 >= slow_query_ms_) {
+    trace_ring_.Push(trace);
+    slow_retained_->Increment();
+    if (slow_query_log_) slow_query_log_(request, *out);
+  }
+}
+
 void QueryExecutor::RunQuery(const QueryRequest& request,
-                             const BipartiteGraph& graph, QueryResult* out) {
+                             const BipartiteGraph& graph, QueryResult* out,
+                             TraceRecorder* trace) {
   std::function<void(const QueryRequest&)> hook;
   {
     std::lock_guard<std::mutex> lock(hook_mu_);
     hook = execute_hook_;
   }
   if (hook) hook(request);
+  TraceSpan span(trace, "execute");
+  Timer run_timer;
   DigestAccumulator digest;
   BicliqueSink inner;
   if (request.include_bicliques) {
@@ -67,14 +148,35 @@ void QueryExecutor::RunQuery(const QueryRequest& request,
   } else {
     inner = [](const Biclique&) { return true; };
   }
+  EnumOptions options = request.options;
+  options.trace = trace;
   // The pipeline entry points serialize sink invocation, so the plain
   // accumulator and vector push_back are safe at any num_threads.
   out->summary.stats =
       RunEnumeration(graph, request.model, request.algo, request.params,
-                     request.options, digest.Wrap(std::move(inner)));
+                     options, digest.Wrap(std::move(inner)));
   digest.FillSummary(&out->summary);
   out->effective_threads = ResolveNumThreads(request.options.num_threads);
-  executions_.fetch_add(1, std::memory_order_relaxed);
+  span.End();
+
+  const EnumStats& stats = out->summary.stats;
+  executions_->Increment();
+  query_seconds_->Observe(run_timer.ElapsedSeconds());
+  if (stats.prune_construct_seconds > 0) {
+    phase_construct_->Observe(stats.prune_construct_seconds);
+  }
+  if (stats.prune_color_seconds > 0) {
+    phase_color_->Observe(stats.prune_color_seconds);
+  }
+  if (stats.prune_peel_seconds > 0) {
+    phase_peel_->Observe(stats.prune_peel_seconds);
+  }
+  phase_enumerate_->Observe(stats.enum_seconds);
+  kernel_calls_->Increment(stats.kernels.calls);
+  kernel_steps_->Increment(stats.kernels.steps);
+  kernel_merge_->Increment(stats.kernels.merge);
+  kernel_gallop_->Increment(stats.kernels.gallop);
+  kernel_bitset_->Increment(stats.kernels.bitset);
 }
 
 void QueryExecutor::FinishLeader(const std::string& key,
@@ -99,14 +201,14 @@ void QueryExecutor::FinishLeader(const std::string& key,
   }
   slot->cv.notify_all();
   for (InFlight::Waiter& w : waiters) {
-    async_pending_.fetch_sub(1, std::memory_order_relaxed);
+    async_pending_->Decrement();
     if (complete) {
       QueryResult adopted;
       adopted.summary = summary;
       adopted.coalesced = true;
       adopted.graph_version = w.graph_version;
       adopted.seconds = w.timer.ElapsedSeconds();
-      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      coalesced_->Increment();
       w.done(std::move(adopted));
     } else {
       // Partial leader run (deadline/budget tripped): never adopted.
@@ -119,14 +221,20 @@ void QueryExecutor::FinishLeader(const std::string& key,
 
 QueryResult QueryExecutor::Execute(const QueryRequest& request) {
   Timer timer;
+  queries_->Increment();
   QueryResult out;
   std::shared_ptr<const CatalogEntry> entry = catalog_.Get(request.graph);
   if (entry == nullptr) {
     out.status = Status::NotFound("unknown graph: " + request.graph);
     out.seconds = timer.ElapsedSeconds();
+    failures_->Increment();
     return out;
   }
   out.graph_version = entry->version;
+
+  std::shared_ptr<TraceRecorder> trace = MaybeStartTrace();
+  TraceSpan root_span(trace.get(), "query");
+  TraceSpan admission_span(trace.get(), "admission");
 
   const std::string key = CanonicalCacheKey(request, entry->version);
   // Only summary-only cacheable queries can share results — with someone
@@ -155,7 +263,7 @@ QueryResult QueryExecutor::Execute(const QueryRequest& request) {
         out.summary = *hit;
         out.cache_hit = true;
         out.seconds = timer.ElapsedSeconds();
-        return out;
+        return out;  // trace discarded: nothing ran.
       }
       auto it = inflight_.find(key);
       if (it != inflight_.end()) {
@@ -179,16 +287,18 @@ QueryResult QueryExecutor::Execute(const QueryRequest& request) {
       if (!slot->shareable) continue;  // partial leader run; run ourselves.
       out.summary = slot->summary;
       out.coalesced = true;
-      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      coalesced_->Increment();
       out.seconds = timer.ElapsedSeconds();
       return out;
     }
 
-    RunQuery(request, entry->graph, &out);
+    admission_span.End();
+    RunQuery(request, entry->graph, &out, trace.get());
 
     // Partial runs (deadline/budget tripped) must not poison the cache —
     // and must not be adopted by waiters, whose own budgets may differ.
     const bool complete = !out.summary.stats.budget_exhausted;
+    TraceSpan publish_span(trace.get(), "publish");
     if (slot != nullptr) {
       FinishLeader(key, slot, out.summary, complete);
     } else if (request.use_cache && complete) {
@@ -197,21 +307,30 @@ QueryResult QueryExecutor::Execute(const QueryRequest& request) {
       // summary for later summary-only queries.
       cache_.Insert(key, out.summary);
     }
+    publish_span.End();
+    root_span.End();
     out.seconds = timer.ElapsedSeconds();
+    FinalizeTrace(request, std::move(trace), &out);
     return out;
   }
 }
 
 void QueryExecutor::ExecuteAsync(const QueryRequest& request, Completion done) {
   Timer timer;
+  queries_->Increment();
   std::shared_ptr<const CatalogEntry> entry = catalog_.Get(request.graph);
   if (entry == nullptr) {
     QueryResult out;
     out.status = Status::NotFound("unknown graph: " + request.graph);
     out.seconds = timer.ElapsedSeconds();
+    failures_->Increment();
     done(std::move(out));
     return;
   }
+
+  std::shared_ptr<TraceRecorder> trace = MaybeStartTrace();
+  TraceSpan root_span(trace.get(), "query");
+  TraceSpan admission_span(trace.get(), "admission");
 
   const std::string key = CanonicalCacheKey(request, entry->version);
   const bool shareable = request.use_cache && !request.include_bicliques;
@@ -236,10 +355,10 @@ void QueryExecutor::ExecuteAsync(const QueryRequest& request, Completion done) {
           if (may_wait) {
             // The whole point of completion-list single-flight: the
             // duplicate costs one vector slot, not one parked thread.
-            async_pending_.fetch_add(1, std::memory_order_relaxed);
+            async_pending_->Increment();
             it->second->waiters.push_back(
                 {request, std::move(done), timer, entry->version});
-            return;
+            return;  // trace discarded: the leader's run is the story.
           }
           // Budgeted duplicate: run unshared (slot stays null).
         } else {
@@ -254,20 +373,35 @@ void QueryExecutor::ExecuteAsync(const QueryRequest& request, Completion done) {
     }
   }
 
-  async_pending_.fetch_add(1, std::memory_order_relaxed);
+  admission_span.End();
+  async_pending_->Increment();
+  const double queued_start_us = trace != nullptr ? trace->NowMicros() : 0.0;
+  // std::function demands a copyable target, so the move-only root span
+  // rides in a shared_ptr (the task is only ever invoked once).
+  auto moved_root =
+      std::make_shared<TraceSpan>(std::move(root_span));
   PostToRunner([this, request, done = std::move(done), entry = std::move(entry),
-                key, slot, timer]() mutable {
+                key, slot, timer, trace = std::move(trace),
+                root_span = std::move(moved_root), queued_start_us]() mutable {
+    if (trace != nullptr) {
+      trace->Record("queued", queued_start_us,
+                    trace->NowMicros() - queued_start_us);
+    }
     QueryResult out;
     out.graph_version = entry->version;
-    RunQuery(request, entry->graph, &out);
+    RunQuery(request, entry->graph, &out, trace.get());
     const bool complete = !out.summary.stats.budget_exhausted;
+    TraceSpan publish_span(trace.get(), "publish");
     if (slot != nullptr) {
       FinishLeader(key, slot, out.summary, complete);
     } else if (request.use_cache && complete) {
       cache_.Insert(key, out.summary);
     }
+    publish_span.End();
+    root_span->End();
     out.seconds = timer.ElapsedSeconds();
-    async_pending_.fetch_sub(1, std::memory_order_relaxed);
+    FinalizeTrace(request, std::move(trace), &out);
+    async_pending_->Decrement();
     done(std::move(out));
   });
 }
@@ -302,8 +436,8 @@ std::vector<QueryResult> QueryExecutor::ExecuteBatch(
 QueryExecutor::Telemetry QueryExecutor::telemetry() const {
   Telemetry t;
   t.cache = cache_.telemetry();
-  t.executions = executions_.load(std::memory_order_relaxed);
-  t.coalesced = coalesced_.load(std::memory_order_relaxed);
+  t.executions = executions_->Value();
+  t.coalesced = coalesced_->Value();
   return t;
 }
 

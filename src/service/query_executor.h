@@ -14,6 +14,8 @@
 
 #include "common/timer.h"
 #include "core/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/graph_catalog.h"
 #include "service/query.h"
 #include "service/result_cache.h"
@@ -28,6 +30,24 @@ struct QueryExecutorOptions {
   unsigned num_threads = 0;
   /// ResultCache capacity in entries; 0 disables cross-query reuse.
   std::size_t cache_capacity = 256;
+  /// Registry all executor and cache telemetry reports through. null =
+  /// the executor owns a private registry (exact per-instance counts —
+  /// what tests and benches want); the server passes
+  /// MetricsRegistry::Global() so one scrape covers the process.
+  MetricsRegistry* metrics = nullptr;
+  /// Per-query tracing threshold in milliseconds. < 0 (default) disables
+  /// tracing entirely — the zero-overhead path. >= 0: every executed
+  /// query records phase spans; those whose wall clock reaches the
+  /// threshold are retained in the recent-trace ring (0 retains every
+  /// executed query — how the smoke test captures a trace per query).
+  double slow_query_ms = -1.0;
+  /// Capacity of the retained-trace ring (`trace` command history).
+  std::size_t trace_ring_capacity = 32;
+  /// Span capacity of each per-query trace buffer.
+  std::size_t trace_span_capacity = 4096;
+  /// Invoked (from the executing thread) for every retained slow-query
+  /// trace; the server installs a stderr logger here.
+  std::function<void(const QueryRequest&, const QueryResult&)> slow_query_log;
 };
 
 /// Concurrent query engine over a GraphCatalog: runs whole queries on a
@@ -65,6 +85,13 @@ struct QueryExecutorOptions {
 /// Per-query deadlines/budgets ride on EnumOptions inside the request
 /// (SearchBudget in the engines); a query hitting its budget reports
 /// stats.budget_exhausted and is never cached.
+///
+/// Observability: every counter lives in the MetricsRegistry
+/// (fairbc_query_* / fairbc_kernel_* families, plus the cache's
+/// fairbc_cache_*); telemetry() reads through it. With tracing enabled
+/// (slow_query_ms >= 0) each executed query records a span tree —
+/// query → admission / queued / execute (→ reduce → construct/color/peel,
+/// enumerate → root/split) / publish — and outliers land in traces().
 class QueryExecutor {
  public:
   using Completion = std::function<void(QueryResult)>;
@@ -107,7 +134,9 @@ class QueryExecutor {
   std::vector<QueryResult> ExecuteBatch(
       const std::vector<QueryRequest>& requests);
 
-  /// Executor-level counters on top of the cache's own telemetry.
+  /// Executor-level counters on top of the cache's own telemetry — a
+  /// registry read-through (single source of truth), kept as a struct so
+  /// the `cache` JSON shape stays stable.
   struct Telemetry {
     ResultCache::Telemetry cache;
     std::uint64_t executions = 0;  ///< enumerations actually run.
@@ -115,17 +144,14 @@ class QueryExecutor {
   };
   Telemetry telemetry() const;
 
-  std::uint64_t execution_count() const {
-    return executions_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t coalesced_count() const {
-    return coalesced_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t execution_count() const { return executions_->Value(); }
+  std::uint64_t coalesced_count() const { return coalesced_->Value(); }
 
   /// Async executions admitted but not yet completed (leaders + unshared
   /// runs + registered waiters). Telemetry/test aid.
   std::uint64_t async_pending() const {
-    return async_pending_.load(std::memory_order_relaxed);
+    const std::int64_t v = async_pending_->Value();
+    return v > 0 ? static_cast<std::uint64_t>(v) : 0;
   }
 
   /// Test seam: invoked on the executing thread right before each real
@@ -143,6 +169,14 @@ class QueryExecutor {
   unsigned num_threads() const {
     return static_cast<unsigned>(runners_.size());
   }
+
+  /// The registry this executor reports into (never null).
+  MetricsRegistry* metrics() const { return metrics_; }
+  /// Ring of retained slow-query traces (the `trace` command's source).
+  TraceRing& traces() { return trace_ring_; }
+  const TraceRing& traces() const { return trace_ring_; }
+  bool tracing_enabled() const { return slow_query_ms_ >= 0.0; }
+  double slow_query_ms() const { return slow_query_ms_; }
 
  private:
   /// One in-flight execution. Sync waiters block on `cv` (their own
@@ -166,9 +200,11 @@ class QueryExecutor {
   };
 
   /// Runs the enumeration for `request` against `graph` into `out`
-  /// (digest accumulation, optional biclique collection, stats).
+  /// (digest accumulation, optional biclique collection, stats) under an
+  /// "execute" span on `trace` (null = untraced), then folds the run's
+  /// stats into the registry histograms and kernel counters.
   void RunQuery(const QueryRequest& request, const BipartiteGraph& graph,
-                QueryResult* out);
+                QueryResult* out, TraceRecorder* trace);
 
   /// Leader epilogue shared by Execute and the async runner task:
   /// publishes to the cache, retires the slot, wakes sync waiters and
@@ -177,18 +213,47 @@ class QueryExecutor {
                     const std::shared_ptr<InFlight>& slot,
                     const QuerySummary& summary, bool complete);
 
+  /// Fresh per-query recorder, or null when tracing is off.
+  std::shared_ptr<TraceRecorder> MaybeStartTrace() const;
+
+  /// Stamps metadata on the recorder, attaches it to `out`, and retains
+  /// it in the ring (+ slow-query log) when out->seconds reaches the
+  /// threshold. Requires out->seconds to be final.
+  void FinalizeTrace(const QueryRequest& request,
+                     std::shared_ptr<TraceRecorder> trace, QueryResult* out);
+
   /// Posts one closure to the runner pool.
   void PostToRunner(std::function<void()> task);
   void RunnerLoop();
 
   const GraphCatalog& catalog_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // before cache_: it
+  MetricsRegistry* metrics_;                        // registers counters.
+  Counter* queries_;         ///< admissions (every Execute/ExecuteAsync).
+  Counter* executions_;      ///< enumerations actually run.
+  Counter* coalesced_;       ///< served by joining a leader.
+  Counter* failures_;        ///< results with !status.ok().
+  Counter* slow_retained_;   ///< traces retained in the ring.
+  Gauge* async_pending_;     ///< admitted-but-uncompleted async queries.
+  Histogram* query_seconds_;
+  Histogram* phase_construct_;
+  Histogram* phase_color_;
+  Histogram* phase_peel_;
+  Histogram* phase_enumerate_;
+  Counter* kernel_calls_;
+  Counter* kernel_steps_;
+  Counter* kernel_merge_;
+  Counter* kernel_gallop_;
+  Counter* kernel_bitset_;
   ResultCache cache_;
+  const double slow_query_ms_;
+  const std::size_t trace_span_capacity_;
+  TraceRing trace_ring_;
+  std::function<void(const QueryRequest&, const QueryResult&)>
+      slow_query_log_;
 
   std::mutex inflight_mu_;
   std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
-  std::atomic<std::uint64_t> executions_{0};
-  std::atomic<std::uint64_t> coalesced_{0};
-  std::atomic<std::uint64_t> async_pending_{0};
   std::mutex hook_mu_;
   std::function<void(const QueryRequest&)> execute_hook_;  // guarded by hook_mu_
 

@@ -2,20 +2,38 @@
 
 namespace fairbc {
 
+ResultCache::ResultCache(std::size_t capacity, MetricsRegistry* metrics)
+    : capacity_(capacity) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  hits_ = metrics->GetCounter("fairbc_cache_hits_total",
+                              "Result-cache lookups served from the cache.");
+  misses_ = metrics->GetCounter("fairbc_cache_misses_total",
+                                "Result-cache lookups that missed.");
+  insertions_ = metrics->GetCounter("fairbc_cache_insertions_total",
+                                    "Summaries inserted into the cache.");
+  evictions_ = metrics->GetCounter("fairbc_cache_evictions_total",
+                                   "LRU evictions from the cache.");
+  entries_ = metrics->GetGauge("fairbc_cache_entries",
+                               "Summaries currently cached.");
+}
+
 std::optional<QuerySummary> ResultCache::Lookup(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   // A disabled cache (capacity 0) still counts its misses: a server run
   // with --cache=0 must report the real lookup traffic, not zeros.
   if (capacity_ == 0) {
-    ++misses_;
+    misses_->Increment();
     return std::nullopt;
   }
   auto it = index_.find(key);
   if (it == index_.end()) {
-    ++misses_;
+    misses_->Increment();
     return std::nullopt;
   }
-  ++hits_;
+  hits_->Increment();
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->second;
 }
@@ -23,7 +41,7 @@ std::optional<QuerySummary> ResultCache::Lookup(const std::string& key) {
 void ResultCache::Insert(const std::string& key, const QuerySummary& summary) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
-  ++insertions_;
+  insertions_->Increment();
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = summary;
@@ -32,20 +50,22 @@ void ResultCache::Insert(const std::string& key, const QuerySummary& summary) {
   }
   lru_.emplace_front(key, summary);
   index_[key] = lru_.begin();
+  entries_->Increment();
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
-    ++evictions_;
+    evictions_->Increment();
+    entries_->Decrement();
   }
 }
 
 ResultCache::Telemetry ResultCache::telemetry() const {
   std::lock_guard<std::mutex> lock(mu_);
   Telemetry t;
-  t.hits = hits_;
-  t.misses = misses_;
-  t.insertions = insertions_;
-  t.evictions = evictions_;
+  t.hits = hits_->Value();
+  t.misses = misses_->Value();
+  t.insertions = insertions_->Value();
+  t.evictions = evictions_->Value();
   t.entries = lru_.size();
   t.capacity = capacity_;
   return t;
@@ -53,9 +73,13 @@ ResultCache::Telemetry ResultCache::telemetry() const {
 
 void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  entries_->Add(-static_cast<std::int64_t>(lru_.size()));
   lru_.clear();
   index_.clear();
-  hits_ = misses_ = insertions_ = evictions_ = 0;
+  hits_->Reset();
+  misses_->Reset();
+  insertions_->Reset();
+  evictions_->Reset();
 }
 
 }  // namespace fairbc

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "service/query.h"
 
 namespace fairbc {
@@ -22,9 +24,16 @@ namespace fairbc {
 /// Graph versions are content fingerprints, so replacing a catalog entry
 /// with different content naturally invalidates its cached summaries —
 /// the stale keys simply age out of the LRU list.
+///
+/// All telemetry lives in a MetricsRegistry (fairbc_cache_* counters and
+/// the fairbc_cache_entries gauge) — the registry is the single source
+/// of truth; telemetry() and the `cache` JSON read through it. Pass the
+/// process registry to fold this cache into its Prometheus scrape, or
+/// nothing for a private registry (exact per-instance counts in tests).
 class ResultCache {
  public:
-  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+  explicit ResultCache(std::size_t capacity,
+                       MetricsRegistry* metrics = nullptr);
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -36,7 +45,8 @@ class ResultCache {
   /// when over capacity.
   void Insert(const std::string& key, const QuerySummary& summary);
 
-  /// Hit/miss/eviction counters since construction (or the last Clear).
+  /// Hit/miss/eviction counters since construction (or the last Clear),
+  /// read from the registry.
   struct Telemetry {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -61,13 +71,15 @@ class ResultCache {
   using Entry = std::pair<std::string, QuerySummary>;
 
   const std::size_t capacity_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  Counter* hits_;
+  Counter* misses_;
+  Counter* insertions_;
+  Counter* evictions_;
+  Gauge* entries_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  ///< front = most recently used.
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t insertions_ = 0;
-  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace fairbc

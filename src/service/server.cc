@@ -205,7 +205,38 @@ std::string ServerSession::Dispatch(const RequestLine& req) {
   }
   if (req.command == "query") return Query(req);
   if (req.command == "sweep") return Sweep(req);
+  if (req.command == "metrics") return Metrics();
+  if (req.command == "trace") return Trace(req);
   return ErrorJson("unknown command: " + req.command);
+}
+
+std::string ServerSession::Metrics() {
+  // The whole exposition rides in one JSON string field: JsonEscape
+  // turns the newlines into \n, so the response stays a single line in
+  // both protocols. Scrapers unescape (tools/fairbc_metrics_scrape.cc)
+  // or use the plain-text --metrics-port listener instead.
+  return "{\"ok\":true,\"cmd\":\"metrics\",\"text\":\"" +
+         JsonEscape(executor_.metrics()->PrometheusText()) + "\"}";
+}
+
+std::string ServerSession::Trace(const RequestLine& req) {
+  auto n = IntArg(req, "n", 4);
+  if (!n.ok()) return ErrorJson(n.status());
+  if (n.value() < 1 || n.value() > 1024) {
+    return ErrorJson(RangeError("n", "[1, 1024]"));
+  }
+  const auto traces =
+      executor_.traces().Snapshot(static_cast<std::size_t>(n.value()));
+  std::ostringstream os;
+  os << "{\"ok\":true,\"cmd\":\"trace\",\"tracing\":"
+     << (executor_.tracing_enabled() ? "true" : "false")
+     << ",\"slow_query_ms\":" << JsonDouble(executor_.slow_query_ms())
+     << ",\"retained\":" << executor_.traces().pushed() << ",\"traces\":[";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    os << (i > 0 ? "," : "") << TraceEventsJson(*traces[i]);
+  }
+  os << "]}";
+  return os.str();
 }
 
 std::string ServerSession::Load(const RequestLine& req) {
@@ -346,6 +377,9 @@ std::string ServerSession::Query(const RequestLine& req) {
   if (!built.ok()) return ErrorJson(built.status());
   const QueryRequest query = std::move(built).value();
   QueryResult result = executor_.Execute(query);
+  // The serialize span lands in the already-retained recorder after the
+  // root "query" span closed — a sibling tail, not a child.
+  TraceSpan serialize_span(result.trace.get(), "serialize");
   return QueryResultJson(query, result);
 }
 
@@ -522,10 +556,12 @@ class Reactor {
       if (op.kind == Op::kAdopt) {
         ::close(op.fd);
         server_.active_conns_.fetch_sub(1, std::memory_order_release);
+        server_.conns_gauge_->Decrement();
       }
     }
     server_.active_conns_.fetch_sub(static_cast<unsigned>(conns_.size()),
                                     std::memory_order_release);
+    server_.conns_gauge_->Add(-static_cast<std::int64_t>(conns_.size()));
     conns_.clear();  // Connection dtor closes the fds.
   }
 
@@ -656,6 +692,7 @@ class Reactor {
         ev.data.u64 = op.conn_id;
         if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, op.fd, &ev) < 0) {
           server_.active_conns_.fetch_sub(1, std::memory_order_release);
+          server_.conns_gauge_->Decrement();
           continue;  // conn dtor closes the fd.
         }
         conns_.emplace(op.conn_id, std::move(conn));
@@ -699,6 +736,7 @@ class Reactor {
   void CloseConn(Connection* c) {
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
     server_.active_conns_.fetch_sub(1, std::memory_order_release);
+    server_.conns_gauge_->Decrement();
     conns_.erase(c->id);  // dtor closes the fd.
   }
 
@@ -712,6 +750,7 @@ class Reactor {
     for (;;) {
       const ssize_t r = ::recv(c->fd, chunk, sizeof(chunk), 0);
       if (r > 0) {
+        server_.reads_->Increment();
         c->rbuf.append(chunk, static_cast<std::size_t>(r));
         c->last_activity = std::chrono::steady_clock::now();
         if (!ProcessInput(c)) return false;
@@ -811,6 +850,9 @@ class Reactor {
   /// category strings on both sides).
   void FillError(Connection* c, Connection::Slot* slot, wire::ErrorCode code,
                  const std::string& message) {
+    // Every typed error funnels through here, so this is the one place
+    // the per-code error counters are bumped.
+    server_.ErrorCounter(wire::ToString(code))->Increment();
     if (slot->binary) {
       slot->opcode = wire::Opcode::kError;
       slot->body = wire::EncodeErrorPayload(code, message);
@@ -921,18 +963,26 @@ class Reactor {
                 "server busy: max-inflight=" + std::to_string(limit));
       return;
     }
+    server_.inflight_gauge_->Increment();
     TcpServer* server = &server_;
     Reactor* self = this;
     const std::uint64_t conn_id = c->id;
     const std::uint64_t seq = slot->seq;
     server_.executor_.ExecuteAsync(
         query, [server, self, conn_id, seq, query](QueryResult result) {
-          std::string body =
-              TagSessionJson(conn_id, QueryResultJson(query, result));
+          std::string body;
+          {
+            // Retained traces get the response-serialization cost as a
+            // post-hoc span (a tail sibling of the root "query" span).
+            TraceSpan serialize_span(result.trace.get(), "serialize");
+            body = TagSessionJson(conn_id, QueryResultJson(query, result));
+          }
           // Post BEFORE releasing the in-flight ticket: Serve()'s drain
-          // epilogue waits for inflight_ == 0 and may tear the reactors
-          // down right after, so the post must already have landed.
+          // epilogue waits for inflight_ == 0 and may tear the server
+          // down right after, so the post — and every other touch of
+          // *server, the gauge included — must already have landed.
           self->PostCompletion(conn_id, seq, std::move(body));
+          server->inflight_gauge_->Decrement();
           server->inflight_.fetch_sub(1, std::memory_order_release);
         });
   }
@@ -956,10 +1006,13 @@ class Reactor {
       }
       c->pending.pop_front();
     }
+    bool wrote = false;
     while (!c->wbuf.empty()) {
       const ssize_t n =
           ::send(c->fd, c->wbuf.data(), c->wbuf.size(), MSG_NOSIGNAL);
       if (n > 0) {
+        server_.writes_->Increment();
+        wrote = true;
         c->wbuf.erase(0, static_cast<std::size_t>(n));
         continue;
       }
@@ -968,6 +1021,7 @@ class Reactor {
       CloseConn(c);  // peer reset mid-response.
       return false;
     }
+    if (wrote && c->wbuf.empty()) server_.flushes_->Increment();
     const bool want_write = !c->wbuf.empty();
     if (want_write != c->want_write) {
       epoll_event ev{};
@@ -1000,7 +1054,35 @@ class Reactor {
 
 TcpServer::TcpServer(GraphCatalog& catalog, QueryExecutor& executor,
                      const TcpServerOptions& options)
-    : catalog_(catalog), executor_(executor), options_(options) {}
+    : catalog_(catalog),
+      executor_(executor),
+      options_(options),
+      metrics_(executor.metrics()),
+      accepts_(metrics_->GetCounter("fairbc_reactor_accepts_total",
+                                    "TCP connections accepted.")),
+      reads_(metrics_->GetCounter("fairbc_reactor_reads_total",
+                                  "Successful socket reads (recv calls).")),
+      writes_(metrics_->GetCounter("fairbc_reactor_writes_total",
+                                   "Successful socket writes (send calls).")),
+      flushes_(metrics_->GetCounter(
+          "fairbc_reactor_flushes_total",
+          "Flush passes that fully drained a connection's write buffer.")),
+      server_full_(metrics_->GetCounter(
+          "fairbc_server_full_total",
+          "Connections turned away at max-sessions.")),
+      sessions_metric_(metrics_->GetCounter("fairbc_sessions_total",
+                                            "Sessions (connections) admitted.")),
+      conns_gauge_(metrics_->GetGauge("fairbc_connections_active",
+                                      "Live TCP connections.")),
+      inflight_gauge_(metrics_->GetGauge(
+          "fairbc_server_inflight_requests",
+          "Query requests admitted by the server, not yet answered.")) {}
+
+Counter* TcpServer::ErrorCounter(const char* code) {
+  return metrics_->GetCounter("fairbc_server_errors_total",
+                              "Typed request errors, by error code.",
+                              std::string("code=\"") + code + "\"");
+}
 
 TcpServer::~TcpServer() {
   RequestStop();
@@ -1088,14 +1170,18 @@ void TcpServer::Serve() {
       ::close(client);
       break;
     }
+    accepts_->Increment();
     // Small responses must not sit in Nagle's buffer behind a pipelined
     // request burst.
     int nodelay = 1;
     ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
     const unsigned admitted =
         active_conns_.fetch_add(1, std::memory_order_acq_rel);
+    conns_gauge_->Increment();
     if (admitted >= options_.max_sessions) {
       active_conns_.fetch_sub(1, std::memory_order_release);
+      conns_gauge_->Decrement();
+      server_full_->Increment();
       // Turn the client away with a parseable error rather than leaving
       // it queued behind an unbounded backlog. (Best effort on a fresh
       // socket whose send buffer is empty.)
@@ -1110,6 +1196,7 @@ void TcpServer::Serve() {
     const std::uint64_t id =
         next_session_id_.fetch_add(1, std::memory_order_relaxed);
     sessions_started_.fetch_add(1, std::memory_order_relaxed);
+    sessions_metric_->Increment();
     reactors_[id % reactors_.size()]->Adopt(client, id);
   }
   // Drain: every reactor keeps serving its live connections until they

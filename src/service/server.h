@@ -37,6 +37,12 @@ namespace fairbc {
 ///         [cache=0|1]
 ///   sweep graph=G alphas=2,3 betas=2,3 deltas=1,2 [query keys...]
 ///   cache        (cache + single-flight telemetry)
+///   metrics      (full Prometheus exposition of the process registry,
+///                 JSON-escaped into the "text" field — one scrape
+///                 covers executor, cache, kernel and reactor counters)
+///   trace [n=N]  (the N most recent retained slow-query traces, newest
+///                 first, each a Chrome trace-event JSON object; see
+///                 --slow-query-ms and docs/OBSERVABILITY.md)
 ///   drop name=G
 ///   quit         (ends THIS session: closes the TCP connection / stops
 ///                 reading the stdin stream; the server keeps serving
@@ -97,6 +103,8 @@ class ServerSession {
   std::string Catalog();
   std::string Query(const RequestLine& req);
   std::string Sweep(const RequestLine& req);
+  std::string Metrics();
+  std::string Trace(const RequestLine& req);
   std::string EntryReply(const std::string& cmd, const std::string& name);
   std::string Tag(std::string json) const;
 
@@ -201,9 +209,26 @@ class TcpServer {
  private:
   friend class Reactor;
 
+  /// fairbc_server_errors_total{code="..."} series for one typed error
+  /// category (wire::ToString name). Registration is idempotent, so the
+  /// lazy per-error call is just a registry lookup after the first.
+  Counter* ErrorCounter(const char* code);
+
   GraphCatalog& catalog_;
   QueryExecutor& executor_;
   const TcpServerOptions options_;
+  /// Reactor/front-end counters, registered against the executor's
+  /// registry so the `metrics` command and --metrics-port scrape cover
+  /// the whole process.
+  MetricsRegistry* metrics_;
+  Counter* accepts_;    ///< connections accepted (admitted or not).
+  Counter* reads_;      ///< successful recv() calls across reactors.
+  Counter* writes_;     ///< successful send() calls across reactors.
+  Counter* flushes_;    ///< Flush() passes that fully drained a wbuf.
+  Counter* server_full_;  ///< connections turned away at max_sessions.
+  Counter* sessions_metric_;  ///< sessions admitted (mirrors counter).
+  Gauge* conns_gauge_;  ///< live connections (mirrors active_conns_).
+  Gauge* inflight_gauge_;  ///< admitted query requests (mirrors inflight_).
   int listener_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};

@@ -1,0 +1,243 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace fairbc {
+namespace {
+
+TEST(Counter, CountsAndResets) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("t_total", "help");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(Counter, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("t_total", "help");
+  Counter* b = registry.GetCounter("t_total", "help");
+  EXPECT_EQ(a, b);
+  // Same family, different labels: distinct series.
+  Counter* x = registry.GetCounter("t_total", "help", "k=\"1\"");
+  Counter* y = registry.GetCounter("t_total", "help", "k=\"2\"");
+  EXPECT_NE(x, y);
+  EXPECT_NE(a, x);
+  EXPECT_EQ(x, registry.GetCounter("t_total", "help", "k=\"1\""));
+}
+
+// Shard aggregation must be EXACT once writers are quiescent: every
+// increment from every thread lands in some shard and Value() sums all
+// shards — no sampling, no loss.
+TEST(Counter, MultiThreadedAggregationIsExact) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("mt_total", "help");
+  Gauge* g = registry.GetGauge("mt_gauge", "help");
+  constexpr unsigned kThreads = 31;  // deliberately != kMetricShards
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        g->Increment();
+        if (i % 2 == 0) g->Decrement();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), kThreads * kPerThread);
+  EXPECT_EQ(g->Value(),
+            static_cast<std::int64_t>(kThreads * (kPerThread / 2)));
+}
+
+TEST(Histogram, BucketLayout) {
+  // Bounds are 2^i microseconds; an observation lands in the first
+  // bucket whose bound is >= the value.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(-1.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(0.5e-6), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1e-6), 0u);     // == bound 0
+  EXPECT_EQ(Histogram::BucketIndex(1.5e-6), 1u);   // (1us, 2us]
+  EXPECT_EQ(Histogram::BucketIndex(2e-6), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(3e-6), 2u);     // (2us, 4us]
+  EXPECT_EQ(Histogram::BucketIndex(1e-3), 10u);    // 1024us bound
+  EXPECT_EQ(Histogram::BucketIndex(1.0), 20u);     // 2^20us ~ 1.05s
+  EXPECT_EQ(Histogram::BucketIndex(1e9), Histogram::kFiniteBounds);
+  for (unsigned i = 0; i + 1 < Histogram::kFiniteBounds; ++i) {
+    EXPECT_LT(Histogram::BucketBoundSeconds(i),
+              Histogram::BucketBoundSeconds(i + 1));
+    // Each bound maps into its own bucket (bounds are inclusive).
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketBoundSeconds(i)), i);
+  }
+}
+
+TEST(Histogram, SumAndCount) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("t_seconds", "help");
+  h->Observe(0.5);
+  h->Observe(0.25);
+  h->Observe(0.25);
+  const auto snap = h->snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_NEAR(snap.sum_seconds, 1.0, 1e-6);
+}
+
+// Percentiles against a sorted-vector oracle. The histogram quantile
+// returns the upper bound of the bucket holding the rank-th sample, so
+// it must equal BucketBoundSeconds(BucketIndex(oracle_value)) exactly —
+// "within one bucket" of the true value by construction.
+TEST(Histogram, QuantileMatchesSortedVectorOracle) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("t_seconds", "help");
+  Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    // Latencies spanning ~6 decades: 100ns .. 100ms, log-uniform-ish.
+    const double exponent = -7.0 + 6.0 * rng.NextDouble();
+    const double seconds = std::pow(10.0, exponent);
+    samples.push_back(seconds);
+    h->Observe(seconds);
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto snap = h->snapshot();
+  ASSERT_EQ(snap.count, samples.size());
+  for (const double q : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    const double oracle = samples[rank == 0 ? 0 : rank - 1];
+    const double estimate = snap.Quantile(q);
+    EXPECT_EQ(estimate,
+              Histogram::BucketBoundSeconds(Histogram::BucketIndex(oracle)))
+        << "q=" << q << " oracle=" << oracle;
+    // And the bound property that makes the estimate usable: the true
+    // value is inside (estimate/2, estimate].
+    EXPECT_GE(estimate, oracle);
+    EXPECT_LT(estimate / 2.0, oracle);
+  }
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("t_seconds", "help");
+  EXPECT_EQ(h->snapshot().Quantile(0.5), 0.0);  // empty
+  h->Observe(3e-6);
+  const auto snap = h->snapshot();
+  EXPECT_EQ(snap.Quantile(0.0), snap.Quantile(1.0));
+  EXPECT_EQ(snap.Quantile(0.5), 4e-6);
+}
+
+// Golden exposition: families in registration order, HELP/TYPE once per
+// family, cumulative histogram buckets with _sum and _count.
+TEST(MetricsRegistry, PrometheusGolden) {
+  MetricsRegistry registry;
+  Counter* queries = registry.GetCounter("app_queries_total",
+                                         "Queries admitted.");
+  Counter* busy = registry.GetCounter("app_errors_total", "Typed errors.",
+                                      "code=\"busy\"");
+  Counter* huge = registry.GetCounter("app_errors_total", "Typed errors.",
+                                      "code=\"too_large\"");
+  Gauge* conns = registry.GetGauge("app_connections", "Live connections.");
+  Histogram* lat = registry.GetHistogram("app_seconds", "Latency.",
+                                         "phase=\"run\"");
+  queries->Increment(3);
+  busy->Increment(2);
+  huge->Increment();
+  conns->Add(5);
+  conns->Decrement();
+  lat->Observe(1.5e-6);  // bucket le=2e-06
+  lat->Observe(3e-6);    // bucket le=4e-06
+
+  const std::string text = registry.PrometheusText();
+  const std::string expected_head =
+      "# HELP app_queries_total Queries admitted.\n"
+      "# TYPE app_queries_total counter\n"
+      "app_queries_total 3\n"
+      "# HELP app_errors_total Typed errors.\n"
+      "# TYPE app_errors_total counter\n"
+      "app_errors_total{code=\"busy\"} 2\n"
+      "app_errors_total{code=\"too_large\"} 1\n"
+      "# HELP app_connections Live connections.\n"
+      "# TYPE app_connections gauge\n"
+      "app_connections 4\n"
+      "# HELP app_seconds Latency.\n"
+      "# TYPE app_seconds histogram\n";
+  ASSERT_EQ(text.compare(0, expected_head.size(), expected_head), 0)
+      << text;
+  // Histogram series: cumulative buckets, +Inf, sum, count.
+  EXPECT_NE(text.find("app_seconds_bucket{phase=\"run\",le=\"1e-06\"} 0\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("app_seconds_bucket{phase=\"run\",le=\"2e-06\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_seconds_bucket{phase=\"run\",le=\"4e-06\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_seconds_bucket{phase=\"run\",le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_seconds_count{phase=\"run\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_seconds_sum{phase=\"run\"} "), std::string::npos);
+}
+
+// Disabled registries swallow every update (the FAIRBC_OBS_OFF path).
+TEST(MetricsRegistry, DisabledUpdatesAreNoOps) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("t_total", "help");
+  Histogram* h = registry.GetHistogram("t_seconds", "help");
+  registry.set_enabled(false);
+  c->Increment();
+  h->Observe(1.0);
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(h->snapshot().count, 0u);
+  registry.set_enabled(true);
+  c->Increment();
+  EXPECT_EQ(c->Value(), 1u);
+}
+
+// Scrape-under-load: PrometheusText while writers hammer every metric
+// kind. Run under TSan in CI; also checks final exactness.
+TEST(MetricsRegistry, ScrapeUnderLoad) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("load_total", "help");
+  Gauge* g = registry.GetGauge("load_gauge", "help");
+  Histogram* h = registry.GetHistogram("load_seconds", "help");
+  std::atomic<bool> stop{false};
+  constexpr unsigned kWriters = 4;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        g->Add(i % 2 == 0 ? 1 : -1);
+        h->Observe(static_cast<double>((t + 1) * (i % 64)) * 1e-6);
+      }
+    });
+  }
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::string text = registry.PrometheusText();
+      EXPECT_NE(text.find("load_total"), std::string::npos);
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+  EXPECT_EQ(c->Value(), kWriters * kPerThread);
+  EXPECT_EQ(h->snapshot().count, kWriters * kPerThread);
+}
+
+}  // namespace
+}  // namespace fairbc

@@ -1,0 +1,280 @@
+// Per-query span tracing: recorder/ring mechanics, span-tree
+// well-formedness on every engine/model combination, bounded eviction
+// under flood, and the Chrome trace-event JSON shape Perfetto loads.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "service/graph_catalog.h"
+#include "service/query.h"
+#include "service/query_executor.h"
+
+namespace fairbc {
+namespace {
+
+TEST(TraceRecorder, RecordsAndSnapshots) {
+  TraceRecorder rec(16);
+  rec.Record("a", 10.0, 5.0);
+  rec.Record("b", 12.0, 1.0);
+  const auto spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Snapshot orders by start time, enclosing spans first.
+  EXPECT_STREQ(spans[0].name, "a");
+  EXPECT_EQ(spans[0].ts_us, 10.0);
+  EXPECT_EQ(spans[0].dur_us, 5.0);
+  EXPECT_STREQ(spans[1].name, "b");
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorder, BoundedCapacityCountsDrops) {
+  TraceRecorder rec(4);
+  for (int i = 0; i < 10; ++i) rec.Record("s", static_cast<double>(i), 1.0);
+  EXPECT_EQ(rec.Snapshot().size(), 4u);
+  EXPECT_EQ(rec.dropped(), 6u);
+}
+
+TEST(TraceSpan, RaiiAndMove) {
+  TraceRecorder rec(16);
+  {
+    TraceSpan outer(&rec, "outer");
+    TraceSpan moved = std::move(outer);
+    TraceSpan inner(&rec, "inner");
+    inner.End();
+    inner.End();  // idempotent
+  }  // moved commits here
+  const auto spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_STREQ(spans[1].name, "inner");
+  // Null recorder: every operation is a no-op.
+  TraceSpan null_span(nullptr, "x");
+  null_span.End();
+}
+
+TEST(TraceRing, EvictsOldestUnderFlood) {
+  TraceRing ring(8);
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring] {
+      for (unsigned i = 0; i < kPerThread; ++i) {
+        auto rec = std::make_shared<TraceRecorder>(4);
+        rec->Record("q", 0.0, 1.0);
+        ring.Push(std::move(rec));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ring.pushed(), kThreads * kPerThread);
+  EXPECT_EQ(ring.Snapshot(1000).size(), ring.capacity());
+  EXPECT_EQ(ring.Snapshot(3).size(), 3u);
+}
+
+TEST(TraceRing, SnapshotIsNewestFirst) {
+  TraceRing ring(4);
+  for (int i = 0; i < 6; ++i) {
+    auto rec = std::make_shared<TraceRecorder>(2);
+    rec->set_label("t" + std::to_string(i));
+    ring.Push(std::move(rec));
+  }
+  const auto got = ring.Snapshot(4);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0]->label(), "t5");
+  EXPECT_EQ(got[3]->label(), "t2");
+}
+
+// --- Span-tree well-formedness over the real engines ------------------------
+
+BipartiteGraph TraceTestGraph() {
+  AffiliationConfig config;
+  config.num_upper = 60;
+  config.num_lower = 60;
+  config.num_communities = 6;
+  config.seed = 29;
+  return MakeAffiliation(config);
+}
+
+// The naive engine enumerates every upper-side subset (2^|U| nodes), so
+// its matrix cell gets a deliberately tiny graph; span structure, not
+// enumeration scale, is what the matrix checks.
+BipartiteGraph NaiveTraceTestGraph() {
+  AffiliationConfig config;
+  config.num_upper = 16;
+  config.num_lower = 16;
+  config.num_communities = 4;
+  config.seed = 29;
+  return MakeAffiliation(config);
+}
+
+/// Asserts the spans form a forest per tid: any two spans on one thread
+/// are either disjoint or properly nested (allowing a rounding epsilon —
+/// timestamps are microsecond doubles).
+void CheckNesting(const std::vector<TraceSpanData>& spans) {
+  constexpr double kEps = 1.0;  // one microsecond of clock rounding
+  std::map<std::uint32_t, std::vector<TraceSpanData>> by_tid;
+  for (const TraceSpanData& s : spans) by_tid[s.tid].push_back(s);
+  for (auto& [tid, list] : by_tid) {
+    std::sort(list.begin(), list.end(),
+              [](const TraceSpanData& a, const TraceSpanData& b) {
+                if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                return a.dur_us > b.dur_us;
+              });
+    std::vector<TraceSpanData> stack;
+    for (const TraceSpanData& s : list) {
+      while (!stack.empty() &&
+             s.ts_us >= stack.back().ts_us + stack.back().dur_us - kEps) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        // Overlapping spans on one thread must be properly nested.
+        EXPECT_LE(s.ts_us + s.dur_us,
+                  stack.back().ts_us + stack.back().dur_us + kEps)
+            << s.name << " escapes " << stack.back().name << " on tid "
+            << tid;
+      }
+      stack.push_back(s);
+    }
+  }
+}
+
+bool HasSpan(const std::vector<TraceSpanData>& spans, const char* name) {
+  for (const TraceSpanData& s : spans) {
+    if (std::string(s.name) == name) return true;
+  }
+  return false;
+}
+
+// Every model x algo x thread-width combination must produce a
+// well-formed span tree containing the query/execute/enumerate chain.
+TEST(TraceIntegration, SpanTreeWellFormedOnEveryEngine) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", TraceTestGraph()).ok());
+  ASSERT_TRUE(catalog.AddGraph("tiny", NaiveTraceTestGraph()).ok());
+  for (const FairModel model : {FairModel::kSsfbc, FairModel::kBsfbc}) {
+    for (const FairAlgo algo :
+         {FairAlgo::kPlusPlus, FairAlgo::kBcem, FairAlgo::kNaive}) {
+      for (const unsigned threads : {1u, 2u}) {
+        QueryExecutorOptions options;
+        options.num_threads = 1;
+        options.slow_query_ms = 0.0;  // trace and retain every query
+        QueryExecutor executor(catalog, options);
+        QueryRequest request;
+        request.graph = algo == FairAlgo::kNaive ? "tiny" : "g";
+        request.model = model;
+        request.algo = algo;
+        request.params = {2, 2, 1, 0.0};
+        request.options.num_threads = threads;
+        request.use_cache = false;
+        QueryResult result = executor.Execute(request);
+        ASSERT_TRUE(result.status.ok());
+        ASSERT_NE(result.trace, nullptr)
+            << ToString(model) << "/" << ToString(algo);
+        const auto spans = result.trace->Snapshot();
+        ASSERT_FALSE(spans.empty());
+        EXPECT_TRUE(HasSpan(spans, "query"));
+        EXPECT_TRUE(HasSpan(spans, "execute"));
+        EXPECT_TRUE(HasSpan(spans, "enumerate"));
+        CheckNesting(spans);
+        // Phase spans sum to no more than the root span.
+        double root_dur = 0.0, child_sum = 0.0;
+        for (const TraceSpanData& s : spans) {
+          const std::string name = s.name;
+          if (name == "query") root_dur = s.dur_us;
+          if (name == "admission" || name == "execute" || name == "publish") {
+            child_sum += s.dur_us;
+          }
+        }
+        EXPECT_GT(root_dur, 0.0);
+        EXPECT_LE(child_sum, root_dur * 1.01 + 10.0);
+        // The ring retained it (slow_query_ms = 0).
+        EXPECT_GE(executor.traces().pushed(), 1u);
+      }
+    }
+  }
+}
+
+TEST(TraceIntegration, CacheHitsAndUntracedRunsCarryNoTrace) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", TraceTestGraph()).ok());
+  {
+    // Tracing off (default): no recorder at all.
+    QueryExecutor executor(catalog, {});
+    QueryRequest request;
+    request.graph = "g";
+    request.params = {2, 2, 1, 0.0};
+    QueryResult result = executor.Execute(request);
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_EQ(result.trace, nullptr);
+    EXPECT_EQ(executor.traces().pushed(), 0u);
+  }
+  {
+    QueryExecutorOptions options;
+    options.slow_query_ms = 0.0;
+    QueryExecutor executor(catalog, options);
+    QueryRequest request;
+    request.graph = "g";
+    request.params = {2, 2, 1, 0.0};
+    QueryResult first = executor.Execute(request);
+    ASSERT_TRUE(first.status.ok());
+    EXPECT_NE(first.trace, nullptr);
+    QueryResult second = executor.Execute(request);
+    ASSERT_TRUE(second.status.ok());
+    EXPECT_TRUE(second.cache_hit);
+    // Cache hits ran no engine: no trace, and the ring kept only the
+    // real execution.
+    EXPECT_EQ(second.trace, nullptr);
+    EXPECT_EQ(executor.traces().pushed(), 1u);
+  }
+}
+
+TEST(TraceIntegration, SlowThresholdFiltersRetention) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", TraceTestGraph()).ok());
+  QueryExecutorOptions options;
+  options.slow_query_ms = 1e9;  // nothing is that slow
+  QueryExecutor executor(catalog, options);
+  QueryRequest request;
+  request.graph = "g";
+  request.params = {2, 2, 1, 0.0};
+  QueryResult result = executor.Execute(request);
+  ASSERT_TRUE(result.status.ok());
+  // Traced (recorder attached) but not retained (under threshold).
+  EXPECT_NE(result.trace, nullptr);
+  EXPECT_EQ(executor.traces().pushed(), 0u);
+}
+
+TEST(TraceEventsJsonTest, EmitsChromeTraceShape) {
+  TraceRecorder rec(8);
+  rec.set_label("g ssfbc/pp");
+  rec.set_wall_seconds(0.5);
+  rec.Record("query", 0.0, 1000.0);
+  rec.Record("execute", 10.0, 900.0);
+  const std::string json = TraceEventsJson(rec);
+  EXPECT_NE(json.find("\"label\":\"g ssfbc/pp\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wall_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  // Labels with quotes/backslashes must be escaped.
+  TraceRecorder hostile(2);
+  hostile.set_label("a\"b\\c");
+  EXPECT_NE(TraceEventsJson(hostile).find("a\\\"b\\\\c"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairbc

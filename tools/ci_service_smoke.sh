@@ -13,6 +13,13 @@
 # against the same oracle, while a 256-connection idle soak proves the
 # epoll reactor holds and still serves a large fd fleet.
 #
+# Observability coverage: the TCP server runs with --slow-query-ms=0 so
+# every executed query is traced; the script scrapes the `metrics`
+# command mid-replay (non-zero query counters, monotonic across
+# scrapes), captures a retained trace via the `trace` command, validates
+# it with tools/validate_trace.py, and leaves it at $TRACE_ARTIFACT
+# (default BUILD_DIR/slow_query_trace.json) for CI artifact upload.
+#
 # Usage: tools/ci_service_smoke.sh [BUILD_DIR]   (default: build)
 
 set -euo pipefail
@@ -21,6 +28,8 @@ BUILD=${1:-build}
 CLI=$BUILD/fairbc_cli
 SERVER=$BUILD/fairbc_server
 WIRE=$BUILD/fairbc_wire_client
+VALIDATE="$(dirname "$0")/validate_trace.py"
+TRACE_ARTIFACT=${TRACE_ARTIFACT:-$BUILD/slow_query_trace.json}
 WORK=$(mktemp -d)
 SERVER_PID=
 # A failed assertion mid-script must not leak the backgrounded TCP
@@ -29,6 +38,25 @@ trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EX
 
 jsonfield() {  # jsonfield FILE_LINE KEY -> value (flat compact JSON)
   sed -n "s/.*\"$2\":\"\{0,1\}\([^,\"}]*\)\"\{0,1\}[,}].*/\1/p" <<<"$1"
+}
+
+# scrape_metrics OUT_FILE — one `metrics` command over TCP; unescapes the
+# exposition into OUT_FILE as plain Prometheus text.
+scrape_metrics() {
+  exec 4<>"/dev/tcp/127.0.0.1/$PORT"
+  printf 'metrics\nquit\n' >&4
+  local line; read -r line <&4
+  exec 4<&- 4>&-
+  printf '%s' "$line" | python3 -c '
+import json, sys
+resp = json.loads(sys.stdin.read())
+assert resp.get("ok"), resp
+sys.stdout.write(resp["text"])
+' > "$1"
+}
+
+metric() {  # metric FILE SERIES -> value (0 when the series is absent)
+  awk -v s="$2" '$1 == s {print $2; found = 1} END {if (!found) print 0}' "$1"
 }
 
 echo "== gen + snapshot save"
@@ -161,8 +189,10 @@ echo "v3 OK: 20 responses match the v2 oracle; fingerprint $V3_VERSION" \
 echo "== restart in TCP mode (mmap preload) and replay through 2 parallel clients"
 # max-sessions covers the 2 line clients + the wire client + its
 # 256-connection idle soak fleet below.
+# --slow-query-ms=0 retains a phase trace for every executed query so
+# the `trace` command below has something to export.
 "$SERVER" --port=0 --preload=g="$WORK/g.snap" --mmap --max-sessions=300 \
-  2> "$WORK/server.log" &
+  --slow-query-ms=0 2> "$WORK/server.log" &
 SERVER_PID=$!
 PORT=
 for _ in $(seq 1 100); do
@@ -205,6 +235,17 @@ if [ -z "$sid_a" ] || [ "$sid_a" = "$sid_b" ]; then
   exit 1
 fi
 
+echo "== mid-replay metrics scrape (after line clients, before wire)"
+scrape_metrics "$WORK/scrape1.txt"
+Q1=$(metric "$WORK/scrape1.txt" fairbc_queries_total)
+E1=$(metric "$WORK/scrape1.txt" fairbc_query_executions_total)
+R1=$(metric "$WORK/scrape1.txt" fairbc_reactor_reads_total)
+if [ "$Q1" -lt 40 ] || [ "$E1" -lt 1 ] || [ "$R1" -lt 1 ]; then
+  echo "mid-replay scrape not live: queries=$Q1 executions=$E1 reads=$R1"
+  exit 1
+fi
+echo "scrape 1: queries=$Q1 executions=$E1 reactor_reads=$R1"
+
 echo "== binary wire protocol: pipelined replay + 256-idle-connection soak"
 WIRE_TRACE="$WORK/wire_trace.txt"
 for p in "${PARAMS[@]}"; do
@@ -222,6 +263,31 @@ grep -q "soak: 256 idle connections verified" "$WORK/wire.log" \
   || { echo "soak verification missing:"; cat "$WORK/wire.log"; exit 1; }
 echo "wire OK: 20 pipelined responses match fairbc_cli ($hits_w cache hits);" \
      "256 idle connections verified"
+
+echo "== second scrape: counters must be monotonic and reflect the wire replay"
+scrape_metrics "$WORK/scrape2.txt"
+Q2=$(metric "$WORK/scrape2.txt" fairbc_queries_total)
+R2=$(metric "$WORK/scrape2.txt" fairbc_reactor_reads_total)
+if [ "$Q2" -le "$Q1" ] || [ "$R2" -lt "$R1" ]; then
+  echo "scrape not monotonic: queries $Q1 -> $Q2, reads $R1 -> $R2"
+  exit 1
+fi
+echo "scrape 2: queries=$Q2 reactor_reads=$R2 (monotonic)"
+
+echo "== capture a retained trace and validate the Perfetto JSON"
+exec 4<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'trace n=3\nquit\n' >&4
+read -r TRACE_LINE <&4
+exec 4<&- 4>&-
+printf '%s' "$TRACE_LINE" > "$TRACE_ARTIFACT"
+RETAINED=$(jsonfield "$TRACE_LINE" retained)
+if [ -z "$RETAINED" ] || [ "$RETAINED" -lt 1 ]; then
+  echo "trace command retained nothing: $TRACE_LINE"
+  exit 1
+fi
+python3 "$VALIDATE" "$TRACE_ARTIFACT" \
+  || { echo "trace validation failed"; exit 1; }
+echo "trace OK: $RETAINED retained, artifact at $TRACE_ARTIFACT"
 
 echo "== stop the server (drain) and collect telemetry"
 exec 3<>"/dev/tcp/127.0.0.1/$PORT"

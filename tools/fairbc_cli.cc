@@ -9,6 +9,7 @@
 //                      [--pruning=colorful|core|none] [--budget=SECONDS]
 //                      [--threads=N] [--out=FILE] [--count-only]
 //                      [--output=text|json] [--rand-attrs=N --seed=S]
+//                      [--trace-out=FILE]
 //   fairbc_cli gen     --out=FILE --kind=uniform|powerlaw|affiliation
 //                      [--nu=N --nv=N --edges=M --attrs=K --seed=S]
 //   fairbc_cli snapshot save --graph=FILE [--format=edges|attr] --out=SNAP
@@ -29,12 +30,21 @@
 // `--output=json` replaces enum's human-readable lines with one JSON
 // object (count, result-set digest, per-phase stats) emitted through the
 // same serializer as the fairbc_server responses.
+//
+// `--trace-out=FILE` records the run's phase spans (reduce →
+// construct/color/peel, enumerate → root/split) and writes them as
+// Chrome trace-event JSON — load FILE in Perfetto / chrome://tracing.
+// See docs/OBSERVABILITY.md.
 
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/flags.h"
+#include "common/timer.h"
 #include "core/pipeline.h"
+#include "obs/trace.h"
 #include "core/verify.h"
 #include "graph/biclique_io.h"
 #include "graph/builder.h"
@@ -139,11 +149,24 @@ int RunEnum(const FlagParser& flags) {
   if (!algo) return Fail(Status::InvalidArgument("bad --algo (pp|bcem|naive)"));
 
   const bool json = flags.GetString("output", "text") == "json";
+  const std::string trace_out = flags.GetString("trace-out", "");
+  std::unique_ptr<fairbc::TraceRecorder> recorder;
+  if (!trace_out.empty()) {
+    recorder = std::make_unique<fairbc::TraceRecorder>();
+    recorder->set_label(flags.GetString("graph", "") + " " +
+                        fairbc::ToString(*model) + "/" +
+                        fairbc::ToString(*algo));
+    options.trace = recorder.get();
+  }
   // The digest feeds the JSON output; the pipeline serializes sink
   // invocation, so the plain accumulator is safe at any --threads.
   fairbc::DigestAccumulator digest;
+  fairbc::Timer wall;
   auto run = [&](fairbc::BicliqueSink sink) {
     if (json) sink = digest.Wrap(std::move(sink));
+    // The root "query" span makes CLI traces the same shape as the
+    // server's retained slow-query traces (one validator fits both).
+    fairbc::TraceSpan root(recorder.get(), "query");
     return fairbc::RunEnumeration(g, *model, *algo, params, options, sink);
   };
 
@@ -172,6 +195,19 @@ int RunEnum(const FlagParser& flags) {
       for (const fairbc::Biclique& b : sink.results()) {
         std::cout << b.DebugString() << "\n";
       }
+    }
+  }
+  if (recorder != nullptr) {
+    recorder->set_wall_seconds(wall.ElapsedSeconds());
+    std::ofstream trace_file(trace_out, std::ios::trunc);
+    if (!trace_file) {
+      return Fail(Status::Internal("cannot write --trace-out file: " +
+                                   trace_out));
+    }
+    trace_file << fairbc::TraceEventsJson(*recorder) << "\n";
+    if (!json) {
+      std::cout << "wrote trace (" << recorder->Snapshot().size()
+                << " spans) to " << trace_out << "\n";
     }
   }
   if (json) {

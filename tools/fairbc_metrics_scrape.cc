@@ -1,0 +1,169 @@
+// Scrapes a running fairbc_server's metrics and prints the raw
+// Prometheus exposition text to stdout.
+//
+// Usage:
+//   fairbc_metrics_scrape --port=N          # line-protocol `metrics` command
+//   fairbc_metrics_scrape --http-port=N     # --metrics-port HTTP endpoint
+//
+// The line-protocol path sends `metrics\n` and unwraps the JSON-escaped
+// `text` field of the response; the HTTP path issues GET /metrics and
+// strips the headers. Exit status is nonzero when the scrape fails or
+// the response does not parse, so shell scripts can gate on it.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/flags.h"
+
+namespace {
+
+int Connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads until `stop` appears (line protocol: '\n') or EOF.
+std::string ReadUntil(int fd, char stop) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return out;
+    out.append(buf, static_cast<std::size_t>(n));
+    if (out.find(stop) != std::string::npos) return out;
+  }
+}
+
+std::string ReadAll(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return out;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+// Extracts and unescapes the `"text":"..."` field of a metrics response.
+bool ExtractText(const std::string& json, std::string* out) {
+  const std::string key = "\"text\":\"";
+  const std::size_t start = json.find(key);
+  if (start == std::string::npos) return false;
+  out->clear();
+  for (std::size_t i = start + key.size(); i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (++i >= json.size()) return false;
+    switch (json[i]) {
+      case 'n':
+        out->push_back('\n');
+        break;
+      case 'r':
+        out->push_back('\r');
+        break;
+      case 't':
+        out->push_back('\t');
+        break;
+      case 'u':
+        // Exposition text is plain ASCII; \u00XX covers the control range.
+        if (i + 4 < json.size()) {
+          out->push_back(static_cast<char>(
+              std::stoi(json.substr(i + 1, 4), nullptr, 16)));
+          i += 4;
+        }
+        break;
+      default:
+        out->push_back(json[i]);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fairbc::FlagParser flags;
+  if (fairbc::Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::cerr << "flag error: " << status.ToString() << "\n";
+    return 2;
+  }
+  const int port = static_cast<int>(flags.GetInt("port", -1));
+  const int http_port = static_cast<int>(flags.GetInt("http-port", -1));
+  if ((port < 0) == (http_port < 0)) {
+    std::cerr << "usage: fairbc_metrics_scrape --port=N | --http-port=N\n";
+    return 2;
+  }
+
+  const int fd = Connect(port >= 0 ? port : http_port);
+  if (fd < 0) {
+    std::cerr << "connect failed: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+
+  std::string text;
+  if (port >= 0) {
+    if (!SendAll(fd, "metrics\n")) {
+      std::cerr << "send failed\n";
+      ::close(fd);
+      return 1;
+    }
+    const std::string line = ReadUntil(fd, '\n');
+    ::close(fd);
+    if (line.find("\"ok\":true") == std::string::npos ||
+        !ExtractText(line, &text)) {
+      std::cerr << "bad metrics response: " << line << "\n";
+      return 1;
+    }
+  } else {
+    if (!SendAll(fd, "GET /metrics HTTP/1.0\r\n\r\n")) {
+      std::cerr << "send failed\n";
+      ::close(fd);
+      return 1;
+    }
+    const std::string response = ReadAll(fd);
+    ::close(fd);
+    const std::size_t body = response.find("\r\n\r\n");
+    if (response.compare(0, 12, "HTTP/1.0 200") != 0 ||
+        body == std::string::npos) {
+      std::cerr << "bad http response\n";
+      return 1;
+    }
+    text = response.substr(body + 4);
+  }
+
+  std::cout << text;
+  return 0;
+}

@@ -9,6 +9,16 @@
 //                 [--threads=N] [--preload=NAME=PATH] [--mmap]
 //                 [--reactor-threads=N] [--max-inflight=N]
 //                 [--max-request-bytes=N] [--client-deadline-ms=N]
+//                 [--metrics-port=N] [--slow-query-ms=MS]
+//
+// Observability (docs/OBSERVABILITY.md): the `metrics` command returns
+// the process-wide Prometheus exposition over either protocol, and
+// --metrics-port=N additionally serves it as plain text on
+// 0.0.0.0:N/metrics (0 = ephemeral, reported on stderr) for real
+// scrapers. --slow-query-ms=MS enables per-query phase tracing: every
+// executed query records spans, those at or above MS milliseconds are
+// retained for the `trace` command and logged to stderr (MS=0 retains
+// every executed query; negative/absent disables tracing).
 //
 // Without --port it speaks the line protocol on stdin/stdout (one
 // session, id 0); with --port it listens on 127.0.0.1:N (0 = ephemeral,
@@ -41,6 +51,8 @@
 #include <string>
 
 #include "common/flags.h"
+#include "obs/metrics.h"
+#include "obs/metrics_http.h"
 #include "service/graph_catalog.h"
 #include "service/query_executor.h"
 #include "service/server.h"
@@ -70,7 +82,39 @@ int main(int argc, char** argv) {
   options.num_threads = static_cast<unsigned>(pool_threads);
   auto cache = flags.GetInt("cache", 256);
   options.cache_capacity = cache < 0 ? 0 : static_cast<std::size_t>(cache);
+  // The server reports into the process registry so one scrape (the
+  // `metrics` command or --metrics-port) covers executor, cache, kernel
+  // and reactor counters together.
+  options.metrics = &fairbc::MetricsRegistry::Global();
+  options.slow_query_ms = flags.GetDouble("slow-query-ms", -1.0);
+  if (options.slow_query_ms >= 0.0) {
+    options.slow_query_log = [](const fairbc::QueryRequest& request,
+                                const fairbc::QueryResult& result) {
+      std::cerr << "slow query: graph=" << request.graph
+                << " alpha=" << request.params.alpha
+                << " beta=" << request.params.beta
+                << " delta=" << request.params.delta << " wall_ms="
+                << result.seconds * 1e3 << " (trace retained)\n";
+    };
+  }
   fairbc::QueryExecutor executor(catalog, options);
+
+  fairbc::MetricsHttpServer metrics_http(&fairbc::MetricsRegistry::Global());
+  auto metrics_port = flags.GetInt("metrics-port", -1);
+  if (metrics_port >= 0) {
+    if (metrics_port > 65535) {
+      std::cerr << "error: --metrics-port must be in [0, 65535]\n";
+      return 1;
+    }
+    std::string error;
+    if (!metrics_http.Start(static_cast<std::uint16_t>(metrics_port),
+                            &error)) {
+      std::cerr << "error: metrics listener: " << error << "\n";
+      return 1;
+    }
+    std::cerr << "metrics on 0.0.0.0:" << metrics_http.port()
+              << "/metrics\n";
+  }
 
   // --preload=NAME=PATH loads one snapshot before serving (--mmap maps
   // it in place instead of copying).

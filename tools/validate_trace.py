@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Validates a fairbc Chrome trace-event JSON file (--trace-out / the
+server `trace` command).
+
+Checks, per trace object:
+  - every event is a complete event: ph == "X" with numeric ts/dur and
+    integer pid/tid;
+  - per tid, spans are well-formed (properly nested or disjoint — no
+    partial overlap);
+  - when a root "query" span is present, the durations of its direct
+    children cover its duration to within --tolerance (default 10%):
+    phase accounting must not lose a significant slice of the query.
+
+Input: a single trace object, a JSON array of them, or the full server
+`trace` response ({"traces":[...]}). Exits non-zero on the first
+violation. Stdlib only (CI-friendly).
+"""
+
+import argparse
+import json
+import sys
+
+EPS_US = 1.0  # microsecond rounding slop between adjacent spans
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_events(events, label):
+    if not events:
+        fail(f"{label}: empty traceEvents")
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if key not in ev:
+                fail(f"{label}: event {i} missing '{key}': {ev}")
+        if ev["ph"] != "X":
+            fail(f"{label}: event {i} ph={ev['ph']!r}, want 'X'")
+        if not isinstance(ev["ts"], (int, float)) or not isinstance(
+            ev["dur"], (int, float)
+        ):
+            fail(f"{label}: event {i} non-numeric ts/dur: {ev}")
+        if ev["ts"] < 0 or ev["dur"] < 0:
+            fail(f"{label}: event {i} negative ts/dur: {ev}")
+        if not isinstance(ev["pid"], int) or not isinstance(ev["tid"], int):
+            fail(f"{label}: event {i} non-integer pid/tid: {ev}")
+
+
+def validate_nesting(events, label):
+    by_tid = {}
+    for ev in events:
+        by_tid.setdefault(ev["tid"], []).append(ev)
+    for tid, spans in by_tid.items():
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for ev in spans:
+            while stack and ev["ts"] >= stack[-1]["ts"] + stack[-1]["dur"] - EPS_US:
+                stack.pop()
+            if stack:
+                parent_end = stack[-1]["ts"] + stack[-1]["dur"]
+                if ev["ts"] + ev["dur"] > parent_end + EPS_US:
+                    fail(
+                        f"{label}: tid {tid}: span '{ev['name']}' "
+                        f"[{ev['ts']}, {ev['ts'] + ev['dur']}] partially "
+                        f"overlaps '{stack[-1]['name']}' ending {parent_end}"
+                    )
+            stack.append(ev)
+
+
+def direct_children(events, root):
+    """Spans strictly inside `root` that are not inside a closer ancestor."""
+    root_end = root["ts"] + root["dur"]
+    inside = [
+        ev
+        for ev in events
+        if ev is not root
+        and ev["ts"] >= root["ts"] - EPS_US
+        and ev["ts"] + ev["dur"] <= root_end + EPS_US
+    ]
+    children = []
+    for ev in inside:
+        has_closer = any(
+            other is not ev
+            and other["ts"] - EPS_US <= ev["ts"]
+            and ev["ts"] + ev["dur"] <= other["ts"] + other["dur"] + EPS_US
+            and other["dur"] < root["dur"]
+            for other in inside
+        )
+        if not has_closer:
+            children.append(ev)
+    return children
+
+
+def validate_phase_sum(events, label, tolerance):
+    roots = [ev for ev in events if ev["name"] == "query"]
+    if not roots:
+        return  # engine-level trace without the executor's root span
+    root = max(roots, key=lambda e: e["dur"])
+    if root["dur"] <= 0:
+        fail(f"{label}: root query span has dur {root['dur']}")
+    child_sum = sum(ev["dur"] for ev in direct_children(events, root))
+    covered = child_sum / root["dur"]
+    if covered > 1.0 + tolerance:
+        fail(
+            f"{label}: direct children sum to {child_sum:.1f}us, "
+            f"{covered:.1%} of the {root['dur']:.1f}us root (over 100%)"
+        )
+    if covered < 1.0 - tolerance:
+        fail(
+            f"{label}: direct children cover only {covered:.1%} of the "
+            f"root query span ({child_sum:.1f}us of {root['dur']:.1f}us); "
+            f"phase accounting lost more than {tolerance:.0%}"
+        )
+    print(
+        f"validate_trace: {label}: {len(events)} events, phase coverage "
+        f"{covered:.1%}"
+    )
+
+
+def validate_trace(trace, label, tolerance):
+    if "traceEvents" not in trace:
+        fail(f"{label}: no traceEvents key")
+    events = trace["traceEvents"]
+    validate_events(events, label)
+    validate_nesting(events, label)
+    validate_phase_sum(events, label, tolerance)
+    if trace.get("dropped", 0):
+        print(
+            f"validate_trace: {label}: note: {trace['dropped']} spans "
+            f"dropped at capacity"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="trace JSON file (or - for stdin)")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed phase-sum deviation from the root span (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    stream = sys.stdin if args.file == "-" else open(args.file)
+    with stream:
+        doc = json.load(stream)
+
+    if isinstance(doc, dict) and "traces" in doc:
+        traces = doc["traces"]
+    elif isinstance(doc, list):
+        traces = doc
+    else:
+        traces = [doc]
+    if not traces:
+        fail("no traces in input")
+    for i, trace in enumerate(traces):
+        validate_trace(trace, f"trace[{i}]", args.tolerance)
+    print(f"validate_trace: OK ({len(traces)} trace(s))")
+
+
+if __name__ == "__main__":
+    main()
