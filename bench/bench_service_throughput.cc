@@ -22,6 +22,13 @@
 // both-miss behavior they replace — so the rate can only move up as
 // post-leader arrivals turn into hits).
 //
+// The "streaming" block replays the same trace through
+// ExecuteStreaming on the widest pool and reports time-to-first-result
+// (admission → first chunk) p50/p99 alongside total latency, plus the
+// registry deltas for the stream counters (queries/chunks/payload
+// replays) — and checks the summed streamed digests against the batch
+// rows' reference (streamed == batch, at bench scale).
+//
 // The trailing "tcp" block drives the epoll reactor front end over real
 // loopback sockets: {100, 1000, 10000} concurrent connections, line vs
 // binary protocol, mostly idle with a bounded active set doing ping +
@@ -434,6 +441,86 @@ int main() {
               << Delta(before, after, "fairbc_cache_hits_total")
               << ", \"cache_hit_rate\": "
               << fairbc::JsonDouble(ScrapedHitRate(before, after)) << "},\n";
+  }
+
+  // Streaming tier: the shuffled trace again, this time through
+  // ExecuteStreaming, one query at a time so time-to-first-result is
+  // admission → first chunk of THAT query (no queueing noise). Repeats
+  // replay from the retained payload cache, so the TTFR distribution
+  // mixes engine-fed and cache-fed streams — the serving mix a client
+  // of the chunked protocol actually sees.
+  {
+    const unsigned threads = std::max(max_threads, 2u);
+    fairbc::QueryExecutorOptions options;
+    options.num_threads = threads;
+    fairbc::QueryExecutor executor(catalog, options);
+
+    const Scrape before = ScrapeMetrics(catalog, executor);
+    std::vector<double> ttfr, latencies;
+    ttfr.reserve(trace.size());
+    latencies.reserve(trace.size());
+    std::uint64_t digest = 0;
+    fairbc::Timer wall;
+    for (const QueryRequest& req : trace) {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+      double first = -1.0, total = 0.0;
+      QueryResult result;
+      fairbc::Timer per_query;
+      executor.ExecuteStreaming(
+          req,
+          [&](const fairbc::QueryExecutor::StreamChunk&) {
+            std::lock_guard<std::mutex> lock(mu);
+            if (first < 0) first = per_query.ElapsedSeconds();
+          },
+          [&](QueryResult r) {
+            std::lock_guard<std::mutex> lock(mu);
+            total = per_query.ElapsedSeconds();
+            result = std::move(r);
+            done = true;
+            cv.notify_all();
+          });
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done; });
+      FAIRBC_CHECK(result.status.ok());
+      FAIRBC_CHECK(first >= 0.0);  // every stream carries >= 1 chunk.
+      ttfr.push_back(first);
+      latencies.push_back(total);
+      digest += result.summary.digest;
+    }
+    const double total_seconds = wall.ElapsedSeconds();
+    const Scrape after = ScrapeMetrics(catalog, executor);
+    // Streamed summaries must reproduce the batch rows' digests exactly.
+    if (digest != reference_digest) {
+      std::cerr << "ERROR: streamed trace digest differs from batch\n";
+      return 1;
+    }
+    std::sort(ttfr.begin(), ttfr.end());
+    std::sort(latencies.begin(), latencies.end());
+
+    std::cout << "  \"streaming\": {\"threads\": " << threads
+              << ", \"queries\": " << trace.size() << ", \"total_seconds\": "
+              << fairbc::JsonDouble(total_seconds) << ", \"qps\": "
+              << fairbc::JsonDouble(static_cast<double>(trace.size()) /
+                                    total_seconds)
+              << ", \"ttfr_p50_ms\": "
+              << fairbc::JsonDouble(Percentile(ttfr, 0.50) * 1e3)
+              << ", \"ttfr_p99_ms\": "
+              << fairbc::JsonDouble(Percentile(ttfr, 0.99) * 1e3)
+              << ", \"p50_ms\": "
+              << fairbc::JsonDouble(Percentile(latencies, 0.50) * 1e3)
+              << ", \"p99_ms\": "
+              << fairbc::JsonDouble(Percentile(latencies, 0.99) * 1e3)
+              << ", \"stream_queries\": "
+              << Delta(before, after, "fairbc_stream_queries_total")
+              << ", \"chunks\": "
+              << Delta(before, after, "fairbc_stream_chunks_total")
+              << ", \"executions\": "
+              << Delta(before, after, "fairbc_query_executions_total")
+              << ", \"payload_replays\": "
+              << Delta(before, after, "fairbc_cache_payload_hits_total")
+              << "},\n";
   }
 
   // TCP connection axis: the epoll reactor under {100, 1000, 10000}

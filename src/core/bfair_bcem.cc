@@ -54,6 +54,14 @@ EnumStats BFairBcemRun(const BipartiteGraph& g,
                        const BicliqueSink& sink) {
   EnumStats stats;
   if (g.NumUpper() == 0 || g.NumLower() == 0) return stats;
+  if (options.topk != nullptr) {
+    // ss_sink shrinks each SS biclique's upper side to its fair subsets
+    // and regrows the lower side to each subset's common neighborhood —
+    // the upper side of any derived result stays within the subtree's L,
+    // but the lower side is only bounded by the whole (reduced) graph.
+    options.topk->set_lower_cap(
+        static_cast<std::uint32_t>(g.NumVertices(Side::kLower)));
+  }
   const FairnessSpec upper_spec = params.UpperSpec();
   // The bi-side model is the lower-side policy applied once more on the
   // upper side; both policies are shared read-only by every worker.

@@ -4,6 +4,19 @@
 
 namespace fairbc {
 
+std::uint64_t RankValue(std::uint64_t upper_size, std::uint64_t lower_size,
+                        TopKRank rank) {
+  switch (rank) {
+    case TopKRank::kWeight:
+      return upper_size * lower_size;
+    case TopKRank::kSize:
+      return upper_size + lower_size;
+    case TopKRank::kBalance:
+      return upper_size < lower_size ? upper_size : lower_size;
+  }
+  return 0;
+}
+
 std::string Biclique::DebugString() const {
   std::ostringstream os;
   os << "U{";

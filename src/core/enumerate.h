@@ -15,6 +15,7 @@
 namespace fairbc {
 
 class TraceRecorder;
+class SearchBudget;
 
 /// Parameters of the four fair-biclique models (Defs. 3–6).
 struct FairBicliqueParams {
@@ -57,6 +58,100 @@ struct Biclique {
 /// (CollectSink/CountSink below qualify).
 using BicliqueSink = std::function<bool(const Biclique&)>;
 
+/// Composable result-sink interface: every consumer of an enumeration —
+/// collecting, counting, chunked streaming, top-k selection — is one
+/// ResultSink, and sinks stack by forwarding Accept to an inner sink.
+/// Accept returns false to abort the run (same contract as BicliqueSink,
+/// which remains the engines' currency; AsSink() bridges). Finish() is
+/// called exactly once after the enumeration returns so buffering sinks
+/// (core/result_sink.h ChunkSink, TopKSink) can flush; for pass-through
+/// sinks it is a no-op. Unless a sink documents otherwise, Accept/Finish
+/// follow the BicliqueSink threading contract above.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Consumes one result; false aborts the enumeration.
+  virtual bool Accept(const Biclique& b) = 0;
+
+  /// Flushes buffered state once the run is over (no further Accepts).
+  virtual void Finish() {}
+
+  /// Adapter into the engines' functional sink type. The returned
+  /// callable references *this and must not outlive it.
+  BicliqueSink AsSink() {
+    return [this](const Biclique& b) { return Accept(b); };
+  }
+};
+
+/// Ranking for top-k result selection (core/result_sink.h TopKSink and
+/// the service/CLI `top_k`/`rank` knobs). Higher rank value = better;
+/// ties break by the canonical Biclique order (smaller wins) so top-k
+/// output is deterministic whatever the emission order.
+enum class TopKRank {
+  kWeight,   ///< |upper| * |lower| (edge count of the biclique).
+  kSize,     ///< |upper| + |lower| (vertex count).
+  kBalance,  ///< min(|upper|, |lower|) (balanced-biclique objective).
+};
+
+/// Rank value of a (|upper|, |lower|) shape pair under `rank`.
+std::uint64_t RankValue(std::uint64_t upper_size, std::uint64_t lower_size,
+                        TopKRank rank);
+
+/// Shared branch-and-bound prune state for top-k runs: the top-k sink
+/// publishes the current k-th best rank value once its keeper is full, and
+/// every engine worker consults CanPrune before descending into a subtree.
+/// A subtree is cut only when its best possible rank value is *strictly*
+/// below the published bound — results tying the k-th best can still
+/// displace it under the canonical tie-break, so pruned runs return
+/// exactly the top k of the full enumeration.
+///
+/// Engines whose emitted results re-expand one side after enumeration
+/// (FairBcemPpRun grows the upper side of each fair subset back to its
+/// common neighborhood; BFairBcemRun likewise the lower side) cannot bound
+/// that side from the subtree sets, so their run drivers install a
+/// graph-level cap that replaces the local bound for that side.
+class TopKPruneBound {
+ public:
+  explicit TopKPruneBound(TopKRank rank) : rank_(rank) {}
+
+  TopKRank rank() const { return rank_; }
+
+  /// Installed by run drivers before fan-out (see class comment).
+  void set_upper_cap(std::uint32_t cap) {
+    upper_cap_.store(cap, std::memory_order_relaxed);
+  }
+  void set_lower_cap(std::uint32_t cap) {
+    lower_cap_.store(cap, std::memory_order_relaxed);
+  }
+
+  /// Publishes the current k-th best value (keeper full). Monotone
+  /// non-decreasing by construction; called under the sink serialization.
+  void Publish(std::uint64_t kth_value) {
+    bound_.store(kth_value, std::memory_order_release);
+    full_.store(true, std::memory_order_release);
+  }
+
+  /// May a subtree whose results all fit within (upper_bound, lower_bound)
+  /// be cut? Relaxed loads: a stale (smaller) bound only prunes less.
+  bool CanPrune(std::uint64_t upper_bound, std::uint64_t lower_bound) const {
+    if (!full_.load(std::memory_order_relaxed)) return false;
+    std::uint64_t u_cap = upper_cap_.load(std::memory_order_relaxed);
+    std::uint64_t l_cap = lower_cap_.load(std::memory_order_relaxed);
+    if (u_cap != 0) upper_bound = u_cap;
+    if (l_cap != 0) lower_bound = l_cap;
+    return RankValue(upper_bound, lower_bound, rank_) <
+           bound_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const TopKRank rank_;
+  std::atomic<std::uint64_t> bound_{0};
+  std::atomic<bool> full_{false};
+  std::atomic<std::uint32_t> upper_cap_{0};
+  std::atomic<std::uint32_t> lower_cap_{0};
+};
+
 /// Candidate processing order in the branch-and-bound search (Table II).
 enum class VertexOrdering {
   kId,          ///< IDOrd: ascending vertex id.
@@ -93,6 +188,20 @@ struct EnumOptions {
   /// a query's identity — cache keys and result sets ignore it. null =
   /// no tracing (the default, and the zero-overhead path).
   TraceRecorder* trace = nullptr;
+  /// Optional top-k branch-and-bound prune state, owned by the caller's
+  /// top-k sink (core/result_sink.h TopKSink::prune_bound()). Engines cut
+  /// subtrees that provably cannot reach the published k-th best; null =
+  /// full enumeration (the default). Like `trace`, not part of a query's
+  /// identity — but the *k/rank* knobs that create one are. Non-const so
+  /// run drivers can install the engine-appropriate side caps.
+  TopKPruneBound* topk = nullptr;
+  /// Optional caller-owned budget the engines use instead of constructing
+  /// their own from node_budget/time_budget_seconds. Lets streaming
+  /// consumers observe mid-run progress (SearchBudget::nodes — the
+  /// StreamCheckpoint of core/result_sink.h) and abort cooperatively. The
+  /// caller must construct it with the same limits as this options block
+  /// and must not reuse it across runs. null = engine-owned (default).
+  SearchBudget* shared_budget = nullptr;
 };
 
 /// Counters reported by every enumeration entry point.
@@ -129,14 +238,12 @@ struct EnumStats {
 /// is safe even with the engine-level entry points that emit from several
 /// workers; results()/mutable_results() must only be read after the
 /// enumeration returned.
-class CollectSink {
+class CollectSink final : public ResultSink {
  public:
-  BicliqueSink AsSink() {
-    return [this](const Biclique& b) {
-      std::lock_guard<std::mutex> lock(mu_);
-      results_.push_back(b);
-      return true;
-    };
+  bool Accept(const Biclique& b) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    results_.push_back(b);
+    return true;
   }
   const std::vector<Biclique>& results() const { return results_; }
   std::vector<Biclique>& mutable_results() { return results_; }
@@ -147,13 +254,11 @@ class CollectSink {
 };
 
 /// Convenience sink that only counts; safe under concurrent emission.
-class CountSink {
+class CountSink final : public ResultSink {
  public:
-  BicliqueSink AsSink() {
-    return [this](const Biclique&) {
-      count_.fetch_add(1, std::memory_order_relaxed);
-      return true;
-    };
+  bool Accept(const Biclique&) override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return true;
   }
   std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);

@@ -108,6 +108,16 @@ class FairBcemEngine {
     KernelStats* kstats = ctx_.kernel_stats();
     const VertexId x = p.front();
 
+    // Top-k branch-and-bound: no result below this node can exceed
+    // (|L|, |R| + |P|) — every descendant upper set is a subset of L and
+    // every descendant pick comes from R ∪ P (excluded q vertices never
+    // re-enter). Cut the subtree when even that shape cannot reach the
+    // published k-th best; `return true` (not false) — siblings go on.
+    const TopKPruneBound* topk = ctx_.options().topk;
+    if (topk != nullptr && topk->CanPrune(big_l.size(), r.size() + p.size())) {
+      return true;
+    }
+
     ArenaScope frame(arena);
     const std::span<const VertexId> x_nbrs = g.Neighbors(Side::kLower, x);
     IdVec new_l(arena, std::min(big_l.size(), x_nbrs.size()));
@@ -146,6 +156,13 @@ class FairBcemEngine {
     IdVec p_full(arena, p.size() - 1);
     FilterCandidates(g, Side::kLower, p.subspan(1), new_l.view(), lbits,
                      CandidateThreshold(), &new_p, &p_full, kstats);
+
+    // Tighter top-k bound now that L' and the surviving candidates are
+    // known: upper ≤ |new_l|, lower ≤ |r| + 1 (x) + |new_p|.
+    if (topk != nullptr &&
+        topk->CanPrune(new_l.size(), r.size() + 1 + new_p.size())) {
+      return true;
+    }
 
     IdVec new_r(arena, r.size() + 1);
     for (VertexId v : r) new_r.push_back(v);
@@ -266,7 +283,10 @@ EnumStats FairBcemRun(const BipartiteGraph& g, const FairBicliqueParams& params,
     return {};
   }
   SpecFairnessPolicy policy(params.LowerSpec());
-  SearchBudget budget(options);
+  SearchBudget local_budget(options);
+  SearchBudget& budget = options.shared_budget != nullptr
+                             ? *options.shared_budget
+                             : local_budget;
   const std::vector<VertexId> upper_all = AllVertices(g, Side::kUpper);
   const std::vector<VertexId> candidates =
       MakeOrder(g, Side::kLower, options.ordering);

@@ -53,6 +53,15 @@ EnumStats FairBcemPpRun(const BipartiteGraph& g,
   config.time_budget_seconds = options.time_budget_seconds;
   config.num_threads = options.num_threads;
   config.trace = options.trace;
+  config.shared_budget = options.shared_budget;
+  if (options.topk != nullptr) {
+    // The fair-subset pass regrows each subset's upper side to its common
+    // neighborhood, which can exceed the substrate biclique's |L| — only
+    // the whole upper side of the (already reduced) graph bounds it.
+    options.topk->set_upper_cap(
+        static_cast<std::uint32_t>(g.NumVertices(Side::kUpper)));
+    config.topk = options.topk;
+  }
 
   // The substrate may deliver maximal bicliques from several workers at
   // once (config.num_threads != 1), so everything the per-biclique

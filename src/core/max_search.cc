@@ -1,71 +1,38 @@
 #include "core/max_search.h"
 
-#include <algorithm>
-
 #include "common/status.h"
 #include "core/pipeline.h"
+#include "core/result_sink.h"
 
 namespace fairbc {
 
 std::uint64_t ObjectiveValue(const Biclique& b, BicliqueObjective objective) {
-  auto u = static_cast<std::uint64_t>(b.upper.size());
-  auto v = static_cast<std::uint64_t>(b.lower.size());
-  return objective == BicliqueObjective::kEdges ? u * v : u + v;
+  return RankValue(b.upper.size(), b.lower.size(),
+                   objective == BicliqueObjective::kEdges ? TopKRank::kWeight
+                                                          : TopKRank::kSize);
 }
 
 namespace {
 
-// Keeps the k best bicliques seen so far; deterministic tie-break by the
-// canonical order so results are stable across orderings/pruning levels.
-class TopKKeeper {
- public:
-  TopKKeeper(std::uint32_t k, BicliqueObjective objective)
-      : k_(std::max(k, 1u)), objective_(objective) {}
-
-  // entries_ is kept sorted (Better is a total order: distinct bicliques
-  // never compare equal), so one offer is a binary search plus insert —
-  // and a full keeper rejects non-improving candidates without touching
-  // the list at all, instead of re-sorting everything per result.
-  void Offer(const Biclique& b) {
-    std::pair<std::uint64_t, Biclique> cand(ObjectiveValue(b, objective_), b);
-    if (entries_.size() >= k_ && !Better(cand, entries_.back())) return;
-    auto pos =
-        std::upper_bound(entries_.begin(), entries_.end(), cand, Better);
-    entries_.insert(pos, std::move(cand));
-    if (entries_.size() > k_) entries_.pop_back();
-  }
-
-  std::vector<Biclique> Take() {
-    std::vector<Biclique> out;
-    out.reserve(entries_.size());
-    for (auto& [value, b] : entries_) out.push_back(std::move(b));
-    return out;
-  }
-
- private:
-  static bool Better(const std::pair<std::uint64_t, Biclique>& a,
-                     const std::pair<std::uint64_t, Biclique>& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second < b.second;
-  }
-
-  std::uint32_t k_;
-  BicliqueObjective objective_;
-  std::vector<std::pair<std::uint64_t, Biclique>> entries_;
-};
-
+// The keeper itself lives in core/result_sink.h (TopKSink) now that the
+// whole result pathway is sink-based; this module keeps the historical
+// objective-named entry points and additionally feeds the sink's prune
+// bound back into the engines (EnumOptions::topk), so top-k search cuts
+// subtrees that cannot reach the current k-th best.
 template <typename EnumerateFn>
 MaxSearchResult RunTopK(EnumerateFn&& enumerate, const BipartiteGraph& g,
                         const FairBicliqueParams& params,
                         const EnumOptions& options, std::uint32_t k,
                         BicliqueObjective objective) {
-  TopKKeeper keeper(k, objective);
+  TopKSink sink(k, objective == BicliqueObjective::kEdges
+                       ? TopKRank::kWeight
+                       : TopKRank::kSize);
+  EnumOptions pruned = options;
+  pruned.topk = sink.prune_bound();
   MaxSearchResult result;
-  result.stats = enumerate(g, params, options, [&](const Biclique& b) {
-    keeper.Offer(b);
-    return true;
-  });
-  result.best = keeper.Take();
+  result.stats = enumerate(g, params, pruned, sink.AsSink());
+  sink.Finish();
+  result.best = sink.Take();
   return result;
 }
 

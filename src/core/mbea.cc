@@ -94,6 +94,14 @@ class MbeaEngine {
     KernelStats* kstats = &stats_.kernels;
     const VertexId x = p.front();
 
+    // Top-k branch-and-bound: descendants stay within (|L|, |R| + |P|)
+    // (or the caller-installed side caps — see MbeaConfig::topk). Cutting
+    // returns true: siblings continue, only this subtree dies.
+    if (config_.topk != nullptr &&
+        config_.topk->CanPrune(big_l.size(), r.size() + p.size())) {
+      return true;
+    }
+
     ArenaScope frame(arena_);
     const std::span<const VertexId> x_nbrs = g_.Neighbors(Side::kLower, x);
     IdVec new_l(arena_, std::min(big_l.size(), x_nbrs.size()));
@@ -271,7 +279,10 @@ MbeaStats EnumerateMaximalBicliques(const BipartiteGraph& g,
                                     const MbeaConfig& config,
                                     const MaximalBicliqueSink& sink) {
   if (g.NumUpper() == 0 || g.NumLower() == 0) return {};
-  SearchBudget budget(config.node_budget, config.time_budget_seconds);
+  SearchBudget local_budget(config.node_budget, config.time_budget_seconds);
+  SearchBudget& budget = config.shared_budget != nullptr
+                             ? *config.shared_budget
+                             : local_budget;
   const std::vector<VertexId> upper_all = AllVertices(g, Side::kUpper);
   const std::vector<VertexId> candidates =
       MakeOrder(g, Side::kLower, config.ordering);

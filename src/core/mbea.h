@@ -35,6 +35,14 @@ struct MbeaConfig {
   unsigned num_threads = 1;
   /// Optional span recorder (EnumOptions::trace); root/split task spans.
   TraceRecorder* trace = nullptr;
+  /// Optional top-k branch-and-bound prune state (EnumOptions::topk):
+  /// subtrees whose (|L|, |R| + |P|) shape cannot reach the published
+  /// k-th best are cut. Callers whose sink re-expands the upper side of
+  /// emitted bicliques (the FairBCEM++ fair-subset pass) must install an
+  /// upper cap on the bound first (TopKPruneBound::set_upper_cap).
+  const TopKPruneBound* topk = nullptr;
+  /// Optional caller-owned budget (EnumOptions::shared_budget contract).
+  SearchBudget* shared_budget = nullptr;
 };
 
 struct MbeaStats {

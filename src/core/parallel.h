@@ -119,19 +119,18 @@ void ParallelForChunks(ThreadPool& pool, std::uint64_t n, Fn&& fn) {
 /// workers invoke it one at a time. The pipeline entry points wrap every
 /// caller-provided sink in one of these, which is why existing sinks need
 /// no thread-safety of their own (see the contract in core/enumerate.h).
-class SerializingSink {
+/// One of the composable ResultSink stages; its Accept (and the AsSink
+/// view) is safe under concurrent emission.
+class SerializingSink final : public ResultSink {
  public:
   explicit SerializingSink(const BicliqueSink& sink) : inner_(sink) {}
 
   SerializingSink(const SerializingSink&) = delete;
   SerializingSink& operator=(const SerializingSink&) = delete;
 
-  /// Thread-safe sink view; valid while this adapter is alive.
-  BicliqueSink AsSink() {
-    return [this](const Biclique& b) {
-      std::lock_guard<std::mutex> lock(mu_);
-      return inner_(b);
-    };
+  bool Accept(const Biclique& b) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_(b);
   }
 
  private:

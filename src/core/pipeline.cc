@@ -214,6 +214,10 @@ EnumStats EnumerateMaximalBicliquesPruned(const BipartiteGraph& g,
   config.time_budget_seconds = options.time_budget_seconds;
   config.num_threads = options.num_threads;
   config.trace = options.trace;
+  // Direct maximal-biclique emission: subtree shapes bound their results
+  // exactly, so the prune bound flows through with no side caps.
+  config.topk = options.topk;
+  config.shared_budget = options.shared_budget;
 
   Timer enum_timer;
   TraceSpan enum_span(options.trace, "enumerate");

@@ -99,6 +99,11 @@ class SearchBudget {
   void CountNode() { nodes_.fetch_add(1, std::memory_order_relaxed); }
 
   void Abort() { aborted_.store(true, std::memory_order_relaxed); }
+  /// Search nodes accounted so far (streaming checkpoints read this
+  /// mid-run, so it is monotone but approximate under concurrency).
+  std::uint64_t nodes() const {
+    return nodes_.load(std::memory_order_relaxed);
+  }
   bool aborted() const { return aborted_.load(std::memory_order_relaxed); }
   bool exhausted() const { return exhausted_.load(std::memory_order_relaxed); }
   bool DeadlineExpired() const { return deadline_.Expired(); }

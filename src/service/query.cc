@@ -38,14 +38,22 @@ void DigestAccumulator::FillSummary(QuerySummary* summary) const {
 
 std::string CanonicalCacheKey(const QueryRequest& req,
                               std::uint64_t graph_version) {
-  char buf[160];
+  char buf[192];
   // %.17g round-trips every double, so distinct thetas never collide.
   std::snprintf(buf, sizeof(buf), "@%016llx|%s|%s|a=%u|b=%u|d=%u|t=%.17g|%s|%s",
                 static_cast<unsigned long long>(graph_version),
                 ToString(req.model), ToString(req.algo), req.params.alpha,
                 req.params.beta, req.params.delta, req.params.theta,
                 ToString(req.options.ordering), ToString(req.options.pruning));
-  return req.graph + buf;
+  std::string key = req.graph + buf;
+  if (req.top_k > 0) {
+    // Top-k results are a different result set than the full enumeration;
+    // full-enumeration keys stay byte-identical to previous releases.
+    std::snprintf(buf, sizeof(buf), "|k=%u|rank=%s", req.top_k,
+                  ToString(req.rank));
+    key += buf;
+  }
+  return key;
 }
 
 std::optional<FairModel> ParseFairModel(const std::string& name) {
@@ -77,8 +85,35 @@ const char* ToString(FairAlgo algo) {
   return "pp";
 }
 
+std::optional<TopKRank> ParseTopKRank(const std::string& name) {
+  if (name == "weight") return TopKRank::kWeight;
+  if (name == "size") return TopKRank::kSize;
+  if (name == "balance") return TopKRank::kBalance;
+  return std::nullopt;
+}
+
 const char* ToString(VertexOrdering ordering) {
   return ordering == VertexOrdering::kId ? "id" : "deg";
+}
+
+const char* ToString(TopKRank rank) {
+  switch (rank) {
+    case TopKRank::kSize:
+      return "size";
+    case TopKRank::kBalance:
+      return "balance";
+    case TopKRank::kWeight:
+      break;
+  }
+  return "weight";
+}
+
+bool ValidRequestId(const std::string& token) {
+  if (token.size() > 128) return false;
+  for (char c : token) {
+    if (c <= 0x20 || c >= 0x7f || c == '"' || c == '\\') return false;
+  }
+  return true;
 }
 
 const char* ToString(PruningLevel level) {

@@ -30,10 +30,22 @@ struct QueryRequest {
   EnumOptions options;
   bool use_cache = true;
   /// Collect the bicliques themselves into QueryResult::bicliques (the
-  /// summary alone is returned otherwise). Collected runs bypass cache
-  /// *lookup* (the cache stores summaries only) but still publish their
-  /// summary for later summary-only queries.
+  /// summary alone is returned otherwise). Collected runs are served from
+  /// cache only when the cache retained the result *payload* under its
+  /// byte budget (ResultCacheOptions::biclique_byte_budget); either way
+  /// they publish their summary for later summary-only queries.
   bool include_bicliques = false;
+  /// Keep only the `top_k` best results under `rank` (0 = enumerate
+  /// everything, the default). Top-k runs feed the current k-th best back
+  /// into the engines as a branch-and-bound prune bound; the output
+  /// equals the top k of the full enumeration under (rank desc, canonical
+  /// biclique order asc). Part of the cache key.
+  std::uint32_t top_k = 0;
+  TopKRank rank = TopKRank::kWeight;
+  /// Optional client-supplied correlation token (traceparent-style),
+  /// echoed verbatim in responses and stamped onto retained trace spans.
+  /// Never part of a query's identity (cache key / single-flight).
+  std::string request_id;
 };
 
 /// Order-independent 64-bit content hash of one biclique.
@@ -100,9 +112,10 @@ struct QueryResult {
 
 /// Canonical ResultCache key: everything that determines the result set
 /// and its summary — graph content version, model, algo, alpha, beta,
-/// delta, theta, ordering, pruning. Thread count is deliberately
-/// excluded (it never changes the result set); budgets are excluded
-/// because budget-limited (partial) runs are never inserted.
+/// delta, theta, ordering, pruning, and (for top-k queries) k and rank.
+/// Thread count is deliberately excluded (it never changes the result
+/// set); budgets are excluded because budget-limited (partial) runs are
+/// never inserted; request_id is correlation metadata, not identity.
 std::string CanonicalCacheKey(const QueryRequest& req,
                               std::uint64_t graph_version);
 
@@ -110,10 +123,17 @@ std::string CanonicalCacheKey(const QueryRequest& req,
 /// line protocol.
 std::optional<FairModel> ParseFairModel(const std::string& name);
 std::optional<FairAlgo> ParseFairAlgo(const std::string& name);
+std::optional<TopKRank> ParseTopKRank(const std::string& name);
 const char* ToString(FairModel model);
 const char* ToString(FairAlgo algo);
 const char* ToString(VertexOrdering ordering);
 const char* ToString(PruningLevel level);
+const char* ToString(TopKRank rank);
+
+/// Validates a client-supplied request_id token: at most 128 bytes of
+/// printable ASCII with no space, double quote or backslash (so it embeds
+/// verbatim in JSON and the line protocol). Empty = absent = valid.
+bool ValidRequestId(const std::string& token);
 
 }  // namespace fairbc
 

@@ -1,8 +1,12 @@
 #include "service/query_executor.h"
 
+#include <algorithm>
 #include <optional>
 #include <sstream>
 #include <utility>
+
+#include "core/result_sink.h"
+#include "core/search_context.h"
 
 namespace fairbc {
 
@@ -57,7 +61,18 @@ QueryExecutor::QueryExecutor(const GraphCatalog& catalog,
       kernel_bitset_(metrics_->GetCounter("fairbc_kernel_dispatch_total",
                                           "Kernel dispatch decisions.",
                                           "kernel=\"bitset\"")),
-      cache_(options.cache_capacity, metrics_),
+      streams_(metrics_->GetCounter("fairbc_stream_queries_total",
+                                    "Streaming executions admitted.")),
+      stream_chunks_(metrics_->GetCounter(
+          "fairbc_stream_chunks_total",
+          "Stream chunks delivered (all streams and subscribers).")),
+      stream_first_result_(metrics_->GetHistogram(
+          "fairbc_stream_first_result_seconds",
+          "Streaming admission to first delivered chunk.")),
+      cache_(options.cache_capacity, metrics_, options.cache_biclique_bytes),
+      stream_chunk_results_(options.stream_chunk_results < 1
+                                ? 1
+                                : options.stream_chunk_results),
       slow_query_ms_(options.slow_query_ms),
       trace_span_capacity_(options.trace_span_capacity),
       trace_ring_(options.trace_ring_capacity),
@@ -117,6 +132,9 @@ void QueryExecutor::FinalizeTrace(const QueryRequest& request,
         << ToString(request.algo) << " alpha=" << request.params.alpha
         << " beta=" << request.params.beta
         << " delta=" << request.params.delta;
+  // A client correlation id rides into the retained trace, so a slow
+  // streamed query found via `trace` can be matched to the client log.
+  if (!request.request_id.empty()) label << " rid=" << request.request_id;
   trace->set_label(label.str());
   trace->set_wall_seconds(out->seconds);
   out->trace = trace;
@@ -129,7 +147,7 @@ void QueryExecutor::FinalizeTrace(const QueryRequest& request,
 
 void QueryExecutor::RunQuery(const QueryRequest& request,
                              const BipartiteGraph& graph, QueryResult* out,
-                             TraceRecorder* trace) {
+                             TraceRecorder* trace, const ChunkCallback* emit) {
   std::function<void(const QueryRequest&)> hook;
   {
     std::lock_guard<std::mutex> lock(hook_mu_);
@@ -139,23 +157,97 @@ void QueryExecutor::RunQuery(const QueryRequest& request,
   TraceSpan span(trace, "execute");
   Timer run_timer;
   DigestAccumulator digest;
-  BicliqueSink inner;
-  if (request.include_bicliques) {
-    inner = [out](const Biclique& b) {
+  EnumOptions options = request.options;
+  options.trace = trace;
+  // Executor-owned budget when streaming: chunk checkpoints read the node
+  // count mid-run, which the engines' internal budget would keep private.
+  SearchBudget budget(options);
+  if (emit != nullptr) options.shared_budget = &budget;
+
+  // Streamed chunks flow through a bounded ChunkSink. Its guaranteed
+  // empty-run flush is skipped here — the end-of-stream marker emitted
+  // below carries the totals (and the `final` flag) either way.
+  std::uint64_t seq = 0;
+  double stream_start_us = -1.0;
+  std::optional<ChunkSink> chunker;
+  if (emit != nullptr) {
+    chunker.emplace(
+        stream_chunk_results_,
+        [&](std::vector<Biclique>&& bicliques,
+            const StreamCheckpoint& checkpoint) {
+          if (bicliques.empty()) return true;
+          StreamChunk chunk;
+          chunk.seq = ++seq;
+          chunk.bicliques = std::move(bicliques);
+          chunk.results_so_far = checkpoint.results;
+          chunk.nodes_so_far = checkpoint.nodes;
+          (*emit)(chunk);
+          return true;
+        },
+        &budget);
+  }
+
+  // Terminal stage the per-result digest wrapper forwards into: streamed
+  // chunks, batch collection, or nothing (summary-only).
+  BicliqueSink terminal;
+  if (chunker) {
+    terminal = chunker->AsSink();
+  } else if (request.include_bicliques) {
+    terminal = [out](const Biclique& b) {
       out->bicliques.push_back(b);
       return true;
     };
   } else {
-    inner = [](const Biclique&) { return true; };
+    terminal = [](const Biclique&) { return true; };
   }
-  EnumOptions options = request.options;
-  options.trace = trace;
+
   // The pipeline entry points serialize sink invocation, so the plain
-  // accumulator and vector push_back are safe at any num_threads.
-  out->summary.stats =
-      RunEnumeration(graph, request.model, request.algo, request.params,
-                     options, digest.Wrap(std::move(inner)));
+  // accumulator, vector push_back and chunk buffer are safe at any
+  // num_threads.
+  if (request.top_k > 0) {
+    // Top-k interposes between the engines and the terminal stage: the
+    // keeper absorbs the full emission (publishing the k-th best into the
+    // engines' prune bound as it fills), then the final ranking replays
+    // through digest + terminal so the summary — and any stream — describe
+    // exactly the kept set, best first.
+    TopKSink topk(request.top_k, request.rank);
+    options.topk = topk.prune_bound();
+    out->summary.stats =
+        RunEnumeration(graph, request.model, request.algo, request.params,
+                       options, topk.AsSink());
+    topk.Finish();
+    std::vector<Biclique> best = topk.Take();
+    BicliqueSink wrapped = digest.Wrap(std::move(terminal));
+    for (const Biclique& b : best) {
+      if (!wrapped(b)) break;
+    }
+    out->summary.stats.num_results = best.size();
+  } else {
+    out->summary.stats =
+        RunEnumeration(graph, request.model, request.algo, request.params,
+                       options, digest.Wrap(std::move(terminal)));
+  }
   digest.FillSummary(&out->summary);
+  if (chunker) {
+    // The "stream" span covers the post-enumeration delivery tail (final
+    // chunk flush + end-of-stream marker): mid-run chunk flushes happen
+    // inside the enumerate span, and Chrome trace complete events on one
+    // thread must nest — a first-flush-to-last span would straddle
+    // enumerate's boundary. First-chunk latency lives in the
+    // fairbc_stream_first_result_seconds histogram instead.
+    if (trace != nullptr) stream_start_us = trace->NowMicros();
+    chunker->Finish();
+    StreamChunk end;
+    end.seq = ++seq;
+    end.results_so_far = digest.count();
+    end.nodes_so_far = budget.nodes();
+    end.final = true;
+    (*emit)(end);
+    if (trace != nullptr) {
+      trace->Record("stream", stream_start_us,
+                    trace->NowMicros() - stream_start_us);
+    }
+  }
   out->effective_threads = ResolveNumThreads(request.options.num_threads);
   span.End();
 
@@ -248,6 +340,25 @@ QueryResult QueryExecutor::Execute(const QueryRequest& request) {
   const bool may_wait = request.options.time_budget_seconds == 0.0 &&
                         request.options.node_budget == 0;
 
+  // Biclique-collecting queries can still skip the engines when the cache
+  // retained the result payload under its byte budget (they stay outside
+  // single-flight — a summary-only leader has no bicliques to share).
+  if (request.use_cache && request.include_bicliques) {
+    ResultCache::Payload payload;
+    std::optional<QuerySummary> cached;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      cached = cache_.Lookup(key, &payload);
+    }
+    if (cached && payload != nullptr) {
+      out.summary = *cached;
+      out.bicliques = *payload;
+      out.cache_hit = true;
+      out.seconds = timer.ElapsedSeconds();
+      return out;
+    }
+  }
+
   for (;;) {
     std::shared_ptr<InFlight> slot;
     bool leader = true;
@@ -304,8 +415,13 @@ QueryResult QueryExecutor::Execute(const QueryRequest& request) {
     } else if (request.use_cache && complete) {
       // Unshared runs (biclique-collecting, or budgeted queries that
       // declined to wait on someone else's slot) still publish their
-      // summary for later summary-only queries.
-      cache_.Insert(key, out.summary);
+      // summary for later summary-only queries; collecting runs attach
+      // the result payload so repeats can skip the engines entirely.
+      ResultCache::Payload payload;
+      if (request.include_bicliques) {
+        payload = std::make_shared<const std::vector<Biclique>>(out.bicliques);
+      }
+      cache_.Insert(key, out.summary, std::move(payload));
     }
     publish_span.End();
     root_span.End();
@@ -336,6 +452,26 @@ void QueryExecutor::ExecuteAsync(const QueryRequest& request, Completion done) {
   const bool shareable = request.use_cache && !request.include_bicliques;
   const bool may_wait = request.options.time_budget_seconds == 0.0 &&
                         request.options.node_budget == 0;
+
+  // Async mirror of Execute's payload fast path for collecting queries.
+  if (request.use_cache && request.include_bicliques) {
+    ResultCache::Payload payload;
+    std::optional<QuerySummary> cached;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      cached = cache_.Lookup(key, &payload);
+    }
+    if (cached && payload != nullptr) {
+      QueryResult out;
+      out.summary = *cached;
+      out.bicliques = *payload;
+      out.cache_hit = true;
+      out.graph_version = entry->version;
+      out.seconds = timer.ElapsedSeconds();
+      done(std::move(out));
+      return;
+    }
+  }
 
   std::shared_ptr<InFlight> slot;
   if (shareable) {
@@ -395,6 +531,229 @@ void QueryExecutor::ExecuteAsync(const QueryRequest& request, Completion done) {
     if (slot != nullptr) {
       FinishLeader(key, slot, out.summary, complete);
     } else if (request.use_cache && complete) {
+      ResultCache::Payload payload;
+      if (request.include_bicliques) {
+        payload = std::make_shared<const std::vector<Biclique>>(out.bicliques);
+      }
+      cache_.Insert(key, out.summary, std::move(payload));
+    }
+    publish_span.End();
+    root_span->End();
+    out.seconds = timer.ElapsedSeconds();
+    FinalizeTrace(request, std::move(trace), &out);
+    async_pending_->Decrement();
+    done(std::move(out));
+  });
+}
+
+void QueryExecutor::FinishStreamLeader(
+    const std::string& key, const std::shared_ptr<StreamFlight>& flight,
+    const QueryResult& out, bool complete) {
+  // Cache insert and flight retirement are atomic with the in-flight
+  // table, mirroring FinishLeader: between them no duplicate can either
+  // miss the cache payload or attach to a dead flight. Lock order is
+  // inflight_mu_ -> flight->mu; no path acquires them in reverse.
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    if (complete) {
+      auto payload = std::make_shared<std::vector<Biclique>>();
+      {
+        std::lock_guard<std::mutex> lk(flight->mu);
+        payload->reserve(static_cast<std::size_t>(out.summary.count));
+        for (const StreamChunk& c : flight->backlog) {
+          payload->insert(payload->end(), c.bicliques.begin(),
+                          c.bicliques.end());
+        }
+      }
+      cache_.Insert(key, out.summary, std::move(payload));
+    }
+    stream_inflight_.erase(key);
+  }
+  std::vector<StreamFlight::Subscriber> subs;
+  {
+    std::lock_guard<std::mutex> lk(flight->mu);
+    flight->done = true;
+    flight->final_result.status = out.status;
+    flight->final_result.summary = out.summary;
+    subs = std::move(flight->subscribers);
+    flight->subscribers.clear();
+  }
+  for (StreamFlight::Subscriber& sub : subs) {
+    QueryResult adopted;
+    adopted.status = out.status;
+    adopted.summary = out.summary;
+    adopted.coalesced = true;
+    adopted.graph_version = out.graph_version;
+    adopted.seconds = sub.timer.ElapsedSeconds();
+    coalesced_->Increment();
+    async_pending_->Decrement();
+    sub.done(std::move(adopted));
+  }
+}
+
+void QueryExecutor::ExecuteStreaming(const QueryRequest& request,
+                                     ChunkCallback on_chunk, Completion done) {
+  Timer timer;
+  queries_->Increment();
+  streams_->Increment();
+  std::shared_ptr<const CatalogEntry> entry = catalog_.Get(request.graph);
+  if (entry == nullptr) {
+    QueryResult out;
+    out.status = Status::NotFound("unknown graph: " + request.graph);
+    out.seconds = timer.ElapsedSeconds();
+    failures_->Increment();
+    done(std::move(out));
+    return;
+  }
+
+  std::shared_ptr<TraceRecorder> trace = MaybeStartTrace();
+  TraceSpan root_span(trace.get(), "query");
+  TraceSpan admission_span(trace.get(), "admission");
+
+  const std::string key = CanonicalCacheKey(request, entry->version);
+  // Streams share like summary queries do: attaching (or leading a
+  // shareable flight) requires an unbudgeted cacheable request — partial
+  // streams are never shared or cached.
+  const bool shareable = request.use_cache &&
+                         request.options.time_budget_seconds == 0.0 &&
+                         request.options.node_budget == 0;
+
+  std::shared_ptr<StreamFlight> flight;
+  bool leader = true;
+  if (request.use_cache) {
+    ResultCache::Payload payload;
+    std::optional<QuerySummary> cached;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      cached = cache_.Lookup(key, &payload);
+      if (!(cached && payload != nullptr) && shareable) {
+        auto it = stream_inflight_.find(key);
+        if (it != stream_inflight_.end()) {
+          flight = it->second;
+          leader = false;
+        } else {
+          flight = std::make_shared<StreamFlight>();
+          stream_inflight_[key] = flight;
+        }
+      }
+    }
+    if (cached && payload != nullptr) {
+      // Retained payload: the whole stream replays inline from the cache
+      // (cache_hit), chunked exactly like a live run would have been.
+      QueryResult out;
+      out.summary = *cached;
+      out.cache_hit = true;
+      out.graph_version = entry->version;
+      std::uint64_t seq = 0;
+      std::size_t i = 0;
+      bool first = true;
+      while (i < payload->size()) {
+        const std::size_t n =
+            std::min(stream_chunk_results_, payload->size() - i);
+        StreamChunk chunk;
+        chunk.seq = ++seq;
+        chunk.bicliques.assign(payload->begin() + static_cast<std::ptrdiff_t>(i),
+                               payload->begin() +
+                                   static_cast<std::ptrdiff_t>(i + n));
+        i += n;
+        chunk.results_so_far = i;
+        if (first) {
+          stream_first_result_->Observe(timer.ElapsedSeconds());
+          first = false;
+        }
+        stream_chunks_->Increment();
+        on_chunk(chunk);
+      }
+      StreamChunk end;
+      end.seq = ++seq;
+      end.results_so_far = payload->size();
+      end.final = true;
+      if (first) stream_first_result_->Observe(timer.ElapsedSeconds());
+      stream_chunks_->Increment();
+      on_chunk(end);
+      out.seconds = timer.ElapsedSeconds();
+      done(std::move(out));
+      return;
+    }
+  }
+
+  if (!leader) {
+    // Attach to the in-flight stream. The backlog replays inline under
+    // the flight mutex — the leader delivers under the same mutex, so the
+    // subscriber sees every chunk exactly once, in order. If the leader
+    // already finished (retired from the map but done flipped after our
+    // lookup), the backlog is complete and the final summary is ready.
+    async_pending_->Increment();
+    bool first = true;
+    std::lock_guard<std::mutex> lk(flight->mu);
+    for (const StreamChunk& c : flight->backlog) {
+      if (first) {
+        stream_first_result_->Observe(timer.ElapsedSeconds());
+        first = false;
+      }
+      stream_chunks_->Increment();
+      on_chunk(c);
+    }
+    if (flight->done) {
+      QueryResult out = flight->final_result;
+      out.coalesced = true;
+      out.graph_version = entry->version;
+      out.seconds = timer.ElapsedSeconds();
+      coalesced_->Increment();
+      async_pending_->Decrement();
+      done(std::move(out));
+    } else {
+      flight->subscribers.push_back(
+          {std::move(on_chunk), std::move(done), timer});
+    }
+    return;
+  }
+
+  admission_span.End();
+  async_pending_->Increment();
+  const double queued_start_us = trace != nullptr ? trace->NowMicros() : 0.0;
+  auto moved_root = std::make_shared<TraceSpan>(std::move(root_span));
+  PostToRunner([this, request, on_chunk = std::move(on_chunk),
+                done = std::move(done), entry = std::move(entry), key, flight,
+                timer, trace = std::move(trace),
+                root_span = std::move(moved_root), queued_start_us]() mutable {
+    if (trace != nullptr) {
+      trace->Record("queued", queued_start_us,
+                    trace->NowMicros() - queued_start_us);
+    }
+    QueryResult out;
+    out.graph_version = entry->version;
+    bool first = true;
+    ChunkCallback emit = [&](const StreamChunk& chunk) {
+      if (first) {
+        stream_first_result_->Observe(timer.ElapsedSeconds());
+        first = false;
+      }
+      if (flight != nullptr) {
+        // Deliver under the flight mutex: backlog append, own callback
+        // and subscriber fan-out stay atomic against late attachers.
+        std::lock_guard<std::mutex> lk(flight->mu);
+        flight->backlog.push_back(chunk);
+        stream_chunks_->Increment();
+        on_chunk(chunk);
+        for (StreamFlight::Subscriber& sub : flight->subscribers) {
+          stream_chunks_->Increment();
+          sub.on_chunk(chunk);
+        }
+      } else {
+        stream_chunks_->Increment();
+        on_chunk(chunk);
+      }
+    };
+    RunQuery(request, entry->graph, &out, trace.get(), &emit);
+
+    const bool complete = !out.summary.stats.budget_exhausted;
+    TraceSpan publish_span(trace.get(), "publish");
+    if (flight != nullptr) {
+      FinishStreamLeader(key, flight, out, complete);
+    } else if (request.use_cache && complete) {
+      // Unshared (budgeted) streams kept no backlog — publish the summary
+      // alone for later summary-only queries.
       cache_.Insert(key, out.summary);
     }
     publish_span.End();

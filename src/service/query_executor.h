@@ -30,6 +30,13 @@ struct QueryExecutorOptions {
   unsigned num_threads = 0;
   /// ResultCache capacity in entries; 0 disables cross-query reuse.
   std::size_t cache_capacity = 256;
+  /// Byte budget for result *bicliques* retained in the cache alongside
+  /// their summaries (ResultCache payload; see result_cache.h). Repeated
+  /// include_bicliques / streaming queries whose payload was retained
+  /// skip the engines entirely. 0 = summaries only.
+  std::size_t cache_biclique_bytes = 16u << 20;
+  /// Results per streamed chunk (ExecuteStreaming's ChunkSink width).
+  std::size_t stream_chunk_results = 64;
   /// Registry all executor and cache telemetry reports through. null =
   /// the executor owns a private registry (exact per-instance counts —
   /// what tests and benches want); the server passes
@@ -96,6 +103,23 @@ class QueryExecutor {
  public:
   using Completion = std::function<void(QueryResult)>;
 
+  /// One streamed slice of a query's result set (ExecuteStreaming).
+  struct StreamChunk {
+    std::uint64_t seq = 0;  ///< 1-based chunk index within the stream.
+    std::vector<Biclique> bicliques;
+    /// Cooperative checkpoint: results delivered up to and including this
+    /// chunk, and search nodes the shared SearchBudget had accounted when
+    /// the chunk was cut (0 for cache-replayed streams — nothing ran).
+    std::uint64_t results_so_far = 0;
+    std::uint64_t nodes_so_far = 0;
+    bool final = false;  ///< last chunk of the stream.
+  };
+  /// Invoked once per chunk, strictly in stream order. Same calling
+  /// convention as Completion: any thread, must not block for long, and
+  /// must not call back into the executor (the server's reactors hand
+  /// chunks straight to a cross-thread post).
+  using ChunkCallback = std::function<void(const StreamChunk&)>;
+
   explicit QueryExecutor(const GraphCatalog& catalog,
                          const QueryExecutorOptions& options = {});
   ~QueryExecutor();
@@ -121,6 +145,26 @@ class QueryExecutor {
   /// long: the server's reactors hand it straight to a cheap cross-
   /// thread post.
   void ExecuteAsync(const QueryRequest& request, Completion done);
+
+  /// Streaming execution: results flow to `on_chunk` in bounded chunks
+  /// (QueryExecutorOptions::stream_chunk_results) as the engines emit
+  /// them, then `done` delivers the final summary (digest/count/stats —
+  /// byte-identical to what Execute would have summarized; the summary's
+  /// bicliques vector stays empty, the payload went through the chunks).
+  /// Every stream carries at least one chunk, the last marked `final` —
+  /// except failed admissions (unknown graph, invalid request), which
+  /// invoke `done` with the error and no chunks.
+  ///
+  /// Admission mirrors ExecuteAsync: never blocks beyond the admission
+  /// lock. A cache entry that retained the result payload replays it as
+  /// chunks inline (cache_hit). A duplicate of an in-flight *streaming*
+  /// query attaches to the leader's chunk stream instead of parking on
+  /// the final result: the backlog replays inline, live chunks follow,
+  /// and its `done` fires with coalesced=true — zero threads held either
+  /// way. Like the batch path, queries carrying their own budgets never
+  /// attach (and their partial streams are never shared or cached).
+  void ExecuteStreaming(const QueryRequest& request, ChunkCallback on_chunk,
+                        Completion done);
 
   /// Runs `requests` concurrently on the runner pool via ExecuteAsync;
   /// results are positionally aligned with the requests; returns when
@@ -199,12 +243,34 @@ class QueryExecutor {
     std::vector<Waiter> waiters;
   };
 
+  /// One in-flight *streaming* execution. The leader appends every chunk
+  /// to the backlog and fans it out to the subscribers under `mu`; a late
+  /// duplicate replays the backlog inline under the same mutex, so each
+  /// subscriber sees every chunk exactly once, in order. The map entry is
+  /// erased (under inflight_mu_) before `done` flips, mirroring InFlight.
+  struct StreamFlight {
+    std::mutex mu;
+    std::vector<StreamChunk> backlog;
+    bool done = false;
+    QueryResult final_result;  ///< valid once done (status + summary).
+    struct Subscriber {
+      ChunkCallback on_chunk;
+      Completion done;
+      Timer timer;
+    };
+    std::vector<Subscriber> subscribers;
+  };
+
   /// Runs the enumeration for `request` against `graph` into `out`
-  /// (digest accumulation, optional biclique collection, stats) under an
-  /// "execute" span on `trace` (null = untraced), then folds the run's
-  /// stats into the registry histograms and kernel counters.
+  /// (digest accumulation, optional biclique collection, top-k selection,
+  /// stats) under an "execute" span on `trace` (null = untraced), then
+  /// folds the run's stats into the registry histograms and kernel
+  /// counters. `emit` (nullable) receives streamed chunks; when set, the
+  /// run drives a ChunkSink over a shared SearchBudget and records a
+  /// "stream" span covering first flush to last.
   void RunQuery(const QueryRequest& request, const BipartiteGraph& graph,
-                QueryResult* out, TraceRecorder* trace);
+                QueryResult* out, TraceRecorder* trace,
+                const ChunkCallback* emit = nullptr);
 
   /// Leader epilogue shared by Execute and the async runner task:
   /// publishes to the cache, retires the slot, wakes sync waiters and
@@ -212,6 +278,14 @@ class QueryExecutor {
   void FinishLeader(const std::string& key,
                     const std::shared_ptr<InFlight>& slot,
                     const QuerySummary& summary, bool complete);
+
+  /// Streaming-leader epilogue: publishes summary + payload (rebuilt from
+  /// the backlog) to the cache, retires the flight, and completes every
+  /// attached subscriber with the coalesced summary. Subscribers already
+  /// received every chunk live; only their `done` is pending.
+  void FinishStreamLeader(const std::string& key,
+                          const std::shared_ptr<StreamFlight>& flight,
+                          const QueryResult& out, bool complete);
 
   /// Fresh per-query recorder, or null when tracing is off.
   std::shared_ptr<TraceRecorder> MaybeStartTrace() const;
@@ -245,7 +319,11 @@ class QueryExecutor {
   Counter* kernel_merge_;
   Counter* kernel_gallop_;
   Counter* kernel_bitset_;
+  Counter* streams_;        ///< ExecuteStreaming admissions.
+  Counter* stream_chunks_;  ///< chunks delivered (all streams, all subs).
+  Histogram* stream_first_result_;  ///< admission → first chunk latency.
   ResultCache cache_;
+  const std::size_t stream_chunk_results_;
   const double slow_query_ms_;
   const std::size_t trace_span_capacity_;
   TraceRing trace_ring_;
@@ -254,6 +332,11 @@ class QueryExecutor {
 
   std::mutex inflight_mu_;
   std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  /// In-flight streaming leaders, keyed like inflight_ (guarded by
+  /// inflight_mu_). Kept separate: a streaming duplicate needs the chunk
+  /// backlog, which a batch slot does not carry.
+  std::unordered_map<std::string, std::shared_ptr<StreamFlight>>
+      stream_inflight_;
   std::mutex hook_mu_;
   std::function<void(const QueryRequest&)> execute_hook_;  // guarded by hook_mu_
 

@@ -93,15 +93,58 @@ std::string QueryResultJson(const QueryRequest& request,
                             const QueryResult& result) {
   if (!result.status.ok()) return ErrorJson(result.status);
   std::ostringstream os;
-  os << "{\"ok\":true,\"cmd\":\"query\",\"graph\":\""
-     << JsonEscape(request.graph) << "\",\"version\":\""
-     << JsonHex64(result.graph_version) << "\","
-     << QueryParamsSummaryJson(request.model, request.algo, request.params,
+  os << "{\"ok\":true,\"cmd\":\"query\",";
+  if (!request.request_id.empty()) {
+    os << "\"request_id\":\"" << JsonEscape(request.request_id) << "\",";
+  }
+  os << "\"graph\":\"" << JsonEscape(request.graph) << "\",\"version\":\""
+     << JsonHex64(result.graph_version) << "\",";
+  if (request.top_k > 0) {
+    os << "\"top_k\":" << request.top_k << ",\"rank\":\""
+       << ToString(request.rank) << "\",";
+  }
+  os << QueryParamsSummaryJson(request.model, request.algo, request.params,
                                result.summary)
      << ",\"cache_hit\":" << (result.cache_hit ? "true" : "false")
      << ",\"coalesced\":" << (result.coalesced ? "true" : "false")
      << ",\"seconds\":" << JsonDouble(result.seconds)
      << ",\"stats\":" << StatsJson(result.summary.stats) << "}";
+  return os.str();
+}
+
+std::string BicliquesJson(const std::vector<Biclique>& bicliques) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < bicliques.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "{\"upper\":[";
+    for (std::size_t j = 0; j < bicliques[i].upper.size(); ++j) {
+      if (j > 0) os << ',';
+      os << bicliques[i].upper[j];
+    }
+    os << "],\"lower\":[";
+    for (std::size_t j = 0; j < bicliques[i].lower.size(); ++j) {
+      if (j > 0) os << ',';
+      os << bicliques[i].lower[j];
+    }
+    os << "]}";
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string StreamChunkJson(const QueryRequest& request,
+                            const QueryExecutor::StreamChunk& chunk) {
+  std::ostringstream os;
+  os << "{\"ok\":true,\"cmd\":\"chunk\",";
+  if (!request.request_id.empty()) {
+    os << "\"request_id\":\"" << JsonEscape(request.request_id) << "\",";
+  }
+  os << "\"seq\":" << chunk.seq
+     << ",\"results_so_far\":" << chunk.results_so_far
+     << ",\"nodes_so_far\":" << chunk.nodes_so_far
+     << ",\"final\":" << (chunk.final ? "true" : "false")
+     << ",\"bicliques\":" << BicliquesJson(chunk.bicliques) << "}";
   return os.str();
 }
 
@@ -114,6 +157,10 @@ std::string ExecutorTelemetryJson(const QueryExecutor::Telemetry& t) {
      << ",\"entries\":" << t.cache.entries
      << ",\"capacity\":" << t.cache.capacity
      << ",\"hit_rate\":" << JsonDouble(t.cache.HitRate())
+     << ",\"payload_hits\":" << t.cache.payload_hits
+     << ",\"payload_evictions\":" << t.cache.payload_evictions
+     << ",\"payload_bytes\":" << t.cache.payload_bytes
+     << ",\"payload_byte_budget\":" << t.cache.payload_byte_budget
      << ",\"executions\":" << t.executions
      << ",\"coalesced\":" << t.coalesced << "}";
   return os.str();

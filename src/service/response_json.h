@@ -41,9 +41,22 @@ std::string QueryParamsSummaryJson(FairModel model, FairAlgo algo,
                                    const QuerySummary& summary);
 
 /// Full query response (the server's `query` reply; the CLI's enum
-/// --output=json embeds the same object under identical keys).
+/// --output=json embeds the same object under identical keys). Requests
+/// carrying a request_id echo it as "request_id"; top-k requests add
+/// "top_k"/"rank" — absent otherwise, so legacy responses stay
+/// byte-identical.
 std::string QueryResultJson(const QueryRequest& request,
                             const QueryResult& result);
+
+/// JSON array of bicliques: [{"upper":[...],"lower":[...]},...].
+std::string BicliquesJson(const std::vector<Biclique>& bicliques);
+
+/// One streamed chunk of a `query ... stream=1` line-protocol response:
+/// {"ok":true,"cmd":"chunk","seq":N,...,"bicliques":[...]} — one line per
+/// chunk, followed by the regular query reply line as the end-of-stream
+/// marker. Mirrors the binary protocol's kReplyChunk/kReplyEnd framing.
+std::string StreamChunkJson(const QueryRequest& request,
+                            const QueryExecutor::StreamChunk& chunk);
 
 /// Telemetry reply for the server's `cache` command: the ResultCache
 /// counters plus the executor's single-flight counters ("executions",

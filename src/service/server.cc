@@ -4,10 +4,12 @@
 #include <cerrno>
 #include <charconv>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <istream>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -81,6 +83,27 @@ Result<double> DoubleArg(const RequestLine& req, const std::string& key,
 
 Status RangeError(const std::string& key, const std::string& range) {
   return Status::InvalidArgument(key + " must be in " + range);
+}
+
+/// Strict-args check for introspection commands: any key outside `known`
+/// is an error. Matches the query-arg hardening — a typo like
+/// `trace m=8` must not silently act like a bare `trace`.
+Status CheckKnownArgs(const RequestLine& req,
+                      std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : req.args) {
+    bool recognized = false;
+    for (const char* k : known) {
+      if (key == k) {
+        recognized = true;
+        break;
+      }
+    }
+    if (!recognized) {
+      return Status::InvalidArgument(req.command + " does not take \"" + key +
+                                     "\"");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -157,6 +180,23 @@ Result<QueryRequest> BuildQueryRequest(const RequestLine& req) {
   auto use_cache = IntArg(req, "cache", 1);
   if (!use_cache.ok()) return use_cache.status();
   query.use_cache = use_cache.value() != 0;
+
+  auto top_k = IntArg(req, "top_k", 0);
+  if (!top_k.ok()) return top_k.status();
+  if (top_k.value() < 0 || top_k.value() > kMaxParamValue) {
+    return RangeError("top_k", "[0, 1000000000]");
+  }
+  query.top_k = static_cast<std::uint32_t>(top_k.value());
+  auto rank = ParseTopKRank(Arg(req, "rank", "weight"));
+  if (!rank) return Status::InvalidArgument("bad rank (weight|size|balance)");
+  query.rank = *rank;
+
+  query.request_id = Arg(req, "rid", "");
+  if (!ValidRequestId(query.request_id)) {
+    return Status::InvalidArgument(
+        "rid must be at most 128 bytes of printable ASCII with no space, "
+        "quote or backslash");
+  }
   return query;
 }
 
@@ -200,9 +240,7 @@ std::string ServerSession::Dispatch(const RequestLine& req) {
   if (req.command == "save") return Save(req);
   if (req.command == "drop") return Drop(req);
   if (req.command == "catalog") return Catalog();
-  if (req.command == "cache") {
-    return ExecutorTelemetryJson(executor_.telemetry());
-  }
+  if (req.command == "cache") return Cache(req);
   if (req.command == "query") return Query(req);
   if (req.command == "sweep") return Sweep(req);
   if (req.command == "metrics") return Metrics();
@@ -219,11 +257,25 @@ std::string ServerSession::Metrics() {
          JsonEscape(executor_.metrics()->PrometheusText()) + "\"}";
 }
 
+std::string ServerSession::Cache(const RequestLine& req) {
+  // `cache` takes no arguments; garbage like `cache n=5` is a typed
+  // bad_argument error rather than a silently ignored key.
+  Status known = CheckKnownArgs(req, {});
+  if (!known.ok()) return TypedErrorJson("bad_argument", known.message());
+  return ExecutorTelemetryJson(executor_.telemetry());
+}
+
 std::string ServerSession::Trace(const RequestLine& req) {
+  // Strict argument validation: `trace n=-1`, `trace n=x` and unknown
+  // keys all come back as typed bad_argument errors, matching the query
+  // parameter hardening.
+  Status known = CheckKnownArgs(req, {"n"});
+  if (!known.ok()) return TypedErrorJson("bad_argument", known.message());
   auto n = IntArg(req, "n", 4);
-  if (!n.ok()) return ErrorJson(n.status());
+  if (!n.ok()) return TypedErrorJson("bad_argument", n.status().message());
   if (n.value() < 1 || n.value() > 1024) {
-    return ErrorJson(RangeError("n", "[1, 1024]"));
+    return TypedErrorJson("bad_argument",
+                          RangeError("n", "[1, 1024]").message());
   }
   const auto traces =
       executor_.traces().Snapshot(static_cast<std::size_t>(n.value()));
@@ -376,11 +428,48 @@ std::string ServerSession::Query(const RequestLine& req) {
   auto built = BuildQueryRequest(req);
   if (!built.ok()) return ErrorJson(built.status());
   const QueryRequest query = std::move(built).value();
-  QueryResult result = executor_.Execute(query);
-  // The serialize span lands in the already-retained recorder after the
-  // root "query" span closed — a sibling tail, not a child.
+  auto stream = IntArg(req, "stream", 0);
+  if (!stream.ok()) return ErrorJson(stream.status());
+  if (stream.value() == 0) {
+    QueryResult result = executor_.Execute(query);
+    // The serialize span lands in the already-retained recorder after the
+    // root "query" span closed — a sibling tail, not a child.
+    TraceSpan serialize_span(result.trace.get(), "serialize");
+    return QueryResultJson(query, result);
+  }
+  // `query ... stream=1` over a synchronous line stream: chunk lines are
+  // collected in arrival order and returned ahead of the final reply,
+  // one JSON object per line — the same framing the reactor writes
+  // progressively on TCP connections. Handle() tags the first returned
+  // line, so only the lines after it are tagged here.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool finished = false;
+  std::vector<std::string> lines;
+  QueryResult result;
+  executor_.ExecuteStreaming(
+      query,
+      [&](const QueryExecutor::StreamChunk& chunk) {
+        if (chunk.final) return;  // the reply line is the end marker.
+        std::lock_guard<std::mutex> lock(mu);
+        lines.push_back(StreamChunkJson(query, chunk));
+      },
+      [&](QueryResult r) {
+        std::lock_guard<std::mutex> lock(mu);
+        result = std::move(r);
+        finished = true;
+        cv.notify_one();
+      });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return finished; });
   TraceSpan serialize_span(result.trace.get(), "serialize");
-  return QueryResultJson(query, result);
+  lines.push_back(QueryResultJson(query, result));
+  std::string out = lines.front();
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    out += '\n';
+    out += Tag(lines[i]);
+  }
+  return out;
 }
 
 // `sweep` expands a parameter grid (comma lists) into one batch and
@@ -538,6 +627,14 @@ class Reactor {
     PostOp(Op{Op::kComplete, -1, conn_id, seq, std::move(body)});
   }
 
+  /// Delivers one encoded stream chunk for connection `conn_id`'s slot
+  /// `seq`. The op queue is FIFO, so chunk order — and the final
+  /// PostCompletion after the last chunk — is inherited from the
+  /// executor's per-stream delivery order.
+  void PostChunk(std::uint64_t conn_id, std::uint64_t seq, std::string body) {
+    PostOp(Op{Op::kChunk, -1, conn_id, seq, std::move(body)});
+  }
+
   void RequestStop() {
     stop_.store(true, std::memory_order_release);
     Wake();
@@ -596,9 +693,18 @@ class Reactor {
       std::uint64_t seq = 0;
       bool ready = false;
       bool binary = false;
+      /// Streaming query: chunk bodies flush as they arrive once the
+      /// slot reaches the front of the deque (progressive delivery,
+      /// still in request order); `ready` + `body` then close the stream
+      /// with a kReplyEnd frame / the regular reply line.
+      bool streaming = false;
       wire::Opcode opcode = wire::Opcode::kReply;
       std::uint64_t request_id = 0;
       std::string body;
+      /// Encoded-but-unflushed stream chunks, in stream order:
+      /// kReplyChunk payloads on binary connections, pre-tagged JSON
+      /// lines on line-protocol ones.
+      std::deque<std::string> chunks;
     };
     std::deque<Slot> pending;
     std::uint64_t next_seq = 1;
@@ -606,7 +712,7 @@ class Reactor {
   };
 
   struct Op {
-    enum Kind { kAdopt, kComplete };
+    enum Kind { kAdopt, kComplete, kChunk };
     Kind kind;
     int fd;
     std::uint64_t conn_id;
@@ -697,15 +803,19 @@ class Reactor {
         }
         conns_.emplace(op.conn_id, std::move(conn));
       } else {
-        // Completion for a connection that died mid-query is simply
-        // dropped — the executor already accounted for it.
+        // Completion/chunk for a connection that died mid-query is
+        // simply dropped — the executor already accounted for it.
         auto it = conns_.find(op.conn_id);
         if (it == conns_.end()) continue;
         Connection* c = it->second.get();
         for (Connection::Slot& slot : c->pending) {
           if (slot.seq == op.seq) {
-            slot.body = std::move(op.body);
-            slot.ready = true;
+            if (op.kind == Op::kChunk) {
+              slot.chunks.push_back(std::move(op.body));
+            } else {
+              slot.body = std::move(op.body);
+              slot.ready = true;
+            }
             break;
           }
         }
@@ -853,6 +963,7 @@ class Reactor {
     // Every typed error funnels through here, so this is the one place
     // the per-code error counters are bumped.
     server_.ErrorCounter(wire::ToString(code))->Increment();
+    slot->streaming = false;  // errors are single-frame, never kReplyEnd.
     if (slot->binary) {
       slot->opcode = wire::Opcode::kError;
       slot->body = wire::EncodeErrorPayload(code, message);
@@ -873,19 +984,20 @@ class Reactor {
       Connection::Slot& slot =
           NewSlot(c, binary, wire::Opcode::kReply, request_id);
       auto built = BuildQueryRequest(req);
-      if (!built.ok()) {
+      auto stream = IntArg(req, "stream", 0);
+      if (!built.ok() || !stream.ok()) {
+        const Status& bad = !built.ok() ? built.status() : stream.status();
         if (binary) {
-          FillError(c, &slot, wire::ErrorCode::kBadRequest,
-                    built.status().message());
+          FillError(c, &slot, wire::ErrorCode::kBadRequest, bad.message());
         } else {
           // The line protocol's historical bad-query shape (no "code"
           // field) — old clients parse it, the smoke oracle diffs it.
-          slot.body = TagSessionJson(c->id, ErrorJson(built.status()));
+          slot.body = TagSessionJson(c->id, ErrorJson(bad));
           slot.ready = true;
         }
         return;
       }
-      AdmitQuery(c, &slot, std::move(built).value());
+      AdmitQuery(c, &slot, std::move(built).value(), stream.value() != 0);
       return;
     }
     std::string response;
@@ -927,13 +1039,14 @@ class Reactor {
         Connection::Slot& slot = NewSlot(c, /*binary=*/true,
                                          wire::Opcode::kReply,
                                          frame.request_id);
-        auto built = wire::DecodeQueryPayload(frame.payload);
+        bool stream = false;
+        auto built = wire::DecodeQueryPayload(frame.payload, &stream);
         if (!built.ok()) {
           FillError(c, &slot, wire::ErrorCode::kBadRequest,
                     built.status().message());
           return;
         }
-        AdmitQuery(c, &slot, std::move(built).value());
+        AdmitQuery(c, &slot, std::move(built).value(), stream);
         return;
       }
       default: {
@@ -954,7 +1067,8 @@ class Reactor {
   /// Admission + async dispatch for one query. The slot is addressed by
   /// (conn id, seq) — NOT by pointer — so a connection that dies while
   /// the query runs just drops the completion.
-  void AdmitQuery(Connection* c, Connection::Slot* slot, QueryRequest query) {
+  void AdmitQuery(Connection* c, Connection::Slot* slot, QueryRequest query,
+                  bool stream) {
     const unsigned limit = server_.options_.max_inflight;
     unsigned current = server_.inflight_.fetch_add(1, std::memory_order_acq_rel);
     if (limit != 0 && current >= limit) {
@@ -968,23 +1082,44 @@ class Reactor {
     Reactor* self = this;
     const std::uint64_t conn_id = c->id;
     const std::uint64_t seq = slot->seq;
-    server_.executor_.ExecuteAsync(
-        query, [server, self, conn_id, seq, query](QueryResult result) {
-          std::string body;
-          {
-            // Retained traces get the response-serialization cost as a
-            // post-hoc span (a tail sibling of the root "query" span).
-            TraceSpan serialize_span(result.trace.get(), "serialize");
-            body = TagSessionJson(conn_id, QueryResultJson(query, result));
-          }
-          // Post BEFORE releasing the in-flight ticket: Serve()'s drain
-          // epilogue waits for inflight_ == 0 and may tear the server
-          // down right after, so the post — and every other touch of
-          // *server, the gauge included — must already have landed.
-          self->PostCompletion(conn_id, seq, std::move(body));
-          server->inflight_gauge_->Decrement();
-          server->inflight_.fetch_sub(1, std::memory_order_release);
-        });
+    auto complete = [server, self, conn_id, seq, query](QueryResult result) {
+      std::string body;
+      {
+        // Retained traces get the response-serialization cost as a
+        // post-hoc span (a tail sibling of the root "query" span).
+        TraceSpan serialize_span(result.trace.get(), "serialize");
+        body = TagSessionJson(conn_id, QueryResultJson(query, result));
+      }
+      // Post BEFORE releasing the in-flight ticket: Serve()'s drain
+      // epilogue waits for inflight_ == 0 and may tear the server
+      // down right after, so the post — and every other touch of
+      // *server, the gauge included — must already have landed.
+      self->PostCompletion(conn_id, seq, std::move(body));
+      server->inflight_gauge_->Decrement();
+      server->inflight_.fetch_sub(1, std::memory_order_release);
+    };
+    if (!stream) {
+      server_.executor_.ExecuteAsync(query, std::move(complete));
+      return;
+    }
+    slot->streaming = true;
+    const bool binary = slot->binary;
+    server_.executor_.ExecuteStreaming(
+        query,
+        [self, conn_id, seq, binary,
+         query](const QueryExecutor::StreamChunk& chunk) {
+          // The executor's empty end-of-stream marker is dropped: the
+          // kReplyEnd frame / regular reply line is the wire's marker.
+          if (chunk.final) return;
+          std::string body =
+              binary ? wire::EncodeChunkPayload(chunk.seq,
+                                                chunk.results_so_far,
+                                                chunk.nodes_so_far,
+                                                chunk.bicliques)
+                     : TagSessionJson(conn_id, StreamChunkJson(query, chunk));
+          self->PostChunk(conn_id, seq, std::move(body));
+        },
+        std::move(complete));
   }
 
   /// Moves ready-in-order responses into wbuf and writes as much as the
@@ -992,11 +1127,27 @@ class Reactor {
   /// close-after-flush epilogue. Returns false when the connection was
   /// closed.
   bool Flush(Connection* c) {
-    while (!c->pending.empty() && c->pending.front().ready) {
+    while (!c->pending.empty()) {
       Connection::Slot& slot = c->pending.front();
+      // Stream chunks flush as soon as their slot reaches the front:
+      // progressive delivery without ever reordering responses.
+      while (!slot.chunks.empty()) {
+        if (slot.binary) {
+          wire::Frame frame;
+          frame.opcode = wire::Opcode::kReplyChunk;
+          frame.request_id = slot.request_id;
+          frame.payload = std::move(slot.chunks.front());
+          wire::EncodeFrame(frame, &c->wbuf);
+        } else {
+          c->wbuf += slot.chunks.front();
+          c->wbuf += '\n';
+        }
+        slot.chunks.pop_front();
+      }
+      if (!slot.ready) break;  // response (or stream tail) still pending.
       if (slot.binary) {
         wire::Frame frame;
-        frame.opcode = slot.opcode;
+        frame.opcode = slot.streaming ? wire::Opcode::kReplyEnd : slot.opcode;
         frame.request_id = slot.request_id;
         frame.payload = std::move(slot.body);
         wire::EncodeFrame(frame, &c->wbuf);

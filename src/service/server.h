@@ -34,15 +34,25 @@ namespace fairbc {
 ///   query graph=G [model=ssfbc|bsfbc] [algo=pp|bcem|naive] [alpha=A]
 ///         [beta=B] [delta=D] [theta=T] [ordering=deg|id]
 ///         [pruning=colorful|core|none] [budget=SECONDS] [threads=N]
-///         [cache=0|1]
+///         [cache=0|1] [top_k=K] [rank=weight|size|balance] [rid=TOKEN]
+///         [stream=0|1]
+///         (top_k=K returns only the K best bicliques under `rank`;
+///          rid=TOKEN is a client correlation id echoed as "request_id"
+///          in every response line of the query and retained in its
+///          trace; stream=1 answers with zero or more
+///          {"cmd":"chunk",...} lines carrying the bicliques, followed
+///          by the regular query reply line as the end-of-stream marker)
 ///   sweep graph=G alphas=2,3 betas=2,3 deltas=1,2 [query keys...]
-///   cache        (cache + single-flight telemetry)
+///   cache        (cache + single-flight telemetry; takes no arguments —
+///                 extra keys are a typed bad_argument error)
 ///   metrics      (full Prometheus exposition of the process registry,
 ///                 JSON-escaped into the "text" field — one scrape
 ///                 covers executor, cache, kernel and reactor counters)
 ///   trace [n=N]  (the N most recent retained slow-query traces, newest
 ///                 first, each a Chrome trace-event JSON object; see
-///                 --slow-query-ms and docs/OBSERVABILITY.md)
+///                 --slow-query-ms and docs/OBSERVABILITY.md. n must be
+///                 an integer in [1, 1024] and no other keys are
+///                 accepted — violations are typed bad_argument errors)
 ///   drop name=G
 ///   quit         (ends THIS session: closes the TCP connection / stops
 ///                 reading the stdin stream; the server keeps serving
@@ -68,9 +78,11 @@ RequestLine ParseRequestLine(const std::string& line);
 
 /// Builds a QueryRequest from a `query` line; unset keys keep the same
 /// defaults as `fairbc_cli enum`. Numeric arguments are strictly
-/// validated: alpha/beta/delta must be integers in [0, 1e9] (a negative
-/// value must NOT wrap to a huge unsigned), theta must be in [0, 1],
-/// budget must be >= 0 and threads in [0, 1024].
+/// validated: alpha/beta/delta/top_k must be integers in [0, 1e9] (a
+/// negative value must NOT wrap to a huge unsigned), theta must be in
+/// [0, 1], budget must be >= 0 and threads in [0, 1024]; rid must pass
+/// ValidRequestId. The `stream` key is transport-level and read by the
+/// caller, not stored in the QueryRequest.
 Result<QueryRequest> BuildQueryRequest(const RequestLine& req);
 
 /// Prefixes `"session":id` into a `{...}` response object (identity on
@@ -101,6 +113,7 @@ class ServerSession {
   std::string Save(const RequestLine& req);
   std::string Drop(const RequestLine& req);
   std::string Catalog();
+  std::string Cache(const RequestLine& req);
   std::string Query(const RequestLine& req);
   std::string Sweep(const RequestLine& req);
   std::string Metrics();
@@ -164,7 +177,10 @@ class Reactor;
 /// order per connection.
 ///
 /// Queries never run on a reactor thread: they are admitted through
-/// QueryExecutor::ExecuteAsync against the global in-flight bound, and
+/// QueryExecutor::ExecuteAsync (or ExecuteStreaming for `stream=1` /
+/// stream-flagged kQuery frames, whose chunks hop back the same way and
+/// flush progressively once their response slot reaches the front of the
+/// per-connection queue) against the global in-flight bound, and
 /// their completions hop back to the owning reactor over a cross-thread
 /// op queue (eventfd wakeup). Catalog mutations and other commands are
 /// cheap and dispatch inline. No reactor thread and no executor runner

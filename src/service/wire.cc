@@ -52,6 +52,8 @@ bool IsResponseOpcode(Opcode op) {
   switch (op) {
     case Opcode::kPong:
     case Opcode::kReply:
+    case Opcode::kReplyChunk:
+    case Opcode::kReplyEnd:
     case Opcode::kError:
       return true;
     default:
@@ -179,7 +181,7 @@ DecodeResult DecodeFrame(std::string_view buf, std::size_t max_payload,
   return {FrameStatus::kOk, {}, {}};
 }
 
-std::string EncodeQueryPayload(const QueryRequest& request) {
+std::string EncodeQueryPayload(const QueryRequest& request, bool stream) {
   std::string out;
   AppendString16(&out, request.graph);
   AppendU8(&out, request.model == FairModel::kSsfbc ? 0 : 1);
@@ -198,15 +200,25 @@ std::string EncodeQueryPayload(const QueryRequest& request) {
   AppendF64(&out, request.options.time_budget_seconds);
   AppendU64(&out, request.options.node_budget);
   AppendU32(&out, request.options.num_threads);
-  AppendU8(&out, request.use_cache ? 1 : 0);
+  AppendU8(&out, static_cast<std::uint8_t>((request.use_cache ? 1 : 0) |
+                                           (stream ? 2 : 0)));
+  // Extension tail (always emitted by this encoder; decoders treat its
+  // absence — v1 frames from older clients — as all defaults).
+  AppendU32(&out, request.top_k);
+  AppendU8(&out, request.rank == TopKRank::kWeight ? 0
+                 : request.rank == TopKRank::kSize ? 1
+                                                   : 2);
+  AppendString16(&out, request.request_id);
   return out;
 }
 
-Result<QueryRequest> DecodeQueryPayload(std::string_view payload) {
+Result<QueryRequest> DecodeQueryPayload(std::string_view payload,
+                                        bool* stream) {
   Reader r(payload);
   QueryRequest req;
   std::uint8_t model = 0, algo = 0, ordering = 0, pruning = 0, flags = 0;
   std::uint32_t threads = 0;
+  if (stream != nullptr) *stream = false;
   if (!r.ReadString16(&req.graph) || !r.ReadU8(&model) || !r.ReadU8(&algo) ||
       !r.ReadU32(&req.params.alpha) || !r.ReadU32(&req.params.beta) ||
       !r.ReadU32(&req.params.delta) || !r.ReadF64(&req.params.theta) ||
@@ -215,6 +227,15 @@ Result<QueryRequest> DecodeQueryPayload(std::string_view payload) {
       !r.ReadU64(&req.options.node_budget) || !r.ReadU32(&threads) ||
       !r.ReadU8(&flags)) {
     return Status::InvalidArgument("truncated query payload");
+  }
+  // Extension tail: end-of-payload here is a legacy frame (defaults);
+  // anything else must be the complete tail, strictly consumed.
+  std::uint8_t rank = 0;
+  if (!r.AtEnd()) {
+    if (!r.ReadU32(&req.top_k) || !r.ReadU8(&rank) ||
+        !r.ReadString16(&req.request_id)) {
+      return Status::InvalidArgument("truncated query payload tail");
+    }
   }
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after query payload");
@@ -254,7 +275,81 @@ Result<QueryRequest> DecodeQueryPayload(std::string_view payload) {
   }
   req.options.num_threads = threads;
   req.use_cache = (flags & 1) != 0;
+  if (stream != nullptr) *stream = (flags & 2) != 0;
+  if (req.top_k > kMaxParam) {
+    return Status::InvalidArgument("top_k must be in [0, 1e9]");
+  }
+  if (rank > 2) return Status::InvalidArgument("bad rank byte");
+  req.rank = rank == 0   ? TopKRank::kWeight
+             : rank == 1 ? TopKRank::kSize
+                         : TopKRank::kBalance;
+  if (!ValidRequestId(req.request_id)) {
+    return Status::InvalidArgument(
+        "request id must be at most 128 bytes of printable ASCII with no "
+        "space, quote or backslash");
+  }
   return req;
+}
+
+std::string EncodeChunkPayload(std::uint64_t seq, std::uint64_t results_so_far,
+                               std::uint64_t nodes_so_far,
+                               const std::vector<Biclique>& bicliques) {
+  std::string out;
+  AppendU64(&out, seq);
+  AppendU64(&out, results_so_far);
+  AppendU64(&out, nodes_so_far);
+  FAIRBC_CHECK(bicliques.size() <= 0xFFFFFFFFu);
+  AppendU32(&out, static_cast<std::uint32_t>(bicliques.size()));
+  for (const Biclique& b : bicliques) {
+    FAIRBC_CHECK(b.upper.size() <= 0xFFFFFFFFu &&
+                 b.lower.size() <= 0xFFFFFFFFu);
+    AppendU32(&out, static_cast<std::uint32_t>(b.upper.size()));
+    for (VertexId v : b.upper) AppendU32(&out, v);
+    AppendU32(&out, static_cast<std::uint32_t>(b.lower.size()));
+    for (VertexId v : b.lower) AppendU32(&out, v);
+  }
+  return out;
+}
+
+Result<ChunkPayload> DecodeChunkPayload(std::string_view payload) {
+  Reader r(payload);
+  ChunkPayload chunk;
+  std::uint32_t count = 0;
+  if (!r.ReadU64(&chunk.seq) || !r.ReadU64(&chunk.results_so_far) ||
+      !r.ReadU64(&chunk.nodes_so_far) || !r.ReadU32(&count)) {
+    return Status::InvalidArgument("truncated chunk payload");
+  }
+  // Each biclique needs at least its two u32 size fields, so a hostile
+  // count is refused against the remaining bytes before any allocation.
+  if (count > r.remaining() / 8) {
+    return Status::InvalidArgument("chunk count exceeds payload");
+  }
+  chunk.bicliques.resize(count);
+  for (Biclique& b : chunk.bicliques) {
+    std::uint32_t n = 0;
+    if (!r.ReadU32(&n) || n > r.remaining() / sizeof(std::uint32_t)) {
+      return Status::InvalidArgument("truncated chunk biclique");
+    }
+    b.upper.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!r.ReadU32(&b.upper[i])) {
+        return Status::InvalidArgument("truncated chunk biclique");
+      }
+    }
+    if (!r.ReadU32(&n) || n > r.remaining() / sizeof(std::uint32_t)) {
+      return Status::InvalidArgument("truncated chunk biclique");
+    }
+    b.lower.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!r.ReadU32(&b.lower[i])) {
+        return Status::InvalidArgument("truncated chunk biclique");
+      }
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after chunk payload");
+  }
+  return chunk;
 }
 
 std::string EncodeErrorPayload(ErrorCode code, std::string_view message) {

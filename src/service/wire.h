@@ -50,6 +50,17 @@ enum class Opcode : std::uint8_t {
   // Responses (high bit set).
   kPong = 0x81,   ///< reply to kPing; empty payload.
   kReply = 0x82,  ///< payload: the JSON object the line protocol prints.
+  /// One streamed slice of a query's result set (EncodeChunkPayload).
+  /// A streaming query is answered by zero or more kReplyChunk frames
+  /// followed by exactly one kReplyEnd frame, all echoing the request id,
+  /// delivered contiguously and in stream order — responses stay in
+  /// request order per connection, so a pipelined stream never interleaves
+  /// with other replies.
+  kReplyChunk = 0x83,
+  /// Final frame of a stream; payload is the same JSON object kReply
+  /// would have carried (summary/digest/stats — no bicliques, those went
+  /// through the chunks).
+  kReplyEnd = 0x84,
   kError = 0x8F,  ///< payload: u16 ErrorCode + UTF-8 message.
 };
 
@@ -151,14 +162,45 @@ DecodeResult DecodeFrame(std::string_view buf, std::size_t max_payload,
 ///   f64       time budget seconds (0 = unlimited)
 ///   u64       node budget (0 = unlimited)
 ///   u32       threads
-///   u8        flags      bit0 = use_cache
-std::string EncodeQueryPayload(const QueryRequest& request);
+///   u8        flags      bit0 = use_cache, bit1 = stream
+///
+/// followed by an OPTIONAL extension tail (absent in v1 frames from older
+/// clients — the decoder treats end-of-payload here as all defaults):
+///
+///   u32       top_k      0 = full enumeration
+///   u8        rank       0 = weight, 1 = size, 2 = balance
+///   u16+bytes request id correlation token (may be empty)
+std::string EncodeQueryPayload(const QueryRequest& request,
+                               bool stream = false);
 
 /// Strictly validated inverse of EncodeQueryPayload: truncated or
 /// trailing bytes, unknown enum values, and out-of-range numerics (the
 /// same [0, 1e9] / [0, 1] / [0, 1024] windows as the line protocol's
-/// BuildQueryRequest) all come back as InvalidArgument.
-Result<QueryRequest> DecodeQueryPayload(std::string_view payload);
+/// BuildQueryRequest) all come back as InvalidArgument. `stream`
+/// (nullable) receives the flags' stream bit.
+Result<QueryRequest> DecodeQueryPayload(std::string_view payload,
+                                        bool* stream = nullptr);
+
+/// One decoded kReplyChunk payload.
+struct ChunkPayload {
+  std::uint64_t seq = 0;             ///< 1-based chunk index.
+  std::uint64_t results_so_far = 0;  ///< results up to and incl. chunk.
+  std::uint64_t nodes_so_far = 0;    ///< search-node checkpoint.
+  std::vector<Biclique> bicliques;
+};
+
+/// kReplyChunk payload:
+///
+///   u64  seq, u64 results_so_far, u64 nodes_so_far
+///   u32  count
+///   then per biclique: u32 |L| + |L| x u32 ids, u32 |R| + |R| x u32 ids
+std::string EncodeChunkPayload(std::uint64_t seq, std::uint64_t results_so_far,
+                               std::uint64_t nodes_so_far,
+                               const std::vector<Biclique>& bicliques);
+
+/// Strict inverse of EncodeChunkPayload (truncated/trailing bytes and
+/// hostile counts rejected from the declared sizes before allocation).
+Result<ChunkPayload> DecodeChunkPayload(std::string_view payload);
 
 /// kError payload: u16 code + UTF-8 message (rest of payload).
 std::string EncodeErrorPayload(ErrorCode code, std::string_view message);

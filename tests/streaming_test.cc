@@ -1,0 +1,548 @@
+// Streaming result-pipeline tests: TopKKeeper order-independent
+// determinism, ChunkSink flush boundaries, streamed-vs-batch
+// byte-equivalence (count + order-independent digest) across all four
+// engine paths at thread widths {1, 2, 8}, top-k agreement with the full
+// enumeration under every rank with branch-and-bound pruning live, the
+// streaming single-flight (late subscriber attaches to the leader's
+// chunk stream), payload-cache chunk replay, the chunk wire codec, and
+// the server line protocol's chunked framing + strict trace/cache
+// argument validation. Runs in the TSan job (.github/workflows/ci.yml)
+// so the chunk fan-out and prune-bound publication are raced for real.
+
+#include "core/result_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/enumerate.h"
+#include "core/search_context.h"
+#include "graph/generators.h"
+#include "service/graph_catalog.h"
+#include "service/query.h"
+#include "service/query_executor.h"
+#include "service/server.h"
+#include "service/wire.h"
+
+namespace fairbc {
+namespace {
+
+BipartiteGraph StreamTestGraph() {
+  AffiliationConfig config;
+  config.num_upper = 400;
+  config.num_lower = 400;
+  config.num_communities = 20;
+  config.seed = 23;
+  return MakeAffiliation(config);
+}
+
+// Small enough that even the naive engine (enumerate-then-filter)
+// finishes instantly; the equivalence sweep runs all four paths on it.
+BipartiteGraph SmallTestGraph() { return MakeUniformRandom(60, 60, 240, 2, 9); }
+
+QueryRequest BaseRequest(const std::string& graph, FairModel model,
+                         FairAlgo algo, unsigned threads) {
+  QueryRequest req;
+  req.graph = graph;
+  req.model = model;
+  req.algo = algo;
+  req.params.alpha = 2;
+  req.params.beta = 2;
+  req.params.delta = 1;
+  req.options.num_threads = threads;
+  req.use_cache = false;
+  return req;
+}
+
+Biclique MakeBiclique(std::vector<VertexId> upper, std::vector<VertexId> lower) {
+  Biclique b;
+  b.upper = std::move(upper);
+  b.lower = std::move(lower);
+  return b;
+}
+
+// Reassembles a stream's payload into the same order-independent summary
+// the executor computes, so streamed output can be compared byte-for-byte
+// (count/digest/max sizes) against a batch run.
+QuerySummary SummarizeChunks(
+    const std::vector<QueryExecutor::StreamChunk>& chunks) {
+  DigestAccumulator acc;
+  BicliqueSink sink = acc.Wrap([](const Biclique&) { return true; });
+  for (const auto& chunk : chunks)
+    for (const Biclique& b : chunk.bicliques) sink(b);
+  QuerySummary summary;
+  acc.FillSummary(&summary);
+  return summary;
+}
+
+// Async chunk/result collector for ExecuteStreaming (which returns after
+// admission; chunks and completion arrive from runner threads).
+struct StreamRun {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  QueryResult result;
+  std::vector<QueryExecutor::StreamChunk> chunks;
+
+  void Start(QueryExecutor& exec, const QueryRequest& req) {
+    exec.ExecuteStreaming(
+        req,
+        [this](const QueryExecutor::StreamChunk& chunk) {
+          std::lock_guard<std::mutex> lock(mu);
+          chunks.push_back(chunk);
+        },
+        [this](QueryResult r) {
+          std::lock_guard<std::mutex> lock(mu);
+          result = std::move(r);
+          done = true;
+          cv.notify_all();
+        });
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return done; });
+  }
+};
+
+// --- TopKKeeper ------------------------------------------------------------
+
+TEST(TopKKeeperTest, KeepsBestFirstWithCanonicalTieBreak) {
+  TopKKeeper keeper(3, TopKRank::kWeight);
+  keeper.Offer(MakeBiclique({1}, {2}));          // weight 1
+  keeper.Offer(MakeBiclique({1, 2}, {3, 4}));    // weight 4
+  keeper.Offer(MakeBiclique({5, 6}, {7, 8}));    // weight 4, later canon
+  keeper.Offer(MakeBiclique({0}, {1, 2, 3}));    // weight 3
+  EXPECT_TRUE(keeper.full());
+  EXPECT_EQ(keeper.KthValue(), 3u);
+
+  std::vector<Biclique> best = keeper.Take();
+  ASSERT_EQ(best.size(), 3u);
+  EXPECT_EQ(best[0], MakeBiclique({1, 2}, {3, 4}));  // tie: smaller canon wins
+  EXPECT_EQ(best[1], MakeBiclique({5, 6}, {7, 8}));
+  EXPECT_EQ(best[2], MakeBiclique({0}, {1, 2, 3}));
+  EXPECT_EQ(keeper.size(), 0u);  // Take drains.
+}
+
+TEST(TopKKeeperTest, ResultIsAPureFunctionOfTheOfferedSet) {
+  // Many rank ties (every shape below has weight 2 or 4), so only the
+  // canonical tie-break keeps the output deterministic.
+  std::vector<Biclique> pool;
+  for (VertexId i = 0; i < 24; ++i) {
+    pool.push_back(MakeBiclique({i, static_cast<VertexId>(i + 100)},
+                                {static_cast<VertexId>(i + 200)}));
+    pool.push_back(MakeBiclique({static_cast<VertexId>(i + 50)},
+                                {static_cast<VertexId>(i + 300),
+                                 static_cast<VertexId>(i + 400)}));
+  }
+  for (TopKRank rank :
+       {TopKRank::kWeight, TopKRank::kSize, TopKRank::kBalance}) {
+    // Reference: sort the whole pool by (rank desc, canonical asc).
+    std::vector<Biclique> expect = pool;
+    std::sort(expect.begin(), expect.end(),
+              [rank](const Biclique& a, const Biclique& b) {
+                const std::uint64_t ra =
+                    RankValue(a.upper.size(), a.lower.size(), rank);
+                const std::uint64_t rb =
+                    RankValue(b.upper.size(), b.lower.size(), rank);
+                if (ra != rb) return ra > rb;
+                return a < b;
+              });
+    expect.resize(7);
+
+    for (unsigned seed = 1; seed <= 5; ++seed) {
+      std::vector<Biclique> shuffled = pool;
+      std::mt19937 rng(seed);
+      std::shuffle(shuffled.begin(), shuffled.end(), rng);
+      TopKKeeper keeper(7, rank);
+      for (const Biclique& b : shuffled) keeper.Offer(b);
+      EXPECT_EQ(keeper.Take(), expect)
+          << "rank=" << ToString(rank) << " seed=" << seed;
+    }
+  }
+}
+
+TEST(TopKKeeperTest, KZeroClampsToOne) {
+  TopKKeeper keeper(0, TopKRank::kWeight);
+  EXPECT_EQ(keeper.k(), 1u);
+  keeper.Offer(MakeBiclique({1}, {2}));
+  keeper.Offer(MakeBiclique({1, 2}, {3, 4}));
+  std::vector<Biclique> best = keeper.Take();
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_EQ(best[0], MakeBiclique({1, 2}, {3, 4}));
+}
+
+// --- ChunkSink -------------------------------------------------------------
+
+TEST(ChunkSinkTest, FlushBoundariesCheckpointsAndFinish) {
+  std::vector<std::size_t> sizes;
+  std::vector<std::uint64_t> checkpoints;
+  ChunkSink sink(3, [&](std::vector<Biclique>&& chunk,
+                        const StreamCheckpoint& cp) {
+    sizes.push_back(chunk.size());
+    checkpoints.push_back(cp.results);
+    return true;
+  });
+  for (VertexId i = 0; i < 7; ++i)
+    EXPECT_TRUE(sink.Accept(MakeBiclique({i}, {i})));
+  sink.Finish();
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{3, 3, 1}));
+  EXPECT_EQ(checkpoints, (std::vector<std::uint64_t>{3, 6, 7}));
+  EXPECT_EQ(sink.results(), 7u);
+  EXPECT_EQ(sink.chunks(), 3u);
+}
+
+TEST(ChunkSinkTest, EmptyRunStillFlushesOnce) {
+  std::size_t flushes = 0;
+  ChunkSink sink(4, [&](std::vector<Biclique>&& chunk, const StreamCheckpoint&) {
+    ++flushes;
+    EXPECT_TRUE(chunk.empty());
+    return true;
+  });
+  sink.Finish();
+  EXPECT_EQ(flushes, 1u);
+}
+
+TEST(ChunkSinkTest, FlushRejectionAbortsTheRun) {
+  ChunkSink sink(1, [](std::vector<Biclique>&&, const StreamCheckpoint&) {
+    return false;
+  });
+  EXPECT_FALSE(sink.Accept(MakeBiclique({1}, {2})));
+  // Aborted sinks stay aborted: further accepts keep refusing.
+  EXPECT_FALSE(sink.Accept(MakeBiclique({3}, {4})));
+}
+
+// --- streamed vs batch equivalence ------------------------------------------
+
+struct EnginePath {
+  const char* graph;
+  FairModel model;
+  FairAlgo algo;
+};
+
+TEST(StreamEquivalenceTest, StreamedDigestMatchesBatchAcrossEnginesAndThreads) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("big", StreamTestGraph()).ok());
+  ASSERT_TRUE(catalog.AddGraph("small", SmallTestGraph()).ok());
+  QueryExecutorOptions options;
+  options.num_threads = 2;
+  options.stream_chunk_results = 32;  // force multi-chunk streams.
+  QueryExecutor exec(catalog, options);
+
+  const EnginePath paths[] = {
+      {"big", FairModel::kSsfbc, FairAlgo::kPlusPlus},
+      {"big", FairModel::kSsfbc, FairAlgo::kBcem},
+      {"big", FairModel::kBsfbc, FairAlgo::kBcem},
+      // The naive engine is exponential on the affiliation graph; the
+      // fourth path runs on the small uniform graph instead.
+      {"small", FairModel::kSsfbc, FairAlgo::kNaive},
+  };
+  for (const EnginePath& path : paths) {
+    for (unsigned threads : {1u, 2u, 8u}) {
+      QueryRequest req = BaseRequest(path.graph, path.model, path.algo, threads);
+      if (std::string(path.graph) == "big") {
+        req.params.alpha = 3;
+        req.params.beta = 3;
+      }
+      const std::string label = std::string(path.graph) + "/" +
+                                ToString(path.model) + "/" +
+                                ToString(path.algo) + "/t" +
+                                std::to_string(threads);
+
+      QueryResult batch = exec.Execute(req);
+      ASSERT_TRUE(batch.status.ok()) << label << ": " << batch.status.ToString();
+
+      StreamRun stream;
+      stream.Start(exec, req);
+      stream.Wait();
+      ASSERT_TRUE(stream.result.status.ok())
+          << label << ": " << stream.result.status.ToString();
+
+      // Summary equivalence: the streamed summary is byte-identical to
+      // the batch summary, and the reassembled chunk payload reproduces
+      // it independently.
+      EXPECT_EQ(stream.result.summary.count, batch.summary.count) << label;
+      EXPECT_EQ(stream.result.summary.digest, batch.summary.digest) << label;
+      EXPECT_EQ(stream.result.summary.max_upper, batch.summary.max_upper);
+      EXPECT_EQ(stream.result.summary.max_lower, batch.summary.max_lower);
+      EXPECT_TRUE(stream.result.bicliques.empty())
+          << label << ": stream summaries must not duplicate the payload";
+
+      const QuerySummary reassembled = SummarizeChunks(stream.chunks);
+      EXPECT_EQ(reassembled.count, batch.summary.count) << label;
+      EXPECT_EQ(reassembled.digest, batch.summary.digest) << label;
+      EXPECT_EQ(reassembled.max_upper, batch.summary.max_upper) << label;
+      EXPECT_EQ(reassembled.max_lower, batch.summary.max_lower) << label;
+
+      // Stream framing invariants: 1-based contiguous seq, bounded chunk
+      // width, cumulative checkpoints, exactly one final marker (last).
+      ASSERT_FALSE(stream.chunks.empty()) << label;
+      std::uint64_t delivered = 0;
+      for (std::size_t i = 0; i < stream.chunks.size(); ++i) {
+        const auto& chunk = stream.chunks[i];
+        EXPECT_EQ(chunk.seq, i + 1) << label;
+        EXPECT_LE(chunk.bicliques.size(), options.stream_chunk_results);
+        delivered += chunk.bicliques.size();
+        EXPECT_EQ(chunk.results_so_far, delivered) << label;
+        EXPECT_EQ(chunk.final, i + 1 == stream.chunks.size()) << label;
+      }
+      EXPECT_EQ(delivered, batch.summary.count) << label;
+    }
+  }
+}
+
+// --- top-k -----------------------------------------------------------------
+
+TEST(TopKQueryTest, TopKEqualsTopKOfFullEnumerationUnderEveryRank) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", StreamTestGraph()).ok());
+  QueryExecutorOptions options;
+  options.num_threads = 2;
+  QueryExecutor exec(catalog, options);
+
+  QueryRequest full = BaseRequest("g", FairModel::kSsfbc, FairAlgo::kPlusPlus, 2);
+  full.params.alpha = 3;
+  full.params.beta = 3;
+  full.include_bicliques = true;
+  QueryResult everything = exec.Execute(full);
+  ASSERT_TRUE(everything.status.ok());
+  ASSERT_GT(everything.bicliques.size(), 16u);
+
+  for (TopKRank rank :
+       {TopKRank::kWeight, TopKRank::kSize, TopKRank::kBalance}) {
+    TopKKeeper reference(10, rank);
+    for (const Biclique& b : everything.bicliques) reference.Offer(b);
+    const std::vector<Biclique> expect = reference.Take();
+
+    for (unsigned threads : {1u, 8u}) {
+      QueryRequest req = full;
+      req.options.num_threads = threads;
+      req.top_k = 10;
+      req.rank = rank;
+      QueryResult got = exec.Execute(req);
+      ASSERT_TRUE(got.status.ok()) << ToString(rank);
+      EXPECT_EQ(got.summary.count, expect.size()) << ToString(rank);
+      EXPECT_EQ(got.bicliques, expect)
+          << ToString(rank) << " t" << threads
+          << ": pruned top-k must equal the top k of the full enumeration";
+    }
+  }
+}
+
+// --- streaming single-flight and payload cache ------------------------------
+
+TEST(StreamSingleFlightTest, LateSubscriberAttachesToLeaderChunkStream) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", StreamTestGraph()).ok());
+  QueryExecutorOptions options;
+  options.num_threads = 2;
+  options.stream_chunk_results = 32;
+  QueryExecutor exec(catalog, options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool leader_parked = false;
+  bool release = false;
+  exec.SetExecuteHook([&](const QueryRequest&) {
+    std::unique_lock<std::mutex> lock(mu);
+    leader_parked = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  });
+
+  QueryRequest req = BaseRequest("g", FairModel::kSsfbc, FairAlgo::kPlusPlus, 1);
+  req.params.alpha = 3;
+  req.params.beta = 3;
+  req.use_cache = true;  // single-flight requires a cacheable query.
+
+  StreamRun leader;
+  leader.Start(exec, req);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return leader_parked; });
+  }
+  // The leader is parked pre-enumeration; this duplicate must attach to
+  // its chunk stream instead of running the engines again.
+  StreamRun follower;
+  follower.Start(exec, req);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  leader.Wait();
+  follower.Wait();
+  exec.SetExecuteHook(nullptr);
+
+  ASSERT_TRUE(leader.result.status.ok());
+  ASSERT_TRUE(follower.result.status.ok());
+  EXPECT_FALSE(leader.result.coalesced);
+  EXPECT_TRUE(follower.result.coalesced);
+  EXPECT_EQ(exec.execution_count(), 1u);
+
+  const QuerySummary a = SummarizeChunks(leader.chunks);
+  const QuerySummary b = SummarizeChunks(follower.chunks);
+  EXPECT_GT(a.count, 0u);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(leader.chunks.size(), follower.chunks.size());
+  EXPECT_EQ(follower.result.summary.digest, leader.result.summary.digest);
+}
+
+TEST(StreamCacheTest, RetainedPayloadReplaysChunksOnRepeat) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", StreamTestGraph()).ok());
+  QueryExecutorOptions options;
+  options.num_threads = 2;
+  options.stream_chunk_results = 32;
+  QueryExecutor exec(catalog, options);
+
+  QueryRequest req = BaseRequest("g", FairModel::kSsfbc, FairAlgo::kPlusPlus, 1);
+  req.params.alpha = 3;
+  req.params.beta = 3;
+  req.use_cache = true;
+
+  StreamRun first;
+  first.Start(exec, req);
+  first.Wait();
+  ASSERT_TRUE(first.result.status.ok());
+  EXPECT_FALSE(first.result.cache_hit);
+
+  StreamRun second;
+  second.Start(exec, req);
+  second.Wait();
+  ASSERT_TRUE(second.result.status.ok());
+  EXPECT_TRUE(second.result.cache_hit);
+  EXPECT_EQ(exec.execution_count(), 1u) << "replay must skip the engines";
+
+  const QuerySummary a = SummarizeChunks(first.chunks);
+  const QuerySummary b = SummarizeChunks(second.chunks);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(second.result.summary.digest, first.result.summary.digest);
+}
+
+// --- chunk wire codec -------------------------------------------------------
+
+TEST(ChunkCodecTest, RoundTripTruncationsAndHostileCount) {
+  const std::vector<Biclique> bicliques = {
+      MakeBiclique({1, 2}, {3}),
+      MakeBiclique({4}, {5, 6, 7}),
+  };
+  const std::string payload = wire::EncodeChunkPayload(3, 10, 99, bicliques);
+  auto decoded = wire::DecodeChunkPayload(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().seq, 3u);
+  EXPECT_EQ(decoded.value().results_so_far, 10u);
+  EXPECT_EQ(decoded.value().nodes_so_far, 99u);
+  EXPECT_EQ(decoded.value().bicliques, bicliques);
+
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(wire::DecodeChunkPayload(payload.substr(0, len)).ok())
+        << "truncation at " << len;
+  }
+  EXPECT_FALSE(wire::DecodeChunkPayload(payload + '\0').ok())
+      << "trailing bytes must be rejected";
+
+  // A hostile biclique count (declared 2^32-1 in a tiny payload) must be
+  // rejected from the declared sizes, before any allocation.
+  std::string hostile = payload;
+  for (std::size_t i = 24; i < 28; ++i) hostile[i] = '\xff';
+  EXPECT_FALSE(wire::DecodeChunkPayload(hostile).ok());
+}
+
+// --- server line protocol: chunk framing + strict validation ----------------
+
+TEST(ServerStreamingTest, LineProtocolChunksCarryRequestIdAndEndMarker) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.AddGraph("g", StreamTestGraph()).ok());
+  QueryExecutorOptions options;
+  options.num_threads = 2;
+  options.stream_chunk_results = 32;
+  QueryExecutor exec(catalog, options);
+  ServerSession session(catalog, exec, 7);
+
+  std::string response;
+  bool stop = false;
+  ASSERT_TRUE(session.Handle(
+      "query graph=g model=ssfbc algo=pp alpha=3 beta=3 delta=1 cache=0 "
+      "stream=1 rid=abc-123",
+      &response, &stop));
+
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= response.size()) {
+    const std::size_t nl = response.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(response.substr(start));
+      break;
+    }
+    lines.push_back(response.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_GE(lines.size(), 2u) << response.substr(0, 400);
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+    EXPECT_NE(lines[i].find("\"cmd\":\"chunk\""), std::string::npos) << i;
+    EXPECT_NE(lines[i].find("\"request_id\":\"abc-123\""), std::string::npos);
+    EXPECT_NE(lines[i].find("\"session\":7"), std::string::npos) << i;
+  }
+  // The regular reply line is the end-of-stream marker and echoes the id.
+  const std::string& last = lines.back();
+  EXPECT_NE(last.find("\"ok\":true"), std::string::npos) << last;
+  EXPECT_NE(last.find("\"request_id\":\"abc-123\""), std::string::npos);
+  EXPECT_EQ(last.find("\"cmd\":\"chunk\""), std::string::npos);
+}
+
+TEST(ServerStreamingTest, TraceAndCacheArgumentsAreStrictlyValidated) {
+  GraphCatalog catalog;
+  QueryExecutor exec(catalog, {});
+  ServerSession session(catalog, exec, 1);
+  std::string response;
+  bool stop = false;
+
+  ASSERT_TRUE(session.Handle("trace bogus=1", &response, &stop));
+  EXPECT_NE(response.find("\"code\":\"bad_argument\""), std::string::npos);
+  EXPECT_NE(response.find("trace does not take \\\"bogus\\\""),
+            std::string::npos)
+      << response;
+
+  ASSERT_TRUE(session.Handle("trace n=0", &response, &stop));
+  EXPECT_NE(response.find("\"code\":\"bad_argument\""), std::string::npos);
+
+  ASSERT_TRUE(session.Handle("trace n=zebra", &response, &stop));
+  EXPECT_NE(response.find("\"code\":\"bad_argument\""), std::string::npos);
+
+  ASSERT_TRUE(session.Handle("cache n=3", &response, &stop));
+  EXPECT_NE(response.find("\"code\":\"bad_argument\""), std::string::npos);
+  EXPECT_NE(response.find("cache does not take \\\"n\\\""), std::string::npos);
+
+  ASSERT_TRUE(session.Handle("cache", &response, &stop));
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+
+  // rid validation: embedded quote can never reach JSON verbatim.
+  ASSERT_TRUE(session.Handle("query graph=g rid=bad\"token", &response, &stop));
+  EXPECT_NE(response.find("\"ok\":false"), std::string::npos) << response;
+  EXPECT_NE(response.find("rid"), std::string::npos);
+}
+
+TEST(RequestIdValidationTest, AcceptsTokensRejectsUnsafeBytes) {
+  EXPECT_TRUE(ValidRequestId(""));
+  EXPECT_TRUE(ValidRequestId("abc-123_XYZ.42:span/7"));
+  EXPECT_TRUE(ValidRequestId(std::string(128, 'a')));
+  EXPECT_FALSE(ValidRequestId(std::string(129, 'a')));
+  EXPECT_FALSE(ValidRequestId("has space"));
+  EXPECT_FALSE(ValidRequestId("has\"quote"));
+  EXPECT_FALSE(ValidRequestId("has\\slash"));
+  EXPECT_FALSE(ValidRequestId(std::string("nul\0byte", 8)));
+  EXPECT_FALSE(ValidRequestId("tab\there"));
+}
+
+}  // namespace
+}  // namespace fairbc

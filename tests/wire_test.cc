@@ -232,8 +232,18 @@ TEST(WireQueryPayloadTest, RoundTripsEveryField) {
 
 TEST(WireQueryPayloadTest, EveryTruncationRejectsWithStatus) {
   const std::string full = EncodeQueryPayload(FullQuery());
+  // The top_k/rank/request-id extension tail (u32 + u8 + u16 length +
+  // empty id here) may be absent as a whole — that is a valid legacy
+  // frame — but may not be cut mid-way.
+  const std::size_t legacy = full.size() - (4 + 1 + 2);
   for (std::size_t len = 0; len < full.size(); ++len) {
     auto decoded = DecodeQueryPayload(full.substr(0, len));
+    if (len == legacy) {
+      ASSERT_TRUE(decoded.ok());
+      EXPECT_EQ(decoded.value().top_k, 0u);  // tail absent = defaults.
+      EXPECT_TRUE(decoded.value().request_id.empty());
+      continue;
+    }
     EXPECT_FALSE(decoded.ok()) << "truncation at " << len;
   }
   // Trailing bytes are just as corrupt as missing ones.

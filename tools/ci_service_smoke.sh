@@ -11,7 +11,11 @@
 # Finally replays the trace a third time over the BINARY wire protocol
 # (fairbc_wire_client --pipeline, responses verified in request order)
 # against the same oracle, while a 256-connection idle soak proves the
-# epoll reactor holds and still serves a large fd fleet.
+# epoll reactor holds and still serves a large fd fleet — then a fourth
+# time STREAMED (--stream): every query's kReplyChunk frames are
+# reassembled client-side and the recomputed count + digest must equal
+# the CLI oracle's, and a budgeted streamed query must see its first
+# chunk strictly before the full response (progressive delivery).
 #
 # Observability coverage: the TCP server runs with --slow-query-ms=0 so
 # every executed query is traced; the script scrapes the `metrics`
@@ -264,15 +268,79 @@ grep -q "soak: 256 idle connections verified" "$WORK/wire.log" \
 echo "wire OK: 20 pipelined responses match fairbc_cli ($hits_w cache hits);" \
      "256 idle connections verified"
 
+echo "== streamed binary replay: chunk reassembly vs the CLI oracle"
+# --stream sets the stream flag on every kQuery frame; for each query the
+# client prints the kReplyEnd JSON, then a {"cmd":"stream_client",...}
+# line with the count + digest it recomputed from the kReplyChunk frames
+# it reassembled (seq-contiguity enforced client-side).
+"$WIRE" --port="$PORT" --pipeline --stream \
+  < "$WIRE_TRACE" > "$WORK/stream.txt" 2> "$WORK/stream.log" \
+  || { echo "streamed wire client failed:"; cat "$WORK/stream.log"; exit 1; }
+mapfile -t SLINES < "$WORK/stream.txt"
+test "${#SLINES[@]}" -eq $((2 * ${#PARAMS[@]})) \
+  || { echo "expected $((2 * ${#PARAMS[@]})) streamed lines, got ${#SLINES[@]}"; exit 1; }
+stream_chunks_seen=0
+for i in "${!PARAMS[@]}"; do
+  reply="${SLINES[$((2 * i))]}"
+  summary="${SLINES[$((2 * i + 1))]}"
+  grep -q '"cmd":"stream_client"' <<<"$summary" \
+    || { echo "stream query $i: missing reassembly line: $summary"; exit 1; }
+  s_count=$(jsonfield "$summary" count)
+  s_digest=$(jsonfield "$summary" digest)
+  s_chunks=$(jsonfield "$summary" chunks)
+  if [ "$s_count" != "${CLI_COUNT[$i]}" ] \
+     || [ "$s_digest" != "${CLI_DIGEST[$i]}" ]; then
+    echo "stream MISMATCH query $i (${PARAMS[$i]}):" >&2
+    echo "  reassembled count=$s_count digest=$s_digest" >&2
+    echo "  cli         count=${CLI_COUNT[$i]} digest=${CLI_DIGEST[$i]}" >&2
+    exit 1
+  fi
+  # The end-of-stream summary must agree with its own chunk payload.
+  r_count=$(jsonfield "$reply" count)
+  r_digest=$(jsonfield "$reply" digest)
+  if [ "$r_count" != "$s_count" ] || [ "$r_digest" != "$s_digest" ]; then
+    echo "stream query $i: end summary ($r_count/$r_digest) disagrees" \
+         "with its chunks ($s_count/$s_digest)"
+    exit 1
+  fi
+  stream_chunks_seen=$((stream_chunks_seen + s_chunks))
+done
+test "$stream_chunks_seen" -ge "${#PARAMS[@]}" \
+  || { echo "suspiciously few chunks across 20 streams: $stream_chunks_seen"; exit 1; }
+echo "stream OK: 20 reassembled streams match fairbc_cli" \
+     "($stream_chunks_seen chunks)"
+
+echo "== budgeted streamed query: first chunk must beat the full response"
+# A per-query budget skips cache and single-flight, so this runs the
+# engines for real; the first kReplyChunk must land strictly before the
+# kReplyEnd frame — the point of progressive delivery.
+echo "query graph=g model=ssfbc alpha=2 beta=2 delta=1 budget=30" \
+  | "$WIRE" --port="$PORT" --stream > "$WORK/stream_budget.txt" 2>&1 \
+  || { echo "budgeted stream failed:"; cat "$WORK/stream_budget.txt"; exit 1; }
+BLINE=$(grep '"cmd":"stream_client"' "$WORK/stream_budget.txt")
+first_ms=$(jsonfield "$BLINE" first_ms)
+total_ms=$(jsonfield "$BLINE" total_ms)
+awk -v f="$first_ms" -v t="$total_ms" 'BEGIN { exit !(f >= 0 && f < t) }' \
+  || { echo "first chunk not ahead of full response:" \
+            "first_ms=$first_ms total_ms=$total_ms"; exit 1; }
+echo "budgeted stream OK: first_ms=$first_ms < total_ms=$total_ms"
+
 echo "== second scrape: counters must be monotonic and reflect the wire replay"
 scrape_metrics "$WORK/scrape2.txt"
 Q2=$(metric "$WORK/scrape2.txt" fairbc_queries_total)
 R2=$(metric "$WORK/scrape2.txt" fairbc_reactor_reads_total)
+SQ2=$(metric "$WORK/scrape2.txt" fairbc_stream_queries_total)
+SC2=$(metric "$WORK/scrape2.txt" fairbc_stream_chunks_total)
 if [ "$Q2" -le "$Q1" ] || [ "$R2" -lt "$R1" ]; then
   echo "scrape not monotonic: queries $Q1 -> $Q2, reads $R1 -> $R2"
   exit 1
 fi
-echo "scrape 2: queries=$Q2 reactor_reads=$R2 (monotonic)"
+if [ "$SQ2" -lt 21 ] || [ "$SC2" -lt "$stream_chunks_seen" ]; then
+  echo "stream counters not live: stream_queries=$SQ2 stream_chunks=$SC2"
+  exit 1
+fi
+echo "scrape 2: queries=$Q2 reactor_reads=$R2 stream_queries=$SQ2" \
+     "stream_chunks=$SC2 (monotonic)"
 
 echo "== capture a retained trace and validate the Perfetto JSON"
 exec 4<>"/dev/tcp/127.0.0.1/$PORT"
@@ -302,15 +370,20 @@ SERVER_PID=
 total_hits=$(jsonfield "$CACHE_LINE" hits)
 coalesced=$(jsonfield "$CACHE_LINE" coalesced)
 executions=$(jsonfield "$CACHE_LINE" executions)
-# Two identical 20-query traces over 16 unique points: exactly 16 real
-# executions (single-flight coalesces concurrent identicals, the cache
-# serves the rest), so hits + coalesced must cover the other 24.
+# Three identical batch 20-query traces over 16 unique points cost 16
+# real executions (single-flight coalesces concurrent identicals, the
+# cache serves the rest). The streamed replay re-executes each unique
+# point once more — a summary-only cache entry cannot serve chunks, so
+# the first stream of a point runs the engines and retains the payload,
+# after which the repeats replay from memory — and the budgeted query
+# always runs itself (budgeted runs never join or cache). Budget: 33.
 if [ -z "$total_hits" ] || [ -z "$coalesced" ] || [ -z "$executions" ]; then
   echo "TCP telemetry unexpected: $CACHE_LINE"
   exit 1
 fi
-if [ "$executions" -gt 16 ]; then
-  echo "single-flight failed: $executions executions for 16 unique points"
+if [ "$executions" -gt 33 ]; then
+  echo "single-flight failed: $executions executions for 16 unique points" \
+       "(budget: 16 batch + 16 payload-producing streams + 1 budgeted)"
   exit 1
 fi
 if [ $((total_hits + coalesced)) -lt 24 ]; then

@@ -9,7 +9,8 @@
 //                      [--pruning=colorful|core|none] [--budget=SECONDS]
 //                      [--threads=N] [--out=FILE] [--count-only]
 //                      [--output=text|json] [--rand-attrs=N --seed=S]
-//                      [--trace-out=FILE]
+//                      [--trace-out=FILE] [--top-k=K]
+//                      [--rank=weight|size|balance] [--stream] [--chunk=N]
 //   fairbc_cli gen     --out=FILE --kind=uniform|powerlaw|affiliation
 //                      [--nu=N --nv=N --edges=M --attrs=K --seed=S]
 //   fairbc_cli snapshot save --graph=FILE [--format=edges|attr] --out=SNAP
@@ -31,6 +32,14 @@
 // object (count, result-set digest, per-phase stats) emitted through the
 // same serializer as the fairbc_server responses.
 //
+// `--top-k=K` keeps only the K best bicliques under `--rank` (edge count,
+// |L|+|R|, or min(|L|,|R|)) and lets the engines branch-and-bound prune
+// against the current K-th best — the CLI mirror of the server's top-k
+// queries. `--stream` emits results as they are found instead of
+// collecting first: with --output=json, the server's {"cmd":"chunk",...}
+// lines (--chunk=N results per line) followed by the usual summary
+// object; with text output, bicliques print incrementally.
+//
 // `--trace-out=FILE` records the run's phase spans (reduce →
 // construct/color/peel, enumerate → root/split) and writes them as
 // Chrome trace-event JSON — load FILE in Perfetto / chrome://tracing.
@@ -39,11 +48,16 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/timer.h"
 #include "core/pipeline.h"
+#include "core/result_sink.h"
+#include "core/search_context.h"
 #include "obs/trace.h"
 #include "core/verify.h"
 #include "graph/biclique_io.h"
@@ -148,6 +162,21 @@ int RunEnum(const FlagParser& flags) {
   auto algo = fairbc::ParseFairAlgo(flags.GetString("algo", "pp"));
   if (!algo) return Fail(Status::InvalidArgument("bad --algo (pp|bcem|naive)"));
 
+  auto rank = fairbc::ParseTopKRank(flags.GetString("rank", "weight"));
+  if (!rank) {
+    return Fail(Status::InvalidArgument("bad --rank (weight|size|balance)"));
+  }
+  const std::int64_t top_k_flag = flags.GetInt("top-k", 0);
+  if (top_k_flag < 0 || top_k_flag > 1'000'000'000) {
+    return Fail(Status::InvalidArgument("--top-k must be in [0, 1e9]"));
+  }
+  const auto top_k = static_cast<std::uint32_t>(top_k_flag);
+  const bool stream = flags.GetBool("stream", false);
+  const std::int64_t chunk_results = flags.GetInt("chunk", 64);
+  if (chunk_results < 1 || chunk_results > 1'000'000) {
+    return Fail(Status::InvalidArgument("--chunk must be in [1, 1e6]"));
+  }
+
   const bool json = flags.GetString("output", "text") == "json";
   const std::string trace_out = flags.GetString("trace-out", "");
   std::unique_ptr<fairbc::TraceRecorder> recorder;
@@ -162,8 +191,11 @@ int RunEnum(const FlagParser& flags) {
   // invocation, so the plain accumulator is safe at any --threads.
   fairbc::DigestAccumulator digest;
   fairbc::Timer wall;
-  auto run = [&](fairbc::BicliqueSink sink) {
-    if (json) sink = digest.Wrap(std::move(sink));
+  // The digest must cover exactly the DELIVERED result set (all results,
+  // or the K best for --top-k), so top-k runs wrap it around the replay
+  // of the kept set, not around the enumeration sink.
+  auto run = [&](fairbc::BicliqueSink sink, bool wrap_digest) {
+    if (json && wrap_digest) sink = digest.Wrap(std::move(sink));
     // The root "query" span makes CLI traces the same shape as the
     // server's retained slow-query traces (one validator fits both).
     fairbc::TraceSpan root(recorder.get(), "query");
@@ -173,16 +205,96 @@ int RunEnum(const FlagParser& flags) {
   fairbc::EnumStats stats;
   std::string wrote;
   const std::string out = flags.GetString("out", "");
-  // JSON mode only ever reports count/digest/stats, so unless the
-  // bicliques are written to a file the streaming accumulator is all
-  // that's needed — never buffer the result set just to drop it.
-  if (flags.GetBool("count-only", false) || (json && out.empty())) {
+  const bool count_only = flags.GetBool("count-only", false);
+
+  std::uint64_t chunk_seq = 0;
+  std::optional<fairbc::SearchBudget> stream_budget;
+  std::optional<fairbc::ChunkSink> chunker;
+  if (stream) {
+    if (!out.empty() || count_only) {
+      return Fail(Status::InvalidArgument(
+          "--stream is incompatible with --out/--count-only"));
+    }
+    stream_budget.emplace(options);
+    options.shared_budget = &*stream_budget;
+    chunker.emplace(
+        static_cast<std::size_t>(chunk_results),
+        [&](std::vector<fairbc::Biclique>&& bicliques,
+            const fairbc::StreamCheckpoint& checkpoint) {
+          if (bicliques.empty()) return true;
+          if (json) {
+            fairbc::QueryExecutor::StreamChunk chunk;
+            chunk.seq = ++chunk_seq;
+            chunk.results_so_far = checkpoint.results;
+            chunk.nodes_so_far = checkpoint.nodes;
+            chunk.bicliques = std::move(bicliques);
+            std::cout << fairbc::StreamChunkJson(fairbc::QueryRequest(), chunk)
+                      << "\n";
+          } else {
+            for (const fairbc::Biclique& b : bicliques) {
+              std::cout << b.DebugString() << "\n";
+            }
+          }
+          std::cout << std::flush;  // progressive delivery is the point.
+          return true;
+        },
+        stream_budget.has_value() ? &*stream_budget : nullptr);
+  }
+
+  if (top_k > 0) {
+    // Rank the whole (pruned) enumeration, keep the K best, then push
+    // them through the normal output path best-first. The prune bound
+    // lets engines skip subtrees that cannot beat the current K-th best,
+    // exactly like the server's top-k queries.
+    fairbc::TopKSink topk(top_k, *rank);
+    options.topk = topk.prune_bound();
+    stats = run(topk.AsSink(), /*wrap_digest=*/false);
+    topk.Finish();
+    std::vector<fairbc::Biclique> best = topk.Take();
+    stats.num_results = best.size();
+    fairbc::CollectSink collected;
+    fairbc::BicliqueSink deliver;
+    if (chunker) {
+      deliver = chunker->AsSink();
+    } else if (count_only) {
+      deliver = [](const fairbc::Biclique&) { return true; };
+    } else {
+      deliver = collected.AsSink();
+    }
+    if (json) deliver = digest.Wrap(std::move(deliver));
+    for (const fairbc::Biclique& b : best) {
+      if (!deliver(b)) break;
+    }
+    if (chunker) {
+      chunker->Finish();
+    } else if (count_only) {
+      if (!json) std::cout << "count: " << best.size() << "\n";
+    } else if (!out.empty()) {
+      Status st = fairbc::WriteBicliques(collected.results(), out);
+      if (!st.ok()) return Fail(st);
+      wrote = out;
+      if (!json) {
+        std::cout << "wrote " << collected.results().size()
+                  << " bicliques to " << out << "\n";
+      }
+    } else if (!json) {
+      for (const fairbc::Biclique& b : collected.results()) {
+        std::cout << b.DebugString() << "\n";
+      }
+    }
+  } else if (chunker) {
+    stats = run(chunker->AsSink(), /*wrap_digest=*/true);
+    chunker->Finish();
+  } else if (count_only || (json && out.empty())) {
+    // JSON mode only ever reports count/digest/stats, so unless the
+    // bicliques are written to a file the streaming accumulator is all
+    // that's needed — never buffer the result set just to drop it.
     fairbc::CountSink sink;
-    stats = run(sink.AsSink());
+    stats = run(sink.AsSink(), /*wrap_digest=*/true);
     if (!json) std::cout << "count: " << sink.count() << "\n";
   } else {
     fairbc::CollectSink sink;
-    stats = run(sink.AsSink());
+    stats = run(sink.AsSink(), /*wrap_digest=*/true);
     if (!out.empty()) {
       Status st = fairbc::WriteBicliques(sink.results(), out);
       if (!st.ok()) return Fail(st);

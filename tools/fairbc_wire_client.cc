@@ -6,7 +6,7 @@
 // (that is how ci_service_smoke.sh uses it).
 //
 // Usage:
-//   fairbc_wire_client --port=N [--pipeline] [--soak=K]
+//   fairbc_wire_client --port=N [--pipeline] [--soak=K] [--stream]
 //
 //   --pipeline   send every request before reading any response, then
 //                verify the responses come back in request order with
@@ -15,11 +15,20 @@
 //   --soak=K     hold K extra idle connections open for the whole run,
 //                then ping each over the wire protocol and require a
 //                pong — exercises the reactor's fd scalability.
+//   --stream     set the stream flag on every kQuery frame: the server
+//                answers with kReplyChunk frames closed by one kReplyEnd.
+//                The client reassembles the chunks into a count and the
+//                order-independent result digest and reports them (plus
+//                first-chunk and total latency) as one extra
+//                {"cmd":"stream_client",...} line after the kReplyEnd
+//                JSON — so CI can assert streamed == batch against the
+//                CLI oracle without trusting the server's own summary.
 //
 // Exit status is nonzero on any protocol violation (bad frame, out of
 // order response, failed soak ping), so CI can assert wire correctness
 // by exit code alone.
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -130,10 +139,13 @@ bool PrintResponse(const Frame& frame) {
 
 /// Encodes one request line as a frame: `query` lines as packed kQuery
 /// payloads (exercising the binary query codec), everything else as a
-/// kCommand carrying the line verbatim.
+/// kCommand carrying the line verbatim. With `stream`, kQuery frames get
+/// the stream flag and `*is_stream_query` reports that a chunked response
+/// must be read back.
 bool EncodeRequestLine(const std::string& line, std::uint64_t request_id,
-                       std::string* out) {
+                       bool stream, std::string* out, bool* is_stream_query) {
   const fairbc::RequestLine parsed = fairbc::ParseRequestLine(line);
+  *is_stream_query = false;
   Frame frame;
   frame.request_id = request_id;
   if (parsed.command == "query") {
@@ -145,7 +157,8 @@ bool EncodeRequestLine(const std::string& line, std::uint64_t request_id,
       frame.payload = line;
     } else {
       frame.opcode = Opcode::kQuery;
-      frame.payload = fairbc::wire::EncodeQueryPayload(built.value());
+      frame.payload = fairbc::wire::EncodeQueryPayload(built.value(), stream);
+      *is_stream_query = stream;
     }
   } else {
     frame.opcode = Opcode::kCommand;
@@ -153,6 +166,76 @@ bool EncodeRequestLine(const std::string& line, std::uint64_t request_id,
   }
   EncodeFrame(frame, out);
   return true;
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Reads and prints the complete response to request `id`: one frame, or
+/// — for stream-flagged queries — kReplyChunk frames closed by one
+/// kReplyEnd, all echoing `id` contiguously. Chunks are reassembled
+/// client-side (count + the order-independent BicliqueHash digest, via
+/// DigestAccumulator — the same digest the batch path computes), and a
+/// {"cmd":"stream_client",...} line reports the reassembly and latency.
+bool ReadResponse(int fd, std::string* rbuf, std::uint64_t id, bool streamed,
+                  std::chrono::steady_clock::time_point sent) {
+  if (!streamed) {
+    Frame frame;
+    if (!RecvFrame(fd, rbuf, &frame)) return false;
+    if (frame.request_id != id) {
+      std::cerr << "error: response carries request id " << frame.request_id
+                << ", want " << id << " (out of order)\n";
+      return false;
+    }
+    return PrintResponse(frame);
+  }
+  fairbc::DigestAccumulator acc;
+  fairbc::BicliqueSink accumulate =
+      acc.Wrap([](const fairbc::Biclique&) { return true; });
+  std::uint64_t chunks = 0;
+  double first_ms = -1.0;
+  for (;;) {
+    Frame frame;
+    if (!RecvFrame(fd, rbuf, &frame)) return false;
+    if (frame.request_id != id) {
+      std::cerr << "error: stream frame carries request id "
+                << frame.request_id << ", want " << id
+                << " (stream interleaved)\n";
+      return false;
+    }
+    if (first_ms < 0) first_ms = MsSince(sent);
+    if (frame.opcode == Opcode::kReplyChunk) {
+      auto chunk = fairbc::wire::DecodeChunkPayload(frame.payload);
+      if (!chunk.ok()) {
+        std::cerr << "error: bad chunk payload: "
+                  << chunk.status().ToString() << "\n";
+        return false;
+      }
+      ++chunks;
+      if (chunk.value().seq != chunks) {
+        std::cerr << "error: chunk seq " << chunk.value().seq << ", want "
+                  << chunks << " (gap or reorder)\n";
+        return false;
+      }
+      for (const fairbc::Biclique& b : chunk.value().bicliques) accumulate(b);
+      continue;
+    }
+    if (frame.opcode == Opcode::kReplyEnd) {
+      const double total_ms = MsSince(sent);
+      if (!frame.payload.empty()) std::cout << frame.payload << "\n";
+      std::cout << "{\"ok\":true,\"cmd\":\"stream_client\",\"chunks\":"
+                << chunks << ",\"count\":" << acc.count() << ",\"digest\":\""
+                << fairbc::JsonHex64(acc.digest()) << "\",\"first_ms\":"
+                << fairbc::JsonDouble(first_ms) << ",\"total_ms\":"
+                << fairbc::JsonDouble(total_ms) << "}\n";
+      return true;
+    }
+    // A rejected stream query is answered with a single kError frame.
+    return PrintResponse(frame);
+  }
 }
 
 }  // namespace
@@ -167,6 +250,7 @@ int main(int argc, char** argv) {
   }
   const auto port = flags.GetInt("port", -1);
   const bool pipeline = flags.GetBool("pipeline", false);
+  const bool stream = flags.GetBool("stream", false);
   const auto soak = flags.GetInt("soak", 0);
   for (const std::string& name : flags.UnusedFlags()) {
     std::cerr << "warning: unknown flag --" << name << " ignored\n";
@@ -211,39 +295,33 @@ int main(int argc, char** argv) {
   std::string rbuf;
   if (pipeline) {
     std::string burst;
+    std::vector<bool> streamed(lines.size(), false);
     for (std::size_t i = 0; i < lines.size(); ++i) {
-      EncodeRequestLine(lines[i], /*request_id=*/i + 1, &burst);
+      bool is_stream = false;
+      EncodeRequestLine(lines[i], /*request_id=*/i + 1, stream, &burst,
+                        &is_stream);
+      streamed[i] = is_stream;
     }
+    const auto sent = std::chrono::steady_clock::now();
     if (!SendAll(fd, burst)) {
       std::cerr << "error: pipelined send failed\n";
       return 1;
     }
     for (std::size_t i = 0; i < lines.size(); ++i) {
-      Frame frame;
-      if (!RecvFrame(fd, &rbuf, &frame)) return 1;
-      if (frame.request_id != i + 1) {
-        std::cerr << "error: response " << i << " carries request id "
-                  << frame.request_id << " (out of order)\n";
-        return 1;
-      }
-      if (!PrintResponse(frame)) ++failures;
+      if (!ReadResponse(fd, &rbuf, i + 1, streamed[i], sent)) return 1;
     }
   } else {
     for (std::size_t i = 0; i < lines.size(); ++i) {
       std::string one;
-      EncodeRequestLine(lines[i], /*request_id=*/i + 1, &one);
+      bool is_stream = false;
+      EncodeRequestLine(lines[i], /*request_id=*/i + 1, stream, &one,
+                        &is_stream);
+      const auto sent = std::chrono::steady_clock::now();
       if (!SendAll(fd, one)) {
         std::cerr << "error: send failed at request " << i << "\n";
         return 1;
       }
-      Frame frame;
-      if (!RecvFrame(fd, &rbuf, &frame)) return 1;
-      if (frame.request_id != i + 1) {
-        std::cerr << "error: response " << i << " carries request id "
-                  << frame.request_id << "\n";
-        return 1;
-      }
-      if (!PrintResponse(frame)) ++failures;
+      if (!ReadResponse(fd, &rbuf, i + 1, is_stream, sent)) return 1;
     }
   }
   ::close(fd);
